@@ -1,0 +1,677 @@
+(* Benchmark harness regenerating every evaluation artifact of the paper
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+     dune exec bench/main.exe            -- all tables (E1..E15)
+     dune exec bench/main.exe e3 e4      -- selected tables
+     dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks *)
+
+open Interaction
+open Wfms
+
+let pf = Format.printf
+let line () = pf "%s@." (String.make 78 '-')
+
+let header id title claim =
+  pf "@.";
+  line ();
+  pf "%s — %s@." id title;
+  pf "paper: %s@." claim;
+  line ()
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let act name args = Action.conc name args
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1_expr = Syntax.parse_exn "((a - b)* || (c | d)*) @ (e - f)*"
+let e1_script = [ "a"; "c"; "e"; "b"; "d"; "f"; "a"; "b"; "c"; "d" ]
+
+let e1 () =
+  header "E1" "quasi-regular expressions are harmless (Section 6)"
+    "state size and transition cost stay constant in the sequence length";
+  pf "expression: %a@." Syntax.pp e1_expr;
+  pf "%s@.@." (Classify.describe e1_expr);
+  pf "%10s %12s %16s@." "actions" "state size" "ns/transition";
+  List.iter
+    (fun n ->
+      let s = Engine.create e1_expr in
+      let (), dt =
+        time (fun () ->
+          for i = 0 to n - 1 do
+            let a = act (List.nth e1_script (i mod List.length e1_script)) [] in
+            assert (Engine.try_action s a)
+          done)
+      in
+      pf "%10d %12d %16.0f@." n (Engine.state_size s) (dt *. 1e9 /. float_of_int n))
+    [ 100; 200; 400; 800; 1600; 3200 ]
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2_feed_patients e n =
+  (* Every patient is prepared and then left in the middle of an
+     examination, so the state must track all n instances. *)
+  let s = Engine.create e in
+  for i = 1 to n do
+    let p = Medical.patient i in
+    List.iter
+      (fun a -> assert (Engine.try_action s (act a [ p; "sono" ])))
+      [ "prepare_s"; "prepare_t"; "call_s" ]
+  done;
+  s
+
+let e2 () =
+  header "E2" "completely and uniformly quantified expressions are benign (Section 6)"
+    "state size grows polynomially (degree rarely above 1 or 2)";
+  let e = Medical.patient_constraint in
+  pf "expression: Fig. 3 patient constraint@.%s@.@." (Classify.describe e);
+  pf "%10s %12s %12s %16s@." "patients" "actions" "state size" "ns/transition";
+  List.iter
+    (fun n ->
+      let s, dt = time (fun () -> e2_feed_patients e n) in
+      pf "%10d %12d %12d %16.0f@." n (3 * n) (Engine.state_size s)
+        (dt *. 1e9 /. float_of_int (3 * n)))
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  pf "@.(measured growth is linear in the touched patients — well within the benign bound)@."
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3_expr = Syntax.parse_exn "all p: (a(p) - b - c(p))"
+
+let e3 () =
+  header "E3" "malignant expressions exist and must be selectively constructed (Section 6)"
+    "a non-uniform quantifier makes state size explode exponentially";
+  pf "expression: %a@." Syntax.pp e3_expr;
+  pf "%s@.@." (Classify.describe e3_expr);
+  pf "%6s %14s %14s %12s@." "n" "size after aⁿ" "size after bⁿᐟ²" "seconds";
+  List.iter
+    (fun n ->
+      let (sz_a, sz_b), dt =
+        time (fun () ->
+          let s = Engine.create e3_expr in
+          for i = 1 to n do
+            assert (Engine.try_action s (act "a" [ string_of_int i ]))
+          done;
+          let sz_a = Engine.state_size s in
+          for _ = 1 to n / 2 do
+            assert (Engine.try_action s (act "b" []))
+          done;
+          (sz_a, Engine.state_size s))
+      in
+      pf "%6d %14d %14d %12.3f@." n sz_a sz_b dt)
+    [ 2; 4; 6; 8; 10; 12 ];
+  pf "@.(the word aⁿbⁿᐟ² leaves C(n, n/2) alternatives: exponential in n)@."
+
+(* ------------------------------------------------------------------ E4 *)
+
+let e4_expr = Syntax.parse_exn "(a - b)* || (b - a)*"
+
+let e4_word n =
+  List.concat (List.init n (fun i -> if i mod 2 = 0 then [ act "a" []; act "b" [] ] else [ act "b" []; act "a" [] ]))
+
+let e4 () =
+  header "E4" "the naive word-problem algorithm is hopelessly inefficient (Section 4)"
+    "direct evaluation of Table 8 is exponential; the state model is not";
+  pf "expression: %a@." Syntax.pp e4_expr;
+  pf "@.%8s %16s %16s %12s@." "|word|" "naive (s)" "state model (s)" "ratio";
+  let continue = ref true in
+  List.iter
+    (fun n ->
+      if !continue then begin
+        let w = e4_word n in
+        let v1, t_naive = time (fun () -> Semantics.word e4_expr w) in
+        let v2, t_op = time (fun () -> Engine.word e4_expr w) in
+        assert (v1 = v2);
+        pf "%8d %16.4f %16.6f %12.0f@." (List.length w) t_naive t_op
+          (t_naive /. max 1e-9 t_op);
+        if t_naive > 3.0 then continue := false
+      end)
+    [ 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5 () =
+  header "E5" "the word() and action() functions (Section 5, Fig. 9)"
+    "word() returns 2/1/0 for complete/partial/illegal; action() accepts or rejects";
+  let e = Syntax.parse_exn "some x: (a(x) - b(x))*" in
+  pf "expression: %a@.@." Syntax.pp e;
+  pf "word():@.";
+  List.iter
+    (fun s ->
+      let w = Syntax.parse_word_exn s in
+      pf "  word(x, %-28s) = %d (%a)@." (if s = "" then "<empty>" else s)
+        (Engine.word_int e w) Semantics.pp_verdict (Engine.word e w))
+    [ ""; "a(1)"; "a(1) b(1)"; "a(1) b(2)"; "a(1) b(1) a(1) b(1)"; "b(1)" ];
+  pf "@.action():@.";
+  let s = Engine.create e in
+  List.iter
+    (fun a ->
+      let c = Syntax.parse_action_exn a in
+      pf "  %-8s -> %s@." a (if Engine.try_action s c then "Accept." else "Reject."))
+    [ "a(1)"; "a(2)"; "b(2)"; "b(1)"; "a(1)"; "b(1)" ]
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6 () =
+  header "E6" "the combined constraint on a dynamic ensemble (Figs. 3, 6, 7)"
+    "coupled subgraphs enforce both constraints; benign in ensemble size";
+  let constraints = Medical.combined_constraint ~capacity:3 () in
+  pf "%s@.@." (Classify.describe constraints);
+  pf "%10s %8s %10s %10s %12s %12s %10s@." "patients" "cases" "executed" "denials"
+    "messages" "state size" "seconds";
+  List.iter
+    (fun n ->
+      let cases = Medical.ensemble ~patients:n in
+      let o, dt =
+        time (fun () ->
+          Adapter.run
+            { Adapter.default_config with max_steps = 100_000 }
+            ~constraints ~cases)
+      in
+      pf "%10d %8d %10d %10d %12d %12d %10.3f@." n (List.length cases)
+        o.Adapter.executed o.Adapter.denials o.Adapter.messages
+        o.Adapter.manager_state_size dt;
+      assert (o.Adapter.violations = 0);
+      assert (o.Adapter.completed_cases = List.length cases))
+    [ 1; 2; 4; 8; 16 ];
+  pf "@.(zero violations everywhere; all cases complete)@."
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7 () =
+  header "E7" "coordination vs. subscription protocol (Fig. 10)"
+    "subscription avoids busy waiting: message volume independent of activity duration";
+  let e =
+    Syntax.parse_exn
+      "mutex(go(1) - done(1), go(2) - done(2), go(3) - done(3), go(4) - done(4))"
+  in
+  let scripts =
+    List.map
+      (fun i ->
+        let v = string_of_int i in
+        ( "client" ^ v,
+          Syntax.parse_word_exn
+            (Printf.sprintf "go(%s) done(%s) go(%s) done(%s)" v v v v) ))
+      [ 1; 2; 3; 4 ]
+  in
+  pf "%12s %18s %18s %8s@." "duration" "polling msgs" "subscribing msgs" "ratio";
+  List.iter
+    (fun think ->
+      let p = Interaction_manager.Protocol.simulate ~think_rounds:think
+                Interaction_manager.Protocol.Polling e ~scripts in
+      let s = Interaction_manager.Protocol.simulate ~think_rounds:think
+                Interaction_manager.Protocol.Subscribing e ~scripts in
+      assert (p.Interaction_manager.Protocol.completed
+              && s.Interaction_manager.Protocol.completed);
+      pf "%12d %18d %18d %8.2f@." think p.Interaction_manager.Protocol.messages
+        s.Interaction_manager.Protocol.messages
+        (float_of_int p.Interaction_manager.Protocol.messages
+        /. float_of_int s.Interaction_manager.Protocol.messages))
+    [ 0; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8 () =
+  header "E8" "worklist-handler vs. workflow-engine adaptation (Fig. 11)"
+    "worklist adaptation: chatty, not waterproof, stalls on handler crashes; engine adaptation: lean and waterproof";
+  let constraints = Medical.combined_constraint ~capacity:2 () in
+  let cases = Medical.ensemble ~patients:3 in
+  let run label adaptation rogue crash =
+    let o =
+      Adapter.run
+        { Adapter.default_config with
+          adaptation; rogue_handler = rogue; handler_crash_every = crash;
+          max_steps = 10_000 }
+        ~constraints ~cases
+    in
+    pf "%-26s %10d %10d %10d %9d %9d@." label o.Adapter.executed o.Adapter.messages
+      o.Adapter.violations o.Adapter.denials o.Adapter.manager_timeouts
+  in
+  pf "%-26s %10s %10s %10s %9s %9s@." "configuration" "executed" "messages"
+    "violations" "denials" "timeouts";
+  run "unadapted" Adapter.Unadapted false None;
+  run "adapted worklists" Adapter.Adapted_worklists false None;
+  run "  + rogue handler" Adapter.Adapted_worklists true None;
+  run "  + handler crashes" Adapter.Adapted_worklists false (Some 7);
+  run "adapted engine" Adapter.Adapted_engine false None;
+  run "  + rogue requests" Adapter.Adapted_engine true None
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9 () =
+  header "E9" "expressiveness beyond regular languages (Section 3)"
+    "Φ(x) = {aⁿbⁿcⁿ | n ≥ 0} is accepted, a language that is not context-free";
+  let e = Syntax.parse_exn "(a - b - c)# & (a* - b* - c*)" in
+  pf "expression: %a@.@." Syntax.pp e;
+  pf "%4s %18s %22s %22s@." "n" "aⁿbⁿcⁿ" "aⁿbⁿcⁿ⁻¹" "aⁿbⁿ⁺¹cⁿ";
+  List.iter
+    (fun n ->
+      let mk na nb nc =
+        List.init na (fun _ -> act "a" [])
+        @ List.init nb (fun _ -> act "b" [])
+        @ List.init nc (fun _ -> act "c" [])
+      in
+      let v w = Format.asprintf "%a" Semantics.pp_verdict (Engine.word e w) in
+      pf "%4d %18s %22s %22s@." n
+        (v (mk n n n))
+        (if n > 0 then v (mk n n (n - 1)) else "-")
+        (v (mk n (n + 1) n)))
+    [ 0; 1; 2; 3; 4; 5; 6 ];
+  let universe = [ act "a" []; act "b" []; act "c" [] ] in
+  let lang = Semantics.language ~max_len:9 ~universe e in
+  pf "@.all complete words up to length 9: %s@."
+    (String.concat ", "
+       (List.map
+          (fun w ->
+            if w = [] then "ε"
+            else String.concat "" (List.map (fun c -> c.Action.cname) w))
+          lang))
+
+(* ------------------------------------------------------------------ E10 *)
+
+let e10 () =
+  header "E10" "federated interaction managers (Section 7)"
+    "alphabet-disjoint constraint components can be served by independent managers";
+  let departments = [ "sono"; "endo"; "radio"; "cardio" ] in
+  let combined =
+    Interaction.Expr.sync_list
+      (List.map (fun x -> Medical.department_constraint ~exam:x ~capacity:2) departments)
+  in
+  let components = Interaction_manager.Federation.partition combined in
+  pf "constraint: coupling of %d per-department capacity rules@." (List.length departments);
+  pf "partition:  %d independent managers@.@." (List.length components);
+  let fed = Interaction_manager.Federation.create combined in
+  let single = Interaction_manager.Manager.create combined in
+  let workload =
+    List.concat
+      (List.init 12 (fun i ->
+           let p = Medical.patient (i + 1) in
+           let x = List.nth departments (i mod List.length departments) in
+           [ act "call_s" [ p; x ]; act "call_t" [ p; x ]; act "perform_s" [ p; x ];
+             act "perform_t" [ p; x ]
+           ]))
+  in
+  let agree = ref true in
+  let (), t_fed =
+    time (fun () ->
+      List.iter
+        (fun c ->
+          ignore (Interaction_manager.Federation.execute fed ~client:"w" c))
+        workload)
+  in
+  let (), t_single =
+    time (fun () ->
+      List.iter
+        (fun c -> ignore (Interaction_manager.Manager.execute single ~client:"w" c))
+        workload)
+  in
+  (* agreement check on a fresh pair *)
+  let fed2 = Interaction_manager.Federation.create combined in
+  let single2 = Interaction_manager.Manager.create combined in
+  List.iter
+    (fun c ->
+      if
+        Interaction_manager.Federation.execute fed2 ~client:"w" c
+        <> Interaction_manager.Manager.execute single2 ~client:"w" c
+      then agree := false)
+    workload;
+  pf "%12s %14s %16s@." "deployment" "seconds" "max asks/manager";
+  let max_load =
+    List.fold_left max 0 (List.map fst (Interaction_manager.Federation.loads fed))
+  in
+  pf "%12s %14.4f %16d@." "federated" t_fed max_load;
+  pf "%12s %14.4f %16d@." "single" t_single
+    (Interaction_manager.Manager.stats single).Interaction_manager.Manager.asks;
+  pf "@.federation ≡ single manager on the workload: %b@." !agree;
+  pf "(the per-manager bottleneck shrinks by the number of components)@."
+
+(* ------------------------------------------------------------------ E11 *)
+
+let e11 () =
+  header "E11" "ablation: state canonicalization (part of the optimizer rho)"
+    "without merging equal alternatives, state size balloons even for benign expressions";
+  let e = Syntax.parse_exn "(a | a | a) * || (a | a) *" in
+  pf "expression: %a@.@." Syntax.pp e;
+  pf "%10s %22s %22s@." "actions" "canonicalized size" "raw size";
+  List.iter
+    (fun n ->
+      let run () =
+        let s = Engine.create e in
+        for _ = 1 to n do
+          assert (Engine.try_action s (act "a" []))
+        done;
+        Engine.state_size s
+      in
+      let with_canon = run () in
+      State.set_canonicalization false;
+      let without =
+        Fun.protect ~finally:(fun () -> State.set_canonicalization true) run
+      in
+      pf "%10d %22d %22d@." n with_canon without)
+    [ 1; 2; 4; 6; 8; 10; 12 ];
+  pf "@.(duplicate alternatives grow exponentially once merging is disabled)@."
+
+(* ------------------------------------------------------------------ E12 *)
+
+let e12 () =
+  header "E12" "ablation: algebraic simplification before deployment"
+    "normalizing the constraint shrinks the expression and every state derived from it";
+  let redundant =
+    Syntax.parse_exn
+      "((a - b) | (a - b))* @ ((c | c | eps) - d)* @ (some q: (a - b) | (a - b))*"
+  in
+  let simplified = Rewrite.simplify redundant in
+  pf "original:   %a  (%d nodes)@." Syntax.pp redundant (Expr.size redundant);
+  pf "simplified: %a  (%d nodes)@.@." Syntax.pp simplified (Expr.size simplified);
+  (match Language.equivalent redundant simplified with
+  | Some b -> pf "equivalence check: %b@.@." b
+  | None -> pf "equivalence check: unknown (bound hit)@.@.");
+  pf "%10s %18s %18s@." "actions" "original size" "simplified size";
+  let word n =
+    List.concat (List.init n (fun i -> if i mod 2 = 0 then [ act "a" []; act "b" [] ] else [ act "c" []; act "d" [] ]))
+  in
+  List.iter
+    (fun n ->
+      let size_of e =
+        match State.trans_word (State.init e) (word n) with
+        | Some s -> State.size s
+        | None -> -1
+      in
+      pf "%10d %18d %18d@." (2 * n) (size_of redundant) (size_of simplified))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ E13 *)
+
+let e13 () =
+  header "E13" "dead-end detection on classic synchronization conditions (Section 3)"
+    "misused graphs have partial words that can never complete; the dining-philosophers deadlock is one";
+  let module P = Sync_patterns.Patterns in
+  pf "%-28s %10s %8s %8s %14s %10s@." "system" "states" "final" "dead" "verdict" "seconds";
+  let check ?(max_states = 200_000) ?(max_state_size = 10_000) label e =
+    let r, dt =
+      time (fun () -> Language.explore ~max_states ~max_state_size e)
+    in
+    pf "%-28s %10d %8d %8d %14s %10.2f@." label r.Language.states r.Language.final_states
+      r.Language.dead_states
+      (if r.Language.truncated then
+         if r.Language.dead_states > 0 then "dead end" else "unknown"
+       else if r.Language.dead_states > 0 then "dead end"
+       else "sound")
+      dt
+  in
+  check "philosophers n=2" (P.philosophers 2);
+  check "philosophers n=2, lefty" (P.philosophers ~lefty_first:true 2);
+  check "philosophers n=3" (P.philosophers 3);
+  check "philosophers n=3, lefty" (P.philosophers ~lefty_first:true 3);
+  (* readers–writers admits unboundedly many concurrent readers: its state
+     space is infinite, so only a bounded (truncated) exploration is shown *)
+  check ~max_states:2_000 ~max_state_size:400 "readers-writers (bounded)"
+    (P.readers_writers ());
+  check "barrier, 3 parties" (P.barrier ~parties:3);
+  check "misused conjunction" (Syntax.parse_exn "(a - b) & (b - a)")
+
+(* ------------------------------------------------------------------ E14 *)
+
+let e14 () =
+  header "E14" "recovery strategies of the interaction manager (Section 7)"
+    "checkpointing bounds recovery work; full log replay grows with history length";
+  let constraints = Medical.patient_constraint in
+  pf "%12s %18s %22s@." "log length" "full replay (s)" "from checkpoint (s)";
+  List.iter
+    (fun n ->
+      let mgr = Interaction_manager.Manager.create constraints in
+      for i = 1 to n do
+        let p = Medical.patient (i mod 40) in
+        let x = if i mod 2 = 0 then "sono" else "endo" in
+        let acts =
+          [ act "call_s" [ p; x ]; act "call_t" [ p; x ]; act "perform_s" [ p; x ];
+            act "perform_t" [ p; x ]
+          ]
+        in
+        List.iter
+          (fun c -> ignore (Interaction_manager.Manager.execute mgr ~client:"w" c))
+          acts
+      done;
+      let cp = Interaction_manager.Manager.checkpoint mgr in
+      let (), t_full =
+        time (fun () ->
+          Interaction_manager.Manager.crash mgr;
+          Interaction_manager.Manager.recover mgr)
+      in
+      let (), t_cp =
+        time (fun () ->
+          Interaction_manager.Manager.crash mgr;
+          Interaction_manager.Manager.recover_with mgr ~checkpoint:cp)
+      in
+      pf "%12d %18.4f %22.6f@."
+        (List.length (Interaction_manager.Manager.confirmed_log mgr))
+        t_full t_cp)
+    [ 50; 100; 200; 400; 800 ]
+
+(* ------------------------------------------------------------------ E15 *)
+
+let e15 () =
+  header "E15" "compilation to explicit finite automata (Section 4's FSM comparison)"
+    "finite-state expressions can be tabulated once; transitions become array lookups";
+  let cases =
+    [ ("(a - b)* || (c | d)*", "a c b d");
+      ("mutex(a - b, c - d)", "a b c d");
+      ("(a - b)* @ (c - b)*", "a c b a c b")
+    ]
+  in
+  pf "%-26s %8s %10s %18s %18s %8s@." "expression" "states" "alphabet"
+    "interpreted ns/act" "compiled ns/act" "speedup";
+  List.iter
+    (fun (src, script) ->
+      let e = Syntax.parse_exn src in
+      let word = Syntax.parse_word_exn script in
+      let reps = 3000 in
+      match Compile.compile e with
+      | None -> pf "%-26s %8s@." src "(infinite)"
+      | Some dfa ->
+        let (), t_interp =
+          time (fun () ->
+            for _ = 1 to reps do
+              let s = Engine.create e in
+              List.iter (fun a -> ignore (Engine.try_action s a)) word
+            done)
+        in
+        let (), t_dfa =
+          time (fun () ->
+            for _ = 1 to reps do
+              let r = Compile.start dfa in
+              List.iter (fun a -> ignore (Compile.step r a)) word
+            done)
+        in
+        let per t = t *. 1e9 /. float_of_int (reps * List.length word) in
+        pf "%-26s %8d %10d %18.0f %18.0f %7.1fx@." src (Compile.state_count dfa)
+          (List.length (Compile.alphabet dfa))
+          (per t_interp) (per t_dfa)
+          (t_interp /. max 1e-9 t_dfa))
+    cases;
+  pf "@.(compilation is exact for the enumerated value set; infinite spaces stay interpreted)@."
+
+(* ------------------------------------------------------- bechamel ----- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  header "BECHAMEL" "micro-benchmarks (one Test.make per timed experiment)"
+    "ns per run, ordinary-least-squares against run count";
+  (* E1: one optimized transition of a quasi-regular steady state *)
+  let e1_state =
+    match
+      State.trans_word (State.init e1_expr)
+        (List.map (fun n -> act n []) [ "a"; "c"; "e"; "b" ])
+    with
+    | Some s -> s
+    | None -> assert false
+  in
+  let t_e1 =
+    Test.make ~name:"e1-quasi-regular-transition"
+      (Staged.stage (fun () -> ignore (State.trans e1_state (act "d" []))))
+  in
+  (* E2: one transition of the patient constraint with 16 live patients *)
+  let e2_state =
+    match Engine.state (e2_feed_patients Medical.patient_constraint 16) with
+    | Some s -> s
+    | None -> assert false
+  in
+  let t_e2 =
+    Test.make ~name:"e2-benign-transition-16-patients"
+      (Staged.stage (fun () ->
+           ignore (State.trans e2_state (act "prepare_s" [ "p99"; "endo" ]))))
+  in
+  (* E3: one transition of a malignant state (n = 8, after a⁸b⁴) *)
+  let e3_state =
+    let s = Engine.create e3_expr in
+    for i = 1 to 8 do
+      assert (Engine.try_action s (act "a" [ string_of_int i ]))
+    done;
+    for _ = 1 to 4 do
+      assert (Engine.try_action s (act "b" []))
+    done;
+    match Engine.state s with Some s -> s | None -> assert false
+  in
+  let t_e3 =
+    Test.make ~name:"e3-malignant-transition-n8"
+      (Staged.stage (fun () -> ignore (State.trans e3_state (act "b" []))))
+  in
+  (* E4: word problem, naive vs. state model, |w| = 10 *)
+  let w10 = e4_word 5 in
+  let t_e4n =
+    Test.make ~name:"e4-word-naive-10"
+      (Staged.stage (fun () -> ignore (Semantics.word e4_expr w10)))
+  in
+  let t_e4s =
+    Test.make ~name:"e4-word-state-model-10"
+      (Staged.stage (fun () -> ignore (Engine.word e4_expr w10)))
+  in
+  (* E6: one manager round trip on the combined constraint *)
+  let mgr = Interaction_manager.Manager.create (Medical.combined_constraint ()) in
+  let t_e6 =
+    Test.make ~name:"e6-manager-permitted"
+      (Staged.stage (fun () ->
+           ignore (Interaction_manager.Manager.permitted mgr (act "call_s" [ "p1"; "sono" ]))))
+  in
+  (* E7: full protocol simulations *)
+  let e7e = Syntax.parse_exn "mutex(go(1) - done(1), go(2) - done(2))" in
+  let e7scripts =
+    [ ("c1", Syntax.parse_word_exn "go(1) done(1)");
+      ("c2", Syntax.parse_word_exn "go(2) done(2)")
+    ]
+  in
+  let t_e7p =
+    Test.make ~name:"e7-protocol-polling"
+      (Staged.stage (fun () ->
+           ignore
+             (Interaction_manager.Protocol.simulate ~think_rounds:8
+                Interaction_manager.Protocol.Polling e7e ~scripts:e7scripts)))
+  in
+  let t_e7s =
+    Test.make ~name:"e7-protocol-subscribing"
+      (Staged.stage (fun () ->
+           ignore
+             (Interaction_manager.Protocol.simulate ~think_rounds:8
+                Interaction_manager.Protocol.Subscribing e7e ~scripts:e7scripts)))
+  in
+  (* E8: full adapter simulations on a small ensemble *)
+  let cons8 = Medical.combined_constraint ~capacity:2 () in
+  let cases8 = Medical.ensemble ~patients:1 in
+  let t_e8w =
+    Test.make ~name:"e8-adapted-worklists"
+      (Staged.stage (fun () ->
+           ignore
+             (Adapter.run
+                { Adapter.default_config with adaptation = Adapter.Adapted_worklists }
+                ~constraints:cons8 ~cases:cases8)))
+  in
+  let t_e8e =
+    Test.make ~name:"e8-adapted-engine"
+      (Staged.stage (fun () ->
+           ignore
+             (Adapter.run
+                { Adapter.default_config with adaptation = Adapter.Adapted_engine }
+                ~constraints:cons8 ~cases:cases8)))
+  in
+  (* per-operator transition cost: one steady-state transition each *)
+  let op_bench name src script probe =
+    let e = Syntax.parse_exn src in
+    let st =
+      match State.trans_word (State.init e) (Syntax.parse_word_exn script) with
+      | Some s -> s
+      | None -> assert false
+    in
+    let a = Syntax.parse_action_exn probe in
+    Test.make ~name (Staged.stage (fun () -> ignore (State.trans st a)))
+  in
+  let per_operator =
+    [ op_bench "op-seq" "a - b - c - d" "a b" "c";
+      op_bench "op-seqiter" "(a - b)*" "a b a" "b";
+      op_bench "op-par" "(a - b) || (c - d)" "a c" "b";
+      op_bench "op-pariter" "(a - b)#" "a a a" "b";
+      op_bench "op-or" "(a - b) | (a - c)" "a" "b";
+      op_bench "op-and" "(a - b)* & (a - b - a - b)*" "a b" "a";
+      op_bench "op-sync" "(a - b)* @ (b - c)*" "a b" "c";
+      op_bench "op-someq" "some x: (a(x) - b(x))*" "a(1)" "b(1)";
+      op_bench "op-allq" "all x: [(a(x) - b(x))*]" "a(1) a(2) a(3)" "b(2)";
+      op_bench "op-syncq" "sync x: (a(x) - b(x))*" "a(1) a(2)" "b(1)";
+      op_bench "op-andq" "conj x: (z | a(x))*" "z z" "z"
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"interaction"
+      ([ t_e1; t_e2; t_e3; t_e4n; t_e4s; t_e6; t_e7p; t_e7s; t_e8w; t_e8e ]
+      @ per_operator)
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  pf "%-42s %18s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) -> pf "%-42s %18.1f@." name est)
+    (List.sort compare rows)
+
+(* ----------------------------------------------------------------------- *)
+
+let experiments =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("bechamel", bechamel)
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] -> List.filter (fun (n, _) -> n <> "bechamel") experiments
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt (String.lowercase_ascii n) experiments with
+          | Some f -> (n, f)
+          | None ->
+            Format.eprintf "unknown experiment %S (known: %s)@." n
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  pf "Interaction expressions and graphs — experiment harness@.";
+  pf "(reproduces the evaluation artifacts of Heinlein, ICDE 2001)@.";
+  List.iter (fun (_, f) -> f ()) selected;
+  pf "@."

@@ -1,0 +1,363 @@
+(* iexpr — command-line front end for interaction expressions.
+
+   Subcommands mirror the paper's artifacts: `word` solves the word problem
+   (Fig. 9), `run` the interactive action problem, `classify` evaluates the
+   Section 6 complexity criteria, `lang` enumerates the accepted language,
+   `trace` shows per-action verdicts and state sizes, and `dot` renders the
+   interaction graph for Graphviz. *)
+
+open Interaction
+open Cmdliner
+
+let expr_arg =
+  let parse s =
+    match Syntax.parse s with Ok e -> Ok e | Error m -> Error (`Msg m)
+  in
+  let print ppf e = Syntax.pp ppf e in
+  Arg.conv (parse, print)
+
+let word_arg =
+  let parse s =
+    match Syntax.parse_word s with Ok w -> Ok w | Error m -> Error (`Msg m)
+  in
+  let print ppf w =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      Action.pp_concrete ppf w
+  in
+  Arg.conv (parse, print)
+
+let expr_pos =
+  Arg.(required & pos 0 (some expr_arg) None & info [] ~docv:"EXPR" ~doc:"Interaction expression.")
+
+(* --- word ------------------------------------------------------------- *)
+
+let word_cmd =
+  let run e w =
+    let v = Engine.word e w in
+    Format.printf "%a@." Semantics.pp_verdict v;
+    (* Fig. 9's encoding doubles as the exit status *)
+    exit (Semantics.verdict_to_int v)
+  in
+  let word_pos =
+    Arg.(required & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions.")
+  in
+  Cmd.v
+    (Cmd.info "word" ~doc:"Solve the word problem: is WORD complete, partial or illegal for EXPR?")
+    Term.(const run $ expr_pos $ word_pos)
+
+(* --- run (action problem) --------------------------------------------- *)
+
+let run_cmd =
+  let run e =
+    let session = Engine.create e in
+    Format.printf "expression: %a@." Syntax.pp e;
+    Format.printf "enter one concrete action per line (EOF to stop)@.";
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then
+           match Syntax.parse_action line with
+           | Error m -> Format.printf "parse error: %s@." m
+           | Ok a ->
+             if Engine.try_action session a then
+               Format.printf "Accept.%s@." (if Engine.is_final session then " (complete)" else "")
+             else Format.printf "Reject.@."
+       done
+     with End_of_file -> ());
+    Format.printf "trace: %a@."
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Action.pp_concrete)
+      (Engine.trace session)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Solve the action problem interactively: accept or reject actions read from stdin.")
+    Term.(const run $ expr_pos)
+
+(* --- classify ---------------------------------------------------------- *)
+
+let classify_cmd =
+  let run e explain =
+    print_endline (if explain then Classify.explain e else Classify.describe e)
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Per-subexpression analysis locating benignity violations.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Evaluate the complexity criteria of Section 6 for EXPR.")
+    Term.(const run $ expr_pos $ explain)
+
+(* --- lang --------------------------------------------------------------- *)
+
+let lang_cmd =
+  let run e max_len values =
+    let universe =
+      let fills = if values = [] then [ "1"; "2" ] else values in
+      let rec inst = function
+        | [] -> [ [] ]
+        | Alpha.Val v :: rest -> List.map (fun t -> v :: t) (inst rest)
+        | (Alpha.Bound _ | Alpha.Free _) :: rest ->
+          let tails = inst rest in
+          List.concat_map (fun v -> List.map (fun t -> v :: t) tails) fills
+      in
+      Alpha.of_expr e
+      |> List.concat_map (fun (p : Alpha.pattern) ->
+             List.map (fun args -> Action.conc p.Alpha.pname args) (inst p.Alpha.pargs))
+      |> List.sort_uniq Action.compare_concrete
+    in
+    let lang = Semantics.language ~max_len ~universe e in
+    List.iter
+      (fun w ->
+        if w = [] then print_endline "<empty word>"
+        else
+          print_endline
+            (String.concat " " (List.map Action.concrete_to_string w)))
+      lang;
+    Format.printf "-- %d complete word(s) of length <= %d over %d action(s)@."
+      (List.length lang) max_len (List.length universe)
+  in
+  let max_len =
+    Arg.(value & opt int 4 & info [ "max-len"; "n" ] ~docv:"N" ~doc:"Maximum word length.")
+  in
+  let values =
+    Arg.(value & opt_all string [] & info [ "value"; "v" ] ~docv:"V" ~doc:"Value used to instantiate parameter positions (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "lang" ~doc:"Enumerate the complete words of EXPR up to a length bound (exponential; small bounds only).")
+    Term.(const run $ expr_pos $ max_len $ values)
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run e w dump =
+    let session = Engine.create e in
+    Format.printf "%-28s %-8s %-10s %s@." "action" "verdict" "state-size" (if dump then "state" else "");
+    List.iter
+      (fun a ->
+        let ok = Engine.try_action session a in
+        Format.printf "%-28s %-8s %-10d %s@."
+          (Action.concrete_to_string a)
+          (if ok then "accept" else "reject")
+          (Engine.state_size session)
+          (if dump then
+             match Engine.state session with
+             | Some s -> Format.asprintf "%a" State.pp s
+             | None -> "null"
+           else ""))
+      w;
+    Format.printf "final: %b@." (Engine.is_final session)
+  in
+  let word_pos =
+    Arg.(required & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-states" ] ~doc:"Print the full state after every action.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Feed WORD action by action, reporting accept/reject and state growth.")
+    Term.(const run $ expr_pos $ word_pos $ dump)
+
+(* --- dot ---------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run e out =
+    let g = Interaction_graph.Graph.of_expr e in
+    let dot = Interaction_graph.Dot.render g in
+    match out with
+    | None -> print_string dot
+    | Some file ->
+      let oc = open_out file in
+      output_string oc dot;
+      close_out oc;
+      Format.eprintf "wrote %s@." file
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render the interaction graph of EXPR as Graphviz DOT.")
+    Term.(const run $ expr_pos $ out)
+
+(* --- show --------------------------------------------------------------- *)
+
+let show_cmd =
+  let run e =
+    print_string (Interaction_graph.Dot.render_tree (Interaction_graph.Graph.of_expr e))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render the interaction graph of EXPR as a tree in the terminal.")
+    Term.(const run $ expr_pos)
+
+(* --- simplify ----------------------------------------------------------- *)
+
+let simplify_cmd =
+  let run e show_rules =
+    if show_rules then (
+      Format.printf "rewrite rules:@.";
+      List.iter
+        (fun (lhs, rhs) -> Format.printf "  %-42s ==>  %s@." lhs rhs)
+        Rewrite.rules_doc)
+    else begin
+      let before, after = Rewrite.size_reduction e in
+      Format.printf "%a@." Syntax.pp (Rewrite.simplify e);
+      Format.eprintf "(%d nodes -> %d nodes)@." before after
+    end
+  in
+  let show_rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the rewrite rules instead of simplifying.")
+  in
+  let expr_opt =
+    Arg.(value & pos 0 (some expr_arg) None & info [] ~docv:"EXPR" ~doc:"Interaction expression.")
+  in
+  let run' e_opt show_rules =
+    match (e_opt, show_rules) with
+    | _, true -> run (Expr.epsilon) true
+    | Some e, false -> run e false
+    | None, false ->
+      Format.eprintf "iexpr simplify: an EXPR argument is required@.";
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "simplify" ~doc:"Normalize EXPR with the semantics-preserving rewrite rules.")
+    Term.(const run' $ expr_opt $ show_rules)
+
+(* --- deadend ------------------------------------------------------------ *)
+
+let deadend_cmd =
+  let run e max_states =
+    let r = Language.explore ~max_states e in
+    Format.printf "exploration: %a@." Language.pp_exploration r;
+    match Language.has_dead_end ~max_states e with
+    | Some true ->
+      Format.printf "DEAD END: some permissible sequence can never be completed@.";
+      exit 1
+    | Some false -> Format.printf "no dead ends: every partial word can complete@."
+    | None ->
+      Format.printf "unknown: state bound hit (increase --max-states)@.";
+      exit 3
+  in
+  let max_states =
+    Arg.(value & opt int 10_000 & info [ "max-states" ] ~docv:"N" ~doc:"Exploration bound.")
+  in
+  Cmd.v
+    (Cmd.info "deadend" ~doc:"Check EXPR for dead ends (partial words that cannot complete) by state-space exploration.")
+    Term.(const run $ expr_pos $ max_states)
+
+(* --- equiv -------------------------------------------------------------- *)
+
+let equiv_cmd =
+  let run e1 e2 max_states =
+    match Language.equivalent ~max_states e1 e2 with
+    | Some true ->
+      Format.printf "equivalent (over the explored instantiation)@."
+    | Some false ->
+      (match Language.separating_word ~max_states e1 e2 with
+      | Some w ->
+        Format.printf "NOT equivalent; separating word: %s@."
+          (if w = [] then "<empty>"
+           else String.concat " " (List.map Action.concrete_to_string w))
+      | None -> Format.printf "NOT equivalent@.");
+      exit 1
+    | None ->
+      Format.printf "unknown: state bound hit (increase --max-states)@.";
+      exit 3
+  in
+  let expr2_pos =
+    Arg.(required & pos 1 (some expr_arg) None & info [] ~docv:"EXPR2" ~doc:"Second expression.")
+  in
+  let max_states =
+    Arg.(value & opt int 10_000 & info [ "max-states" ] ~docv:"N" ~doc:"Exploration bound.")
+  in
+  Cmd.v
+    (Cmd.info "equiv" ~doc:"Decide (bounded) extensional equivalence of two expressions; prints a shortest separating word on failure.")
+    Term.(const run $ expr_pos $ expr2_pos $ max_states)
+
+(* --- witness ------------------------------------------------------------ *)
+
+let witness_cmd =
+  let run e max_states =
+    match Language.shortest_complete ~max_states e with
+    | Some [] -> Format.printf "<empty word>@."
+    | Some w ->
+      Format.printf "%s@." (String.concat " " (List.map Action.concrete_to_string w))
+    | None ->
+      Format.printf "no complete word found within the bound@.";
+      exit 1
+  in
+  let max_states =
+    Arg.(value & opt int 10_000 & info [ "max-states" ] ~docv:"N" ~doc:"Search bound.")
+  in
+  Cmd.v
+    (Cmd.info "witness" ~doc:"Print a shortest complete word of EXPR (over the default value instantiation).")
+    Term.(const run $ expr_pos $ max_states)
+
+(* --- audit -------------------------------------------------------------- *)
+
+let audit_cmd =
+  let run e logfile strict stop =
+    let input =
+      match logfile with
+      | Some file ->
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None -> In_channel.input_all stdin
+    in
+    match Audit.parse_log input with
+    | Error m ->
+      Format.eprintf "iexpr audit: %s@." m;
+      exit 2
+    | Ok log ->
+      let r = Audit.check ~strict ~stop_at_first:stop e log in
+      Format.printf "%a@." Audit.pp_report r;
+      if not (Audit.conformant r) then exit 1
+  in
+  let logfile =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc:"Event log (one action per line; default stdin).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Also flag events outside the constraint's alphabet.")
+  in
+  let stop =
+    Arg.(value & flag & info [ "stop-at-first" ] ~doc:"Stop the replay at the first issue.")
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Check a recorded event log for conformance with EXPR; lists every violating event.")
+    Term.(const run $ expr_pos $ logfile $ strict $ stop)
+
+(* --- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run e w csv =
+    let p = Instrument.profile e w in
+    if csv then print_string (Instrument.to_csv p)
+    else begin
+      Format.printf "accepted actions: %d (rejected %d)@."
+        (List.length p.Instrument.samples) p.Instrument.rejected;
+      Format.printf "max state size:   %d@." p.Instrument.max_size;
+      Format.printf "final state size: %d@." p.Instrument.final_size;
+      Format.printf "measured growth:  %a@." Instrument.pp_growth p.Instrument.growth;
+      Format.printf "classification:   %s@."
+        (Classify.verdict_to_string (Classify.benignity e));
+      Format.printf "agreement:        %b@."
+        (Instrument.agrees_with_classification p (Classify.benignity e))
+    end
+  in
+  let word_pos =
+    Arg.(required & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions to profile against.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit index,size CSV rows instead of a summary.") in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Measure the growth of state sizes along a run and fit a growth model (the empirical side of Section 6).")
+    Term.(const run $ expr_pos $ word_pos $ csv)
+
+let main =
+  Cmd.group
+    (Cmd.info "iexpr" ~version:"1.0.0"
+       ~doc:"Interaction expressions and graphs (Heinlein, ICDE 2001) — word/action problems, complexity analysis, language enumeration and graph rendering.")
+    [ word_cmd; run_cmd; classify_cmd; lang_cmd; trace_cmd; dot_cmd; show_cmd;
+      simplify_cmd; deadend_cmd; equiv_cmd; audit_cmd; profile_cmd; witness_cmd ]
+
+let () = exit (Cmd.eval main)

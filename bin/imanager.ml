@@ -1,0 +1,131 @@
+(* imanager — an interaction manager as a line-oriented server (Section 7).
+
+   Reads one command per line on stdin and answers on stdout, so any WfMS
+   (or a shell script) can participate in the coordination and subscription
+   protocols of Fig. 10.  Commands:
+
+     ASK <client> <action>          -> GRANTED | DENIED | BUSY
+     CONFIRM <client> <action>      -> OK | ERROR <msg>
+     ABORT <client> <action>        -> OK
+     EXECUTE <client> <action>      -> EXECUTED | REFUSED
+     PERMITTED <action>             -> YES | NO
+     SUBSCRIBE <client> <action>    -> OK
+     UNSUBSCRIBE <client> <action>  -> OK
+     NOTIFICATIONS <client>         -> NOTIFY <action> ENABLED|DISABLED ... OK
+     TIMEOUT                        -> OK        (drop an outstanding grant)
+     CHECKPOINT <file>              -> OK        (write a checkpoint)
+     CRASH                          -> OK        (lose volatile state)
+     RECOVER [<file>]               -> OK        (log replay, or from checkpoint)
+     LOG                            -> one line per confirmed action, then OK
+     STATS                          -> one line of counters
+     STATE                          -> STATE <size>
+     QUIT
+
+   Start with the constraint expression as the command-line argument:
+
+     dune exec bin/imanager.exe -- "all p: mutex(some x: call(p,x) - perform(p,x))" *)
+
+open Interaction
+open Interaction_manager
+
+let out fmt = Format.printf (fmt ^^ "@.")
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let with_action rest k =
+  match Syntax.parse_action (String.concat " " rest) with
+  | Ok a -> k a
+  | Error m -> out "ERROR %s" m
+
+let run mgr =
+  let stop = ref false in
+  while not !stop do
+    match In_channel.input_line stdin with
+    | None -> stop := true
+    | Some line -> (
+      match split_words (String.trim line) with
+      | [] -> ()
+      | cmd :: args -> (
+        match (String.uppercase_ascii cmd, args) with
+        | "ASK", client :: rest ->
+          with_action rest (fun a ->
+              match Manager.ask mgr ~client a with
+              | Manager.Granted -> out "GRANTED"
+              | Manager.Denied -> out "DENIED"
+              | Manager.Busy -> out "BUSY")
+        | "CONFIRM", client :: rest ->
+          with_action rest (fun a ->
+              match Manager.confirm mgr ~client a with
+              | () -> out "OK"
+              | exception Invalid_argument m -> out "ERROR %s" m)
+        | "ABORT", client :: rest ->
+          with_action rest (fun a ->
+              Manager.abort mgr ~client a;
+              out "OK")
+        | "EXECUTE", client :: rest ->
+          with_action rest (fun a ->
+              out "%s" (if Manager.execute mgr ~client a then "EXECUTED" else "REFUSED"))
+        | "PERMITTED", rest ->
+          with_action rest (fun a -> out "%s" (if Manager.permitted mgr a then "YES" else "NO"))
+        | "SUBSCRIBE", client :: rest ->
+          with_action rest (fun a ->
+              Manager.subscribe mgr ~client a;
+              out "OK")
+        | "UNSUBSCRIBE", client :: rest ->
+          with_action rest (fun a ->
+              Manager.unsubscribe mgr ~client a;
+              out "OK")
+        | "NOTIFICATIONS", [ client ] ->
+          List.iter
+            (fun (n : Manager.notification) ->
+              out "NOTIFY %s %s"
+                (Action.concrete_to_string n.Manager.action)
+                (if n.Manager.now_permitted then "ENABLED" else "DISABLED"))
+            (Manager.drain_notifications mgr ~client);
+          out "OK"
+        | "TIMEOUT", [] ->
+          Manager.timeout_outstanding mgr;
+          out "OK"
+        | "CHECKPOINT", [ file ] -> (
+          match Manager.checkpoint mgr with
+          | cp ->
+            Out_channel.with_open_text file (fun oc -> output_string oc cp);
+            out "OK"
+          | exception Invalid_argument m -> out "ERROR %s" m)
+        | "CRASH", [] ->
+          Manager.crash mgr;
+          out "OK"
+        | "RECOVER", [] -> (
+          match Manager.recover mgr with
+          | () -> out "OK"
+          | exception Invalid_argument m -> out "ERROR %s" m)
+        | "RECOVER", [ file ] -> (
+          let cp = In_channel.with_open_text file In_channel.input_all in
+          match Manager.recover_with mgr ~checkpoint:cp with
+          | () -> out "OK"
+          | exception Invalid_argument m -> out "ERROR %s" m)
+        | "LOG", [] ->
+          List.iter
+            (fun a -> out "%s" (Action.concrete_to_string a))
+            (Manager.confirmed_log mgr);
+          out "OK"
+        | "STATS", [] -> out "%a" Manager.pp_stats (Manager.stats mgr)
+        | "STATE", [] -> out "STATE %d" (Manager.state_size mgr)
+        | "QUIT", [] -> stop := true
+        | _ -> out "ERROR unknown command %S" line))
+  done
+
+let () =
+  match Sys.argv with
+  | [| _; expr |] -> (
+    match Syntax.parse expr with
+    | Error m ->
+      prerr_endline ("imanager: " ^ m);
+      exit 2
+    | Ok e ->
+      Format.printf "READY %d@." (Expr.size e);
+      run (Manager.create e))
+  | _ ->
+    prerr_endline "usage: imanager \"<interaction expression>\"";
+    exit 2

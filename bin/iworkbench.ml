@@ -1,0 +1,176 @@
+(* iworkbench — an interactive workbench for interaction expressions.
+
+   A read-eval loop around the whole toolbox: load a constraint, drive the
+   action problem, inspect and persist states, enumerate permitted actions,
+   classify, simplify, look for dead ends, profile growth.  `help` lists
+   the commands.
+
+     dune exec bin/iworkbench.exe
+     dune exec bin/iworkbench.exe -- "mutex(a - b, c)" *)
+
+open Interaction
+
+type env = {
+  mutable session : Engine.session option;
+}
+
+let out fmt = Format.printf (fmt ^^ "@.")
+
+let help () =
+  out
+    "commands:@.\
+    \  load <expr>        set the constraint expression@.\
+    \  do <action>        attempt an action (Fig. 9's action problem)@.\
+    \  force <action>     execute even if forbidden (may kill the session)@.\
+    \  permitted          list currently permitted actions@.\
+    \  trace              accepted actions so far@.\
+    \  state              state size and finality@.\
+    \  dump               structural state dump@.\
+    \  reset              back to the initial state@.\
+    \  show               tree view of the interaction graph@.\
+    \  classify           Section 6 complexity verdicts@.\
+    \  simplify           algebraic normal form@.\
+    \  deadend            search for dead ends@.\
+    \  lang <n>           complete words up to length n@.\
+    \  walk <n>           random walk of n permitted actions@.\
+    \  save <file>        persist the session@.\
+    \  restore <file>     load a persisted session@.\
+    \  help, quit"
+
+let with_session env k =
+  match env.session with
+  | Some s -> k s
+  | None -> out "no expression loaded (use: load <expr>)"
+
+let with_action rest k =
+  match Syntax.parse_action rest with
+  | Ok a -> k a
+  | Error m -> out "parse error: %s" m
+
+let command env line =
+  let line = String.trim line in
+  let cmd, rest =
+    match String.index_opt line ' ' with
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    | None -> (line, "")
+  in
+  match cmd with
+  | "" -> ()
+  | "help" -> help ()
+  | "load" -> (
+    match Syntax.parse rest with
+    | Ok e ->
+      env.session <- Some (Engine.create e);
+      out "loaded: %a" Syntax.pp e
+    | Error m -> out "parse error: %s" m)
+  | "do" ->
+    with_session env (fun s ->
+        with_action rest (fun a ->
+            if Engine.try_action s a then
+              out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
+            else out "Reject."))
+  | "force" ->
+    with_session env (fun s ->
+        with_action rest (fun a ->
+            if Engine.force s a then out "executed"
+            else out "executed — the session is now dead (constraint violated)"))
+  | "permitted" ->
+    with_session env (fun s ->
+        let alphabet = Language.concrete_alphabet (Engine.expr s) in
+        let ok = List.filter (Engine.permitted s) alphabet in
+        if ok = [] then out "(nothing is permitted)"
+        else
+          List.iter (fun a -> out "  %s" (Action.concrete_to_string a)) ok)
+  | "trace" ->
+    with_session env (fun s ->
+        match Engine.trace s with
+        | [] -> out "(empty trace)"
+        | tr -> out "%s" (String.concat " " (List.map Action.concrete_to_string tr)))
+  | "state" ->
+    with_session env (fun s ->
+        if not (Engine.is_alive s) then out "state: dead"
+        else
+          out "state: %d nodes, %s" (Engine.state_size s)
+            (if Engine.is_final s then "final (trace is a complete word)"
+             else "not final"))
+  | "dump" ->
+    with_session env (fun s ->
+        match Engine.state s with
+        | Some st -> out "%a" State.pp st
+        | None -> out "null")
+  | "reset" ->
+    with_session env (fun s ->
+        Engine.reset s;
+        out "reset")
+  | "show" ->
+    with_session env (fun s ->
+        print_string
+          (Interaction_graph.Dot.render_tree
+             (Interaction_graph.Graph.of_expr (Engine.expr s))))
+  | "classify" -> with_session env (fun s -> out "%s" (Classify.describe (Engine.expr s)))
+  | "simplify" ->
+    with_session env (fun s ->
+        let e = Engine.expr s in
+        let before, after = Rewrite.size_reduction e in
+        out "%a  (%d -> %d nodes)" Syntax.pp (Rewrite.simplify e) before after)
+  | "deadend" ->
+    with_session env (fun s ->
+        match Language.has_dead_end ~max_states:20_000 (Engine.expr s) with
+        | Some true -> out "DEAD END reachable"
+        | Some false -> out "no dead ends"
+        | None -> out "unknown (state bound hit)")
+  | "lang" ->
+    with_session env (fun s ->
+        let n = match int_of_string_opt rest with Some n -> n | None -> 4 in
+        let e = Engine.expr s in
+        let universe = Language.concrete_alphabet e in
+        List.iter
+          (fun w ->
+            out "  %s"
+              (if w = [] then "<empty word>"
+               else String.concat " " (List.map Action.concrete_to_string w)))
+          (Semantics.language ~max_len:n ~universe e))
+  | "walk" ->
+    with_session env (fun s ->
+        let n = match int_of_string_opt rest with Some n -> n | None -> 10 in
+        let walk = Simulate.random_trace ~seed:(Engine.state_size s) ~length:n (Engine.expr s) in
+        List.iter (fun a -> ignore (Engine.try_action s a)) walk;
+        out "walked %d actions: %s" (List.length walk)
+          (String.concat " " (List.map Action.concrete_to_string walk)))
+  | "save" ->
+    with_session env (fun s ->
+        if rest = "" then out "usage: save <file>"
+        else begin
+          Out_channel.with_open_text rest (fun oc -> output_string oc (Engine.save s));
+          out "saved to %s" rest
+        end)
+  | "restore" -> (
+    if rest = "" then out "usage: restore <file>"
+    else
+      match In_channel.with_open_text rest In_channel.input_all with
+      | content -> (
+        match Engine.load content with
+        | s ->
+          env.session <- Some s;
+          out "restored: %a (%d actions in trace)" Syntax.pp (Engine.expr s)
+            (List.length (Engine.trace s))
+        | exception Invalid_argument m -> out "restore failed: %s" m)
+      | exception Sys_error m -> out "restore failed: %s" m)
+  | "quit" | "exit" -> raise Exit
+  | other -> out "unknown command %S (try: help)" other
+
+let () =
+  let env = { session = None } in
+  (match Sys.argv with
+  | [| _; expr |] -> command env ("load " ^ expr)
+  | _ -> out "iworkbench — type `help` for commands");
+  try
+    while true do
+      print_string "> ";
+      match In_channel.input_line stdin with
+      | None -> raise Exit
+      | Some line -> command env line
+    done
+  with Exit -> out "bye"

@@ -1,0 +1,130 @@
+(* A morning in the clinic, end to end: workflow cases for several patients,
+   a WfMC-style work-item pool with roles, and an interaction manager
+   enforcing the coupled Fig. 7 constraint.  Watch the worklists: items the
+   constraint currently forbids show up as SUSPENDED — the introduction's
+   "disappear from the worklists or at least become marked as currently not
+   executable" — and reappear when the blocking examination completes.
+
+     dune exec examples/hospital_day.exe *)
+
+open Wfms
+
+let role_of = function
+  | "order" | "read_report" | "read_short_report" | "read_detailed_report"
+  | "write_report" | "write_short_report" | "write_detailed_report" ->
+    "physician"
+  | "schedule" -> "clerk"
+  | _ -> "assistant"
+
+let users =
+  [ ("dr_weber", [ "physician" ]); ("front_desk", [ "clerk" ]);
+    ("assist_1", [ "assistant" ]); ("assist_2", [ "assistant" ])
+  ]
+
+let show_worklists pool =
+  List.iter
+    (fun (user, _) ->
+      let items = Workitem.worklist pool ~user in
+      Format.printf "    %-10s: %s@." user
+        (if items = [] then "(empty)"
+         else
+           String.concat ", "
+             (List.map (fun i -> Format.asprintf "%a" Workitem.pp_item i) items)))
+    users
+
+let lifecycle pool user item =
+  match
+    ( Workitem.allocate pool ~user item,
+      Workitem.start pool ~user item,
+      Workitem.complete pool ~user item )
+  with
+  | Ok (), Ok (), Ok () ->
+    Format.printf "  %s completed %s/%s@." user
+      (Workflow.case_id item.Workitem.case)
+      item.Workitem.activity
+  | _ -> Format.printf "  %s could not run %a@." user Workitem.pp_item item
+
+let find pool cid activity =
+  List.find_opt
+    (fun i ->
+      Workflow.case_id i.Workitem.case = cid
+      && i.Workitem.activity = activity
+      && match i.Workitem.status with
+         | Workitem.Offered | Workitem.Suspended -> true
+         | _ -> false)
+    (Workitem.items pool)
+
+let () =
+  Format.printf "=== A morning in the clinic (work items + Fig. 7 constraint) ===@.@.";
+  let constraints = Medical.combined_constraint ~capacity:3 () in
+  let mgr = Interaction_manager.Manager.create constraints in
+  let cases =
+    List.map
+      (fun (wf, id, args) -> Workflow.start_case wf ~id ~args)
+      (Medical.ensemble ~patients:1)
+  in
+  let pool = Workitem.create ~manager:mgr ~users ~role_of cases in
+
+  Format.printf "initial worklists:@.";
+  show_worklists pool;
+
+  (* Run both cases up to the point where the patient can be called. *)
+  let run cid activity user =
+    match find pool cid activity with
+    | Some item -> lifecycle pool user item
+    | None -> Format.printf "  (%s/%s not offered)@." cid activity
+  in
+  Format.printf "@.the preparation phase:@.";
+  run "p1-sono" "order" "dr_weber";
+  run "p1-endo" "order" "dr_weber";
+  run "p1-sono" "schedule" "front_desk";
+  run "p1-endo" "schedule" "front_desk";
+  run "p1-sono" "prepare" "assist_1";
+  run "p1-endo" "inform" "assist_2";
+  run "p1-endo" "prepare" "assist_2";
+
+  Workitem.refresh pool;
+  Format.printf "@.both departments may call the patient now:@.";
+  show_worklists pool;
+
+  (* The sono assistant starts the call; the endo call becomes SUSPENDED. *)
+  (match find pool "p1-sono" "call" with
+  | Some item ->
+    ignore (Workitem.allocate pool ~user:"assist_1" item);
+    ignore (Workitem.start pool ~user:"assist_1" item);
+    Workitem.refresh pool;
+    Format.printf "@.assist_1 is calling the patient for the ultrasonography:@.";
+    show_worklists pool;
+    (match find pool "p1-endo" "call" with
+    | Some endo_call ->
+      Format.printf "@.  endoscopy's call is now: %s@."
+        (Workitem.status_to_string endo_call.Workitem.status)
+    | None -> ());
+    ignore (Workitem.complete pool ~user:"assist_1" item)
+  | None -> ());
+  run "p1-sono" "perform" "assist_1";
+
+  Workitem.refresh pool;
+  Format.printf "@.ultrasonography done — the endoscopy call is offered again:@.";
+  (match find pool "p1-endo" "call" with
+  | Some endo_call ->
+    Format.printf "  endoscopy's call is now: %s@."
+      (Workitem.status_to_string endo_call.Workitem.status)
+  | None -> ());
+
+  (* Finish everything. *)
+  Format.printf "@.the rest of the day:@.";
+  run "p1-sono" "write_report" "dr_weber";
+  run "p1-sono" "read_report" "dr_weber";
+  run "p1-endo" "call" "assist_2";
+  run "p1-endo" "perform" "assist_2";
+  run "p1-endo" "write_short_report" "dr_weber";
+  run "p1-endo" "read_short_report" "dr_weber";
+  run "p1-endo" "write_detailed_report" "dr_weber";
+  run "p1-endo" "read_detailed_report" "dr_weber";
+
+  Format.printf "@.cases finished: %d/%d; work-item transitions: %d@."
+    (List.length (List.filter Workflow.is_finished cases))
+    (List.length cases) (Workitem.clock pool);
+  Format.printf "manager: %a@." Interaction_manager.Manager.pp_stats
+    (Interaction_manager.Manager.stats mgr)

@@ -1,0 +1,64 @@
+(* Coordination and subscription protocols (Fig. 10) and the two WfMS
+   adaptation strategies (Fig. 11), compared head to head on the medical
+   ensemble.
+
+     dune exec examples/protocols.exe *)
+
+open Interaction
+open Interaction_manager
+open Wfms
+
+let () =
+  Format.printf "=== Polling vs. subscription (Fig. 10) ===@.@.";
+  let e =
+    Syntax.parse_exn
+      "mutex(go(1) - done(1), go(2) - done(2), go(3) - done(3), go(4) - done(4))"
+  in
+  let scripts =
+    List.map
+      (fun i ->
+        let v = string_of_int i in
+        ( "client" ^ v,
+          Syntax.parse_word_exn (Printf.sprintf "go(%s) done(%s) go(%s) done(%s)" v v v v)
+        ))
+      [ 1; 2; 3; 4 ]
+  in
+  Format.printf "%-14s %-8s %-10s %-8s %-9s %-9s %-14s@." "strategy" "rounds" "messages"
+    "asks" "denials" "informs" "compensations";
+  List.iter
+    (fun think ->
+      Format.printf "-- activity duration: %d rounds@." think;
+      List.iter
+        (fun (label, strategy) ->
+          let r = Protocol.simulate ~think_rounds:think strategy e ~scripts in
+          Format.printf "%-14s %-8d %-10d %-8d %-9d %-9d %-14d@." label r.Protocol.rounds
+            r.Protocol.messages r.Protocol.asks r.Protocol.denials r.Protocol.informs
+            r.Protocol.compensations)
+        [ ("polling", Protocol.Polling); ("subscribing", Protocol.Subscribing);
+          ("optimistic", Protocol.Optimistic) ])
+    [ 0; 4; 16 ];
+
+  Format.printf "@.=== Worklist-handler vs. engine adaptation (Fig. 11) ===@.@.";
+  let constraints = Medical.combined_constraint ~capacity:2 () in
+  let cases = Medical.ensemble ~patients:3 in
+  let run label adaptation rogue crash =
+    let o =
+      Adapter.run
+        { Adapter.default_config with
+          adaptation; rogue_handler = rogue; handler_crash_every = crash;
+          max_steps = 5000 }
+        ~constraints ~cases
+    in
+    Format.printf "%-28s %a@." label Adapter.pp_outcome o
+  in
+  run "unadapted" Adapter.Unadapted false None;
+  run "adapted worklists" Adapter.Adapted_worklists false None;
+  run "  + rogue handler" Adapter.Adapted_worklists true None;
+  run "  + handler crashes" Adapter.Adapted_worklists false (Some 7);
+  run "adapted engine" Adapter.Adapted_engine false None;
+  run "  + rogue requests" Adapter.Adapted_engine true None;
+  Format.printf
+    "@.Reading: the unadapted WfMS violates the constraints; worklist adaptation@.\
+     is correct but pays heavy per-item traffic, leaks through standard handlers@.\
+     and stalls the manager when a handler PC dies mid-protocol; engine@.\
+     adaptation is waterproof with the least communication (Section 7).@."

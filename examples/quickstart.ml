@@ -1,0 +1,47 @@
+(* Quickstart: build an interaction expression, solve the word problem, and
+   run the action problem (Fig. 9 of the paper).
+
+     dune exec examples/quickstart.exe *)
+
+open Interaction
+
+let () =
+  (* An expression can be parsed from the concrete syntax ... *)
+  let parsed = Syntax.parse_exn "some x: (request(x) - reply(x))*" in
+
+  (* ... or built with the combinators; both denote the same thing. *)
+  let built =
+    Expr.(
+      some_q "x"
+        (seq_iter
+           (seq
+              (atom "request" [ Action.param "x" ])
+              (atom "reply" [ Action.param "x" ]))))
+  in
+  assert (Expr.equal parsed built);
+  Format.printf "expression: %a@.@." Syntax.pp parsed;
+
+  (* The word problem: classify whole action sequences. *)
+  let check s =
+    let w = Syntax.parse_word_exn s in
+    Format.printf "  %-34s -> %a@." s Semantics.pp_verdict (Engine.word parsed w)
+  in
+  Format.printf "word problem:@.";
+  check "request(1) reply(1)";
+  check "request(1)";
+  check "request(1) reply(2)";
+  check "request(7) reply(7) request(7) reply(7)";
+
+  (* The action problem: accept or reject one action at a time.  This is
+     what an interaction manager does to synchronize running workflows. *)
+  Format.printf "@.action problem:@.";
+  let session = Engine.create parsed in
+  List.iter
+    (fun s ->
+      let a = Syntax.parse_action_exn s in
+      Format.printf "  %-12s %s@." s
+        (if Engine.try_action session a then "Accept." else "Reject."))
+    [ "request(1)"; "request(2)"; "reply(1)"; "reply(1)"; "request(1)" ];
+
+  (* Complexity: the paper's Section 6 criteria, available as an analysis. *)
+  Format.printf "@.classification:@.%s@." (Classify.describe parsed)

@@ -1,0 +1,105 @@
+(* A second coordination domain: software release trains.  Independent
+   per-service release workflows are synchronized by cross-cutting rules —
+   at most two concurrent deployments, database migrations strictly one at
+   a time, and no deployment during a freeze window.  Exactly the paper's
+   programme: keep the workflows separate, extract the inter-workflow
+   dependencies into small constraint graphs, couple them, and let an
+   interaction manager enforce the result.
+
+     dune exec examples/release.exe *)
+
+open Interaction
+open Interaction_manager
+open Wfms
+
+let service_release =
+  Workflow.parse_exn ~name:"release"
+    "seq { build; stage; verify; xor { seq { migrate; deploy }; deploy }; announce }"
+
+(* Three independently written rules, coupled into one constraint:
+   at most two concurrent deployments; migrations strictly serialized;
+   freeze windows mutually exclusive with in-flight deployments. *)
+let constraints =
+  Syntax.parse_exn
+    {|times(2, iter(some s: deploy_s(s) - deploy_t(s)))
+      @ iter(some s: migrate_s(s) - migrate_t(s))
+      @ mutex(freeze_on - freeze_off, pariter(some s: deploy_s(s) - deploy_t(s)))|}
+
+let () =
+  Format.printf "=== Release-train coordination ===@.@.";
+  Format.printf "workflow:    %a@." Workflow.pp service_release;
+  Format.printf "constraints: %a@.@." Syntax.pp constraints;
+  Format.printf "%s@.@." (Classify.describe constraints);
+
+  let mgr = Manager.create constraints in
+  let services = [ "auth"; "billing"; "search"; "mail" ] in
+  let cases =
+    List.map (fun s -> Workflow.start_case service_release ~id:s ~args:[ s ]) services
+  in
+  let exec case activity =
+    let client = Workflow.case_id case in
+    let attempt kind action advance =
+      if Manager.execute mgr ~client action then begin
+        assert (advance ());
+        Format.printf "  %-8s %s/%s@." kind client activity;
+        true
+      end
+      else begin
+        Format.printf "  BLOCKED  %s/%s (%s)@." client activity kind;
+        false
+      end
+    in
+    attempt "start" (Workflow.start_action case activity) (fun () ->
+        Workflow.start_activity case activity)
+    && attempt "finish" (Workflow.term_action case activity) (fun () ->
+           Workflow.finish_activity case activity)
+  in
+  let case s = List.nth cases (Option.get (List.find_index (String.equal s) services)) in
+
+  (* Everyone builds, stages and verifies — unconstrained, fully parallel. *)
+  List.iter
+    (fun s -> List.iter (fun a -> ignore (exec (case s) a)) [ "build"; "stage"; "verify" ])
+    services;
+
+  Format.printf "@.two deployments fit, the third must wait:@.";
+  let start_deploy s =
+    let c = case s in
+    if Manager.execute mgr ~client:s (Workflow.start_action c "deploy") then begin
+      ignore (Workflow.start_activity c "deploy");
+      Format.printf "  deploy %s: started@." s;
+      true
+    end
+    else begin
+      Format.printf "  deploy %s: denied (capacity or freeze)@." s;
+      false
+    end
+  in
+  let finish_deploy s =
+    let c = case s in
+    ignore (Manager.execute mgr ~client:s (Workflow.term_action c "deploy"));
+    ignore (Workflow.finish_activity c "deploy");
+    Format.printf "  deploy %s: finished@." s
+  in
+  ignore (start_deploy "auth");
+  ignore (start_deploy "billing");
+  ignore (start_deploy "search") (* capacity 2: must wait *);
+  finish_deploy "auth";
+  ignore (start_deploy "search") (* slot freed *);
+  finish_deploy "billing";
+  finish_deploy "search";
+
+  Format.printf "@.a freeze window blocks new deployments:@.";
+  assert (Manager.execute mgr ~client:"ops" (Syntax.parse_action_exn "freeze_on"));
+  Format.printf "  ops: freeze_on@.";
+  ignore (start_deploy "mail");
+  assert (Manager.execute mgr ~client:"ops" (Syntax.parse_action_exn "freeze_off"));
+  Format.printf "  ops: freeze_off@.";
+  ignore (start_deploy "mail");
+  finish_deploy "mail";
+
+  (* run everything else to completion *)
+  List.iter (fun s -> ignore (exec (case s) "announce")) services;
+  Format.printf "@.completed releases: %d/%d@."
+    (List.length (List.filter Workflow.is_finished cases))
+    (List.length cases);
+  Format.printf "manager: %a@." Manager.pp_stats (Manager.stats mgr)

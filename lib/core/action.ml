@@ -1,0 +1,136 @@
+type value = string
+type param = string
+
+type arg =
+  | Value of value
+  | Param of param
+
+type t = {
+  name : string;
+  args : arg list;
+}
+
+type concrete = {
+  cname : string;
+  cargs : value list;
+}
+
+let make name args = { name; args }
+let value v = Value v
+let param p = Param p
+let conc cname cargs = { cname; cargs }
+
+let of_concrete c = { name = c.cname; args = List.map (fun v -> Value v) c.cargs }
+
+let to_concrete a =
+  let rec values acc = function
+    | [] -> Some (List.rev acc)
+    | Value v :: rest -> values (v :: acc) rest
+    | Param _ :: _ -> None
+  in
+  match values [] a.args with
+  | Some cargs -> Some { cname = a.name; cargs }
+  | None -> None
+
+let is_concrete a = List.for_all (function Value _ -> true | Param _ -> false) a.args
+
+let params a =
+  let add acc = function
+    | Param p when not (List.mem p acc) -> p :: acc
+    | Param _ | Value _ -> acc
+  in
+  List.rev (List.fold_left add [] a.args)
+
+let subst p v a =
+  let sub = function
+    | Param q when String.equal q p -> Value v
+    | (Param _ | Value _) as arg -> arg
+  in
+  { a with args = List.map sub a.args }
+
+let matches pat c =
+  String.equal pat.name c.cname
+  && List.length pat.args = List.length c.cargs
+  && List.for_all2
+       (fun arg v -> match arg with Value u -> String.equal u v | Param _ -> false)
+       pat.args c.cargs
+
+(* Match [pat] against [c], binding occurrences of [p] consistently; other
+   parameters behave as fresh symbols and fail the match. *)
+let bind p pat c =
+  if (not (String.equal pat.name c.cname)) || List.length pat.args <> List.length c.cargs
+  then None
+  else
+    let step acc arg v =
+      match (acc, arg) with
+      | None, _ -> None
+      | Some _, Value u -> if String.equal u v then acc else None
+      | Some None, Param q when String.equal q p -> Some (Some v)
+      | Some (Some w), Param q when String.equal q p ->
+        if String.equal w v then acc else None
+      | Some _, Param _ -> None
+    in
+    match List.fold_left2 step (Some None) pat.args c.cargs with
+    | Some (Some v) -> Some v
+    | Some None | None -> None
+
+let compare_arg a b =
+  match (a, b) with
+  | Value u, Value v -> String.compare u v
+  | Value _, Param _ -> -1
+  | Param _, Value _ -> 1
+  | Param p, Param q -> String.compare p q
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else List.compare compare_arg a.args b.args
+
+let equal a b = compare a b = 0
+
+let compare_concrete a b =
+  let c = String.compare a.cname b.cname in
+  if c <> 0 then c else List.compare String.compare a.cargs b.cargs
+
+let equal_concrete a b = compare_concrete a b = 0
+
+let pp_arg ppf = function
+  | Value v -> Format.pp_print_string ppf v
+  | Param p -> Format.fprintf ppf "?%s" p
+
+let pp_args pp_one ppf = function
+  | [] -> ()
+  | args ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp_one)
+      args
+
+let pp ppf a = Format.fprintf ppf "%s%a" a.name (pp_args pp_arg) a.args
+let pp_concrete ppf c = Format.fprintf ppf "%s%a" c.cname (pp_args Format.pp_print_string) c.cargs
+let to_string a = Format.asprintf "%a" pp a
+let concrete_to_string c = Format.asprintf "%a" pp_concrete c
+let values_of_concrete c = c.cargs
+
+let arg_to_sexp = function
+  | Value v -> Sexp.List [ Sexp.Atom "v"; Sexp.Atom v ]
+  | Param p -> Sexp.List [ Sexp.Atom "p"; Sexp.Atom p ]
+
+let arg_of_sexp = function
+  | Sexp.List [ Sexp.Atom "v"; Sexp.Atom v ] -> Value v
+  | Sexp.List [ Sexp.Atom "p"; Sexp.Atom p ] -> Param p
+  | _ -> invalid_arg "Action.of_sexp: bad argument"
+
+let to_sexp a =
+  Sexp.List (Sexp.Atom "act" :: Sexp.Atom a.name :: List.map arg_to_sexp a.args)
+
+let of_sexp = function
+  | Sexp.List (Sexp.Atom "act" :: Sexp.Atom name :: args) ->
+    { name; args = List.map arg_of_sexp args }
+  | _ -> invalid_arg "Action.of_sexp: bad action"
+
+let concrete_to_sexp c =
+  Sexp.List (Sexp.Atom "c" :: Sexp.Atom c.cname :: List.map (fun v -> Sexp.Atom v) c.cargs)
+
+let concrete_of_sexp = function
+  | Sexp.List (Sexp.Atom "c" :: Sexp.Atom cname :: args) ->
+    { cname; cargs = List.map Sexp.string_field args }
+  | _ -> invalid_arg "Action.concrete_of_sexp: bad action"

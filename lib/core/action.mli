@@ -1,0 +1,84 @@
+(** Actions, values and parameters (the paper's sets Γ, Σ, Λ, Ω, Π).
+
+    An {e abstract action} [\[a0, a1, ..., an\]] consists of an action name
+    [a0 ∈ Λ] and arguments which are either concrete values [ω ∈ Ω] or formal
+    parameters [p ∈ Π].  A {e concrete action} is an abstract action whose
+    arguments are all values; concrete words [w ∈ Σ*] are what the real world
+    executes.  Ω is modelled as the (infinite) set of strings. *)
+
+type value = string
+(** A concrete value ω ∈ Ω (e.g. a patient id or ["endo"]). *)
+
+type param = string
+(** A formal parameter p ∈ Π.  Values and parameters live in disjoint
+    syntactic positions, satisfying Ω ∩ Π = ∅. *)
+
+type arg =
+  | Value of value
+  | Param of param
+
+type t = {
+  name : string;  (** action name a0 ∈ Λ *)
+  args : arg list;
+}
+(** An abstract action ∈ Γ. *)
+
+type concrete = {
+  cname : string;
+  cargs : value list;
+}
+(** A concrete action ∈ Σ. *)
+
+val make : string -> arg list -> t
+val value : value -> arg
+val param : param -> arg
+
+val conc : string -> value list -> concrete
+(** [conc name args] builds a concrete action. *)
+
+val of_concrete : concrete -> t
+(** Inject a concrete action into the abstract actions. *)
+
+val to_concrete : t -> concrete option
+(** [to_concrete a] is [Some c] iff all arguments of [a] are values. *)
+
+val is_concrete : t -> bool
+
+val params : t -> param list
+(** Formal parameters occurring in the action, without duplicates. *)
+
+val subst : param -> value -> t -> t
+(** [subst p v a] replaces every occurrence of parameter [p] by value [v]. *)
+
+val matches : t -> concrete -> bool
+(** [matches pat c] holds iff [pat] is concrete and equals [c].  Formal
+    parameters never match: per Table 8, [Φ(a) = {⟨a⟩} ∩ Σ*], so an atom
+    still containing a parameter accepts no concrete action. *)
+
+val bind : param -> t -> concrete -> value option
+(** [bind p pat c] attempts to match [pat] against [c] where occurrences of
+    [p] may be bound (consistently) to a value while all other parameters
+    match nothing.  Returns the binding of [p] on success; [None] if the
+    match fails or [p] does not occur in [pat]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_concrete : concrete -> concrete -> int
+val equal_concrete : concrete -> concrete -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_concrete : Format.formatter -> concrete -> unit
+val to_string : t -> string
+val concrete_to_string : concrete -> string
+
+val values_of_concrete : concrete -> value list
+(** Argument values of a concrete action (with duplicates). *)
+
+(** {1 Persistence} *)
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val concrete_to_sexp : concrete -> Sexp.t
+val concrete_of_sexp : Sexp.t -> concrete

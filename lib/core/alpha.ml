@@ -1,0 +1,135 @@
+type aarg =
+  | Val of Action.value
+  | Bound of int
+  | Free of Action.param
+
+type pattern = {
+  pname : string;
+  pargs : aarg list;
+}
+
+type t = pattern list
+
+let pattern_of_action env (a : Action.t) =
+  let classify = function
+    | Action.Value v -> Val v
+    | Action.Param p -> (
+      match List.assoc_opt p env with Some k -> Bound k | None -> Free p)
+  in
+  { pname = a.Action.name; pargs = List.map classify a.Action.args }
+
+let of_expr e =
+  (* Each quantifier gets a distinct binder number so that repeated
+     occurrences of its parameter stay correlated inside a pattern. *)
+  let counter = ref 0 in
+  let add acc env a =
+    let p = pattern_of_action env a in
+    if List.mem p acc then acc else p :: acc
+  in
+  let rec go acc env = function
+    | Expr.Atom a -> add acc env a
+    | Expr.Opt y | Expr.SeqIter y | Expr.ParIter y -> go acc env y
+    | Expr.Seq (y, z) | Expr.Par (y, z) | Expr.Or (y, z) | Expr.And (y, z) | Expr.Sync (y, z)
+      ->
+      go (go acc env y) env z
+    | Expr.SomeQ (p, y) | Expr.AllQ (p, y) | Expr.SyncQ (p, y) | Expr.AndQ (p, y) ->
+      incr counter;
+      go acc ((p, !counter) :: env) y
+  in
+  List.rev (go [] [] e)
+
+(* Match a pattern against a concrete action.  [Bound] positions may take
+   any value but must agree across positions with the same binder; [Free]
+   positions match nothing; a designated free parameter [bindp] (if any) may
+   be bound consistently, and its binding is returned. *)
+let pattern_match ?bindp pat (c : Action.concrete) : Action.value option option =
+  if
+    (not (String.equal pat.pname c.Action.cname))
+    || List.length pat.pargs <> List.length c.Action.cargs
+  then None
+  else
+    let exception Mismatch in
+    let binders : (int * Action.value) list ref = ref [] in
+    let bound_of_p : Action.value option ref = ref None in
+    try
+      List.iter2
+        (fun parg v ->
+          match parg with
+          | Val u -> if not (String.equal u v) then raise Mismatch
+          | Bound k -> (
+            match List.assoc_opt k !binders with
+            | Some w -> if not (String.equal w v) then raise Mismatch
+            | None -> binders := (k, v) :: !binders)
+          | Free q -> (
+            match bindp with
+            | Some p when String.equal p q -> (
+              match !bound_of_p with
+              | Some w -> if not (String.equal w v) then raise Mismatch
+              | None -> bound_of_p := Some v)
+            | Some _ | None -> raise Mismatch))
+        pat.pargs c.Action.cargs;
+      Some !bound_of_p
+    with Mismatch -> None
+
+let mem alpha c = List.exists (fun pat -> pattern_match pat c <> None) alpha
+
+let candidates p alpha c =
+  let add acc pat =
+    match pattern_match ~bindp:p pat c with
+    | Some (Some v) when not (List.mem v acc) -> v :: acc
+    | Some (Some _) | Some None | None -> acc
+  in
+  List.rev (List.fold_left add [] alpha)
+
+let subst p v alpha =
+  let sub_arg = function
+    | Free q when String.equal q p -> Val v
+    | (Free _ | Bound _ | Val _) as a -> a
+  in
+  List.map (fun pat -> { pat with pargs = List.map sub_arg pat.pargs }) alpha
+
+let pp_arg ppf = function
+  | Val v -> Format.pp_print_string ppf v
+  | Bound k -> Format.fprintf ppf "*%d" k
+  | Free p -> Format.fprintf ppf "?%s" p
+
+let pp_pattern ppf pat =
+  Format.fprintf ppf "%s" pat.pname;
+  match pat.pargs with
+  | [] -> ()
+  | args ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp_arg)
+      args
+
+let pp ppf alpha =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_pattern)
+    alpha
+
+let aarg_to_sexp = function
+  | Val v -> Sexp.List [ Sexp.Atom "val"; Sexp.Atom v ]
+  | Bound k -> Sexp.List [ Sexp.Atom "bound"; Sexp.Atom (string_of_int k) ]
+  | Free p -> Sexp.List [ Sexp.Atom "free"; Sexp.Atom p ]
+
+let aarg_of_sexp = function
+  | Sexp.List [ Sexp.Atom "val"; Sexp.Atom v ] -> Val v
+  | Sexp.List [ Sexp.Atom "bound"; k ] -> Bound (Sexp.int_field k)
+  | Sexp.List [ Sexp.Atom "free"; Sexp.Atom p ] -> Free p
+  | _ -> invalid_arg "Alpha.of_sexp: bad argument"
+
+let to_sexp alpha =
+  Sexp.List
+    (List.map
+       (fun pat -> Sexp.List (Sexp.Atom pat.pname :: List.map aarg_to_sexp pat.pargs))
+       alpha)
+
+let of_sexp = function
+  | Sexp.List pats ->
+    List.map
+      (function
+        | Sexp.List (Sexp.Atom pname :: args) ->
+          { pname; pargs = List.map aarg_of_sexp args }
+        | _ -> invalid_arg "Alpha.of_sexp: bad pattern")
+      pats
+  | Sexp.Atom _ -> invalid_arg "Alpha.of_sexp: expected a list"

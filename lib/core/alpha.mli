@@ -1,0 +1,55 @@
+(** Alphabets α(x) of interaction expressions (Table 8, last column).
+
+    The alphabet of an expression with quantifiers is conceptually the
+    infinite set obtained by expanding every quantifier over all of Ω.  We
+    represent it finitely as a list of {e patterns} in which each argument
+    position is classified:
+
+    - [Val v] — a concrete value; matches exactly [v];
+    - [Bound k] — a parameter bound by quantifier number [k] {e inside} the
+      expression; the expansion over Ω makes it match any value, but all
+      positions of one pattern carrying the same binder must match the
+      {e same} value (the expansion substitutes one value per binder);
+    - [Free p] — a parameter free in the expression (bound by an enclosing
+      quantifier template, or genuinely unbound); it behaves as a fresh
+      symbol distinct from every concrete value and matches nothing.
+
+    Alphabets drive the synchronization (coupling) operator: an action not
+    in α(y) is shuffled past [y] via the complement language κx(y)*. *)
+
+type aarg =
+  | Val of Action.value
+  | Bound of int
+  | Free of Action.param
+
+type pattern = {
+  pname : string;
+  pargs : aarg list;
+}
+
+type t = pattern list
+
+val of_expr : Expr.t -> t
+(** Alphabet patterns of an expression, deduplicated. *)
+
+val mem : t -> Action.concrete -> bool
+(** [mem alpha c] — does the concrete action [c] belong to the (expanded)
+    alphabet?  [Free] positions match nothing. *)
+
+val candidates : Action.param -> t -> Action.concrete -> Action.value list
+(** [candidates p alpha c] — the values [v] such that binding [p := v]
+    (consistently) makes some pattern containing [Free p] match [c].  These
+    are exactly the quantifier instances whose behaviour on [c] can differ
+    from the fresh-instance template.  Deduplicated. *)
+
+val subst : Action.param -> Action.value -> t -> t
+(** Replace [Free p] positions by [Val v]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Persistence} *)
+
+val to_sexp : t -> Sexp.t
+
+val of_sexp : Sexp.t -> t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,84 @@
+type issue = {
+  index : int;
+  action : Action.concrete;
+  reason : reason;
+}
+
+and reason =
+  | Not_permitted
+  | Foreign
+
+type report = {
+  events : int;
+  accepted : int;
+  foreign : int;
+  issues : issue list;
+  complete : bool;
+}
+
+let conformant r = r.issues = []
+
+let check ?(strict = false) ?(stop_at_first = false) e log =
+  let alpha = Alpha.of_expr e in
+  let state = ref (State.init e) in
+  let accepted = ref 0 in
+  let foreign = ref 0 in
+  let issues = ref [] in
+  let stopped = ref false in
+  List.iteri
+    (fun index action ->
+      if not !stopped then
+        if not (Alpha.mem alpha action) then begin
+          incr foreign;
+          if strict then begin
+            issues := { index; action; reason = Foreign } :: !issues;
+            if stop_at_first then stopped := true
+          end
+        end
+        else
+          match State.trans !state action with
+          | Some s ->
+            state := s;
+            incr accepted
+          | None ->
+            issues := { index; action; reason = Not_permitted } :: !issues;
+            if stop_at_first then stopped := true)
+    log;
+  { events = List.length log;
+    accepted = !accepted;
+    foreign = !foreign;
+    issues = List.rev !issues;
+    complete = State.final !state }
+
+let parse_log input =
+  let lines = String.split_on_char '\n' input in
+  let parse_line (acc, err) line =
+    match err with
+    | Some _ -> (acc, err)
+    | None ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line = "" then (acc, None)
+      else
+        match Syntax.parse_action line with
+        | Ok a -> (a :: acc, None)
+        | Error m -> (acc, Some (Printf.sprintf "%s (in line %S)" m line))
+  in
+  match List.fold_left parse_line ([], None) lines with
+  | acc, None -> Ok (List.rev acc)
+  | _, Some m -> Error m
+
+let pp_issue ppf { index; action; reason } =
+  Format.fprintf ppf "event %d: %a %s" index Action.pp_concrete action
+    (match reason with
+    | Not_permitted -> "is not permitted at this point"
+    | Foreign -> "is outside the constraint's alphabet")
+
+let pp_report ppf r =
+  Format.fprintf ppf "events=%d accepted=%d foreign=%d issues=%d complete=%b" r.events
+    r.accepted r.foreign (List.length r.issues) r.complete;
+  List.iter (fun i -> Format.fprintf ppf "@.  %a" pp_issue i) r.issues

@@ -1,0 +1,46 @@
+(** Offline conformance checking of event logs.
+
+    The action problem (Fig. 9) answers "may this happen now?" online; this
+    module answers the retrospective question "did the recorded history
+    conform to the constraint?" — useful when an unadapted WfMS ran without
+    an interaction manager (Fig. 11's baseline) and the log must be audited
+    after the fact.
+
+    Replay semantics: events are processed in order.  An event outside the
+    expression's alphabet is {e foreign} and ignored (the open-world reading
+    of constraint graphs) unless [strict] checking is requested.  An event
+    the constraint forbids is recorded as a violation and skipped, so the
+    replay continues and later violations are found too (first-failure mode
+    is available via [stop_at_first]). *)
+
+type issue = {
+  index : int;  (** 0-based position in the log *)
+  action : Action.concrete;
+  reason : reason;
+}
+
+and reason =
+  | Not_permitted  (** the constraint forbade the action at this point *)
+  | Foreign  (** outside the alphabet (reported only under [strict]) *)
+
+type report = {
+  events : int;
+  accepted : int;
+  foreign : int;
+  issues : issue list;  (** in log order *)
+  complete : bool;  (** the accepted sub-history is a complete word *)
+}
+
+val conformant : report -> bool
+(** No issues. *)
+
+val check : ?strict:bool -> ?stop_at_first:bool -> Expr.t -> Action.concrete list -> report
+(** Audit a log against an expression.  [strict] (default false) reports
+    foreign events as issues instead of ignoring them; [stop_at_first]
+    (default false) stops the replay at the first issue. *)
+
+val parse_log : string -> (Action.concrete list, string) result
+(** One concrete action per line; blank lines and [#]-comments skipped. *)
+
+val pp_report : Format.formatter -> report -> unit
+val pp_issue : Format.formatter -> issue -> unit

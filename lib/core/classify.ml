@@ -1,0 +1,141 @@
+type verdict =
+  | Harmless
+  | Benign of int
+  | Potentially_malignant
+
+let rec quasi_regular = function
+  | Expr.Atom _ -> true
+  | Expr.Opt y | Expr.SeqIter y -> quasi_regular y
+  | Expr.ParIter _ | Expr.SomeQ _ | Expr.AllQ _ | Expr.SyncQ _ | Expr.AndQ _ -> false
+  | Expr.Seq (y, z) | Expr.Par (y, z) | Expr.Or (y, z) | Expr.And (y, z) | Expr.Sync (y, z)
+    ->
+    quasi_regular y && quasi_regular z
+
+let parameterless e = List.for_all (fun a -> Action.params a = []) (Expr.atoms e)
+
+(* Every atom syntactically occurring in [body] mentions [p]. *)
+let body_uniform_in p body =
+  List.for_all (fun a -> List.mem p (Action.params a)) (Expr.atoms body)
+
+let rec uniformly_quantified = function
+  | Expr.Atom _ -> true
+  | Expr.Opt y | Expr.SeqIter y | Expr.ParIter y -> uniformly_quantified y
+  | Expr.Seq (y, z) | Expr.Par (y, z) | Expr.Or (y, z) | Expr.And (y, z) | Expr.Sync (y, z)
+    ->
+    uniformly_quantified y && uniformly_quantified z
+  | Expr.SomeQ (p, y) | Expr.AllQ (p, y) | Expr.SyncQ (p, y) | Expr.AndQ (p, y) ->
+    body_uniform_in p y && uniformly_quantified y
+
+let completely_quantified e = Expr.free_params e = []
+
+(* A parallel iteration multiplies walker multisets; its growth stays
+   polynomial when concurrent walkers are distinguishable, which the
+   syntactic criterion below guarantees: the body is a disjunction
+   quantifier whose body mentions the quantified parameter everywhere, so
+   every action is attributable to one walker. *)
+let pariter_safe = function
+  | Expr.SomeQ (p, y) -> body_uniform_in p y
+  | Expr.Atom _ -> true
+  | _ -> false
+
+let rec safe_and_degree : Expr.t -> int option = function
+  | Expr.Atom _ -> Some 0
+  | Expr.Opt y | Expr.SeqIter y -> safe_and_degree y
+  | Expr.Seq (y, z) | Expr.Par (y, z) | Expr.Or (y, z) | Expr.And (y, z) | Expr.Sync (y, z)
+    -> (
+    match (safe_and_degree y, safe_and_degree z) with
+    | Some a, Some b -> Some (max a b)
+    | _ -> None)
+  | Expr.ParIter y ->
+    if pariter_safe y then Option.map (fun d -> d + 1) (safe_and_degree y) else None
+  | Expr.SomeQ (p, y) | Expr.AllQ (p, y) | Expr.SyncQ (p, y) | Expr.AndQ (p, y) ->
+    if body_uniform_in p y then Option.map (fun d -> d + 1) (safe_and_degree y) else None
+
+let benignity e =
+  if quasi_regular e then Harmless
+  else
+    match safe_and_degree e with
+    | Some d -> Benign (max d 1)
+    | None -> Potentially_malignant
+
+let verdict_to_string = function
+  | Harmless -> "harmless (constant transition cost)"
+  | Benign d -> Printf.sprintf "benign (polynomial state growth, estimated degree %d)" d
+  | Potentially_malignant -> "potentially malignant (exponential growth not excluded)"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+let describe e =
+  let yesno b = if b then "yes" else "no" in
+  String.concat "\n"
+    [ Printf.sprintf "expression size:        %d nodes" (Expr.size e);
+      Printf.sprintf "quasi-regular:          %s" (yesno (quasi_regular e));
+      Printf.sprintf "parameterless:          %s" (yesno (parameterless e));
+      Printf.sprintf "uniformly quantified:   %s" (yesno (uniformly_quantified e));
+      Printf.sprintf "completely quantified:  %s" (yesno (completely_quantified e));
+      Printf.sprintf "verdict:                %s" (verdict_to_string (benignity e));
+    ]
+
+let explain e =
+  let buf = Buffer.create 256 in
+  let add depth msg = Buffer.add_string buf (String.make (2 * depth) ' ' ^ msg ^ "\n") in
+  let rec go depth (e : Expr.t) =
+    match e with
+    | Expr.Atom a -> add depth (Action.to_string a)
+    | Expr.Opt y ->
+      add depth "opt";
+      go (depth + 1) y
+    | Expr.Seq (y, z) ->
+      add depth "seq";
+      go (depth + 1) y;
+      go (depth + 1) z
+    | Expr.SeqIter y ->
+      add depth "iter";
+      go (depth + 1) y
+    | Expr.Par (y, z) ->
+      add depth "par";
+      go (depth + 1) y;
+      go (depth + 1) z
+    | Expr.ParIter y ->
+      add depth
+        (Printf.sprintf "pariter  -- %s"
+           (if pariter_safe y then "distinguishable walkers: benign"
+            else "ambiguous walkers: POTENTIALLY MALIGNANT"));
+      go (depth + 1) y
+    | Expr.Or (y, z) ->
+      add depth "or";
+      go (depth + 1) y;
+      go (depth + 1) z
+    | Expr.And (y, z) ->
+      add depth "and";
+      go (depth + 1) y;
+      go (depth + 1) z
+    | Expr.Sync (y, z) ->
+      add depth "sync";
+      go (depth + 1) y;
+      go (depth + 1) z
+    | Expr.SomeQ (p, y) | Expr.AllQ (p, y) | Expr.SyncQ (p, y) | Expr.AndQ (p, y) ->
+      let kind =
+        match e with
+        | Expr.SomeQ _ -> "some"
+        | Expr.AllQ _ -> "all"
+        | Expr.SyncQ _ -> "sync"
+        | _ -> "conj"
+      in
+      add depth
+        (Printf.sprintf "%s %s  -- %s" kind p
+           (if body_uniform_in p y then "uniformly quantified: benign"
+            else
+              Printf.sprintf
+                "NOT uniform (these atoms omit %s: %s): POTENTIALLY MALIGNANT" p
+                (String.concat ", "
+                   (List.filter_map
+                      (fun a ->
+                        if List.mem p (Action.params a) then None
+                        else Some (Action.to_string a))
+                      (Expr.atoms y)))));
+      go (depth + 1) y
+  in
+  go 0 e;
+  Buffer.add_string buf ("overall: " ^ verdict_to_string (benignity e));
+  Buffer.contents buf

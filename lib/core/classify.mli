@@ -1,0 +1,56 @@
+(** Complexity classes of interaction expressions (Section 6).
+
+    The paper identifies subclasses with provable bounds on the growth of
+    states under transitions: {e quasi-regular} expressions (no parallel
+    iterations or quantifiers) are "harmless" — the cost of a state
+    transition remains constant; {e completely and uniformly quantified}
+    expressions — the normal case in practice — are "benign" — the cost
+    grows polynomially (rarely beyond degree 1 or 2); and "malignant"
+    expressions with exponential state growth exist but must be selectively
+    constructed.
+
+    The thesis's full criteria are not public; this module implements a
+    faithful syntactic reconstruction: uniform quantification (every atom of
+    a quantifier body mentions the quantified parameter) makes instance
+    selection deterministic, which is exactly what rules out the
+    alternative explosion exploited by experiment E3.  The verdicts are
+    conservative: [Potentially_malignant] means the syntactic criteria
+    cannot exclude exponential growth, not that it must occur. *)
+
+type verdict =
+  | Harmless  (** constant transition cost (quasi-regular) *)
+  | Benign of int  (** polynomial growth; payload = estimated degree *)
+  | Potentially_malignant
+
+val quasi_regular : Expr.t -> bool
+(** No parallel iteration and no quantifier occurs. *)
+
+val parameterless : Expr.t -> bool
+(** No atom carries a parameter (bound or free). *)
+
+val uniformly_quantified : Expr.t -> bool
+(** Every quantifier's body mentions the quantified parameter in {e every}
+    atom, so each action determines the instance it belongs to. *)
+
+val completely_quantified : Expr.t -> bool
+(** Every parameter occurring in an atom is bound by an enclosing
+    quantifier (no free parameters). *)
+
+val benignity : Expr.t -> verdict
+(** Combined verdict, evaluated "step by step" as the paper suggests:
+    quasi-regular ⇒ harmless; completely and uniformly quantified (with
+    parallel iterations restricted to uniformly quantified bodies) ⇒ benign
+    with degree = maximal nesting of state-multiplying operators; anything
+    else ⇒ potentially malignant. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val verdict_to_string : verdict -> string
+
+val describe : Expr.t -> string
+(** Multi-line human-readable analysis (used by the CLI and benches). *)
+
+val explain : Expr.t -> string
+(** Indented per-subexpression analysis: each quantifier and parallel
+    iteration is annotated with whether it satisfies the benignity
+    criteria, so the culprit of a [Potentially_malignant] verdict can be
+    located. *)

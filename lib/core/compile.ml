@@ -1,0 +1,96 @@
+type t = {
+  alphabet : Action.concrete array;
+  (* transition table: state × symbol -> state, -1 = reject *)
+  table : int array array;
+  final : bool array;
+}
+
+let compile ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
+  let alphabet = Array.of_list (Language.concrete_alphabet ?values e) in
+  let symbol_of : (Action.concrete, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i a -> Hashtbl.replace symbol_of a i) alphabet;
+  let seen : (State.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let rows = ref [] in
+  let queue = Queue.create () in
+  let init = State.init e in
+  Hashtbl.add seen init 0;
+  Queue.add (0, init) queue;
+  let next_id = ref 1 in
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let id, s = Queue.pop queue in
+    if State.size s > max_state_size then ok := false
+    else begin
+      let row = Array.make (Array.length alphabet) (-1) in
+      Array.iteri
+        (fun sym a ->
+          if !ok then
+            match State.trans s a with
+            | None -> ()
+            | Some s' -> (
+              match Hashtbl.find_opt seen s' with
+              | Some id' -> row.(sym) <- id'
+              | None ->
+                if !next_id >= max_states then ok := false
+                else begin
+                  let id' = !next_id in
+                  incr next_id;
+                  Hashtbl.add seen s' id';
+                  Queue.add (id', s') queue;
+                  row.(sym) <- id'
+                end))
+        alphabet;
+      rows := (id, s, row) :: !rows
+    end
+  done;
+  if not !ok then None
+  else begin
+    let n = !next_id in
+    let table = Array.make n [||] in
+    let final = Array.make n false in
+    List.iter
+      (fun (id, s, row) ->
+        table.(id) <- row;
+        final.(id) <- State.final s)
+      !rows;
+    Some { alphabet = Array.copy alphabet; table; final }
+  end
+
+let alphabet t = Array.to_list t.alphabet
+let state_count t = Array.length t.table
+let final_count t = Array.fold_left (fun n f -> if f then n + 1 else n) 0 t.final
+
+type run = {
+  dfa : t;
+  symbol_of : (Action.concrete, int) Hashtbl.t;
+  mutable current : int;
+}
+
+let start dfa =
+  let symbol_of = Hashtbl.create (Array.length dfa.alphabet) in
+  Array.iteri (fun i a -> Hashtbl.replace symbol_of a i) dfa.alphabet;
+  { dfa; symbol_of; current = 0 }
+
+let step r a =
+  match Hashtbl.find_opt r.symbol_of a with
+  | None -> false
+  | Some sym ->
+    let next = r.dfa.table.(r.current).(sym) in
+    if next < 0 then false
+    else begin
+      r.current <- next;
+      true
+    end
+
+let accepting r = r.dfa.final.(r.current)
+let reset r = r.current <- 0
+
+let word dfa w =
+  let r = start dfa in
+  let rec go = function
+    | [] -> if accepting r then Semantics.Complete else Semantics.Partial
+    | a :: rest -> if step r a then go rest else Semantics.Illegal
+  in
+  go w
+
+let equivalent_behaviour dfa e w = word dfa w = Engine.word e w

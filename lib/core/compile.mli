@@ -1,0 +1,53 @@
+(** Compilation to explicit finite automata.
+
+    Section 4 introduces the state model as "comparable in some sense to
+    finite state machines typically used for the implementation of regular
+    expressions".  For expressions whose reachable state space is finite —
+    quasi-regular expressions always, and many others in practice — that
+    comparison can be made literal: enumerate the reachable optimized
+    states once, number them, and tabulate τ̂, turning every subsequent
+    transition into one array lookup.
+
+    Compilation is a deployment-time optimization for interaction managers
+    serving hot constraints; expressions with infinite or too-large state
+    spaces simply stay interpreted ({!compile} returns [None]). *)
+
+type t
+(** A compiled automaton: dense transition table over the expression's
+    concrete alphabet. *)
+
+val compile :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list -> Expr.t ->
+  t option
+(** Enumerate the reachable state space over the concrete alphabet
+    ({!Language.concrete_alphabet}); [None] when a bound is hit (default
+    10_000 states).  For expressions with parameters, the automaton is
+    exact relative to the chosen value set: actions mentioning other values
+    are rejected. *)
+
+val alphabet : t -> Action.concrete list
+val state_count : t -> int
+val final_count : t -> int
+
+(** {1 Running} *)
+
+type run
+(** A cursor over the automaton (the compiled counterpart of
+    {!Engine.session}). *)
+
+val start : t -> run
+val step : run -> Action.concrete -> bool
+(** Accept-and-advance, [false] (state unchanged) when the action is not
+    permitted or unknown to the alphabet. *)
+
+val accepting : run -> bool
+(** Is the current state final? *)
+
+val reset : run -> unit
+
+val word : t -> Action.concrete list -> Semantics.verdict
+(** The word problem on the compiled automaton. *)
+
+val equivalent_behaviour : t -> Expr.t -> Action.concrete list -> bool
+(** Debug/test helper: does the automaton agree with the interpreted state
+    model on this word (verdict-wise)? *)

@@ -1,0 +1,93 @@
+type verdict = Semantics.verdict =
+  | Illegal
+  | Partial
+  | Complete
+
+let word e w =
+  match State.trans_word (State.init e) w with
+  | None -> Illegal
+  | Some s -> if State.final s then Complete else Partial
+
+let word_int e w = Semantics.verdict_to_int (word e w)
+
+type session = {
+  sexpr : Expr.t;
+  mutable state : State.t option;
+  mutable rev_trace : Action.concrete list;
+}
+
+let create e = { sexpr = e; state = Some (State.init e); rev_trace = [] }
+let expr s = s.sexpr
+
+let permitted s c =
+  match s.state with
+  | None -> false
+  | Some st -> State.trans st c <> None
+
+let try_action s c =
+  match s.state with
+  | None -> false
+  | Some st -> (
+    match State.trans st c with
+    | Some st' ->
+      s.state <- Some st';
+      s.rev_trace <- c :: s.rev_trace;
+      true
+    | None -> false)
+
+let feed s cs = List.filter (fun c -> not (try_action s c)) cs
+
+let is_final s = match s.state with Some st -> State.final st | None -> false
+let is_alive s = s.state <> None
+
+let force s c =
+  let next = match s.state with None -> None | Some st -> State.trans st c in
+  s.state <- next;
+  s.rev_trace <- c :: s.rev_trace;
+  next <> None
+
+let trace s = List.rev s.rev_trace
+let state_size s = match s.state with Some st -> State.size st | None -> 0
+let state s = s.state
+
+let save s =
+  let state_sexp =
+    match s.state with
+    | Some st -> Sexp.List [ Sexp.Atom "s"; State.to_sexp st ]
+    | None -> Sexp.Atom "null"
+  in
+  Sexp.to_string
+    (Sexp.List
+       [ Sexp.Atom "session";
+         Sexp.List [ Sexp.Atom "expr"; Expr.to_sexp s.sexpr ];
+         Sexp.List [ Sexp.Atom "state"; state_sexp ];
+         Sexp.List
+           (Sexp.Atom "trace" :: List.rev_map Action.concrete_to_sexp s.rev_trace)
+       ])
+
+let load str =
+  match Sexp.of_string str with
+  | Error m -> invalid_arg ("Engine.load: " ^ m)
+  | Ok
+      (Sexp.List
+        [ Sexp.Atom "session";
+          Sexp.List [ Sexp.Atom "expr"; expr ];
+          Sexp.List [ Sexp.Atom "state"; state ];
+          Sexp.List (Sexp.Atom "trace" :: trace)
+        ]) ->
+    let state =
+      match state with
+      | Sexp.Atom "null" -> None
+      | Sexp.List [ Sexp.Atom "s"; st ] -> Some (State.of_sexp st)
+      | _ -> invalid_arg "Engine.load: malformed state"
+    in
+    { sexpr = Expr.of_sexp expr;
+      state;
+      rev_trace = List.rev_map Action.concrete_of_sexp trace }
+  | Ok _ -> invalid_arg "Engine.load: malformed session"
+
+let reset s =
+  s.state <- Some (State.init s.sexpr);
+  s.rev_trace <- []
+
+let copy s = { sexpr = s.sexpr; state = s.state; rev_trace = s.rev_trace }

@@ -1,0 +1,74 @@
+(** Solution of the word and action problems (Section 5, Fig. 9).
+
+    The {e word problem} decides whether a sequence of actions is a
+    complete, partial, or illegal word of an expression.  The {e action
+    problem} — the practically relevant one — processes actions one by one,
+    accepting an action iff the tentative successor state is valid, in
+    which case the transition is committed. *)
+
+type verdict = Semantics.verdict =
+  | Illegal
+  | Partial
+  | Complete
+
+val word : Expr.t -> Action.concrete list -> verdict
+(** Fig. 9's [word()], via the operational state model. *)
+
+val word_int : Expr.t -> Action.concrete list -> int
+(** Fig. 9's integer encoding: 2 = complete, 1 = partial, 0 = illegal. *)
+
+(** {1 Sessions: the action problem} *)
+
+type session
+(** A running instance of an expression: the current state plus the trace of
+    accepted actions. *)
+
+val create : Expr.t -> session
+
+val expr : session -> Expr.t
+
+val permitted : session -> Action.concrete -> bool
+(** Tentative transition: would the action be accepted now?  Does not
+    change the session. *)
+
+val try_action : session -> Action.concrete -> bool
+(** Fig. 9's [action()] loop body: perform a tentative transition; on
+    success commit it and return [true], otherwise leave the state
+    unchanged and return [false]. *)
+
+val feed : session -> Action.concrete list -> Action.concrete list
+(** Try each action in order; returns the rejected ones. *)
+
+val is_final : session -> bool
+(** φ of the current state: the trace is a complete word. *)
+
+val is_alive : session -> bool
+(** The current state is valid.  [create] always yields a live session;
+    a session only dies through {!force}. *)
+
+val force : session -> Action.concrete -> bool
+(** Perform the transition even if it invalidates the state (models a
+    client executing an action without permission — the "waterproofness"
+    experiments need this).  Returns [false] if the session died. *)
+
+val trace : session -> Action.concrete list
+(** Accepted actions so far, in execution order. *)
+
+val state_size : session -> int
+(** Size of the current state ({!State.size}); 0 for a dead session. *)
+
+val state : session -> State.t option
+
+val reset : session -> unit
+(** Back to the initial state, clearing the trace. *)
+
+val copy : session -> session
+(** Independent snapshot of the session. *)
+
+(** {1 Persistence} *)
+
+val save : session -> string
+(** Serialize expression, current state and trace. *)
+
+val load : string -> session
+(** @raise Invalid_argument on malformed input. *)

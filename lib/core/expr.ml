@@ -1,0 +1,207 @@
+type t =
+  | Atom of Action.t
+  | Opt of t
+  | Seq of t * t
+  | SeqIter of t
+  | Par of t * t
+  | ParIter of t
+  | Or of t * t
+  | And of t * t
+  | Sync of t * t
+  | SomeQ of Action.param * t
+  | AllQ of Action.param * t
+  | SyncQ of Action.param * t
+  | AndQ of Action.param * t
+
+let atom name args = Atom (Action.make name args)
+let act name args = Atom (Action.make name (List.map Action.value args))
+let opt y = Opt y
+let seq y z = Seq (y, z)
+
+let nest op what = function
+  | [] -> invalid_arg (what ^ ": empty operand list")
+  | [ y ] -> y
+  | y :: rest -> List.fold_left op y rest
+
+let seq_list ys = nest seq "Expr.seq_list" ys
+let seq_iter y = SeqIter y
+let par y z = Par (y, z)
+let par_list ys = nest par "Expr.par_list" ys
+let par_iter y = ParIter y
+let alt y z = Or (y, z)
+let alt_list ys = nest alt "Expr.alt_list" ys
+let conj y z = And (y, z)
+let conj_list ys = nest conj "Expr.conj_list" ys
+let sync y z = Sync (y, z)
+let sync_list ys = nest sync "Expr.sync_list" ys
+let some_q p y = SomeQ (p, y)
+let all_q p y = AllQ (p, y)
+let sync_q p y = SyncQ (p, y)
+let and_q p y = AndQ (p, y)
+
+(* A free parameter matches no concrete action, so this atom accepts no
+   word but the empty one as a partial word; its option accepts exactly ⟨⟩.
+   The '%' prefix is rejected by the parser, keeping the parameter free. *)
+let epsilon = Opt (Atom (Action.make "%never" [ Action.param "%eps" ]))
+
+let times n y =
+  if n < 0 then invalid_arg "Expr.times: negative multiplicity"
+  else if n = 0 then epsilon
+  else par_list (List.init n (fun _ -> y))
+
+let mutex branches = seq_iter (alt_list branches)
+
+let activity name args = Seq (Atom (Action.make (name ^ "_s") args), Atom (Action.make (name ^ "_t") args))
+let start_action name args = Action.conc (name ^ "_s") args
+let term_action name args = Action.conc (name ^ "_t") args
+
+let rec fold_atoms f acc bound = function
+  | Atom a -> f acc bound a
+  | Opt y | SeqIter y | ParIter y -> fold_atoms f acc bound y
+  | Seq (y, z) | Par (y, z) | Or (y, z) | And (y, z) | Sync (y, z) ->
+    fold_atoms f (fold_atoms f acc bound y) bound z
+  | SomeQ (p, y) | AllQ (p, y) | SyncQ (p, y) | AndQ (p, y) ->
+    fold_atoms f acc (p :: bound) y
+
+let free_params e =
+  let add acc bound a =
+    let free p = (not (List.mem p bound)) && not (List.mem p acc) in
+    List.fold_left (fun acc p -> if free p then p :: acc else acc) acc (Action.params a)
+  in
+  List.rev (fold_atoms add [] [] e)
+
+let rec subst p v = function
+  | Atom a -> Atom (Action.subst p v a)
+  | Opt y -> Opt (subst p v y)
+  | Seq (y, z) -> Seq (subst p v y, subst p v z)
+  | SeqIter y -> SeqIter (subst p v y)
+  | Par (y, z) -> Par (subst p v y, subst p v z)
+  | ParIter y -> ParIter (subst p v y)
+  | Or (y, z) -> Or (subst p v y, subst p v z)
+  | And (y, z) -> And (subst p v y, subst p v z)
+  | Sync (y, z) -> Sync (subst p v y, subst p v z)
+  | SomeQ (q, y) as e -> if String.equal p q then e else SomeQ (q, subst p v y)
+  | AllQ (q, y) as e -> if String.equal p q then e else AllQ (q, subst p v y)
+  | SyncQ (q, y) as e -> if String.equal p q then e else SyncQ (q, subst p v y)
+  | AndQ (q, y) as e -> if String.equal p q then e else AndQ (q, subst p v y)
+
+let atoms e =
+  let add acc _bound a = if List.exists (Action.equal a) acc then acc else a :: acc in
+  List.rev (fold_atoms add [] [] e)
+
+let values e =
+  let add acc _bound (a : Action.t) =
+    List.fold_left
+      (fun acc -> function
+        | Action.Value v when not (List.mem v acc) -> v :: acc
+        | Action.Value _ | Action.Param _ -> acc)
+      acc a.Action.args
+  in
+  List.rev (fold_atoms add [] [] e)
+
+let rec size = function
+  | Atom _ -> 1
+  | Opt y | SeqIter y | ParIter y | SomeQ (_, y) | AllQ (_, y) | SyncQ (_, y) | AndQ (_, y) ->
+    1 + size y
+  | Seq (y, z) | Par (y, z) | Or (y, z) | And (y, z) | Sync (y, z) -> 1 + size y + size z
+
+let census e =
+  let tbl = Hashtbl.create 16 in
+  let bump k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let rec go = function
+    | Atom _ -> bump "atom"
+    | Opt y ->
+      bump "opt";
+      go y
+    | Seq (y, z) ->
+      bump "seq";
+      go y;
+      go z
+    | SeqIter y ->
+      bump "iter";
+      go y
+    | Par (y, z) ->
+      bump "par";
+      go y;
+      go z
+    | ParIter y ->
+      bump "pariter";
+      go y
+    | Or (y, z) ->
+      bump "or";
+      go y;
+      go z
+    | And (y, z) ->
+      bump "and";
+      go y;
+      go z
+    | Sync (y, z) ->
+      bump "sync";
+      go y;
+      go z
+    | SomeQ (_, y) ->
+      bump "some-q";
+      go y
+    | AllQ (_, y) ->
+      bump "all-q";
+      go y
+    | SyncQ (_, y) ->
+      bump "sync-q";
+      go y
+    | AndQ (_, y) ->
+      bump "and-q";
+      go y
+  in
+  go e;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Atom a -> Action.pp ppf a
+  | Opt y -> Format.fprintf ppf "@[<hv 2>opt(%a)@]" pp y
+  | Seq (y, z) -> Format.fprintf ppf "@[<hv 2>seq(%a,@ %a)@]" pp y pp z
+  | SeqIter y -> Format.fprintf ppf "@[<hv 2>iter(%a)@]" pp y
+  | Par (y, z) -> Format.fprintf ppf "@[<hv 2>par(%a,@ %a)@]" pp y pp z
+  | ParIter y -> Format.fprintf ppf "@[<hv 2>pariter(%a)@]" pp y
+  | Or (y, z) -> Format.fprintf ppf "@[<hv 2>or(%a,@ %a)@]" pp y pp z
+  | And (y, z) -> Format.fprintf ppf "@[<hv 2>and(%a,@ %a)@]" pp y pp z
+  | Sync (y, z) -> Format.fprintf ppf "@[<hv 2>sync(%a,@ %a)@]" pp y pp z
+  | SomeQ (p, y) -> Format.fprintf ppf "@[<hv 2>some %s:@ %a@]" p pp y
+  | AllQ (p, y) -> Format.fprintf ppf "@[<hv 2>all %s:@ %a@]" p pp y
+  | SyncQ (p, y) -> Format.fprintf ppf "@[<hv 2>sync %s:@ %a@]" p pp y
+  | AndQ (p, y) -> Format.fprintf ppf "@[<hv 2>conj %s:@ %a@]" p pp y
+
+let to_string e = Format.asprintf "%a" pp e
+
+let rec to_sexp = function
+  | Atom a -> Action.to_sexp a
+  | Opt y -> Sexp.List [ Sexp.Atom "opt"; to_sexp y ]
+  | Seq (y, z) -> Sexp.List [ Sexp.Atom "seq"; to_sexp y; to_sexp z ]
+  | SeqIter y -> Sexp.List [ Sexp.Atom "iter"; to_sexp y ]
+  | Par (y, z) -> Sexp.List [ Sexp.Atom "par"; to_sexp y; to_sexp z ]
+  | ParIter y -> Sexp.List [ Sexp.Atom "pariter"; to_sexp y ]
+  | Or (y, z) -> Sexp.List [ Sexp.Atom "or"; to_sexp y; to_sexp z ]
+  | And (y, z) -> Sexp.List [ Sexp.Atom "and"; to_sexp y; to_sexp z ]
+  | Sync (y, z) -> Sexp.List [ Sexp.Atom "sync"; to_sexp y; to_sexp z ]
+  | SomeQ (p, y) -> Sexp.List [ Sexp.Atom "some-q"; Sexp.Atom p; to_sexp y ]
+  | AllQ (p, y) -> Sexp.List [ Sexp.Atom "all-q"; Sexp.Atom p; to_sexp y ]
+  | SyncQ (p, y) -> Sexp.List [ Sexp.Atom "sync-q"; Sexp.Atom p; to_sexp y ]
+  | AndQ (p, y) -> Sexp.List [ Sexp.Atom "and-q"; Sexp.Atom p; to_sexp y ]
+
+let rec of_sexp = function
+  | Sexp.List (Sexp.Atom "act" :: _) as s -> Atom (Action.of_sexp s)
+  | Sexp.List [ Sexp.Atom "opt"; y ] -> Opt (of_sexp y)
+  | Sexp.List [ Sexp.Atom "seq"; y; z ] -> Seq (of_sexp y, of_sexp z)
+  | Sexp.List [ Sexp.Atom "iter"; y ] -> SeqIter (of_sexp y)
+  | Sexp.List [ Sexp.Atom "par"; y; z ] -> Par (of_sexp y, of_sexp z)
+  | Sexp.List [ Sexp.Atom "pariter"; y ] -> ParIter (of_sexp y)
+  | Sexp.List [ Sexp.Atom "or"; y; z ] -> Or (of_sexp y, of_sexp z)
+  | Sexp.List [ Sexp.Atom "and"; y; z ] -> And (of_sexp y, of_sexp z)
+  | Sexp.List [ Sexp.Atom "sync"; y; z ] -> Sync (of_sexp y, of_sexp z)
+  | Sexp.List [ Sexp.Atom "some-q"; Sexp.Atom p; y ] -> SomeQ (p, of_sexp y)
+  | Sexp.List [ Sexp.Atom "all-q"; Sexp.Atom p; y ] -> AllQ (p, of_sexp y)
+  | Sexp.List [ Sexp.Atom "sync-q"; Sexp.Atom p; y ] -> SyncQ (p, of_sexp y)
+  | Sexp.List [ Sexp.Atom "and-q"; Sexp.Atom p; y ] -> AndQ (p, of_sexp y)
+  | _ -> invalid_arg "Expr.of_sexp: bad expression"

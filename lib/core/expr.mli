@@ -1,0 +1,119 @@
+(** Interaction expressions (Section 3, Table 8).
+
+    The constructors correspond one-to-one to the categories of Table 8:
+    atomic expression, option, sequential composition/iteration, parallel
+    composition/iteration, disjunction, conjunction, synchronization
+    (the "coupling" operator of Fig. 7), and the four quantifiers.
+
+    Quantifiers bind a formal parameter over the infinite value domain Ω.
+    Parameters not bound by any enclosing quantifier are {e free}; per
+    Table 8 ([Φ(a) = {⟨a⟩} ∩ Σ*]) an atom containing a free parameter can
+    never be traversed by a concrete action. *)
+
+type t =
+  | Atom of Action.t  (** atomic expression [a] *)
+  | Opt of t  (** option: accepts ⟨⟩ in addition to the body's words *)
+  | Seq of t * t  (** sequential composition [y − z] *)
+  | SeqIter of t  (** sequential iteration (Kleene-style) *)
+  | Par of t * t  (** parallel composition (shuffle) *)
+  | ParIter of t  (** parallel iteration (shuffle closure) *)
+  | Or of t * t  (** disjunction *)
+  | And of t * t  (** strict conjunction *)
+  | Sync of t * t  (** synchronization / coupling (open-world conjunction) *)
+  | SomeQ of Action.param * t  (** disjunction quantifier "for some p" *)
+  | AllQ of Action.param * t  (** parallel quantifier "for all p" *)
+  | SyncQ of Action.param * t  (** synchronization quantifier *)
+  | AndQ of Action.param * t  (** conjunction quantifier *)
+
+(** {1 Smart constructors} *)
+
+val atom : string -> Action.arg list -> t
+val act : string -> string list -> t
+(** [act name args] — atom whose arguments are all concrete values. *)
+
+val opt : t -> t
+val seq : t -> t -> t
+val seq_list : t list -> t
+(** Right-nested sequential composition; [seq_list \[\]] raises
+    [Invalid_argument]. *)
+
+val seq_iter : t -> t
+val par : t -> t -> t
+val par_list : t list -> t
+val par_iter : t -> t
+val alt : t -> t -> t
+(** Disjunction. *)
+
+val alt_list : t list -> t
+val conj : t -> t -> t
+val conj_list : t list -> t
+val sync : t -> t -> t
+val sync_list : t list -> t
+val some_q : Action.param -> t -> t
+val all_q : Action.param -> t -> t
+val sync_q : Action.param -> t -> t
+val and_q : Action.param -> t -> t
+
+(** {1 Derived operators} *)
+
+val times : int -> t -> t
+(** [times n y] — the multiplier of Fig. 6: [n] concurrent and independent
+    instances of [y] (n-fold parallel composition).  [times 0 y] is the
+    empty-word expression [opt] of nothing, i.e. accepts only ⟨⟩. *)
+
+val mutex : t list -> t
+(** The user-defined "flash" operator of Fig. 5: a sequential iteration of
+    the disjunction of the branches — at most one branch is active at any
+    time, repeatedly. *)
+
+val epsilon : t
+(** Accepts exactly the empty word (an option of an impossible atom is
+    avoided; this is [Opt] applied to a never-matching free-parameter
+    atom). *)
+
+val activity : string -> Action.arg list -> t
+(** [activity a args] maps an activity (a rectangle of an interaction graph,
+    with positive duration) to the sequence of its start and termination
+    actions [a_s − a_t] (footnote 6 of the paper). *)
+
+val start_action : string -> string list -> Action.concrete
+val term_action : string -> string list -> Action.concrete
+(** Concrete start/termination actions matching {!activity}. *)
+
+(** {1 Structure} *)
+
+val free_params : t -> Action.param list
+(** Parameters free in the expression, without duplicates. *)
+
+val subst : Action.param -> Action.value -> t -> t
+(** Capture-aware substitution [yωp]: inner quantifiers binding the same
+    name shadow the substitution. *)
+
+val atoms : t -> Action.t list
+(** All atomic actions occurring syntactically (with duplicates removed). *)
+
+val values : t -> Action.value list
+(** All concrete values occurring in atoms. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val census : t -> (string * int) list
+(** Operator counts (["atom"], ["seq"], ["par"], ...), nonzero entries
+    only, sorted by name. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Debug-oriented printer; the round-tripping concrete syntax lives in
+    {!Syntax}. *)
+
+val to_string : t -> string
+
+(** {1 Persistence} *)
+
+val to_sexp : t -> Sexp.t
+
+val of_sexp : Sexp.t -> t
+(** @raise Invalid_argument on malformed input. *)

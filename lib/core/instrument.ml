@@ -1,0 +1,110 @@
+type sample = {
+  index : int;
+  size : int;
+}
+
+type growth =
+  | Constant
+  | Polynomial of float
+  | Exponential of float
+
+(* Ordinary least squares y = a + b·x; returns (b, r²). *)
+let fit points =
+  let n = float_of_int (List.length points) in
+  if n < 2.0 then (0.0, 1.0)
+  else
+    let sx = List.fold_left (fun s (x, _) -> s +. x) 0.0 points in
+    let sy = List.fold_left (fun s (_, y) -> s +. y) 0.0 points in
+    let sxx = List.fold_left (fun s (x, _) -> s +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun s (x, y) -> s +. (x *. y)) 0.0 points in
+    let syy = List.fold_left (fun s (_, y) -> s +. (y *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then (0.0, 1.0)
+    else
+      let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let a = (sy -. (b *. sx)) /. n in
+      let ss_res =
+        List.fold_left (fun s (x, y) -> s +. ((y -. a -. (b *. x)) ** 2.0)) 0.0 points
+      in
+      let ss_tot = syy -. (sy *. sy /. n) in
+      let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      (b, r2)
+
+let estimate points =
+  let points = List.filter (fun (n, s) -> n > 0 && s > 0) points in
+  match points with
+  | [] | [ _ ] -> Constant
+  | _ ->
+    let sizes = List.map snd points in
+    let mx = List.fold_left max 0 sizes and mn = List.fold_left min max_int sizes in
+    if mx - mn <= 2 || float_of_int mx <= 1.3 *. float_of_int mn then Constant
+    else
+      let loglog =
+        List.map (fun (n, s) -> (log (float_of_int n), log (float_of_int s))) points
+      in
+      let semilog =
+        List.map (fun (n, s) -> (float_of_int n, log (float_of_int s))) points
+      in
+      let deg, r2_poly = fit loglog in
+      let rate, r2_exp = fit semilog in
+      (* an exponential fit with a meaningful factor and better R² wins *)
+      if rate > 0.05 && r2_exp > r2_poly +. 0.01 then Exponential (exp rate)
+      else Polynomial deg
+
+type profile = {
+  samples : sample list;
+  rejected : int;
+  max_size : int;
+  final_size : int;
+  growth : growth;
+}
+
+let profile e word =
+  let state = ref (Some (State.init e)) in
+  let rejected = ref 0 in
+  let samples = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun action ->
+      match !state with
+      | None -> ()
+      | Some s -> (
+        match State.trans s action with
+        | None -> incr rejected
+        | Some s' ->
+          state := Some s';
+          incr count;
+          samples := { index = !count; size = State.size s' } :: !samples))
+    word;
+  let samples = List.rev !samples in
+  let sizes = List.map (fun s -> s.size) samples in
+  let max_size = List.fold_left max 0 sizes in
+  let final_size = match List.rev sizes with s :: _ -> s | [] -> 0 in
+  { samples;
+    rejected = !rejected;
+    max_size;
+    final_size;
+    growth = estimate (List.map (fun s -> (s.index, s.size)) samples) }
+
+let growth_to_string = function
+  | Constant -> "constant"
+  | Polynomial d -> Printf.sprintf "polynomial (degree ~ %.1f)" d
+  | Exponential f -> Printf.sprintf "exponential (factor ~ %.2f per action)" f
+
+let pp_growth ppf g = Format.pp_print_string ppf (growth_to_string g)
+
+let to_csv p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "index,size\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" s.index s.size))
+    p.samples;
+  Buffer.contents buf
+
+let agrees_with_classification p verdict =
+  match (verdict, p.growth) with
+  | Classify.Harmless, Constant -> true
+  | Classify.Harmless, (Polynomial _ | Exponential _) -> false
+  | Classify.Benign _, (Constant | Polynomial _) -> true
+  | Classify.Benign _, Exponential _ -> false
+  | Classify.Potentially_malignant, _ -> true

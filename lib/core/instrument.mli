@@ -1,0 +1,46 @@
+(** Growth profiling of state sizes along a run.
+
+    Section 6's analyses are about how the size of σ_w(x) evolves with the
+    length of w.  This module records that evolution for a concrete run and
+    fits a growth model to it — the empirical counterpart of the
+    harmless / benign / malignant classification of {!Classify}, usable on
+    expressions the syntactic criteria cannot decide. *)
+
+type sample = {
+  index : int;  (** number of actions processed *)
+  size : int;  (** state size after them *)
+}
+
+type growth =
+  | Constant
+  | Polynomial of float  (** fitted degree (1.0 ≈ linear, 2.0 ≈ quadratic) *)
+  | Exponential of float  (** fitted per-step factor > 1 *)
+
+type profile = {
+  samples : sample list;  (** one per accepted action, in order *)
+  rejected : int;  (** actions of the run the expression rejected *)
+  max_size : int;
+  final_size : int;
+  growth : growth;
+}
+
+val profile : Expr.t -> Action.concrete list -> profile
+(** Feed the word action by action (rejected actions are skipped) and fit
+    the growth of the state size. *)
+
+val estimate : (int * int) list -> growth
+(** Fit (n, size) points: near-flat data is [Constant]; otherwise the
+    better least-squares fit of size against n decides between
+    log-log (polynomial, slope = degree) and semi-log (exponential,
+    slope = log factor). *)
+
+val growth_to_string : growth -> string
+val pp_growth : Format.formatter -> growth -> unit
+
+val to_csv : profile -> string
+(** ["index,size\n..."] rows for external plotting. *)
+
+val agrees_with_classification : profile -> Classify.verdict -> bool
+(** Sanity relation used by tests and the CLI: a harmless verdict expects
+    [Constant]; a benign verdict expects at worst polynomial growth; a
+    potentially-malignant verdict accepts anything. *)

@@ -1,0 +1,218 @@
+type exploration = {
+  states : int;
+  final_states : int;
+  dead_states : int;
+  truncated : bool;
+}
+
+let default_values e =
+  let vals = Expr.values e in
+  let fresh =
+    let rec pick i acc =
+      if List.length acc >= 2 then List.rev acc
+      else
+        let v = "v" ^ string_of_int i in
+        if List.mem v vals then pick (i + 1) acc else pick (i + 1) (v :: acc)
+    in
+    pick 1 []
+  in
+  vals @ fresh
+
+let concrete_alphabet ?values e =
+  let values = match values with Some vs -> vs | None -> default_values e in
+  let values = if values = [] then [ "v1" ] else values in
+  let rec inst = function
+    | [] -> [ [] ]
+    | Alpha.Val v :: rest -> List.map (fun t -> v :: t) (inst rest)
+    | (Alpha.Bound _ | Alpha.Free _) :: rest ->
+      let tails = inst rest in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) tails) values
+  in
+  Alpha.of_expr e
+  |> List.concat_map (fun (p : Alpha.pattern) ->
+         List.map (fun args -> Action.conc p.Alpha.pname args) (inst p.Alpha.pargs))
+  |> List.sort_uniq Action.compare_concrete
+
+(* Breadth-first reachability over the optimized state space; returns the
+   visited states, their successor lists, a per-state flag saying whether
+   the successor list is complete (a dropped edge or an unexpanded oversized
+   state makes it incomplete), and whether any bound was hit. *)
+let reachable ~max_states ~max_state_size ~alphabet init_state =
+  let seen : (State.t, int) Hashtbl.t = Hashtbl.create 256 in
+  (* states are numbered in discovery order; successors collected per state *)
+  let store = ref [] in
+  let truncated = ref false in
+  let queue = Queue.create () in
+  Hashtbl.add seen init_state 0;
+  Queue.add (0, init_state) queue;
+  let next_id = ref 1 in
+  while not (Queue.is_empty queue) do
+    let id, s = Queue.pop queue in
+    let out = ref [] in
+    let incomplete = ref false in
+    if State.size s > max_state_size then begin
+      truncated := true;
+      incomplete := true
+    end
+    else
+      List.iter
+        (fun a ->
+          match State.trans s a with
+          | None -> ()
+          | Some s' -> (
+            match Hashtbl.find_opt seen s' with
+            | Some id' -> out := id' :: !out
+            | None ->
+              if !next_id >= max_states then begin
+                truncated := true;
+                incomplete := true
+              end
+              else (
+                let id' = !next_id in
+                incr next_id;
+                Hashtbl.add seen s' id';
+                Queue.add (id', s') queue;
+                out := id' :: !out)))
+        alphabet;
+    store := (id, s, List.sort_uniq compare !out, !incomplete) :: !store
+  done;
+  let n = !next_id in
+  let arr = Array.make n init_state in
+  let sc = Array.make n [] in
+  let inc = Array.make n false in
+  List.iter
+    (fun (id, s, out, incomplete) ->
+      arr.(id) <- s;
+      sc.(id) <- out;
+      inc.(id) <- incomplete)
+    !store;
+  (arr, sc, inc, !truncated)
+
+let explore ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
+  let alphabet = concrete_alphabet ?values e in
+  let arr, succ, incomplete, truncated =
+    reachable ~max_states ~max_state_size ~alphabet (State.init e)
+  in
+  let n = Array.length arr in
+  let final = Array.map State.final arr in
+  (* Backward fixpoint: can this state reach a final state?  States with an
+     incomplete successor list are conservatively assumed able to, so
+     [dead_states] only counts states PROVEN dead — sound even under
+     truncation. *)
+  let can = Array.mapi (fun i f -> f || incomplete.(i)) final in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if not can.(i) && List.exists (fun j -> can.(j)) succ.(i) then (
+        can.(i) <- true;
+        changed := true)
+    done
+  done;
+  let count p = Array.fold_left (fun acc b -> if p b then acc + 1 else acc) 0 in
+  { states = n;
+    final_states = count Fun.id final;
+    dead_states = count not can;
+    truncated }
+
+let has_dead_end ?max_states ?max_state_size ?values e =
+  let r = explore ?max_states ?max_state_size ?values e in
+  if r.dead_states > 0 then Some true (* proven even under truncation *)
+  else if r.truncated then None
+  else Some false
+
+(* Product-space search for a separating word.  Returns the shortest word on
+   which the verdicts differ (BFS order) plus whether the bound was hit. *)
+let product_search ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e1 e2 =
+  let alphabet =
+    List.sort_uniq Action.compare_concrete
+      (concrete_alphabet ?values e1 @ concrete_alphabet ?values e2)
+  in
+  let module Key = struct
+    type t = State.t option * State.t option
+  end in
+  let seen : (Key.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let start = (Some (State.init e1), Some (State.init e2)) in
+  Hashtbl.add seen start ();
+  Queue.add (start, []) queue;
+  let result = ref None in
+  let count = ref 1 in
+  let truncated = ref false in
+  let verdict = function
+    | None -> `Dead
+    | Some s -> if State.final s then `Final else `Valid
+  in
+  (try
+     while not (Queue.is_empty queue) do
+       let (s1, s2), rev_word = Queue.pop queue in
+       if verdict s1 <> verdict s2 then (
+         result := Some (List.rev rev_word);
+         raise Exit);
+       let size_of = function Some s -> State.size s | None -> 0 in
+       if size_of s1 > max_state_size || size_of s2 > max_state_size then
+         truncated := true
+       else if s1 <> None || s2 <> None then
+         List.iter
+           (fun a ->
+             let t1 = Option.bind s1 (fun s -> State.trans s a) in
+             let t2 = Option.bind s2 (fun s -> State.trans s a) in
+             let key = (t1, t2) in
+             (* both dead: every extension agrees; prune *)
+             if (t1 <> None || t2 <> None || verdict t1 <> verdict t2)
+                && not (Hashtbl.mem seen key)
+             then
+               if !count >= max_states then truncated := true
+               else (
+                 incr count;
+                 Hashtbl.add seen key ();
+                 Queue.add (key, a :: rev_word) queue))
+           alphabet
+     done
+   with Exit -> ());
+  (!result, !truncated)
+
+let separating_word ?max_states ?max_state_size ?values e1 e2 =
+  fst (product_search ?max_states ?max_state_size ?values e1 e2)
+
+let equivalent ?max_states ?max_state_size ?values e1 e2 =
+  match product_search ?max_states ?max_state_size ?values e1 e2 with
+  | Some _, _ -> Some false
+  | None, true -> None
+  | None, false -> Some true
+
+let shortest_complete ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
+  let alphabet = concrete_alphabet ?values e in
+  let seen : (State.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let init = State.init e in
+  Hashtbl.add seen init ();
+  Queue.add (init, []) queue;
+  let result = ref None in
+  let count = ref 1 in
+  (try
+     while not (Queue.is_empty queue) do
+       let s, rev_word = Queue.pop queue in
+       if State.final s then begin
+         result := Some (List.rev rev_word);
+         raise Exit
+       end;
+       if State.size s <= max_state_size then
+         List.iter
+           (fun a ->
+             match State.trans s a with
+             | None -> ()
+             | Some s' ->
+               if (not (Hashtbl.mem seen s')) && !count < max_states then begin
+                 incr count;
+                 Hashtbl.add seen s' ();
+                 Queue.add (s', a :: rev_word) queue
+               end)
+           alphabet
+     done
+   with Exit -> ());
+  !result
+
+let pp_exploration ppf r =
+  Format.fprintf ppf "states=%d final=%d dead=%d%s" r.states r.final_states r.dead_states
+    (if r.truncated then " (truncated)" else "")

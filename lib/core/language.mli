@@ -1,0 +1,72 @@
+(** Decision procedures over the reachable state space.
+
+    Section 3 warns that "typically by misusing the coupling operator" one
+    can construct graphs with {e dead ends}: partial words that cannot be
+    extended to any complete word.  A workflow ensemble steered into a dead
+    end is stuck forever, so detecting dead ends before deployment is a
+    practical necessity.  This module explores the (optimized) state space
+    of an expression over a finite concrete alphabet and answers such
+    questions.
+
+    The exploration instantiates parameter positions with a finite set of
+    values.  For parameterless expressions the answers are exact; for
+    quantified expressions they are exact {e relative to the chosen value
+    set} (by the symmetry of fresh values, a value set with at least one
+    value more than the expression mentions is a good default).  State
+    spaces can be infinite (e.g. under parallel iteration), so every
+    procedure takes a [max_states] bound and reports [None] ("unknown")
+    when it is hit. *)
+
+type exploration = {
+  states : int;  (** distinct reachable states (including the initial one) *)
+  final_states : int;
+  dead_states : int;
+      (** states provably unable to reach a final state (frontier states of
+          a truncated exploration are not counted) *)
+  truncated : bool;  (** the [max_states] bound was hit *)
+}
+
+val concrete_alphabet : ?values:Action.value list -> Expr.t -> Action.concrete list
+(** All instantiations of the expression's alphabet patterns over [values]
+    (default: the values occurring in the expression plus two fresh ones). *)
+
+val explore :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list -> Expr.t ->
+  exploration
+(** Breadth-first exploration (default bounds: 10_000 states, individual
+    state size 10_000 nodes).  A state exceeding [max_state_size] — which
+    malignant expressions can produce after few actions — is counted but
+    not expanded, and the exploration reports truncation. *)
+
+val has_dead_end :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list -> Expr.t ->
+  bool option
+(** [Some true] — a reachable state provably cannot reach any final state
+    (sound even when the exploration was truncated: unexplored frontiers
+    are assumed able to complete); [Some false] — every reachable state can
+    complete; [None] — the bound was hit without finding a proof either
+    way. *)
+
+val equivalent :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list ->
+  Expr.t -> Expr.t -> bool option
+(** Bounded extensional equivalence over the union of both concrete
+    alphabets: [Some false] as soon as some reachable word separates the
+    two expressions' verdicts, [Some true] when the product space is
+    exhausted without difference, [None] when the bound is hit.  Exact for
+    parameterless expressions, exact-relative-to-[values] otherwise. *)
+
+val separating_word :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list ->
+  Expr.t -> Expr.t -> Action.concrete list option
+(** A shortest word on which the verdicts differ, if one is found within
+    the bound. *)
+
+val shortest_complete :
+  ?max_states:int -> ?max_state_size:int -> ?values:Action.value list -> Expr.t ->
+  Action.concrete list option
+(** A shortest complete word over the explored instantiation (BFS), or
+    [None] if no final state was reached within the bounds.  A quick
+    "give me an example run" for documentation and sanity checks. *)
+
+val pp_exploration : Format.formatter -> exploration -> unit

@@ -1,0 +1,126 @@
+(* Terminating rewrite system over interaction expressions.  Every rule is
+   an equivalence (same Φ, Ψ, α); see the .mli for the catalogue and
+   test/test_rewrite.ml for the empirical validation against the oracle.
+
+   Key semantic facts used below:
+   - Or / And / Sync are associative, commutative and idempotent (for Sync
+     this follows from the projection characterization: w ∈ Φ(⊕ yi) iff
+     every action of w is in α(x) and w projected to α(yi) is in Φ(yi)).
+   - Par is associative and commutative (shuffle), but not idempotent.
+   - A quantifier whose parameter does not occur in its body degenerates:
+     some/sync/conj collapse to the body; all p: y is an infinite shuffle
+     of identical languages, which equals pariter y when ⟨⟩ ∈ Φ(y) (and is
+     a dead end otherwise, which we leave alone). *)
+
+let is_epsilon e = Expr.equal e Expr.epsilon
+
+(* Flatten a nested application of one associative binary constructor. *)
+let rec flatten which e =
+  match (which, e) with
+  | `Or, Expr.Or (y, z) | `And, Expr.And (y, z) | `Sync, Expr.Sync (y, z)
+  | `Par, Expr.Par (y, z) | `Seq, Expr.Seq (y, z) ->
+    flatten which y @ flatten which z
+  | _ -> [ e ]
+
+let rebuild mk = function
+  | [] -> Expr.epsilon
+  | [ e ] -> e
+  | e :: rest -> List.fold_left mk e rest
+
+(* One bottom-up pass. *)
+let rec pass (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Atom _ -> e
+  | Expr.Opt y -> (
+    match pass y with
+    | Expr.Opt _ as y' -> y'  (* opt(opt y) = opt y *)
+    | Expr.SeqIter _ as y' -> y'  (* opt of iter = iter *)
+    | Expr.ParIter _ as y' -> y'  (* opt of pariter = pariter *)
+    | y' when is_epsilon y' -> Expr.epsilon
+    | y' -> Expr.Opt y')
+  | Expr.SeqIter y -> (
+    match pass y with
+    | y' when is_epsilon y' -> Expr.epsilon  (* iter of eps = eps *)
+    | Expr.SeqIter _ as y' -> y'  (* iter of iter = iter *)
+    | Expr.Opt y' -> pass (Expr.SeqIter y')  (* iter of opt = iter *)
+    | y' -> Expr.SeqIter y')
+  | Expr.ParIter y -> (
+    match pass y with
+    | y' when is_epsilon y' -> Expr.epsilon
+    | Expr.ParIter _ as y' -> y'  (* pariter of pariter = pariter *)
+    | Expr.Opt y' -> pass (Expr.ParIter y')  (* pariter of opt = pariter *)
+    | y' -> Expr.ParIter y')
+  | Expr.Seq (y, z) ->
+    let parts =
+      flatten `Seq (Expr.Seq (pass y, pass z))
+      |> List.filter (fun p -> not (is_epsilon p))
+    in
+    rebuild (fun a b -> Expr.Seq (a, b)) parts
+  | Expr.Par (y, z) ->
+    let parts =
+      flatten `Par (Expr.Par (pass y, pass z))
+      |> List.filter (fun p -> not (is_epsilon p))
+      |> List.sort Expr.compare
+    in
+    rebuild (fun a b -> Expr.Par (a, b)) parts
+  | Expr.Or (y, z) ->
+    let parts = flatten `Or (Expr.Or (pass y, pass z)) in
+    let eps, rest = List.partition is_epsilon parts in
+    let rest = List.sort_uniq Expr.compare rest in
+    let core = rebuild (fun a b -> Expr.Or (a, b)) rest in
+    if rest = [] then Expr.epsilon
+    else if eps <> [] then pass (Expr.Opt core)  (* y | ε = opt y *)
+    else core
+  | Expr.And (y, z) ->
+    let parts =
+      flatten `And (Expr.And (pass y, pass z)) |> List.sort_uniq Expr.compare
+    in
+    rebuild (fun a b -> Expr.And (a, b)) parts
+  | Expr.Sync (y, z) ->
+    let parts =
+      flatten `Sync (Expr.Sync (pass y, pass z))
+      |> List.filter (fun p -> not (is_epsilon p))  (* α(ε) = ∅: no constraint *)
+      |> List.sort_uniq Expr.compare
+    in
+    rebuild (fun a b -> Expr.Sync (a, b)) parts
+  | Expr.SomeQ (p, y) ->
+    let y' = pass y in
+    if List.mem p (Expr.free_params y') then Expr.SomeQ (p, y') else y'
+  | Expr.AllQ (p, y) ->
+    let y' = pass y in
+    if List.mem p (Expr.free_params y') then Expr.AllQ (p, y')
+    else if State.final (State.init y') then pass (Expr.ParIter y')
+    else Expr.AllQ (p, y')  (* dead end (Φ = ∅): keep as written *)
+  | Expr.SyncQ (p, y) ->
+    let y' = pass y in
+    if List.mem p (Expr.free_params y') then Expr.SyncQ (p, y') else y'
+  | Expr.AndQ (p, y) ->
+    let y' = pass y in
+    if List.mem p (Expr.free_params y') then Expr.AndQ (p, y') else y'
+
+let simplify e =
+  let rec fix fuel e =
+    let e' = pass e in
+    if fuel = 0 || Expr.equal e e' then e' else fix (fuel - 1) e'
+  in
+  fix 100 e
+
+let size_reduction e = (Expr.size e, Expr.size (simplify e))
+
+let rules_doc =
+  [ ("y | y", "y");
+    ("y & y", "y");
+    ("y @ y", "y");
+    ("y | eps", "[y]");
+    ("eps - y ; y - eps", "y");
+    ("eps || y", "y");
+    ("eps @ y", "y");
+    ("[[y]] ; [y*] ; [y#]", "[y] ; y* ; y#");
+    ("(y*)* ; ([y])* ; eps*", "y* ; y* ; eps");
+    ("(y#)# ; ([y])#", "y# ; y#");
+    ("some p: y   (p unused)", "y");
+    ("sync p: y   (p unused)", "y");
+    ("conj p: y   (p unused)", "y");
+    ("all p: y    (p unused, eps in Phi(y))", "y#");
+    ("operand sorting/flattening of | & @ ||", "canonical form")
+  ]

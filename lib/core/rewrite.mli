@@ -1,0 +1,37 @@
+(** Algebraic simplification of interaction expressions.
+
+    Section 3 notes that "numerous useful properties of interaction
+    expressions, like commutativity, associativity, or idempotence of
+    operators, which are intuitively evident, can be formally proven".
+    This module applies those laws as a terminating rewrite system to
+    normalize expressions before they are deployed to an interaction
+    manager — smaller expressions mean smaller states and cheaper
+    transitions.
+
+    All rules preserve the semantics (same Φ, Ψ and alphabet); the test
+    suite validates this against both the formal semantics and the state
+    model on random expressions.  Applied laws include:
+
+    - idempotence: [y | y → y], [y & y → y], [y @ y → y];
+    - neutral elements: [ε − y → y], [y − ε → y], [ε ∥ y → y];
+    - absorption: [opt (opt y) → opt y], [iter (iter y) → iter y], [opt (iter y) → iter y],
+      [iter (opt y) → iter y], [iter ε → ε], [opt ε → ε];
+    - flattening/sorting of commutative–associative operators ([|], [&],
+      [@], [∥]) so that equal operands become adjacent and idempotence can
+      fire across nesting;
+    - quantifiers: a quantifier whose parameter does not occur in its body
+      collapses ([some p: y → y]; [all p: y] and [sync p: y] and
+      [conj p: y → y] likewise, because all instances are identical and the
+      infinite combination of identical languages over an unused parameter
+      degenerates — for [all] this holds only when [⟨⟩ ∈ Φ(y)] would make
+      the infinite shuffle collapse, so [all] is only rewritten when the
+      body is ε). *)
+
+val simplify : Expr.t -> Expr.t
+(** Bottom-up application of the rules to a fixpoint. *)
+
+val size_reduction : Expr.t -> int * int
+(** [(before, after)] node counts. *)
+
+val rules_doc : (string * string) list
+(** Human-readable [(lhs, rhs)] rule descriptions, for the CLI. *)

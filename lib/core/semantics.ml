@@ -1,0 +1,190 @@
+type word = Action.concrete list
+
+type verdict =
+  | Illegal
+  | Partial
+  | Complete
+
+let verdict_to_int = function Illegal -> 0 | Partial -> 1 | Complete -> 2
+
+let pp_verdict ppf v =
+  Format.pp_print_string ppf
+    (match v with Illegal -> "illegal" | Partial -> "partial" | Complete -> "complete")
+
+(* All contiguous splits w = u · v. *)
+let splits w =
+  let rec go pre suf acc =
+    let acc = (List.rev pre, suf) :: acc in
+    match suf with
+    | [] -> List.rev acc
+    | a :: rest -> go (a :: pre) rest acc
+  in
+  go [] w []
+
+(* All order-preserving 2-colorings of w (shuffle decompositions). *)
+let rec colorings = function
+  | [] -> [ ([], []) ]
+  | a :: rest ->
+    List.concat_map (fun (u, v) -> [ (a :: u, v); (u, a :: v) ]) (colorings rest)
+
+let word_values w =
+  let add acc c =
+    List.fold_left
+      (fun acc v -> if List.mem v acc then acc else v :: acc)
+      acc (Action.values_of_concrete c)
+  in
+  List.rev (List.fold_left add [] w)
+
+let fresh_value e w =
+  let taken = Expr.values e @ word_values w in
+  let rec pick i =
+    let v = "%f" ^ string_of_int i in
+    if List.mem v taken then pick (i + 1) else v
+  in
+  pick 0
+
+(* Membership of a concrete action in the complement language κx(y) =
+   α(x) \ α(y): the action is in the (expanded) alphabet of x but not of y. *)
+let kappa_mem alpha_x alpha_y c = Alpha.mem alpha_x c && not (Alpha.mem alpha_y c)
+
+let eval which_phi x w =
+  let memo : (bool * Expr.t * word, bool) Hashtbl.t = Hashtbl.create 1024 in
+  let rec mem is_phi x w =
+    let key = (is_phi, x, w) in
+    match Hashtbl.find_opt memo key with
+    | Some b -> b
+    | None ->
+      let b = if is_phi then phi_raw x w else psi_raw x w in
+      Hashtbl.add memo key b;
+      b
+  and phi x w = mem true x w
+  and psi x w = mem false x w
+  (* w ∈ Φ(y) ⊗ κx(y)* — some coloring sends one part through y and every
+     remaining action through the complement alphabet. *)
+  and shuffled is_phi y alpha_y alpha_x w =
+    List.exists
+      (fun (u, v) -> mem is_phi y u && List.for_all (kappa_mem alpha_x alpha_y) v)
+      (colorings w)
+  (* Parallel quantifier: partition w into classes, each class the trace of a
+     distinct instance.  Classes may take a value occurring in w, or a fresh
+     value (fresh instances are interchangeable, so one representative value
+     stands for arbitrarily many distinct fresh instances). *)
+  and allq is_phi p y w =
+    let rels = word_values w in
+    let fresh = fresh_value y w in
+    let y_fresh = Expr.subst p fresh y in
+    let rec go w used =
+      match w with
+      | [] ->
+        (* Every untouched instance contributes ⟨⟩; for Φ this requires
+           ⟨⟩ ∈ Φ(y_ω), which is independent of ω (structural). *)
+        (not is_phi) || phi y_fresh []
+      | a :: rest ->
+        let classes = colorings rest in
+        List.exists
+          (fun (s, r) ->
+            let cls = a :: s in
+            List.exists
+              (fun v ->
+                (not (List.mem v used))
+                && mem is_phi (Expr.subst p v y) cls
+                && go r (v :: used))
+              rels
+            || (mem is_phi y_fresh cls && go r used))
+          classes
+    in
+    go w []
+  and pariter is_phi y w =
+    match w with
+    | [] -> true
+    | a :: rest ->
+      List.exists
+        (fun (s, r) -> mem is_phi y (a :: s) && mem is_phi (Expr.ParIter y) r)
+        (colorings rest)
+  and quantified_values p y w =
+    ignore p;
+    let rels = word_values w in
+    let fresh = fresh_value y w in
+    rels @ [ fresh ]
+  and phi_raw x w =
+    match x with
+    | Expr.Atom a -> ( match w with [ c ] -> Action.matches a c | [] | _ :: _ -> false)
+    | Expr.Opt y -> w = [] || phi y w
+    | Expr.Seq (y, z) -> List.exists (fun (u, v) -> phi y u && phi z v) (splits w)
+    | Expr.SeqIter y ->
+      w = []
+      || List.exists (fun (u, v) -> u <> [] && phi y u && phi x v) (splits w)
+    | Expr.Par (y, z) -> List.exists (fun (u, v) -> phi y u && phi z v) (colorings w)
+    | Expr.ParIter y -> pariter true y w
+    | Expr.Or (y, z) -> phi y w || phi z w
+    | Expr.And (y, z) -> phi y w && phi z w
+    | Expr.Sync (y, z) ->
+      let ay = Alpha.of_expr y and az = Alpha.of_expr z in
+      let ax = ay @ az in
+      shuffled true y ay ax w && shuffled true z az ax w
+    | Expr.SomeQ (p, y) ->
+      List.exists (fun v -> phi (Expr.subst p v y) w) (quantified_values p y w)
+    | Expr.AllQ (p, y) -> allq true p y w
+    | Expr.SyncQ (p, y) ->
+      let ax = Alpha.of_expr x in
+      List.for_all
+        (fun v ->
+          let yv = Expr.subst p v y in
+          shuffled true yv (Alpha.of_expr yv) ax w)
+        (quantified_values p y w)
+    | Expr.AndQ (p, y) ->
+      List.for_all (fun v -> phi (Expr.subst p v y) w) (quantified_values p y w)
+  and psi_raw x w =
+    match x with
+    | Expr.Atom a -> (
+      match w with
+      | [] -> true
+      | [ c ] -> Action.matches a c
+      | _ :: _ :: _ -> false)
+    | Expr.Opt y -> psi y w
+    | Expr.Seq (y, z) ->
+      psi y w || List.exists (fun (u, v) -> phi y u && psi z v) (splits w)
+    | Expr.SeqIter y ->
+      List.exists (fun (u, v) -> phi (Expr.SeqIter y) u && psi y v) (splits w)
+    | Expr.Par (y, z) -> List.exists (fun (u, v) -> psi y u && psi z v) (colorings w)
+    | Expr.ParIter y -> pariter false y w
+    | Expr.Or (y, z) -> psi y w || psi z w
+    | Expr.And (y, z) -> psi y w && psi z w
+    | Expr.Sync (y, z) ->
+      let ay = Alpha.of_expr y and az = Alpha.of_expr z in
+      let ax = ay @ az in
+      shuffled false y ay ax w && shuffled false z az ax w
+    | Expr.SomeQ (p, y) ->
+      List.exists (fun v -> psi (Expr.subst p v y) w) (quantified_values p y w)
+    | Expr.AllQ (p, y) -> allq false p y w
+    | Expr.SyncQ (p, y) ->
+      let ax = Alpha.of_expr x in
+      List.for_all
+        (fun v ->
+          let yv = Expr.subst p v y in
+          shuffled false yv (Alpha.of_expr yv) ax w)
+        (quantified_values p y w)
+    | Expr.AndQ (p, y) ->
+      List.for_all (fun v -> psi (Expr.subst p v y) w) (quantified_values p y w)
+  in
+  mem which_phi x w
+
+let complete x w = eval true x w
+let partial x w = eval false x w
+
+let word x w = if complete x w then Complete else if partial x w then Partial else Illegal
+
+let language ~max_len ~universe x =
+  (* Words of exactly length n, each reversed at the end. *)
+  let rec exactly n =
+    if n = 0 then [ [] ]
+    else List.concat_map (fun w -> List.map (fun c -> c :: w) universe) (exactly (n - 1))
+  in
+  let rec upto n = if n < 0 then [] else upto (n - 1) @ List.map List.rev (exactly n) in
+  let by_len w1 w2 =
+    let c = Stdlib.compare (List.length w1) (List.length w2) in
+    if c <> 0 then c else List.compare Action.compare_concrete w1 w2
+  in
+  upto max_len
+  |> List.sort_uniq by_len
+  |> List.filter (complete x)

@@ -1,0 +1,47 @@
+(** Formal (denotational) semantics of interaction expressions — a direct
+    implementation of Table 8.
+
+    [complete x w] and [partial x w] decide [w ∈ Φ(x)] and [w ∈ Ψ(x)] by
+    structural recursion over [x], enumerating splits, shuffle
+    decompositions, and quantifier instantiations.  As Section 4 of the
+    paper observes, this is {e hopelessly inefficient} (exponential in the
+    word length) — it exists as (a) the correctness oracle against which the
+    operational state model ({!State}) is property-tested, and (b) the
+    baseline of experiment E4.
+
+    Quantifiers range over the infinite domain Ω.  By symmetry, an
+    instantiation with a value occurring neither in the word nor in the
+    expression behaves like any other such "fresh" value, so the infinite
+    union/intersection/shuffle reduces to the finitely many {e relevant}
+    values plus one fresh representative — the same reduction the paper's
+    auxiliary finite-state theorem rests on. *)
+
+type word = Action.concrete list
+
+val complete : Expr.t -> word -> bool
+(** [complete x w] ⇔ [w ∈ Φ(x)]. *)
+
+val partial : Expr.t -> word -> bool
+(** [partial x w] ⇔ [w ∈ Ψ(x)]. *)
+
+type verdict =
+  | Illegal
+  | Partial
+  | Complete
+
+val verdict_to_int : verdict -> int
+(** Fig. 9 encoding: 0 = illegal, 1 = partial, 2 = complete. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val word : Expr.t -> word -> verdict
+(** Word problem by the formal semantics (Φ ⊆ Ψ makes the three verdicts a
+    total classification). *)
+
+val language : max_len:int -> universe:Action.concrete list -> Expr.t -> word list
+(** All complete words of length ≤ [max_len] over the given finite action
+    universe, in length-lexicographic order.  Exponential; for tests and
+    demos only. *)
+
+val fresh_value : Expr.t -> word -> Action.value
+(** A value occurring neither in the expression nor in the word. *)

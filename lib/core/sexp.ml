@@ -1,0 +1,141 @@
+type t =
+  | Atom of string
+  | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (function ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec to_string = function
+  | Atom s -> if needs_quoting s then quote s else s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+exception Parse_error of string
+
+let of_string_exn input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while !pos < n && input.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    let buf = Buffer.create 8 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> raise (Parse_error "dangling escape"));
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_bare () =
+    let start = !pos in
+    let stop = function
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> true
+      | _ -> false
+    in
+    while !pos < n && not (stop input.[!pos]) do
+      advance ()
+    done;
+    String.sub input start (!pos - start)
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec items_loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+          items := parse_one () :: !items;
+          items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> Atom (parse_quoted ())
+    | Some _ -> Atom (parse_bare ())
+  in
+  try
+    let v = parse_one () in
+    skip_ws ();
+    if !pos <> n then invalid_arg "Sexp.of_string: trailing input" else v
+  with Parse_error m -> invalid_arg ("Sexp.of_string: " ^ m)
+
+let of_string s =
+  try Ok (of_string_exn s) with Invalid_argument m -> Error m
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf (if needs_quoting s then quote s else s)
+  | List l ->
+    Format.fprintf ppf "@[<hv 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ") pp)
+      l
+
+let string_field = function
+  | Atom s -> s
+  | List _ -> invalid_arg "Sexp: expected an atom"
+
+let int_field s =
+  match int_of_string_opt (string_field s) with
+  | Some i -> i
+  | None -> invalid_arg "Sexp: expected an integer atom"
+
+let bool_field s =
+  match string_field s with
+  | "true" -> true
+  | "false" -> false
+  | _ -> invalid_arg "Sexp: expected a boolean atom"
+
+let list_field = function
+  | List l -> l
+  | Atom _ -> invalid_arg "Sexp: expected a list"

@@ -1,0 +1,37 @@
+(** Minimal S-expressions for persistence.
+
+    The interaction manager must survive crashes (Section 7); replaying the
+    full confirmed-action log from the initial state is the baseline
+    strategy, but long-running deployments need {e checkpoints} of the
+    current state.  States are hierarchical values, so a small
+    self-contained serialization layer suffices: atoms and lists, with the
+    usual quoting rules. *)
+
+type t =
+  | Atom of string
+  | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Single-line rendering; atoms are quoted when they contain whitespace,
+    parentheses, quotes or are empty. *)
+
+val of_string : string -> (t, string) result
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented multi-line rendering. *)
+
+(** {1 Converters} *)
+
+val string_field : t -> string
+(** @raise Invalid_argument when the sexp is not an atom. *)
+
+val int_field : t -> int
+val bool_field : t -> bool
+val list_field : t -> t list
+(** @raise Invalid_argument when the sexp is not a list. *)

@@ -1,0 +1,63 @@
+let random_trace ?(seed = 1) ?values ~length e =
+  let rng = Random.State.make [| seed |] in
+  let alphabet = Array.of_list (Language.concrete_alphabet ?values e) in
+  if Array.length alphabet = 0 then []
+  else begin
+    let session = Engine.create e in
+    let rec go n acc =
+      if n = 0 then List.rev acc
+      else
+        let permitted =
+          Array.to_list alphabet |> List.filter (Engine.permitted session)
+        in
+        match permitted with
+        | [] -> List.rev acc
+        | choices ->
+          let a = List.nth choices (Random.State.int rng (List.length choices)) in
+          assert (Engine.try_action session a);
+          go (n - 1) (a :: acc)
+    in
+    go length []
+  end
+
+let random_complete ?(seed = 1) ?values ?(max_len = 40) ?(attempts = 50) e =
+  let rng = Random.State.make [| seed |] in
+  let alphabet = Array.of_list (Language.concrete_alphabet ?values e) in
+  let attempt k =
+    let session = Engine.create e in
+    let rec go n acc =
+      if Engine.is_final session && (n = 0 || Random.State.int rng 3 = 0) then
+        Some (List.rev acc)
+      else if n = 0 then if Engine.is_final session then Some (List.rev acc) else None
+      else
+        let permitted =
+          Array.to_list alphabet |> List.filter (Engine.permitted session)
+        in
+        match permitted with
+        | [] -> if Engine.is_final session then Some (List.rev acc) else None
+        | choices ->
+          let a = List.nth choices (Random.State.int rng (List.length choices)) in
+          assert (Engine.try_action session a);
+          go (n - 1) (a :: acc)
+    in
+    ignore k;
+    go max_len []
+  in
+  let rec loop k = if k = 0 then None else
+    match attempt k with Some w -> Some w | None -> loop (k - 1)
+  in
+  loop attempts
+
+let exercise ?(seed = 1) ?values ~rounds e =
+  let rng = Random.State.make [| seed |] in
+  let alphabet = Array.of_list (Language.concrete_alphabet ?values e) in
+  if Array.length alphabet = 0 then (0, rounds)
+  else begin
+    let session = Engine.create e in
+    let accepted = ref 0 and rejected = ref 0 in
+    for _ = 1 to rounds do
+      let a = alphabet.(Random.State.int rng (Array.length alphabet)) in
+      if Engine.try_action session a then incr accepted else incr rejected
+    done;
+    (!accepted, !rejected)
+  end

@@ -1,0 +1,28 @@
+(** Random exploration of permitted behaviour.
+
+    Seeded random walks over an expression's state space, choosing
+    uniformly among the currently permitted actions of the concrete
+    alphabet.  Used by the experiment harness to generate realistic
+    workloads and by tests as a source of guaranteed-partial words. *)
+
+val random_trace :
+  ?seed:int -> ?values:Action.value list -> length:int -> Expr.t ->
+  Action.concrete list
+(** A walk of at most [length] accepted actions (shorter when no action is
+    permitted anymore).  Every prefix of the result is a partial word. *)
+
+val random_complete :
+  ?seed:int -> ?values:Action.value list -> ?max_len:int -> ?attempts:int -> Expr.t ->
+  Action.concrete list option
+(** Repeatedly walk (up to [attempts] times, default 50, each up to
+    [max_len] actions, default 40), stopping as soon as a walk ends in a
+    final state; the walk prefers to stop at final states early.  [None]
+    when no complete word was found — which does {e not} prove there is
+    none. *)
+
+val exercise :
+  ?seed:int -> ?values:Action.value list -> rounds:int -> Expr.t ->
+  int * int
+(** Drive a session for [rounds] uniformly random (not permission-filtered)
+    actions of the alphabet; returns (accepted, rejected).  A quick
+    workload for throughput measurements. *)

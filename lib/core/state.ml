@@ -1,0 +1,715 @@
+(* States mirror the expression tree.  Invariant: every represented state is
+   valid (ψ holds); τ̂ returns None for the null state, so alternative sets
+   only ever contain valid substates (the paper's ρ, fused into τ).  All
+   alternative sets are kept sorted and deduplicated so that structurally
+   equal states compare equal. *)
+
+type t =
+  | SAtom of {
+      pat : Action.t;
+      consumed : bool;
+    }
+  | SOpt of {
+      body : t;
+      fresh : bool;  (* no action consumed yet: ⟨⟩ still accepted *)
+    }
+  | SSeq of {
+      left : t option;  (* walker still inside y; None once y is dead *)
+      rights : t list;  (* one state of z per surviving crossover point *)
+      zexpr : Expr.t;
+      zempty : bool;  (* ⟨⟩ ∈ Φ(z) *)
+    }
+  | SSeqIter of {
+      actives : t list;  (* current-iteration states, one per crossover *)
+      fresh : bool;  (* zero completed actions: ⟨⟩ accepted *)
+      yexpr : Expr.t;
+    }
+  | SPar of { alts : (t * t) list }  (* the paper's [‖, A] *)
+  | SParIter of {
+      alts : t list list;  (* alternatives of walker multisets *)
+      yexpr : Expr.t;
+    }
+  | SOr of {
+      left : t option;
+      right : t option;
+    }
+  | SAnd of {
+      left : t;
+      right : t;
+    }
+  | SSync of {
+      left : t;
+      right : t;
+      la : Alpha.t;
+      ra : Alpha.t;
+    }
+  | SSome of {
+      param : Action.param;
+      insts : (Action.value * t) list;  (* materialized instances, sorted *)
+      dead : Action.value list;  (* materialized instances that rejected *)
+      template : t option;  (* all untouched (fresh) instances, symmetric *)
+      body : Expr.t;
+      balpha : Alpha.t;
+    }
+  | SAll of {
+      param : Action.param;
+      alts : all_alt list;
+      body : Expr.t;
+      balpha : Alpha.t;
+      empty_final : bool;  (* ⟨⟩ ∈ Φ(body) — required of untouched instances *)
+    }
+  | SSyncQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      body : Expr.t;
+      balpha : Alpha.t;
+    }
+  | SAndQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      body : Expr.t;
+      balpha : Alpha.t;
+    }
+
+and all_alt = {
+  bound : (Action.value * t) list;  (* one walker per materialized value *)
+  anon : t list;  (* walkers whose instance value is still fresh *)
+}
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+(* Canonicalization (part of ρ): sort alternative sets and merge duplicates.
+   Switchable only to let the experiment harness measure its effect. *)
+let canonicalize = ref true
+let set_canonicalization b = canonicalize := b
+let canonicalization () = !canonicalize
+
+let sort_states l = if !canonicalize then List.sort_uniq compare l else l
+let sort_insts insts =
+  if !canonicalize then
+    List.sort_uniq (fun (v, s) (w, t) -> Stdlib.compare (v, s) (w, t)) insts
+  else insts
+let canon_alt { bound; anon } =
+  if !canonicalize then { bound = sort_insts bound; anon = List.sort compare anon }
+  else { bound; anon }
+let sort_alts alts = if !canonicalize then List.sort_uniq Stdlib.compare alts else alts
+
+let rec init (e : Expr.t) : t =
+  match e with
+  | Expr.Atom a -> SAtom { pat = a; consumed = false }
+  | Expr.Opt y -> SOpt { body = init y; fresh = true }
+  | Expr.Seq (y, z) ->
+    SSeq { left = Some (init y); rights = []; zexpr = z; zempty = final (init z) }
+  | Expr.SeqIter y -> SSeqIter { actives = [ init y ]; fresh = true; yexpr = y }
+  | Expr.Par (y, z) -> SPar { alts = [ (init y, init z) ] }
+  | Expr.ParIter y -> SParIter { alts = [ [] ]; yexpr = y }
+  | Expr.Or (y, z) -> SOr { left = Some (init y); right = Some (init z) }
+  | Expr.And (y, z) -> SAnd { left = init y; right = init z }
+  | Expr.Sync (y, z) ->
+    SSync { left = init y; right = init z; la = Alpha.of_expr y; ra = Alpha.of_expr z }
+  | Expr.SomeQ (p, y) ->
+    SSome
+      { param = p; insts = []; dead = []; template = Some (init y); body = y;
+        balpha = Alpha.of_expr y }
+  | Expr.AllQ (p, y) ->
+    SAll
+      { param = p; alts = [ { bound = []; anon = [] } ]; body = y;
+        balpha = Alpha.of_expr y; empty_final = final (init y) }
+  | Expr.SyncQ (p, y) ->
+    SSyncQ { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y }
+  | Expr.AndQ (p, y) ->
+    SAndQ { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y }
+
+and final : t -> bool = function
+  | SAtom { consumed; _ } -> consumed
+  | SOpt { body; fresh } -> fresh || final body
+  | SSeq { left; rights; zempty; _ } ->
+    (match left with Some l -> zempty && final l | None -> false)
+    || List.exists final rights
+  | SSeqIter { actives; fresh; _ } -> fresh || List.exists final actives
+  | SPar { alts } -> List.exists (fun (l, r) -> final l && final r) alts
+  | SParIter { alts; _ } -> List.exists (List.for_all final) alts
+  | SOr { left; right } ->
+    (match left with Some l -> final l | None -> false)
+    || (match right with Some r -> final r | None -> false)
+  | SAnd { left; right } -> final left && final right
+  | SSync { left; right; _ } -> final left && final right
+  | SSome { insts; template; _ } ->
+    List.exists (fun (_, s) -> final s) insts
+    || (match template with Some t -> final t | None -> false)
+  | SAll { alts; empty_final; _ } ->
+    empty_final
+    && List.exists
+         (fun { bound; anon } ->
+           List.for_all (fun (_, s) -> final s) bound && List.for_all final anon)
+         alts
+  | SSyncQ { insts; template; _ } | SAndQ { insts; template; _ } ->
+    List.for_all (fun (_, s) -> final s) insts && final template
+
+(* Capture-aware substitution of a value for a parameter inside a state.
+   Used when a quantifier materializes an instance from its template. *)
+let rec subst_state p v (s : t) : t =
+  let sub = subst_state p v in
+  let sub_expr = Expr.subst p v in
+  match s with
+  | SAtom { pat; consumed } -> SAtom { pat = Action.subst p v pat; consumed }
+  | SOpt { body; fresh } -> SOpt { body = sub body; fresh }
+  | SSeq { left; rights; zexpr; zempty } ->
+    SSeq
+      { left = Option.map sub left; rights = sort_states (List.map sub rights);
+        zexpr = sub_expr zexpr; zempty }
+  | SSeqIter { actives; fresh; yexpr } ->
+    SSeqIter { actives = sort_states (List.map sub actives); fresh; yexpr = sub_expr yexpr }
+  | SPar { alts } -> SPar { alts = sort_alts (List.map (fun (l, r) -> (sub l, sub r)) alts) }
+  | SParIter { alts; yexpr } ->
+    SParIter
+      { alts = sort_alts (List.map (fun ws -> List.sort compare (List.map sub ws)) alts);
+        yexpr = sub_expr yexpr }
+  | SOr { left; right } -> SOr { left = Option.map sub left; right = Option.map sub right }
+  | SAnd { left; right } -> SAnd { left = sub left; right = sub right }
+  | SSync { left; right; la; ra } ->
+    SSync { left = sub left; right = sub right; la = Alpha.subst p v la; ra = Alpha.subst p v ra }
+  | SSome ({ param; _ } as q) ->
+    if String.equal param p then s
+    else
+      SSome
+        { q with
+          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+          template = Option.map sub q.template;
+          body = sub_expr q.body;
+          balpha = Alpha.subst p v q.balpha }
+  | SAll ({ param; _ } as q) ->
+    if String.equal param p then s
+    else
+      SAll
+        { q with
+          alts =
+            sort_alts
+              (List.map
+                 (fun { bound; anon } ->
+                   canon_alt
+                     { bound = List.map (fun (w, t) -> (w, sub t)) bound;
+                       anon = List.map sub anon })
+                 q.alts);
+          body = sub_expr q.body;
+          balpha = Alpha.subst p v q.balpha }
+  | SSyncQ ({ param; _ } as q) ->
+    if String.equal param p then s
+    else
+      SSyncQ
+        { q with
+          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+          template = sub q.template;
+          body = sub_expr q.body;
+          balpha = Alpha.subst p v q.balpha }
+  | SAndQ ({ param; _ } as q) ->
+    if String.equal param p then s
+    else
+      SAndQ
+        { q with
+          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+          template = sub q.template;
+          body = sub_expr q.body;
+          balpha = Alpha.subst p v q.balpha }
+
+let rec trans (s : t) (c : Action.concrete) : t option =
+  match s with
+  | SAtom { pat; consumed } ->
+    if (not consumed) && Action.matches pat c then Some (SAtom { pat; consumed = true })
+    else None
+  | SOpt { body; _ } ->
+    Option.map (fun body -> SOpt { body; fresh = false }) (trans body c)
+  | SSeq { left; rights; zexpr; zempty } ->
+    (* The walker may cross into z between actions whenever y is final. *)
+    let crossings =
+      match left with Some l when final l -> [ init zexpr ] | Some _ | None -> []
+    in
+    let rights' = sort_states (List.filter_map (fun r -> trans r c) (rights @ crossings)) in
+    let left' = match left with Some l -> trans l c | None -> None in
+    if left' = None && rights' = [] then None
+    else Some (SSeq { left = left'; rights = rights'; zexpr; zempty })
+  | SSeqIter { actives; fresh = _; yexpr } ->
+    let restart = if List.exists final actives then [ init yexpr ] else [] in
+    let actives' = sort_states (List.filter_map (fun a -> trans a c) (actives @ restart)) in
+    if actives' = [] then None else Some (SSeqIter { actives = actives'; fresh = false; yexpr })
+  | SPar { alts } ->
+    (* τa replaces each alternative [l, r] by [l', r] and [l, r']; ρ drops
+       those whose advanced component died (Section 4's example). *)
+    let advance (l, r) =
+      let via_left = match trans l c with Some l' -> [ (l', r) ] | None -> [] in
+      let via_right = match trans r c with Some r' -> [ (l, r') ] | None -> [] in
+      via_left @ via_right
+    in
+    let alts' = sort_alts (List.concat_map advance alts) in
+    if alts' = [] then None else Some (SPar { alts = alts' })
+  | SParIter { alts; yexpr } ->
+    let advance walkers =
+      (* one existing walker consumes c ... *)
+      let rec each pre = function
+        | [] -> []
+        | w :: post ->
+          let here =
+            match trans w c with
+            | Some w' -> [ List.rev_append pre (w' :: post) ]
+            | None -> []
+          in
+          here @ each (w :: pre) post
+      in
+      (* ... or a new walker starts with c. *)
+      let started =
+        match trans (init yexpr) c with
+        | Some w -> [ w :: walkers ]
+        | None -> []
+      in
+      List.map (List.sort compare) (each [] walkers @ started)
+    in
+    let alts' = sort_alts (List.concat_map advance alts) in
+    if alts' = [] then None else Some (SParIter { alts = alts'; yexpr })
+  | SOr { left; right } ->
+    let left' = Option.bind left (fun l -> trans l c) in
+    let right' = Option.bind right (fun r -> trans r c) in
+    if left' = None && right' = None then None else Some (SOr { left = left'; right = right' })
+  | SAnd { left; right } -> (
+    match (trans left c, trans right c) with
+    | Some left, Some right -> Some (SAnd { left; right })
+    | _ -> None)
+  | SSync { left; right; la; ra } -> (
+    (* An action in an operand's alphabet must be consumed by it; an action
+       outside is shuffled past via the complement language κ. *)
+    let inl = Alpha.mem la c and inr = Alpha.mem ra c in
+    if (not inl) && not inr then None
+    else
+      let step within side = if within then trans side c else Some side in
+      match (step inl left, step inr right) with
+      | Some left, Some right -> Some (SSync { left; right; la; ra })
+      | _ -> None)
+  | SSome { param; insts; dead; template; body; balpha } ->
+    let insts', newly_dead =
+      List.fold_left
+        (fun (alive, gone) (v, s) ->
+          match trans s c with
+          | Some s' -> ((v, s') :: alive, gone)
+          | None -> (alive, v :: gone))
+        ([], []) insts
+    in
+    let taken v =
+      List.mem_assoc v insts || List.mem v dead || List.mem v newly_dead
+    in
+    let materialized, mat_dead =
+      match template with
+      | None -> ([], [])
+      | Some tpl ->
+        List.fold_left
+          (fun (alive, gone) v ->
+            if taken v then (alive, gone)
+            else
+              match trans (subst_state param v tpl) c with
+              | Some s' -> ((v, s') :: alive, gone)
+              | None -> (alive, v :: gone))
+          ([], [])
+          (Alpha.candidates param balpha c)
+    in
+    let template' = Option.bind template (fun t -> trans t c) in
+    let insts'' = sort_insts (insts' @ materialized) in
+    let dead' = List.sort_uniq String.compare (dead @ newly_dead @ mat_dead) in
+    if insts'' = [] && template' = None then None
+    else
+      Some (SSome { param; insts = insts''; dead = dead'; template = template'; body; balpha })
+  | SAll { param; alts; body; balpha; empty_final } ->
+    let cands = Alpha.candidates param balpha c in
+    let tpl0 = init body in
+    let advance { bound; anon } =
+      (* exactly one walker consumes c: an existing bound walker ... *)
+      let via_bound =
+        List.filter_map
+          (fun (v, s) ->
+            match trans s c with
+            | Some s' ->
+              Some { bound = List.map (fun (w, t) -> if String.equal w v then (w, s') else (w, t)) bound;
+                     anon }
+            | None -> None)
+          bound
+      in
+      (* ... or an anonymous walker, staying fresh or binding a new value ... *)
+      let rec via_anon pre = function
+        | [] -> []
+        | w :: post ->
+          let keep_fresh =
+            match trans w c with
+            | Some w' -> [ { bound; anon = List.rev_append pre (w' :: post) } ]
+            | None -> []
+          in
+          let bind_value =
+            List.filter_map
+              (fun v ->
+                if List.mem_assoc v bound then None
+                else
+                  match trans (subst_state param v w) c with
+                  | Some w' ->
+                    Some { bound = (v, w') :: bound; anon = List.rev_append pre post }
+                  | None -> None)
+              cands
+          in
+          keep_fresh @ bind_value @ via_anon (w :: pre) post
+      in
+      (* ... or a brand-new walker starts with c. *)
+      let via_new =
+        let fresh_start =
+          match trans tpl0 c with
+          | Some w -> [ { bound; anon = w :: anon } ]
+          | None -> []
+        in
+        let bound_start =
+          List.filter_map
+            (fun v ->
+              if List.mem_assoc v bound then None
+              else
+                match trans (subst_state param v tpl0) c with
+                | Some w -> Some { bound = (v, w) :: bound; anon }
+                | None -> None)
+            cands
+        in
+        fresh_start @ bound_start
+      in
+      List.map canon_alt (via_bound @ via_anon [] anon @ via_new)
+    in
+    let alts' = sort_alts (List.concat_map advance alts) in
+    if alts' = [] then None
+    else Some (SAll { param; alts = alts'; body; balpha; empty_final })
+  | SSyncQ { param; insts; template; body; balpha } ->
+    let inst_alpha v = Alpha.subst param v balpha in
+    let cands =
+      List.filter (fun v -> not (List.mem_assoc v insts)) (Alpha.candidates param balpha c)
+    in
+    let in_fresh_alpha = Alpha.mem balpha c in
+    let relevant =
+      cands <> [] || in_fresh_alpha
+      || List.exists (fun (v, _) -> Alpha.mem (inst_alpha v) c) insts
+    in
+    if not relevant then None (* c is outside α(x): the word is illegal *)
+    else
+      let step_inst (v, s) =
+        if Alpha.mem (inst_alpha v) c then
+          match trans s c with Some s' -> Some (v, s') | None -> None
+        else Some (v, s)
+      in
+      let old_insts = List.map step_inst insts in
+      let new_insts =
+        List.map
+          (fun v ->
+            match trans (subst_state param v template) c with
+            | Some s' -> Some (v, s')
+            | None -> None)
+          cands
+      in
+      let template' = if in_fresh_alpha then trans template c else Some template in
+      if List.exists (( = ) None) old_insts || List.exists (( = ) None) new_insts
+         || template' = None
+      then None
+      else
+        let unwrap = List.filter_map Fun.id in
+        Some
+          (SSyncQ
+             { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
+               template = Option.get template'; body; balpha })
+  | SAndQ { param; insts; template; body; balpha } ->
+    let cands =
+      List.filter (fun v -> not (List.mem_assoc v insts)) (Alpha.candidates param balpha c)
+    in
+    let old_insts =
+      List.map (fun (v, s) -> Option.map (fun s' -> (v, s')) (trans s c)) insts
+    in
+    let new_insts =
+      List.map
+        (fun v -> Option.map (fun s' -> (v, s')) (trans (subst_state param v template) c))
+        cands
+    in
+    let template' = trans template c in
+    if List.exists (( = ) None) old_insts || List.exists (( = ) None) new_insts
+       || template' = None
+    then None
+    else
+      let unwrap = List.filter_map Fun.id in
+      Some
+        (SAndQ
+           { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
+             template = Option.get template'; body; balpha })
+
+let trans_word s w =
+  List.fold_left (fun acc c -> Option.bind acc (fun s -> trans s c)) (Some s) w
+
+let rec size : t -> int = function
+  | SAtom _ -> 1
+  | SOpt { body; _ } -> 1 + size body
+  | SSeq { left; rights; _ } ->
+    1
+    + (match left with Some l -> size l | None -> 0)
+    + List.fold_left (fun n r -> n + size r) 0 rights
+  | SSeqIter { actives; _ } -> 1 + List.fold_left (fun n a -> n + size a) 0 actives
+  | SPar { alts } -> 1 + List.fold_left (fun n (l, r) -> n + size l + size r) 0 alts
+  | SParIter { alts; _ } ->
+    1 + List.fold_left (fun n ws -> n + List.fold_left (fun m w -> m + size w) 1 ws) 0 alts
+  | SOr { left; right } ->
+    1 + (match left with Some l -> size l | None -> 0)
+    + (match right with Some r -> size r | None -> 0)
+  | SAnd { left; right } | SSync { left; right; _ } -> 1 + size left + size right
+  | SSome { insts; template; _ } ->
+    1
+    + List.fold_left (fun n (_, s) -> n + size s) 0 insts
+    + (match template with Some t -> size t | None -> 0)
+  | SAll { alts; _ } ->
+    1
+    + List.fold_left
+        (fun n { bound; anon } ->
+          n + 1
+          + List.fold_left (fun m (_, s) -> m + size s) 0 bound
+          + List.fold_left (fun m s -> m + size s) 0 anon)
+        0 alts
+  | SSyncQ { insts; template; _ } | SAndQ { insts; template; _ } ->
+    1 + List.fold_left (fun n (_, s) -> n + size s) 0 insts + size template
+
+let rec pp ppf (s : t) =
+  let pp_list pp_one ppf xs =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_one ppf xs
+  in
+  let pp_opt ppf = function
+    | Some s -> pp ppf s
+    | None -> Format.pp_print_string ppf "null"
+  in
+  let pp_inst ppf (v, s) = Format.fprintf ppf "%s:%a" v pp s in
+  match s with
+  | SAtom { pat; consumed } ->
+    Format.fprintf ppf "%a%s" Action.pp pat (if consumed then "!" else "")
+  | SOpt { body; fresh } -> Format.fprintf ppf "opt%s[%a]" (if fresh then "°" else "") pp body
+  | SSeq { left; rights; _ } ->
+    Format.fprintf ppf "@[<hv 2>seq[%a;@ {%a}]@]" pp_opt left (pp_list pp) rights
+  | SSeqIter { actives; fresh; _ } ->
+    Format.fprintf ppf "@[<hv 2>iter%s[{%a}]@]" (if fresh then "°" else "") (pp_list pp) actives
+  | SPar { alts } ->
+    let pp_pair ppf (l, r) = Format.fprintf ppf "(%a | %a)" pp l pp r in
+    Format.fprintf ppf "@[<hv 2>par[{%a}]@]" (pp_list pp_pair) alts
+  | SParIter { alts; _ } ->
+    let pp_walkers ppf ws = Format.fprintf ppf "<%a>" (pp_list pp) ws in
+    Format.fprintf ppf "@[<hv 2>pariter[{%a}]@]" (pp_list pp_walkers) alts
+  | SOr { left; right } -> Format.fprintf ppf "@[<hv 2>or[%a;@ %a]@]" pp_opt left pp_opt right
+  | SAnd { left; right } -> Format.fprintf ppf "@[<hv 2>and[%a;@ %a]@]" pp left pp right
+  | SSync { left; right; _ } -> Format.fprintf ppf "@[<hv 2>sync[%a;@ %a]@]" pp left pp right
+  | SSome { param; insts; template; _ } ->
+    Format.fprintf ppf "@[<hv 2>some %s[{%a};@ tpl=%a]@]" param (pp_list pp_inst) insts pp_opt
+      template
+  | SAll { param; alts; _ } ->
+    let pp_alt ppf { bound; anon } =
+      Format.fprintf ppf "<%a | %a>" (pp_list pp_inst) bound (pp_list pp) anon
+    in
+    Format.fprintf ppf "@[<hv 2>all %s[{%a}]@]" param (pp_list pp_alt) alts
+  | SSyncQ { param; insts; template; _ } ->
+    Format.fprintf ppf "@[<hv 2>syncq %s[{%a};@ tpl=%a]@]" param (pp_list pp_inst) insts pp
+      template
+  | SAndQ { param; insts; template; _ } ->
+    Format.fprintf ppf "@[<hv 2>conjq %s[{%a};@ tpl=%a]@]" param (pp_list pp_inst) insts pp
+      template
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_sexp (s : t) : Sexp.t =
+  let a = Sexp.atom and l = Sexp.list in
+  let b v = a (if v then "true" else "false") in
+  let opt = function Some s -> l [ a "s"; to_sexp s ] | None -> a "null" in
+  let inst (v, s) = l [ a v; to_sexp s ] in
+  match s with
+  | SAtom { pat; consumed } -> l [ a "atom"; Action.to_sexp pat; b consumed ]
+  | SOpt { body; fresh } -> l [ a "opt"; to_sexp body; b fresh ]
+  | SSeq { left; rights; zexpr; zempty } ->
+    l [ a "seq"; opt left; l (List.map to_sexp rights); Expr.to_sexp zexpr; b zempty ]
+  | SSeqIter { actives; fresh; yexpr } ->
+    l [ a "seqiter"; l (List.map to_sexp actives); b fresh; Expr.to_sexp yexpr ]
+  | SPar { alts } ->
+    l [ a "par"; l (List.map (fun (x, y) -> l [ to_sexp x; to_sexp y ]) alts) ]
+  | SParIter { alts; yexpr } ->
+    l [ a "pariter"; l (List.map (fun ws -> l (List.map to_sexp ws)) alts);
+        Expr.to_sexp yexpr ]
+  | SOr { left; right } -> l [ a "or"; opt left; opt right ]
+  | SAnd { left; right } -> l [ a "and"; to_sexp left; to_sexp right ]
+  | SSync { left; right; la; ra } ->
+    l [ a "syncb"; to_sexp left; to_sexp right; Alpha.to_sexp la; Alpha.to_sexp ra ]
+  | SSome { param; insts; dead; template; body; balpha } ->
+    l [ a "some"; a param; l (List.map inst insts); l (List.map a dead); opt template;
+        Expr.to_sexp body; Alpha.to_sexp balpha ]
+  | SAll { param; alts; body; balpha; empty_final } ->
+    let alt { bound; anon } =
+      l [ l (List.map inst bound); l (List.map to_sexp anon) ]
+    in
+    l [ a "all"; a param; l (List.map alt alts); Expr.to_sexp body; Alpha.to_sexp balpha;
+        b empty_final ]
+  | SSyncQ { param; insts; template; body; balpha } ->
+    l [ a "syncq"; a param; l (List.map inst insts); to_sexp template; Expr.to_sexp body;
+        Alpha.to_sexp balpha ]
+  | SAndQ { param; insts; template; body; balpha } ->
+    l [ a "andq"; a param; l (List.map inst insts); to_sexp template; Expr.to_sexp body;
+        Alpha.to_sexp balpha ]
+
+let rec of_sexp (s : Sexp.t) : t =
+  let bad what = invalid_arg ("State.of_sexp: bad " ^ what) in
+  let opt = function
+    | Sexp.Atom "null" -> None
+    | Sexp.List [ Sexp.Atom "s"; s ] -> Some (of_sexp s)
+    | _ -> bad "optional state"
+  in
+  let states = function
+    | Sexp.List l -> List.map of_sexp l
+    | Sexp.Atom _ -> bad "state list"
+  in
+  let inst = function
+    | Sexp.List [ Sexp.Atom v; s ] -> (v, of_sexp s)
+    | _ -> bad "instance"
+  in
+  let insts = function
+    | Sexp.List l -> List.map inst l
+    | Sexp.Atom _ -> bad "instance list"
+  in
+  match s with
+  | Sexp.List [ Sexp.Atom "atom"; pat; consumed ] ->
+    SAtom { pat = Action.of_sexp pat; consumed = Sexp.bool_field consumed }
+  | Sexp.List [ Sexp.Atom "opt"; body; fresh ] ->
+    SOpt { body = of_sexp body; fresh = Sexp.bool_field fresh }
+  | Sexp.List [ Sexp.Atom "seq"; left; rights; zexpr; zempty ] ->
+    SSeq
+      { left = opt left; rights = states rights; zexpr = Expr.of_sexp zexpr;
+        zempty = Sexp.bool_field zempty }
+  | Sexp.List [ Sexp.Atom "seqiter"; actives; fresh; yexpr ] ->
+    SSeqIter
+      { actives = states actives; fresh = Sexp.bool_field fresh;
+        yexpr = Expr.of_sexp yexpr }
+  | Sexp.List [ Sexp.Atom "par"; Sexp.List alts ] ->
+    let pair = function
+      | Sexp.List [ x; y ] -> (of_sexp x, of_sexp y)
+      | _ -> bad "parallel alternative"
+    in
+    SPar { alts = List.map pair alts }
+  | Sexp.List [ Sexp.Atom "pariter"; Sexp.List alts; yexpr ] ->
+    SParIter { alts = List.map states alts; yexpr = Expr.of_sexp yexpr }
+  | Sexp.List [ Sexp.Atom "or"; left; right ] -> SOr { left = opt left; right = opt right }
+  | Sexp.List [ Sexp.Atom "and"; left; right ] ->
+    SAnd { left = of_sexp left; right = of_sexp right }
+  | Sexp.List [ Sexp.Atom "syncb"; left; right; la; ra ] ->
+    SSync
+      { left = of_sexp left; right = of_sexp right; la = Alpha.of_sexp la;
+        ra = Alpha.of_sexp ra }
+  | Sexp.List
+      [ Sexp.Atom "some"; Sexp.Atom param; is; Sexp.List dead; template; body; balpha ] ->
+    SSome
+      { param; insts = insts is; dead = List.map Sexp.string_field dead;
+        template = opt template; body = Expr.of_sexp body; balpha = Alpha.of_sexp balpha }
+  | Sexp.List [ Sexp.Atom "all"; Sexp.Atom param; Sexp.List alts; body; balpha; ef ] ->
+    let alt = function
+      | Sexp.List [ bound; anon ] -> { bound = insts bound; anon = states anon }
+      | _ -> bad "all-quantifier alternative"
+    in
+    SAll
+      { param; alts = List.map alt alts; body = Expr.of_sexp body;
+        balpha = Alpha.of_sexp balpha; empty_final = Sexp.bool_field ef }
+  | Sexp.List [ Sexp.Atom "syncq"; Sexp.Atom param; is; template; body; balpha ] ->
+    SSyncQ
+      { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
+        balpha = Alpha.of_sexp balpha }
+  | Sexp.List [ Sexp.Atom "andq"; Sexp.Atom param; is; template; body; balpha ] ->
+    SAndQ
+      { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
+        balpha = Alpha.of_sexp balpha }
+  | _ -> bad "state"
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (test support)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants (s : t) : (unit, string) result =
+  let exception Bad of string in
+  let fail fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt in
+  let sorted_unique what cmp xs =
+    let rec go = function
+      | a :: (b :: _ as rest) ->
+        let c = cmp a b in
+        if c > 0 then fail "%s: not sorted" what
+        else if c = 0 then fail "%s: duplicate entries" what
+        else go rest
+      | [ _ ] | [] -> ()
+    in
+    go xs
+  in
+  let rec go = function
+    | SAtom _ -> ()
+    | SOpt { body; _ } -> go body
+    | SSeq { left; rights; _ } ->
+      if left = None && rights = [] then fail "seq: dead state represented";
+      sorted_unique "seq rights" compare rights;
+      Option.iter go left;
+      List.iter go rights
+    | SSeqIter { actives; _ } ->
+      if actives = [] then fail "seqiter: no actives";
+      sorted_unique "seqiter actives" compare actives;
+      List.iter go actives
+    | SPar { alts } ->
+      if alts = [] then fail "par: no alternatives";
+      sorted_unique "par alternatives" Stdlib.compare alts;
+      List.iter
+        (fun (l, r) ->
+          go l;
+          go r)
+        alts
+    | SParIter { alts; _ } ->
+      if alts = [] then fail "pariter: no alternatives";
+      sorted_unique "pariter alternatives" Stdlib.compare alts;
+      List.iter
+        (fun ws ->
+          (* walkers form a sorted multiset: duplicates allowed, order not *)
+          (let rec sorted = function
+             | a :: (b :: _ as rest) ->
+               if compare a b > 0 then fail "pariter walkers: not sorted" else sorted rest
+             | _ -> ()
+           in
+           sorted ws);
+          List.iter go ws)
+        alts
+    | SOr { left; right } ->
+      if left = None && right = None then fail "or: dead state represented";
+      Option.iter go left;
+      Option.iter go right
+    | SAnd { left; right } | SSync { left; right; _ } ->
+      go left;
+      go right
+    | SSome { insts; dead; template; _ } ->
+      sorted_unique "some instances" (fun (v, _) (w, _) -> String.compare v w) insts;
+      sorted_unique "some dead values" String.compare dead;
+      List.iter
+        (fun (v, _) ->
+          if List.mem v dead then fail "some: instance %s both live and dead" v)
+        insts;
+      if insts = [] && template = None then fail "some: dead state represented";
+      List.iter (fun (_, s) -> go s) insts;
+      Option.iter go template
+    | SAll { alts; _ } ->
+      if alts = [] then fail "all: no alternatives";
+      sorted_unique "all alternatives" Stdlib.compare alts;
+      List.iter
+        (fun { bound; anon } ->
+          sorted_unique "all bound" (fun (v, _) (w, _) -> String.compare v w) bound;
+          (let rec sorted = function
+             | a :: (b :: _ as rest) ->
+               if compare a b > 0 then fail "all anon: not sorted" else sorted rest
+             | _ -> ()
+           in
+           sorted anon);
+          List.iter (fun (_, s) -> go s) bound;
+          List.iter go anon)
+        alts
+    | SSyncQ { insts; template; _ } | SAndQ { insts; template; _ } ->
+      sorted_unique "quantifier instances" (fun (v, _) (w, _) -> String.compare v w) insts;
+      List.iter (fun (_, s) -> go s) insts;
+      go template
+  in
+  match go s with () -> Ok () | exception Bad m -> Error m

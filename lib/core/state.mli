@@ -1,0 +1,84 @@
+(** Operational semantics of interaction expressions (Sections 4–5).
+
+    Every expression [x] is assigned an initial state [σ(x)] ({!init}); a
+    state-transition function τ maps a state and a concrete action to a
+    successor state; predicates ψ (validity) and φ (finality) correspond to
+    the word sets Ψ and Φ.  As in Section 5, the optimizer ρ is fused into
+    the transition ({!trans} computes τ̂ = ρ∘τ): invalid substates are pruned
+    eagerly and alternative sets are canonicalized, so ψ degenerates to
+    "the state is not null" — {!trans} returns [None] exactly for the null
+    state, making the validity predicate implicit.
+
+    The intended correctness property (validated empirically against
+    {!Semantics} by the property tests) is, for every concrete word [w]:
+
+    - [w ∈ Ψ(x)]  ⇔  [σ_w(x)] is not null, and
+    - [w ∈ Φ(x)]  ⇔  [φ(σ_w(x))] ({!final}).
+
+    States are hierarchical objects mirroring the expression: sequences keep
+    the set of crossover states of their right operand, parallel
+    compositions keep a set of alternatives (pairs of substates, exactly the
+    paper's [‖, A] example), parallel iterations keep alternatives of walker
+    multisets, and quantifiers keep a finite map of {e materialized}
+    instances plus a {e template} state standing for the infinitely many
+    untouched values of Ω (materialized lazily on the first action that
+    distinguishes a value — the paper's finite-state implementation of
+    conceptually infinite expressions). *)
+
+type t
+(** A (valid) state.  The null state is represented by [None] at the API
+    boundary. *)
+
+val init : Expr.t -> t
+(** σ(x) — the initial state.  Always valid (⟨⟩ ∈ Ψ(x) for every x). *)
+
+val trans : t -> Action.concrete -> t option
+(** τ̂ — optimized state transition.  [None] is the null state: the word
+    processed so far extended by this action is not a partial word. *)
+
+val final : t -> bool
+(** φ — may the walker(s) have reached the end of the graph? *)
+
+val trans_word : t -> Action.concrete list -> t option
+(** Fold {!trans} over a word. *)
+
+val size : t -> int
+(** Number of state-tree nodes, counting every alternative — the state-size
+    measure of the complexity analyses (Section 6). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Structural dump of a state, for debugging and the examples. *)
+
+(** {1 Ablation support}
+
+    Part of the optimizer ρ is the {e canonicalization} of alternative
+    sets: sorting and merging structurally equal alternatives.  The
+    experiment harness measures its effect by switching it off; with
+    canonicalization disabled states still behave correctly but duplicate
+    alternatives accumulate.  Not intended for production use — structural
+    {!equal} on states assumes canonical form. *)
+
+val set_canonicalization : bool -> unit
+val canonicalization : unit -> bool
+
+(** {1 Persistence}
+
+    Serialized states are the checkpoint payload of the interaction
+    manager: instead of replaying the whole confirmed-action log after a
+    crash, recovery can restart from the last checkpointed state and replay
+    only the log suffix. *)
+
+val to_sexp : t -> Sexp.t
+
+val of_sexp : Sexp.t -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val check_invariants : t -> (unit, string) result
+(** Internal-consistency check used by the test suite: every alternative
+    set is sorted, duplicate-free and non-degenerate (e.g. a parallel
+    composition holds at least one alternative, instance maps are sorted by
+    value and contain no duplicates).  [Error] describes the first
+    violation. *)

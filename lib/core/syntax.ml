@@ -1,0 +1,545 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type tok =
+  | ID of string
+  | STR of string
+  | LP
+  | RP
+  | LB
+  | RB
+  | COLON
+  | COMMA
+  | DASH
+  | STAR
+  | HASH
+  | QM
+  | PIPE
+  | PIPE2
+  | AMP
+  | AT
+  | SEMI
+  | EQ
+  | EOF
+
+let tok_to_string = function
+  | ID s -> Printf.sprintf "identifier %S" s
+  | STR s -> Printf.sprintf "string %S" s
+  | LP -> "'('"
+  | RP -> "')'"
+  | LB -> "'['"
+  | RB -> "']'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DASH -> "'-'"
+  | STAR -> "'*'"
+  | HASH -> "'#'"
+  | QM -> "'?'"
+  | PIPE -> "'|'"
+  | PIPE2 -> "'||'"
+  | AMP -> "'&'"
+  | AT -> "'@'"
+  | SEMI -> "';'"
+  | EQ -> "'='"
+  | EOF -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let lex (s : string) : tok list =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (LP :: acc)
+      | ')' -> go (i + 1) (RP :: acc)
+      | '[' -> go (i + 1) (LB :: acc)
+      | ']' -> go (i + 1) (RB :: acc)
+      | ':' -> go (i + 1) (COLON :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '-' -> go (i + 1) (DASH :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '#' -> go (i + 1) (HASH :: acc)
+      | '?' -> go (i + 1) (QM :: acc)
+      | '&' -> go (i + 1) (AMP :: acc)
+      | '@' -> go (i + 1) (AT :: acc)
+      | ';' -> go (i + 1) (SEMI :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '|' ->
+        if i + 1 < n && s.[i + 1] = '|' then go (i + 2) (PIPE2 :: acc)
+        else go (i + 1) (PIPE :: acc)
+      | '"' ->
+        let buf = Buffer.create 8 in
+        let rec str j =
+          if j >= n then err "unterminated string literal"
+          else
+            match s.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              Buffer.add_char buf s.[j + 1];
+              str (j + 2)
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+        in
+        let i' = str (i + 1) in
+        go i' (STR (Buffer.contents buf) :: acc)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        go !j (ID (String.sub s i (!j - i)) :: acc)
+      | c -> err "unexpected character %C" c
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stream = {
+  mutable toks : tok list;
+  mutable macros : (string * (string list * Expr.t)) list;
+      (* user-defined operators: name -> (formals, body template) *)
+}
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> EOF
+let peek3 st = match st.toks with _ :: _ :: t :: _ -> t | _ -> EOF
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else err "expected %s but found %s" (tok_to_string t) (tok_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | ID s when String.length s > 0 && (s.[0] < '0' || s.[0] > '9') ->
+    advance st;
+    s
+  | t -> err "expected an identifier but found %s" (tok_to_string t)
+
+(* Names reserved in primary (operator) position. *)
+let primary_keywords = [ "opt"; "iter"; "pariter"; "mutex"; "times"; "activity"; "eps" ]
+
+(* Expand a macro body (a purely syntactic template, like the user-defined
+   operators of Fig. 5):
+   - a zero-argument atom named like a formal is replaced by the operand;
+   - an action ARGUMENT named like a formal requires the operand to be a
+     simple name (a zero-argument atom); the name is re-classified against
+     the call site's quantifier scope [bound], so "def exam(p) = call(p)"
+     applied inside "all p: ..." passes the quantified parameter through. *)
+let rec expand_template bindings bound (e : Expr.t) : Expr.t =
+  let go = expand_template bindings bound in
+  let subst_arg arg =
+    let name_of = function
+      | Expr.Atom a when a.Action.args = [] -> a.Action.name
+      | _ -> err "an operand used as an action argument must be a simple name"
+    in
+    match arg with
+    | (Action.Value v | Action.Param v) when List.mem_assoc v bindings ->
+      let n = name_of (List.assoc v bindings) in
+      if List.mem n bound then Action.Param n else Action.Value n
+    | (Action.Value _ | Action.Param _) as arg -> arg
+  in
+  match e with
+  | Expr.Atom a when a.Action.args = [] -> (
+    match List.assoc_opt a.Action.name bindings with
+    | Some operand -> operand
+    | None -> e)
+  | Expr.Atom a -> Expr.Atom (Action.make a.Action.name (List.map subst_arg a.Action.args))
+  | Expr.Opt y -> Expr.Opt (go y)
+  | Expr.Seq (y, z) -> Expr.Seq (go y, go z)
+  | Expr.SeqIter y -> Expr.SeqIter (go y)
+  | Expr.Par (y, z) -> Expr.Par (go y, go z)
+  | Expr.ParIter y -> Expr.ParIter (go y)
+  | Expr.Or (y, z) -> Expr.Or (go y, go z)
+  | Expr.And (y, z) -> Expr.And (go y, go z)
+  | Expr.Sync (y, z) -> Expr.Sync (go y, go z)
+  | Expr.SomeQ (p, y) -> Expr.SomeQ (p, go y)
+  | Expr.AllQ (p, y) -> Expr.AllQ (p, go y)
+  | Expr.SyncQ (p, y) -> Expr.SyncQ (p, go y)
+  | Expr.AndQ (p, y) -> Expr.AndQ (p, go y)
+
+let quantifier_of = function
+  | "some" -> Some (fun p y -> Expr.SomeQ (p, y))
+  | "all" -> Some (fun p y -> Expr.AllQ (p, y))
+  | "sync" -> Some (fun p y -> Expr.SyncQ (p, y))
+  | "conj" -> Some (fun p y -> Expr.AndQ (p, y))
+  | _ -> None
+
+let rec parse_expr st bound =
+  match (peek st, peek2 st, peek3 st) with
+  | ID kw, ID p, COLON when quantifier_of kw <> None ->
+    let mk = Option.get (quantifier_of kw) in
+    advance st;
+    advance st;
+    advance st;
+    mk p (parse_expr st (p :: bound))
+  | _ -> parse_sync st bound
+
+and parse_binary st bound ~op ~next ~mk =
+  let left = next st bound in
+  let rec loop acc = if peek st = op then (advance st; loop (mk acc (next st bound))) else acc in
+  loop left
+
+and parse_sync st bound =
+  parse_binary st bound ~op:AT ~next:parse_and ~mk:(fun a b -> Expr.Sync (a, b))
+
+and parse_and st bound =
+  parse_binary st bound ~op:AMP ~next:parse_or ~mk:(fun a b -> Expr.And (a, b))
+
+and parse_or st bound =
+  parse_binary st bound ~op:PIPE ~next:parse_par ~mk:(fun a b -> Expr.Or (a, b))
+
+and parse_par st bound =
+  parse_binary st bound ~op:PIPE2 ~next:parse_seq ~mk:(fun a b -> Expr.Par (a, b))
+
+and parse_seq st bound =
+  parse_binary st bound ~op:DASH ~next:parse_postfix ~mk:(fun a b -> Expr.Seq (a, b))
+
+and parse_postfix st bound =
+  let e = parse_primary st bound in
+  let rec loop e =
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Expr.SeqIter e)
+    | HASH ->
+      advance st;
+      loop (Expr.ParIter e)
+    | QM ->
+      advance st;
+      loop (Expr.Opt e)
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st bound =
+  match peek st with
+  | LP ->
+    advance st;
+    let e = parse_expr st bound in
+    expect st RP;
+    e
+  | LB ->
+    advance st;
+    let e = parse_expr st bound in
+    expect st RB;
+    Expr.Opt e
+  | ID "eps" ->
+    advance st;
+    Expr.epsilon
+  | ID "opt" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let e = parse_expr st bound in
+    expect st RP;
+    Expr.Opt e
+  | ID "iter" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let e = parse_expr st bound in
+    expect st RP;
+    Expr.SeqIter e
+  | ID "pariter" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let e = parse_expr st bound in
+    expect st RP;
+    Expr.ParIter e
+  | ID "mutex" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let rec branches acc =
+      let e = parse_expr st bound in
+      if peek st = COMMA then (advance st; branches (e :: acc)) else List.rev (e :: acc)
+    in
+    let bs = branches [] in
+    expect st RP;
+    Expr.mutex bs
+  | ID "times" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let n =
+      match peek st with
+      | ID d -> (
+        advance st;
+        match int_of_string_opt d with
+        | Some n when n >= 0 -> n
+        | Some _ | None -> err "times: expected a non-negative integer, found %S" d)
+      | t -> err "times: expected an integer, found %s" (tok_to_string t)
+    in
+    expect st COMMA;
+    let e = parse_expr st bound in
+    expect st RP;
+    Expr.times n e
+  | ID "activity" when peek2 st = LP ->
+    advance st;
+    expect st LP;
+    let name = ident st in
+    let args = if peek st = LP then parse_args st bound else [] in
+    expect st RP;
+    Expr.activity name args
+  | ID name when List.mem_assoc name st.macros ->
+    advance st;
+    let formals, body = List.assoc name st.macros in
+    let operands =
+      if peek st = LP then begin
+        advance st;
+        if peek st = RP then (advance st; [])
+        else
+          let rec loop acc =
+            let e = parse_expr st bound in
+            if peek st = COMMA then (advance st; loop (e :: acc)) else List.rev (e :: acc)
+          in
+          let ops = loop [] in
+          expect st RP;
+          ops
+      end
+      else []
+    in
+    if List.length operands <> List.length formals then
+      err "operator %s expects %d operand(s) but got %d" name (List.length formals)
+        (List.length operands)
+    else expand_template (List.combine formals operands) bound body
+  | ID name when String.length name > 0 && (name.[0] < '0' || name.[0] > '9') ->
+    advance st;
+    let args = if peek st = LP then parse_args st bound else [] in
+    Expr.Atom (Action.make name args)
+  | t -> err "expected an expression but found %s" (tok_to_string t)
+
+and parse_args st bound =
+  expect st LP;
+  if peek st = RP then (advance st; [])
+  else
+    let rec loop acc =
+      let arg =
+        match peek st with
+        | QM ->
+          advance st;
+          Action.param (ident st)
+        | STR v ->
+          advance st;
+          Action.value v
+        | ID v ->
+          advance st;
+          if List.mem v bound then Action.param v else Action.value v
+        | t -> err "expected an argument but found %s" (tok_to_string t)
+      in
+      if peek st = COMMA then (advance st; loop (arg :: acc)) else List.rev (arg :: acc)
+    in
+    let args = loop [] in
+    expect st RP;
+    args
+
+(* def name(x, y) = body ;   — user-defined operators, expanded at parse
+   time; a body may use operators defined before it, so expansion cannot
+   recurse. *)
+let parse_def st =
+  advance st (* def *);
+  let name = ident st in
+  if List.mem name primary_keywords || quantifier_of name <> None || name = "def" then
+    err "cannot redefine the built-in operator %S" name;
+  if List.mem_assoc name st.macros then err "operator %S is already defined" name;
+  let formals =
+    if peek st = LP then begin
+      advance st;
+      if peek st = RP then (advance st; [])
+      else
+        let rec loop acc =
+          let f = ident st in
+          if peek st = COMMA then (advance st; loop (f :: acc)) else List.rev (f :: acc)
+        in
+        let fs = loop [] in
+        expect st RP;
+        fs
+    end
+    else []
+  in
+  (match List.find_opt (fun f -> List.length (List.filter (String.equal f) formals) > 1) formals with
+  | Some f -> err "duplicate formal %S in definition of %S" f name
+  | None -> ());
+  expect st EQ;
+  let body = parse_expr st [] in
+  expect st SEMI;
+  st.macros <- (name, (formals, body)) :: st.macros
+
+let parse_exn s =
+  try
+    let st = { toks = lex s; macros = [] } in
+    let rec defs () =
+      match (peek st, peek2 st) with
+      | ID "def", ID _ ->
+        parse_def st;
+        defs ()
+      | _ -> ()
+    in
+    defs ();
+    let e = parse_expr st [] in
+    if peek st <> EOF then err "trailing input starting at %s" (tok_to_string (peek st));
+    e
+  with Error m -> invalid_arg ("Syntax.parse: " ^ m)
+
+let parse s = try Ok (parse_exn s) with Invalid_argument m -> Result.Error m
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ident_like v =
+  String.length v > 0
+  && is_ident_char v.[0]
+  && (v.[0] < '0' || v.[0] > '9' || String.for_all (fun c -> c >= '0' && c <= '9') v)
+  && String.for_all is_ident_char v
+
+let quote v =
+  let buf = Buffer.create (String.length v + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    v;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* A value must be quoted when re-reading it bare would go wrong: captured
+   by an in-scope parameter, mistaken for a keyword, or not identifier-like. *)
+let value_str scope v =
+  if ident_like v && (not (List.mem v scope)) && not (List.mem v primary_keywords) then v
+  else quote v
+
+let atom_str scope (a : Action.t) =
+  match a.Action.args with
+  | [] -> a.Action.name
+  | args ->
+    let arg_str = function
+      | Action.Value v -> value_str scope v
+      | Action.Param p -> "?" ^ p
+    in
+    Printf.sprintf "%s(%s)" a.Action.name (String.concat "," (List.map arg_str args))
+
+(* Precedence: 0 quantifier, 1 '@', 2 '&', 3 '|', 4 '||', 5 '-', 6 postfix,
+   7 primary. *)
+let rec emit buf scope ctx (e : Expr.t) =
+  let binary prec op y z =
+    let body () =
+      emit buf scope prec y;
+      Buffer.add_string buf op;
+      emit buf scope (prec + 1) z
+    in
+    if ctx > prec then (
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')')
+    else body ()
+  in
+  match e with
+  | _ when Expr.equal e Expr.epsilon -> Buffer.add_string buf "eps"
+  | Expr.Atom a -> Buffer.add_string buf (atom_str scope a)
+  | Expr.Opt y ->
+    Buffer.add_char buf '[';
+    emit buf scope 0 y;
+    Buffer.add_char buf ']'
+  | Expr.Seq (y, z) -> binary 5 " - " y z
+  | Expr.Par (y, z) -> binary 4 " || " y z
+  | Expr.Or (y, z) -> binary 3 " | " y z
+  | Expr.And (y, z) -> binary 2 " & " y z
+  | Expr.Sync (y, z) -> binary 1 " @ " y z
+  | Expr.SeqIter y ->
+    emit buf scope 7 y;
+    Buffer.add_char buf '*'
+  | Expr.ParIter y ->
+    emit buf scope 7 y;
+    Buffer.add_char buf '#'
+  | Expr.SomeQ (p, y) -> quant buf scope ctx "some" p y
+  | Expr.AllQ (p, y) -> quant buf scope ctx "all" p y
+  | Expr.SyncQ (p, y) -> quant buf scope ctx "sync" p y
+  | Expr.AndQ (p, y) -> quant buf scope ctx "conj" p y
+
+and quant buf scope ctx kw p y =
+  let body () =
+    Buffer.add_string buf kw;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf p;
+    Buffer.add_string buf ": ";
+    emit buf (p :: scope) 0 y
+  in
+  if ctx > 0 then (
+    Buffer.add_char buf '(';
+    body ();
+    Buffer.add_char buf ')')
+  else body ()
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  emit buf [] 0 e;
+  Buffer.contents buf
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete actions and words                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_action_from st =
+  let name = ident st in
+  let args =
+    if peek st = LP then (
+      advance st;
+      if peek st = RP then (advance st; [])
+      else
+        let rec loop acc =
+          let v =
+            match peek st with
+            | ID v ->
+              advance st;
+              v
+            | STR v ->
+              advance st;
+              v
+            | t -> err "expected a value but found %s" (tok_to_string t)
+          in
+          if peek st = COMMA then (advance st; loop (v :: acc)) else List.rev (v :: acc)
+        in
+        let vs = loop [] in
+        expect st RP;
+        vs)
+    else []
+  in
+  Action.conc name args
+
+let parse_action_exn s =
+  try
+    let st = { toks = lex s; macros = [] } in
+    let a = parse_action_from st in
+    if peek st <> EOF then err "trailing input after action";
+    a
+  with Error m -> invalid_arg ("Syntax.parse_action: " ^ m)
+
+let parse_action s = try Ok (parse_action_exn s) with Invalid_argument m -> Result.Error m
+
+let parse_word_exn s =
+  try
+    let st = { toks = lex s; macros = [] } in
+    let rec loop acc =
+      match peek st with
+      | EOF -> List.rev acc
+      | COMMA | SEMI ->
+        advance st;
+        loop acc
+      | _ -> loop (parse_action_from st :: acc)
+    in
+    loop []
+  with Error m -> invalid_arg ("Syntax.parse_word: " ^ m)
+
+let parse_word s = try Ok (parse_word_exn s) with Invalid_argument m -> Result.Error m

@@ -1,0 +1,59 @@
+(** Concrete textual syntax for interaction expressions.
+
+    Interaction graphs are a graphical notation for interaction expressions
+    (Section 3); this module provides the equivalent linear notation used by
+    the [iexpr] command-line tool, tests and examples:
+
+    {v
+    program ::= { "def" name [ "(" formal {"," formal} ")" ] "=" expr ";" } expr
+    expr    ::= ("some" | "all" | "sync" | "conj") param ":" expr
+              | sync
+    sync    ::= and   ("@"  and)*     -- synchronization / coupling
+    and     ::= or    ("&"  or)*      -- strict conjunction
+    or      ::= par   ("|"  par)*     -- disjunction
+    par     ::= seq   ("||" seq)*     -- parallel composition
+    seq     ::= post  ("-"  post)*    -- sequential composition
+    post    ::= prim  ("*" | "#" | "?")*   -- seq-iter, par-iter, option
+    prim    ::= atom | "(" expr ")" | "[" expr "]"       -- [e] = option
+              | "opt" "(" expr ")" | "iter" "(" expr ")"
+              | "pariter" "(" expr ")"
+              | "mutex" "(" expr {"," expr} ")"          -- Fig. 5 "flash"
+              | "times" "(" int "," expr ")"             -- Fig. 6 multiplier
+              | "activity" "(" atom ")"                  -- a_s − a_t pair
+              | "eps"                                    -- empty word only
+    atom    ::= name [ "(" arg {"," arg} ")" ]
+    arg     ::= "?" param | ident | number | string
+    v}
+
+    A bare identifier argument denotes the parameter of an enclosing
+    quantifier if one of that name is in scope, and a concrete value
+    otherwise; ["?p"] always denotes a parameter, and a double-quoted
+    string always a value.  The printer emits parameters as [?p] and quotes
+    values that would be captured, so [parse (to_string e)] re-reads [e]
+    exactly (a property test checks this).
+
+    [def] introduces a user-defined operator (the textual counterpart of
+    Fig. 5's expert-defined templates), expanded syntactically at parse
+    time: a zero-argument atom named like a formal becomes the operand
+    expression; a formal used in an {e argument} position requires a
+    simple-name operand, which is re-classified against the call site's
+    quantifier scope.  Definitions may use operators defined before them;
+    recursion is impossible by construction (the formalism deliberately
+    excludes recursive expressions). *)
+
+val parse : string -> (Expr.t, string) result
+val parse_exn : string -> Expr.t
+(** @raise Invalid_argument on syntax errors. *)
+
+val to_string : Expr.t -> string
+
+val pp : Format.formatter -> Expr.t -> unit
+
+val parse_action : string -> (Action.concrete, string) result
+(** A single concrete action, e.g. ["call(4711,endo)"]. *)
+
+val parse_word : string -> (Action.concrete list, string) result
+(** Whitespace/comma/semicolon-separated concrete actions. *)
+
+val parse_action_exn : string -> Action.concrete
+val parse_word_exn : string -> Action.concrete list

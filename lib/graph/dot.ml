@@ -1,0 +1,161 @@
+open Interaction
+
+(* Each construct is emitted as a small sub-diagram with one entry and one
+   exit node; composite constructs wire their children's entries and exits
+   together, mirroring how a walker traverses the printed graphs of the
+   paper. *)
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type ctx = {
+  buf : Buffer.t;
+  mutable next : int;
+}
+
+let fresh ctx =
+  let id = ctx.next in
+  ctx.next <- id + 1;
+  Printf.sprintf "n%d" id
+
+let node ctx ~shape ?(extra = "") label =
+  let id = fresh ctx in
+  Buffer.add_string ctx.buf
+    (Printf.sprintf "  %s [shape=%s,label=\"%s\"%s];\n" id shape (esc label) extra);
+  id
+
+let edge ?(attrs = "") ctx a b =
+  Buffer.add_string ctx.buf (Printf.sprintf "  %s -> %s%s;\n" a b attrs)
+
+let circle ctx label = node ctx ~shape:"circle" ~extra:",fixedsize=true,width=0.35" label
+let dcircle ctx label = node ctx ~shape:"doublecircle" ~extra:",fixedsize=true,width=0.3" label
+
+let action_label name args =
+  Action.to_string (Action.make name args)
+
+(* Returns (entry, exit). *)
+let rec emit ctx (g : Graph.t) : string * string =
+  match g with
+  | Graph.Activity (name, args) ->
+    let id = node ctx ~shape:"box" (action_label name args) in
+    (id, id)
+  | Graph.Act (name, args) ->
+    let id = node ctx ~shape:"ellipse" (action_label name args) in
+    (id, id)
+  | Graph.Path gs ->
+    let ends = List.map (emit ctx) gs in
+    let rec wire = function
+      | (_, x1) :: ((e2, _) :: _ as rest) ->
+        edge ctx x1 e2;
+        wire rest
+      | [ _ ] | [] -> ()
+    in
+    wire ends;
+    (match (ends, List.rev ends) with
+    | (e, _) :: _, (_, x) :: _ -> (e, x)
+    | _ -> invalid_arg "Dot.render: empty path")
+  | Graph.EitherOr gs -> branch ctx circle "" gs
+  | Graph.AsWellAs gs -> branch ctx dcircle "" gs
+  | Graph.ArbitrarilyParallel g -> region ctx dcircle "✳" g
+  | Graph.Loop g ->
+    let o = circle ctx "" and c = circle ctx "" in
+    let e, x = emit ctx g in
+    edge ctx o e;
+    edge ctx x c;
+    edge ~attrs:" [style=dashed,constraint=false]" ctx c o;
+    (o, c)
+  | Graph.Optional g ->
+    let o = circle ctx "" and c = circle ctx "" in
+    let e, x = emit ctx g in
+    edge ctx o e;
+    edge ctx x c;
+    edge ~attrs:" [style=dashed]" ctx o c;
+    (o, c)
+  | Graph.Multiplier (n, g) -> region ctx dcircle (string_of_int n) g
+  | Graph.ForSome (p, g) -> region ctx circle p g
+  | Graph.ForAll (p, g) -> region ctx dcircle p g
+  | Graph.ForEach (p, g) -> region ctx dcircle ("≫" ^ p) g
+  | Graph.ForEvery (p, g) -> region ctx dcircle ("∧" ^ p) g
+  | Graph.Couple gs -> branch ctx dcircle "⊕" gs
+  | Graph.Conjoin gs -> branch ctx dcircle "∧" gs
+  | Graph.Use (name, gs) -> branch ctx (fun ctx l -> node ctx ~shape:"ellipse" l) name gs
+
+and branch ctx mk label gs =
+  let o = mk ctx label and c = mk ctx label in
+  List.iter
+    (fun g ->
+      let e, x = emit ctx g in
+      edge ctx o e;
+      edge ctx x c)
+    gs;
+  (o, c)
+
+and region ctx mk label g = branch ctx mk label [ g ]
+
+let render ?(name = "interaction") g =
+  let ctx = { buf = Buffer.create 1024; next = 0 } in
+  Buffer.add_string ctx.buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" (esc name));
+  Buffer.add_string ctx.buf "  node [fontname=\"Helvetica\",fontsize=10];\n";
+  let entry, exit_ = emit ctx g in
+  let start = node ctx ~shape:"point" "" in
+  let stop = node ctx ~shape:"point" "" in
+  edge ctx start entry;
+  edge ctx exit_ stop;
+  Buffer.add_string ctx.buf "}\n";
+  Buffer.contents ctx.buf
+
+let save ?name ~file g =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?name g))
+
+(* Indented box-drawing tree view. *)
+let render_tree g =
+  let buf = Buffer.create 256 in
+  let label = function
+    | Graph.Activity (name, args) ->
+      Printf.sprintf "[%s]" (Action.to_string (Action.make name args))
+    | Graph.Act (name, args) -> Action.to_string (Action.make name args)
+    | Graph.Path _ -> "path"
+    | Graph.EitherOr _ -> "either-or (1 of n)"
+    | Graph.AsWellAs _ -> "as-well-as (all)"
+    | Graph.ArbitrarilyParallel _ -> "arbitrarily-parallel"
+    | Graph.Loop _ -> "loop"
+    | Graph.Optional _ -> "optional"
+    | Graph.Multiplier (n, _) -> Printf.sprintf "multiplier x%d" n
+    | Graph.ForSome (p, _) -> Printf.sprintf "for some %s" p
+    | Graph.ForAll (p, _) -> Printf.sprintf "for all %s" p
+    | Graph.ForEach (p, _) -> Printf.sprintf "for each %s (sync)" p
+    | Graph.ForEvery (p, _) -> Printf.sprintf "for every %s (conj)" p
+    | Graph.Couple _ -> "coupling"
+    | Graph.Conjoin _ -> "conjunction"
+    | Graph.Use (name, _) -> name ^ "!"
+  in
+  let children = function
+    | Graph.Activity _ | Graph.Act _ -> []
+    | Graph.Path gs | Graph.EitherOr gs | Graph.AsWellAs gs | Graph.Couple gs
+    | Graph.Conjoin gs | Graph.Use (_, gs) ->
+      gs
+    | Graph.ArbitrarilyParallel g | Graph.Loop g | Graph.Optional g
+    | Graph.Multiplier (_, g) | Graph.ForSome (_, g) | Graph.ForAll (_, g)
+    | Graph.ForEach (_, g) | Graph.ForEvery (_, g) ->
+      [ g ]
+  in
+  let rec go prefix is_last g =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (if is_last then "└─ " else "├─ ");
+    Buffer.add_string buf (label g);
+    Buffer.add_char buf '\n';
+    let kids = children g in
+    let child_prefix = prefix ^ (if is_last then "   " else "│  ") in
+    List.iteri (fun i k -> go child_prefix (i = List.length kids - 1) k) kids
+  in
+  go "" true g;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Graphviz rendering of interaction graphs.
+
+    Renders the left-to-right diagram convention of the paper: activities as
+    rectangles, actions as plain ellipses, operator regions as paired circle
+    nodes (single circle = one branch, double circle = all branches, triple
+    circle = arbitrarily many traversals), quantifiers and multipliers as
+    labelled circles, and loops/options as back/skip edges.  The output is a
+    [digraph] with [rankdir=LR] suitable for [dot -Tsvg]. *)
+
+val render : ?name:string -> Graph.t -> string
+(** DOT source for the graph. *)
+
+val save : ?name:string -> file:string -> Graph.t -> unit
+(** Write {!render} output to [file]. *)
+
+val render_tree : Graph.t -> string
+(** Box-drawing tree rendering of the graph structure for terminals (the
+    poor man's interaction-graph editor view). *)

@@ -1,0 +1,91 @@
+open Interaction
+
+type t =
+  | Activity of string * Action.arg list
+  | Act of string * Action.arg list
+  | Path of t list
+  | EitherOr of t list
+  | AsWellAs of t list
+  | ArbitrarilyParallel of t
+  | Loop of t
+  | Optional of t
+  | Multiplier of int * t
+  | ForSome of Action.param * t
+  | ForAll of Action.param * t
+  | ForEach of Action.param * t
+  | ForEvery of Action.param * t
+  | Couple of t list
+  | Conjoin of t list
+  | Use of string * t list
+
+let nonempty what = function
+  | [] -> invalid_arg ("Graph.compile: empty " ^ what)
+  | xs -> xs
+
+let rec compile ?(templates = Template.predefined) g =
+  let go g = compile ~templates g in
+  match g with
+  | Activity (name, args) -> Expr.activity name args
+  | Act (name, args) -> Expr.Atom (Action.make name args)
+  | Path gs -> Expr.seq_list (List.map go (nonempty "path" gs))
+  | EitherOr gs -> Expr.alt_list (List.map go (nonempty "either-or branching" gs))
+  | AsWellAs gs -> Expr.par_list (List.map go (nonempty "as-well-as branching" gs))
+  | ArbitrarilyParallel g -> Expr.par_iter (go g)
+  | Loop g -> Expr.seq_iter (go g)
+  | Optional g -> Expr.opt (go g)
+  | Multiplier (n, g) -> Expr.times n (go g)
+  | ForSome (p, g) -> Expr.some_q p (go g)
+  | ForAll (p, g) -> Expr.all_q p (go g)
+  | ForEach (p, g) -> Expr.sync_q p (go g)
+  | ForEvery (p, g) -> Expr.and_q p (go g)
+  | Couple gs -> Expr.sync_list (List.map go (nonempty "coupling" gs))
+  | Conjoin gs -> Expr.conj_list (List.map go (nonempty "conjunction" gs))
+  | Use (name, gs) -> Template.expand templates name (List.map go gs)
+
+let rec of_expr : Expr.t -> t = function
+  | Expr.Atom a -> Act (a.Action.name, a.Action.args)
+  | Expr.Opt y -> Optional (of_expr y)
+  | Expr.Seq (y, z) -> Path [ of_expr y; of_expr z ]
+  | Expr.SeqIter y -> Loop (of_expr y)
+  | Expr.Par (y, z) -> AsWellAs [ of_expr y; of_expr z ]
+  | Expr.ParIter y -> ArbitrarilyParallel (of_expr y)
+  | Expr.Or (y, z) -> EitherOr [ of_expr y; of_expr z ]
+  | Expr.And (y, z) -> Conjoin [ of_expr y; of_expr z ]
+  | Expr.Sync (y, z) -> Couple [ of_expr y; of_expr z ]
+  | Expr.SomeQ (p, y) -> ForSome (p, of_expr y)
+  | Expr.AllQ (p, y) -> ForAll (p, of_expr y)
+  | Expr.SyncQ (p, y) -> ForEach (p, of_expr y)
+  | Expr.AndQ (p, y) -> ForEvery (p, of_expr y)
+
+let activity name args = Activity (name, List.map Action.value args)
+let activity_p name args = Activity (name, args)
+
+let rec size = function
+  | Activity _ | Act _ -> 1
+  | Path gs | EitherOr gs | AsWellAs gs | Couple gs | Conjoin gs | Use (_, gs) ->
+    1 + List.fold_left (fun n g -> n + size g) 0 gs
+  | ArbitrarilyParallel g | Loop g | Optional g | Multiplier (_, g)
+  | ForSome (_, g) | ForAll (_, g) | ForEach (_, g) | ForEvery (_, g) ->
+    1 + size g
+
+let rec pp ppf g =
+  let plist ppf gs =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp ppf gs
+  in
+  match g with
+  | Activity (name, args) -> Format.fprintf ppf "[%a]" Action.pp (Action.make name args)
+  | Act (name, args) -> Action.pp ppf (Action.make name args)
+  | Path gs -> Format.fprintf ppf "@[<hv 2>path(%a)@]" plist gs
+  | EitherOr gs -> Format.fprintf ppf "@[<hv 2>either(%a)@]" plist gs
+  | AsWellAs gs -> Format.fprintf ppf "@[<hv 2>aswellas(%a)@]" plist gs
+  | ArbitrarilyParallel g -> Format.fprintf ppf "@[<hv 2>arbpar(%a)@]" pp g
+  | Loop g -> Format.fprintf ppf "@[<hv 2>loop(%a)@]" pp g
+  | Optional g -> Format.fprintf ppf "@[<hv 2>optional(%a)@]" pp g
+  | Multiplier (n, g) -> Format.fprintf ppf "@[<hv 2>multiplier(%d, %a)@]" n pp g
+  | ForSome (p, g) -> Format.fprintf ppf "@[<hv 2>forsome %s(%a)@]" p pp g
+  | ForAll (p, g) -> Format.fprintf ppf "@[<hv 2>forall %s(%a)@]" p pp g
+  | ForEach (p, g) -> Format.fprintf ppf "@[<hv 2>foreach %s(%a)@]" p pp g
+  | ForEvery (p, g) -> Format.fprintf ppf "@[<hv 2>forevery %s(%a)@]" p pp g
+  | Couple gs -> Format.fprintf ppf "@[<hv 2>couple(%a)@]" plist gs
+  | Conjoin gs -> Format.fprintf ppf "@[<hv 2>conjoin(%a)@]" plist gs
+  | Use (name, gs) -> Format.fprintf ppf "@[<hv 2>%s!(%a)@]" name plist gs

@@ -1,0 +1,55 @@
+open Interaction
+
+(** Interaction graphs — the graphical, user-oriented view (Section 2).
+
+    An interaction graph is a left-to-right diagram traversed by walkers:
+    rectangles are {e activities} (positive duration, expanded into start and
+    termination actions), branchings are operator regions (single circle =
+    "either or", double circle = "as well as", triple circle = "arbitrarily
+    parallel"), and quantifier/multiplier regions generalize them.  Graphs
+    are merely a graphical notation for interaction expressions, so this
+    module represents a graph as a structure tree that {!compile}s to an
+    {!Interaction.Expr.t}; {!Dot} renders it for Graphviz. *)
+
+type t =
+  | Activity of string * Action.arg list
+      (** rectangle: expands to the [a_s − a_t] sequence (footnote 6) *)
+  | Act of string * Action.arg list  (** a point action (no duration) *)
+  | Path of t list  (** left-to-right traversal (sequential composition) *)
+  | EitherOr of t list  (** single circle: disjunction branching (Fig. 4) *)
+  | AsWellAs of t list  (** double circle: parallel branching (Fig. 4) *)
+  | ArbitrarilyParallel of t  (** triple circle: parallel iteration *)
+  | Loop of t  (** backwards edge: sequential iteration *)
+  | Optional of t  (** bypass edge: option *)
+  | Multiplier of int * t  (** Fig. 6: n concurrent instances of the body *)
+  | ForSome of Action.param * t  (** "for some x" quantifier region *)
+  | ForAll of Action.param * t  (** "for all p" quantifier region *)
+  | ForEach of Action.param * t
+      (** synchronization quantifier: every value constrained, with alphabet
+          relief (Fig. 6's per-department capacity) *)
+  | ForEvery of Action.param * t  (** conjunction quantifier *)
+  | Couple of t list  (** coupling region of Fig. 7 (synchronization) *)
+  | Conjoin of t list  (** strict conjunction region *)
+  | Use of string * t list  (** application of a user-defined operator *)
+
+val of_expr : Expr.t -> t
+(** The canonical graph of an expression (expressions and graphs are two
+    notations for the same thing).  Atoms become action nodes — activity
+    rectangles are a presentation device and are not reconstructed. *)
+
+val compile : ?templates:Template.registry -> t -> Expr.t
+(** Translate the graph to its interaction expression.  [Use] nodes are
+    expanded through the template registry (defaults to
+    {!Template.predefined}, which knows the "flash" mutual exclusion of
+    Fig. 5).  @raise Invalid_argument on unknown operator names, arity
+    mismatches, or empty branchings. *)
+
+val activity : string -> string list -> t
+(** Activity with concrete value arguments. *)
+
+val activity_p : string -> Action.arg list -> t
+
+val size : t -> int
+(** Number of graph nodes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+open Interaction
+
+type def = {
+  name : string;
+  arity : arity;
+  expand : Expr.t list -> Expr.t;
+  doc : string;
+}
+
+and arity =
+  | Exactly of int
+  | At_least of int
+
+type registry = def list
+
+let empty = []
+let add d r = d :: r
+let find name r = List.find_opt (fun d -> String.equal d.name name) r
+let names r = List.sort_uniq String.compare (List.map (fun d -> d.name) r)
+
+let arity_ok arity n =
+  match arity with Exactly k -> n = k | At_least k -> n >= k
+
+let expand r name operands =
+  match find name r with
+  | None -> invalid_arg (Printf.sprintf "Template.expand: unknown operator %S" name)
+  | Some d ->
+    let n = List.length operands in
+    if not (arity_ok d.arity n) then
+      invalid_arg
+        (Printf.sprintf "Template.expand: operator %S does not accept %d operand(s)" name n)
+    else d.expand operands
+
+let flash =
+  { name = "flash";
+    arity = At_least 1;
+    expand = Expr.mutex;
+    doc =
+      "Fig. 5 mutual exclusion: a sequential iteration of an either-or \
+       branching of the operands."
+  }
+
+let handshake =
+  { name = "handshake";
+    arity = Exactly 2;
+    expand =
+      (fun ops ->
+        match ops with
+        | [ y; z ] -> Expr.seq_iter (Expr.seq y z)
+        | _ -> assert false);
+    doc = "Strict alternation: (y - z) repeated."
+  }
+
+let critical =
+  { name = "critical";
+    arity = Exactly 1;
+    expand =
+      (fun ops ->
+        match ops with [ y ] -> Expr.seq_iter y | _ -> assert false);
+    doc = "At most one traversal of the body at any time, repeatedly."
+  }
+
+let predefined =
+  empty |> add critical |> add handshake |> add flash |> add { flash with name = "mutex" }

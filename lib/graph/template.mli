@@ -1,0 +1,40 @@
+open Interaction
+
+(** User-defined operators for interaction graphs (Section 2, Fig. 5).
+
+    Frequently occurring or complicated application-specific operators can
+    be predefined by an "interaction graph expert" and then applied by
+    unexperienced users without knowing their definition.  A template maps a
+    list of operand expressions to its expansion. *)
+
+type def = {
+  name : string;
+  arity : arity;
+  expand : Expr.t list -> Expr.t;
+  doc : string;
+}
+
+and arity =
+  | Exactly of int
+  | At_least of int
+
+type registry
+
+val empty : registry
+
+val add : def -> registry -> registry
+(** Later additions shadow earlier definitions of the same name. *)
+
+val find : string -> registry -> def option
+val names : registry -> string list
+
+val predefined : registry
+(** The built-in operators:
+    - ["flash"] / ["mutex"] — Fig. 5's mutual exclusion: a sequential
+      iteration of the disjunction of the branches;
+    - ["handshake"] — strict alternation of two branches;
+    - ["critical"] — at most one traversal of the body at a time, where the
+      body itself may be optional. *)
+
+val expand : registry -> string -> Expr.t list -> Expr.t
+(** @raise Invalid_argument on unknown names or arity mismatch. *)

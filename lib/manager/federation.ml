@@ -1,0 +1,87 @@
+open Interaction
+
+(* Can any concrete action match both patterns?  [Free] positions match
+   nothing, so a pattern containing one is inert and overlaps nothing. *)
+let patterns_overlap (p : Alpha.pattern) (q : Alpha.pattern) =
+  let inert pat =
+    List.exists (function Alpha.Free _ -> true | Alpha.Val _ | Alpha.Bound _ -> false)
+      pat.Alpha.pargs
+  in
+  String.equal p.Alpha.pname q.Alpha.pname
+  && List.length p.Alpha.pargs = List.length q.Alpha.pargs
+  && (not (inert p))
+  && (not (inert q))
+  && List.for_all2
+       (fun a b ->
+         match (a, b) with
+         | Alpha.Val v, Alpha.Val w -> String.equal v w
+         | Alpha.Val _, Alpha.Bound _ | Alpha.Bound _, Alpha.Val _
+         | Alpha.Bound _, Alpha.Bound _ ->
+           true
+         | Alpha.Free _, _ | _, Alpha.Free _ -> false)
+       p.Alpha.pargs q.Alpha.pargs
+
+let alphas_overlap a b =
+  List.exists (fun p -> List.exists (patterns_overlap p) b) a
+
+let rec flatten_sync = function
+  | Expr.Sync (y, z) -> flatten_sync y @ flatten_sync z
+  | e -> [ e ]
+
+let partition e =
+  let operands = flatten_sync e in
+  let with_alpha = List.map (fun op -> (op, Alpha.of_expr op)) operands in
+  (* union of overlapping groups, preserving operand order inside groups *)
+  let insert groups (op, al) =
+    let interferes (_, gal) = alphas_overlap al gal in
+    let hits, rest = List.partition interferes groups in
+    let merged_ops = List.concat_map fst hits @ [ op ] in
+    let merged_alpha = List.concat_map snd hits @ al in
+    rest @ [ (merged_ops, merged_alpha) ]
+  in
+  let groups = List.fold_left insert [] with_alpha in
+  List.map (fun (ops, _) -> Expr.sync_list ops) groups
+
+type t = {
+  members : (Manager.t * Alpha.t) list;
+}
+
+let of_components components =
+  { members = List.map (fun c -> (Manager.create c, Alpha.of_expr c)) components }
+
+let create e = of_components (partition e)
+let size t = List.length t.members
+let managers t = List.map fst t.members
+
+let relevant t c =
+  List.filter_map (fun (m, al) -> if Alpha.mem al c then Some m else None) t.members
+
+let permitted t c = List.for_all (fun m -> Manager.permitted m c) (relevant t c)
+
+let execute t ~client c =
+  let members = relevant t c in
+  (* phase 1: collect grants from every relevant manager *)
+  let rec grant acc = function
+    | [] -> Ok (List.rev acc)
+    | m :: rest -> (
+      match Manager.ask m ~client c with
+      | Manager.Granted -> grant (m :: acc) rest
+      | Manager.Denied | Manager.Busy -> Error acc)
+  in
+  match grant [] members with
+  | Ok granted ->
+    (* phase 2: commit everywhere *)
+    List.iter (fun m -> Manager.confirm m ~client c) granted;
+    true
+  | Error granted ->
+    List.iter (fun m -> Manager.abort m ~client c) granted;
+    false
+
+let loads t =
+  List.map (fun (m, _) -> ((Manager.stats m).Manager.asks, Manager.stats m)) t.members
+
+let total_transitions t =
+  List.fold_left (fun acc (m, _) -> acc + (Manager.stats m).Manager.transitions) 0 t.members
+
+let crash_all t = List.iter (fun (m, _) -> Manager.crash m) t.members
+let recover_all t = List.iter (fun (m, _) -> Manager.recover m) t.members

@@ -1,0 +1,57 @@
+open Interaction
+
+(** Multiple interaction managers (Section 7).
+
+    The paper notes that its coordination protocols are "generalized to
+    application scenarios involving multiple interaction managers" to keep
+    a single manager from becoming a bottleneck.  This module implements
+    that generalization for the natural decomposition: a top-level coupling
+    of constraint subgraphs whose concrete alphabets do not overlap imposes
+    no cross-constraints between the groups (by the projection
+    characterization of synchronization, the coupling of alphabet-disjoint
+    expressions is their independent product), so each connected group can
+    be served by its own manager.
+
+    A client executes an action through the federation; the federation
+    routes it to every member manager whose alphabet mentions the action
+    and runs a two-phase grant: ask all relevant managers, and only if all
+    grant, confirm at all of them (otherwise abort the grants already
+    obtained).  Actions foreign to every member are permitted without
+    traffic. *)
+
+val partition : Expr.t -> Expr.t list
+(** Split a (possibly nested) top-level coupling into connected components
+    by alphabet overlap.  Expressions that are not couplings, or whose
+    operands all interfere, yield a single component.  The coupling of the
+    returned components is equivalent to the input. *)
+
+type t
+
+val create : Expr.t -> t
+(** Partition the expression and spawn one {!Manager} per component. *)
+
+val of_components : Expr.t list -> t
+(** Use an explicit decomposition (unchecked). *)
+
+val size : t -> int
+(** Number of member managers. *)
+
+val managers : t -> Manager.t list
+
+val relevant : t -> Action.concrete -> Manager.t list
+(** The member managers whose alphabet mentions the action. *)
+
+val permitted : t -> Action.concrete -> bool
+(** Permitted by every relevant member. *)
+
+val execute : t -> client:string -> Action.concrete -> bool
+(** Two-phase ask/confirm across the relevant members; aborts cleanly when
+    any member denies. *)
+
+val loads : t -> (int * Manager.stats) list
+(** Per-member (asks handled, full stats) — the bottleneck-relief measure. *)
+
+val total_transitions : t -> int
+
+val crash_all : t -> unit
+val recover_all : t -> unit

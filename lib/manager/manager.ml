@@ -1,0 +1,260 @@
+open Interaction
+
+type reply =
+  | Granted
+  | Denied
+  | Busy
+
+type stats = {
+  asks : int;
+  grants : int;
+  denials : int;
+  busies : int;
+  confirms : int;
+  aborts : int;
+  transitions : int;
+  foreign : int;
+  informs : int;
+  subscribes : int;
+  unsubscribes : int;
+  timeouts : int;
+}
+
+let zero_stats =
+  { asks = 0; grants = 0; denials = 0; busies = 0; confirms = 0; aborts = 0;
+    transitions = 0; foreign = 0; informs = 0; subscribes = 0; unsubscribes = 0;
+    timeouts = 0 }
+
+type notification = {
+  action : Action.concrete;
+  now_permitted : bool;
+}
+
+type t = {
+  mexpr : Expr.t;
+  alpha : Alpha.t;
+  mutable state : State.t option;  (* None only between crash and recover *)
+  mutable crashed : bool;
+  mutable outstanding : (string * Action.concrete) option;
+  mutable log : Action.concrete list;  (* confirmed, newest first; durable *)
+  mutable subs : (string * Action.concrete) list;  (* durable *)
+  mutable inboxes : (string * notification Mqueue.t) list;
+  mutable st : stats;
+  per_action : (Action.concrete, int * int) Hashtbl.t;  (* grants, denials *)
+}
+
+let create e =
+  { mexpr = e; alpha = Alpha.of_expr e; state = Some (State.init e); crashed = false;
+    outstanding = None; log = []; subs = []; inboxes = []; st = zero_stats;
+    per_action = Hashtbl.create 32 }
+
+let expr t = t.mexpr
+let alive t = not t.crashed
+let stats t = t.st
+let state_size t = match t.state with Some s -> State.size s | None -> 0
+let confirmed_log t = List.rev t.log
+
+let in_alphabet t c = Alpha.mem t.alpha c
+
+let permitted t c =
+  (not (in_alphabet t c))
+  ||
+  match t.state with
+  | None -> false
+  | Some s -> State.trans s c <> None
+
+let inbox t ~client =
+  match List.assoc_opt client t.inboxes with
+  | Some q -> q
+  | None ->
+    let q = Mqueue.create ~name:client in
+    t.inboxes <- (client, q) :: t.inboxes;
+    q
+
+let drain_notifications t ~client = Mqueue.drain (inbox t ~client)
+
+let notify t ~before =
+  (* Inform every subscriber whose subscribed action changed status. *)
+  List.iter
+    (fun (client, action) ->
+      let was = before action and is_now = permitted t action in
+      if was <> is_now then (
+        Mqueue.send (inbox t ~client) { action; now_permitted = is_now };
+        t.st <- { t.st with informs = t.st.informs + 1 }))
+    t.subs
+
+let do_transition t c =
+  (* Snapshot the permissibility of all subscribed actions, transition, then
+     notify changes. *)
+  let subs_actions = List.map snd t.subs in
+  let before_list = List.map (fun a -> (a, permitted t a)) subs_actions in
+  let before a =
+    match List.find_opt (fun (b, _) -> Action.equal_concrete a b) before_list with
+    | Some (_, v) -> v
+    | None -> false
+  in
+  (match t.state with
+  | Some s ->
+    (match State.trans s c with
+    | Some s' ->
+      t.state <- Some s';
+      t.st <- { t.st with transitions = t.st.transitions + 1 }
+    | None ->
+      (* A confirmed action must have been granted, hence valid; reaching
+         this point indicates a protocol violation by the caller. *)
+      invalid_arg "Manager: confirmed action is not permitted by the current state")
+  | None -> invalid_arg "Manager: crashed (call recover first)");
+  notify t ~before
+
+let bump_action t c granted =
+  let g, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_action c) in
+  Hashtbl.replace t.per_action c (if granted then (g + 1, d) else (g, d + 1))
+
+let ask t ~client c =
+  t.st <- { t.st with asks = t.st.asks + 1 };
+  if t.crashed then Denied
+  else if not (in_alphabet t c) then (
+    t.st <- { t.st with foreign = t.st.foreign + 1; grants = t.st.grants + 1 };
+    Granted)
+  else
+    match t.outstanding with
+    | Some _ ->
+      t.st <- { t.st with busies = t.st.busies + 1 };
+      Busy
+    | None ->
+      if permitted t c then (
+        t.outstanding <- Some (client, c);
+        t.st <- { t.st with grants = t.st.grants + 1 };
+        bump_action t c true;
+        Granted)
+      else (
+        t.st <- { t.st with denials = t.st.denials + 1 };
+        bump_action t c false;
+        Denied)
+
+let matching_grant t ~client c =
+  match t.outstanding with
+  | Some (cl, a) when String.equal cl client && Action.equal_concrete a c -> true
+  | Some _ | None -> false
+
+let confirm t ~client c =
+  t.st <- { t.st with confirms = t.st.confirms + 1 };
+  if not (in_alphabet t c) then () (* foreign actions carry no state *)
+  else if matching_grant t ~client c then (
+    t.outstanding <- None;
+    t.log <- c :: t.log;
+    do_transition t c)
+  else invalid_arg "Manager.confirm: no matching outstanding grant"
+
+let abort t ~client c =
+  t.st <- { t.st with aborts = t.st.aborts + 1 };
+  if matching_grant t ~client c then t.outstanding <- None
+
+let execute t ~client c =
+  match ask t ~client c with
+  | Granted ->
+    confirm t ~client c;
+    true
+  | Denied | Busy -> false
+
+let is_stuck t = t.outstanding <> None
+
+let timeout_outstanding t =
+  if t.outstanding <> None then (
+    t.outstanding <- None;
+    t.st <- { t.st with timeouts = t.st.timeouts + 1 })
+
+let subscribe t ~client c =
+  t.st <- { t.st with subscribes = t.st.subscribes + 1 };
+  if
+    not
+      (List.exists
+         (fun (cl, a) -> String.equal cl client && Action.equal_concrete a c)
+         t.subs)
+  then t.subs <- (client, c) :: t.subs;
+  (* initial status notification *)
+  Mqueue.send (inbox t ~client) { action = c; now_permitted = permitted t c };
+  t.st <- { t.st with informs = t.st.informs + 1 }
+
+let unsubscribe t ~client c =
+  t.st <- { t.st with unsubscribes = t.st.unsubscribes + 1 };
+  t.subs <-
+    List.filter
+      (fun (cl, a) -> not (String.equal cl client && Action.equal_concrete a c))
+      t.subs
+
+let crash t =
+  t.state <- None;
+  t.crashed <- true;
+  t.outstanding <- None
+
+let recover t =
+  if t.crashed then (
+    let replayed =
+      List.fold_left
+        (fun s c -> match s with None -> None | Some s -> State.trans s c)
+        (Some (State.init t.mexpr))
+        (List.rev t.log)
+    in
+    (match replayed with
+    | Some _ -> t.state <- replayed
+    | None -> invalid_arg "Manager.recover: durable log replay failed");
+    t.crashed <- false)
+
+let checkpoint t =
+  match t.state with
+  | None -> invalid_arg "Manager.checkpoint: crashed (recover first)"
+  | Some st ->
+    Sexp.to_string
+      (Sexp.List
+         [ Sexp.Atom "checkpoint";
+           Sexp.List [ Sexp.Atom "confirmed"; Sexp.Atom (string_of_int (List.length t.log)) ];
+           Sexp.List [ Sexp.Atom "expr"; Expr.to_sexp t.mexpr ];
+           Sexp.List [ Sexp.Atom "state"; State.to_sexp st ]
+         ])
+
+let recover_with t ~checkpoint =
+  match Sexp.of_string checkpoint with
+  | Error m -> invalid_arg ("Manager.recover_with: " ^ m)
+  | Ok
+      (Sexp.List
+        [ Sexp.Atom "checkpoint";
+          Sexp.List [ Sexp.Atom "confirmed"; pos ];
+          Sexp.List [ Sexp.Atom "expr"; expr ];
+          Sexp.List [ Sexp.Atom "state"; state ]
+        ]) ->
+    let pos = Sexp.int_field pos in
+    if not (Expr.equal (Expr.of_sexp expr) t.mexpr) then
+      invalid_arg "Manager.recover_with: checkpoint belongs to a different expression";
+    let total = List.length t.log in
+    if pos > total then
+      invalid_arg "Manager.recover_with: checkpoint is ahead of the durable log";
+    (* log is newest-first: the suffix after the checkpoint is the first
+       (total - pos) entries, to be replayed oldest-first *)
+    let suffix =
+      List.filteri (fun i _ -> i < total - pos) t.log |> List.rev
+    in
+    let replayed =
+      List.fold_left
+        (fun s c -> match s with None -> None | Some s -> State.trans s c)
+        (Some (State.of_sexp state))
+        suffix
+    in
+    (match replayed with
+    | Some _ ->
+      t.state <- replayed;
+      t.crashed <- false;
+      t.outstanding <- None
+    | None -> invalid_arg "Manager.recover_with: log-suffix replay failed")
+  | Ok _ -> invalid_arg "Manager.recover_with: malformed checkpoint"
+
+let action_report t =
+  Hashtbl.fold (fun a (g, d) acc -> (a, g, d) :: acc) t.per_action []
+  |> List.sort (fun (_, g1, d1) (_, g2, d2) -> Stdlib.compare (g2 + d2, g2) (g1 + d1, g1))
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "asks=%d grants=%d denials=%d busies=%d confirms=%d aborts=%d transitions=%d \
+     foreign=%d informs=%d subscribes=%d unsubscribes=%d timeouts=%d"
+    s.asks s.grants s.denials s.busies s.confirms s.aborts s.transitions s.foreign
+    s.informs s.subscribes s.unsubscribes s.timeouts

@@ -1,0 +1,138 @@
+open Interaction
+
+(** The interaction manager — the central scheduler of Section 7 (Fig. 10).
+
+    The manager holds the current state of one interaction expression
+    (typically the coupling of all deployed constraint graphs) and mediates
+    the {e coordination protocol}:
+
+    + a client {e asks} for permission to execute an action;
+    + the manager {e replies} yes or no, based on a tentative state
+      transition;
+    + on yes the client executes the action and
+    + {e confirms} it, whereupon
+    + the manager performs the actual state transition.
+
+    Steps 2–5 form a critical region: while a grant is outstanding the
+    manager answers [Busy] to other asks (a crashed client can therefore
+    leave the manager stuck — {!timeout_outstanding} models the recovery
+    strategy, and the Fig. 11 experiments exploit exactly this weakness of
+    worklist-handler adaptation).
+
+    The {e subscription protocol} keeps worklists current without busy
+    waiting: a client subscribes to an action and receives an informational
+    message on every change of that action's permissibility; messages are
+    delivered through persistent queues ({!Mqueue}).
+
+    Open world: actions outside the expression's alphabet are permitted
+    unconditionally and cause no state transition — a constraint graph
+    "should not prohibit the execution of activities which it does not
+    explicitly mention". *)
+
+type t
+
+type reply =
+  | Granted
+  | Denied
+  | Busy  (** another client's grant is outstanding (critical region) *)
+
+type stats = {
+  asks : int;
+  grants : int;
+  denials : int;
+  busies : int;
+  confirms : int;
+  aborts : int;
+  transitions : int;  (** state transitions actually performed *)
+  foreign : int;  (** asks for actions outside the alphabet *)
+  informs : int;  (** subscription notifications sent *)
+  subscribes : int;
+  unsubscribes : int;
+  timeouts : int;
+}
+
+val create : Expr.t -> t
+
+val expr : t -> Expr.t
+
+val ask : t -> client:string -> Action.concrete -> reply
+(** Steps 1–2.  [Granted] reserves the critical region for [client] until
+    {!confirm} or {!abort} (unless the action is foreign to the alphabet, in
+    which case no region is entered). *)
+
+val confirm : t -> client:string -> Action.concrete -> unit
+(** Step 4–5: perform the state transition for the outstanding grant and
+    notify subscribers whose action's status changed.
+    @raise Invalid_argument if no matching grant is outstanding. *)
+
+val abort : t -> client:string -> Action.concrete -> unit
+(** Release an outstanding grant without executing (client-side failure
+    before step 3). *)
+
+val execute : t -> client:string -> Action.concrete -> bool
+(** [ask]-and-[confirm] in one step (what an adapted workflow engine, being
+    a single reliable client, effectively does). *)
+
+val permitted : t -> Action.concrete -> bool
+(** Status check without entering the protocol (used to compute worklist
+    markings and subscription notifications). *)
+
+val is_stuck : t -> bool
+(** A grant is outstanding — the manager cannot serve other clients. *)
+
+val timeout_outstanding : t -> unit
+(** Recovery: drop the outstanding grant (counted in [timeouts]).  The
+    associated action is treated as not executed. *)
+
+(** {1 Subscription protocol} *)
+
+type notification = {
+  action : Action.concrete;
+  now_permitted : bool;
+}
+
+val subscribe : t -> client:string -> Action.concrete -> unit
+(** Begin informing [client] about status changes of [action].  An initial
+    notification with the current status is delivered immediately. *)
+
+val unsubscribe : t -> client:string -> Action.concrete -> unit
+
+val inbox : t -> client:string -> notification Mqueue.t
+(** The client's persistent notification queue (created on first use). *)
+
+val drain_notifications : t -> client:string -> notification list
+
+(** {1 Durability} *)
+
+val confirmed_log : t -> Action.concrete list
+(** The durable log of confirmed actions, oldest first. *)
+
+val crash : t -> unit
+(** Lose all volatile state (current expression state, outstanding grant).
+    Subscriptions and the confirmed log are durable and survive. *)
+
+val recover : t -> unit
+(** Rebuild the state by replaying the confirmed log (Section 7's recovery
+    strategy).  Safe to call only after {!crash}; idempotent. *)
+
+val checkpoint : t -> string
+(** Serialize the current state together with the confirmed-log position.
+    Recovery from a checkpoint replays only the log suffix written after
+    it, so long-running managers need not replay their whole history. *)
+
+val recover_with : t -> checkpoint:string -> unit
+(** Crash recovery from a checkpoint taken on this manager's expression.
+    @raise Invalid_argument when the checkpoint is malformed, belongs to a
+    different expression, or the log-suffix replay fails. *)
+
+val alive : t -> bool
+(** False between {!crash} and {!recover}. *)
+
+val stats : t -> stats
+val state_size : t -> int
+val pp_stats : Format.formatter -> stats -> unit
+
+val action_report : t -> (Action.concrete * int * int) list
+(** Per-action [(action, grants, denials)] counters over the manager's
+    lifetime, sorted by total traffic — which activities are hot, and which
+    are the contended ones (worklist analytics). *)

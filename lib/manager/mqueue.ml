@@ -1,0 +1,47 @@
+type 'a t = {
+  qname : string;
+  mutable pending : 'a list;  (* undelivered, oldest first *)
+  mutable flight : 'a list;  (* delivered, not acknowledged, oldest first *)
+  mutable sent : int;
+  mutable redelivered : int;
+}
+
+let create ~name = { qname = name; pending = []; flight = []; sent = 0; redelivered = 0 }
+let name q = q.qname
+
+let send q m =
+  q.pending <- q.pending @ [ m ];
+  q.sent <- q.sent + 1
+
+let receive q =
+  match q.pending with
+  | [] -> None
+  | m :: rest ->
+    q.pending <- rest;
+    q.flight <- q.flight @ [ m ];
+    Some m
+
+let ack q =
+  match q.flight with
+  | [] -> invalid_arg "Mqueue.ack: no message in flight"
+  | _ :: rest -> q.flight <- rest
+
+let crash_receiver q =
+  q.redelivered <- q.redelivered + List.length q.flight;
+  q.pending <- q.flight @ q.pending;
+  q.flight <- []
+
+let length q = List.length q.pending
+let in_flight q = List.length q.flight
+let sent_count q = q.sent
+let redelivered_count q = q.redelivered
+
+let drain q =
+  let rec go acc =
+    match receive q with
+    | None -> List.rev acc
+    | Some m ->
+      ack q;
+      go (m :: acc)
+  in
+  go []

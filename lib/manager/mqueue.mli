@@ -1,0 +1,38 @@
+(** Persistent message queues (Section 7 cites Bernstein/Hsu/Mann's
+    recoverable requests).
+
+    An in-process simulation of a durable queue with at-least-once delivery:
+    messages survive receiver crashes; a message delivered but not yet
+    acknowledged is redelivered after {!crash_receiver}.  This is the
+    communication substrate between the interaction manager and its
+    clients. *)
+
+type 'a t
+
+val create : name:string -> 'a t
+val name : 'a t -> string
+
+val send : 'a t -> 'a -> unit
+(** Durable enqueue. *)
+
+val receive : 'a t -> 'a option
+(** Deliver the next message (FIFO) and mark it in-flight.  [None] when the
+    queue holds no undelivered messages. *)
+
+val ack : 'a t -> unit
+(** Acknowledge the oldest in-flight message, removing it durably.
+    @raise Invalid_argument when nothing is in flight. *)
+
+val crash_receiver : 'a t -> unit
+(** The receiver loses its volatile state: all in-flight messages return to
+    the queue for redelivery (at-least-once semantics). *)
+
+val length : 'a t -> int
+(** Undelivered messages. *)
+
+val in_flight : 'a t -> int
+val sent_count : 'a t -> int
+val redelivered_count : 'a t -> int
+
+val drain : 'a t -> 'a list
+(** Receive-and-ack everything undelivered, in order. *)

@@ -1,0 +1,127 @@
+open Interaction
+
+type strategy =
+  | Polling
+  | Subscribing
+  | Optimistic
+
+type result = {
+  completed : bool;
+  rounds : int;
+  messages : int;
+  asks : int;
+  denials : int;
+  busies : int;
+  informs : int;
+  subscribes : int;
+  compensations : int;
+}
+
+type client = {
+  cname : string;
+  mutable script : Action.concrete list;
+  mutable waiting : bool;  (* Subscribing: subscribed, awaiting a go signal *)
+  mutable rest : int;  (* rounds left of think time after an execution *)
+}
+
+(* Message cost of one protocol step (Fig. 10 arrows). *)
+let ask_cost = 2 (* ask + reply *)
+let confirm_cost = 1
+let subscribe_cost = 1
+let unsubscribe_cost = 1
+let report_cost = 1 (* optimistic: report without waiting for a reply *)
+let compensate_cost = 1 (* optimistic: notify the manager of the undo *)
+
+let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
+  let mgr = Manager.create e in
+  let clients =
+    List.map (fun (cname, script) -> { cname; script; waiting = false; rest = 0 }) scripts
+  in
+  let messages = ref 0 in
+  let compensations = ref 0 in
+  let try_execute cl action =
+    messages := !messages + ask_cost;
+    match Manager.ask mgr ~client:cl.cname action with
+    | Manager.Granted ->
+      (* step 3 (execute) is local; step 4 confirms *)
+      messages := !messages + confirm_cost;
+      Manager.confirm mgr ~client:cl.cname action;
+      cl.script <- List.tl cl.script;
+      cl.rest <- think_rounds;
+      true
+    | Manager.Denied | Manager.Busy -> false
+  in
+  let poll_round cl =
+    match cl.script with [] -> () | action :: _ -> ignore (try_execute cl action)
+  in
+  let optimistic_round cl =
+    match cl.script with
+    | [] -> ()
+    | action :: _ ->
+      (* execute locally, then report; the manager validates the report *)
+      messages := !messages + report_cost;
+      if Manager.execute mgr ~client:cl.cname action then (
+        cl.script <- List.tl cl.script;
+        cl.rest <- think_rounds)
+      else (
+        (* the report is rejected: compensate the already-executed action *)
+        incr compensations;
+        messages := !messages + compensate_cost)
+  in
+  let subscribe_round cl =
+    match cl.script with
+    | [] -> ()
+    | action :: _ ->
+      if not cl.waiting then (
+        messages := !messages + subscribe_cost;
+        Manager.subscribe mgr ~client:cl.cname action;
+        cl.waiting <- true);
+      (* Consume notifications; the subscription protocol delivers the
+         initial status plus every change (each is one inform message,
+         already counted by the manager; we mirror the count here). *)
+      let notes = Manager.drain_notifications mgr ~client:cl.cname in
+      messages := !messages + List.length notes;
+      let go =
+        List.exists (fun (n : Manager.notification) -> n.Manager.now_permitted) notes
+      in
+      if go then
+        if try_execute cl action then (
+          messages := !messages + unsubscribe_cost;
+          Manager.unsubscribe mgr ~client:cl.cname action;
+          cl.waiting <- false)
+        else
+          (* raced by another client: stay subscribed, wait for the next
+             status change *)
+          ()
+  in
+  let act =
+    match strategy with
+    | Polling -> poll_round
+    | Subscribing -> subscribe_round
+    | Optimistic -> optimistic_round
+  in
+  let step cl = if cl.rest > 0 then cl.rest <- cl.rest - 1 else act cl in
+  let rounds = ref 0 in
+  let unfinished () = List.exists (fun cl -> cl.script <> []) clients in
+  while unfinished () && !rounds < max_rounds do
+    incr rounds;
+    List.iter step clients
+  done;
+  let st = Manager.stats mgr in
+  { completed = not (unfinished ());
+    rounds = !rounds;
+    messages = !messages;
+    asks = st.Manager.asks;
+    denials = st.Manager.denials;
+    busies = st.Manager.busies;
+    informs = st.Manager.informs;
+    subscribes = st.Manager.subscribes;
+    compensations = !compensations
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "completed=%b rounds=%d messages=%d asks=%d denials=%d busies=%d informs=%d \
+     subscribes=%d compensations=%d"
+    r.completed r.rounds r.messages r.asks r.denials r.busies r.informs r.subscribes
+    r.compensations

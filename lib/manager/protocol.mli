@@ -1,0 +1,61 @@
+open Interaction
+
+(** Client-side coordination strategies (Section 7, Fig. 10).
+
+    Clients each hold a script of actions to execute in order against a
+    shared interaction manager.  Two strategies are simulated:
+
+    - {e Polling} ("busy waiting", which the subscription protocol exists to
+      avoid): in every round each unfinished client asks for its next
+      action; a denial costs the ask/reply round-trip and the client retries
+      in the next round.
+    - {e Subscribing}: the client subscribes to its next action, waits
+      passively for an informational message saying the action became
+      permissible, only then asks, and unsubscribes after execution.
+    - {e Optimistic}: the client executes first and reports afterwards (one
+      message, no reply round-trip); when the report turns out to violate
+      the constraint the client must {e compensate} (undo) the action and
+      retry later.  Cheapest under low contention, pathological under high
+      contention — one of the paper's "alternative coordination protocols,
+      possessing different complexity and particular advantages and
+      disadvantages".
+
+    Message accounting (per the protocol arrows of Fig. 10): ask = 1,
+    reply = 1, confirm = 1, subscribe = 1, inform = 1, unsubscribe = 1.
+    Action execution itself is local and free. *)
+
+type strategy =
+  | Polling
+  | Subscribing
+  | Optimistic
+
+type result = {
+  completed : bool;  (** all scripts ran to completion *)
+  rounds : int;
+  messages : int;  (** total protocol messages exchanged *)
+  asks : int;
+  denials : int;
+  busies : int;
+  informs : int;
+  subscribes : int;
+  compensations : int;  (** optimistic executions that had to be undone *)
+}
+
+val simulate :
+  ?max_rounds:int ->
+  ?think_rounds:int ->
+  strategy ->
+  Expr.t ->
+  scripts:(string * Action.concrete list) list ->
+  result
+(** Run all client scripts to completion (or until [max_rounds], default
+    10_000).  Clients are served round-robin within a round.
+
+    [think_rounds] (default 0) models activity duration: after executing an
+    action a client rests that many rounds before attempting its next one.
+    During such periods a polling client keeps asking every round ("busy
+    waiting causing unnecessary communication and interaction manager
+    workload"), while a subscribed client stays silent — this is precisely
+    the asymmetry the subscription protocol was designed for. *)
+
+val pp_result : Format.formatter -> result -> unit

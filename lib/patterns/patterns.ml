@@ -1,0 +1,118 @@
+open Interaction
+
+let semaphore ?(acquire = "acquire") ?(release = "release") n =
+  if n <= 0 then invalid_arg "Patterns.semaphore: capacity must be positive";
+  Expr.times n (Expr.seq_iter (Expr.seq (Expr.act acquire []) (Expr.act release [])))
+
+let critical_section ?(enter = "enter") ?(leave = "leave") () =
+  semaphore ~acquire:enter ~release:leave 1
+
+let readers_writers () =
+  let p name = Expr.activity name [ Action.param "r" ] in
+  let reader_phase = Expr.par_iter (Expr.some_q "r" (p "read")) in
+  let writer = Expr.some_q "w" (Expr.activity "write" [ Action.param "w" ]) in
+  Expr.mutex [ reader_phase; writer ]
+
+let producers_consumers ~capacity =
+  if capacity <= 0 then invalid_arg "Patterns.producers_consumers: capacity must be positive";
+  let slot =
+    Expr.seq_iter
+      (Expr.some_q "i"
+         (Expr.seq
+            (Expr.atom "produce" [ Action.param "i" ])
+            (Expr.atom "consume" [ Action.param "i" ])))
+  in
+  Expr.times capacity slot
+
+let barrier ~parties =
+  if parties <= 0 then invalid_arg "Patterns.barrier: parties must be positive";
+  let phase name =
+    Expr.par_list
+      (List.init parties (fun k -> Expr.act name [ string_of_int (k + 1) ]))
+  in
+  Expr.seq_iter (Expr.seq (phase "arrive") (phase "leave"))
+
+let alternation first second =
+  Expr.seq_iter (Expr.seq (Expr.act first []) (Expr.act second []))
+
+(* --- dining philosophers ------------------------------------------------ *)
+
+let fork_constraint k =
+  Expr.seq_iter
+    (Expr.some_q "p"
+       (Expr.seq
+          (Expr.atom "take" [ Action.param "p"; Action.value (string_of_int k) ])
+          (Expr.atom "put" [ Action.param "p"; Action.value (string_of_int k) ])))
+
+let philosopher ~n ~lefty i =
+  if n < 2 then invalid_arg "Patterns.philosopher: need at least two philosophers";
+  let me = string_of_int i in
+  let left = string_of_int i and right = string_of_int ((i + 1) mod n) in
+  let first, second = if lefty then (right, left) else (left, right) in
+  let take fork = Expr.act "take" [ me; fork ] in
+  let put fork = Expr.act "put" [ me; fork ] in
+  Expr.seq_iter
+    (Expr.seq_list
+       [ take first; take second; Expr.act "eat" [ me ]; put first; put second ])
+
+let philosophers ?(lefty_first = false) n =
+  if n < 2 then invalid_arg "Patterns.philosophers: need at least two philosophers";
+  let protocols =
+    Expr.par_list
+      (List.init n (fun i -> philosopher ~n ~lefty:(lefty_first && i = 0) i))
+  in
+  let forks = List.init n fork_constraint in
+  Expr.sync_list (protocols :: forks)
+
+let token_ring ~stations =
+  if stations < 2 then invalid_arg "Patterns.token_ring: need at least two stations";
+  let station k =
+    let v = string_of_int k in
+    Expr.seq_list
+      [ Expr.act "recv" [ v ];
+        Expr.opt (Expr.act "work" [ v ]);
+        Expr.act "send" [ v ]
+      ]
+  in
+  Expr.seq_iter (Expr.seq_list (List.init stations (fun k -> station (k + 1))))
+
+let resource_pool ~resources =
+  if resources = [] then invalid_arg "Patterns.resource_pool: no resources";
+  let one r =
+    Expr.seq_iter
+      (Expr.some_q "c"
+         (Expr.seq
+            (Expr.atom "grab" [ Action.param "c"; Action.value r ])
+            (Expr.atom "drop" [ Action.param "c"; Action.value r ])))
+  in
+  Expr.sync_list (List.map one resources)
+
+let pipeline ~stages ~capacity =
+  if stages <= 0 || capacity <= 0 then
+    invalid_arg "Patterns.pipeline: stages and capacity must be positive";
+  (* per item: enter, then the stages in order, then exit *)
+  let journey =
+    Expr.some_q "i"
+      (Expr.seq_list
+         ([ Expr.atom "enter" [ Action.param "i" ] ]
+         @ List.init stages (fun k ->
+               Expr.atom "stage" [ Action.param "i"; Action.value (string_of_int (k + 1)) ])
+         @ [ Expr.atom "exit" [ Action.param "i" ] ]))
+  in
+  let occupancy = Expr.times capacity (Expr.seq_iter journey) in
+  (* each stage is a mutex: one item at a time *)
+  let stage_mutex k =
+    Expr.seq_iter
+      (Expr.some_q "i"
+         (Expr.atom "stage" [ Action.param "i"; Action.value (string_of_int k) ]))
+  in
+  Expr.sync_list (occupancy :: List.init stages (fun k -> stage_mutex (k + 1)))
+
+let writers_priority () =
+  let reader_phase =
+    Expr.par_iter (Expr.some_q "r" (Expr.activity "read" [ Action.param "r" ]))
+  in
+  let writer = Expr.some_q "w" (Expr.activity "write" [ Action.param "w" ]) in
+  (* a writer batch: one or more writers back to back *)
+  let writer_batch = Expr.seq writer (Expr.seq_iter writer) in
+  Expr.mutex [ reader_phase; writer_batch ]

@@ -1,0 +1,87 @@
+open Interaction
+
+(** Classic process-synchronization conditions as interaction expressions.
+
+    Interaction expressions descend from formalisms for synchronizing
+    parallel programs — path expressions, synchronization expressions, flow
+    expressions (Section 1, Fig. 2).  This module expresses the canonical
+    textbook conditions in the unified formalism; each generator documents
+    the condition and the tests verify its classic properties (mutual
+    exclusion, capacity bounds, phase ordering, deadlock behaviour).
+
+    Action-name conventions are fixed per pattern and documented; all
+    patterns are closed expressions ready for an interaction manager. *)
+
+val semaphore : ?acquire:string -> ?release:string -> int -> Expr.t
+(** Counting semaphore of capacity [n] (default action names ["acquire"]
+    and ["release"], no arguments): at most [n] unmatched acquires at any
+    time; [times n (iter (acquire − release))]. *)
+
+val critical_section : ?enter:string -> ?leave:string -> unit -> Expr.t
+(** Binary mutual exclusion: [semaphore 1] with ["enter"]/["leave"]. *)
+
+val readers_writers : unit -> Expr.t
+(** Readers–writers: arbitrarily many concurrent readers {e or} exactly one
+    writer, repeatedly.  Actions: [read_s(r)]/[read_t(r)] for reader [r],
+    [write_s(w)]/[write_t(w)] for writer [w] — the "flash" of a reader
+    phase and an exclusive writer. *)
+
+val producers_consumers : capacity:int -> Expr.t
+(** Bounded buffer (bag semantics): every item [i] is produced before it is
+    consumed, each item at most once, and at most [capacity] items are
+    outstanding.  Actions: [produce(i)], [consume(i)]. *)
+
+val barrier : parties:int -> Expr.t
+(** Cyclic barrier: in every round all parties arrive (in any order) before
+    any departs.  Actions: [arrive(k)], [leave(k)] for k = 1..parties. *)
+
+val alternation : string -> string -> Expr.t
+(** Strict alternation of two parameterless actions, first one first. *)
+
+(** {1 Dining philosophers}
+
+    The constraint side (forks are mutually exclusive) composed with the
+    behaviour side (each philosopher's protocol) in one expression, so the
+    classic deadlock shows up as a {e dead end} (Section 3) detectable by
+    {!Interaction.Language.has_dead_end}. *)
+
+val fork_constraint : int -> Expr.t
+(** Fork [k] is a mutex: [iter (some p: take(p,k) − put(p,k))]. *)
+
+val philosopher : n:int -> lefty:bool -> int -> Expr.t
+(** The protocol of philosopher [i] among [n]: repeatedly take the two
+    adjacent forks (lower-numbered… the usual order: left fork [i] then
+    right fork [(i+1) mod n]; a {e lefty} takes them in the opposite
+    order), eat, put both back.  Actions: [take(i,k)], [eat(i)],
+    [put(i,k)]. *)
+
+val philosophers : ?lefty_first:bool -> int -> Expr.t
+(** The whole table: the parallel composition of all protocols coupled with
+    every fork constraint.  With [lefty_first] (default false) philosopher
+    0 is left-handed — the classic deadlock-breaking asymmetry.  The
+    symmetric table has a reachable dead end (everyone holds one fork); the
+    asymmetric one does not. *)
+
+(** {1 Further classics} *)
+
+val token_ring : stations:int -> Expr.t
+(** A token circulates between stations 1..n in order, repeatedly; station
+    k may only act while holding the token.  Actions: [recv(k)], [work(k)]
+    (optional), [send(k)]. *)
+
+val resource_pool : resources:string list -> Expr.t
+(** Every named resource is an independent mutex; a client [c] holds
+    resource [r] between [grab(c,r)] and [drop(c,r)].  The coupling of one
+    mutex per resource — partitionable across managers
+    ({!Interaction_manager.Federation}). *)
+
+val pipeline : stages:int -> capacity:int -> Expr.t
+(** Items flow through stages 1..n in order; each stage processes one item
+    at a time and at most [capacity] items are inside the pipeline.
+    Actions: [enter(i)], [stage(i,k)], [exit(i)] for item [i], stage [k]. *)
+
+val writers_priority : unit -> Expr.t
+(** Readers–writers with writer batches: like {!readers_writers} but a
+    writer phase admits a whole (nonempty) sequence of writers before
+    readers resume — the classic starvation-avoidance variant.  Same action
+    names as {!readers_writers}. *)

@@ -1,0 +1,158 @@
+open Interaction
+open Interaction_manager
+
+type adaptation =
+  | Unadapted
+  | Adapted_worklists
+  | Adapted_engine
+
+type config = {
+  adaptation : adaptation;
+  rogue_handler : bool;
+  handler_crash_every : int option;
+  seed : int;
+  max_steps : int;
+}
+
+let default_config =
+  { adaptation = Adapted_engine; rogue_handler = false; handler_crash_every = None;
+    seed = 42; max_steps = 2000 }
+
+type outcome = {
+  steps : int;
+  executed : int;
+  violations : int;
+  messages : int;
+  denials : int;
+  completed_cases : int;
+  manager_timeouts : int;
+  manager_state_size : int;
+}
+
+type kind =
+  | Start
+  | Finish
+
+let action_of case kind activity =
+  match kind with
+  | Start -> Workflow.start_action case activity
+  | Finish -> Workflow.term_action case activity
+
+let advance case kind activity =
+  match kind with
+  | Start -> Workflow.start_activity case activity
+  | Finish -> Workflow.finish_activity case activity
+
+let run cfg ~constraints ~cases =
+  let rng = Random.State.make [| cfg.seed |] in
+  let cases =
+    List.map (fun (wf, id, args) -> Workflow.start_case wf ~id ~args) cases
+  in
+  let mgr = Manager.create constraints in
+  (* Independent reference monitor: counts actions the constraint forbids
+     (executed anyway), without advancing on them so later checks stay
+     meaningful. *)
+  let monitor = Engine.create constraints in
+  let calpha = Alpha.of_expr constraints in
+  let violations = ref 0 in
+  let observe c =
+    if Alpha.mem calpha c && not (Engine.try_action monitor c) then incr violations
+  in
+  let messages = ref 0 in
+  let denials = ref 0 in
+  let executed = ref 0 in
+  let crash_countdown =
+    ref (match cfg.handler_crash_every with Some n when n > 0 -> n | _ -> -1)
+  in
+  let stuck_rounds = ref 0 in
+  let run_action client c =
+    (* The coordination protocol of Fig. 10: ask(2 messages incl. reply),
+       execute locally, confirm(1). *)
+    messages := !messages + 2;
+    match Manager.ask mgr ~client c with
+    | Manager.Granted ->
+      if !crash_countdown > 0 then decr crash_countdown;
+      if !crash_countdown = 0 then (
+        (* The user's PC goes down between grant and confirm: the manager
+           stays stuck in its critical region (steps 2–5). *)
+        crash_countdown :=
+          (match cfg.handler_crash_every with Some n -> n | None -> -1);
+        false)
+      else (
+        observe c;
+        messages := !messages + 1;
+        Manager.confirm mgr ~client c;
+        true)
+    | Manager.Denied ->
+      incr denials;
+      false
+    | Manager.Busy ->
+      incr denials;
+      incr stuck_rounds;
+      (* The paper's remedy for a stuck manager is a timeout-based, more
+         expensive protocol; we model the timeout after a few wasted asks. *)
+      if !stuck_rounds >= 3 then (
+        Manager.timeout_outstanding mgr;
+        stuck_rounds := 0);
+      false
+  in
+  let moves () =
+    List.concat_map
+      (fun case ->
+        List.map (fun a -> (case, Start, a)) (Workflow.startable case)
+        @ List.map (fun a -> (case, Finish, a)) (Workflow.completable case))
+      cases
+  in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < cfg.max_steps do
+    incr steps;
+    match moves () with
+    | [] -> continue := false
+    | ms -> (
+      let case, kind, activity = List.nth ms (Random.State.int rng (List.length ms)) in
+      let c = action_of case kind activity in
+      match cfg.adaptation with
+      | Unadapted ->
+        observe c;
+        ignore (advance case kind activity);
+        incr executed
+      | Adapted_worklists ->
+        (* Keeping the worklist markings current: one ask/reply round-trip
+           per offered item per refresh (the "substantial communication
+           overhead" of handler adaptation). *)
+        messages := !messages + (2 * List.length ms);
+        if cfg.rogue_handler && Random.State.int rng 4 = 0 then (
+          (* a standard, non-adapted handler executes behind the manager's
+             back: the approach is not waterproof *)
+          observe c;
+          ignore (advance case kind activity);
+          incr executed)
+        else if run_action ("worklist:" ^ Workflow.case_id case) c then (
+          ignore (advance case kind activity);
+          incr executed)
+      | Adapted_engine ->
+        (* The engine is the single interaction client; even rogue worklist
+           requests pass through it. *)
+        if run_action "engine" c then (
+          ignore (advance case kind activity);
+          incr executed))
+  done;
+  let completed_cases =
+    List.length (List.filter Workflow.is_finished cases)
+  in
+  { steps = !steps;
+    executed = !executed;
+    violations = !violations;
+    messages = !messages;
+    denials = !denials;
+    completed_cases;
+    manager_timeouts = (Manager.stats mgr).Manager.timeouts;
+    manager_state_size = Manager.state_size mgr
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "steps=%d executed=%d violations=%d messages=%d denials=%d completed=%d timeouts=%d"
+    o.steps o.executed o.violations o.messages o.denials o.completed_cases
+    o.manager_timeouts

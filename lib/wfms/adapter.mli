@@ -1,0 +1,65 @@
+open Interaction
+
+(** Integration of the WfMS with the interaction manager (Section 7,
+    Fig. 11): adapt the worklist handlers, adapt the workflow engine, or —
+    as the baseline the paper argues against — do not coordinate at all.
+
+    The simulation drives a set of workflow cases by repeatedly picking a
+    pseudo-random control-flow-enabled step (seeded, hence reproducible) and
+    executing it under the chosen adaptation:
+
+    - {!Unadapted}: the WfMS never consults the manager; interdependent
+      cases trample the shared constraint (violations are counted by an
+      independent reference monitor).
+    - {!Adapted_worklists}: every worklist handler mediates between engine
+      and manager.  Keeping the worklist markings current costs one
+      ask/reply round-trip per offered item per refresh; handlers run on
+      unreliable desktop PCs, so a handler may crash between grant and
+      confirm, leaving the manager stuck in its critical region until a
+      timeout — and a {e standard} (non-adapted) handler attached to the
+      same engine can still execute activities behind the manager's back
+      ("not waterproof").
+    - {!Adapted_engine}: the engine itself is the (single, reliable)
+      interaction client; it asks only when an execution is attempted, and
+      every path into the engine is covered (waterproof). *)
+
+type adaptation =
+  | Unadapted
+  | Adapted_worklists
+  | Adapted_engine
+
+type config = {
+  adaptation : adaptation;
+  rogue_handler : bool;
+      (** a standard worklist handler occasionally bypasses the manager
+          (only meaningful under [Adapted_worklists]) *)
+  handler_crash_every : int option;
+      (** crash the worklist handler after every n-th grant, before the
+          confirm (only under [Adapted_worklists]) *)
+  seed : int;
+  max_steps : int;
+}
+
+val default_config : config
+(** [Adapted_engine], no rogue handler, no crashes, seed 42, 2000 steps. *)
+
+type outcome = {
+  steps : int;
+  executed : int;  (** start/termination actions actually executed *)
+  violations : int;  (** executed actions the constraint forbade *)
+  messages : int;  (** handler/engine ↔ manager protocol messages *)
+  denials : int;  (** executions deferred because the manager said no *)
+  completed_cases : int;
+  manager_timeouts : int;  (** critical-region recoveries after handler crashes *)
+  manager_state_size : int;  (** size of the manager's final state *)
+}
+
+val run :
+  config ->
+  constraints:Expr.t ->
+  cases:(Workflow.t * string * Action.value list) list ->
+  outcome
+(** Start one case per [(workflow, case-id, args)] triple and drive the
+    ensemble to completion (or [max_steps]). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,75 @@
+open Interaction
+module G = Interaction_graph.Graph
+
+let ultrasonography =
+  Workflow.make "ultrasonography"
+    (Workflow.Seq
+       [ Task "order"; Task "schedule"; Task "prepare"; Task "call"; Task "perform";
+         Task "write_report"; Task "read_report"
+       ])
+
+let endoscopy =
+  Workflow.make "endoscopy"
+    (Workflow.Seq
+       [ Task "order"; Task "schedule";
+         And [ Task "inform"; Task "prepare" ];
+         Task "call"; Task "perform"; Task "write_short_report";
+         And [ Task "read_short_report"; Task "write_detailed_report" ];
+         Task "read_detailed_report"
+       ])
+
+let exam_kinds = [ "sono"; "endo" ]
+
+let workflow_for = function
+  | "sono" -> ultrasonography
+  | "endo" -> endoscopy
+  | x -> invalid_arg (Printf.sprintf "Medical.workflow_for: unknown examination %S" x)
+
+let px = [ Action.param "p"; Action.param "x" ]
+
+let patient_graph =
+  G.ForAll
+    ( "p",
+      G.Use
+        ( "flash",
+          [ G.ArbitrarilyParallel (G.ForSome ("x", G.activity_p "prepare" px));
+            G.ForSome
+              ("x", G.Path [ G.activity_p "call" px; G.activity_p "perform" px ]);
+            G.ArbitrarilyParallel (G.ForSome ("x", G.activity_p "inform" px))
+          ] ) )
+
+let patient_constraint = G.compile patient_graph
+
+let capacity_graph ?(capacity = 3) () =
+  G.ForEach
+    ( "x",
+      G.Multiplier
+        ( capacity,
+          G.Loop
+            (G.ForSome
+               ("p", G.Path [ G.activity_p "call" px; G.activity_p "perform" px ])) ) )
+
+let capacity_constraint ?capacity () = G.compile (capacity_graph ?capacity ())
+
+let combined_graph ?capacity () = G.Couple [ patient_graph; capacity_graph ?capacity () ]
+
+let department_constraint ~exam ~capacity =
+  let px_fixed = [ Action.param "p"; Action.value exam ] in
+  G.compile
+    (G.Multiplier
+       ( capacity,
+         G.Loop
+           (G.ForSome
+              ("p", G.Path [ G.activity_p "call" px_fixed; G.activity_p "perform" px_fixed ]))
+       ))
+let combined_constraint ?capacity () = G.compile (combined_graph ?capacity ())
+
+let patient i = "p" ^ string_of_int i
+
+let ensemble ~patients =
+  List.concat
+    (List.init patients (fun i ->
+         let p = patient (i + 1) in
+         List.map
+           (fun x -> (workflow_for x, Printf.sprintf "%s-%s" p x, [ p; x ]))
+           exam_kinds))

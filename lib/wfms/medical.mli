@@ -1,0 +1,62 @@
+open Interaction
+
+(** The paper's running example: medical examination workflows (Fig. 1) and
+    the patient/capacity constraints of Figs. 3, 6 and 7.
+
+    Workflow activities carry two argument values: the patient id [p] and
+    the examination kind [x] (["sono"] or ["endo"]) — footnote 3's global
+    workflow variables, implicitly passed to all activities. *)
+
+val ultrasonography : Workflow.t
+(** Fig. 1, left: order − schedule − prepare − call − perform −
+    write report − read report. *)
+
+val endoscopy : Workflow.t
+(** Fig. 1, right: order − schedule − (inform ∥ prepare) − call − perform −
+    write short report − (read short report ∥ write detailed report) −
+    read detailed report.  (The exact join of the report steps is a
+    reconstruction of the figure.) *)
+
+val exam_kinds : string list
+(** [\["sono"; "endo"\]]. *)
+
+val workflow_for : string -> Workflow.t
+(** @raise Invalid_argument on unknown examination kinds. *)
+
+(** {1 Constraints} *)
+
+val patient_graph : Interaction_graph.Graph.t
+(** Fig. 3: for all patients [p], a mutual exclusion ("flash") of (a) being
+    prepared for arbitrarily many examinations, (b) passing through exactly
+    one examination (call − perform), and (c) being informed about
+    arbitrarily many examinations. *)
+
+val patient_constraint : Expr.t
+
+val capacity_graph : ?capacity:int -> unit -> Interaction_graph.Graph.t
+(** Fig. 6: for each examination kind [x], at most [capacity] (default 3)
+    concurrent and independent repetitions of call − perform, each with an
+    arbitrary patient. *)
+
+val capacity_constraint : ?capacity:int -> unit -> Expr.t
+
+val combined_graph : ?capacity:int -> unit -> Interaction_graph.Graph.t
+(** Fig. 7: the coupling of the patient and capacity subgraphs. *)
+
+val combined_constraint : ?capacity:int -> unit -> Expr.t
+
+val department_constraint : exam:string -> capacity:int -> Expr.t
+(** The Fig. 6 capacity rule for one fixed examination kind.  Constraints
+    for different departments have disjoint alphabets, so a coupling of
+    them partitions into one interaction manager per department (the
+    multi-manager deployment of Section 7; see
+    {!Interaction_manager.Federation}). *)
+
+(** {1 Ensembles} *)
+
+val ensemble : patients:int -> (Workflow.t * string * Action.value list) list
+(** One ultrasonography and one endoscopy case per patient — the dynamic
+    workflow ensemble of the introduction.  Patient ids are ["p1"],
+    ["p2"], … *)
+
+val patient : int -> Action.value

@@ -1,0 +1,174 @@
+open Interaction
+
+type flow =
+  | Task of string
+  | Seq of flow list
+  | Xor of flow list
+  | And of flow list
+  | Loop of flow
+  | Opt of flow
+
+type t = {
+  name : string;
+  flow : flow;
+}
+
+let rec validate = function
+  | Task "" -> invalid_arg "Workflow.make: empty activity name"
+  | Task _ -> ()
+  | Seq [] | Xor [] | And [] -> invalid_arg "Workflow.make: empty split or sequence"
+  | Seq fs | Xor fs | And fs -> List.iter validate fs
+  | Loop f | Opt f -> validate f
+
+let make name flow =
+  validate flow;
+  { name; flow }
+
+let activities wf =
+  let rec go acc = function
+    | Task a -> if List.mem a acc then acc else a :: acc
+    | Seq fs | Xor fs | And fs -> List.fold_left go acc fs
+    | Loop f | Opt f -> go acc f
+  in
+  List.rev (go [] wf.flow)
+
+let rec flow_to_expr args = function
+  | Task a -> Expr.activity a (List.map Action.value args)
+  | Seq fs -> Expr.seq_list (List.map (flow_to_expr args) fs)
+  | Xor fs -> Expr.alt_list (List.map (flow_to_expr args) fs)
+  | And fs -> Expr.par_list (List.map (flow_to_expr args) fs)
+  | Loop f -> Expr.seq_iter (flow_to_expr args f)
+  | Opt f -> Expr.opt (flow_to_expr args f)
+
+let to_expr wf ~args = flow_to_expr args wf.flow
+
+(* ------------------------------------------------------------------ *)
+(* Textual workflow definitions                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let perr fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+type wtok =
+  | WID of string
+  | LBRACE
+  | RBRACE
+  | WSEMI
+  | WEOF
+
+let wtok_to_string = function
+  | WID s -> Printf.sprintf "identifier %S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | WSEMI -> "';'"
+  | WEOF -> "end of input"
+
+let wlex s =
+  let n = String.length s in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let rec go i acc =
+    if i >= n then List.rev (WEOF :: acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | ';' -> go (i + 1) (WSEMI :: acc)
+      | c when is_ident c ->
+        let j = ref i in
+        while !j < n && is_ident s.[!j] do
+          incr j
+        done;
+        go !j (WID (String.sub s i (!j - i)) :: acc)
+      | c -> perr "unexpected character %C" c
+  in
+  go 0 []
+
+let parse_exn ~name input =
+  let toks = ref [] in
+  let peek () = match !toks with [] -> WEOF | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+  let expect t =
+    if peek () = t then advance ()
+    else perr "expected %s but found %s" (wtok_to_string t) (wtok_to_string (peek ()))
+  in
+  let rec parse_flow () =
+    match peek () with
+    | WID (("seq" | "xor" | "and" | "loop" | "opt") as kw) when peek2 () = LBRACE ->
+      advance ();
+      expect LBRACE;
+      let rec items acc =
+        let f = parse_flow () in
+        if peek () = WSEMI then (advance (); items (f :: acc)) else List.rev (f :: acc)
+      in
+      let fs = items [] in
+      expect RBRACE;
+      (match (kw, fs) with
+      | "seq", fs -> Seq fs
+      | "xor", fs -> Xor fs
+      | "and", fs -> And fs
+      | "loop", [ f ] -> Loop f
+      | "opt", [ f ] -> Opt f
+      | ("loop" | "opt"), _ -> perr "%s takes exactly one body" kw
+      | _ -> assert false)
+    | WID a ->
+      advance ();
+      Task a
+    | t -> perr "expected a flow but found %s" (wtok_to_string t)
+  and peek2 () = match !toks with _ :: t :: _ -> t | _ -> WEOF in
+  try
+    toks := wlex input;
+    let f = parse_flow () in
+    if peek () <> WEOF then perr "trailing input";
+    make name f
+  with Parse_error m -> invalid_arg ("Workflow.parse: " ^ m)
+
+let parse ~name input =
+  try Ok (parse_exn ~name input) with Invalid_argument m -> Error m
+
+let rec pp_flow ppf flow =
+  let plist ppf fs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+      pp_flow ppf fs
+  in
+  match flow with
+  | Task a -> Format.pp_print_string ppf a
+  | Seq fs -> Format.fprintf ppf "@[<hv 2>seq {@ %a }@]" plist fs
+  | Xor fs -> Format.fprintf ppf "@[<hv 2>xor {@ %a }@]" plist fs
+  | And fs -> Format.fprintf ppf "@[<hv 2>and {@ %a }@]" plist fs
+  | Loop f -> Format.fprintf ppf "@[<hv 2>loop {@ %a }@]" pp_flow f
+  | Opt f -> Format.fprintf ppf "@[<hv 2>opt {@ %a }@]" pp_flow f
+
+let pp ppf wf = Format.fprintf ppf "@[<hv 2>workflow %s =@ %a@]" wf.name pp_flow wf.flow
+
+type case = {
+  id : string;
+  wf : t;
+  cargs : Action.value list;
+  session : Engine.session;
+}
+
+let start_case wf ~id ~args =
+  { id; wf; cargs = args; session = Engine.create (to_expr wf ~args) }
+
+let case_id c = c.id
+let case_args c = c.cargs
+let workflow c = c.wf
+
+let start_action c a = Expr.start_action a c.cargs
+let term_action c a = Expr.term_action a c.cargs
+
+let startable c =
+  List.filter (fun a -> Engine.permitted c.session (start_action c a)) (activities c.wf)
+
+let completable c =
+  List.filter (fun a -> Engine.permitted c.session (term_action c a)) (activities c.wf)
+
+let start_activity c a = Engine.try_action c.session (start_action c a)
+let finish_activity c a = Engine.try_action c.session (term_action c a)
+let is_finished c = Engine.is_final c.session
+let trace c = Engine.trace c.session

@@ -1,0 +1,85 @@
+open Interaction
+
+(** A compact structured workflow engine — the substrate the paper assumes
+    (its prototypes ran against ProMInanD; we provide an equivalent
+    in-process engine).
+
+    A workflow definition is a structured control-flow tree over named
+    activities (sequence, XOR/AND splits, loops, optional steps).  A running
+    {e case} instantiates the definition with concrete argument values
+    (footnote 3's implicit global workflow variables, e.g. patient and
+    examination ids); every activity maps to the start/termination action
+    pair [a_s(args) − a_t(args)].
+
+    Internally a case is executed by compiling the control flow to an
+    interaction expression and driving it with {!Interaction.Engine} — the
+    workflow engine dogfoods the formalism it is being synchronized by,
+    which is exactly the correspondence footnote 6 sets up. *)
+
+type flow =
+  | Task of string  (** an activity *)
+  | Seq of flow list  (** sequence *)
+  | Xor of flow list  (** conditional branching: exactly one branch *)
+  | And of flow list  (** parallel branching: all branches, interleaved *)
+  | Loop of flow  (** zero or more sequential repetitions *)
+  | Opt of flow  (** skippable step *)
+
+type t = private {
+  name : string;
+  flow : flow;
+}
+
+val make : string -> flow -> t
+(** @raise Invalid_argument on empty splits/sequences. *)
+
+val parse : name:string -> string -> (t, string) result
+(** Textual workflow definitions:
+
+    {v
+    flow ::= activity-name
+           | "seq"  "{" flow { ";" flow } "}"
+           | "xor"  "{" flow { ";" flow } "}"
+           | "and"  "{" flow { ";" flow } "}"
+           | "loop" "{" flow "}"
+           | "opt"  "{" flow "}"
+    v}
+
+    e.g. [seq { order; schedule; and { inform; prepare }; call; perform }]. *)
+
+val parse_exn : name:string -> string -> t
+
+val pp_flow : Format.formatter -> flow -> unit
+val pp : Format.formatter -> t -> unit
+
+val activities : t -> string list
+(** Distinct activity names, in first-occurrence order. *)
+
+val to_expr : t -> args:Action.value list -> Expr.t
+(** Control flow as an interaction expression over the case's activities. *)
+
+(** {1 Cases} *)
+
+type case
+
+val start_case : t -> id:string -> args:Action.value list -> case
+val case_id : case -> string
+val case_args : case -> Action.value list
+val workflow : case -> t
+
+val startable : case -> string list
+(** Activities whose start action the control flow currently permits. *)
+
+val completable : case -> string list
+(** Activities whose termination action the control flow currently permits
+    (i.e. started and not yet terminated). *)
+
+val start_activity : case -> string -> bool
+val finish_activity : case -> string -> bool
+val is_finished : case -> bool
+
+val start_action : case -> string -> Action.concrete
+val term_action : case -> string -> Action.concrete
+(** The concrete actions a given activity of this case maps to. *)
+
+val trace : case -> Action.concrete list
+(** Actions executed so far. *)

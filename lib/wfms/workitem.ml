@@ -1,0 +1,151 @@
+
+module Manager = Interaction_manager.Manager
+
+type status =
+  | Offered
+  | Suspended
+  | Allocated of string
+  | Started of string
+  | Completed of string
+
+type item = {
+  item_id : int;
+  case : Workflow.case;
+  activity : string;
+  mutable status : status;
+  mutable journal : (status * int) list;
+}
+
+type t = {
+  manager : Manager.t option;
+  users : (string * string list) list;
+  role_of : string -> string;
+  cases : Workflow.case list;
+  mutable pool : item list;
+  mutable next_id : int;
+  mutable ticks : int;
+}
+
+let clock t = t.ticks
+
+let tick t item status =
+  t.ticks <- t.ticks + 1;
+  item.status <- status;
+  item.journal <- (status, t.ticks) :: item.journal
+
+let permitted_by_manager t case activity =
+  match t.manager with
+  | None -> true
+  | Some m -> Manager.permitted m (Workflow.start_action case activity)
+
+let offered_status t case activity =
+  if permitted_by_manager t case activity then Offered else Suspended
+
+let refresh t =
+  (* keep items that are in progress; re-derive the rest from control flow *)
+  let in_progress =
+    List.filter
+      (fun i -> match i.status with Allocated _ | Started _ -> true | _ -> false)
+      t.pool
+  in
+  let taken case activity =
+    List.exists
+      (fun i -> i.case == case && String.equal i.activity activity)
+      in_progress
+  in
+  let fresh =
+    List.concat_map
+      (fun case ->
+        Workflow.startable case
+        |> List.filter (fun a -> not (taken case a))
+        |> List.map (fun activity ->
+               let id = t.next_id in
+               t.next_id <- id + 1;
+               let status = offered_status t case activity in
+               t.ticks <- t.ticks + 1;
+               { item_id = id; case; activity; status; journal = [ (status, t.ticks) ] }))
+      t.cases
+  in
+  t.pool <- in_progress @ fresh
+
+let create ?manager ~users ~role_of cases =
+  let t =
+    { manager; users; role_of; cases; pool = []; next_id = 1; ticks = 0 }
+  in
+  refresh t;
+  t
+
+let items t = t.pool
+
+let roles_of t user = match List.assoc_opt user t.users with Some r -> r | None -> []
+
+let visible_to t user item =
+  match item.status with
+  | Offered | Suspended -> List.mem (t.role_of item.activity) (roles_of t user)
+  | Allocated u | Started u -> String.equal u user
+  | Completed _ -> false
+
+let worklist t ~user = List.filter (visible_to t user) t.pool
+
+let allocate t ~user item =
+  match item.status with
+  | Suspended -> Error "item is suspended (forbidden by the interaction manager)"
+  | Allocated _ | Started _ | Completed _ -> Error "item is already taken"
+  | Offered ->
+    if not (List.mem (t.role_of item.activity) (roles_of t user)) then
+      Error (Printf.sprintf "user %s lacks role %s" user (t.role_of item.activity))
+    else begin
+      tick t item (Allocated user);
+      Ok ()
+    end
+
+let run_protocol t ~client action =
+  match t.manager with
+  | None -> true
+  | Some m -> Manager.execute m ~client action
+
+let start t ~user item =
+  match item.status with
+  | Allocated u when String.equal u user ->
+    let action = Workflow.start_action item.case item.activity in
+    if not (run_protocol t ~client:user action) then begin
+      tick t item Suspended;
+      Error "the interaction manager denied the start"
+    end
+    else if not (Workflow.start_activity item.case item.activity) then
+      Error "the workflow engine no longer enables this activity"
+    else begin
+      tick t item (Started user);
+      Ok ()
+    end
+  | Allocated _ -> Error "allocated to a different user"
+  | Offered | Suspended -> Error "allocate the item first"
+  | Started _ | Completed _ -> Error "item is already running or done"
+
+let complete t ~user item =
+  match item.status with
+  | Started u when String.equal u user ->
+    let action = Workflow.term_action item.case item.activity in
+    if not (run_protocol t ~client:user action) then
+      Error "the interaction manager denied the completion"
+    else if not (Workflow.finish_activity item.case item.activity) then
+      Error "the workflow engine rejected the completion"
+    else begin
+      tick t item (Completed user);
+      refresh t;
+      Ok ()
+    end
+  | Started _ -> Error "started by a different user"
+  | Offered | Suspended | Allocated _ -> Error "item has not been started"
+  | Completed _ -> Error "item is already done"
+
+let status_to_string = function
+  | Offered -> "offered"
+  | Suspended -> "suspended"
+  | Allocated u -> "allocated:" ^ u
+  | Started u -> "started:" ^ u
+  | Completed u -> "completed:" ^ u
+
+let pp_item ppf i =
+  Format.fprintf ppf "#%d %s:%s [%s]" i.item_id (Workflow.case_id i.case) i.activity
+    (status_to_string i.status)

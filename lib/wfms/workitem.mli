@@ -1,0 +1,75 @@
+(** WfMC-style work items.
+
+    Section 7 situates the adaptation strategies around "the WfMS's API
+    [which] is either standardized by the Workflow Management Coalition
+    (WfMC) or at least documented by the vendor".  This module provides
+    that substrate: the standard work-item lifecycle
+    (offered → allocated → started → completed) with role-based
+    distribution, driven by the control-flow state of the running cases and
+    — in the adapted configuration — filtered through an interaction
+    manager, so items whose start action the coordination constraint
+    currently forbids are visibly {e suspended} rather than offered
+    (the introduction's "temporarily disappear from the worklists — or at
+    least become marked as currently not executable").
+
+    The pool is the WfMS-facing façade; every state change validates
+    against the workflow engine, and an audit trail of lifecycle events is
+    kept per item. *)
+
+type status =
+  | Offered  (** visible to every user with the required role *)
+  | Suspended  (** control flow enables it, the interaction manager forbids it *)
+  | Allocated of string  (** claimed by one user *)
+  | Started of string
+  | Completed of string
+
+type item = private {
+  item_id : int;
+  case : Workflow.case;
+  activity : string;
+  mutable status : status;
+  mutable journal : (status * int) list;  (** newest first, with a logical clock *)
+}
+
+type t
+
+val create :
+  ?manager:Interaction_manager.Manager.t ->
+  users:(string * string list) list ->
+  role_of:(string -> string) ->
+  Workflow.case list ->
+  t
+(** A work-item pool over the given cases.  [users] maps user names to the
+    roles they hold; [role_of] assigns each activity the role required to
+    work on it.  When [manager] is given, items whose start action the
+    manager currently forbids are [Suspended]. *)
+
+val refresh : t -> unit
+(** Recompute the pool: startable activities become [Offered] (or
+    [Suspended]); items whose activity the control flow no longer enables
+    disappear (unless already allocated or started). *)
+
+val items : t -> item list
+val worklist : t -> user:string -> item list
+(** Items visible to [user]: offered items matching one of the user's
+    roles, plus the user's own allocated/started items.  [Suspended] items
+    are included (greyed out) so the UI can show them as not executable. *)
+
+val allocate : t -> user:string -> item -> (unit, string) result
+(** Claim an offered item.  Fails on suspended items, role mismatches, or
+    items already taken. *)
+
+val start : t -> user:string -> item -> (unit, string) result
+(** Start an allocated item: runs the coordination protocol against the
+    manager (if any) and the workflow engine.  On success the case's start
+    action has been executed and confirmed. *)
+
+val complete : t -> user:string -> item -> (unit, string) result
+(** Finish a started item (termination action through manager and engine),
+    then {!refresh} so newly enabled activities appear. *)
+
+val clock : t -> int
+(** The logical clock (number of lifecycle transitions so far). *)
+
+val status_to_string : status -> string
+val pp_item : Format.formatter -> item -> unit

@@ -1,0 +1,26 @@
+type item = {
+  case : Workflow.case;
+  activity : string;
+}
+
+type t = {
+  wuser : string;
+  mutable witems : item list;
+}
+
+let create ~user = { wuser = user; witems = [] }
+let user t = t.wuser
+
+let refresh t cases =
+  let items =
+    List.concat_map
+      (fun case -> List.map (fun activity -> { case; activity }) (Workflow.startable case))
+      cases
+  in
+  t.witems <- items;
+  items
+
+let items t = t.witems
+
+let pp_item ppf { case; activity } =
+  Format.fprintf ppf "%s:%s" (Workflow.case_id case) activity

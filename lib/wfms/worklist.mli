@@ -1,0 +1,27 @@
+(** Worklist handlers — the user-facing runtime component of a WfMS.
+
+    A worklist handler presents the activities currently offered to one user
+    and lets the user start and complete them.  Items are (case, activity)
+    pairs; {!refresh} recomputes the offer from the control-flow state of
+    the given cases.  Whether an item is {e marked executable} additionally
+    depends on the interaction manager in the adapted configurations of
+    Fig. 11 (see {!Adapter}). *)
+
+type item = {
+  case : Workflow.case;
+  activity : string;
+}
+
+type t
+
+val create : user:string -> t
+val user : t -> string
+
+val refresh : t -> Workflow.case list -> item list
+(** Recompute and store the offered items: every startable activity of every
+    given case. *)
+
+val items : t -> item list
+(** Items from the last {!refresh}. *)
+
+val pp_item : Format.formatter -> item -> unit

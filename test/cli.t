@@ -1,0 +1,106 @@
+The word problem (Fig. 9); the verdict is also the exit status (2/1/0).
+
+  $ ../bin/iexpr.exe word "some x: (a(x) - b(x))*" "a(1) b(1)"
+  complete
+  [2]
+  $ ../bin/iexpr.exe word "a - b" "a"
+  partial
+  [1]
+  $ ../bin/iexpr.exe word "a - b" "b"
+  illegal
+
+Complexity classification (Section 6).
+
+  $ ../bin/iexpr.exe classify "all p: mutex(some x: call(p,x) - perform(p,x))"
+  expression size:        6 nodes
+  quasi-regular:          no
+  parameterless:          no
+  uniformly quantified:   yes
+  completely quantified:  yes
+  verdict:                benign (polynomial state growth, estimated degree 2)
+
+Language enumeration.
+
+  $ ../bin/iexpr.exe lang "(a - b - c)# & (a* - b* - c*)" --max-len 6
+  <empty word>
+  a b c
+  a a b b c c
+  -- 3 complete word(s) of length <= 6 over 3 action(s)
+
+Simplification and user-defined operators.
+
+  $ ../bin/iexpr.exe simplify "def twice(x) = x - x; twice(a | a)" 2>/dev/null
+  a - a
+
+Dead ends and equivalence.
+
+  $ ../bin/iexpr.exe deadend "(a - b) & (b - a)"
+  exploration: states=1 final=0 dead=1
+  DEAD END: some permissible sequence can never be completed
+  [1]
+  $ ../bin/iexpr.exe equiv "a | b" "b | a"
+  equivalent (over the explored instantiation)
+  $ ../bin/iexpr.exe equiv "a - b" "b - a"
+  NOT equivalent; separating word: a
+  [1]
+
+Auditing a log.
+
+  $ cat > log.txt <<'LOG'
+  > a(1)        # fine
+  > b(1)
+  > b(1)        # the constraint forbids a second b(1)
+  > LOG
+  $ ../bin/iexpr.exe audit "some x: (a(x) - b(x))*" --log log.txt
+  events=3 accepted=2 foreign=0 issues=1 complete=true
+    event 2: b(1) is not permitted at this point
+  [1]
+
+Growth profiling.
+
+  $ ../bin/iexpr.exe profile "(a - b)*" "a b a b a b"
+  accepted actions: 6 (rejected 0)
+  max state size:   3
+  final state size: 3
+  measured growth:  constant
+  classification:   harmless (constant transition cost)
+  agreement:        true
+
+The interaction manager server (Fig. 10 protocols).
+
+  $ printf 'ASK u call_s(p,sono)\nCONFIRM u call_s(p,sono)\nPERMITTED call_s(p,endo)\nSTATE\nQUIT\n' \
+  >   | ../bin/imanager.exe "all p: mutex(some x: activity(call(?p,?x)) - activity(perform(?p,?x)))"
+  READY 10
+  GRANTED
+  OK
+  NO
+  STATE 7
+
+Tree view of an interaction graph.
+
+  $ ../bin/iexpr.exe show "all p: (prep(p) | call(p) - perform(p))*"
+  └─ for all p
+     └─ loop
+        └─ either-or (1 of n)
+           ├─ prep(?p)
+           └─ path
+              ├─ call(?p)
+              └─ perform(?p)
+
+The workbench drives the whole toolbox.
+
+  $ printf 'do a\ndo a\ndo b\nstate\nquit\n' | ../bin/iworkbench.exe "a - b" | cat
+  loaded: a - b
+  > Accept.
+  > Reject.
+  > Accept. (complete)
+  > state: 2 nodes, final (trace is a complete word)
+  > bye
+
+Witness words.
+
+  $ ../bin/iexpr.exe witness "some x: (a(x) - b(x) - c(x))"
+  a(v1) b(v1) c(v1)
+  $ ../bin/iexpr.exe witness "(a - b) & (b - a)"
+  no complete word found within the bound
+  [1]

@@ -1,0 +1,95 @@
+open Interaction
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let matching =
+  [ t "concrete pattern matches equal action" (fun () ->
+        check_bool "eq" true
+          (Action.matches (Action.make "a" [ Action.value "1" ]) (Action.conc "a" [ "1" ])));
+    t "different name does not match" (fun () ->
+        check_bool "name" false
+          (Action.matches (Action.make "a" []) (Action.conc "b" [])));
+    t "different arity does not match" (fun () ->
+        check_bool "arity" false
+          (Action.matches (Action.make "a" [ Action.value "1" ]) (Action.conc "a" [])));
+    t "different value does not match" (fun () ->
+        check_bool "value" false
+          (Action.matches (Action.make "a" [ Action.value "1" ]) (Action.conc "a" [ "2" ])));
+    t "parameter never matches (Φ(a) ∩ Σ*)" (fun () ->
+        check_bool "param" false
+          (Action.matches (Action.make "a" [ Action.param "p" ]) (Action.conc "a" [ "1" ])));
+    t "no-arg actions match" (fun () ->
+        check_bool "noarg" true (Action.matches (Action.make "go" []) (Action.conc "go" [])))
+  ]
+
+let binding =
+  [ t "bind finds the value" (fun () ->
+        Alcotest.(check (option string))
+          "bind" (Some "7")
+          (Action.bind "p" (Action.make "a" [ Action.param "p" ]) (Action.conc "a" [ "7" ])));
+    t "bind requires consistency across positions" (fun () ->
+        let pat = Action.make "a" [ Action.param "p"; Action.param "p" ] in
+        Alcotest.(check (option string)) "consistent" (Some "7")
+          (Action.bind "p" pat (Action.conc "a" [ "7"; "7" ]));
+        Alcotest.(check (option string)) "inconsistent" None
+          (Action.bind "p" pat (Action.conc "a" [ "7"; "8" ])));
+    t "bind fails on other parameters" (fun () ->
+        let pat = Action.make "a" [ Action.param "p"; Action.param "q" ] in
+        Alcotest.(check (option string)) "other param" None
+          (Action.bind "p" pat (Action.conc "a" [ "7"; "8" ])));
+    t "bind fails when p does not occur" (fun () ->
+        Alcotest.(check (option string)) "absent" None
+          (Action.bind "p" (Action.make "a" [ Action.value "1" ]) (Action.conc "a" [ "1" ])));
+    t "bind respects concrete positions" (fun () ->
+        let pat = Action.make "a" [ Action.value "1"; Action.param "p" ] in
+        Alcotest.(check (option string)) "ok" (Some "2")
+          (Action.bind "p" pat (Action.conc "a" [ "1"; "2" ]));
+        Alcotest.(check (option string)) "bad value" None
+          (Action.bind "p" pat (Action.conc "a" [ "9"; "2" ])))
+  ]
+
+let subst =
+  [ t "subst replaces all occurrences" (fun () ->
+        let a = Action.make "a" [ Action.param "p"; Action.value "x"; Action.param "p" ] in
+        let a' = Action.subst "p" "5" a in
+        check_bool "concrete" true (Action.is_concrete a');
+        check_str "printed" "a(5,x,5)" (Action.to_string a'));
+    t "subst leaves other parameters" (fun () ->
+        let a = Action.make "a" [ Action.param "p"; Action.param "q" ] in
+        let a' = Action.subst "p" "5" a in
+        Alcotest.(check (list string)) "params" [ "q" ] (Action.params a'));
+    t "params deduplicates" (fun () ->
+        let a = Action.make "a" [ Action.param "p"; Action.param "q"; Action.param "p" ] in
+        Alcotest.(check (list string)) "params" [ "p"; "q" ] (Action.params a))
+  ]
+
+let conversions =
+  [ t "to_concrete on concrete action" (fun () ->
+        let a = Action.make "a" [ Action.value "1" ] in
+        match Action.to_concrete a with
+        | Some c -> check_str "name" "a(1)" (Action.concrete_to_string c)
+        | None -> Alcotest.fail "expected concrete");
+    t "to_concrete fails on parameters" (fun () ->
+        check_bool "none" true
+          (Action.to_concrete (Action.make "a" [ Action.param "p" ]) = None));
+    t "of_concrete round-trips" (fun () ->
+        let c = Action.conc "a" [ "1"; "2" ] in
+        check_bool "rt" true (Action.to_concrete (Action.of_concrete c) = Some c));
+    t "printing without args omits parens" (fun () ->
+        check_str "plain" "go" (Action.concrete_to_string (Action.conc "go" [])));
+    t "compare is a total order" (fun () ->
+        let xs =
+          [ Action.conc "b" []; Action.conc "a" [ "2" ]; Action.conc "a" [ "1" ] ]
+        in
+        let sorted = List.sort Action.compare_concrete xs in
+        Alcotest.(check (list string)) "sorted" [ "a(1)"; "a(2)"; "b" ]
+          (List.map Action.concrete_to_string sorted))
+  ]
+
+let () =
+  Alcotest.run "action"
+    [ ("matching", matching); ("binding", binding); ("subst", subst);
+      ("conversions", conversions)
+    ]

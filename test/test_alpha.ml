@@ -1,0 +1,76 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let mem e s = Alpha.mem (Alpha.of_expr !e) (a1 s)
+
+let membership =
+  [ t "concrete atoms" (fun () ->
+        Alcotest.(check bool) "in" true (mem "a(1) - b" "a(1)");
+        Alcotest.(check bool) "in2" true (mem "a(1) - b" "b");
+        Alcotest.(check bool) "out" false (mem "a(1) - b" "a(2)");
+        Alcotest.(check bool) "out2" false (mem "a(1) - b" "c"));
+    t "bound parameters match any value" (fun () ->
+        Alcotest.(check bool) "any" true (mem "some p: a(p)" "a(42)"));
+    t "repeated binder positions stay correlated" (fun () ->
+        Alcotest.(check bool) "same" true (mem "some p: a(p,p)" "a(3,3)");
+        Alcotest.(check bool) "diff" false (mem "some p: a(p,p)" "a(3,1)"));
+    t "distinct binders are independent" (fun () ->
+        Alcotest.(check bool) "indep" true (mem "some p: some q: a(p,q)" "a(3,1)"));
+    t "shadowed binders are distinct" (fun () ->
+        (* outer p is shadowed inside; both positions belong to different
+           binders only if nested — here a(p,p) sits under the inner one *)
+        let e = Expr.some_q "p" (Expr.some_q "p" (Syntax.parse_exn "x(?p,?p)")) in
+        Alcotest.(check bool) "corr" false (Alpha.mem (Alpha.of_expr e) (a1 "x(1,2)")));
+    t "free parameters match nothing" (fun () ->
+        Alcotest.(check bool) "free" false (mem "a(?p)" "a(1)"));
+    t "mixed concrete and bound positions" (fun () ->
+        Alcotest.(check bool) "ok" true (mem "some p: call(p, endo)" "call(7,endo)");
+        Alcotest.(check bool) "bad" false (mem "some p: call(p, endo)" "call(7,sono)"))
+  ]
+
+let candidates =
+  [ t "candidate extraction binds the parameter" (fun () ->
+        let al = Alpha.of_expr !"a(?p) - b" in
+        Alcotest.(check (list string)) "one" [ "5" ] (Alpha.candidates "p" al (a1 "a(5)"));
+        Alcotest.(check (list string)) "none" [] (Alpha.candidates "p" al (a1 "b")));
+    t "consistency across positions" (fun () ->
+        let al = Alpha.of_expr !"a(?p,?p)" in
+        Alcotest.(check (list string)) "same" [ "5" ]
+          (Alpha.candidates "p" al (a1 "a(5,5)"));
+        Alcotest.(check (list string)) "diff" [] (Alpha.candidates "p" al (a1 "a(5,6)")));
+    t "multiple patterns can contribute different values" (fun () ->
+        let al = Alpha.of_expr !"a(?p,1) | a(2,?p)" in
+        Alcotest.(check (list string)) "both" [ "2"; "1" ]
+          (Alpha.candidates "p" al (a1 "a(2,1)")));
+    t "other free parameters block the pattern" (fun () ->
+        let al = Alpha.of_expr !"a(?p,?q)" in
+        Alcotest.(check (list string)) "blocked" [] (Alpha.candidates "p" al (a1 "a(1,2)")));
+    t "inner binders act as wildcards for candidates" (fun () ->
+        let al = Alpha.of_expr !"some q: a(?p, q)" in
+        Alcotest.(check (list string)) "wild" [ "1" ]
+          (Alpha.candidates "p" al (a1 "a(1,9)")))
+  ]
+
+let subst =
+  [ t "subst turns free positions concrete" (fun () ->
+        let al = Alpha.subst "p" "5" (Alpha.of_expr !"a(?p)") in
+        Alcotest.(check bool) "now in" true (Alpha.mem al (a1 "a(5)"));
+        Alcotest.(check bool) "not other" false (Alpha.mem al (a1 "a(6)")));
+    t "subst leaves bound positions alone" (fun () ->
+        let al = Alpha.subst "p" "5" (Alpha.of_expr !"some q: a(?p, q)") in
+        Alcotest.(check bool) "wild" true (Alpha.mem al (a1 "a(5,77)")))
+  ]
+
+let dedup =
+  [ t "alphabet deduplicates equal patterns" (fun () ->
+        Alcotest.(check int) "len" 1 (List.length (Alpha.of_expr !"a(1) - a(1)")));
+    t "alphabet keeps distinct patterns" (fun () ->
+        Alcotest.(check int) "len" 2 (List.length (Alpha.of_expr !"a(1) - a(2)")))
+  ]
+
+let () =
+  Alcotest.run "alpha"
+    [ ("membership", membership); ("candidates", candidates); ("subst", subst);
+      ("dedup", dedup)
+    ]

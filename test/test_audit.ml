@@ -1,0 +1,172 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let audit_cases =
+  [ t "conformant log" (fun () ->
+        let r = Audit.check !"(a - b)*" (w "a b a b") in
+        check_bool "conformant" true (Audit.conformant r);
+        check_int "accepted" 4 r.Audit.accepted;
+        check_bool "complete" true r.Audit.complete);
+    t "violations are located and replay continues" (fun () ->
+        let r = Audit.check !"(a - b)*" (w "a a b b a b") in
+        (* second a (index 1) violates; after skipping it, b completes the
+           first iteration; then b (index 3) violates again; a b conform *)
+        check_int "issues" 2 (List.length r.Audit.issues);
+        (match r.Audit.issues with
+        | [ i1; i2 ] ->
+          check_int "first at 1" 1 i1.Audit.index;
+          check_int "second at 3" 3 i2.Audit.index;
+          check_bool "reason" true (i1.Audit.reason = Audit.Not_permitted)
+        | _ -> Alcotest.fail "expected two issues");
+        check_int "accepted" 4 r.Audit.accepted;
+        check_bool "complete" true r.Audit.complete);
+    t "stop_at_first" (fun () ->
+        let r = Audit.check ~stop_at_first:true !"(a - b)*" (w "a a b b") in
+        check_int "one issue" 1 (List.length r.Audit.issues);
+        check_int "accepted before stop" 1 r.Audit.accepted);
+    t "foreign events are ignored by default" (fun () ->
+        let r = Audit.check !"a - b" (w "x a y b z") in
+        check_bool "conformant" true (Audit.conformant r);
+        check_int "foreign" 3 r.Audit.foreign;
+        check_bool "complete" true r.Audit.complete);
+    t "strict mode flags foreign events" (fun () ->
+        let r = Audit.check ~strict:true !"a - b" (w "x a b") in
+        check_int "one issue" 1 (List.length r.Audit.issues);
+        (match r.Audit.issues with
+        | [ i ] -> check_bool "reason" true (i.Audit.reason = Audit.Foreign)
+        | _ -> Alcotest.fail "expected one issue"));
+    t "incomplete but conformant history" (fun () ->
+        let r = Audit.check !"a - b" (w "a") in
+        check_bool "conformant" true (Audit.conformant r);
+        check_bool "not complete" false r.Audit.complete);
+    t "audit of the medical constraint finds the interleaved call" (fun () ->
+        let log =
+          w
+            "call_s(p,sono) call_t(p,sono) call_s(p,endo) perform_s(p,sono) \
+             perform_t(p,sono)"
+        in
+        let r = Audit.check Wfms.Medical.patient_constraint log in
+        check_int "one violation" 1 (List.length r.Audit.issues);
+        match r.Audit.issues with
+        | [ i ] -> check_int "the endo call" 2 i.Audit.index
+        | _ -> Alcotest.fail "expected exactly the endo call")
+  ]
+
+let parse_cases =
+  [ t "parse_log skips blanks and comments" (fun () ->
+        match Audit.parse_log "a(1)\n# comment\n\n b(2) # trailing\n" with
+        | Ok log -> check_int "two events" 2 (List.length log)
+        | Error m -> Alcotest.fail m);
+    t "parse_log reports bad lines" (fun () ->
+        match Audit.parse_log "a(1)\n???\n" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error m -> check_bool "mentions line" true (String.length m > 0));
+    t "pp_report prints issues" (fun () ->
+        let r = Audit.check !"a" (w "b a") in
+        ignore r;
+        let r2 = Audit.check ~strict:true !"a" (w "b a") in
+        let s = Format.asprintf "%a" Audit.pp_report r2 in
+        check_bool "mentions alphabet" true (String.length s > 20))
+  ]
+
+(* Oracle link: a log with no foreign events is issue-free iff it is a
+   partial word; it is additionally complete iff it is a complete word. *)
+let audit_vs_word =
+  QCheck.Test.make ~count:200 ~name:"audit ≡ word problem on alphabet-only logs"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, word) ->
+      let alpha = Alpha.of_expr e in
+      let word = List.filter (Alpha.mem alpha) word in
+      let r = Audit.check e word in
+      let verdict = Engine.word e word in
+      let expected_conformant = verdict <> Semantics.Illegal in
+      let expected_complete = verdict = Semantics.Complete in
+      if Audit.conformant r <> expected_conformant then
+        QCheck.Test.fail_reportf "conformance mismatch"
+      else if Audit.conformant r && r.Audit.complete <> expected_complete then
+        QCheck.Test.fail_reportf "completeness mismatch"
+      else true)
+
+let instrument_cases =
+  [ t "constant growth on a quasi-regular run" (fun () ->
+        let word = List.concat (List.init 50 (fun _ -> w "a b")) in
+        let p = Instrument.profile !"(a - b)*" word in
+        check_bool "constant" true (p.Instrument.growth = Instrument.Constant);
+        check_bool "agrees" true
+          (Instrument.agrees_with_classification p (Classify.benignity !"(a - b)*")));
+    t "linear growth on a uniformly quantified run" (fun () ->
+        let word =
+          List.init 40 (fun i -> Action.conc "u" [ string_of_int i ])
+        in
+        let p = Instrument.profile !"all x: [u(x) - e(x)]" word in
+        (match p.Instrument.growth with
+        | Instrument.Polynomial d -> check_bool "degree ≈ 1" true (d > 0.5 && d < 1.6)
+        | g -> Alcotest.failf "expected polynomial, got %s" (Instrument.growth_to_string g));
+        check_bool "agrees" true
+          (Instrument.agrees_with_classification p
+             (Classify.benignity !"all x: [u(x) - e(x)]")));
+    t "exponential growth on the malignant expression" (fun () ->
+        let word =
+          List.init 10 (fun i -> Action.conc "a" [ string_of_int i ])
+          @ List.init 5 (fun _ -> Action.conc "b" [])
+        in
+        let p = Instrument.profile !"all p: (a(p) - b - c(p))" word in
+        match p.Instrument.growth with
+        | Instrument.Exponential f -> check_bool "factor > 1" true (f > 1.1)
+        | g -> Alcotest.failf "expected exponential, got %s" (Instrument.growth_to_string g));
+    t "rejected actions are counted, not sampled" (fun () ->
+        let p = Instrument.profile !"a - b" (w "a z z b") in
+        check_int "rejected" 2 p.Instrument.rejected;
+        check_int "samples" 2 (List.length p.Instrument.samples));
+    t "csv output" (fun () ->
+        let p = Instrument.profile !"a - b" (w "a b") in
+        let csv = Instrument.to_csv p in
+        check_bool "header" true (String.length csv > 10 && String.sub csv 0 10 = "index,size"))
+  ]
+
+(* Simulate: random walks stay within permitted behaviour. *)
+let simulate_cases =
+  [ t "random traces are partial words" (fun () ->
+        List.iter
+          (fun src ->
+            let e = !src in
+            let trace = Simulate.random_trace ~seed:7 ~length:12 e in
+            Alcotest.(check bool) src true (Engine.word e trace <> Semantics.Illegal))
+          [ "(a - b)*"; "some x: (u(x) - v(x))*"; "mutex(a - b, c)";
+            "all p: [(u(p) - e(p))*]" ]);
+    t "random traces are reproducible per seed" (fun () ->
+        let e = !"(a | b | c)*" in
+        let t1 = Simulate.random_trace ~seed:3 ~length:10 e in
+        let t2 = Simulate.random_trace ~seed:3 ~length:10 e in
+        let t3 = Simulate.random_trace ~seed:4 ~length:10 e in
+        Alcotest.(check bool) "same seed" true (t1 = t2);
+        Alcotest.(check bool) "likely different" true (t1 <> t3 || List.length t1 = 0));
+    t "random_complete finds a complete word" (fun () ->
+        match Simulate.random_complete ~seed:5 !"a - (b | c) - d" with
+        | Some word ->
+          Alcotest.check Testutil.verdict "complete" Semantics.Complete
+            (Engine.word !"a - (b | c) - d" word)
+        | None -> Alcotest.fail "expected to find a complete word");
+    t "random_complete gives up on dead ends" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Simulate.random_complete ~seed:5 ~attempts:5 !"(a - b) & (b - a)" = None
+          || Simulate.random_complete ~seed:5 ~attempts:5 !"(a - b) & (b - a)" = Some []));
+    t "walks stop when stuck" (fun () ->
+        let trace = Simulate.random_trace ~seed:1 ~length:50 !"a - b" in
+        Alcotest.(check int) "length" 2 (List.length trace));
+    t "exercise counts accepts and rejects" (fun () ->
+        let acc, rej = Simulate.exercise ~seed:2 ~rounds:100 !"(a - b)*" in
+        Alcotest.(check int) "total" 100 (acc + rej);
+        Alcotest.(check bool) "some of each" true (acc > 0 && rej > 0))
+  ]
+
+let () =
+  Alcotest.run "audit"
+    [ ("audit", audit_cases); ("parsing", parse_cases);
+      ("oracle", [ to_alcotest audit_vs_word ]); ("instrument", instrument_cases);
+      ("simulate", simulate_cases)
+    ]

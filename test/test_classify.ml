@@ -1,0 +1,87 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let is_verdict e expected =
+  Alcotest.(check string) (Syntax.to_string !e) expected
+    (match Classify.benignity !e with
+    | Classify.Harmless -> "harmless"
+    | Classify.Benign d -> "benign:" ^ string_of_int d
+    | Classify.Potentially_malignant -> "malignant?")
+
+let predicates =
+  [ t "quasi-regular: no pariter/quantifier" (fun () ->
+        Alcotest.(check bool) "qr" true (Classify.quasi_regular !"(a - b)* | c & d @ e");
+        Alcotest.(check bool) "pariter" false (Classify.quasi_regular !"a#");
+        Alcotest.(check bool) "quant" false (Classify.quasi_regular !"some p: a(p)"));
+    t "parameterless" (fun () ->
+        Alcotest.(check bool) "yes" true (Classify.parameterless !"a(1) - b");
+        Alcotest.(check bool) "no" false (Classify.parameterless !"a(?p)"));
+    t "uniformly quantified" (fun () ->
+        Alcotest.(check bool) "uniform" true
+          (Classify.uniformly_quantified !"some p: a(p) - b(p,1)");
+        Alcotest.(check bool) "non-uniform" false
+          (Classify.uniformly_quantified !"some p: a(p) - b");
+        Alcotest.(check bool) "nested uniform" true
+          (Classify.uniformly_quantified !"all p: some x: a(p,x)");
+        Alcotest.(check bool) "nested non-uniform" false
+          (Classify.uniformly_quantified !"all p: some x: a(p,x) - b(x)"));
+    t "completely quantified" (fun () ->
+        Alcotest.(check bool) "closed" true (Classify.completely_quantified !"some p: a(p)");
+        Alcotest.(check bool) "free" false (Classify.completely_quantified !"a(?p)"))
+  ]
+
+let verdicts =
+  [ t "quasi-regular is harmless" (fun () -> is_verdict "(a - b)* | c" "harmless");
+    t "uniform quantifier is benign degree 1" (fun () ->
+        is_verdict "all p: [(u(p) - e(p))*]" "benign:1");
+    t "nested uniform quantifiers raise the degree" (fun () ->
+        is_verdict "all p: some x: a(p,x)" "benign:2");
+    t "non-uniform quantifier is potentially malignant" (fun () ->
+        is_verdict "all p: (a(p) - b - c(p))" "malignant?");
+    t "unguarded parallel iteration is potentially malignant" (fun () ->
+        is_verdict "(a - b)#" "malignant?");
+    t "pariter over uniform some-quantifier is benign" (fun () ->
+        is_verdict "(some p: a(p) - b(p))#" "benign:2");
+    t "the paper's examples are benign" (fun () ->
+        (* Fig. 3 patient constraint, simplified shape *)
+        is_verdict
+          "all p: mutex(some x: prep(p,x), some x: (call(p,x) - perf(p,x)), some x: inf(p,x))"
+          "benign:2")
+  ]
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let describe =
+  [ t "describe mentions the verdict" (fun () ->
+        Alcotest.(check bool) "contains" true
+          (contains ~needle:"harmless" (Classify.describe !"a - b")));
+    t "describe lists the predicates" (fun () ->
+        let d = Classify.describe !"some p: a(p)" in
+        Alcotest.(check bool) "uniform" true (contains ~needle:"uniformly" d);
+        Alcotest.(check bool) "benign" true (contains ~needle:"benign" d))
+  ]
+
+let explain_cases =
+  let t name f = Alcotest.test_case name `Quick f in
+  [ t "explain locates the non-uniform quantifier" (fun () ->
+        let d = Classify.explain !"all p: (a(p) - b - c(p))" in
+        Alcotest.(check bool) "culprit named" true (contains ~needle:"omit p: b" d);
+        Alcotest.(check bool) "verdict" true (contains ~needle:"POTENTIALLY MALIGNANT" d));
+    t "explain blesses uniform quantifiers" (fun () ->
+        let d = Classify.explain !"all p: (u(p) - e(p))*" in
+        Alcotest.(check bool) "benign" true (contains ~needle:"uniformly quantified" d));
+    t "explain annotates parallel iterations" (fun () ->
+        let d = Classify.explain !"(a - b)#" in
+        Alcotest.(check bool) "flagged" true (contains ~needle:"ambiguous walkers" d))
+  ]
+
+let () =
+  Alcotest.run "classify"
+    [ ("predicates", predicates); ("verdicts", verdicts); ("describe", describe);
+      ("explain", explain_cases)
+    ]

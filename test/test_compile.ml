@@ -1,0 +1,118 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile_cases =
+  [ t "quasi-regular expressions compile" (fun () ->
+        match Compile.compile !"(a - b)* || (c | d)*" with
+        | Some dfa ->
+          check_bool "has states" true (Compile.state_count dfa > 0);
+          check_int "alphabet" 4 (List.length (Compile.alphabet dfa))
+        | None -> Alcotest.fail "expected compilation to succeed");
+    t "infinite state spaces do not compile" (fun () ->
+        check_bool "none" true (Compile.compile ~max_states:50 !"(a - b)#" = None));
+    t "state bound respected" (fun () ->
+        check_bool "none" true (Compile.compile ~max_states:2 !"a - b - c - d" = None));
+    t "verdicts match the interpreter" (fun () ->
+        let e = !"(a - b)* @ (c - b)*" in
+        let dfa = Option.get (Compile.compile e) in
+        List.iter
+          (fun input ->
+            let word = w input in
+            Alcotest.check verdict input (Engine.word e word) (Compile.word dfa word))
+          [ ""; "a"; "a c b"; "c a b a c b"; "b"; "a b"; "a c b x" ]);
+    t "final states counted" (fun () ->
+        let dfa = Option.get (Compile.compile !"a | b - c") in
+        check_bool "some final" true (Compile.final_count dfa >= 1))
+  ]
+
+let run_cases =
+  [ t "runs step and reset" (fun () ->
+        let dfa = Option.get (Compile.compile !"(a - b)*") in
+        let r = Compile.start dfa in
+        check_bool "initial accepting" true (Compile.accepting r);
+        check_bool "a" true (Compile.step r (a1 "a"));
+        check_bool "mid not accepting" false (Compile.accepting r);
+        check_bool "a again rejected" false (Compile.step r (a1 "a"));
+        check_bool "b" true (Compile.step r (a1 "b"));
+        check_bool "accepting" true (Compile.accepting r);
+        Compile.reset r;
+        check_bool "reset accepting" true (Compile.accepting r));
+    t "unknown actions are rejected" (fun () ->
+        let dfa = Option.get (Compile.compile !"a") in
+        let r = Compile.start dfa in
+        check_bool "foreign" false (Compile.step r (a1 "zzz")))
+  ]
+
+(* DFA ≡ interpreted state model on random words, for every compilable
+   random expression. *)
+let equivalence =
+  QCheck.Test.make ~count:200 ~name:"compiled DFA ≡ interpreted state model"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      (* the word generator instantiates parameters over {1,2,3}; compile
+         over the same value set so the automaton covers the word universe *)
+      match Compile.compile ~max_states:500 ~max_state_size:500 ~values:[ "1"; "2"; "3" ] e with
+      | None -> true (* not compilable within bounds: nothing to check *)
+      | Some dfa ->
+        if Compile.word dfa word = Engine.word e word then true
+        else
+          QCheck.Test.fail_reportf "DFA disagrees on %s"
+            (String.concat " " (List.map Action.concrete_to_string word)))
+
+let dsl_cases =
+  [ t "parse a workflow definition" (fun () ->
+        let wf =
+          Wfms.Workflow.parse_exn ~name:"endo"
+            "seq { order; schedule; and { inform; prepare }; call; perform }"
+        in
+        Alcotest.(check (list string)) "activities"
+          [ "order"; "schedule"; "inform"; "prepare"; "call"; "perform" ]
+          (Wfms.Workflow.activities wf));
+    t "parsed workflow equals the built one" (fun () ->
+        let parsed =
+          Wfms.Workflow.parse_exn ~name:"w" "seq { a; xor { b; c }; d }"
+        in
+        let built =
+          Wfms.Workflow.make "w"
+            (Wfms.Workflow.Seq [ Task "a"; Xor [ Task "b"; Task "c" ]; Task "d" ])
+        in
+        Alcotest.(check bool) "same expr" true
+          (Expr.equal
+             (Wfms.Workflow.to_expr parsed ~args:[ "k" ])
+             (Wfms.Workflow.to_expr built ~args:[ "k" ])));
+    t "loop and opt take exactly one body" (fun () ->
+        (match Wfms.Workflow.parse ~name:"w" "loop { a; b }" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+        match Wfms.Workflow.parse ~name:"w" "opt { a }" with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m);
+    t "parse errors are reported" (fun () ->
+        List.iter
+          (fun src ->
+            match Wfms.Workflow.parse ~name:"w" src with
+            | Ok _ -> Alcotest.failf "expected error on %S" src
+            | Error _ -> ())
+          [ ""; "seq {"; "seq { }"; "seq { a; }"; "a b"; "seq { a } x"; "$" ]);
+    t "pp round-trips through parse" (fun () ->
+        let wf =
+          Wfms.Workflow.parse_exn ~name:"w"
+            "seq { a; loop { xor { b; c } }; opt { d } }"
+        in
+        let printed = Format.asprintf "%a" Wfms.Workflow.pp_flow wf.Wfms.Workflow.flow in
+        let wf' = Wfms.Workflow.parse_exn ~name:"w" printed in
+        Alcotest.(check bool) "rt" true
+          (Expr.equal
+             (Wfms.Workflow.to_expr wf ~args:[])
+             (Wfms.Workflow.to_expr wf' ~args:[])))
+  ]
+
+let () =
+  Alcotest.run "compile"
+    [ ("compile", compile_cases); ("runs", run_cases);
+      ("equivalence", [ to_alcotest equivalence ]); ("workflow-dsl", dsl_cases)
+    ]

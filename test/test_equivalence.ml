@@ -1,0 +1,171 @@
+(* The central correctness property of the reproduction: the operational
+   state model (Section 4/5) agrees with the formal semantics (Table 8) on
+   every word — w ∈ Ψ(x) ⇔ σw(x) valid and w ∈ Φ(x) ⇔ φ(σw(x)).  The paper
+   proves this by structural induction; we validate it empirically on
+   randomly generated expressions and words. *)
+
+open Interaction
+open Testutil
+
+let sem_verdict = Semantics.word
+let op_verdict = Engine.word
+
+let agree_on (e, w) =
+  let s = sem_verdict e w and o = op_verdict e w in
+  if s <> o then
+    QCheck.Test.fail_reportf "semantics says %a, state model says %a"
+      Semantics.pp_verdict s Semantics.pp_verdict o
+  else true
+
+let equivalence =
+  QCheck.Test.make ~count:400 ~name:"state model ≡ formal semantics (verdicts)"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    agree_on
+
+(* Deeper expressions, shorter words (keeps the exponential oracle feasible). *)
+let equivalence_deep =
+  QCheck.Test.make ~count:120 ~name:"state model ≡ formal semantics (deeper exprs)"
+    (expr_word_arb ~max_depth:4 ~max_len:3 ())
+    agree_on
+
+(* Validity along every prefix: the state survives exactly the partial
+   prefixes (also checks that Ψ is prefix-closed in the oracle). *)
+let prefixes =
+  QCheck.Test.make ~count:200 ~name:"per-prefix validity ≡ Ψ membership"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, w) ->
+      let session = Engine.create e in
+      let rec go processed = function
+        | [] -> true
+        | c :: rest ->
+          let accepted = Engine.try_action session c in
+          let expected = Semantics.partial e (List.rev (c :: processed)) in
+          if accepted <> expected then
+            QCheck.Test.fail_reportf "prefix %s: accepted=%b but Ψ-membership=%b"
+              (String.concat " "
+                 (List.map Action.concrete_to_string (List.rev (c :: processed))))
+              accepted expected
+          else if accepted then go (c :: processed) rest
+          else go processed rest
+      in
+      go [] w)
+
+(* Φ ⊆ Ψ in both models. *)
+let complete_implies_partial =
+  QCheck.Test.make ~count:200 ~name:"complete words are partial words"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, w) ->
+      (not (Semantics.complete e w)) || Semantics.partial e w)
+
+(* The empty word is a partial word of every expression and the initial
+   state is always valid. *)
+let empty_word =
+  QCheck.Test.make ~count:200 ~name:"⟨⟩ ∈ Ψ(x) for every x" (expr_arb ())
+    (fun e ->
+      Semantics.partial e [] && Engine.word e [] <> Semantics.Illegal)
+
+(* Algebraic laws of Section 3, checked extensionally on sampled words. *)
+let law name mk_lhs mk_rhs =
+  QCheck.Test.make ~count:150 ~name
+    (QCheck.pair (expr_word_arb ~max_depth:2 ~max_len:4 ()) (expr_arb ~max_depth:2 ()))
+    (fun (((e, w), f)) ->
+      let lhs = mk_lhs e f and rhs = mk_rhs e f in
+      (* Words drawn from e's universe only, but that suffices to distinguish
+         most non-laws; extend w with f's universe actions for coverage. *)
+      let verdict_eq w = op_verdict lhs w = op_verdict rhs w in
+      verdict_eq w)
+
+let laws =
+  [ law "disjunction commutes" (fun e f -> Expr.Or (e, f)) (fun e f -> Expr.Or (f, e));
+    law "conjunction commutes" (fun e f -> Expr.And (e, f)) (fun e f -> Expr.And (f, e));
+    law "parallel composition commutes" (fun e f -> Expr.Par (e, f)) (fun e f ->
+        Expr.Par (f, e));
+    law "synchronization commutes" (fun e f -> Expr.Sync (e, f)) (fun e f ->
+        Expr.Sync (f, e));
+    law "disjunction idempotent" (fun e _ -> Expr.Or (e, e)) (fun e _ -> e);
+    law "conjunction idempotent" (fun e _ -> Expr.And (e, e)) (fun e _ -> e);
+    law "synchronization idempotent" (fun e _ -> Expr.Sync (e, e)) (fun e _ -> e);
+    law "option absorbs option" (fun e _ -> Expr.Opt (Expr.Opt e)) (fun e _ -> Expr.Opt e);
+    law "iteration absorbs iteration"
+      (fun e _ -> Expr.SeqIter (Expr.SeqIter e))
+      (fun e _ -> Expr.SeqIter e);
+    law "epsilon is a unit of sequence"
+      (fun e _ -> Expr.Seq (Expr.epsilon, e))
+      (fun e _ -> e);
+    law "epsilon is a unit of parallel"
+      (fun e _ -> Expr.Par (e, Expr.epsilon))
+      (fun e _ -> e)
+  ]
+
+(* Laws involving quantifiers and distribution, checked on sampled words
+   drawn from the LHS's universe. *)
+let law2 name mk_lhs mk_rhs =
+  QCheck.Test.make ~count:120 ~name
+    (QCheck.pair (expr_arb ~max_depth:2 ()) (expr_arb ~max_depth:2 ()))
+    (fun (e, f) ->
+      let lhs = mk_lhs e f and rhs = mk_rhs e f in
+      let universe = universe_of lhs @ universe_of rhs in
+      if universe = [] then true
+      else begin
+        (* deterministic small word sample *)
+        let words =
+          List.concat_map
+            (fun len ->
+              List.init 3 (fun k ->
+                  List.init len (fun i ->
+                      List.nth universe ((k + (i * 7) + len) mod List.length universe))))
+            [ 0; 1; 2; 3; 4 ]
+        in
+        List.for_all (fun w -> op_verdict lhs w = op_verdict rhs w) words
+      end)
+
+(* Longer guaranteed-partial traces from random walks, checked against the
+   oracle — exercises the accept paths the uniform random words rarely hit. *)
+let walk_oracle =
+  QCheck.Test.make ~count:120 ~name:"random walks agree with the oracle"
+    (QCheck.pair (expr_arb ~max_depth:2 ()) QCheck.small_nat)
+    (fun (e, seed) ->
+      let trace = Simulate.random_trace ~seed ~length:5 e in
+      let o = op_verdict e trace and s = sem_verdict e trace in
+      if o <> s then
+        QCheck.Test.fail_reportf "on walk %s: state model %a vs oracle %a"
+          (String.concat " " (List.map Action.concrete_to_string trace))
+          Semantics.pp_verdict o Semantics.pp_verdict s
+      else if o = Semantics.Illegal then
+        QCheck.Test.fail_reportf "a permitted walk cannot be illegal"
+      else true)
+
+let quantifier_laws =
+  [ law2 "sequence distributes over disjunction (left)"
+      (fun e f -> Expr.Seq (Expr.Or (e, f), Expr.act "zq" []))
+      (fun e f ->
+        Expr.Or (Expr.Seq (e, Expr.act "zq" []), Expr.Seq (f, Expr.act "zq" [])));
+    law2 "sequence distributes over disjunction (right)"
+      (fun e f -> Expr.Seq (Expr.act "zq" [], Expr.Or (e, f)))
+      (fun e f ->
+        Expr.Or (Expr.Seq (Expr.act "zq" [], e), Expr.Seq (Expr.act "zq" [], f)));
+    law2 "some-quantifier distributes over disjunction"
+      (fun e f -> Expr.SomeQ ("qq", Expr.Or (e, f)))
+      (fun e f -> Expr.Or (Expr.SomeQ ("qq", e), Expr.SomeQ ("qq", f)));
+    law2 "conjunction equals coupling on equal alphabets"
+      (fun e _ -> Expr.And (e, e))
+      (fun e _ -> Expr.Sync (e, e));
+    law2 "parallel composition associates"
+      (fun e f -> Expr.Par (Expr.Par (e, f), Expr.act "zq" []))
+      (fun e f -> Expr.Par (e, Expr.Par (f, Expr.act "zq" [])));
+    law2 "coupling associates"
+      (fun e f -> Expr.Sync (Expr.Sync (e, f), Expr.act "zq" []))
+      (fun e f -> Expr.Sync (e, Expr.Sync (f, Expr.act "zq" [])));
+    law2 "disjunction associates"
+      (fun e f -> Expr.Or (Expr.Or (e, f), Expr.act "zq" []))
+      (fun e f -> Expr.Or (e, Expr.Or (f, Expr.act "zq" [])))
+  ]
+
+let () =
+  Alcotest.run "equivalence"
+    [ ("oracle", List.map to_alcotest
+         [ equivalence; equivalence_deep; prefixes; complete_implies_partial; empty_word ]);
+      ("laws", List.map to_alcotest laws);
+      ("laws-2", List.map to_alcotest quantifier_laws);
+      ("walks", [ to_alcotest walk_oracle ])
+    ]

@@ -1,0 +1,92 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let structure =
+  [ t "free_params reports unbound parameters" (fun () ->
+        let e = !"some p: a(p, ?x) - b(?y)" in
+        Alcotest.(check (list string)) "free" [ "x"; "y" ] (Expr.free_params e));
+    t "quantifier binds its parameter" (fun () ->
+        let e = !"some p: a(p)" in
+        Alcotest.(check (list string)) "free" [] (Expr.free_params e));
+    t "shadowing: inner binder hides outer" (fun () ->
+        let e = Expr.some_q "p" (Expr.some_q "p" (!"a(?p)")) in
+        Alcotest.(check (list string)) "free" [] (Expr.free_params e));
+    t "atoms deduplicates" (fun () ->
+        let e = !"a - b - a" in
+        Alcotest.(check int) "atoms" 2 (List.length (Expr.atoms e)));
+    t "values collects concrete args" (fun () ->
+        let e = !"a(1) - b(2,1)" in
+        Alcotest.(check (list string)) "values" [ "1"; "2" ] (Expr.values e));
+    t "size counts nodes" (fun () ->
+        Alcotest.(check int) "size" 6 (Expr.size !"a - (b | c)*"))
+  ]
+
+let substitution =
+  [ t "subst replaces free occurrences" (fun () ->
+        let e = Expr.subst "p" "5" !"a(?p) - b(?p, ?q)" in
+        Alcotest.(check (list string)) "free" [ "q" ] (Expr.free_params e);
+        Alcotest.(check (list string)) "values" [ "5" ] (Expr.values e));
+    t "subst stops at shadowing binder" (fun () ->
+        let e = Expr.Seq (!"a(?p)", !"some p: b(p)") in
+        let e' = Expr.subst "p" "5" e in
+        match e' with
+        | Expr.Seq (Expr.Atom a, (Expr.SomeQ (_, Expr.Atom b) as q)) ->
+          Alcotest.(check bool) "left substituted" true (Action.is_concrete a);
+          Alcotest.(check bool) "right untouched" false (Action.is_concrete b);
+          Alcotest.(check (list string)) "still closed" [] (Expr.free_params q)
+        | _ -> Alcotest.fail "unexpected shape");
+    t "subst is idempotent once parameter is gone" (fun () ->
+        let e = Expr.subst "p" "5" !"a(?p)" in
+        Alcotest.(check bool) "idempotent" true (Expr.equal e (Expr.subst "p" "6" e)))
+  ]
+
+let derived =
+  [ t "times expands to parallel copies" (fun () ->
+        match Expr.times 3 !"a" with
+        | Expr.Par (Expr.Par (Expr.Atom _, Expr.Atom _), Expr.Atom _) -> ()
+        | _ -> Alcotest.fail "expected nested parallel");
+    t "times 1 is the expression itself" (fun () ->
+        Alcotest.(check bool) "id" true (Expr.equal (Expr.times 1 !"a") !"a"));
+    t "times 0 accepts only the empty word" (fun () ->
+        let e = Expr.times 0 !"a" in
+        check_both e "" Semantics.Complete;
+        check_both e "a" Semantics.Illegal);
+    t "times rejects negative multiplicity" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Expr.times: negative multiplicity")
+          (fun () -> ignore (Expr.times (-1) !"a")));
+    t "mutex allows one branch at a time, repeatedly" (fun () ->
+        let e = Expr.mutex [ !"a - b"; !"c - d" ] in
+        check_both e "a b c d" Semantics.Complete;
+        check_both e "a c" Semantics.Illegal;
+        check_both e "a b a b" Semantics.Complete);
+    t "epsilon accepts exactly the empty word" (fun () ->
+        check_both Expr.epsilon "" Semantics.Complete;
+        check_both Expr.epsilon "a" Semantics.Illegal);
+    t "activity expands to start/terminate pair" (fun () ->
+        let e = Expr.activity "call" [ Action.value "4711" ] in
+        check_both e "call_s(4711) call_t(4711)" Semantics.Complete;
+        check_both e "call_t(4711)" Semantics.Illegal);
+    t "start/term action helpers match activity" (fun () ->
+        let e = Expr.activity "call" [ Action.value "1" ] in
+        let s = Engine.create e in
+        Alcotest.(check bool) "start" true
+          (Engine.try_action s (Expr.start_action "call" [ "1" ]));
+        Alcotest.(check bool) "term" true
+          (Engine.try_action s (Expr.term_action "call" [ "1" ]));
+        Alcotest.(check bool) "final" true (Engine.is_final s));
+    t "seq_list and alt_list nest" (fun () ->
+        let e = Expr.seq_list [ !"a"; !"b"; !"c" ] in
+        check_both e "a b c" Semantics.Complete;
+        let f = Expr.alt_list [ !"a"; !"b"; !"c" ] in
+        check_both f "b" Semantics.Complete;
+        check_both f "a b" Semantics.Illegal);
+    t "empty operand lists are rejected" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Expr.seq_list: empty operand list")
+          (fun () -> ignore (Expr.seq_list [])))
+  ]
+
+let () =
+  Alcotest.run "expr"
+    [ ("structure", structure); ("substitution", substitution); ("derived", derived) ]

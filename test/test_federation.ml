@@ -1,0 +1,171 @@
+open Interaction
+open Interaction_manager
+open Wfms
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let partition_cases =
+  [ t "disjoint coupling operands split" (fun () ->
+        check_int "two" 2 (List.length (Federation.partition !"(a - b) @ (c - d)")));
+    t "overlapping operands merge" (fun () ->
+        check_int "one" 1 (List.length (Federation.partition !"(a - b) @ (b - c)")));
+    t "transitive overlap merges across groups" (fun () ->
+        (* a~b, c~d disjoint; then b~c bridges them *)
+        check_int "one" 1
+          (List.length (Federation.partition !"(a - b) @ (c - d) @ (b - c)")));
+    t "mixed: one bridge, one island" (fun () ->
+        check_int "two" 2
+          (List.length (Federation.partition !"(a - b) @ (b - c) @ (x - y)")));
+    t "non-coupling expression is one component" (fun () ->
+        check_int "one" 1 (List.length (Federation.partition !"(a | b) & c")));
+    t "value-distinguished patterns are disjoint" (fun () ->
+        let e =
+          Expr.sync
+            (Medical.department_constraint ~exam:"sono" ~capacity:2)
+            (Medical.department_constraint ~exam:"endo" ~capacity:2)
+        in
+        check_int "two departments" 2 (List.length (Federation.partition e)));
+    t "bound-parameter patterns interfere with matching values" (fun () ->
+        check_int "one" 1
+          (List.length (Federation.partition !"(some p: a(p)) @ a(1)")));
+    t "partition preserves the language (spot check)" (fun () ->
+        let e = !"(a - b) @ (c - d)" in
+        let recoupled = Expr.sync_list (Federation.partition e) in
+        Alcotest.(check (option bool)) "equivalent" (Some true)
+          (Language.equivalent e recoupled))
+  ]
+
+let execution_cases =
+  [ t "federation enforces every member" (fun () ->
+        let f = Federation.create !"(a - b) @ (c - d)" in
+        check_int "two managers" 2 (Federation.size f);
+        check_bool "a ok" true (Federation.execute f ~client:"c1" (a1 "a"));
+        check_bool "a again denied" false (Federation.execute f ~client:"c1" (a1 "a"));
+        check_bool "c independent" true (Federation.execute f ~client:"c2" (a1 "c")));
+    t "routing: only relevant managers are asked" (fun () ->
+        let f = Federation.create !"(a - b) @ (c - d)" in
+        ignore (Federation.execute f ~client:"c1" (a1 "a"));
+        let loads = Federation.loads f in
+        let asks = List.map fst loads in
+        check_bool "load split" true
+          (List.sort compare asks = [ 0; 1 ]
+          || List.sort compare asks = [ 1; 0 ] || asks = [ 0; 1 ]));
+    t "foreign actions bypass all members" (fun () ->
+        let f = Federation.create !"(a - b) @ (c - d)" in
+        check_bool "foreign" true (Federation.execute f ~client:"c" (a1 "zzz"));
+        check_int "no transitions" 0 (Federation.total_transitions f));
+    t "two-phase: a shared action needs all owners to agree" (fun () ->
+        (* both components mention b *)
+        let f = Federation.of_components [ !"a - b"; !"b - c" ] in
+        check_int "two" 2 (Federation.size f);
+        check_bool "b denied (left wants a first)" false
+          (Federation.execute f ~client:"c1" (a1 "b"));
+        (* the failed two-phase must not leave a stuck grant behind *)
+        check_bool "a still executable" true (Federation.execute f ~client:"c1" (a1 "a"));
+        check_bool "b now ok" true (Federation.execute f ~client:"c1" (a1 "b")));
+    t "federation equals a single manager on the coupled expression" (fun () ->
+        let e = !"(a - b)* @ (c - d)*" in
+        let f = Federation.create e in
+        let m = Manager.create e in
+        let script = w "a c b d a b c d c" in
+        List.iter
+          (fun action ->
+            let vf = Federation.execute f ~client:"x" action in
+            let vm = Manager.execute m ~client:"x" action in
+            check_bool (Action.concrete_to_string action) vm vf)
+          script);
+    t "crash and recovery across the federation" (fun () ->
+        let f = Federation.create !"(a - b) @ (c - d)" in
+        check_bool "a" true (Federation.execute f ~client:"c" (a1 "a"));
+        Federation.crash_all f;
+        Federation.recover_all f;
+        check_bool "b next" true (Federation.execute f ~client:"c" (a1 "b"));
+        check_bool "a replayed, so denied" false (Federation.execute f ~client:"c" (a1 "a")))
+  ]
+
+let medical_cases =
+  [ t "per-department managers share the load" (fun () ->
+        let e =
+          Expr.sync
+            (Medical.department_constraint ~exam:"sono" ~capacity:3)
+            (Medical.department_constraint ~exam:"endo" ~capacity:3)
+        in
+        let f = Federation.create e in
+        check_int "two managers" 2 (Federation.size f);
+        for i = 1 to 4 do
+          let p = Medical.patient i in
+          let x = if i mod 2 = 0 then "sono" else "endo" in
+          check_bool "call" true
+            (Federation.execute f ~client:p (Action.conc "call_s" [ p; x ]))
+        done;
+        let asks = List.map fst (Federation.loads f) in
+        check_bool "balanced" true (List.for_all (fun a -> a = 2) asks))
+  ]
+
+let optimistic_cases =
+  [ t "optimistic protocol completes with compensations under contention" (fun () ->
+        let e = !"mutex(go(1) - done(1), go(2) - done(2))" in
+        let scripts =
+          [ ("c1", w "go(1) done(1)"); ("c2", w "go(2) done(2)") ]
+        in
+        let r = Protocol.simulate ~think_rounds:4 Protocol.Optimistic e ~scripts in
+        check_bool "completed" true r.Protocol.completed;
+        check_bool "compensations occurred" true (r.Protocol.compensations > 0));
+    t "optimistic is cheapest without contention" (fun () ->
+        let e = !"(go(1) - done(1)) || (go(2) - done(2))" in
+        let scripts = [ ("c1", w "go(1) done(1)"); ("c2", w "go(2) done(2)") ] in
+        let o = Protocol.simulate Protocol.Optimistic e ~scripts in
+        let p = Protocol.simulate Protocol.Polling e ~scripts in
+        check_bool "both done" true (o.Protocol.completed && p.Protocol.completed);
+        check_int "no compensations" 0 o.Protocol.compensations;
+        check_bool
+          (Printf.sprintf "fewer messages (%d < %d)" o.Protocol.messages p.Protocol.messages)
+          true
+          (o.Protocol.messages < p.Protocol.messages))
+  ]
+
+(* Property: on any workload drawn from the coupled expression's alphabet,
+   the federation and a single manager agree action by action. *)
+let federation_equiv =
+  QCheck.Test.make ~count:120 ~name:"federation ≡ single manager (random couplings)"
+    QCheck.(
+      pair
+        (pair (Testutil.expr_arb ~max_depth:2 ()) (Testutil.expr_arb ~max_depth:2 ()))
+        (small_list small_nat))
+    (fun ((e1, e2), picks) ->
+      let e = Expr.Sync (e1, e2) in
+      let universe = Testutil.universe_of e in
+      if universe = [] then true
+      else begin
+        let fed = Federation.create e in
+        let single = Manager.create e in
+        List.for_all
+          (fun k ->
+            let c = List.nth universe (k mod List.length universe) in
+            Federation.execute fed ~client:"x" c = Manager.execute single ~client:"x" c)
+          picks
+      end)
+
+(* Partition components recoupled are equivalent to the original. *)
+let partition_preserves =
+  QCheck.Test.make ~count:80 ~name:"partition preserves the language"
+    (QCheck.pair (Testutil.expr_arb ~max_depth:2 ()) (Testutil.expr_arb ~max_depth:2 ()))
+    (fun (e1, e2) ->
+      let e = Expr.Sync (e1, e2) in
+      let recoupled = Expr.sync_list (Federation.partition e) in
+      match Language.equivalent ~max_states:300 ~max_state_size:300 e recoupled with
+      | Some true | None -> true
+      | Some false ->
+        QCheck.Test.fail_reportf "partition changed the language of %s"
+          (Syntax.to_string e))
+
+let () =
+  Alcotest.run "federation"
+    [ ("partition", partition_cases); ("execution", execution_cases);
+      ("medical", medical_cases); ("optimistic", optimistic_cases);
+      ("properties",
+       List.map Testutil.to_alcotest [ federation_equiv; partition_preserves ])
+    ]

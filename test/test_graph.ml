@@ -1,0 +1,154 @@
+open Interaction
+open Interaction_graph
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let compiles g s =
+  Alcotest.(check bool)
+    ("compiles to " ^ s)
+    true
+    (Expr.equal (Graph.compile g) (Syntax.parse_exn s))
+
+let compile_cases =
+  [ t "action node" (fun () -> compiles (Graph.Act ("a", [])) "a");
+    t "activity expands to start/terminate" (fun () ->
+        compiles (Graph.activity "call" [ "1" ]) "call_s(1) - call_t(1)");
+    t "path is sequential composition" (fun () ->
+        compiles (Graph.Path [ Graph.Act ("a", []); Graph.Act ("b", []) ]) "a - b");
+    t "either-or is disjunction" (fun () ->
+        compiles (Graph.EitherOr [ Graph.Act ("a", []); Graph.Act ("b", []) ]) "a | b");
+    t "as-well-as is parallel composition" (fun () ->
+        compiles (Graph.AsWellAs [ Graph.Act ("a", []); Graph.Act ("b", []) ]) "a || b");
+    t "arbitrarily parallel is parallel iteration" (fun () ->
+        compiles (Graph.ArbitrarilyParallel (Graph.Act ("a", []))) "a#");
+    t "loop is sequential iteration" (fun () ->
+        compiles (Graph.Loop (Graph.Act ("a", []))) "a*");
+    t "optional" (fun () -> compiles (Graph.Optional (Graph.Act ("a", []))) "[a]");
+    t "multiplier (Fig. 6)" (fun () ->
+        compiles (Graph.Multiplier (2, Graph.Act ("a", []))) "a || a");
+    t "quantifier regions" (fun () ->
+        compiles (Graph.ForSome ("x", Graph.Act ("a", [ Action.param "x" ]))) "some x: a(x)";
+        compiles (Graph.ForAll ("x", Graph.Act ("a", [ Action.param "x" ]))) "all x: a(x)";
+        compiles (Graph.ForEach ("x", Graph.Act ("a", [ Action.param "x" ]))) "sync x: a(x)";
+        compiles (Graph.ForEvery ("x", Graph.Act ("a", [ Action.param "x" ]))) "conj x: a(x)");
+    t "coupling and conjunction regions" (fun () ->
+        compiles (Graph.Couple [ Graph.Act ("a", []); Graph.Act ("b", []) ]) "a @ b";
+        compiles (Graph.Conjoin [ Graph.Act ("a", []); Graph.Act ("b", []) ]) "a & b");
+    t "empty branching is rejected" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Graph.compile: empty either-or branching") (fun () ->
+            ignore (Graph.compile (Graph.EitherOr []))))
+  ]
+
+let template_cases =
+  [ t "flash is Fig. 5's iterated disjunction" (fun () ->
+        compiles
+          (Graph.Use ("flash", [ Graph.Act ("a", []); Graph.Act ("b", []) ]))
+          "(a | b)*");
+    t "mutex is an alias of flash" (fun () ->
+        compiles (Graph.Use ("mutex", [ Graph.Act ("a", []) ])) "a*");
+    t "handshake alternates strictly" (fun () ->
+        compiles
+          (Graph.Use ("handshake", [ Graph.Act ("a", []); Graph.Act ("b", []) ]))
+          "(a - b)*");
+    t "unknown operator is rejected" (fun () ->
+        Alcotest.check_raises "unknown"
+          (Invalid_argument "Template.expand: unknown operator \"nope\"") (fun () ->
+            ignore (Graph.compile (Graph.Use ("nope", [])))));
+    t "arity is checked" (fun () ->
+        Alcotest.check_raises "arity"
+          (Invalid_argument "Template.expand: operator \"handshake\" does not accept 1 operand(s)")
+          (fun () -> ignore (Graph.compile (Graph.Use ("handshake", [ Graph.Act ("a", []) ])))));
+    t "user-defined operators extend the registry" (fun () ->
+        let reg =
+          Template.add
+            { Template.name = "twice"; arity = Template.Exactly 1;
+              expand = (function [ y ] -> Expr.seq y y | _ -> assert false);
+              doc = "y - y" }
+            Template.predefined
+        in
+        let g = Graph.Use ("twice", [ Graph.Act ("a", []) ]) in
+        Alcotest.(check bool) "expanded" true
+          (Expr.equal (Graph.compile ~templates:reg g) !"a - a"));
+    t "registry lists names" (fun () ->
+        Alcotest.(check bool) "has flash" true
+          (List.mem "flash" (Template.names Template.predefined)))
+  ]
+
+let behaviour =
+  [ t "compiled graph behaves like its expression" (fun () ->
+        let g =
+          Graph.Use
+            ( "flash",
+              [ Graph.Path [ Graph.Act ("a", []); Graph.Act ("b", []) ];
+                Graph.Act ("c", [])
+              ] )
+        in
+        let e = Graph.compile g in
+        check_both e "a b c a b" Semantics.Complete;
+        check_both e "a c" Semantics.Illegal);
+    t "size counts nodes" (fun () ->
+        Alcotest.(check int) "size" 3
+          (Graph.size (Graph.Path [ Graph.Act ("a", []); Graph.Act ("b", []) ])));
+    t "pp prints" (fun () ->
+        Alcotest.(check bool) "nonempty" true
+          (String.length (Format.asprintf "%a" Graph.pp Wfms.Medical.patient_graph) > 0))
+  ]
+
+let dot_cases =
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  [ t "dot output is a digraph" (fun () ->
+        let d = Dot.render (Graph.Path [ Graph.activity "call" [ "1" ]; Graph.Act ("x", []) ]) in
+        Alcotest.(check bool) "digraph" true (contains ~needle:"digraph" d);
+        Alcotest.(check bool) "rankdir" true (contains ~needle:"rankdir=LR" d);
+        Alcotest.(check bool) "box" true (contains ~needle:"shape=box" d);
+        Alcotest.(check bool) "label" true (contains ~needle:"call(1)" d));
+    t "dot escapes quotes" (fun () ->
+        let d = Dot.render (Graph.Act ("a", [ Action.value "x\"y" ])) in
+        Alcotest.(check bool) "escaped" true (contains ~needle:"x\\\"y" d));
+    t "dot renders the paper's Fig. 7 graph" (fun () ->
+        let d = Dot.render (Wfms.Medical.combined_graph ()) in
+        Alcotest.(check bool) "prepare" true (contains ~needle:"prepare" d);
+        Alcotest.(check bool) "coupling" true (contains ~needle:"⊕" d));
+    t "save writes a file" (fun () ->
+        let file = Filename.temp_file "ig" ".dot" in
+        Dot.save ~file (Graph.Act ("a", []));
+        let ic = open_in file in
+        let len = in_channel_length ic in
+        close_in ic;
+        Sys.remove file;
+        Alcotest.(check bool) "nonempty" true (len > 0))
+  ]
+
+(* of_expr/compile round-trip and tree rendering. *)
+let roundtrip_prop =
+  to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"compile (of_expr e) = e"
+       (expr_arb ~max_depth:4 ())
+       (fun e ->
+         if Expr.equal (Graph.compile (Graph.of_expr e)) e then true
+         else QCheck.Test.fail_reportf "lost %s" (Syntax.to_string e)))
+
+let tree_cases =
+  [ t "render_tree draws every node" (fun () ->
+        let s = Dot.render_tree (Graph.of_expr !"all p: (a(p) | b(p) - c(p))*") in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true
+              (let n = String.length needle and h = String.length s in
+               let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+               go 0))
+          [ "for all p"; "loop"; "either-or"; "a(?p)"; "path"; "c(?p)" ])
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [ ("compile", compile_cases); ("templates", template_cases);
+      ("behaviour", behaviour); ("dot", dot_cases);
+      ("round-trip", roundtrip_prop :: tree_cases)
+    ]

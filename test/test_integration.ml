@@ -1,0 +1,181 @@
+(* End-to-end integration: workflows + work items + interaction manager on
+   the paper's medical scenario, driven deterministically.  Asserts the
+   global invariants the whole system exists to provide: the constraint is
+   never violated, blocked work is suspended (not lost), and everything
+   eventually completes. *)
+
+open Interaction
+open Wfms
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let role_of = function
+  | "order" | "read_report" | "read_short_report" | "read_detailed_report" -> "physician"
+  | "schedule" -> "clerk"
+  | "write_report" | "write_short_report" | "write_detailed_report" -> "physician"
+  | _ -> "assistant" (* prepare, inform, call, perform *)
+
+let users =
+  [ ("dr_adams", [ "physician" ]); ("kim", [ "clerk" ]);
+    ("lee", [ "assistant" ]); ("sam", [ "assistant" ])
+  ]
+
+(* Drive the pool to completion with a deterministic strategy: repeatedly
+   pick the first allocatable item (by item id), run its whole lifecycle;
+   when only suspended items remain, complete a started one.  Returns the
+   number of times an item was observed suspended. *)
+let drive pool cases max_steps =
+  let suspended_seen = ref 0 in
+  let steps = ref 0 in
+  let user_for item =
+    let role = role_of item.Workitem.activity in
+    fst (List.find (fun (_, roles) -> List.mem role roles) users)
+  in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    incr steps;
+    Workitem.refresh pool;
+    let offered, suspended =
+      List.partition
+        (fun i -> i.Workitem.status = Workitem.Offered)
+        (List.filter
+           (fun i ->
+             match i.Workitem.status with
+             | Workitem.Offered | Workitem.Suspended -> true
+             | _ -> false)
+           (Workitem.items pool))
+    in
+    suspended_seen := !suspended_seen + List.length suspended;
+    match offered with
+    | item :: _ ->
+      let user = user_for item in
+      (match Workitem.allocate pool ~user item with
+      | Ok () -> (
+        match Workitem.start pool ~user item with
+        | Ok () -> (
+          match Workitem.complete pool ~user item with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "complete failed: %s" m)
+        | Error _ ->
+          (* the manager raced us: the item went back to suspended *)
+          ())
+      | Error m -> Alcotest.failf "allocate failed: %s" m)
+    | [] ->
+      if List.for_all Workflow.is_finished cases then continue := false
+      else if suspended = [] then continue := false
+  done;
+  !suspended_seen
+
+let medical_end_to_end =
+  [ t "one patient, two examinations, zero violations" (fun () ->
+        let constraints = Medical.combined_constraint ~capacity:3 () in
+        let mgr = Interaction_manager.Manager.create constraints in
+        let monitor = Engine.create constraints in
+        let calpha = Alpha.of_expr constraints in
+        let cases =
+          List.map
+            (fun (wf, id, args) -> Workflow.start_case wf ~id ~args)
+            (Medical.ensemble ~patients:1)
+        in
+        let pool = Workitem.create ~manager:mgr ~users ~role_of cases in
+        let _ = drive pool cases 400 in
+        check_bool "all cases complete" true (List.for_all Workflow.is_finished cases);
+        (* replay every confirmed action through an independent monitor *)
+        List.iter
+          (fun c ->
+            if Alpha.mem calpha c then
+              check_bool
+                ("conformant " ^ Action.concrete_to_string c)
+                true
+                (Engine.try_action monitor c))
+          (Interaction_manager.Manager.confirmed_log mgr);
+        (* the ordering constraint is visible in the log: for this patient
+           the two perform phases never overlap *)
+        let log = Interaction_manager.Manager.confirmed_log mgr in
+        let idx name x =
+          let rec go i = function
+            | [] -> -1
+            | c :: rest ->
+              if Action.equal_concrete c (Action.conc name [ "p1"; x ]) then i
+              else go (i + 1) rest
+          in
+          go 0 log
+        in
+        let first_done, second_start =
+          if idx "call_s" "sono" < idx "call_s" "endo" then
+            (idx "perform_t" "sono", idx "call_s" "endo")
+          else (idx "perform_t" "endo", idx "call_s" "sono")
+        in
+        check_bool "examinations were serialized" true (first_done < second_start));
+    t "three patients under capacity 1: heavy suspension, still completes"
+      (fun () ->
+        let constraints = Medical.combined_constraint ~capacity:1 () in
+        let mgr = Interaction_manager.Manager.create constraints in
+        let cases =
+          List.map
+            (fun (wf, id, args) -> Workflow.start_case wf ~id ~args)
+            (Medical.ensemble ~patients:3)
+        in
+        let pool = Workitem.create ~manager:mgr ~users ~role_of cases in
+        let _ = drive pool cases 2000 in
+        check_int "all six cases complete" 6
+          (List.length (List.filter Workflow.is_finished cases));
+        let st = Interaction_manager.Manager.stats mgr in
+        check_int "manager never violated its own grants" 0
+          st.Interaction_manager.Manager.timeouts);
+    t "manager crash mid-ensemble, recovery, completion" (fun () ->
+        let constraints = Medical.patient_constraint in
+        let mgr = Interaction_manager.Manager.create constraints in
+        let cases =
+          List.map
+            (fun (wf, id, args) -> Workflow.start_case wf ~id ~args)
+            (Medical.ensemble ~patients:2)
+        in
+        let pool = Workitem.create ~manager:mgr ~users ~role_of cases in
+        let _ = drive pool cases 40 (* partial progress *) in
+        let cp = Interaction_manager.Manager.checkpoint mgr in
+        Interaction_manager.Manager.crash mgr;
+        Interaction_manager.Manager.recover_with mgr ~checkpoint:cp;
+        let _ = drive pool cases 2000 in
+        check_int "all cases complete after recovery" 4
+          (List.length (List.filter Workflow.is_finished cases)))
+  ]
+
+(* Robustness: the parsers never raise on arbitrary input. *)
+let fuzz =
+  let printable =
+    QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 60))
+  in
+  [ Testutil.to_alcotest
+      (QCheck.Test.make ~count:2000 ~name:"Syntax.parse never raises"
+         (QCheck.make printable)
+         (fun s ->
+           match Syntax.parse s with Ok _ | Error _ -> true));
+    Testutil.to_alcotest
+      (QCheck.Test.make ~count:2000 ~name:"parse_word never raises"
+         (QCheck.make printable)
+         (fun s ->
+           match Syntax.parse_word s with Ok _ | Error _ -> true));
+    Testutil.to_alcotest
+      (QCheck.Test.make ~count:1000 ~name:"Sexp.of_string never raises"
+         (QCheck.make printable)
+         (fun s -> match Sexp.of_string s with Ok _ | Error _ -> true));
+    Testutil.to_alcotest
+      (QCheck.Test.make ~count:1000 ~name:"Engine.load rejects garbage gracefully"
+         (QCheck.make printable)
+         (fun s ->
+           match Engine.load s with
+           | _ -> true
+           | exception Invalid_argument _ -> true));
+    Testutil.to_alcotest
+      (QCheck.Test.make ~count:1000 ~name:"Workflow.parse never raises"
+         (QCheck.make printable)
+         (fun s ->
+           match Wfms.Workflow.parse ~name:"w" s with Ok _ | Error _ -> true))
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [ ("medical-end-to-end", medical_end_to_end); ("fuzz", fuzz) ]

@@ -1,0 +1,149 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let opt_bool = Alcotest.(option bool)
+
+let alphabet_cases =
+  [ t "concrete alphabet of a parameterless expression" (fun () ->
+        Alcotest.(check int) "three actions" 3
+          (List.length (Language.concrete_alphabet !"a - (b | c(1))")));
+    t "parameter positions are instantiated over the value set" (fun () ->
+        let al = Language.concrete_alphabet ~values:[ "1"; "2" ] !"some p: a(p)" in
+        Alcotest.(check int) "two instantiations" 2 (List.length al));
+    t "default values add fresh representatives" (fun () ->
+        let al = Language.concrete_alphabet !"some p: a(p, 7)" in
+        (* values: 7 plus two fresh = 3 instantiations *)
+        Alcotest.(check int) "three" 3 (List.length al))
+  ]
+
+let explore_cases =
+  [ t "explore counts states of a finite automaton" (fun () ->
+        let r = Language.explore !"a - b" in
+        check_bool "not truncated" false r.Language.truncated;
+        Alcotest.(check int) "no dead states" 0 r.Language.dead_states;
+        Alcotest.(check int) "one final" 1 r.Language.final_states;
+        Alcotest.(check int) "three states" 3 r.Language.states);
+    t "truncation is reported on unbounded spaces" (fun () ->
+        let r = Language.explore ~max_states:20 !"(a - b)#" in
+        check_bool "truncated" true r.Language.truncated);
+    t "pp_exploration prints" (fun () ->
+        let r = Language.explore !"a" in
+        check_bool "nonempty" true
+          (String.length (Format.asprintf "%a" Language.pp_exploration r) > 0))
+  ]
+
+let dead_end_cases =
+  [ t "healthy expressions have no dead end" (fun () ->
+        Alcotest.check opt_bool "seq" (Some false) (Language.has_dead_end !"a - b");
+        Alcotest.check opt_bool "iter" (Some false) (Language.has_dead_end !"(a | b - c)*"));
+    t "the paper's misused conjunction is a dead end" (fun () ->
+        (* (a - b) & (b - a): only ⟨⟩ is partial, nothing completes *)
+        Alcotest.check opt_bool "conj" (Some true) (Language.has_dead_end !"(a - b) & (b - a)"));
+    t "dead end reachable after progress" (fun () ->
+        (* after a, the conjunction can never complete *)
+        Alcotest.check opt_bool "late dead end" (Some true)
+          (Language.has_dead_end !"a - ((b - c) & (c - b))"));
+    t "dead end detection respects quantifier instances" (fun () ->
+        Alcotest.check opt_bool "all-quantifier dead end" (Some true)
+          (Language.has_dead_end !"all p: a(p)"));
+    t "unknown on truncation" (fun () ->
+        Alcotest.check opt_bool "unknown" None
+          (Language.has_dead_end ~max_states:5 !"(a - b)#"))
+  ]
+
+let equiv_cases =
+  [ t "identical expressions are equivalent" (fun () ->
+        Alcotest.check opt_bool "id" (Some true) (Language.equivalent !"a - b" !"a - b"));
+    t "commutativity of disjunction" (fun () ->
+        Alcotest.check opt_bool "comm" (Some true) (Language.equivalent !"a | b" !"b | a"));
+    t "option vs epsilon-disjunction" (fun () ->
+        Alcotest.check opt_bool "opt" (Some true) (Language.equivalent !"[a]" !"a | eps"));
+    t "iteration unrolling" (fun () ->
+        Alcotest.check opt_bool "unroll" (Some true)
+          (Language.equivalent !"a*" !"[a - a*]"));
+    t "sequence is not commutative" (fun () ->
+        Alcotest.check opt_bool "noncomm" (Some false)
+          (Language.equivalent !"a - b" !"b - a"));
+    t "separating word is found and shortest" (fun () ->
+        match Language.separating_word !"a - b" !"b - a" with
+        | Some [ c ] ->
+          check_bool "one action" true
+            (List.mem (Action.concrete_to_string c) [ "a"; "b" ])
+        | other ->
+          Alcotest.failf "expected a one-action word, got %s"
+            (match other with
+            | None -> "none"
+            | Some w -> String.concat " " (List.map Action.concrete_to_string w)));
+    t "final-vs-partial differences are detected" (fun () ->
+        Alcotest.check opt_bool "final" (Some false)
+          (Language.equivalent !"a" !"[a]"));
+    t "simplification results are equivalent (spot check)" (fun () ->
+        let e = !"((a | b) | a)* @ (eps || c)" in
+        Alcotest.check opt_bool "simplify" (Some true)
+          (Language.equivalent e (Rewrite.simplify e)))
+  ]
+
+let equiv_prop =
+  QCheck.Test.make ~count:40 ~name:"simplify output is state-space equivalent"
+    (expr_arb ~max_depth:2 ())
+    (fun e ->
+      match Language.equivalent ~max_states:150 ~max_state_size:300 e (Rewrite.simplify e) with
+      | Some true | None -> true
+      | Some false ->
+        QCheck.Test.fail_reportf "simplify changed the language of %s"
+          (Syntax.to_string e))
+
+let witness_cases =
+  let t name f = Alcotest.test_case name `Quick f in
+  [ t "shortest complete word is found and shortest" (fun () ->
+        match Language.shortest_complete !"a - (b | c - d)" with
+        | Some w -> Alcotest.(check int) "length 2 via b" 2 (List.length w)
+        | None -> Alcotest.fail "expected a witness");
+    t "empty word witnesses optional expressions" (fun () ->
+        Alcotest.(check bool) "empty" true
+          (Language.shortest_complete !"[a - b]" = Some []));
+    t "dead ends yield no witness" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Language.shortest_complete !"(a - b) & (b - a)" = None));
+    t "witness verdict is complete" (fun () ->
+        let e = !"some x: (u(x) - v(x))" in
+        match Language.shortest_complete e with
+        | Some w -> Alcotest.check Testutil.verdict "complete" Semantics.Complete (Engine.word e w)
+        | None -> Alcotest.fail "expected a witness")
+  ]
+
+let census_cases =
+  let t name f = Alcotest.test_case name `Quick f in
+  [ t "census counts operators" (fun () ->
+        Alcotest.(check (list (pair string int)))
+          "counts"
+          [ ("atom", 3); ("iter", 1); ("or", 1); ("seq", 1); ("some-q", 1) ]
+          (Expr.census !"some x: (a(x) - b(x) | c)*"))
+  ]
+
+let report_cases =
+  let t name f = Alcotest.test_case name `Quick f in
+  [ t "action_report ranks contended actions" (fun () ->
+        let m = Interaction_manager.Manager.create !"mutex(a - b, c)" in
+        ignore (Interaction_manager.Manager.execute m ~client:"x" (a1 "a"));
+        ignore (Interaction_manager.Manager.execute m ~client:"x" (a1 "c")) (* denied *);
+        ignore (Interaction_manager.Manager.execute m ~client:"x" (a1 "c")) (* denied *);
+        ignore (Interaction_manager.Manager.execute m ~client:"x" (a1 "b"));
+        match Interaction_manager.Manager.action_report m with
+        | (top, g, d) :: _ ->
+          Alcotest.(check string) "most contended" "c" (Action.concrete_to_string top);
+          Alcotest.(check int) "grants" 0 g;
+          Alcotest.(check int) "denials" 2 d
+        | [] -> Alcotest.fail "expected a report")
+  ]
+
+let () =
+  Alcotest.run "language"
+    [ ("alphabet", alphabet_cases); ("explore", explore_cases);
+      ("dead-ends", dead_end_cases); ("equivalence", equiv_cases);
+      ("properties", [ to_alcotest equiv_prop ]); ("witness", witness_cases);
+      ("census", census_cases); ("action-report", report_cases)
+    ]

@@ -1,0 +1,256 @@
+open Interaction
+open Interaction_manager
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mqueue =
+  [ t "fifo delivery" (fun () ->
+        let q = Mqueue.create ~name:"q" in
+        Mqueue.send q 1;
+        Mqueue.send q 2;
+        Alcotest.(check (option int)) "first" (Some 1) (Mqueue.receive q);
+        Mqueue.ack q;
+        Alcotest.(check (option int)) "second" (Some 2) (Mqueue.receive q);
+        Mqueue.ack q;
+        Alcotest.(check (option int)) "empty" None (Mqueue.receive q));
+    t "at-least-once: crash redelivers in-flight" (fun () ->
+        let q = Mqueue.create ~name:"q" in
+        Mqueue.send q "m1";
+        Mqueue.send q "m2";
+        ignore (Mqueue.receive q);
+        Mqueue.crash_receiver q;
+        Alcotest.(check (option string)) "redelivered" (Some "m1") (Mqueue.receive q);
+        check_int "redelivery count" 1 (Mqueue.redelivered_count q));
+    t "ack without receive is an error" (fun () ->
+        let q : int Mqueue.t = Mqueue.create ~name:"q" in
+        Alcotest.check_raises "no flight" (Invalid_argument "Mqueue.ack: no message in flight")
+          (fun () -> Mqueue.ack q));
+    t "drain returns everything in order" (fun () ->
+        let q = Mqueue.create ~name:"q" in
+        List.iter (Mqueue.send q) [ 1; 2; 3 ];
+        Alcotest.(check (list int)) "drained" [ 1; 2; 3 ] (Mqueue.drain q);
+        check_int "empty" 0 (Mqueue.length q));
+    t "counters" (fun () ->
+        let q = Mqueue.create ~name:"q" in
+        Mqueue.send q 1;
+        check_int "sent" 1 (Mqueue.sent_count q);
+        check_int "len" 1 (Mqueue.length q);
+        ignore (Mqueue.receive q);
+        check_int "in flight" 1 (Mqueue.in_flight q))
+  ]
+
+let coordination =
+  [ t "ask/confirm performs the transition (Fig. 10 left)" (fun () ->
+        let m = Manager.create !"a - b" in
+        check_bool "grant a" true (Manager.ask m ~client:"c1" (a1 "a") = Manager.Granted);
+        Manager.confirm m ~client:"c1" (a1 "a");
+        check_bool "deny a" true (Manager.ask m ~client:"c1" (a1 "a") = Manager.Denied);
+        check_bool "grant b" true (Manager.ask m ~client:"c1" (a1 "b") = Manager.Granted));
+    t "critical region: other asks are busy until confirm" (fun () ->
+        let m = Manager.create !"a || b" in
+        check_bool "grant" true (Manager.ask m ~client:"c1" (a1 "a") = Manager.Granted);
+        check_bool "stuck" true (Manager.is_stuck m);
+        check_bool "busy" true (Manager.ask m ~client:"c2" (a1 "b") = Manager.Busy);
+        Manager.confirm m ~client:"c1" (a1 "a");
+        check_bool "free again" true (Manager.ask m ~client:"c2" (a1 "b") = Manager.Granted));
+    t "abort releases the region without transition" (fun () ->
+        let m = Manager.create !"a" in
+        ignore (Manager.ask m ~client:"c1" (a1 "a"));
+        Manager.abort m ~client:"c1" (a1 "a");
+        check_bool "not stuck" false (Manager.is_stuck m);
+        check_bool "a still available" true (Manager.execute m ~client:"c1" (a1 "a")));
+    t "timeout recovers from a crashed client" (fun () ->
+        let m = Manager.create !"a" in
+        ignore (Manager.ask m ~client:"dying" (a1 "a"));
+        Manager.timeout_outstanding m;
+        check_bool "not stuck" false (Manager.is_stuck m);
+        check_int "counted" 1 (Manager.stats m).Manager.timeouts);
+    t "confirm without grant is a protocol violation" (fun () ->
+        let m = Manager.create !"a" in
+        Alcotest.check_raises "no grant"
+          (Invalid_argument "Manager.confirm: no matching outstanding grant") (fun () ->
+            Manager.confirm m ~client:"c1" (a1 "a")));
+    t "denied actions do not change state" (fun () ->
+        let m = Manager.create !"a - b" in
+        check_bool "deny" false (Manager.execute m ~client:"c" (a1 "b"));
+        check_bool "a still first" true (Manager.execute m ~client:"c" (a1 "a")));
+    t "open world: foreign actions are always permitted" (fun () ->
+        let m = Manager.create !"a - b" in
+        check_bool "foreign" true (Manager.execute m ~client:"c" (a1 "zzz"));
+        check_int "no transition" 0 (Manager.stats m).Manager.transitions;
+        check_int "counted foreign" 1 (Manager.stats m).Manager.foreign;
+        check_bool "a unaffected" true (Manager.execute m ~client:"c" (a1 "a")));
+    t "mutual exclusion scenario from the introduction" (fun () ->
+        (* two clients, one patient: executing one call disables the other *)
+        let m = Manager.create Wfms.Medical.patient_constraint in
+        check_bool "sono permitted" true (Manager.permitted m (a1 "call_s(p,sono)"));
+        check_bool "endo permitted" true (Manager.permitted m (a1 "call_s(p,endo)"));
+        check_bool "exec" true (Manager.execute m ~client:"sono" (a1 "call_s(p,sono)"));
+        check_bool "endo now blocked" false (Manager.permitted m (a1 "call_s(p,endo)"));
+        List.iter
+          (fun a -> check_bool a true (Manager.execute m ~client:"sono" (a1 a)))
+          [ "call_t(p,sono)"; "perform_s(p,sono)"; "perform_t(p,sono)" ];
+        check_bool "endo reappears" true (Manager.permitted m (a1 "call_s(p,endo)")))
+  ]
+
+let subscription =
+  [ t "subscribe delivers the initial status" (fun () ->
+        let m = Manager.create !"a - b" in
+        Manager.subscribe m ~client:"w" (a1 "b");
+        (match Manager.drain_notifications m ~client:"w" with
+        | [ n ] -> check_bool "initially blocked" false n.Manager.now_permitted
+        | _ -> Alcotest.fail "expected one notification"));
+    t "status changes are pushed (worklist update, Fig. 10 right)" (fun () ->
+        let m = Manager.create !"a - b" in
+        Manager.subscribe m ~client:"w" (a1 "b");
+        ignore (Manager.drain_notifications m ~client:"w");
+        check_bool "exec a" true (Manager.execute m ~client:"other" (a1 "a"));
+        (match Manager.drain_notifications m ~client:"w" with
+        | [ n ] ->
+          check_bool "became permitted" true n.Manager.now_permitted;
+          check_bool "right action" true (Action.equal_concrete n.Manager.action (a1 "b"))
+        | _ -> Alcotest.fail "expected one notification"));
+    t "no notification when status is unchanged" (fun () ->
+        let m = Manager.create !"a || b" in
+        Manager.subscribe m ~client:"w" (a1 "b");
+        ignore (Manager.drain_notifications m ~client:"w");
+        check_bool "exec a" true (Manager.execute m ~client:"other" (a1 "a"));
+        check_int "quiet" 0 (List.length (Manager.drain_notifications m ~client:"w")));
+    t "unsubscribe stops notifications" (fun () ->
+        let m = Manager.create !"a - b" in
+        Manager.subscribe m ~client:"w" (a1 "b");
+        ignore (Manager.drain_notifications m ~client:"w");
+        Manager.unsubscribe m ~client:"w" (a1 "b");
+        check_bool "exec a" true (Manager.execute m ~client:"other" (a1 "a"));
+        check_int "quiet" 0 (List.length (Manager.drain_notifications m ~client:"w")));
+    t "disable notifications too (permitted -> blocked)" (fun () ->
+        let m = Manager.create Wfms.Medical.patient_constraint in
+        Manager.subscribe m ~client:"endo" (a1 "call_s(p,endo)");
+        ignore (Manager.drain_notifications m ~client:"endo");
+        check_bool "exec sono call" true
+          (Manager.execute m ~client:"sono" (a1 "call_s(p,sono)"));
+        match Manager.drain_notifications m ~client:"endo" with
+        | [ n ] -> check_bool "disabled" false n.Manager.now_permitted
+        | _ -> Alcotest.fail "expected one notification")
+  ]
+
+let durability =
+  [ t "crash and recover replays the confirmed log" (fun () ->
+        let m = Manager.create !"a - b - c" in
+        check_bool "a" true (Manager.execute m ~client:"c1" (a1 "a"));
+        check_bool "b" true (Manager.execute m ~client:"c1" (a1 "b"));
+        Manager.crash m;
+        check_bool "dead" false (Manager.alive m);
+        check_bool "denied while dead" false (Manager.execute m ~client:"c1" (a1 "c"));
+        Manager.recover m;
+        check_bool "alive" true (Manager.alive m);
+        Alcotest.(check int) "log intact" 2 (List.length (Manager.confirmed_log m));
+        check_bool "resumes at c" true (Manager.execute m ~client:"c1" (a1 "c"));
+        check_bool "no replay of a" false (Manager.execute m ~client:"c1" (a1 "a")));
+    t "recover is idempotent" (fun () ->
+        let m = Manager.create !"a" in
+        Manager.crash m;
+        Manager.recover m;
+        Manager.recover m;
+        check_bool "alive" true (Manager.alive m));
+    t "state size reporting" (fun () ->
+        let m = Manager.create !"a" in
+        check_bool "sized" true (Manager.state_size m > 0);
+        Manager.crash m;
+        check_int "crashed size" 0 (Manager.state_size m))
+  ]
+
+let protocol =
+  [ t "both strategies complete a contended workload" (fun () ->
+        let e = !"mutex(a - b, c - d)" in
+        let scripts = [ ("c1", w "a b a b"); ("c2", w "c d") ] in
+        let p = Protocol.simulate Protocol.Polling e ~scripts in
+        let s = Protocol.simulate Protocol.Subscribing e ~scripts in
+        check_bool "polling done" true p.Protocol.completed;
+        check_bool "subscribing done" true s.Protocol.completed);
+    t "subscription eliminates busy-wait traffic under contention" (fun () ->
+        (* clients compete for one mutex slot and activities take time:
+           polling pays an ask/reply round-trip per denied attempt per
+           round, a subscribed client waits silently *)
+        let e = !"mutex(go(1) - done(1), go(2) - done(2), go(3) - done(3), go(4) - done(4))" in
+        let scripts =
+          List.map
+            (fun i ->
+              let v = string_of_int i in
+              ( "c" ^ v,
+                w (Printf.sprintf "go(%s) done(%s) go(%s) done(%s)" v v v v) ))
+            [ 1; 2; 3; 4 ]
+        in
+        let p = Protocol.simulate ~think_rounds:8 Protocol.Polling e ~scripts in
+        let s = Protocol.simulate ~think_rounds:8 Protocol.Subscribing e ~scripts in
+        check_bool "both done" true (p.Protocol.completed && s.Protocol.completed);
+        check_bool
+          (Printf.sprintf "fewer messages (%d < %d)" s.Protocol.messages p.Protocol.messages)
+          true
+          (s.Protocol.messages < p.Protocol.messages);
+        check_bool "fewer denials" true (s.Protocol.denials <= p.Protocol.denials));
+    t "impossible scripts hit the round limit" (fun () ->
+        let e = !"a - b" in
+        let r =
+          Protocol.simulate ~max_rounds:50 Protocol.Polling e
+            ~scripts:[ ("c", w "b") ]
+        in
+        check_bool "incomplete" false r.Protocol.completed;
+        check_int "rounds" 50 r.Protocol.rounds)
+  ]
+
+(* Model-based property for the persistent queue: against a reference model
+   (pending list + in-flight list), any sequence of send/receive/ack/crash
+   preserves content and order. *)
+let mqueue_model =
+  let open QCheck in
+  let op_gen =
+    Gen.frequency
+      [ (4, Gen.map (fun n -> `Send n) Gen.small_nat); (3, Gen.return `Receive);
+        (2, Gen.return `Ack); (1, Gen.return `Crash)
+      ]
+  in
+  Testutil.to_alcotest
+    (Test.make ~count:500 ~name:"mqueue matches its reference model"
+       (make Gen.(list_size (int_range 0 40) op_gen))
+       (fun ops ->
+         let q = Mqueue.create ~name:"model" in
+         (* model state: (pending, in-flight), threaded through a fold;
+            None = divergence from the model *)
+         let step state op =
+           match state with
+           | None -> None
+           | Some (pending, flight) -> (
+             match op with
+             | `Send n ->
+               Mqueue.send q n;
+               Some (pending @ [ n ], flight)
+             | `Receive -> (
+               match (pending, Mqueue.receive q) with
+               | [], None -> Some ([], flight)
+               | m :: rest, Some g when g = m -> Some (rest, flight @ [ m ])
+               | _ -> None)
+             | `Ack -> (
+               match (flight, (try Mqueue.ack q; `Ok with Invalid_argument _ -> `Err)) with
+               | [], `Err -> Some (pending, [])
+               | _ :: rest, `Ok -> Some (pending, rest)
+               | _ -> None)
+             | `Crash ->
+               Mqueue.crash_receiver q;
+               Some (flight @ pending, []))
+         in
+         match List.fold_left step (Some ([], [])) ops with
+         | None -> false
+         | Some (pending, flight) ->
+           Mqueue.length q = List.length pending
+           && Mqueue.in_flight q = List.length flight))
+
+let () =
+  Alcotest.run "manager"
+    [ ("mqueue", mqueue @ [ mqueue_model ]); ("coordination", coordination);
+      ("subscription", subscription); ("durability", durability);
+      ("protocol", protocol)
+    ]

@@ -1,0 +1,168 @@
+(* Systematic operator-interaction cases, hand-verified against Table 8.
+   Every case runs through BOTH the denotational oracle and the state model
+   (check_both), so this file doubles as a library of worked examples of
+   the semantics. *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let c = Semantics.Complete
+let p = Semantics.Partial
+let i = Semantics.Illegal
+
+let case name e specs =
+  t name (fun () -> List.iter (fun (input, expected) -> check_both !e input expected) specs)
+
+(* --- sequence against everything ---------------------------------------- *)
+
+let seq_interactions =
+  [ case "seq of options can skip both" "[a] - [b]"
+      [ ("", c); ("a", c); ("b", c); ("a b", c); ("b a", i) ];
+    case "seq of iterations: greedy or lazy crossover" "a* - a - a*"
+      [ ("a", c); ("a a", c); ("a a a a a", c); ("", p) ];
+    case "crossover ambiguity resolves correctly" "(a - [b]) - (b - a)"
+      [ ("a b a", c) (* two readings of the first b *); ("a b b a", c);
+        ("a b b b a", i) ];
+    case "seq under par: both orders of independent seqs" "(a - b) || (c - d)"
+      [ ("a b c d", c); ("a c d b", c); ("c d a b", c); ("d", i) ];
+    case "seq of par joins before continuing" "(a || b) - c"
+      [ ("a b c", c); ("b a c", c); ("a c", i) (* c before join *) ];
+    case "seq with epsilon-only right" "a - eps" [ ("a", c); ("a a", i) ]
+  ]
+
+(* --- parallel composition corners ---------------------------------------- *)
+
+let par_interactions =
+  [ case "par of identical atoms counts multiplicity" "a || a || a"
+      [ ("a a", p); ("a a a", c); ("a a a a", i) ];
+    case "par of disjunctions: one pick per branch" "(a | b) || (a | c)"
+      [ ("a a", c); ("a c", c); ("c b", c); ("b b", i); ("c c", i) ];
+    case "par with shared alphabet is a shuffle, not a sync" "(a - b) || (b - a)"
+      [ ("a b b a", c); ("b a a b", c); ("a b a b", c) (* interleaving *);
+        ("a a b b", i) (* the second a fits neither component *); ("a a a", i) ];
+    case "par of iterations interleaves freely" "a* || b*"
+      [ ("a b a b b a", c); ("", c) ];
+    case "nested par flattens behaviourally" "(a || b) || c"
+      [ ("c b a", c); ("a c", p) ]
+  ]
+
+(* --- iteration corners ---------------------------------------------------- *)
+
+let iteration_interactions =
+  [ case "iteration of a par: rounds do not interleave" "(a || b)*"
+      [ ("a b", c); ("b a", c); ("a b b a", c); ("a a b b", i) (* second round
+          starts before first completes *) ];
+    case "pariter of a par: rounds DO interleave" "(a || b)#"
+      [ ("a a b b", c); ("a b a b", c); ("a", p) ];
+    case "iteration of an iteration-with-suffix" "(a* - b)*"
+      [ ("b", c); ("a b", c); ("b b", c); ("a a b a b", c); ("a", p); ("a a", p) ];
+    case "pariter of an option behaves like pariter" "([a - b])#"
+      [ ("", c); ("a a b b", c); ("b", i) ];
+    case "iteration cannot split one instance across rounds" "(a - a)*"
+      [ ("a a", c); ("a a a", p); ("a a a a", c) ]
+  ]
+
+(* --- boolean operators ----------------------------------------------------- *)
+
+let boolean_interactions =
+  [ case "conjunction of overlapping languages" "(a - b)* & (a - b - a - b)*"
+      [ ("", c); ("a b", p) (* left would accept, right needs more *);
+        ("a b a b", c); ("a b a b a b", p) ];
+    case "conjunction forces same length" "a* & (a - a)*"
+      [ ("a a", c); ("a", p); ("a a a", p); ("a a a a", c) ];
+    case "disjunction keeps both options alive" "(a - b - c) | (a - b - d)"
+      [ ("a b", p); ("a b c", c); ("a b d", c) ];
+    case "conjunction with disjoint languages is a dead end after start"
+      "(a - b) & (a - c)"
+      [ ("a", p); ("a b", i); ("a c", i) ];
+    case "de-morgan-ish: conj of disjunctions" "(a | b) & (b | c)"
+      [ ("b", c); ("a", i); ("c", i) ]
+  ]
+
+(* --- synchronization (coupling) corners ----------------------------------- *)
+
+let sync_interactions =
+  [ case "coupling only constrains the shared alphabet" "(a - b) @ (c - b - d)"
+      [ ("a c b d", c); ("c a b d", c); ("a b", i) (* b needs c first *);
+        ("c b", i) (* b needs a first too *); ("a c d", i) (* d before b *) ];
+    case "coupling with disjoint alphabets is free interleaving" "(a - b) @ (c - d)"
+      [ ("a c b d", c); ("c d a b", c); ("a b c d", c) ];
+    case "chained coupling synchronizes transitively" "(a - b) @ (b - c) @ (c - d)"
+      [ ("a b c d", c); ("a b d", i); ("b", i) ];
+    case "coupling of iterations paces both" "(a - b)* @ (b - c)*"
+      [ ("a b c", c); ("a b c a b c", c); ("a b a b c c", i)
+        (* second b before first c: right operand requires b - c - b *) ];
+    case "sync vs and on same alphabet agree" "(a - b) @ (a - b)"
+      [ ("a b", c); ("a", p); ("b", i) ];
+    case "foreign action kills a coupling" "(a - b) @ (c - b)"
+      [ ("a c z", i) ]
+  ]
+
+(* --- quantifier corners ----------------------------------------------------- *)
+
+let quantifier_corners =
+  [ case "some-quantifier materializes at the last possible moment"
+      "some x: (a - b(x) - a)"
+      [ ("a", p); ("a b(1)", p); ("a b(1) a", c); ("a b(1) b(2)", i) ];
+    case "some-quantifier: instances with shared prefix stay superposed"
+      "some x: (a - b(x))"
+      [ ("a", p); ("a b(7)", c) ];
+    case "all-quantifier: one instance per value, values independent"
+      "all x: [a(x) - b(x)]"
+      [ ("a(1) a(2) b(1) b(2)", c); ("a(1) b(2)", i) ];
+    case "all-quantifier with non-value actions is ambiguous but correct"
+      "all x: (a(x) - b - c(x))"
+      [ ("a(1) b c(1)", p) (* Φ empty: infinite shuffle needs ⟨⟩ *);
+        ("a(1) a(2) b b c(2) c(1)", p); ("a(1) b b", i) ];
+    case "sync-quantifier: instances see only their own actions"
+      "sync x: (a(x) - b(x))*"
+      [ ("a(1) a(2) b(2) b(1)", c); ("a(1) b(2)", i) (* instance 2: b before a *) ];
+    case "conj-quantifier over value-free branch" "conj x: (z | a(x))"
+      [ ("z", c); ("a(1)", i) (* all other instances reject *) ];
+    case "nested some in all: per-patient choice" "all p: [some x: (a(p,x) - b(p,x))]"
+      [ ("a(1,u) b(1,u)", c); ("a(1,u) a(2,v) b(2,v) b(1,u)", c);
+        ("a(1,u) b(1,v)", i) ];
+    case "shadowed quantifier parameter" "some p: (a(p) - (some p: b(p)))"
+      [ ("a(1) b(1)", c); ("a(1) b(2)", c) (* inner p is independent *) ];
+    case "quantifier inside iteration re-binds each round" "(some x: a(x) - b(x))*"
+      [ ("a(1) b(1) a(2) b(2)", c); ("a(1) a(2)", i) ];
+    case "quantifier inside pariter: one value per walker" "(some x: a(x) - b(x))#"
+      [ ("a(1) a(2) b(2) b(1)", c); ("a(1) a(1)", p)
+        (* two walkers may pick the same value *);
+        ("a(1) a(1) b(1) b(1)", c) ]
+  ]
+
+(* --- option corners ---------------------------------------------------------- *)
+
+let option_corners =
+  [ case "option loses the skip after the first action" "[a - b]"
+      [ ("", c); ("a", p); ("a b", c) ];
+    case "option of a dead-endable conjunction" "[(a - b) & (b - a)]"
+      [ ("", c) (* the option saves the empty word *); ("a", i) ];
+    case "option under conjunction" "[a] & [b]"
+      [ ("", c); ("a", i); ("b", i) ]
+  ]
+
+(* --- deeply nested stacks ------------------------------------------------------ *)
+
+let deep_nesting =
+  [ case "three-level nesting: iter(par(some))"
+      "((some x: a(x)) || b)*"
+      [ ("a(1) b", c); ("b a(2)", c); ("a(1) b a(2) b", c); ("a(1) a(2)", i)
+        (* one some-instance per round, b must join *) ];
+    case "coupling of quantified subgraphs shares instances correctly"
+      "(some x: a(x) - b(x)) @ (some x: b(x) - c(x))"
+      [ ("a(1) b(1) c(1)", c); ("a(1) b(2)", i) ];
+    case "all over coupling" "all p: ((a(p) - b(p)) @ (b(p) - c(p)))"
+      [ ("a(1) b(1) c(1)", p) (* Φ = ∅: body has no empty word *);
+        ("a(1) a(2) b(2) b(1) c(1) c(2)", p); ("b(1)", i) ]
+  ]
+
+let () =
+  Alcotest.run "operators"
+    [ ("seq", seq_interactions); ("par", par_interactions);
+      ("iteration", iteration_interactions); ("boolean", boolean_interactions);
+      ("sync", sync_interactions); ("quantifiers", quantifier_corners);
+      ("option", option_corners); ("nesting", deep_nesting)
+    ]

@@ -1,0 +1,237 @@
+open Interaction
+open Sync_patterns
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let feed_all e actions =
+  let s = Engine.create e in
+  List.for_all (fun a -> Engine.try_action s (a1 a)) actions
+
+let semaphore_cases =
+  [ t "at most n unmatched acquires" (fun () ->
+        let e = Patterns.semaphore 2 in
+        let s = Engine.create e in
+        check_bool "1st" true (Engine.try_action s (a1 "acquire"));
+        check_bool "2nd" true (Engine.try_action s (a1 "acquire"));
+        check_bool "3rd blocked" false (Engine.try_action s (a1 "acquire"));
+        check_bool "release" true (Engine.try_action s (a1 "release"));
+        check_bool "3rd now ok" true (Engine.try_action s (a1 "acquire")));
+    t "release before acquire is illegal" (fun () ->
+        check_bool "no" false (feed_all (Patterns.semaphore 2) [ "release" ]));
+    t "critical section is a binary semaphore" (fun () ->
+        let e = Patterns.critical_section () in
+        check_bool "strict" true (feed_all e [ "enter"; "leave"; "enter"; "leave" ]);
+        check_bool "overlap" false (feed_all e [ "enter"; "enter" ]));
+    t "capacity must be positive" (fun () ->
+        match Patterns.semaphore 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection")
+  ]
+
+let rw_cases =
+  [ t "readers overlap freely" (fun () ->
+        check_bool "two readers" true
+          (feed_all (Patterns.readers_writers ())
+             [ "read_s(r1)"; "read_s(r2)"; "read_t(r2)"; "read_t(r1)" ]));
+    t "writer excludes readers" (fun () ->
+        let e = Patterns.readers_writers () in
+        let s = Engine.create e in
+        check_bool "writer in" true (Engine.try_action s (a1 "write_s(w1)"));
+        check_bool "reader blocked" false (Engine.permitted s (a1 "read_s(r1)"));
+        check_bool "second writer blocked" false (Engine.permitted s (a1 "write_s(w2)"));
+        check_bool "writer out" true (Engine.try_action s (a1 "write_t(w1)"));
+        check_bool "reader again" true (Engine.permitted s (a1 "read_s(r1)")));
+    t "readers block a writer until all leave" (fun () ->
+        let e = Patterns.readers_writers () in
+        let s = Engine.create e in
+        check_bool "r1" true (Engine.try_action s (a1 "read_s(r1)"));
+        check_bool "r2" true (Engine.try_action s (a1 "read_s(r2)"));
+        check_bool "writer blocked" false (Engine.permitted s (a1 "write_s(w)"));
+        check_bool "r1 out" true (Engine.try_action s (a1 "read_t(r1)"));
+        check_bool "still blocked" false (Engine.permitted s (a1 "write_s(w)"));
+        check_bool "r2 out" true (Engine.try_action s (a1 "read_t(r2)"));
+        check_bool "writer now" true (Engine.permitted s (a1 "write_s(w)")))
+  ]
+
+let buffer_cases =
+  [ t "consume only after produce, once" (fun () ->
+        let e = Patterns.producers_consumers ~capacity:2 in
+        check_bool "ok" true (feed_all e [ "produce(x)"; "consume(x)" ]);
+        check_bool "unknown item" false (feed_all e [ "consume(x)" ]);
+        check_bool "double consume" false
+          (feed_all e [ "produce(x)"; "consume(x)"; "consume(x)" ]));
+    t "capacity bounds outstanding items" (fun () ->
+        let e = Patterns.producers_consumers ~capacity:2 in
+        let s = Engine.create e in
+        check_bool "p1" true (Engine.try_action s (a1 "produce(a)"));
+        check_bool "p2" true (Engine.try_action s (a1 "produce(b)"));
+        check_bool "p3 blocked" false (Engine.permitted s (a1 "produce(c)"));
+        check_bool "c1" true (Engine.try_action s (a1 "consume(a)"));
+        check_bool "p3 now" true (Engine.try_action s (a1 "produce(c)")));
+    t "items can be consumed out of production order (bag)" (fun () ->
+        check_bool "ok" true
+          (feed_all (Patterns.producers_consumers ~capacity:2)
+             [ "produce(a)"; "produce(b)"; "consume(b)"; "consume(a)" ]))
+  ]
+
+let barrier_cases =
+  [ t "no leave before everyone arrives" (fun () ->
+        let e = Patterns.barrier ~parties:3 in
+        let s = Engine.create e in
+        check_bool "a1" true (Engine.try_action s (a1 "arrive(1)"));
+        check_bool "a3" true (Engine.try_action s (a1 "arrive(3)"));
+        check_bool "leave blocked" false (Engine.permitted s (a1 "leave(1)"));
+        check_bool "a2" true (Engine.try_action s (a1 "arrive(2)"));
+        check_bool "leave ok" true (Engine.try_action s (a1 "leave(1)"));
+        check_bool "re-arrive blocked until all left" false
+          (Engine.permitted s (a1 "arrive(1)")));
+    t "rounds repeat" (fun () ->
+        check_bool "two rounds" true
+          (feed_all (Patterns.barrier ~parties:2)
+             [ "arrive(1)"; "arrive(2)"; "leave(2)"; "leave(1)"; "arrive(2)";
+               "arrive(1)"; "leave(1)"; "leave(2)" ]))
+  ]
+
+let alternation_cases =
+  [ t "ping pong" (fun () ->
+        let e = Patterns.alternation "ping" "pong" in
+        check_bool "ok" true (feed_all e [ "ping"; "pong"; "ping"; "pong" ]);
+        check_bool "double ping" false (feed_all e [ "ping"; "ping" ]))
+  ]
+
+let philosopher_cases =
+  [ t "a philosopher can dine alone if forks free" (fun () ->
+        let e = Patterns.philosophers 2 in
+        check_bool "full cycle" true
+          (feed_all e
+             [ "take(0,0)"; "take(0,1)"; "eat(0)"; "put(0,0)"; "put(0,1)" ]));
+    t "forks are exclusive" (fun () ->
+        let e = Patterns.philosophers 2 in
+        let s = Engine.create e in
+        check_bool "phil 0 takes fork 0" true (Engine.try_action s (a1 "take(0,0)"));
+        check_bool "phil 1 cannot take fork 0" false (Engine.permitted s (a1 "take(1,0)")));
+    t "protocol order is enforced" (fun () ->
+        let e = Patterns.philosophers 2 in
+        check_bool "eat before forks" false (feed_all e [ "eat(0)" ]);
+        check_bool "second fork first" false (feed_all e [ "take(0,1)"; "eat(0)" ]));
+    t "the symmetric table deadlocks (dead end)" (fun () ->
+        Alcotest.(check (option bool)) "dead end" (Some true)
+          (Language.has_dead_end ~max_states:5000 (Patterns.philosophers 2)));
+    t "one lefty breaks the deadlock" (fun () ->
+        Alcotest.(check (option bool)) "no dead end" (Some false)
+          (Language.has_dead_end ~max_states:5000
+             (Patterns.philosophers ~lefty_first:true 2)));
+    t "the deadlocked history is partial but cannot complete" (fun () ->
+        let e = Patterns.philosophers 2 in
+        let s = Engine.create e in
+        check_bool "phil0 first fork" true (Engine.try_action s (a1 "take(0,0)"));
+        check_bool "phil1 first fork" true (Engine.try_action s (a1 "take(1,1)"));
+        (* now nobody can move *)
+        List.iter
+          (fun a -> check_bool ("blocked " ^ a) false (Engine.permitted s (a1 a)))
+          [ "take(0,1)"; "take(1,0)"; "eat(0)"; "eat(1)"; "put(0,0)"; "put(1,1)" ];
+        check_bool "not final" false (Engine.is_final s))
+  ]
+
+let philosopher_slow =
+  [ Alcotest.test_case "three philosophers: deadlock iff symmetric" `Slow (fun () ->
+        Alcotest.(check (option bool)) "symmetric" (Some true)
+          (Language.has_dead_end ~max_states:200_000 (Patterns.philosophers 3));
+        Alcotest.(check (option bool)) "lefty" (Some false)
+          (Language.has_dead_end ~max_states:200_000
+             (Patterns.philosophers ~lefty_first:true 3)))
+  ]
+
+let classification_cases =
+  [ t "patterns classify as benign or harmless" (fun () ->
+        let check_not_malignant name e =
+          match Classify.benignity e with
+          | Classify.Harmless | Classify.Benign _ -> ()
+          | Classify.Potentially_malignant ->
+            Alcotest.failf "%s classified potentially malignant" name
+        in
+        check_not_malignant "readers_writers" (Patterns.readers_writers ());
+        check_not_malignant "producers_consumers" (Patterns.producers_consumers ~capacity:3);
+        check_not_malignant "fork" (Patterns.fork_constraint 0);
+        (* semaphore/barrier are parameterless *)
+        Alcotest.(check bool) "semaphore harmless" true
+          (Classify.benignity (Patterns.semaphore 3) = Classify.Harmless);
+        Alcotest.(check bool) "barrier harmless" true
+          (Classify.benignity (Patterns.barrier ~parties:4) = Classify.Harmless))
+  ]
+
+(* Further classics. *)
+let more_patterns =
+  let t name f = Alcotest.test_case name `Quick f in
+  [ t "token ring: strict round-robin" (fun () ->
+        let e = Patterns.token_ring ~stations:3 in
+        check_bool "full round" true
+          (feed_all e [ "recv(1)"; "work(1)"; "send(1)"; "recv(2)"; "send(2)";
+                        "recv(3)"; "work(3)"; "send(3)"; "recv(1)" ]);
+        check_bool "out of order" false (feed_all e [ "recv(2)" ]);
+        check_bool "work without token" false
+          (feed_all e [ "recv(1)"; "send(1)"; "work(1)" ]));
+    t "resource pool: independent mutexes" (fun () ->
+        let e = Patterns.resource_pool ~resources:[ "db"; "cache" ] in
+        let s = Engine.create e in
+        check_bool "grab db" true (Engine.try_action s (a1 "grab(alice,db)"));
+        check_bool "db busy" false (Engine.permitted s (a1 "grab(bob,db)"));
+        check_bool "cache free" true (Engine.try_action s (a1 "grab(bob,cache)"));
+        check_bool "drop db" true (Engine.try_action s (a1 "drop(alice,db)"));
+        check_bool "db free again" true (Engine.permitted s (a1 "grab(bob,db)")));
+    t "resource pool partitions across managers" (fun () ->
+        let e = Patterns.resource_pool ~resources:[ "db"; "cache"; "disk" ] in
+        Alcotest.(check int) "three managers" 3
+          (List.length (Interaction_manager.Federation.partition e)));
+    t "pipeline: stage order per item" (fun () ->
+        let e = Patterns.pipeline ~stages:2 ~capacity:2 in
+        check_bool "happy path" true
+          (feed_all e [ "enter(x)"; "stage(x,1)"; "stage(x,2)"; "exit(x)" ]);
+        check_bool "skip stage" false (feed_all e [ "enter(x)"; "stage(x,2)" ]);
+        check_bool "exit early" false (feed_all e [ "enter(x)"; "exit(x)" ]));
+    t "pipeline: stages are exclusive, capacity bounds entry" (fun () ->
+        let e = Patterns.pipeline ~stages:2 ~capacity:2 in
+        let s = Engine.create e in
+        check_bool "x in" true (Engine.try_action s (a1 "enter(x)"));
+        check_bool "y in" true (Engine.try_action s (a1 "enter(y)"));
+        check_bool "z blocked" false (Engine.permitted s (a1 "enter(z)"));
+        check_bool "x stage1" true (Engine.try_action s (a1 "stage(x,1)"));
+        (* y cannot use stage 1: x has not moved past it... it has: stage
+           occupation is per-action, the mutex iterates — y may now enter *)
+        check_bool "y stage1" true (Engine.permitted s (a1 "stage(y,1)"));
+        check_bool "x stage2" true (Engine.try_action s (a1 "stage(x,2)"));
+        check_bool "x out" true (Engine.try_action s (a1 "exit(x)"));
+        check_bool "z now" true (Engine.permitted s (a1 "enter(z)")));
+    t "writers priority: a batch of writers runs back to back" (fun () ->
+        let e = Patterns.writers_priority () in
+        check_bool "batch" true
+          (feed_all e
+             [ "write_s(w1)"; "write_t(w1)"; "write_s(w2)"; "write_t(w2)";
+               "read_s(r)"; "read_t(r)" ]);
+        let s = Engine.create e in
+        check_bool "w1" true (Engine.try_action s (a1 "write_s(w1)"));
+        check_bool "readers blocked" false (Engine.permitted s (a1 "read_s(r)"));
+        check_bool "w1 done" true (Engine.try_action s (a1 "write_t(w1)"));
+        (* both continuing the batch and closing it are possible *)
+        check_bool "next writer ok" true (Engine.permitted s (a1 "write_s(w2)"));
+        check_bool "readers ok again" true (Engine.permitted s (a1 "read_s(r)")));
+    t "argument validation" (fun () ->
+        List.iter
+          (fun f -> match f () with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "expected rejection")
+          [ (fun () -> Patterns.token_ring ~stations:1);
+            (fun () -> Patterns.resource_pool ~resources:[]);
+            (fun () -> Patterns.pipeline ~stages:0 ~capacity:1) ])
+  ]
+
+let () =
+  Alcotest.run "patterns"
+    [ ("semaphore", semaphore_cases); ("readers-writers", rw_cases);
+      ("bounded-buffer", buffer_cases); ("barrier", barrier_cases);
+      ("alternation", alternation_cases); ("philosophers", philosopher_cases);
+      ("philosophers-slow", philosopher_slow);
+      ("classification", classification_cases); ("more", more_patterns)
+    ]

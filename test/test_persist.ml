@@ -1,0 +1,146 @@
+open Interaction
+open Interaction_manager
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+let sexp_cases =
+  [ t "atoms and lists render and parse" (fun () ->
+        let s = Sexp.(list [ atom "a"; list [ atom "b"; atom "c d" ]; atom "" ]) in
+        let str = Sexp.to_string s in
+        Alcotest.(check string) "rendered" {|(a (b "c d") "")|} str;
+        check_bool "round-trip" true (Sexp.of_string_exn str = s));
+    t "escapes" (fun () ->
+        let s = Sexp.atom "x\"y\\z\nw" in
+        check_bool "rt" true (Sexp.of_string_exn (Sexp.to_string s) = s));
+    t "comments are skipped" (fun () ->
+        check_bool "comment" true
+          (Sexp.of_string_exn "(a ; comment\n b)" = Sexp.(list [ atom "a"; atom "b" ])));
+    t "errors are reported" (fun () ->
+        List.iter
+          (fun input ->
+            match Sexp.of_string input with
+            | Ok _ -> Alcotest.failf "expected error on %S" input
+            | Error _ -> ())
+          [ "("; ")"; "(a"; "\"x"; "a b"; "" ]);
+    t "converters" (fun () ->
+        Alcotest.(check int) "int" 42 (Sexp.int_field (Sexp.atom "42"));
+        check_bool "bool" true (Sexp.bool_field (Sexp.atom "true"));
+        Alcotest.check_raises "bad int" (Invalid_argument "Sexp: expected an integer atom")
+          (fun () -> ignore (Sexp.int_field (Sexp.atom "x"))));
+    t "pp prints parseable output" (fun () ->
+        let s = Sexp.(list [ atom "a"; list [ atom "b" ] ]) in
+        let printed = Format.asprintf "%a" Sexp.pp s in
+        check_bool "reparses" true (Sexp.of_string_exn printed = s))
+  ]
+
+let expr_rt =
+  QCheck.Test.make ~count:300 ~name:"Expr sexp round-trip" (expr_arb ~max_depth:4 ())
+    (fun e ->
+      let e' = Expr.of_sexp (Sexp.of_string_exn (Sexp.to_string (Expr.to_sexp e))) in
+      if Expr.equal e e' then true
+      else QCheck.Test.fail_reportf "lost: %s" (Syntax.to_string e))
+
+let state_rt =
+  QCheck.Test.make ~count:200 ~name:"State sexp round-trip after random words"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, word) ->
+      let s = Engine.create e in
+      ignore (Engine.feed s word);
+      match Engine.state s with
+      | None -> true
+      | Some st ->
+        let st' = State.of_sexp (Sexp.of_string_exn (Sexp.to_string (State.to_sexp st))) in
+        if State.equal st st' then true
+        else QCheck.Test.fail_reportf "state lost for %s" (Syntax.to_string e))
+
+let session_cases =
+  [ t "save/load preserves behaviour" (fun () ->
+        let s = Engine.create !"(a - b)* @ (c - b)*" in
+        ignore (Engine.feed s (w "a c"));
+        let s' = Engine.load (Engine.save s) in
+        Alcotest.(check int) "trace" 2 (List.length (Engine.trace s'));
+        check_bool "same next steps" true
+          (Engine.permitted s (a1 "b") = Engine.permitted s' (a1 "b"));
+        check_bool "b accepted" true (Engine.try_action s' (a1 "b")));
+    t "dead sessions survive save/load" (fun () ->
+        let s = Engine.create !"a" in
+        ignore (Engine.force s (a1 "zzz"));
+        let s' = Engine.load (Engine.save s) in
+        check_bool "still dead" false (Engine.is_alive s'));
+    t "load rejects garbage" (fun () ->
+        match Engine.load "(not a session)" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure")
+  ]
+
+let checkpoint_cases =
+  [ t "checkpoint + crash + recover_with resumes" (fun () ->
+        let m = Manager.create !"a - b - c - d" in
+        check_bool "a" true (Manager.execute m ~client:"c" (a1 "a"));
+        check_bool "b" true (Manager.execute m ~client:"c" (a1 "b"));
+        let cp = Manager.checkpoint m in
+        check_bool "c" true (Manager.execute m ~client:"c" (a1 "c"));
+        Manager.crash m;
+        Manager.recover_with m ~checkpoint:cp;
+        check_bool "alive" true (Manager.alive m);
+        (* state must reflect a b (checkpoint) + c (log suffix) *)
+        check_bool "d next" true (Manager.execute m ~client:"c" (a1 "d"));
+        check_bool "complete run" false (Manager.permitted m (a1 "a")));
+    t "checkpoint of a quantified constraint" (fun () ->
+        let m = Manager.create Wfms.Medical.patient_constraint in
+        check_bool "call" true (Manager.execute m ~client:"c" (a1 "call_s(p1,sono)"));
+        let cp = Manager.checkpoint m in
+        Manager.crash m;
+        Manager.recover_with m ~checkpoint:cp;
+        check_bool "still exclusive" false (Manager.permitted m (a1 "call_s(p1,endo)"));
+        check_bool "continues" true (Manager.execute m ~client:"c" (a1 "call_t(p1,sono)")));
+    t "checkpoint for a different expression is rejected" (fun () ->
+        let m1 = Manager.create !"a" in
+        let m2 = Manager.create !"b" in
+        let cp = Manager.checkpoint m1 in
+        Manager.crash m2;
+        match Manager.recover_with m2 ~checkpoint:cp with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection");
+    t "malformed checkpoints are rejected" (fun () ->
+        let m = Manager.create !"a" in
+        Manager.crash m;
+        match Manager.recover_with m ~checkpoint:"gibberish(" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected rejection")
+  ]
+
+let checkpoint_equiv =
+  QCheck.Test.make ~count:100 ~name:"checkpoint recovery ≡ full log replay"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      let m1 = Manager.create e and m2 = Manager.create e in
+      let half = List.length word / 2 in
+      List.iteri
+        (fun i c ->
+          let r1 = Manager.execute m1 ~client:"x" c in
+          let r2 = Manager.execute m2 ~client:"x" c in
+          assert (r1 = r2);
+          if i = half - 1 then begin
+            (* checkpoint m1 mid-run and immediately restore from it *)
+            let cp = Manager.checkpoint m1 in
+            Manager.crash m1;
+            Manager.recover_with m1 ~checkpoint:cp
+          end)
+        word;
+      Manager.crash m2;
+      Manager.recover m2;
+      (* both managers must now agree on every probe action *)
+      List.for_all
+        (fun c -> Manager.permitted m1 c = Manager.permitted m2 c)
+        word)
+
+let () =
+  Alcotest.run "persist"
+    [ ("sexp", sexp_cases);
+      ("round-trips", List.map to_alcotest [ expr_rt; state_rt ]);
+      ("sessions", session_cases); ("checkpoints", checkpoint_cases);
+      ("equivalence", [ to_alcotest checkpoint_equiv ])
+    ]

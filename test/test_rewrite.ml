@@ -1,0 +1,86 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let simplifies input expected =
+  t (input ^ "  ==>  " ^ expected) (fun () ->
+      let got = Rewrite.simplify !input in
+      Alcotest.(check string) "simplified" (Syntax.to_string !expected)
+        (Syntax.to_string got))
+
+let unit_rules =
+  [ simplifies "a | a" "a";
+    simplifies "a & a" "a";
+    simplifies "a @ a" "a";
+    simplifies "(a | b) | a" "a | b";
+    simplifies "b | a" "a | b" (* canonical operand order *);
+    simplifies "a | eps" "[a]";
+    simplifies "eps - a - eps" "a";
+    simplifies "eps || a" "a";
+    simplifies "eps @ a" "a";
+    simplifies "[[a]]" "[a]";
+    simplifies "[a*]" "a*";
+    simplifies "[a#]" "a#";
+    simplifies "(a*)*" "a*";
+    simplifies "([a])*" "a*";
+    simplifies "(a#)#" "a#";
+    simplifies "([a])#" "a#";
+    simplifies "eps*" "eps";
+    simplifies "[eps]" "eps";
+    simplifies "some p: a - b" "a - b" (* unused parameter *);
+    simplifies "sync p: a" "a";
+    simplifies "conj p: a" "a";
+    simplifies "all p: [a]" "a#" (* unused parameter, ⟨⟩ ∈ Φ *);
+    simplifies "all p: a(p)" "all p: a(p)" (* used parameter: unchanged *);
+    simplifies "some p: a(p)" "some p: a(p)";
+    (* shadowed inner binder makes the outer parameter unused *)
+    simplifies "some p: some p: a(p)" "some p: a(p)";
+    (* nesting: flattening lets idempotence fire across levels *)
+    simplifies "(a & b) & (b & a)" "a & b";
+    simplifies "((a | b) | c) | (b | (a | c))" "a | b | c"
+  ]
+
+let structural =
+  [ t "all-quantifier dead end is left alone" (fun () ->
+        (* Φ(all p: a) = ∅ since ⟨⟩ ∉ Φ(a); collapsing to a# would be wrong *)
+        let e = Expr.all_q "p" !"a" in
+        Alcotest.(check bool) "unchanged" true (Expr.equal (Rewrite.simplify e) e));
+    t "size_reduction reports both sizes" (fun () ->
+        let before, after = Rewrite.size_reduction !"(a | a) - (b | b)" in
+        Alcotest.(check bool) "reduced" true (after < before));
+    t "simplify is idempotent" (fun () ->
+        let e = !"((a | b) | a)* @ (eps || c)" in
+        let s1 = Rewrite.simplify e in
+        Alcotest.(check bool) "fixpoint" true (Expr.equal s1 (Rewrite.simplify s1)));
+    t "rules_doc is nonempty" (fun () ->
+        Alcotest.(check bool) "rules" true (List.length Rewrite.rules_doc > 5))
+  ]
+
+(* The heavyweight guarantee: simplification preserves the word sets, checked
+   against both the oracle and the state model. *)
+let preservation =
+  QCheck.Test.make ~count:300 ~name:"simplify preserves verdicts"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, w) ->
+      let e' = Rewrite.simplify e in
+      let v_orig = Engine.word e w and v_simp = Engine.word e' w in
+      let v_sem = Semantics.word e' w in
+      if v_orig <> v_simp then
+        QCheck.Test.fail_reportf "state model: %a became %a after simplifying to %s"
+          Semantics.pp_verdict v_orig Semantics.pp_verdict v_simp (Syntax.to_string e')
+      else if v_sem <> v_orig then
+        QCheck.Test.fail_reportf "oracle disagrees on simplified expression %s"
+          (Syntax.to_string e')
+      else true)
+
+let never_grows =
+  QCheck.Test.make ~count:300 ~name:"simplify never grows the expression"
+    (expr_arb ~max_depth:4 ())
+    (fun e -> Expr.size (Rewrite.simplify e) <= Expr.size e)
+
+let () =
+  Alcotest.run "rewrite"
+    [ ("rules", unit_rules); ("structural", structural);
+      ("properties", List.map to_alcotest [ preservation; never_grows ])
+    ]

@@ -1,0 +1,152 @@
+(* Hand-computed word-set membership per Table 8 category, checked against
+   BOTH the denotational oracle and the operational state model (check_both),
+   so every case doubles as a point-check of their agreement. *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let c = Semantics.Complete
+let p = Semantics.Partial
+let i = Semantics.Illegal
+
+let case name e specs =
+  t name (fun () -> List.iter (fun (input, expected) -> check_both !e input expected) specs)
+
+let basics =
+  [ case "atomic expression" "a"
+      [ ("", p); ("a", c); ("a a", i); ("b", i) ];
+    case "atom with arguments" "a(1,2)"
+      [ ("a(1,2)", c); ("a(1)", i); ("a(2,1)", i) ];
+    case "free parameter accepts nothing" "a(?p)"
+      [ ("", p); ("a(1)", i) ];
+    case "option" "[a]"
+      [ ("", c); ("a", c); ("a a", i); ("b", i) ];
+    case "sequential composition" "a - b"
+      [ ("", p); ("a", p); ("a b", c); ("b", i); ("a b b", i) ];
+    case "nested sequence" "a - b - c"
+      [ ("a b", p); ("a b c", c); ("a c", i) ];
+    case "sequence with optional head" "[a] - b"
+      [ ("b", c); ("a b", c); ("a", p); ("b a", i) ]
+  ]
+
+let iteration =
+  [ case "sequential iteration" "(a - b)*"
+      [ ("", c); ("a", p); ("a b", c); ("a b a", p); ("a b a b", c); ("a a", i);
+        ("b", i) ];
+    case "iteration of an option" "[a]*"
+      [ ("", c); ("a", c); ("a a", c) ];
+    case "parallel iteration allows overlapping instances" "(a - b)#"
+      [ ("", c); ("a a", p); ("a a b b", c); ("a b a b", c); ("b", i);
+        ("a a a b b b", c); ("a b b", i) ];
+    case "sequential iteration forbids overlap" "(a - b)*"
+      [ ("a a b b", i) ]
+  ]
+
+let parallel =
+  [ case "parallel composition shuffles" "(a - b) || (c - d)"
+      [ ("a c b d", c); ("c a d b", c); ("a b c d", c); ("b a c d", i); ("a c d b", c) ];
+    case "parallel composition of equal operands" "a || a"
+      [ ("a", p); ("a a", c); ("a a a", i) ]
+  ]
+
+(* Section 3 exhibits an expression whose language Φ(x) = {aⁿbⁿcⁿ} is not
+   context-free: the parallel iteration of (a − b − c) in conjunction with
+   a sequential ordering constraint, rendered here as
+   "(a - b - c)# & (iter a - iter b - iter c)". *)
+let anbncn =
+  let e = !"(a - b - c)# & (a* - b* - c*)" in
+  [ t "Φ(x) = {aⁿbⁿcⁿ}" (fun () ->
+        check_both e "" Semantics.Complete;
+        check_both e "a b c" Semantics.Complete;
+        check_both e "a a b b c c" Semantics.Complete;
+        check_both e "a a b c" Semantics.Partial (* can still complete b c *);
+        check_both e "a b c a" Semantics.Illegal;
+        check_both e "b" Semantics.Illegal);
+    t "language enumeration matches" (fun () ->
+        let universe = [ a1 "a"; a1 "b"; a1 "c" ] in
+        let lang = Semantics.language ~max_len:6 ~universe e in
+        let strs =
+          List.map (fun w -> String.concat "" (List.map Action.concrete_to_string w)) lang
+        in
+        Alcotest.(check (list string)) "words" [ ""; "abc"; "aabbcc" ] strs)
+  ]
+
+let boolean =
+  [ case "disjunction" "(a - b) | (a - c)"
+      [ ("a", p); ("a b", c); ("a c", c); ("a b c", i) ];
+    case "conjunction is strict" "(a - b) & (a - c)"
+      [ ("a", p); ("a b", i); ("a c", i); ("", p) ];
+    case "conjunction with common words" "(a | b) & (a | c)"
+      [ ("a", c); ("b", i); ("c", i) ];
+    case "synchronization relieves foreign actions" "(a - b) @ (c - b)"
+      [ ("a c b", c); ("c a b", c); ("a b", i) (* b needs c first in right *);
+        ("a c b b", i) ];
+    case "synchronization: common actions synchronize" "(a - b) @ (b - c)"
+      [ ("a b c", c); ("b", i); ("a b", p) ];
+    case "coupling does not constrain unmentioned actions" "a @ b"
+      [ ("a b", c); ("b a", c); ("a", p); ("a a", i) ]
+  ]
+
+let quantifiers =
+  [ case "disjunction quantifier picks one value" "some x: a(x) - b(x)"
+      [ ("a(1) b(1)", c); ("a(2) b(2)", c); ("a(1) b(2)", i); ("a(1)", p) ];
+    case "disjunction quantifier with shared action" "some x: a - b(x)"
+      [ ("a b(7)", c); ("a", p); ("b(7)", i) ];
+    case "parallel quantifier runs all values" "all x: [a(x) - b(x)]"
+      [ ("", c); ("a(1) a(2) b(2) b(1)", c); ("a(1) b(1) a(2) b(2)", c);
+        ("a(1) a(1)", i) (* one instance per value *); ("b(1)", i) ];
+    case "parallel quantifier without empty body word is a dead end"
+      "all x: a(x) - b(x)"
+      [ ("", p); ("a(1)", p); ("a(1) b(1)", p) (* never complete: Φ = ∅ *) ];
+    case "synchronization quantifier: per-value mutual exclusion"
+      "sync x: mutex(u(x), e(x))"
+      [ ("u(1) e(1)", c); ("u(1) u(2)", c); ("u(1) e(2) e(1) u(2)", c) ];
+    case "conjunction quantifier: every instance must accept the whole word"
+      "conj x: [a(x)]"
+      [ ("", c); ("a(1)", i) (* instance 2 rejects a(1) *) ];
+    case "conjunction quantifier over shared alphabet" "conj x: (b | a(x))"
+      [ ("b", c); ("a(1)", i) ]
+  ]
+
+let nested =
+  [ case "nested quantifiers" "some p: some x: a(p,x)"
+      [ ("a(1,2)", c); ("a(1,2) a(1,2)", i) ];
+    case "parallel quantifier of disjunction quantifier"
+      "all p: [some x: a(p,x) - b(p,x)]"
+      [ ("a(1,9) a(2,8) b(2,8) b(1,9)", c); ("a(1,9) b(1,8)", i) ];
+    case "quantifier under iteration materializes repeatedly"
+      "(some x: a(x) - b(x))*"
+      [ ("a(1) b(1) a(2) b(2)", c); ("a(1) a(2)", i) (* sequential! *);
+        ("a(1) b(1) a(1) b(1)", c) ];
+    case "parallel quantifier allows interleaving across values, not within"
+      "all x: [(a(x) - b(x))*]"
+      [ ("a(1) a(2) b(1) b(2)", c); ("a(1) a(1)", i) ]
+  ]
+
+let dead_ends =
+  [ case "misused coupling creates a dead end" "(a - b) & (b - a)"
+      [ ("", p); ("a", i); ("b", i) ];
+    t "dead end has partial but no complete words" (fun () ->
+        let e = !"(a - b) & (b - a)" in
+        Alcotest.(check bool) "partial" true (Semantics.partial e []);
+        let universe = [ a1 "a"; a1 "b" ] in
+        Alcotest.(check int) "no complete words" 0
+          (List.length (Semantics.language ~max_len:4 ~universe e)))
+  ]
+
+let fresh =
+  [ t "fresh_value avoids word and expression values" (fun () ->
+        let e = !"a(1)" in
+        let word = w "b(2) c(3)" in
+        let v = Semantics.fresh_value e word in
+        Alcotest.(check bool) "fresh" true
+          (not (List.mem v (Expr.values e)) && not (List.mem v [ "2"; "3" ])))
+  ]
+
+let () =
+  Alcotest.run "semantics"
+    [ ("basics", basics); ("iteration", iteration); ("parallel", parallel);
+      ("anbncn", anbncn); ("boolean", boolean); ("quantifiers", quantifiers);
+      ("nested", nested); ("dead-ends", dead_ends); ("fresh", fresh)
+    ]

@@ -1,0 +1,209 @@
+(* Unit tests of the operational state model itself: session mechanics
+   (Fig. 9's action problem), state sizes, optimization behaviour, and the
+   growth profiles that Section 6's complexity analysis describes. *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let session =
+  [ t "action problem accepts and rejects (Fig. 9)" (fun () ->
+        let s = Engine.create !"a - b" in
+        Alcotest.(check bool) "reject b" false (Engine.try_action s (a1 "b"));
+        Alcotest.(check bool) "accept a" true (Engine.try_action s (a1 "a"));
+        Alcotest.(check bool) "reject a" false (Engine.try_action s (a1 "a"));
+        Alcotest.(check bool) "accept b" true (Engine.try_action s (a1 "b"));
+        Alcotest.(check bool) "final" true (Engine.is_final s);
+        Alcotest.(check int) "trace" 2 (List.length (Engine.trace s)));
+    t "rejected actions leave the state unchanged" (fun () ->
+        let s = Engine.create !"a - b" in
+        ignore (Engine.try_action s (a1 "a"));
+        let size_before = Engine.state_size s in
+        Alcotest.(check bool) "reject" false (Engine.try_action s (a1 "c"));
+        Alcotest.(check int) "size unchanged" size_before (Engine.state_size s);
+        Alcotest.(check bool) "still accepts b" true (Engine.try_action s (a1 "b")));
+    t "permitted is tentative" (fun () ->
+        let s = Engine.create !"a" in
+        Alcotest.(check bool) "permitted" true (Engine.permitted s (a1 "a"));
+        Alcotest.(check bool) "not consumed" true (Engine.permitted s (a1 "a"));
+        Alcotest.(check int) "trace empty" 0 (List.length (Engine.trace s)));
+    t "feed returns rejected actions" (fun () ->
+        let s = Engine.create !"(a - b)*" in
+        let rejected = Engine.feed s (w "a a b b") in
+        Alcotest.(check int) "rejected" 2 (List.length rejected);
+        (* a [a rejected] b [b rejected] — trace is a b *)
+        Alcotest.(check bool) "final" true (Engine.is_final s));
+    t "force can kill a session" (fun () ->
+        let s = Engine.create !"a" in
+        Alcotest.(check bool) "dies" false (Engine.force s (a1 "b"));
+        Alcotest.(check bool) "dead" false (Engine.is_alive s);
+        Alcotest.(check bool) "stays dead" false (Engine.try_action s (a1 "a"));
+        Alcotest.(check int) "size 0" 0 (Engine.state_size s));
+    t "reset restores the initial state" (fun () ->
+        let s = Engine.create !"a" in
+        ignore (Engine.force s (a1 "b"));
+        Engine.reset s;
+        Alcotest.(check bool) "alive" true (Engine.is_alive s);
+        Alcotest.(check bool) "accepts" true (Engine.try_action s (a1 "a")));
+    t "copy is independent" (fun () ->
+        let s = Engine.create !"a - b" in
+        ignore (Engine.try_action s (a1 "a"));
+        let s' = Engine.copy s in
+        ignore (Engine.try_action s' (a1 "b"));
+        Alcotest.(check bool) "copy final" true (Engine.is_final s');
+        Alcotest.(check bool) "original not" false (Engine.is_final s));
+    t "word equals incremental session" (fun () ->
+        let e = !"(a | b - c)*" in
+        let input = w "a b c a" in
+        let s = Engine.create e in
+        let rejected = Engine.feed s input in
+        Alcotest.(check int) "none rejected" 0 (List.length rejected);
+        Alcotest.check verdict "verdict" (Engine.word e input)
+          (if Engine.is_final s then Semantics.Complete else Semantics.Partial))
+  ]
+
+(* Growth of state sizes (Section 6). *)
+let growth =
+  [ t "quasi-regular state size stays constant" (fun () ->
+        let e = !"(a - b)* || (c | d)*" in
+        let s = Engine.create e in
+        let sizes =
+          List.map
+            (fun c ->
+              ignore (Engine.try_action s (a1 c));
+              Engine.state_size s)
+            [ "a"; "c"; "b"; "d"; "a"; "b"; "c"; "d"; "a"; "b" ]
+        in
+        let mx = List.fold_left max 0 sizes and mn = List.fold_left min 1000 sizes in
+        Alcotest.(check bool) (Printf.sprintf "bounded (%d..%d)" mn mx) true (mx - mn <= 4));
+    t "uniformly quantified growth is linear in touched values" (fun () ->
+        let e = !"all p: [(u(p) - e(p))*]" in
+        let s = Engine.create e in
+        let size_for n =
+          Engine.reset s;
+          for i = 1 to n do
+            assert (Engine.try_action s (Action.conc "u" [ string_of_int i ]))
+          done;
+          Engine.state_size s
+        in
+        let s4 = size_for 4 and s8 = size_for 8 in
+        (* linear: doubling values roughly doubles the size *)
+        Alcotest.(check bool)
+          (Printf.sprintf "linear-ish (%d -> %d)" s4 s8)
+          true
+          (s8 < 3 * s4));
+    t "malignant expression grows exponentially" (fun () ->
+        (* Non-uniform quantifier: b does not mention p, so every b is
+           ambiguous between all materialized instances (E3's expression). *)
+        let e = !"all p: (a(p) - b - c(p))" in
+        let s = Engine.create e in
+        let n = 8 in
+        for i = 1 to n do
+          assert (Engine.try_action s (Action.conc "a" [ string_of_int i ]))
+        done;
+        let after_a = Engine.state_size s in
+        for _ = 1 to n / 2 do
+          assert (Engine.try_action s (a1 "b"))
+        done;
+        let after_b = Engine.state_size s in
+        (* C(8,4) = 70 alternatives ≫ the linear part *)
+        Alcotest.(check bool)
+          (Printf.sprintf "exploded (%d -> %d)" after_a after_b)
+          true
+          (after_b > 20 * after_a))
+  ]
+
+(* Point checks of the state-model structure. *)
+let structure =
+  [ t "initial state is valid and sized" (fun () ->
+        let s = State.init !"a - b" in
+        Alcotest.(check bool) "size > 0" true (State.size s > 0);
+        Alcotest.(check bool) "not final" false (State.final s));
+    t "initial state of option is final" (fun () ->
+        Alcotest.(check bool) "final" true (State.final (State.init !"[a]")));
+    t "initial state of iteration is final" (fun () ->
+        Alcotest.(check bool) "final" true (State.final (State.init !"a*")));
+    t "trans on foreign action is null" (fun () ->
+        Alcotest.(check bool) "null" true (State.trans (State.init !"a") (a1 "z") = None));
+    t "trans_word runs a whole word" (fun () ->
+        match State.trans_word (State.init !"a - b") (w "a b") with
+        | Some s -> Alcotest.(check bool) "final" true (State.final s)
+        | None -> Alcotest.fail "expected a valid state");
+    t "dedup: equivalent alternatives collapse" (fun () ->
+        (* (a | a) produces two identical branches; the Or state stays small *)
+        let s = State.init !"(a - b) | (a - b)" in
+        match State.trans s (a1 "a") with
+        | Some s' -> Alcotest.(check bool) "small" true (State.size s' <= 7)
+        | None -> Alcotest.fail "expected valid");
+    t "structural equality of states" (fun () ->
+        let s1 = State.trans_word (State.init !"(a - b)*") (w "a b") in
+        let s2 = State.trans_word (State.init !"(a - b)*") (w "a b a b") in
+        match (s1, s2) with
+        | Some s1, Some s2 ->
+          Alcotest.(check bool) "iteration states repeat" true (State.equal s1 s2)
+        | _ -> Alcotest.fail "expected valid states");
+    t "pp produces output" (fun () ->
+        let s = State.init !"some p: (a(p) || b) - c*" in
+        Alcotest.(check bool) "nonempty" true
+          (String.length (Format.asprintf "%a" State.pp s) > 0))
+  ]
+
+(* The resurrection trap: a materialized instance that dies must not be
+   re-created from the template later (regression guard for the dead-value
+   tracking in the disjunction quantifier). *)
+let resurrection =
+  [ t "dead instances stay dead" (fun () ->
+        let e = !"some p: ((a(p) - a(p)) | b)" in
+        (* instance 1 dies after a(1) a(1) x? — craft: after a(1), instance 1
+           alive, template alive via...  a(1) kills template (no p-free atom
+           matches), materializes instance 1.  Then b: instance 1 expects
+           a(1) → dies.  Word a(1) b must be illegal, and a later a(1) must
+           not resurrect instance 1. *)
+        check_both e "a(1) b" Semantics.Illegal;
+        check_both e "a(1) a(1)" Semantics.Complete);
+    t "oracle agreement on a re-materialization pattern" (fun () ->
+        let e = !"some p: (c - a(p)) | (c - b)" in
+        check_both e "c b" Semantics.Complete;
+        check_both e "c a(5)" Semantics.Complete;
+        check_both e "c a(5) b" Semantics.Illegal)
+  ]
+
+(* Canonical-form invariants hold along every reachable state. *)
+let invariants_prop =
+  to_alcotest
+    (QCheck.Test.make ~count:250 ~name:"states stay canonical under transitions"
+       (expr_word_arb ~max_depth:3 ~max_len:6 ())
+       (fun (e, word) ->
+         let s = Engine.create e in
+         (match State.check_invariants (Option.get (Engine.state s)) with
+         | Ok () -> ()
+         | Error m -> QCheck.Test.fail_reportf "initial state: %s" m);
+         List.iter
+           (fun a ->
+             if Engine.try_action s a then
+               match State.check_invariants (Option.get (Engine.state s)) with
+               | Ok () -> ()
+               | Error m ->
+                 QCheck.Test.fail_reportf "after %s: %s" (Action.concrete_to_string a) m)
+           word;
+         true))
+
+let invariants_unit =
+  [ t "invariants hold on the medical constraint under load" (fun () ->
+        let s = Engine.create (Wfms.Medical.combined_constraint ()) in
+        for i = 1 to 6 do
+          let p = "p" ^ string_of_int i in
+          ignore (Engine.try_action s (Action.conc "call_s" [ p; "sono" ]))
+        done;
+        match State.check_invariants (Option.get (Engine.state s)) with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m)
+  ]
+
+let () =
+  Alcotest.run "state"
+    [ ("session", session); ("growth", growth); ("structure", structure);
+      ("resurrection", resurrection);
+      ("invariants", invariants_prop :: invariants_unit)
+    ]

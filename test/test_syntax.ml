@@ -1,0 +1,166 @@
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+
+let parses s shape =
+  t ("parse " ^ s) (fun () ->
+      Alcotest.(check bool) "shape" true (shape (Syntax.parse_exn s)))
+
+let parse_cases =
+  [ parses "a" (function Expr.Atom _ -> true | _ -> false);
+    parses "a - b - c" (function
+      | Expr.Seq (Expr.Seq _, Expr.Atom _) -> true
+      | _ -> false);
+    parses "a | b | c" (function Expr.Or (Expr.Or _, _) -> true | _ -> false);
+    parses "a || b" (function Expr.Par _ -> true | _ -> false);
+    parses "a & b" (function Expr.And _ -> true | _ -> false);
+    parses "a @ b" (function Expr.Sync _ -> true | _ -> false);
+    parses "a*" (function Expr.SeqIter (Expr.Atom _) -> true | _ -> false);
+    parses "a#" (function Expr.ParIter (Expr.Atom _) -> true | _ -> false);
+    parses "a?" (function Expr.Opt (Expr.Atom _) -> true | _ -> false);
+    parses "[a - b]" (function Expr.Opt (Expr.Seq _) -> true | _ -> false);
+    parses "(a - b)*" (function Expr.SeqIter (Expr.Seq _) -> true | _ -> false);
+    parses "some p: a(p)" (function
+      | Expr.SomeQ ("p", Expr.Atom a) -> Action.params a = [ "p" ]
+      | _ -> false);
+    parses "all p: a(p)" (function Expr.AllQ _ -> true | _ -> false);
+    parses "sync p: a(p)" (function Expr.SyncQ _ -> true | _ -> false);
+    parses "conj p: a(p)" (function Expr.AndQ _ -> true | _ -> false);
+    (* precedence: @ loosest, then &, |, ||, -, postfix *)
+    parses "a - b | c || d & e @ f" (function Expr.Sync (Expr.And _, _) -> true | _ -> false);
+    parses "a | b - c" (function
+      | Expr.Or (Expr.Atom _, Expr.Seq _) -> true
+      | _ -> false);
+    (* a bare identifier is a value unless a parameter is in scope *)
+    parses "a(x)" (function
+      | Expr.Atom a -> Action.is_concrete a
+      | _ -> false);
+    parses "some x: a(x)" (function
+      | Expr.SomeQ (_, Expr.Atom a) -> not (Action.is_concrete a)
+      | _ -> false);
+    parses "some x: a(\"x\")" (function
+      | Expr.SomeQ (_, Expr.Atom a) -> Action.is_concrete a
+      | _ -> false);
+    parses "a(?p)" (function
+      | Expr.Atom a -> Action.params a = [ "p" ]
+      | _ -> false);
+    parses "eps" (fun e -> Expr.equal e Expr.epsilon);
+    (* quantifier keywords stay usable as action names *)
+    parses "some - all" (function
+      | Expr.Seq (Expr.Atom a, Expr.Atom b) ->
+        a.Action.name = "some" && b.Action.name = "all"
+      | _ -> false)
+  ]
+
+let error_cases =
+  let fails s =
+    t ("reject " ^ s) (fun () ->
+        match Syntax.parse s with
+        | Ok _ -> Alcotest.fail "expected a syntax error"
+        | Error _ -> ())
+  in
+  [ fails "a -"; fails "(a"; fails "a)"; fails "some p a"; fails "a b"; fails "";
+    fails "a(1"; fails "times(x, a)"; fails "times(-1, a)"; fails "a(?1)";
+    fails "mutex()"; fails "a $ b"; fails "\"unterminated"
+  ]
+
+let words =
+  [ t "parse_word splits on whitespace and separators" (fun () ->
+        Alcotest.(check int) "len" 3 (List.length (w "a b(1,2); c(x)")));
+    t "parse_word of empty string" (fun () ->
+        Alcotest.(check int) "len" 0 (List.length (w "")));
+    t "parse_action rejects parameters" (fun () ->
+        match Syntax.parse_action "a(?p)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "parse_action accepts quoted values" (fun () ->
+        Alcotest.(check string) "quoted" "a(x y)"
+          (Action.concrete_to_string (a1 {|a("x y")|})))
+  ]
+
+let round_trip_unit =
+  let rt s =
+    t ("round-trip " ^ s) (fun () ->
+        let e = Syntax.parse_exn s in
+        let e' = Syntax.parse_exn (Syntax.to_string e) in
+        Alcotest.(check bool) (Syntax.to_string e) true (Expr.equal e e'))
+  in
+  [ rt "a - (b | c)* @ d";
+    rt "some p: all x: (prepare(p,x) - call(p,x))#";
+    rt "times(2, mutex(a, b))";
+    rt {|a("quoted value", 1)|};
+    rt "conj p: (a(p) & b(?free))";
+    rt "[[a]]";
+    rt "((a - b) || c)?*#"
+  ]
+
+(* Values that collide with in-scope parameter names must be quoted. *)
+let capture =
+  [ t "printer protects captured values" (fun () ->
+        let e = Expr.some_q "v" (Expr.Seq (!"a(?v)", Expr.act "b" [ "v" ])) in
+        let e' = Syntax.parse_exn (Syntax.to_string e) in
+        Alcotest.(check bool) "rt" true (Expr.equal e e'))
+  ]
+
+let round_trip_prop =
+  to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"parse ∘ print = id (random expressions)"
+       (expr_arb ~max_depth:4 ())
+       (fun e ->
+         let s = Syntax.to_string e in
+         match Syntax.parse s with
+         | Ok e' ->
+           if Expr.equal e e' then true
+           else QCheck.Test.fail_reportf "printed %S, re-read differently" s
+         | Error m -> QCheck.Test.fail_reportf "printed %S, parse error: %s" s m))
+
+(* User-defined operators (def ... = ... ;). *)
+let defs =
+  let t name f = Alcotest.test_case name `Quick f in
+  let expands src expected =
+    t (src ^ " ==> " ^ expected) (fun () ->
+        Alcotest.(check string) "expansion" (Syntax.to_string !expected)
+          (Syntax.to_string (Syntax.parse_exn src)))
+  in
+  [ expands "def twice(x) = x - x; twice(a)" "a - a";
+    expands "def flash(x,y) = (x | y)*; flash(a, b - c)" "(a | b - c)*";
+    expands "def zero = a - b; zero*" "(a - b)*";
+    expands "def exam(p) = call(p) - perform(p); exam(k)" "call(k) - perform(k)";
+    expands "def exam(p) = call(p) - perform(p); all q: exam(q)"
+      "all q: call(q) - perform(q)";
+    expands "def d1(x) = x | a; def d2(y) = d1(y) - b; d2(c)" "(c | a) - b";
+    expands "def m(x) = x; m(some p: u(p))" "some p: u(p)";
+    t "arity mismatch is rejected" (fun () ->
+        match Syntax.parse "def f(x,y) = x - y; f(a)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "redefinition is rejected" (fun () ->
+        match Syntax.parse "def f(x) = x; def f(y) = y; f(a)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "built-ins cannot be redefined" (fun () ->
+        match Syntax.parse "def mutex(x) = x; mutex(a)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "duplicate formals are rejected" (fun () ->
+        match Syntax.parse "def f(x,x) = x; f(a)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "complex operand in argument position is rejected" (fun () ->
+        match Syntax.parse "def f(p) = call(p); f(a - b)" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error _ -> ());
+    t "def is still a valid action name inside expressions" (fun () ->
+        match Syntax.parse_exn "a - def" with
+        | Expr.Seq (_, Expr.Atom b) ->
+          Alcotest.(check string) "name" "def" b.Action.name
+        | _ -> Alcotest.fail "unexpected shape")
+  ]
+
+let () =
+  Alcotest.run "syntax"
+    [ ("parse", parse_cases); ("errors", error_cases); ("words", words);
+      ("round-trip", round_trip_unit @ capture @ [ round_trip_prop ]);
+      ("defs", defs)
+    ]

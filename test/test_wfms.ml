@@ -1,0 +1,197 @@
+open Interaction
+open Wfms
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let strs = Alcotest.(check (list string))
+
+let simple =
+  Workflow.make "simple" (Workflow.Seq [ Task "a"; Xor [ Task "b"; Task "c" ]; Task "d" ])
+
+let workflow_cases =
+  [ t "activities in first-occurrence order" (fun () ->
+        strs "acts" [ "a"; "b"; "c"; "d" ] (Workflow.activities simple));
+    t "empty structures are rejected" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Workflow.make: empty split or sequence")
+          (fun () -> ignore (Workflow.make "bad" (Workflow.Seq []))));
+    t "to_expr compiles control flow" (fun () ->
+        let e = Workflow.to_expr simple ~args:[ "k" ] in
+        check_both e "a_s(k) a_t(k) b_s(k) b_t(k) d_s(k) d_t(k)" Semantics.Complete;
+        check_both e "a_s(k) a_t(k) b_s(k) b_t(k) c_s(k)" Semantics.Illegal);
+    t "case lifecycle: startable/completable" (fun () ->
+        let case = Workflow.start_case simple ~id:"k1" ~args:[ "k" ] in
+        strs "initially a" [ "a" ] (Workflow.startable case);
+        strs "nothing running" [] (Workflow.completable case);
+        check_bool "start a" true (Workflow.start_activity case "a");
+        strs "a running" [ "a" ] (Workflow.completable case);
+        strs "nothing startable" [] (Workflow.startable case);
+        check_bool "finish a" true (Workflow.finish_activity case "a");
+        strs "xor choice" [ "b"; "c" ] (Workflow.startable case);
+        check_bool "start c" true (Workflow.start_activity case "c");
+        check_bool "finish c" true (Workflow.finish_activity case "c");
+        strs "then d" [ "d" ] (Workflow.startable case);
+        check_bool "not finished" false (Workflow.is_finished case);
+        check_bool "start d" true (Workflow.start_activity case "d");
+        check_bool "finish d" true (Workflow.finish_activity case "d");
+        check_bool "finished" true (Workflow.is_finished case);
+        check_int "trace" 6 (List.length (Workflow.trace case)));
+    t "and-split interleaves" (fun () ->
+        let wf = Workflow.make "par" (Workflow.And [ Task "x"; Task "y" ]) in
+        let case = Workflow.start_case wf ~id:"k" ~args:[] in
+        check_bool "x" true (Workflow.start_activity case "x");
+        check_bool "y concurrently" true (Workflow.start_activity case "y");
+        check_bool "finish y" true (Workflow.finish_activity case "y");
+        check_bool "finish x" true (Workflow.finish_activity case "x");
+        check_bool "done" true (Workflow.is_finished case));
+    t "loop repeats" (fun () ->
+        let wf = Workflow.make "loop" (Workflow.Loop (Task "x")) in
+        let case = Workflow.start_case wf ~id:"k" ~args:[] in
+        check_bool "finished at zero iterations" true (Workflow.is_finished case);
+        check_bool "x1" true (Workflow.start_activity case "x");
+        check_bool "t1" true (Workflow.finish_activity case "x");
+        check_bool "x2" true (Workflow.start_activity case "x");
+        check_bool "t2" true (Workflow.finish_activity case "x"));
+    t "invalid moves are rejected" (fun () ->
+        let case = Workflow.start_case simple ~id:"k" ~args:[] in
+        check_bool "cannot finish unstarted" false (Workflow.finish_activity case "a");
+        check_bool "cannot start later activity" false (Workflow.start_activity case "d"))
+  ]
+
+let worklist_cases =
+  [ t "refresh offers startable activities of all cases" (fun () ->
+        let c1 = Workflow.start_case simple ~id:"k1" ~args:[ "1" ] in
+        let c2 = Workflow.start_case simple ~id:"k2" ~args:[ "2" ] in
+        ignore (Workflow.start_activity c1 "a");
+        ignore (Workflow.finish_activity c1 "a");
+        let wl = Worklist.create ~user:"u" in
+        let items = Worklist.refresh wl [ c1; c2 ] in
+        let labels =
+          List.map (fun i -> Format.asprintf "%a" Worklist.pp_item i) items
+        in
+        strs "items" [ "k1:b"; "k1:c"; "k2:a" ] labels;
+        check_int "stored" 3 (List.length (Worklist.items wl)))
+  ]
+
+let medical_cases =
+  [ t "Fig. 1 workflows have the paper's activities" (fun () ->
+        strs "sono"
+          [ "order"; "schedule"; "prepare"; "call"; "perform"; "write_report";
+            "read_report" ]
+          (Workflow.activities Medical.ultrasonography);
+        check_bool "endo has inform" true
+          (List.mem "inform" (Workflow.activities Medical.endoscopy)));
+    t "a full ultrasonography case runs through" (fun () ->
+        let case =
+          Workflow.start_case Medical.ultrasonography ~id:"c" ~args:[ "p1"; "sono" ]
+        in
+        List.iter
+          (fun a ->
+            check_bool ("start " ^ a) true (Workflow.start_activity case a);
+            check_bool ("finish " ^ a) true (Workflow.finish_activity case a))
+          (Workflow.activities Medical.ultrasonography);
+        check_bool "finished" true (Workflow.is_finished case));
+    t "patient constraint: call disappears and reappears (intro scenario)"
+      (fun () ->
+        let s = Engine.create Medical.patient_constraint in
+        let ok a = check_bool a true (Engine.try_action s (a1 a)) in
+        ok "prepare_s(p1,sono)";
+        ok "prepare_s(p1,endo)" (* prepared for both simultaneously *);
+        ok "prepare_t(p1,sono)";
+        ok "prepare_t(p1,endo)";
+        check_bool "both calls offered" true
+          (Engine.permitted s (a1 "call_s(p1,sono)")
+          && Engine.permitted s (a1 "call_s(p1,endo)"));
+        ok "call_s(p1,sono)";
+        check_bool "endo call disappears" false (Engine.permitted s (a1 "call_s(p1,endo)"));
+        check_bool "other patient unaffected" true (Engine.permitted s (a1 "call_s(p2,endo)"));
+        ok "call_t(p1,sono)";
+        ok "perform_s(p1,sono)";
+        ok "perform_t(p1,sono)";
+        check_bool "endo call reappears" true (Engine.permitted s (a1 "call_s(p1,endo)")));
+    t "capacity constraint: at most N concurrent examinations per department"
+      (fun () ->
+        let s = Engine.create (Medical.capacity_constraint ~capacity:2 ()) in
+        let ok a = check_bool a true (Engine.try_action s (a1 a)) in
+        ok "call_s(p1,endo)";
+        ok "call_t(p1,endo)";
+        ok "call_s(p2,endo)";
+        ok "call_t(p2,endo)";
+        check_bool "endo full" false (Engine.permitted s (a1 "call_s(p3,endo)"));
+        check_bool "sono free" true (Engine.permitted s (a1 "call_s(p3,sono)"));
+        ok "perform_s(p1,endo)";
+        ok "perform_t(p1,endo)";
+        check_bool "slot freed" true (Engine.permitted s (a1 "call_s(p3,endo)")));
+    t "combined constraint enforces both (Fig. 7)" (fun () ->
+        let s = Engine.create (Medical.combined_constraint ~capacity:1 ()) in
+        let ok a = check_bool a true (Engine.try_action s (a1 a)) in
+        ok "call_s(p1,endo)";
+        (* patient rule blocks p1's second exam, capacity blocks p2 at endo *)
+        check_bool "patient rule" false (Engine.permitted s (a1 "call_s(p1,sono)"));
+        check_bool "capacity rule" false (Engine.permitted s (a1 "call_s(p2,endo)"));
+        check_bool "p2 sono fine" true (Engine.permitted s (a1 "call_s(p2,sono)"));
+        (* prepare is only mentioned by the patient subgraph: coupling lets
+           it through as soon as that subgraph permits it *)
+        check_bool "prepare other patient" true (Engine.permitted s (a1 "prepare_s(p2,endo)")));
+    t "classification: the paper's constraints are benign" (fun () ->
+        check_bool "patient benign" true
+          (match Classify.benignity Medical.patient_constraint with
+          | Classify.Benign _ -> true
+          | _ -> false);
+        check_bool "combined benign" true
+          (match Classify.benignity (Medical.combined_constraint ()) with
+          | Classify.Benign _ -> true
+          | _ -> false));
+    t "ensemble builds two cases per patient" (fun () ->
+        check_int "count" 6 (List.length (Medical.ensemble ~patients:3)))
+  ]
+
+let adapter_cases =
+  let cons = Medical.combined_constraint ~capacity:1 () in
+  let cases = Medical.ensemble ~patients:2 in
+  let run ?(rogue = false) ?(crash = None) adaptation =
+    Adapter.run
+      { Adapter.default_config with
+        adaptation; rogue_handler = rogue; handler_crash_every = crash;
+        max_steps = 4000 }
+      ~constraints:cons ~cases
+  in
+  [ t "unadapted WfMS violates the constraints" (fun () ->
+        let o = run Adapter.Unadapted in
+        check_bool "violations" true (o.Adapter.violations > 0);
+        check_int "no messages" 0 o.Adapter.messages;
+        check_int "all cases complete" 4 o.Adapter.completed_cases);
+    t "worklist adaptation is correct but chatty" (fun () ->
+        let o = run Adapter.Adapted_worklists in
+        check_int "no violations" 0 o.Adapter.violations;
+        check_bool "heavy traffic" true (o.Adapter.messages > 0);
+        check_int "all cases complete" 4 o.Adapter.completed_cases);
+    t "worklist adaptation is not waterproof (rogue handler)" (fun () ->
+        let o = run ~rogue:true Adapter.Adapted_worklists in
+        check_bool "violations leak" true (o.Adapter.violations > 0));
+    t "handler crashes stall the manager until timeouts" (fun () ->
+        let o = run ~crash:(Some 5) Adapter.Adapted_worklists in
+        check_bool "timeouts happened" true (o.Adapter.manager_timeouts > 0);
+        check_int "still no violations" 0 o.Adapter.violations);
+    t "engine adaptation is waterproof and lean" (fun () ->
+        let o = run Adapter.Adapted_engine in
+        let ow = run Adapter.Adapted_worklists in
+        check_int "no violations" 0 o.Adapter.violations;
+        check_bool "fewer messages than worklist adaptation" true
+          (o.Adapter.messages < ow.Adapter.messages);
+        check_int "all cases complete" 4 o.Adapter.completed_cases);
+    t "engine adaptation stays waterproof under rogue requests" (fun () ->
+        let o = run ~rogue:true Adapter.Adapted_engine in
+        check_int "no violations" 0 o.Adapter.violations);
+    t "runs are reproducible (seeded)" (fun () ->
+        let o1 = run Adapter.Unadapted and o2 = run Adapter.Unadapted in
+        check_int "same violations" o1.Adapter.violations o2.Adapter.violations;
+        check_int "same steps" o1.Adapter.steps o2.Adapter.steps)
+  ]
+
+let () =
+  Alcotest.run "wfms"
+    [ ("workflow", workflow_cases); ("worklist", worklist_cases);
+      ("medical", medical_cases); ("adapter", adapter_cases)
+    ]

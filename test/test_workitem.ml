@@ -1,0 +1,119 @@
+open Wfms
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let simple =
+  Workflow.make "simple" (Workflow.Seq [ Task "triage"; Task "treat"; Task "bill" ])
+
+let role_of = function
+  | "triage" | "treat" -> "medic"
+  | _ -> "clerk"
+
+let users = [ ("nina", [ "medic" ]); ("omar", [ "clerk" ]); ("pat", [ "medic"; "clerk" ]) ]
+
+let mk ?manager () =
+  let case = Workflow.start_case simple ~id:"c1" ~args:[ "k" ] in
+  (Workitem.create ?manager ~users ~role_of [ case ], case)
+
+let find pool activity =
+  List.find (fun i -> i.Workitem.activity = activity) (Workitem.items pool)
+
+let lifecycle =
+  [ t "initial pool offers the first activity" (fun () ->
+        let pool, _ = mk () in
+        check_int "one item" 1 (List.length (Workitem.items pool));
+        check_bool "offered" true ((find pool "triage").Workitem.status = Workitem.Offered));
+    t "role-based visibility" (fun () ->
+        let pool, _ = mk () in
+        check_int "medic sees it" 1 (List.length (Workitem.worklist pool ~user:"nina"));
+        check_int "clerk does not" 0 (List.length (Workitem.worklist pool ~user:"omar")));
+    t "full lifecycle: allocate, start, complete" (fun () ->
+        let pool, case = mk () in
+        let item = find pool "triage" in
+        check_bool "allocate" true (Workitem.allocate pool ~user:"nina" item = Ok ());
+        check_bool "hidden from others" true
+          (not (List.memq item (Workitem.worklist pool ~user:"pat")));
+        check_bool "start" true (Workitem.start pool ~user:"nina" item = Ok ());
+        check_bool "complete" true (Workitem.complete pool ~user:"nina" item = Ok ());
+        (* completion refreshes: treat is now offered *)
+        check_bool "next offered" true
+          ((find pool "treat").Workitem.status = Workitem.Offered);
+        check_bool "engine advanced" true (List.mem "treat" (Workflow.startable case)));
+    t "double allocation fails" (fun () ->
+        let pool, _ = mk () in
+        let item = find pool "triage" in
+        check_bool "first" true (Workitem.allocate pool ~user:"nina" item = Ok ());
+        check_bool "second" true (Workitem.allocate pool ~user:"pat" item <> Ok ()));
+    t "role mismatch fails" (fun () ->
+        let pool, _ = mk () in
+        check_bool "clerk cannot take medic work" true
+          (Workitem.allocate pool ~user:"omar" (find pool "triage") <> Ok ()));
+    t "start requires allocation by the same user" (fun () ->
+        let pool, _ = mk () in
+        let item = find pool "triage" in
+        check_bool "unallocated start" true (Workitem.start pool ~user:"nina" item <> Ok ());
+        ignore (Workitem.allocate pool ~user:"nina" item);
+        check_bool "wrong user" true (Workitem.start pool ~user:"pat" item <> Ok ()));
+    t "journal records the lifecycle with a logical clock" (fun () ->
+        let pool, _ = mk () in
+        let item = find pool "triage" in
+        ignore (Workitem.allocate pool ~user:"nina" item);
+        ignore (Workitem.start pool ~user:"nina" item);
+        ignore (Workitem.complete pool ~user:"nina" item);
+        let states = List.rev_map (fun (s, _) -> Workitem.status_to_string s) item.Workitem.journal in
+        Alcotest.(check (list string)) "journey"
+          [ "offered"; "allocated:nina"; "started:nina"; "completed:nina" ] states;
+        let clocks = List.rev_map snd item.Workitem.journal in
+        check_bool "monotone clock" true (List.sort compare clocks = clocks))
+  ]
+
+let coordinated =
+  [ t "manager-forbidden items are suspended, not offered" (fun () ->
+        (* constraint: triage may happen at most once across ALL cases *)
+        let constraint_ = !"triage_s(k) - triage_t(k)" in
+        let mgr = Interaction_manager.Manager.create constraint_ in
+        let case1 = Workflow.start_case simple ~id:"c1" ~args:[ "k" ] in
+        let case2 = Workflow.start_case simple ~id:"c2" ~args:[ "k" ] in
+        let pool = Workitem.create ~manager:mgr ~users ~role_of [ case1; case2 ] in
+        let i1 =
+          List.find (fun i -> Workflow.case_id i.Workitem.case = "c1") (Workitem.items pool)
+        in
+        assert (Workitem.allocate pool ~user:"nina" i1 = Ok ());
+        assert (Workitem.start pool ~user:"nina" i1 = Ok ());
+        Workitem.refresh pool;
+        let i2 =
+          List.find (fun i -> Workflow.case_id i.Workitem.case = "c2") (Workitem.items pool)
+        in
+        check_bool "suspended" true (i2.Workitem.status = Workitem.Suspended);
+        check_bool "still visible (greyed)" true
+          (List.exists (fun i -> i == i2) (Workitem.worklist pool ~user:"nina"));
+        check_bool "cannot allocate" true (Workitem.allocate pool ~user:"nina" i2 <> Ok ()));
+    t "suspension lifts when the constraint allows again" (fun () ->
+        let constraint_ = !"mutex(triage_s(k) - triage_t(k))" in
+        let mgr = Interaction_manager.Manager.create constraint_ in
+        let case1 = Workflow.start_case simple ~id:"c1" ~args:[ "k" ] in
+        let case2 = Workflow.start_case simple ~id:"c2" ~args:[ "k" ] in
+        let pool = Workitem.create ~manager:mgr ~users ~role_of [ case1; case2 ] in
+        let item_of cid =
+          List.find
+            (fun i ->
+              Workflow.case_id i.Workitem.case = cid && i.Workitem.activity = "triage")
+            (Workitem.items pool)
+        in
+        let i1 = item_of "c1" in
+        assert (Workitem.allocate pool ~user:"nina" i1 = Ok ());
+        assert (Workitem.start pool ~user:"nina" i1 = Ok ());
+        Workitem.refresh pool;
+        check_bool "c2 suspended while c1 in triage" true
+          ((item_of "c2").Workitem.status = Workitem.Suspended);
+        assert (Workitem.complete pool ~user:"nina" i1 = Ok ());
+        (* complete refreshes the pool *)
+        check_bool "c2 offered again" true
+          ((item_of "c2").Workitem.status = Workitem.Offered))
+  ]
+
+let () =
+  Alcotest.run "workitem" [ ("lifecycle", lifecycle); ("coordinated", coordinated) ]

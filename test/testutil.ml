@@ -1,0 +1,115 @@
+(* Shared helpers and random generators for the test suites. *)
+
+open Interaction
+
+let names = [ "a"; "b"; "c" ]
+let vals = [ "1"; "2" ]
+let params_pool = [ "p"; "q" ]
+
+let ( ! ) s = Syntax.parse_exn s
+let w s = Syntax.parse_word_exn s
+let a1 s = Syntax.parse_action_exn s
+
+let verdict : Engine.verdict Alcotest.testable =
+  Alcotest.testable Semantics.pp_verdict ( = )
+
+let check_word ?(msg = "") e input expected =
+  let m = if msg = "" then Syntax.to_string e ^ " / " ^ input else msg in
+  Alcotest.check verdict m expected (Engine.word e (w input))
+
+let check_sem ?(msg = "") e input expected =
+  let m = if msg = "" then "sem: " ^ Syntax.to_string e ^ " / " ^ input else msg in
+  Alcotest.check verdict m expected (Semantics.word e (w input))
+
+let check_both ?msg e input expected =
+  check_word ?msg e input expected;
+  check_sem ?msg e input expected
+
+(* ------------------------------------------------------------------ *)
+(* Random expressions and words                                        *)
+(* ------------------------------------------------------------------ *)
+
+open QCheck
+
+let gen_arg bound =
+  let open Gen in
+  if bound = [] then map Action.value (oneofl vals)
+  else
+    frequency
+      [ (2, map Action.value (oneofl vals)); (3, map Action.param (oneofl bound)) ]
+
+let gen_atom bound =
+  let open Gen in
+  oneofl names >>= fun name ->
+  int_range 0 2 >>= fun n ->
+  list_repeat n (gen_arg bound) >>= fun args ->
+  return (Expr.Atom (Action.make name args))
+
+let gen_expr_depth max_depth : Expr.t Gen.t =
+  let open Gen in
+  let rec go depth bound =
+    if depth <= 0 then gen_atom bound
+    else
+      let sub = go (depth - 1) bound in
+      let quant mk =
+        oneofl params_pool >>= fun p ->
+        go (depth - 1) (p :: bound) >>= fun b -> return (mk p b)
+      in
+      frequency
+        [ (3, gen_atom bound);
+          (2, map2 (fun a b -> Expr.Seq (a, b)) sub sub);
+          (2, map2 (fun a b -> Expr.Par (a, b)) sub sub);
+          (2, map2 (fun a b -> Expr.Or (a, b)) sub sub);
+          (1, map2 (fun a b -> Expr.And (a, b)) sub sub);
+          (2, map2 (fun a b -> Expr.Sync (a, b)) sub sub);
+          (1, map (fun a -> Expr.Opt a) sub);
+          (2, map (fun a -> Expr.SeqIter a) sub);
+          (1, map (fun a -> Expr.ParIter a) sub);
+          (2, quant (fun p b -> Expr.SomeQ (p, b)));
+          (1, quant (fun p b -> Expr.AllQ (p, b)));
+          (1, quant (fun p b -> Expr.SyncQ (p, b)));
+          (1, quant (fun p b -> Expr.AndQ (p, b)))
+        ]
+  in
+  go max_depth []
+
+let expr_arb ?(max_depth = 3) () =
+  QCheck.make ~print:Syntax.to_string (gen_expr_depth max_depth)
+
+(* Ground actions matching the expression's alphabet patterns, obtained by
+   instantiating parameter positions with small values (so random words have
+   a decent chance of being accepted). *)
+let universe_of (e : Expr.t) : Action.concrete list =
+  let fills = vals @ [ "3" ] in
+  let rec inst = function
+    | [] -> [ [] ]
+    | Alpha.Val v :: rest -> List.map (fun t -> v :: t) (inst rest)
+    | (Alpha.Bound _ | Alpha.Free _) :: rest ->
+      let tails = inst rest in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) tails) fills
+  in
+  Alpha.of_expr e
+  |> List.concat_map (fun (pat : Alpha.pattern) ->
+         List.map (fun args -> Action.conc pat.Alpha.pname args) (inst pat.Alpha.pargs))
+  |> List.sort_uniq Action.compare_concrete
+
+let gen_word_for (e : Expr.t) ~max_len : Action.concrete list Gen.t =
+  let open Gen in
+  match universe_of e with
+  | [] -> return []
+  | universe ->
+    int_range 0 max_len >>= fun n -> list_repeat n (oneofl universe)
+
+let expr_word_arb ?(max_depth = 3) ?(max_len = 4) () =
+  let gen =
+    let open Gen in
+    gen_expr_depth max_depth >>= fun e ->
+    gen_word_for e ~max_len >>= fun w -> return (e, w)
+  in
+  let print (e, w) =
+    Printf.sprintf "%s  /  %s" (Syntax.to_string e)
+      (String.concat " " (List.map Action.concrete_to_string w))
+  in
+  QCheck.make ~print gen
+
+let to_alcotest = QCheck_alcotest.to_alcotest
