@@ -74,8 +74,11 @@ let command env line =
   | "force" ->
     with_session env (fun s ->
         with_action rest (fun a ->
+            let was_alive = Engine.is_alive s in
             if Engine.force s a then out "executed"
-            else out "executed — the session is now dead (constraint violated)"))
+            else if was_alive then
+              out "executed — the session is now dead (constraint violated)"
+            else out "ignored — the session is dead (reset to continue)"))
   | "permitted" ->
     with_session env (fun s ->
         let alphabet = Language.concrete_alphabet (Engine.expr s) in

@@ -18,7 +18,7 @@ let pattern_of_action env (a : Action.t) =
   in
   { pname = a.Action.name; pargs = List.map classify a.Action.args }
 
-let of_expr e =
+let of_expr_uncached e =
   (* Each quantifier gets a distinct binder number so that repeated
      occurrences of its parameter stay correlated inside a pattern. *)
   let counter = ref 0 in
@@ -37,6 +37,37 @@ let of_expr e =
       go acc ((p, !counter) :: env) y
   in
   List.rev (go [] [] e)
+
+(* Alphabet extraction is pure, and the same (sub)expressions are queried at
+   every transition of sequences, iterations and quantifier templates, so
+   the result is memoized per expression.  The cache is keyed structurally:
+   two equal expressions share one entry. *)
+let memoize = ref true
+let set_memoization b = memoize := b
+let memoization () = !memoize
+
+(* Expressions produced by quantifier materialization differ only in the
+   parameter value buried deep in the tree; the default shallow
+   [Hashtbl.hash] would land them all in one bucket, so hash with a deeper
+   traversal bound. *)
+module ExprTbl = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash e = Hashtbl.hash_param 256 1024 e
+end)
+
+let of_expr_tbl : t ExprTbl.t = ExprTbl.create 64
+
+let of_expr e =
+  if not !memoize then of_expr_uncached e
+  else
+    match ExprTbl.find_opt of_expr_tbl e with
+    | Some alpha -> alpha
+    | None ->
+      let alpha = of_expr_uncached e in
+      ExprTbl.add of_expr_tbl e alpha;
+      alpha
 
 (* Match a pattern against a concrete action.  [Bound] positions may take
    any value but must agree across positions with the same binder; [Free]
@@ -73,13 +104,20 @@ let pattern_match ?bindp pat (c : Action.concrete) : Action.value option option 
 
 let mem alpha c = List.exists (fun pat -> pattern_match pat c <> None) alpha
 
+module SSet = Set.Make (String)
+
+(* First-match order is part of the contract (quantifier materialization
+   enumerates candidates in pattern order); the membership test uses a set
+   so a burst of matching patterns stays O(n log n) instead of O(n²). *)
 let candidates p alpha c =
-  let add acc pat =
-    match pattern_match ~bindp:p pat c with
-    | Some (Some v) when not (List.mem v acc) -> v :: acc
-    | Some (Some _) | Some None | None -> acc
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | pat :: rest -> (
+      match pattern_match ~bindp:p pat c with
+      | Some (Some v) when not (SSet.mem v seen) -> go (SSet.add v seen) (v :: acc) rest
+      | Some (Some _) | Some None | None -> go seen acc rest)
   in
-  List.rev (List.fold_left add [] alpha)
+  go SSet.empty [] alpha
 
 let subst p v alpha =
   let sub_arg = function

@@ -30,7 +30,15 @@ type pattern = {
 type t = pattern list
 
 val of_expr : Expr.t -> t
-(** Alphabet patterns of an expression, deduplicated. *)
+(** Alphabet patterns of an expression, deduplicated.  Results are memoized
+    per expression (see {!set_memoization}). *)
+
+val set_memoization : bool -> unit
+(** Enable/disable the {!of_expr} cache.  On by default; switched off only
+    by the experiment harness (via [State.set_memoization]) to measure the
+    cache's effect. *)
+
+val memoization : unit -> bool
 
 val mem : t -> Action.concrete -> bool
 (** [mem alpha c] — does the concrete action [c] belong to the (expanded)

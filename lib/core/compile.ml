@@ -9,11 +9,14 @@ let compile ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
   let alphabet = Array.of_list (Language.concrete_alphabet ?values e) in
   let symbol_of : (Action.concrete, int) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri (fun i a -> Hashtbl.replace symbol_of a i) alphabet;
-  let seen : (State.t, int) Hashtbl.t = Hashtbl.create 256 in
+  (* Rows are deduplicated by hash-cons id — no polymorphic hashing of
+     state trees.  Queued and stored states are strongly referenced, so
+     their (weakly hash-consed) ids stay stable for the whole build. *)
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let rows = ref [] in
   let queue = Queue.create () in
   let init = State.init e in
-  Hashtbl.add seen init 0;
+  Hashtbl.add seen (State.id init) 0;
   Queue.add (0, init) queue;
   let next_id = ref 1 in
   let ok = ref true in
@@ -28,14 +31,14 @@ let compile ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
             match State.trans s a with
             | None -> ()
             | Some s' -> (
-              match Hashtbl.find_opt seen s' with
+              match Hashtbl.find_opt seen (State.id s') with
               | Some id' -> row.(sym) <- id'
               | None ->
                 if !next_id >= max_states then ok := false
                 else begin
                   let id' = !next_id in
                   incr next_id;
-                  Hashtbl.add seen s' id';
+                  Hashtbl.add seen (State.id s') id';
                   Queue.add (id', s') queue;
                   row.(sym) <- id'
                 end))

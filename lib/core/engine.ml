@@ -14,23 +14,46 @@ type session = {
   sexpr : Expr.t;
   mutable state : State.t option;
   mutable rev_trace : Action.concrete list;
+  (* one-slot tentative-successor cache: the Fig. 9 grant loop asks
+     [permitted c] and then commits with [try_action c]; remembering the
+     successor computed by the tentative query makes that pattern perform
+     one transition instead of two. *)
+  mutable tentative : (State.t * Action.concrete * State.t option) option;
 }
 
-let create e = { sexpr = e; state = Some (State.init e); rev_trace = [] }
+(* Switchable only for the experiment harness's before/after table. *)
+let successor_cache = ref true
+let set_successor_cache b = successor_cache := b
+let successor_cache_enabled () = !successor_cache
+
+let create e = { sexpr = e; state = Some (State.init e); rev_trace = []; tentative = None }
 let expr s = s.sexpr
+
+(* τ̂ with the one-slot cache: reuse the successor when the query repeats
+   the cached (state, action) pair; otherwise compute and remember it. *)
+let tentative_trans s st c =
+  match s.tentative with
+  | Some (st0, c0, succ)
+    when !successor_cache && State.equal st0 st && Action.equal_concrete c0 c ->
+    succ
+  | _ ->
+    let succ = State.trans st c in
+    if !successor_cache then s.tentative <- Some (st, c, succ);
+    succ
 
 let permitted s c =
   match s.state with
   | None -> false
-  | Some st -> State.trans st c <> None
+  | Some st -> tentative_trans s st c <> None
 
 let try_action s c =
   match s.state with
   | None -> false
   | Some st -> (
-    match State.trans st c with
+    match tentative_trans s st c with
     | Some st' ->
       s.state <- Some st';
+      s.tentative <- None;
       s.rev_trace <- c :: s.rev_trace;
       true
     | None -> false)
@@ -41,10 +64,17 @@ let is_final s = match s.state with Some st -> State.final st | None -> false
 let is_alive s = s.state <> None
 
 let force s c =
-  let next = match s.state with None -> None | Some st -> State.trans st c in
-  s.state <- next;
-  s.rev_trace <- c :: s.rev_trace;
-  next <> None
+  (* A dead session stays dead and its trace untouched: the trace lists
+     actions some state actually consumed, and the null state consumes
+     nothing. *)
+  match s.state with
+  | None -> false
+  | Some st ->
+    let next = tentative_trans s st c in
+    s.state <- next;
+    s.tentative <- None;
+    s.rev_trace <- c :: s.rev_trace;
+    next <> None
 
 let trace s = List.rev s.rev_trace
 let state_size s = match s.state with Some st -> State.size st | None -> 0
@@ -83,11 +113,14 @@ let load str =
     in
     { sexpr = Expr.of_sexp expr;
       state;
-      rev_trace = List.rev_map Action.concrete_of_sexp trace }
+      rev_trace = List.rev_map Action.concrete_of_sexp trace;
+      tentative = None }
   | Ok _ -> invalid_arg "Engine.load: malformed session"
 
 let reset s =
   s.state <- Some (State.init s.sexpr);
+  s.tentative <- None;
   s.rev_trace <- []
 
-let copy s = { sexpr = s.sexpr; state = s.state; rev_trace = s.rev_trace }
+let copy s =
+  { sexpr = s.sexpr; state = s.state; rev_trace = s.rev_trace; tentative = s.tentative }

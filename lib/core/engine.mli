@@ -29,12 +29,16 @@ val expr : session -> Expr.t
 
 val permitted : session -> Action.concrete -> bool
 (** Tentative transition: would the action be accepted now?  Does not
-    change the session. *)
+    change the session.  The computed successor is kept in a one-slot
+    cache, so a following {!try_action} (or {!force}) of the same action
+    commits it without recomputing the transition — the Fig. 9 grant loop
+    performs exactly one transition per granted action. *)
 
 val try_action : session -> Action.concrete -> bool
 (** Fig. 9's [action()] loop body: perform a tentative transition; on
     success commit it and return [true], otherwise leave the state
-    unchanged and return [false]. *)
+    unchanged and return [false].  Reuses the successor cached by a
+    preceding {!permitted} of the same action. *)
 
 val feed : session -> Action.concrete list -> Action.concrete list
 (** Try each action in order; returns the rejected ones. *)
@@ -49,7 +53,9 @@ val is_alive : session -> bool
 val force : session -> Action.concrete -> bool
 (** Perform the transition even if it invalidates the state (models a
     client executing an action without permission — the "waterproofness"
-    experiments need this).  Returns [false] if the session died. *)
+    experiments need this).  Returns [false] if the session died.  On an
+    already-dead session this is a no-op returning [false]: the trace is
+    not extended, since no state consumed the action. *)
 
 val trace : session -> Action.concrete list
 (** Accepted actions so far, in execution order. *)
@@ -64,6 +70,13 @@ val reset : session -> unit
 
 val copy : session -> session
 (** Independent snapshot of the session. *)
+
+val set_successor_cache : bool -> unit
+(** Enable/disable the one-slot tentative-successor cache (on by default).
+    Only the experiment harness switches it off, to measure the
+    permitted → try_action path with and without the cache. *)
+
+val successor_cache_enabled : unit -> bool
 
 (** {1 Persistence} *)
 

@@ -38,12 +38,13 @@ let concrete_alphabet ?values e =
    the successor list is complete (a dropped edge or an unexpanded oversized
    state makes it incomplete), and whether any bound was hit. *)
 let reachable ~max_states ~max_state_size ~alphabet init_state =
-  let seen : (State.t, int) Hashtbl.t = Hashtbl.create 256 in
+  (* states are deduplicated by hash-cons id: no tree hashing involved *)
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
   (* states are numbered in discovery order; successors collected per state *)
   let store = ref [] in
   let truncated = ref false in
   let queue = Queue.create () in
-  Hashtbl.add seen init_state 0;
+  Hashtbl.add seen (State.id init_state) 0;
   Queue.add (0, init_state) queue;
   let next_id = ref 1 in
   while not (Queue.is_empty queue) do
@@ -60,7 +61,7 @@ let reachable ~max_states ~max_state_size ~alphabet init_state =
           match State.trans s a with
           | None -> ()
           | Some s' -> (
-            match Hashtbl.find_opt seen s' with
+            match Hashtbl.find_opt seen (State.id s') with
             | Some id' -> out := id' :: !out
             | None ->
               if !next_id >= max_states then begin
@@ -70,7 +71,7 @@ let reachable ~max_states ~max_state_size ~alphabet init_state =
               else (
                 let id' = !next_id in
                 incr next_id;
-                Hashtbl.add seen s' id';
+                Hashtbl.add seen (State.id s') id';
                 Queue.add (id', s') queue;
                 out := id' :: !out)))
         alphabet;
@@ -128,13 +129,18 @@ let product_search ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e1 
     List.sort_uniq Action.compare_concrete
       (concrete_alphabet ?values e1 @ concrete_alphabet ?values e2)
   in
-  let module Key = struct
-    type t = State.t option * State.t option
-  end in
-  let seen : (Key.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Pairs are deduplicated by hash-cons ids (-1 encodes the null state).
+     The table's values hold the states themselves so the weakly-held
+     hash-cons entries stay live (and their ids stable) for the whole
+     search. *)
+  let key_of (s1, s2) =
+    let k = function Some s -> State.id s | None -> -1 in
+    (k s1, k s2)
+  in
+  let seen : (int * int, State.t option * State.t option) Hashtbl.t = Hashtbl.create 256 in
   let queue = Queue.create () in
   let start = (Some (State.init e1), Some (State.init e2)) in
-  Hashtbl.add seen start ();
+  Hashtbl.add seen (key_of start) start;
   Queue.add (start, []) queue;
   let result = ref None in
   let count = ref 1 in
@@ -157,16 +163,16 @@ let product_search ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e1 
            (fun a ->
              let t1 = Option.bind s1 (fun s -> State.trans s a) in
              let t2 = Option.bind s2 (fun s -> State.trans s a) in
-             let key = (t1, t2) in
+             let pair = (t1, t2) in
              (* both dead: every extension agrees; prune *)
              if (t1 <> None || t2 <> None || verdict t1 <> verdict t2)
-                && not (Hashtbl.mem seen key)
+                && not (Hashtbl.mem seen (key_of pair))
              then
                if !count >= max_states then truncated := true
                else (
                  incr count;
-                 Hashtbl.add seen key ();
-                 Queue.add (key, a :: rev_word) queue))
+                 Hashtbl.add seen (key_of pair) pair;
+                 Queue.add (pair, a :: rev_word) queue))
            alphabet
      done
    with Exit -> ());
@@ -183,10 +189,11 @@ let equivalent ?max_states ?max_state_size ?values e1 e2 =
 
 let shortest_complete ?(max_states = 10_000) ?(max_state_size = 10_000) ?values e =
   let alphabet = concrete_alphabet ?values e in
-  let seen : (State.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* id-keyed; values keep the states live so ids stay stable (see above) *)
+  let seen : (int, State.t) Hashtbl.t = Hashtbl.create 256 in
   let queue = Queue.create () in
   let init = State.init e in
-  Hashtbl.add seen init ();
+  Hashtbl.add seen (State.id init) init;
   Queue.add (init, []) queue;
   let result = ref None in
   let count = ref 1 in
@@ -203,9 +210,9 @@ let shortest_complete ?(max_states = 10_000) ?(max_state_size = 10_000) ?values 
              match State.trans s a with
              | None -> ()
              | Some s' ->
-               if (not (Hashtbl.mem seen s')) && !count < max_states then begin
+               if (not (Hashtbl.mem seen (State.id s'))) && !count < max_states then begin
                  incr count;
-                 Hashtbl.add seen s' ();
+                 Hashtbl.add seen (State.id s') s';
                  Queue.add (s', a :: rev_word) queue
                end)
            alphabet

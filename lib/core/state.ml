@@ -2,9 +2,23 @@
    valid (ψ holds); τ̂ returns None for the null state, so alternative sets
    only ever contain valid substates (the paper's ρ, fused into τ).  All
    alternative sets are kept sorted and deduplicated so that structurally
-   equal states compare equal. *)
+   equal states compare equal.
 
-type t =
+   Representation: states are hash-consed.  Every constructed state carries
+   a unique id, a precomputed structural hash and a memoized finality bit;
+   structurally equal states are physically equal, so {!equal} is pointer
+   equality and {!compare} is an integer comparison on ids.  ρ's
+   sort-and-dedup of alternative sets therefore never walks state trees —
+   it orders alternatives by id. *)
+
+type t = {
+  id : int;  (* unique per live state; compare/equal key *)
+  hkey : int;  (* structural hash, memoized *)
+  fin : bool;  (* φ, memoized *)
+  node : node;
+}
+
+and node =
   | SAtom of {
       pat : Action.t;
       consumed : bool;
@@ -17,17 +31,20 @@ type t =
       left : t option;  (* walker still inside y; None once y is dead *)
       rights : t list;  (* one state of z per surviving crossover point *)
       zexpr : Expr.t;
+      zinit : t;  (* σ(zexpr), derived: not part of the structural identity *)
       zempty : bool;  (* ⟨⟩ ∈ Φ(z) *)
     }
   | SSeqIter of {
       actives : t list;  (* current-iteration states, one per crossover *)
       fresh : bool;  (* zero completed actions: ⟨⟩ accepted *)
       yexpr : Expr.t;
+      yinit : t;  (* σ(yexpr), derived *)
     }
   | SPar of { alts : (t * t) list }  (* the paper's [‖, A] *)
   | SParIter of {
       alts : t list list;  (* alternatives of walker multisets *)
       yexpr : Expr.t;
+      yinit : t;  (* σ(yexpr), derived *)
     }
   | SOr of {
       left : t option;
@@ -56,6 +73,7 @@ type t =
       alts : all_alt list;
       body : Expr.t;
       balpha : Alpha.t;
+      template : t;  (* σ(body), derived: the pristine anonymous walker *)
       empty_final : bool;  (* ⟨⟩ ∈ Φ(body) — required of untouched instances *)
     }
   | SSyncQ of {
@@ -78,8 +96,153 @@ and all_alt = {
   anon : t list;  (* walkers whose instance value is still fresh *)
 }
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a == b
+let id s = s.id
+let hash s = s.hkey
+
+(* The structural hash is derived only from structure (children contribute
+   their own memoized hashes, embedded expressions and alphabets their
+   bounded polymorphic hash), so it is stable across processes — unlike
+   ids, which are assigned in construction order. *)
+let mix h x = ((h * 1000003) lxor x) land max_int
+let hfold hx h xs = List.fold_left (fun h x -> mix h (hx x)) h xs
+let hbool b = if b then 0x2f else 0x35
+let hstate s = s.hkey
+let hopt = function Some s -> mix 0x11 s.hkey | None -> 0x6b
+let hinst (v, s) = mix (Hashtbl.hash v) s.hkey
+
+(* Derived fields (zinit/yinit/SAll.template) are memo caches determined by
+   the expression fields, so they take no part in the structural identity —
+   neither here nor in [node_equal].  Embedded expressions and alphabets are
+   not hashed either: they are fixed per expression position, so the
+   children's memoized hashes already discriminate, and hashing an
+   expression tree on every construction would dominate [mk].  [node_equal]
+   still compares them structurally, so a collision stays only a collision. *)
+let node_hash = function
+  | SAtom { pat; consumed } -> mix (mix 1 (Hashtbl.hash pat)) (hbool consumed)
+  | SOpt { body; fresh } -> mix (mix 2 body.hkey) (hbool fresh)
+  | SSeq { left; rights; zempty; _ } ->
+    mix (hfold hstate (mix 3 (hopt left)) rights) (hbool zempty)
+  | SSeqIter { actives; fresh; _ } -> mix (hfold hstate 4 actives) (hbool fresh)
+  | SPar { alts } -> hfold (fun (l, r) -> mix l.hkey r.hkey) 5 alts
+  | SParIter { alts; _ } -> hfold (fun ws -> hfold hstate 0x17 ws) 6 alts
+  | SOr { left; right } -> mix (mix 7 (hopt left)) (hopt right)
+  | SAnd { left; right } -> mix (mix 8 left.hkey) right.hkey
+  | SSync { left; right; _ } -> mix (mix 9 left.hkey) right.hkey
+  | SSome { param; insts; dead; template; _ } ->
+    let h = hfold hinst (mix 10 (Hashtbl.hash param)) insts in
+    mix (hfold Hashtbl.hash h dead) (hopt template)
+  | SAll { param; alts; empty_final; _ } ->
+    let halt { bound; anon } = hfold hstate (hfold hinst 0x1d bound) anon in
+    mix (hfold halt (mix 11 (Hashtbl.hash param)) alts) (hbool empty_final)
+  | SSyncQ { param; insts; template; _ } ->
+    mix (hfold hinst (mix 12 (Hashtbl.hash param)) insts) template.hkey
+  | SAndQ { param; insts; template; _ } ->
+    mix (hfold hinst (mix 13 (Hashtbl.hash param)) insts) template.hkey
+
+(* Children are already hash-consed, so they are compared by pointer;
+   expressions and alphabets are plain trees and compared structurally
+   (they are small, and only inspected when the hashes already agree). *)
+let opt_eq a b =
+  match (a, b) with
+  | Some x, Some y -> x == y
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let list_eq l1 l2 = List.equal ( == ) l1 l2
+let insts_eq l1 l2 = List.equal (fun (v, s) (w, u) -> String.equal v w && s == u) l1 l2
+let struct_eq a b = Stdlib.compare a b = 0
+
+let node_equal n1 n2 =
+  match (n1, n2) with
+  | SAtom a, SAtom b -> a.consumed = b.consumed && struct_eq a.pat b.pat
+  | SOpt a, SOpt b -> a.body == b.body && a.fresh = b.fresh
+  | SSeq a, SSeq b ->
+    a.zempty = b.zempty && opt_eq a.left b.left && list_eq a.rights b.rights
+    && struct_eq a.zexpr b.zexpr
+  | SSeqIter a, SSeqIter b ->
+    a.fresh = b.fresh && list_eq a.actives b.actives && struct_eq a.yexpr b.yexpr
+  | SPar a, SPar b -> List.equal (fun (l, r) (l', r') -> l == l' && r == r') a.alts b.alts
+  | SParIter a, SParIter b ->
+    List.equal list_eq a.alts b.alts && struct_eq a.yexpr b.yexpr
+  | SOr a, SOr b -> opt_eq a.left b.left && opt_eq a.right b.right
+  | SAnd a, SAnd b -> a.left == b.left && a.right == b.right
+  | SSync a, SSync b ->
+    a.left == b.left && a.right == b.right && struct_eq a.la b.la && struct_eq a.ra b.ra
+  | SSome a, SSome b ->
+    String.equal a.param b.param && insts_eq a.insts b.insts
+    && List.equal String.equal a.dead b.dead
+    && opt_eq a.template b.template && struct_eq a.body b.body
+    && struct_eq a.balpha b.balpha
+  | SAll a, SAll b ->
+    String.equal a.param b.param && a.empty_final = b.empty_final
+    && List.equal
+         (fun x y -> insts_eq x.bound y.bound && list_eq x.anon y.anon)
+         a.alts b.alts
+    && struct_eq a.body b.body && struct_eq a.balpha b.balpha
+  | SSyncQ a, SSyncQ b ->
+    String.equal a.param b.param && insts_eq a.insts b.insts && a.template == b.template
+    && struct_eq a.body b.body && struct_eq a.balpha b.balpha
+  | SAndQ a, SAndQ b ->
+    String.equal a.param b.param && insts_eq a.insts b.insts && a.template == b.template
+    && struct_eq a.body b.body && struct_eq a.balpha b.balpha
+  | ( ( SAtom _ | SOpt _ | SSeq _ | SSeqIter _ | SPar _ | SParIter _ | SOr _ | SAnd _
+      | SSync _ | SSome _ | SAll _ | SAndQ _ | SSyncQ _ ),
+      _ ) ->
+    false
+
+(* φ from the memoized finality of the children: O(width of this node). *)
+let node_final = function
+  | SAtom { consumed; _ } -> consumed
+  | SOpt { body; fresh } -> fresh || body.fin
+  | SSeq { left; rights; zempty; _ } ->
+    (match left with Some l -> zempty && l.fin | None -> false)
+    || List.exists (fun r -> r.fin) rights
+  | SSeqIter { actives; fresh; _ } -> fresh || List.exists (fun a -> a.fin) actives
+  | SPar { alts } -> List.exists (fun (l, r) -> l.fin && r.fin) alts
+  | SParIter { alts; _ } -> List.exists (List.for_all (fun w -> w.fin)) alts
+  | SOr { left; right } ->
+    (match left with Some l -> l.fin | None -> false)
+    || (match right with Some r -> r.fin | None -> false)
+  | SAnd { left; right } | SSync { left; right; _ } -> left.fin && right.fin
+  | SSome { insts; template; _ } ->
+    List.exists (fun (_, s) -> s.fin) insts
+    || (match template with Some t -> t.fin | None -> false)
+  | SAll { alts; empty_final; _ } ->
+    empty_final
+    && List.exists
+         (fun { bound; anon } ->
+           List.for_all (fun (_, s) -> s.fin) bound && List.for_all (fun s -> s.fin) anon)
+         alts
+  | SSyncQ { insts; template; _ } | SAndQ { insts; template; _ } ->
+    List.for_all (fun (_, s) -> s.fin) insts && template.fin
+
+module WeakTbl = Weak.Make (struct
+  type nonrec t = t
+
+  let hash s = s.hkey
+  let equal a b = node_equal a.node b.node
+end)
+
+let table = WeakTbl.create 4096
+let counter = ref 0
+
+(* The single constructor: every state in the system goes through [mk].
+   The table holds states weakly, so unreachable states are reclaimed by
+   the GC; ids are never reused. *)
+let mk node =
+  incr counter;
+  let candidate = { id = !counter; hkey = node_hash node; fin = node_final node; node } in
+  WeakTbl.merge table candidate
+
+let live_states () = WeakTbl.count table
+
+let final s = s.fin
 
 (* Canonicalization (part of ρ): sort alternative sets and merge duplicates.
    Switchable only to let the experiment harness measure its effect. *)
@@ -87,172 +250,278 @@ let canonicalize = ref true
 let set_canonicalization b = canonicalize := b
 let canonicalization () = !canonicalize
 
+(* Memoization of derived structures (initial states, instance
+   materialization, alphabets).  Switchable only for the before/after
+   measurements of the experiment harness. *)
+let memoize = ref true
+
+let set_memoization b =
+  memoize := b;
+  Alpha.set_memoization b
+
+let memoization () = !memoize
+
+let cmp_inst (v, s) (w, u) =
+  let c = String.compare v w in
+  if c <> 0 then c else compare s u
+
+let cmp_pair (l, r) (l', r') =
+  let c = compare l l' in
+  if c <> 0 then c else compare r r'
+
+let cmp_states = List.compare compare
+
+let cmp_all_alt a b =
+  let c = List.compare cmp_inst a.bound b.bound in
+  if c <> 0 then c else cmp_states a.anon b.anon
+
 let sort_states l = if !canonicalize then List.sort_uniq compare l else l
-let sort_insts insts =
-  if !canonicalize then
-    List.sort_uniq (fun (v, s) (w, t) -> Stdlib.compare (v, s) (w, t)) insts
-  else insts
+let sort_insts insts = if !canonicalize then List.sort_uniq cmp_inst insts else insts
+let sort_pairs alts = if !canonicalize then List.sort_uniq cmp_pair alts else alts
+let sort_multisets alts = if !canonicalize then List.sort_uniq cmp_states alts else alts
+
 let canon_alt { bound; anon } =
   if !canonicalize then { bound = sort_insts bound; anon = List.sort compare anon }
   else { bound; anon }
-let sort_alts alts = if !canonicalize then List.sort_uniq Stdlib.compare alts else alts
+
+let sort_all_alts alts = if !canonicalize then List.sort_uniq cmp_all_alt alts else alts
+
+(* ------------------------------------------------------------------ *)
+(* Initial states                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* σ is pure and queried on the same right/body subexpressions at every
+   transition of sequences, iterations and quantifiers, so it is memoized
+   per expression (structural key: equal subexpressions share an entry).
+   Substituted bodies differ only in parameter values buried deep in the
+   tree, so the default shallow [Hashtbl.hash] would put them all in one
+   bucket; the deeper traversal bound keeps the table O(1). *)
+module ExprTbl = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash e = Hashtbl.hash_param 256 1024 e
+end)
+
+let init_tbl : t ExprTbl.t = ExprTbl.create 64
 
 let rec init (e : Expr.t) : t =
-  match e with
-  | Expr.Atom a -> SAtom { pat = a; consumed = false }
-  | Expr.Opt y -> SOpt { body = init y; fresh = true }
-  | Expr.Seq (y, z) ->
-    SSeq { left = Some (init y); rights = []; zexpr = z; zempty = final (init z) }
-  | Expr.SeqIter y -> SSeqIter { actives = [ init y ]; fresh = true; yexpr = y }
-  | Expr.Par (y, z) -> SPar { alts = [ (init y, init z) ] }
-  | Expr.ParIter y -> SParIter { alts = [ [] ]; yexpr = y }
-  | Expr.Or (y, z) -> SOr { left = Some (init y); right = Some (init z) }
-  | Expr.And (y, z) -> SAnd { left = init y; right = init z }
-  | Expr.Sync (y, z) ->
-    SSync { left = init y; right = init z; la = Alpha.of_expr y; ra = Alpha.of_expr z }
-  | Expr.SomeQ (p, y) ->
-    SSome
-      { param = p; insts = []; dead = []; template = Some (init y); body = y;
-        balpha = Alpha.of_expr y }
-  | Expr.AllQ (p, y) ->
-    SAll
-      { param = p; alts = [ { bound = []; anon = [] } ]; body = y;
-        balpha = Alpha.of_expr y; empty_final = final (init y) }
-  | Expr.SyncQ (p, y) ->
-    SSyncQ { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y }
-  | Expr.AndQ (p, y) ->
-    SAndQ { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y }
+  if not !memoize then init_uncached e
+  else
+    match ExprTbl.find_opt init_tbl e with
+    | Some s -> s
+    | None ->
+      let s = init_uncached e in
+      ExprTbl.add init_tbl e s;
+      s
 
-and final : t -> bool = function
-  | SAtom { consumed; _ } -> consumed
-  | SOpt { body; fresh } -> fresh || final body
-  | SSeq { left; rights; zempty; _ } ->
-    (match left with Some l -> zempty && final l | None -> false)
-    || List.exists final rights
-  | SSeqIter { actives; fresh; _ } -> fresh || List.exists final actives
-  | SPar { alts } -> List.exists (fun (l, r) -> final l && final r) alts
-  | SParIter { alts; _ } -> List.exists (List.for_all final) alts
-  | SOr { left; right } ->
-    (match left with Some l -> final l | None -> false)
-    || (match right with Some r -> final r | None -> false)
-  | SAnd { left; right } -> final left && final right
-  | SSync { left; right; _ } -> final left && final right
-  | SSome { insts; template; _ } ->
-    List.exists (fun (_, s) -> final s) insts
-    || (match template with Some t -> final t | None -> false)
-  | SAll { alts; empty_final; _ } ->
-    empty_final
-    && List.exists
-         (fun { bound; anon } ->
-           List.for_all (fun (_, s) -> final s) bound && List.for_all final anon)
-         alts
-  | SSyncQ { insts; template; _ } | SAndQ { insts; template; _ } ->
-    List.for_all (fun (_, s) -> final s) insts && final template
+and init_uncached (e : Expr.t) : t =
+  match e with
+  | Expr.Atom a -> mk (SAtom { pat = a; consumed = false })
+  | Expr.Opt y -> mk (SOpt { body = init y; fresh = true })
+  | Expr.Seq (y, z) ->
+    let zi = init z in
+    mk (SSeq { left = Some (init y); rights = []; zexpr = z; zinit = zi; zempty = zi.fin })
+  | Expr.SeqIter y ->
+    let yi = init y in
+    mk (SSeqIter { actives = [ yi ]; fresh = true; yexpr = y; yinit = yi })
+  | Expr.Par (y, z) -> mk (SPar { alts = [ (init y, init z) ] })
+  | Expr.ParIter y -> mk (SParIter { alts = [ [] ]; yexpr = y; yinit = init y })
+  | Expr.Or (y, z) -> mk (SOr { left = Some (init y); right = Some (init z) })
+  | Expr.And (y, z) -> mk (SAnd { left = init y; right = init z })
+  | Expr.Sync (y, z) ->
+    mk (SSync { left = init y; right = init z; la = Alpha.of_expr y; ra = Alpha.of_expr z })
+  | Expr.SomeQ (p, y) ->
+    mk
+      (SSome
+         { param = p; insts = []; dead = []; template = Some (init y); body = y;
+           balpha = Alpha.of_expr y })
+  | Expr.AllQ (p, y) ->
+    let tpl = init y in
+    mk
+      (SAll
+         { param = p; alts = [ { bound = []; anon = [] } ]; body = y;
+           balpha = Alpha.of_expr y; template = tpl; empty_final = tpl.fin })
+  | Expr.SyncQ (p, y) ->
+    mk
+      (SSyncQ
+         { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y })
+  | Expr.AndQ (p, y) ->
+    mk
+      (SAndQ
+         { param = p; insts = []; template = init y; body = y; balpha = Alpha.of_expr y })
+
+(* ------------------------------------------------------------------ *)
+(* Instance materialization                                            *)
+(* ------------------------------------------------------------------ *)
 
 (* Capture-aware substitution of a value for a parameter inside a state.
-   Used when a quantifier materializes an instance from its template. *)
+   Used when a quantifier materializes an instance from its template.
+   Materializing the same value from the same (hash-consed) template is
+   the common case — quantifier transitions re-derive candidate instances
+   on every action — so results are memoized per (state id, param, value). *)
+let subst_tbl : (int * Action.param * Action.value, t) Hashtbl.t = Hashtbl.create 256
+
+(* Entries hold states strongly; the cap bounds that retention (and the GC
+   marking work it causes).  A flush only costs recomputation. *)
+let subst_tbl_cap = 1 lsl 16
+
 let rec subst_state p v (s : t) : t =
+  if not (!memoize && !canonicalize) then subst_uncached p v s
+  else
+    let key = (s.id, p, v) in
+    match Hashtbl.find_opt subst_tbl key with
+    | Some r -> r
+    | None ->
+      if Hashtbl.length subst_tbl >= subst_tbl_cap then Hashtbl.reset subst_tbl;
+      let r = subst_uncached p v s in
+      Hashtbl.add subst_tbl key r;
+      r
+
+and subst_uncached p v (s : t) : t =
   let sub = subst_state p v in
   let sub_expr = Expr.subst p v in
-  match s with
-  | SAtom { pat; consumed } -> SAtom { pat = Action.subst p v pat; consumed }
-  | SOpt { body; fresh } -> SOpt { body = sub body; fresh }
-  | SSeq { left; rights; zexpr; zempty } ->
-    SSeq
-      { left = Option.map sub left; rights = sort_states (List.map sub rights);
-        zexpr = sub_expr zexpr; zempty }
-  | SSeqIter { actives; fresh; yexpr } ->
-    SSeqIter { actives = sort_states (List.map sub actives); fresh; yexpr = sub_expr yexpr }
-  | SPar { alts } -> SPar { alts = sort_alts (List.map (fun (l, r) -> (sub l, sub r)) alts) }
-  | SParIter { alts; yexpr } ->
-    SParIter
-      { alts = sort_alts (List.map (fun ws -> List.sort compare (List.map sub ws)) alts);
-        yexpr = sub_expr yexpr }
-  | SOr { left; right } -> SOr { left = Option.map sub left; right = Option.map sub right }
-  | SAnd { left; right } -> SAnd { left = sub left; right = sub right }
+  match s.node with
+  | SAtom { pat; consumed } -> mk (SAtom { pat = Action.subst p v pat; consumed })
+  | SOpt { body; fresh } -> mk (SOpt { body = sub body; fresh })
+  | SSeq { left; rights; zexpr; zinit; zempty } ->
+    (* Substitution commutes with σ (it never changes the shape, only atom
+       arguments), so the derived initial states are substituted directly —
+       an id-keyed memo hit — instead of re-deriving σ from the substituted
+       expression, which would hash whole expression trees. *)
+    mk
+      (SSeq
+         { left = Option.map sub left; rights = sort_states (List.map sub rights);
+           zexpr = sub_expr zexpr; zinit = sub zinit; zempty })
+  | SSeqIter { actives; fresh; yexpr; yinit } ->
+    mk
+      (SSeqIter
+         { actives = sort_states (List.map sub actives); fresh; yexpr = sub_expr yexpr;
+           yinit = sub yinit })
+  | SPar { alts } ->
+    mk (SPar { alts = sort_pairs (List.map (fun (l, r) -> (sub l, sub r)) alts) })
+  | SParIter { alts; yexpr; yinit } ->
+    mk
+      (SParIter
+         { alts =
+             sort_multisets (List.map (fun ws -> List.sort compare (List.map sub ws)) alts);
+           yexpr = sub_expr yexpr; yinit = sub yinit })
+  | SOr { left; right } ->
+    mk (SOr { left = Option.map sub left; right = Option.map sub right })
+  | SAnd { left; right } -> mk (SAnd { left = sub left; right = sub right })
   | SSync { left; right; la; ra } ->
-    SSync { left = sub left; right = sub right; la = Alpha.subst p v la; ra = Alpha.subst p v ra }
+    mk
+      (SSync
+         { left = sub left; right = sub right; la = Alpha.subst p v la;
+           ra = Alpha.subst p v ra })
   | SSome ({ param; _ } as q) ->
     if String.equal param p then s
     else
-      SSome
-        { q with
-          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
-          template = Option.map sub q.template;
-          body = sub_expr q.body;
-          balpha = Alpha.subst p v q.balpha }
+      mk
+        (SSome
+           { q with
+             insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+             template = Option.map sub q.template;
+             body = sub_expr q.body;
+             balpha = Alpha.subst p v q.balpha })
   | SAll ({ param; _ } as q) ->
     if String.equal param p then s
     else
-      SAll
-        { q with
-          alts =
-            sort_alts
-              (List.map
-                 (fun { bound; anon } ->
-                   canon_alt
-                     { bound = List.map (fun (w, t) -> (w, sub t)) bound;
-                       anon = List.map sub anon })
-                 q.alts);
-          body = sub_expr q.body;
-          balpha = Alpha.subst p v q.balpha }
+      mk
+        (SAll
+           { q with
+             alts =
+               sort_all_alts
+                 (List.map
+                    (fun { bound; anon } ->
+                      canon_alt
+                        { bound = List.map (fun (w, t) -> (w, sub t)) bound;
+                          anon = List.map sub anon })
+                    q.alts);
+             body = sub_expr q.body;
+             balpha = Alpha.subst p v q.balpha;
+             template = sub q.template })
   | SSyncQ ({ param; _ } as q) ->
     if String.equal param p then s
     else
-      SSyncQ
-        { q with
-          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
-          template = sub q.template;
-          body = sub_expr q.body;
-          balpha = Alpha.subst p v q.balpha }
+      mk
+        (SSyncQ
+           { q with
+             insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+             template = sub q.template;
+             body = sub_expr q.body;
+             balpha = Alpha.subst p v q.balpha })
   | SAndQ ({ param; _ } as q) ->
     if String.equal param p then s
     else
-      SAndQ
-        { q with
-          insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
-          template = sub q.template;
-          body = sub_expr q.body;
-          balpha = Alpha.subst p v q.balpha }
+      mk
+        (SAndQ
+           { q with
+             insts = sort_insts (List.map (fun (w, t) -> (w, sub t)) q.insts);
+             template = sub q.template;
+             body = sub_expr q.body;
+             balpha = Alpha.subst p v q.balpha })
 
-let rec trans (s : t) (c : Action.concrete) : t option =
-  match s with
+(* ------------------------------------------------------------------ *)
+(* The optimized transition τ̂                                          *)
+(* ------------------------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+(* A materialized instance of a quantifier body can consume [c] only when
+   [c] lies in the instance alphabet α(body[param := v]).  That membership
+   decomposes — without building the substituted alphabet — into: [c]
+   matches a pattern not mentioning the parameter (so every instance
+   accepts it), or [v] is among the candidate bindings the patterns
+   extract from [c].  Quantifier transitions use this to skip the walkers
+   that cannot react to [c] at all: a transition then touches the (few)
+   relevant instances instead of traversing every materialized walker. *)
+let instance_relevant ~in_free ~cset v = in_free || SSet.mem v cset
+
+let rec trans_rec (s : t) (c : Action.concrete) : t option =
+  match s.node with
   | SAtom { pat; consumed } ->
-    if (not consumed) && Action.matches pat c then Some (SAtom { pat; consumed = true })
+    if (not consumed) && Action.matches pat c then Some (mk (SAtom { pat; consumed = true }))
     else None
   | SOpt { body; _ } ->
-    Option.map (fun body -> SOpt { body; fresh = false }) (trans body c)
-  | SSeq { left; rights; zexpr; zempty } ->
+    Option.map (fun body -> mk (SOpt { body; fresh = false })) (trans_rec body c)
+  | SSeq { left; rights; zexpr; zinit; zempty } ->
     (* The walker may cross into z between actions whenever y is final. *)
-    let crossings =
-      match left with Some l when final l -> [ init zexpr ] | Some _ | None -> []
+    let crossings = match left with Some l when l.fin -> [ zinit ] | Some _ | None -> [] in
+    let rights' =
+      sort_states (List.filter_map (fun r -> trans_rec r c) (rights @ crossings))
     in
-    let rights' = sort_states (List.filter_map (fun r -> trans r c) (rights @ crossings)) in
-    let left' = match left with Some l -> trans l c | None -> None in
-    if left' = None && rights' = [] then None
-    else Some (SSeq { left = left'; rights = rights'; zexpr; zempty })
-  | SSeqIter { actives; fresh = _; yexpr } ->
-    let restart = if List.exists final actives then [ init yexpr ] else [] in
-    let actives' = sort_states (List.filter_map (fun a -> trans a c) (actives @ restart)) in
-    if actives' = [] then None else Some (SSeqIter { actives = actives'; fresh = false; yexpr })
+    let left' = match left with Some l -> trans_rec l c | None -> None in
+    (match (left', rights') with
+    | None, [] -> None
+    | _ -> Some (mk (SSeq { left = left'; rights = rights'; zexpr; zinit; zempty })))
+  | SSeqIter { actives; fresh = _; yexpr; yinit } ->
+    let restart = if List.exists (fun a -> a.fin) actives then [ yinit ] else [] in
+    let actives' =
+      sort_states (List.filter_map (fun a -> trans_rec a c) (actives @ restart))
+    in
+    if actives' = [] then None
+    else Some (mk (SSeqIter { actives = actives'; fresh = false; yexpr; yinit }))
   | SPar { alts } ->
     (* τa replaces each alternative [l, r] by [l', r] and [l, r']; ρ drops
        those whose advanced component died (Section 4's example). *)
     let advance (l, r) =
-      let via_left = match trans l c with Some l' -> [ (l', r) ] | None -> [] in
-      let via_right = match trans r c with Some r' -> [ (l, r') ] | None -> [] in
+      let via_left = match trans_rec l c with Some l' -> [ (l', r) ] | None -> [] in
+      let via_right = match trans_rec r c with Some r' -> [ (l, r') ] | None -> [] in
       via_left @ via_right
     in
-    let alts' = sort_alts (List.concat_map advance alts) in
-    if alts' = [] then None else Some (SPar { alts = alts' })
-  | SParIter { alts; yexpr } ->
+    let alts' = sort_pairs (List.concat_map advance alts) in
+    if alts' = [] then None else Some (mk (SPar { alts = alts' }))
+  | SParIter { alts; yexpr; yinit } ->
+    (* a new walker starting with c is the same for every alternative *)
+    let new_walker = trans_rec yinit c in
     let advance walkers =
       (* one existing walker consumes c ... *)
       let rec each pre = function
         | [] -> []
         | w :: post ->
           let here =
-            match trans w c with
+            match trans_rec w c with
             | Some w' -> [ List.rev_append pre (w' :: post) ]
             | None -> []
           in
@@ -260,21 +529,21 @@ let rec trans (s : t) (c : Action.concrete) : t option =
       in
       (* ... or a new walker starts with c. *)
       let started =
-        match trans (init yexpr) c with
-        | Some w -> [ w :: walkers ]
-        | None -> []
+        match new_walker with Some w -> [ w :: walkers ] | None -> []
       in
       List.map (List.sort compare) (each [] walkers @ started)
     in
-    let alts' = sort_alts (List.concat_map advance alts) in
-    if alts' = [] then None else Some (SParIter { alts = alts'; yexpr })
-  | SOr { left; right } ->
-    let left' = Option.bind left (fun l -> trans l c) in
-    let right' = Option.bind right (fun r -> trans r c) in
-    if left' = None && right' = None then None else Some (SOr { left = left'; right = right' })
+    let alts' = sort_multisets (List.concat_map advance alts) in
+    if alts' = [] then None else Some (mk (SParIter { alts = alts'; yexpr; yinit }))
+  | SOr { left; right } -> (
+    let left' = Option.bind left (fun l -> trans_rec l c) in
+    let right' = Option.bind right (fun r -> trans_rec r c) in
+    match (left', right') with
+    | None, None -> None
+    | _ -> Some (mk (SOr { left = left'; right = right' })))
   | SAnd { left; right } -> (
-    match (trans left c, trans right c) with
-    | Some left, Some right -> Some (SAnd { left; right })
+    match (trans_rec left c, trans_rec right c) with
+    | Some left, Some right -> Some (mk (SAnd { left; right }))
     | _ -> None)
   | SSync { left; right; la; ra } -> (
     (* An action in an operand's alphabet must be consumed by it; an action
@@ -282,21 +551,31 @@ let rec trans (s : t) (c : Action.concrete) : t option =
     let inl = Alpha.mem la c and inr = Alpha.mem ra c in
     if (not inl) && not inr then None
     else
-      let step within side = if within then trans side c else Some side in
+      let step within side = if within then trans_rec side c else Some side in
       match (step inl left, step inr right) with
-      | Some left, Some right -> Some (SSync { left; right; la; ra })
+      | Some left, Some right -> Some (mk (SSync { left; right; la; ra }))
       | _ -> None)
   | SSome { param; insts; dead; template; body; balpha } ->
+    let cands = Alpha.candidates param balpha c in
+    let in_free = Alpha.mem balpha c in
+    let cset = SSet.of_list cands in
+    (* an instance outside whose alphabet c falls dies without traversal *)
     let insts', newly_dead =
       List.fold_left
         (fun (alive, gone) (v, s) ->
-          match trans s c with
-          | Some s' -> ((v, s') :: alive, gone)
-          | None -> (alive, v :: gone))
+          if not (instance_relevant ~in_free ~cset v) then (alive, v :: gone)
+          else
+            match trans_rec s c with
+            | Some s' -> ((v, s') :: alive, gone)
+            | None -> (alive, v :: gone))
         ([], []) insts
     in
-    let taken v =
-      List.mem_assoc v insts || List.mem v dead || List.mem v newly_dead
+    (* one membership structure instead of three linear scans per candidate *)
+    let taken_set =
+      let add acc v = SSet.add v acc in
+      let acc = List.fold_left (fun acc (v, _) -> SSet.add v acc) SSet.empty insts in
+      let acc = List.fold_left add acc dead in
+      List.fold_left add acc newly_dead
     in
     let materialized, mat_dead =
       match template with
@@ -304,33 +583,57 @@ let rec trans (s : t) (c : Action.concrete) : t option =
       | Some tpl ->
         List.fold_left
           (fun (alive, gone) v ->
-            if taken v then (alive, gone)
+            if SSet.mem v taken_set then (alive, gone)
             else
-              match trans (subst_state param v tpl) c with
+              match trans_rec (subst_state param v tpl) c with
               | Some s' -> ((v, s') :: alive, gone)
               | None -> (alive, v :: gone))
-          ([], [])
-          (Alpha.candidates param balpha c)
+          ([], []) cands
     in
-    let template' = Option.bind template (fun t -> trans t c) in
+    let template' = Option.bind template (fun t -> trans_rec t c) in
     let insts'' = sort_insts (insts' @ materialized) in
     let dead' = List.sort_uniq String.compare (dead @ newly_dead @ mat_dead) in
-    if insts'' = [] && template' = None then None
-    else
-      Some (SSome { param; insts = insts''; dead = dead'; template = template'; body; balpha })
-  | SAll { param; alts; body; balpha; empty_final } ->
+    (match (insts'', template') with
+    | [], None -> None
+    | _ ->
+      Some
+        (mk
+           (SSome
+              { param; insts = insts''; dead = dead'; template = template'; body; balpha })))
+  | SAll { param; alts; body; balpha; template; empty_final } ->
     let cands = Alpha.candidates param balpha c in
-    let tpl0 = init body in
+    let in_free = Alpha.mem balpha c in
+    let cset = SSet.of_list cands in
+    let tpl0 = template in
+    (* anonymous/bound starts from the fresh template are alternative-
+       independent: compute them once per transition *)
+    let fresh_started = if in_free then trans_rec tpl0 c else None in
+    (* Lazy per value: when every alternative already binds v (the common
+       case after an instance's first action), the start is never computed —
+       materializing and stepping a pristine walker just to discard it would
+       otherwise dominate repeat actions. *)
+    let bound_started =
+      List.map
+        (fun v -> (v, lazy (trans_rec (subst_state param v tpl0) c)))
+        cands
+    in
     let advance { bound; anon } =
-      (* exactly one walker consumes c: an existing bound walker ... *)
+      (* exactly one walker consumes c: an existing bound walker (only the
+         walkers whose instance alphabet contains c are traversed) ... *)
       let via_bound =
+        (* replacing one entry of the sorted [bound] keeps it sorted, and
+           [anon] is untouched, so these alternatives are already canonical *)
         List.filter_map
           (fun (v, s) ->
-            match trans s c with
-            | Some s' ->
-              Some { bound = List.map (fun (w, t) -> if String.equal w v then (w, s') else (w, t)) bound;
-                     anon }
-            | None -> None)
+            if not (instance_relevant ~in_free ~cset v) then None
+            else
+              match trans_rec s c with
+              | Some s' ->
+                Some
+                  { bound =
+                      List.map (fun (w, t) -> if String.equal w v then (w, s') else (w, t)) bound;
+                    anon }
+              | None -> None)
           bound
       in
       (* ... or an anonymous walker, staying fresh or binding a new value ... *)
@@ -338,16 +641,18 @@ let rec trans (s : t) (c : Action.concrete) : t option =
         | [] -> []
         | w :: post ->
           let keep_fresh =
-            match trans w c with
-            | Some w' -> [ { bound; anon = List.rev_append pre (w' :: post) } ]
-            | None -> []
+            if not in_free then []
+            else
+              match trans_rec w c with
+              | Some w' -> [ { bound; anon = List.rev_append pre (w' :: post) } ]
+              | None -> []
           in
           let bind_value =
             List.filter_map
               (fun v ->
                 if List.mem_assoc v bound then None
                 else
-                  match trans (subst_state param v w) c with
+                  match trans_rec (subst_state param v w) c with
                   | Some w' ->
                     Some { bound = (v, w') :: bound; anon = List.rev_append pre post }
                   | None -> None)
@@ -358,90 +663,126 @@ let rec trans (s : t) (c : Action.concrete) : t option =
       (* ... or a brand-new walker starts with c. *)
       let via_new =
         let fresh_start =
-          match trans tpl0 c with
+          match fresh_started with
           | Some w -> [ { bound; anon = w :: anon } ]
           | None -> []
         in
         let bound_start =
           List.filter_map
-            (fun v ->
+            (fun (v, w) ->
               if List.mem_assoc v bound then None
               else
-                match trans (subst_state param v tpl0) c with
+                match Lazy.force w with
                 | Some w -> Some { bound = (v, w) :: bound; anon }
                 | None -> None)
-            cands
+            bound_started
         in
         fresh_start @ bound_start
       in
-      List.map canon_alt (via_bound @ via_anon [] anon @ via_new)
+      via_bound @ List.map canon_alt (via_anon [] anon @ via_new)
     in
-    let alts' = sort_alts (List.concat_map advance alts) in
+    let alts' = sort_all_alts (List.concat_map advance alts) in
     if alts' = [] then None
-    else Some (SAll { param; alts = alts'; body; balpha; empty_final })
+    else Some (mk (SAll { param; alts = alts'; body; balpha; template; empty_final }))
   | SSyncQ { param; insts; template; body; balpha } ->
-    let inst_alpha v = Alpha.subst param v balpha in
-    let cands =
-      List.filter (fun v -> not (List.mem_assoc v insts)) (Alpha.candidates param balpha c)
-    in
+    let all_cands = Alpha.candidates param balpha c in
+    let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
     let in_fresh_alpha = Alpha.mem balpha c in
+    let cset = SSet.of_list all_cands in
+    let in_inst_alpha v = instance_relevant ~in_free:in_fresh_alpha ~cset v in
     let relevant =
-      cands <> [] || in_fresh_alpha
-      || List.exists (fun (v, _) -> Alpha.mem (inst_alpha v) c) insts
+      cands <> [] || in_fresh_alpha || List.exists (fun (v, _) -> in_inst_alpha v) insts
     in
     if not relevant then None (* c is outside α(x): the word is illegal *)
     else
       let step_inst (v, s) =
-        if Alpha.mem (inst_alpha v) c then
-          match trans s c with Some s' -> Some (v, s') | None -> None
+        if in_inst_alpha v then
+          match trans_rec s c with Some s' -> Some (v, s') | None -> None
         else Some (v, s)
       in
       let old_insts = List.map step_inst insts in
       let new_insts =
         List.map
           (fun v ->
-            match trans (subst_state param v template) c with
+            match trans_rec (subst_state param v template) c with
             | Some s' -> Some (v, s')
             | None -> None)
           cands
       in
-      let template' = if in_fresh_alpha then trans template c else Some template in
+      let template' = if in_fresh_alpha then trans_rec template c else Some template in
       if List.exists (( = ) None) old_insts || List.exists (( = ) None) new_insts
          || template' = None
       then None
       else
         let unwrap = List.filter_map Fun.id in
         Some
-          (SSyncQ
-             { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
-               template = Option.get template'; body; balpha })
+          (mk
+             (SSyncQ
+                { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
+                  template = Option.get template'; body; balpha }))
   | SAndQ { param; insts; template; body; balpha } ->
-    let cands =
-      List.filter (fun v -> not (List.mem_assoc v insts)) (Alpha.candidates param balpha c)
-    in
+    let all_cands = Alpha.candidates param balpha c in
+    let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
+    let in_free = Alpha.mem balpha c in
+    let cset = SSet.of_list all_cands in
     let old_insts =
-      List.map (fun (v, s) -> Option.map (fun s' -> (v, s')) (trans s c)) insts
+      (* an instance whose alphabet lacks c cannot consume it: None at once *)
+      List.map
+        (fun (v, s) ->
+          if not (instance_relevant ~in_free ~cset v) then None
+          else Option.map (fun s' -> (v, s')) (trans_rec s c))
+        insts
     in
     let new_insts =
       List.map
-        (fun v -> Option.map (fun s' -> (v, s')) (trans (subst_state param v template) c))
+        (fun v -> Option.map (fun s' -> (v, s')) (trans_rec (subst_state param v template) c))
         cands
     in
-    let template' = trans template c in
+    let template' = trans_rec template c in
     if List.exists (( = ) None) old_insts || List.exists (( = ) None) new_insts
        || template' = None
     then None
     else
       let unwrap = List.filter_map Fun.id in
       Some
-        (SAndQ
-           { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
-             template = Option.get template'; body; balpha })
+        (mk
+           (SAndQ
+              { param; insts = sort_insts (unwrap old_insts @ unwrap new_insts);
+                template = Option.get template'; body; balpha }))
+
+(* Count top-level τ̂ invocations (recursive descents count once): the
+   experiment harness uses this to show that the permitted → try_action
+   grant loop performs a single transition. *)
+let trans_counter = ref 0
+let transitions () = !trans_counter
+
+(* τ̂ is pure and states are hash-consed, so whole transitions memoize by
+   (predecessor id, action).  Steady states of quasi-regular expressions
+   cycle through a handful of states, turning their transitions into table
+   hits.  Ids are never reused, so a reclaimed predecessor can only lead
+   to a harmless miss (a re-created equal state gets a fresh id); the
+   successor is held strongly until the table is flushed at its size cap. *)
+let trans_tbl : (int * Action.concrete, t option) Hashtbl.t = Hashtbl.create 1024
+let trans_tbl_cap = 1 lsl 16
+
+let trans s c =
+  incr trans_counter;
+  if not (!memoize && !canonicalize) then trans_rec s c
+  else
+    let key = (s.id, c) in
+    match Hashtbl.find_opt trans_tbl key with
+    | Some r -> r
+    | None ->
+      if Hashtbl.length trans_tbl >= trans_tbl_cap then Hashtbl.reset trans_tbl;
+      let r = trans_rec s c in
+      Hashtbl.add trans_tbl key r;
+      r
 
 let trans_word s w =
   List.fold_left (fun acc c -> Option.bind acc (fun s -> trans s c)) (Some s) w
 
-let rec size : t -> int = function
+let rec size (s : t) : int =
+  match s.node with
   | SAtom _ -> 1
   | SOpt { body; _ } -> 1 + size body
   | SSeq { left; rights; _ } ->
@@ -453,7 +794,8 @@ let rec size : t -> int = function
   | SParIter { alts; _ } ->
     1 + List.fold_left (fun n ws -> n + List.fold_left (fun m w -> m + size w) 1 ws) 0 alts
   | SOr { left; right } ->
-    1 + (match left with Some l -> size l | None -> 0)
+    1
+    + (match left with Some l -> size l | None -> 0)
     + (match right with Some r -> size r | None -> 0)
   | SAnd { left; right } | SSync { left; right; _ } -> 1 + size left + size right
   | SSome { insts; template; _ } ->
@@ -480,7 +822,7 @@ let rec pp ppf (s : t) =
     | None -> Format.pp_print_string ppf "null"
   in
   let pp_inst ppf (v, s) = Format.fprintf ppf "%s:%a" v pp s in
-  match s with
+  match s.node with
   | SAtom { pat; consumed } ->
     Format.fprintf ppf "%a%s" Action.pp pat (if consumed then "!" else "")
   | SOpt { body; fresh } -> Format.fprintf ppf "opt%s[%a]" (if fresh then "°" else "") pp body
@@ -521,16 +863,17 @@ let rec to_sexp (s : t) : Sexp.t =
   let b v = a (if v then "true" else "false") in
   let opt = function Some s -> l [ a "s"; to_sexp s ] | None -> a "null" in
   let inst (v, s) = l [ a v; to_sexp s ] in
-  match s with
+  match s.node with
   | SAtom { pat; consumed } -> l [ a "atom"; Action.to_sexp pat; b consumed ]
   | SOpt { body; fresh } -> l [ a "opt"; to_sexp body; b fresh ]
-  | SSeq { left; rights; zexpr; zempty } ->
+  | SSeq { left; rights; zexpr; zempty; _ } ->
+    (* derived fields (zinit/yinit/template of SAll) are re-derived on load *)
     l [ a "seq"; opt left; l (List.map to_sexp rights); Expr.to_sexp zexpr; b zempty ]
-  | SSeqIter { actives; fresh; yexpr } ->
+  | SSeqIter { actives; fresh; yexpr; _ } ->
     l [ a "seqiter"; l (List.map to_sexp actives); b fresh; Expr.to_sexp yexpr ]
   | SPar { alts } ->
     l [ a "par"; l (List.map (fun (x, y) -> l [ to_sexp x; to_sexp y ]) alts) ]
-  | SParIter { alts; yexpr } ->
+  | SParIter { alts; yexpr; _ } ->
     l [ a "pariter"; l (List.map (fun ws -> l (List.map to_sexp ws)) alts);
         Expr.to_sexp yexpr ]
   | SOr { left; right } -> l [ a "or"; opt left; opt right ]
@@ -540,7 +883,7 @@ let rec to_sexp (s : t) : Sexp.t =
   | SSome { param; insts; dead; template; body; balpha } ->
     l [ a "some"; a param; l (List.map inst insts); l (List.map a dead); opt template;
         Expr.to_sexp body; Alpha.to_sexp balpha ]
-  | SAll { param; alts; body; balpha; empty_final } ->
+  | SAll { param; alts; body; balpha; empty_final; _ } ->
     let alt { bound; anon } =
       l [ l (List.map inst bound); l (List.map to_sexp anon) ]
     in
@@ -553,6 +896,9 @@ let rec to_sexp (s : t) : Sexp.t =
     l [ a "andq"; a param; l (List.map inst insts); to_sexp template; Expr.to_sexp body;
         Alpha.to_sexp balpha ]
 
+(* Deserialization rebuilds every node through [mk], so loaded states are
+   re-admitted into the hash-cons table: a state loaded in the process that
+   saved it is physically equal to the original. *)
 let rec of_sexp (s : Sexp.t) : t =
   let bad what = invalid_arg ("State.of_sexp: bad " ^ what) in
   let opt = function
@@ -574,53 +920,64 @@ let rec of_sexp (s : Sexp.t) : t =
   in
   match s with
   | Sexp.List [ Sexp.Atom "atom"; pat; consumed ] ->
-    SAtom { pat = Action.of_sexp pat; consumed = Sexp.bool_field consumed }
+    mk (SAtom { pat = Action.of_sexp pat; consumed = Sexp.bool_field consumed })
   | Sexp.List [ Sexp.Atom "opt"; body; fresh ] ->
-    SOpt { body = of_sexp body; fresh = Sexp.bool_field fresh }
+    mk (SOpt { body = of_sexp body; fresh = Sexp.bool_field fresh })
   | Sexp.List [ Sexp.Atom "seq"; left; rights; zexpr; zempty ] ->
-    SSeq
-      { left = opt left; rights = states rights; zexpr = Expr.of_sexp zexpr;
-        zempty = Sexp.bool_field zempty }
+    let zexpr = Expr.of_sexp zexpr in
+    mk
+      (SSeq
+         { left = opt left; rights = states rights; zexpr; zinit = init zexpr;
+           zempty = Sexp.bool_field zempty })
   | Sexp.List [ Sexp.Atom "seqiter"; actives; fresh; yexpr ] ->
-    SSeqIter
-      { actives = states actives; fresh = Sexp.bool_field fresh;
-        yexpr = Expr.of_sexp yexpr }
+    let yexpr = Expr.of_sexp yexpr in
+    mk
+      (SSeqIter
+         { actives = states actives; fresh = Sexp.bool_field fresh; yexpr;
+           yinit = init yexpr })
   | Sexp.List [ Sexp.Atom "par"; Sexp.List alts ] ->
     let pair = function
       | Sexp.List [ x; y ] -> (of_sexp x, of_sexp y)
       | _ -> bad "parallel alternative"
     in
-    SPar { alts = List.map pair alts }
+    mk (SPar { alts = List.map pair alts })
   | Sexp.List [ Sexp.Atom "pariter"; Sexp.List alts; yexpr ] ->
-    SParIter { alts = List.map states alts; yexpr = Expr.of_sexp yexpr }
-  | Sexp.List [ Sexp.Atom "or"; left; right ] -> SOr { left = opt left; right = opt right }
+    let yexpr = Expr.of_sexp yexpr in
+    mk (SParIter { alts = List.map states alts; yexpr; yinit = init yexpr })
+  | Sexp.List [ Sexp.Atom "or"; left; right ] -> mk (SOr { left = opt left; right = opt right })
   | Sexp.List [ Sexp.Atom "and"; left; right ] ->
-    SAnd { left = of_sexp left; right = of_sexp right }
+    mk (SAnd { left = of_sexp left; right = of_sexp right })
   | Sexp.List [ Sexp.Atom "syncb"; left; right; la; ra ] ->
-    SSync
-      { left = of_sexp left; right = of_sexp right; la = Alpha.of_sexp la;
-        ra = Alpha.of_sexp ra }
+    mk
+      (SSync
+         { left = of_sexp left; right = of_sexp right; la = Alpha.of_sexp la;
+           ra = Alpha.of_sexp ra })
   | Sexp.List
       [ Sexp.Atom "some"; Sexp.Atom param; is; Sexp.List dead; template; body; balpha ] ->
-    SSome
-      { param; insts = insts is; dead = List.map Sexp.string_field dead;
-        template = opt template; body = Expr.of_sexp body; balpha = Alpha.of_sexp balpha }
+    mk
+      (SSome
+         { param; insts = insts is; dead = List.map Sexp.string_field dead;
+           template = opt template; body = Expr.of_sexp body; balpha = Alpha.of_sexp balpha })
   | Sexp.List [ Sexp.Atom "all"; Sexp.Atom param; Sexp.List alts; body; balpha; ef ] ->
     let alt = function
       | Sexp.List [ bound; anon ] -> { bound = insts bound; anon = states anon }
       | _ -> bad "all-quantifier alternative"
     in
-    SAll
-      { param; alts = List.map alt alts; body = Expr.of_sexp body;
-        balpha = Alpha.of_sexp balpha; empty_final = Sexp.bool_field ef }
+    let body = Expr.of_sexp body in
+    mk
+      (SAll
+         { param; alts = List.map alt alts; body; balpha = Alpha.of_sexp balpha;
+           template = init body; empty_final = Sexp.bool_field ef })
   | Sexp.List [ Sexp.Atom "syncq"; Sexp.Atom param; is; template; body; balpha ] ->
-    SSyncQ
-      { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
-        balpha = Alpha.of_sexp balpha }
+    mk
+      (SSyncQ
+         { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
+           balpha = Alpha.of_sexp balpha })
   | Sexp.List [ Sexp.Atom "andq"; Sexp.Atom param; is; template; body; balpha ] ->
-    SAndQ
-      { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
-        balpha = Alpha.of_sexp balpha }
+    mk
+      (SAndQ
+         { param; insts = insts is; template = of_sexp template; body = Expr.of_sexp body;
+           balpha = Alpha.of_sexp balpha })
   | _ -> bad "state"
 
 (* ------------------------------------------------------------------ *)
@@ -641,7 +998,13 @@ let check_invariants (s : t) : (unit, string) result =
     in
     go xs
   in
-  let rec go = function
+  let check_memo s =
+    if s.fin <> node_final s.node then fail "memoized finality disagrees with φ";
+    if s.hkey <> node_hash s.node then fail "memoized hash disagrees with structure"
+  in
+  let rec go s =
+    check_memo s;
+    match s.node with
     | SAtom _ -> ()
     | SOpt { body; _ } -> go body
     | SSeq { left; rights; _ } ->
@@ -655,7 +1018,7 @@ let check_invariants (s : t) : (unit, string) result =
       List.iter go actives
     | SPar { alts } ->
       if alts = [] then fail "par: no alternatives";
-      sorted_unique "par alternatives" Stdlib.compare alts;
+      sorted_unique "par alternatives" cmp_pair alts;
       List.iter
         (fun (l, r) ->
           go l;
@@ -663,7 +1026,7 @@ let check_invariants (s : t) : (unit, string) result =
         alts
     | SParIter { alts; _ } ->
       if alts = [] then fail "pariter: no alternatives";
-      sorted_unique "pariter alternatives" Stdlib.compare alts;
+      sorted_unique "pariter alternatives" cmp_states alts;
       List.iter
         (fun ws ->
           (* walkers form a sorted multiset: duplicates allowed, order not *)
@@ -694,7 +1057,7 @@ let check_invariants (s : t) : (unit, string) result =
       Option.iter go template
     | SAll { alts; _ } ->
       if alts = [] then fail "all: no alternatives";
-      sorted_unique "all alternatives" Stdlib.compare alts;
+      sorted_unique "all alternatives" cmp_all_alt alts;
       List.iter
         (fun { bound; anon } ->
           sorted_unique "all bound" (fun (v, _) (w, _) -> String.compare v w) bound;

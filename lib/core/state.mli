@@ -27,7 +27,13 @@
 
 type t
 (** A (valid) state.  The null state is represented by [None] at the API
-    boundary. *)
+    boundary.
+
+    States are {e hash-consed}: every constructed state carries a unique
+    id, a precomputed structural hash and a memoized finality bit.
+    Structurally equal states built in the same process are physically
+    equal, so {!equal} is pointer equality, {!compare} is an integer
+    comparison on ids, and {!final} is a field read. *)
 
 val init : Expr.t -> t
 (** σ(x) — the initial state.  Always valid (⟨⟩ ∈ Ψ(x) for every x). *)
@@ -47,7 +53,32 @@ val size : t -> int
     measure of the complexity analyses (Section 6). *)
 
 val compare : t -> t -> int
+(** Total order on states via hash-cons ids: O(1).  The order is canonical
+    within a process (equal states have equal ids) but {e not} stable
+    across processes — alternative sets reloaded from {!of_sexp} are
+    re-sorted lazily by the next transition. *)
+
 val equal : t -> t -> bool
+(** Physical equality; coincides with structural equality thanks to
+    hash-consing. *)
+
+val id : t -> int
+(** The unique hash-cons id — a compact key for external tables (the
+    automaton compiler and the state-space explorer index states by id
+    instead of hashing whole trees). *)
+
+val hash : t -> int
+(** The memoized structural hash (stable across processes). *)
+
+val transitions : unit -> int
+(** Monotone count of top-level {!trans} invocations in this process;
+    recursive descents into substates are not counted.  Used by the
+    experiment harness to verify that the grant loop performs a single
+    transition per granted action. *)
+
+val live_states : unit -> int
+(** Number of distinct live states in the hash-cons table (weakly held:
+    unreachable states are reclaimed by the GC). *)
 
 val pp : Format.formatter -> t -> unit
 (** Structural dump of a state, for debugging and the examples. *)
@@ -63,6 +94,16 @@ val pp : Format.formatter -> t -> unit
 
 val set_canonicalization : bool -> unit
 val canonicalization : unit -> bool
+
+val set_memoization : bool -> unit
+(** Enable/disable the derived-structure caches: memoized initial states
+    ([σ] per subexpression), memoized instance materialization (template
+    substitution per value) and the {!Alpha.of_expr} cache.  On by
+    default; switched off only by the experiment harness for before/after
+    measurements.  Hash-consing itself is always on — it is the
+    representation, not an optimization toggle. *)
+
+val memoization : unit -> bool
 
 (** {1 Persistence}
 

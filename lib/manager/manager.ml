@@ -41,12 +41,16 @@ type t = {
   mutable inboxes : (string * notification Mqueue.t) list;
   mutable st : stats;
   per_action : (Action.concrete, int * int) Hashtbl.t;  (* grants, denials *)
+  (* one-slot tentative-successor cache: the coordination protocol's
+     ask → confirm round trip computes the successor once at grant time
+     and commits it at confirm time instead of transitioning twice. *)
+  mutable tentative : (State.t * Action.concrete * State.t option) option;
 }
 
 let create e =
   { mexpr = e; alpha = Alpha.of_expr e; state = Some (State.init e); crashed = false;
     outstanding = None; log = []; subs = []; inboxes = []; st = zero_stats;
-    per_action = Hashtbl.create 32 }
+    per_action = Hashtbl.create 32; tentative = None }
 
 let expr t = t.mexpr
 let alive t = not t.crashed
@@ -56,12 +60,20 @@ let confirmed_log t = List.rev t.log
 
 let in_alphabet t c = Alpha.mem t.alpha c
 
+let tentative_trans t s c =
+  match t.tentative with
+  | Some (s0, c0, succ) when State.equal s0 s && Action.equal_concrete c0 c -> succ
+  | _ ->
+    let succ = State.trans s c in
+    t.tentative <- Some (s, c, succ);
+    succ
+
 let permitted t c =
   (not (in_alphabet t c))
   ||
   match t.state with
   | None -> false
-  | Some s -> State.trans s c <> None
+  | Some s -> tentative_trans t s c <> None
 
 let inbox t ~client =
   match List.assoc_opt client t.inboxes with
@@ -85,7 +97,10 @@ let notify t ~before =
 
 let do_transition t c =
   (* Snapshot the permissibility of all subscribed actions, transition, then
-     notify changes. *)
+     notify changes.  The successor is looked up first — before the snapshot
+     overwrites the one-slot cache — so the grant-time tentative transition
+     is reused here instead of being recomputed. *)
+  let succ = match t.state with Some s -> tentative_trans t s c | None -> None in
   let subs_actions = List.map snd t.subs in
   let before_list = List.map (fun a -> (a, permitted t a)) subs_actions in
   let before a =
@@ -94,10 +109,11 @@ let do_transition t c =
     | None -> false
   in
   (match t.state with
-  | Some s ->
-    (match State.trans s c with
+  | Some _ ->
+    (match succ with
     | Some s' ->
       t.state <- Some s';
+      t.tentative <- None;
       t.st <- { t.st with transitions = t.st.transitions + 1 }
     | None ->
       (* A confirmed action must have been granted, hence valid; reaching
@@ -186,7 +202,8 @@ let unsubscribe t ~client c =
 let crash t =
   t.state <- None;
   t.crashed <- true;
-  t.outstanding <- None
+  t.outstanding <- None;
+  t.tentative <- None
 
 let recover t =
   if t.crashed then (

@@ -1,38 +1,83 @@
+(* Both the pending and the in-flight FIFOs are two-list (front/back)
+   queues: [front] holds the oldest messages in order, [back] the newest in
+   reverse.  Enqueue conses onto [back]; dequeue pops [front], reversing
+   [back] into it when it runs dry.  Each element is reversed at most once,
+   so a burst of n sends drains in O(n) — the previous [list @ [m]]
+   representation made the same burst O(n²). *)
+
+type 'a fifo = {
+  mutable front : 'a list;  (* oldest first *)
+  mutable back : 'a list;  (* newest first *)
+  mutable size : int;
+}
+
+let fifo_empty () = { front = []; back = []; size = 0 }
+
+let fifo_push q m =
+  q.back <- m :: q.back;
+  q.size <- q.size + 1
+
+let fifo_pop q =
+  (match q.front with
+  | [] ->
+    q.front <- List.rev q.back;
+    q.back <- []
+  | _ :: _ -> ());
+  match q.front with
+  | [] -> None
+  | m :: rest ->
+    q.front <- rest;
+    q.size <- q.size - 1;
+    Some m
+
+let fifo_to_list q = q.front @ List.rev q.back
+
+(* Replace the queue's contents by [ms] followed by the current contents. *)
+let fifo_requeue_front q ms =
+  q.front <- ms @ fifo_to_list q;
+  q.back <- [];
+  q.size <- List.length ms + q.size
+
 type 'a t = {
   qname : string;
-  mutable pending : 'a list;  (* undelivered, oldest first *)
-  mutable flight : 'a list;  (* delivered, not acknowledged, oldest first *)
+  pending : 'a fifo;  (* undelivered *)
+  flight : 'a fifo;  (* delivered, not acknowledged *)
   mutable sent : int;
   mutable redelivered : int;
 }
 
-let create ~name = { qname = name; pending = []; flight = []; sent = 0; redelivered = 0 }
+let create ~name =
+  { qname = name; pending = fifo_empty (); flight = fifo_empty (); sent = 0;
+    redelivered = 0 }
+
 let name q = q.qname
 
 let send q m =
-  q.pending <- q.pending @ [ m ];
+  fifo_push q.pending m;
   q.sent <- q.sent + 1
 
 let receive q =
-  match q.pending with
-  | [] -> None
-  | m :: rest ->
-    q.pending <- rest;
-    q.flight <- q.flight @ [ m ];
+  match fifo_pop q.pending with
+  | None -> None
+  | Some m ->
+    fifo_push q.flight m;
     Some m
 
 let ack q =
-  match q.flight with
-  | [] -> invalid_arg "Mqueue.ack: no message in flight"
-  | _ :: rest -> q.flight <- rest
+  match fifo_pop q.flight with
+  | None -> invalid_arg "Mqueue.ack: no message in flight"
+  | Some _ -> ()
 
 let crash_receiver q =
-  q.redelivered <- q.redelivered + List.length q.flight;
-  q.pending <- q.flight @ q.pending;
-  q.flight <- []
+  q.redelivered <- q.redelivered + q.flight.size;
+  (* redelivery order: in-flight messages (oldest first) before pending *)
+  fifo_requeue_front q.pending (fifo_to_list q.flight);
+  q.flight.front <- [];
+  q.flight.back <- [];
+  q.flight.size <- 0
 
-let length q = List.length q.pending
-let in_flight q = List.length q.flight
+let length q = q.pending.size
+let in_flight q = q.flight.size
 let sent_count q = q.sent
 let redelivered_count q = q.redelivered
 

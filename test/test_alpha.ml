@@ -49,7 +49,16 @@ let candidates =
     t "inner binders act as wildcards for candidates" (fun () ->
         let al = Alpha.of_expr !"some q: a(?p, q)" in
         Alcotest.(check (list string)) "wild" [ "1" ]
-          (Alpha.candidates "p" al (a1 "a(1,9)")))
+          (Alpha.candidates "p" al (a1 "a(1,9)")));
+    t "duplicates are removed, first-match order is kept" (fun () ->
+        (* pattern order is left-to-right in the expression; a value
+           contributed by several patterns appears once, at its first
+           position *)
+        let al = Alpha.of_expr !"a(?p,1) | a(2,?p) | a(?p,?p)" in
+        Alcotest.(check (list string)) "order" [ "2"; "1" ]
+          (Alpha.candidates "p" al (a1 "a(2,1)"));
+        Alcotest.(check (list string)) "dedup" [ "2" ]
+          (Alpha.candidates "p" al (a1 "a(2,2)")))
   ]
 
 let subst =

@@ -39,7 +39,42 @@ let mqueue =
         check_int "sent" 1 (Mqueue.sent_count q);
         check_int "len" 1 (Mqueue.length q);
         ignore (Mqueue.receive q);
-        check_int "in flight" 1 (Mqueue.in_flight q))
+        check_int "in flight" 1 (Mqueue.in_flight q));
+    t "crash redelivery precedes pending messages" (fun () ->
+        (* two in flight, two still pending: after the crash the flight
+           messages come back first, oldest first, then the pending ones *)
+        let q = Mqueue.create ~name:"q" in
+        List.iter (Mqueue.send q) [ 1; 2; 3; 4 ];
+        ignore (Mqueue.receive q);
+        ignore (Mqueue.receive q);
+        Mqueue.crash_receiver q;
+        check_int "redelivered" 2 (Mqueue.redelivered_count q);
+        Alcotest.(check (list int)) "order" [ 1; 2; 3; 4 ] (Mqueue.drain q));
+    t "bulk send/drain of 10k messages stays linear" (fun () ->
+        (* regression: the old [pending @ [m]] enqueue made this quadratic *)
+        let n = 10_000 in
+        let q = Mqueue.create ~name:"bulk" in
+        for i = 1 to n do
+          Mqueue.send q i
+        done;
+        check_int "queued" n (Mqueue.length q);
+        let drained = Mqueue.drain q in
+        check_int "all delivered" n (List.length drained);
+        Alcotest.(check (list int)) "fifo order (ends)"
+          [ 1; 2; n - 1; n ]
+          [ List.nth drained 0; List.nth drained 1;
+            List.nth drained (n - 2); List.nth drained (n - 1) ];
+        check_int "empty" 0 (Mqueue.length q);
+        (* interleaved send/receive keeps FIFO order across refills *)
+        for i = 1 to 100 do
+          Mqueue.send q i;
+          Mqueue.send q (i + 1000);
+          (match Mqueue.receive q with
+          | Some _ -> Mqueue.ack q
+          | None -> Alcotest.fail "expected a message");
+          ignore i
+        done;
+        check_int "backlog" 100 (Mqueue.length q))
   ]
 
 let coordination =

@@ -169,6 +169,76 @@ let resurrection =
         check_both e "c a(5) b" Semantics.Illegal)
   ]
 
+(* Hash-consing: structurally equal states are physically equal, ids are
+   stable, and the grant loop commits a cached successor instead of
+   recomputing the transition. *)
+let hashcons_prop =
+  to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"hash-consed equality agrees with structural equality"
+       (expr_word_arb ~max_depth:3 ~max_len:6 ())
+       (fun (e, word) ->
+         (* two independently built sessions over the same trace *)
+         let states_along () =
+           let s = Engine.create e in
+           List.fold_left
+             (fun acc a ->
+               if Engine.try_action s a then Option.get (Engine.state s) :: acc
+               else acc)
+             [ Option.get (Engine.state s) ]
+             word
+         in
+         let xs = states_along () and ys = states_along () in
+         let sexp s = Sexp.to_string (State.to_sexp s) in
+         List.iter
+           (fun x ->
+             List.iter
+               (fun y ->
+                 let structural = String.equal (sexp x) (sexp y) in
+                 if State.equal x y <> structural then
+                   QCheck.Test.fail_reportf "equal=%b but structural=%b for %s"
+                     (State.equal x y) structural (sexp x))
+               ys)
+           xs;
+         true))
+
+let hashcons_unit =
+  [ t "independently built equal states are physically equal" (fun () ->
+        let s1 = State.init !"(a - b)*" and s2 = State.init !"(a - b)*" in
+        Alcotest.(check bool) "physically equal" true (s1 == s2);
+        Alcotest.(check int) "same id" (State.id s1) (State.id s2);
+        Alcotest.(check int) "same hash" (State.hash s1) (State.hash s2));
+    t "sexp round-trip lands on the same hash-consed node" (fun () ->
+        let s = Option.get (State.trans_word (State.init !"(a | b - c)*") (w "b c")) in
+        let s' = State.of_sexp (State.to_sexp s) in
+        Alcotest.(check bool) "equal" true (State.equal s s');
+        Alcotest.(check int) "same id" (State.id s) (State.id s'));
+    t "permitted then try_action performs a single transition" (fun () ->
+        let s = Engine.create !"(a - b)*" in
+        let before = State.transitions () in
+        Alcotest.(check bool) "permitted" true (Engine.permitted s (a1 "a"));
+        Alcotest.(check bool) "committed" true (Engine.try_action s (a1 "a"));
+        Alcotest.(check int) "one transition" 1 (State.transitions () - before));
+    t "without the successor cache the same path transitions twice" (fun () ->
+        Engine.set_successor_cache false;
+        Fun.protect
+          ~finally:(fun () -> Engine.set_successor_cache true)
+          (fun () ->
+            let s = Engine.create !"(a - b)*" in
+            let before = State.transitions () in
+            Alcotest.(check bool) "permitted" true (Engine.permitted s (a1 "a"));
+            Alcotest.(check bool) "committed" true (Engine.try_action s (a1 "a"));
+            Alcotest.(check int) "two transitions" 2 (State.transitions () - before)));
+    t "force on a dead session is a no-op returning false" (fun () ->
+        let s = Engine.create !"a" in
+        Alcotest.(check bool) "accept a" true (Engine.try_action s (a1 "a"));
+        Alcotest.(check bool) "dies" false (Engine.force s (a1 "z"));
+        Alcotest.(check int) "killing action is traced" 2
+          (List.length (Engine.trace s));
+        Alcotest.(check bool) "dead force fails" false (Engine.force s (a1 "a"));
+        Alcotest.(check int) "trace untouched" 2 (List.length (Engine.trace s)))
+  ]
+
 (* Canonical-form invariants hold along every reachable state. *)
 let invariants_prop =
   to_alcotest
@@ -205,5 +275,6 @@ let () =
   Alcotest.run "state"
     [ ("session", session); ("growth", growth); ("structure", structure);
       ("resurrection", resurrection);
+      ("hashcons", hashcons_prop :: hashcons_unit);
       ("invariants", invariants_prop :: invariants_unit)
     ]
