@@ -4,7 +4,12 @@
 
      dune exec bench/main.exe            -- all tables (E1..E16)
      dune exec bench/main.exe e3 e4      -- selected tables
-     dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks *)
+     dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
+     dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks
+
+   Every run also writes BENCH_pr2.json: the machine-readable per-experiment
+   numbers (ns/op, transitions/action, cache hit rates) that accumulate the
+   perf trajectory across PRs. *)
 
 open Interaction
 open Wfms
@@ -25,6 +30,67 @@ let time f =
   (r, Sys.time () -. t0)
 
 let act name args = Action.conc name args
+
+(* --- machine-readable results ------------------------------------------- *)
+
+(* Keyed measurements accumulated while the human tables print, grouped by
+   experiment, in insertion order. *)
+let bench_records : (string * (string * float) list ref) list ref = ref []
+
+let record exp key v =
+  let kvs =
+    match List.assoc_opt exp !bench_records with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      bench_records := !bench_records @ [ (exp, r) ];
+      r
+  in
+  kvs := !kvs @ [ (key, v) ]
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let write_bench_json file =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  List.iteri
+    (fun i (exp, kvs) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b "  %S: {" exp;
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "%S: %s" k (json_number v))
+        !kvs;
+      Buffer.add_string b "}")
+    !bench_records;
+  Buffer.add_string b "\n}\n";
+  Out_channel.with_open_text file (fun oc -> Buffer.output_buffer oc b)
+
+let record_cache_stats () =
+  let cs = State.cache_stats () in
+  let ah, am = Alpha.cache_stats () in
+  let sh, sm = Engine.successor_cache_stats () in
+  let rate h m = if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m) in
+  let f = float_of_int in
+  record "caches" "state_init_hits" (f cs.State.init_hits);
+  record "caches" "state_init_misses" (f cs.State.init_misses);
+  record "caches" "state_subst_hits" (f cs.State.subst_hits);
+  record "caches" "state_subst_misses" (f cs.State.subst_misses);
+  record "caches" "state_trans_hits" (f cs.State.trans_hits);
+  record "caches" "state_trans_misses" (f cs.State.trans_misses);
+  record "caches" "state_trans_hit_rate" (rate cs.State.trans_hits cs.State.trans_misses);
+  record "caches" "state_subst_hit_rate" (rate cs.State.subst_hits cs.State.subst_misses);
+  record "caches" "alpha_hits" (f ah);
+  record "caches" "alpha_misses" (f am);
+  record "caches" "alpha_hit_rate" (rate ah am);
+  record "caches" "engine_successor_hits" (f sh);
+  record "caches" "engine_successor_misses" (f sm);
+  record "caches" "engine_successor_hit_rate" (rate sh sm);
+  record "caches" "state_transitions_total" (f (State.transitions ()));
+  record "caches" "state_live_states" (f (State.live_states ()))
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -48,7 +114,9 @@ let e1 () =
             assert (Engine.try_action s a)
           done)
       in
-      pf "%10d %12d %16.0f@." n (Engine.state_size s) (dt *. 1e9 /. float_of_int n))
+      let ns = dt *. 1e9 /. float_of_int n in
+      record "e1" (Printf.sprintf "ns_per_action_n%d" n) ns;
+      pf "%10d %12d %16.0f@." n (Engine.state_size s) ns)
     [ 100; 200; 400; 800; 1600; 3200 ]
 
 (* ------------------------------------------------------------------ E2 *)
@@ -86,9 +154,11 @@ let e2 () =
          engine replays it from the transition memo *)
       Gc.full_major ();
       let _, dt2 = time (fun () -> e2_feed_patients e n) in
-      pf "%10d %12d %12d %14.0f %14.0f@." n (3 * n) (Engine.state_size s)
-        (dt *. 1e9 /. float_of_int (3 * n))
-        (dt2 *. 1e9 /. float_of_int (3 * n)))
+      let cold = dt *. 1e9 /. float_of_int (3 * n) in
+      let repeat = dt2 *. 1e9 /. float_of_int (3 * n) in
+      record "e2" (Printf.sprintf "ns_cold_n%d" n) cold;
+      record "e2" (Printf.sprintf "ns_repeat_n%d" n) repeat;
+      pf "%10d %12d %12d %14.0f %14.0f@." n (3 * n) (Engine.state_size s) cold repeat)
     [ 1; 2; 4; 8; 16; 32; 64 ];
   pf "@.(measured growth is linear in the touched patients — well within the benign bound)@."
 
@@ -116,6 +186,7 @@ let e3 () =
           done;
           (sz_a, Engine.state_size s))
       in
+      record "e3" (Printf.sprintf "seconds_n%d" n) dt;
       pf "%6d %14d %14d %12.3f@." n sz_a sz_b dt)
     [ 2; 4; 6; 8; 10; 12 ];
   pf "@.(the word aⁿbⁿᐟ² leaves C(n, n/2) alternatives: exponential in n)@."
@@ -479,8 +550,8 @@ let e15 () =
   in
   pf "%-26s %8s %10s %18s %18s %8s@." "expression" "states" "alphabet"
     "interpreted ns/act" "compiled ns/act" "speedup";
-  List.iter
-    (fun (src, script) ->
+  List.iteri
+    (fun i (src, script) ->
       let e = Syntax.parse_exn src in
       let word = Syntax.parse_word_exn script in
       let reps = 3000 in
@@ -502,6 +573,10 @@ let e15 () =
             done)
         in
         let per t = t *. 1e9 /. float_of_int (reps * List.length word) in
+        record "e15" (Printf.sprintf "interpreted_ns_case%d" (i + 1)) (per t_interp);
+        record "e15" (Printf.sprintf "compiled_ns_case%d" (i + 1)) (per t_dfa);
+        record "e15" (Printf.sprintf "speedup_case%d" (i + 1))
+          (t_interp /. max 1e-9 t_dfa);
         pf "%-26s %8d %10d %18.0f %18.0f %7.1fx@." src (Compile.state_count dfa)
           (List.length (Compile.alphabet dfa))
           (per t_interp) (per t_dfa)
@@ -541,8 +616,12 @@ let e16 () =
     (on, off)
   in
   let e1_on, e1_off = ablate run_e1 in
+  record "e16" "e1_memo_on_ns" e1_on;
+  record "e16" "e1_memo_off_ns" e1_off;
   pf "%-36s %18.0f %18.0f@." "E1 quasi-regular (3200 actions)" e1_on e1_off;
   let e2_on, e2_off = ablate run_e2 in
+  record "e16" "e2_memo_on_ns" e2_on;
+  record "e16" "e2_memo_off_ns" e2_off;
   pf "%-36s %18.0f %18.0f@." "E2 patient constraint (32 patients)" e2_on e2_off;
   (* part 2: the Fig. 9 grant loop — permitted followed by try_action.
      With the one-slot successor cache the pair costs one transition; the
@@ -564,6 +643,8 @@ let e16 () =
   let without =
     Fun.protect ~finally:(fun () -> Engine.set_successor_cache true) grant_loop
   in
+  record "e16" "transitions_per_grant_cached" with_cache;
+  record "e16" "transitions_per_grant_uncached" without;
   pf "%-36s %30.2f@." "enabled" with_cache;
   pf "%-36s %30.2f@." "disabled" without;
   pf "@.(structurally equal states are physically shared; %d distinct live states)@."
@@ -732,21 +813,37 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "smoke" args in
+  if smoke then begin
+    (* CI smoke run: collect a telemetry trace alongside the tables, so the
+       JSONL artifact exercises the whole sink path on every push *)
+    let oc = Out_channel.open_text "bench_trace.jsonl" in
+    at_exit (fun () -> Out_channel.close oc);
+    Telemetry.add_sink (Telemetry.jsonl_sink (output_string oc));
+    Telemetry.enable ()
+  end;
+  let names = List.filter (fun a -> a <> "smoke") args in
   let selected =
-    match args with
-    | [] -> List.filter (fun (n, _) -> n <> "bechamel") experiments
-    | names ->
-      List.map
-        (fun n ->
-          match List.assoc_opt (String.lowercase_ascii n) experiments with
-          | Some f -> (n, f)
-          | None ->
-            Format.eprintf "unknown experiment %S (known: %s)@." n
-              (String.concat ", " (List.map fst experiments));
-            exit 2)
-        names
+    if smoke && names = [] then
+      List.filter (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16" ]) experiments
+    else
+      match names with
+      | [] -> List.filter (fun (n, _) -> n <> "bechamel") experiments
+      | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt (String.lowercase_ascii n) experiments with
+            | Some f -> (n, f)
+            | None ->
+              Format.eprintf "unknown experiment %S (known: %s, smoke)@." n
+                (String.concat ", " (List.map fst experiments));
+              exit 2)
+          names
   in
   pf "Interaction expressions and graphs — experiment harness@.";
   pf "(reproduces the evaluation artifacts of Heinlein, ICDE 2001)@.";
   List.iter (fun (_, f) -> f ()) selected;
+  record_cache_stats ();
+  write_bench_json "BENCH_pr2.json";
+  pf "@.wrote BENCH_pr2.json@.";
   pf "@."

@@ -293,8 +293,20 @@ let witness_cmd =
 
 (* --- audit -------------------------------------------------------------- *)
 
+(* A telemetry JSONL trace replays through the same checker as a plain
+   action-per-line log: extract the committed actions and parse each. *)
+let log_of_jsonl input =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | a :: rest -> (
+      match Syntax.parse_action a with
+      | Ok c -> go (c :: acc) rest
+      | Error m -> Error (Printf.sprintf "%s (in JSONL action %S)" m a))
+  in
+  go [] (Telemetry.Jsonl.accepted_actions input)
+
 let audit_cmd =
-  let run e logfile strict stop =
+  let run e logfile strict stop jsonl =
     let input =
       match logfile with
       | Some file ->
@@ -305,7 +317,8 @@ let audit_cmd =
         s
       | None -> In_channel.input_all stdin
     in
-    match Audit.parse_log input with
+    let parsed = if jsonl then log_of_jsonl input else Audit.parse_log input in
+    match parsed with
     | Error m ->
       Format.eprintf "iexpr audit: %s@." m;
       exit 2
@@ -323,14 +336,34 @@ let audit_cmd =
   let stop =
     Arg.(value & flag & info [ "stop-at-first" ] ~doc:"Stop the replay at the first issue.")
   in
+  let jsonl =
+    Arg.(value & flag & info [ "jsonl" ] ~doc:"Treat the log as a telemetry JSONL trace: replay its committed actions.")
+  in
   Cmd.v
     (Cmd.info "audit" ~doc:"Check a recorded event log for conformance with EXPR; lists every violating event.")
-    Term.(const run $ expr_pos $ logfile $ strict $ stop)
+    Term.(const run $ expr_pos $ logfile $ strict $ stop $ jsonl)
 
 (* --- profile ------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run e w csv =
+  let run e w jsonl csv =
+    let w =
+      match (w, jsonl) with
+      | Some w, None -> w
+      | None, Some file -> (
+        let input = In_channel.with_open_text file In_channel.input_all in
+        match log_of_jsonl input with
+        | Ok log -> log
+        | Error m ->
+          Format.eprintf "iexpr profile: %s@." m;
+          exit 2)
+      | Some _, Some _ ->
+        Format.eprintf "iexpr profile: give either WORD or --jsonl, not both@.";
+        exit 2
+      | None, None ->
+        Format.eprintf "iexpr profile: a WORD argument or --jsonl FILE is required@.";
+        exit 2
+    in
     let p = Instrument.profile e w in
     if csv then print_string (Instrument.to_csv p)
     else begin
@@ -346,12 +379,15 @@ let profile_cmd =
     end
   in
   let word_pos =
-    Arg.(required & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions to profile against.")
+    Arg.(value & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions to profile against.")
+  in
+  let jsonl =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE" ~doc:"Profile the committed actions of a telemetry JSONL trace instead of WORD.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit index,size CSV rows instead of a summary.") in
   Cmd.v
     (Cmd.info "profile" ~doc:"Measure the growth of state sizes along a run and fit a growth model (the empirical side of Section 6).")
-    Term.(const run $ expr_pos $ word_pos $ csv)
+    Term.(const run $ expr_pos $ word_pos $ jsonl $ csv)
 
 let main =
   Cmd.group

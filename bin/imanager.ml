@@ -18,12 +18,20 @@
      RECOVER [<file>]               -> OK        (log replay, or from checkpoint)
      LOG                            -> one line per confirmed action, then OK
      STATS                          -> one line of counters
+     METRICS                        -> telemetry exposition, then OK
      STATE                          -> STATE <size>
      QUIT
 
    Start with the constraint expression as the command-line argument:
 
-     dune exec bin/imanager.exe -- "all p: mutex(some x: call(p,x) - perform(p,x))" *)
+     dune exec bin/imanager.exe -- "all p: mutex(some x: call(p,x) - perform(p,x))"
+
+   Options (before the expression):
+     --stats-every N   dump STATS to stderr every N processed commands
+     --trace FILE      append every telemetry event to FILE as JSONL
+
+   Telemetry is enabled at startup: a server wants its counters live, and
+   the cost without a sink is a few counter bumps per request. *)
 
 open Interaction
 open Interaction_manager
@@ -38,15 +46,17 @@ let with_action rest k =
   | Ok a -> k a
   | Error m -> out "ERROR %s" m
 
-let run mgr =
+let run ~stats_every mgr =
   let stop = ref false in
+  let processed = ref 0 in
   while not !stop do
     match In_channel.input_line stdin with
     | None -> stop := true
     | Some line -> (
       match split_words (String.trim line) with
       | [] -> ()
-      | cmd :: args -> (
+      | cmd :: args ->
+        (
         match (String.uppercase_ascii cmd, args) with
         | "ASK", client :: rest ->
           with_action rest (fun a ->
@@ -111,21 +121,53 @@ let run mgr =
             (Manager.confirmed_log mgr);
           out "OK"
         | "STATS", [] -> out "%a" Manager.pp_stats (Manager.stats mgr)
+        | "METRICS", [] ->
+          print_string (Telemetry.expose ());
+          out "OK"
         | "STATE", [] -> out "STATE %d" (Manager.state_size mgr)
         | "QUIT", [] -> stop := true
-        | _ -> out "ERROR unknown command %S" line))
+        | _ -> out "ERROR unknown command %S" line);
+        incr processed;
+        if stats_every > 0 && !processed mod stats_every = 0 then
+          Format.eprintf "STATS %a@." Manager.pp_stats (Manager.stats mgr))
   done
 
+let usage () =
+  prerr_endline
+    "usage: imanager [--stats-every N] [--trace FILE] \"<interaction expression>\"";
+  exit 2
+
 let () =
-  match Sys.argv with
-  | [| _; expr |] -> (
-    match Syntax.parse expr with
-    | Error m ->
-      prerr_endline ("imanager: " ^ m);
-      exit 2
-    | Ok e ->
-      Format.printf "READY %d@." (Expr.size e);
-      run (Manager.create e))
-  | _ ->
-    prerr_endline "usage: imanager \"<interaction expression>\"";
+  let stats_every = ref 0 in
+  let trace_file = ref None in
+  let rec parse_args = function
+    | "--stats-every" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        stats_every := n;
+        parse_args rest
+      | Some _ | None -> usage ())
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse_args rest
+    | [ expr ] -> expr
+    | _ -> usage ()
+  in
+  let expr = parse_args (List.tl (Array.to_list Sys.argv)) in
+  match Syntax.parse expr with
+  | Error m ->
+    prerr_endline ("imanager: " ^ m);
     exit 2
+  | Ok e ->
+    let trace_oc =
+      match !trace_file with
+      | None -> None
+      | Some file ->
+        let oc = Out_channel.open_text file in
+        Telemetry.add_sink (Telemetry.jsonl_sink (output_string oc));
+        Some oc
+    in
+    Telemetry.enable ();
+    Format.printf "READY %d@." (Expr.size e);
+    run ~stats_every:!stats_every (Manager.create e);
+    Option.iter Out_channel.close trace_oc

@@ -23,7 +23,7 @@ let help () =
     \  do <action>        attempt an action (Fig. 9's action problem)@.\
     \  force <action>     execute even if forbidden (may kill the session)@.\
     \  permitted          list currently permitted actions@.\
-    \  trace              accepted actions so far@.\
+    \  trace [file]       accepted actions; with a file, export telemetry JSONL@.\
     \  state              state size and finality@.\
     \  dump               structural state dump@.\
     \  reset              back to the initial state@.\
@@ -35,7 +35,21 @@ let help () =
     \  walk <n>           random walk of n permitted actions@.\
     \  save <file>        persist the session@.\
     \  restore <file>     load a persisted session@.\
+    \  telemetry on|off   collect events into a bounded ring buffer@.\
+    \  metrics            Prometheus-style counters, caches, watermarks@.\
     \  help, quit"
+
+(* One process-wide ring: `telemetry on` installs it as a sink once, and
+   `trace` reads it back.  8192 events is plenty for an interactive
+   session; eviction is reported by `trace`. *)
+let ring = Telemetry.Ring.create 8192
+let ring_installed = ref false
+
+let install_ring () =
+  if not !ring_installed then begin
+    Telemetry.add_sink (Telemetry.Ring.sink ring);
+    ring_installed := true
+  end
 
 let with_session env k =
   match env.session with
@@ -87,10 +101,19 @@ let command env line =
         else
           List.iter (fun a -> out "  %s" (Action.concrete_to_string a)) ok)
   | "trace" ->
-    with_session env (fun s ->
-        match Engine.trace s with
-        | [] -> out "(empty trace)"
-        | tr -> out "%s" (String.concat " " (List.map Action.concrete_to_string tr)))
+    if rest <> "" then begin
+      (* export the collected telemetry events as JSONL *)
+      let evs = Telemetry.Ring.to_list ring in
+      Out_channel.with_open_text rest (fun oc ->
+          List.iter (fun ev -> output_string oc (Telemetry.event_to_json ev ^ "\n")) evs);
+      out "wrote %d event(s) to %s (%d dropped)" (List.length evs) rest
+        (Telemetry.Ring.dropped ring)
+    end
+    else
+      with_session env (fun s ->
+          match Engine.trace s with
+          | [] -> out "(empty trace)"
+          | tr -> out "%s" (String.concat " " (List.map Action.concrete_to_string tr)))
   | "state" ->
     with_session env (fun s ->
         if not (Engine.is_alive s) then out "state: dead"
@@ -161,6 +184,17 @@ let command env line =
             (List.length (Engine.trace s))
         | exception Invalid_argument m -> out "restore failed: %s" m)
       | exception Sys_error m -> out "restore failed: %s" m)
+  | "telemetry" -> (
+    match rest with
+    | "on" ->
+      install_ring ();
+      Telemetry.enable ();
+      out "telemetry enabled (ring capacity %d)" (Telemetry.Ring.capacity ring)
+    | "off" ->
+      Telemetry.disable ();
+      out "telemetry disabled"
+    | _ -> out "usage: telemetry on|off")
+  | "metrics" -> print_string (Telemetry.expose ())
   | "quit" | "exit" -> raise Exit
   | other -> out "unknown command %S (try: help)" other
 

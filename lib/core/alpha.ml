@@ -59,15 +59,32 @@ end)
 
 let of_expr_tbl : t ExprTbl.t = ExprTbl.create 64
 
+(* Plain always-on tallies (like [State.trans_counter]): one int bump per
+   lookup, cheap enough not to gate.  Telemetry reads them as probes. *)
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_stats () = (!cache_hits, !cache_misses)
+
+let reset_cache_stats () =
+  cache_hits := 0;
+  cache_misses := 0
+
 let of_expr e =
   if not !memoize then of_expr_uncached e
   else
     match ExprTbl.find_opt of_expr_tbl e with
-    | Some alpha -> alpha
+    | Some alpha ->
+      incr cache_hits;
+      alpha
     | None ->
+      incr cache_misses;
       let alpha = of_expr_uncached e in
       ExprTbl.add of_expr_tbl e alpha;
       alpha
+
+let () =
+  Telemetry.register_probe "alpha_memo_hits" (fun () -> float_of_int !cache_hits);
+  Telemetry.register_probe "alpha_memo_misses" (fun () -> float_of_int !cache_misses)
 
 (* Match a pattern against a concrete action.  [Bound] positions may take
    any value but must agree across positions with the same binder; [Free]

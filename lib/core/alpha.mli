@@ -40,6 +40,13 @@ val set_memoization : bool -> unit
 
 val memoization : unit -> bool
 
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the {!of_expr} memo cache since start (or the last
+    {!reset_cache_stats}).  Always counted — one int bump per lookup — and
+    exported to the telemetry registry as the [alpha_memo_*] probes. *)
+
+val reset_cache_stats : unit -> unit
+
 val mem : t -> Action.concrete -> bool
 (** [mem alpha c] — does the concrete action [c] belong to the (expanded)
     alphabet?  [Free] positions match nothing. *)

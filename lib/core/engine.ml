@@ -3,10 +3,32 @@ type verdict = Semantics.verdict =
   | Partial
   | Complete
 
-let word e w =
+(* Telemetry handles, created once at module init; the disabled path of
+   every instrumented operation below is a single [!Telemetry.on] read. *)
+let m_actions = Telemetry.counter "engine_actions_total"
+let m_accepted = Telemetry.counter "engine_accepted_total"
+let m_rejected = Telemetry.counter "engine_rejected_total"
+let m_permitted_checks = Telemetry.counter "engine_permitted_checks_total"
+let m_try_ns = Telemetry.histogram "engine_try_action_ns"
+let g_state_size = Telemetry.gauge "engine_state_size"
+
+let word_unobserved e w =
   match State.trans_word (State.init e) w with
   | None -> Illegal
   | Some s -> if State.final s then Complete else Partial
+
+let verdict_name = function
+  | Illegal -> "illegal"
+  | Partial -> "partial"
+  | Complete -> "complete"
+
+let word e w =
+  if not !Telemetry.on then word_unobserved e w
+  else
+    Telemetry.span "engine.word"
+      ~fields:[ ("len", Telemetry.Int (List.length w)) ]
+      ~exit:(fun v -> [ ("verdict", Telemetry.Str (verdict_name v)) ])
+      (fun () -> word_unobserved e w)
 
 let word_int e w = Semantics.verdict_to_int (word e w)
 
@@ -26,6 +48,22 @@ let successor_cache = ref true
 let set_successor_cache b = successor_cache := b
 let successor_cache_enabled () = !successor_cache
 
+(* Always-on hit/miss tallies of the one-slot cache, in the style of
+   [State.cache_stats]; exported as the [engine_successor_cache_*] probes. *)
+let succ_hits = ref 0
+let succ_misses = ref 0
+let successor_cache_stats () = (!succ_hits, !succ_misses)
+
+let reset_successor_cache_stats () =
+  succ_hits := 0;
+  succ_misses := 0
+
+let () =
+  Telemetry.register_probe "engine_successor_cache_hits" (fun () ->
+      float_of_int !succ_hits);
+  Telemetry.register_probe "engine_successor_cache_misses" (fun () ->
+      float_of_int !succ_misses)
+
 let create e = { sexpr = e; state = Some (State.init e); rev_trace = []; tentative = None }
 let expr s = s.sexpr
 
@@ -35,8 +73,10 @@ let tentative_trans s st c =
   match s.tentative with
   | Some (st0, c0, succ)
     when !successor_cache && State.equal st0 st && Action.equal_concrete c0 c ->
+    incr succ_hits;
     succ
   | _ ->
+    if !successor_cache then incr succ_misses;
     let succ = State.trans st c in
     if !successor_cache then s.tentative <- Some (st, c, succ);
     succ
@@ -44,9 +84,18 @@ let tentative_trans s st c =
 let permitted s c =
   match s.state with
   | None -> false
-  | Some st -> tentative_trans s st c <> None
+  | Some st ->
+    let ok = tentative_trans s st c <> None in
+    if !Telemetry.on then begin
+      Telemetry.incr m_permitted_checks;
+      Telemetry.event "engine.permitted"
+        ~fields:
+          [ ("action", Telemetry.Str (Action.concrete_to_string c));
+            ("ok", Telemetry.Bool ok) ]
+    end;
+    ok
 
-let try_action s c =
+let try_action_unobserved s c =
   match s.state with
   | None -> false
   | Some st -> (
@@ -58,7 +107,32 @@ let try_action s c =
       true
     | None -> false)
 
-let feed s cs = List.filter (fun c -> not (try_action s c)) cs
+let try_action s c =
+  if not !Telemetry.on then try_action_unobserved s c
+  else begin
+    let t0 = Telemetry.now () in
+    let ok = try_action_unobserved s c in
+    Telemetry.observe m_try_ns (Int64.sub (Telemetry.now ()) t0);
+    Telemetry.incr m_actions;
+    Telemetry.incr (if ok then m_accepted else m_rejected);
+    let size = match s.state with Some st -> State.size st | None -> 0 in
+    Telemetry.set_gauge g_state_size (float_of_int size);
+    Telemetry.event "engine.try_action"
+      ~fields:
+        [ ("action", Telemetry.Str (Action.concrete_to_string c));
+          ("ok", Telemetry.Bool ok);
+          ("commit", Telemetry.Bool ok);
+          ("state_size", Telemetry.Int size) ];
+    ok
+  end
+
+let feed s cs =
+  if not !Telemetry.on then List.filter (fun c -> not (try_action_unobserved s c)) cs
+  else
+    Telemetry.span "engine.feed"
+      ~fields:[ ("offered", Telemetry.Int (List.length cs)) ]
+      ~exit:(fun rejected -> [ ("rejected", Telemetry.Int (List.length rejected)) ])
+      (fun () -> List.filter (fun c -> not (try_action s c)) cs)
 
 let is_final s = match s.state with Some st -> State.final st | None -> false
 let is_alive s = s.state <> None
@@ -74,7 +148,19 @@ let force s c =
     s.state <- next;
     s.tentative <- None;
     s.rev_trace <- c :: s.rev_trace;
-    next <> None
+    let ok = next <> None in
+    if !Telemetry.on then begin
+      Telemetry.incr m_actions;
+      Telemetry.incr (if ok then m_accepted else m_rejected);
+      Telemetry.event "engine.force"
+        ~fields:
+          [ ("action", Telemetry.Str (Action.concrete_to_string c));
+            ("ok", Telemetry.Bool ok);
+            (* forced actions happen regardless of the verdict: they belong
+               to the replayable trace even when they killed the session *)
+            ("commit", Telemetry.Bool true) ]
+    end;
+    ok
 
 let trace s = List.rev s.rev_trace
 let state_size s = match s.state with Some st -> State.size st | None -> 0

@@ -78,6 +78,15 @@ val set_successor_cache : bool -> unit
 
 val successor_cache_enabled : unit -> bool
 
+val successor_cache_stats : unit -> int * int
+(** [(hits, misses)] of the one-slot successor cache across all sessions
+    since start (or the last {!reset_successor_cache_stats}).  Always
+    counted; exported to the telemetry registry as the
+    [engine_successor_cache_*] probes.  Queries made while the cache is
+    disabled count nothing. *)
+
+val reset_successor_cache_stats : unit -> unit
+
 (** {1 Persistence} *)
 
 val save : session -> string

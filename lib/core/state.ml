@@ -305,12 +305,53 @@ end)
 
 let init_tbl : t ExprTbl.t = ExprTbl.create 64
 
+(* Always-on hit/miss tallies for the three memo caches (init, subst,
+   trans), in the style of [trans_counter]: one int bump per lookup, never
+   gated.  The telemetry registry samples them as probes; the experiment
+   harness reads them via [cache_stats]. *)
+let init_hits = ref 0
+let init_misses = ref 0
+let subst_hits = ref 0
+let subst_misses = ref 0
+let trans_hits = ref 0
+let trans_misses = ref 0
+
+type cache_stats = {
+  init_hits : int;
+  init_misses : int;
+  subst_hits : int;
+  subst_misses : int;
+  trans_hits : int;
+  trans_misses : int;
+}
+
+let cache_stats () =
+  {
+    init_hits = !init_hits;
+    init_misses = !init_misses;
+    subst_hits = !subst_hits;
+    subst_misses = !subst_misses;
+    trans_hits = !trans_hits;
+    trans_misses = !trans_misses;
+  }
+
+let reset_cache_stats () =
+  init_hits := 0;
+  init_misses := 0;
+  subst_hits := 0;
+  subst_misses := 0;
+  trans_hits := 0;
+  trans_misses := 0
+
 let rec init (e : Expr.t) : t =
   if not !memoize then init_uncached e
   else
     match ExprTbl.find_opt init_tbl e with
-    | Some s -> s
+    | Some s ->
+      incr init_hits;
+      s
     | None ->
+      incr init_misses;
       let s = init_uncached e in
       ExprTbl.add init_tbl e s;
       s
@@ -371,8 +412,11 @@ let rec subst_state p v (s : t) : t =
   else
     let key = (s.id, p, v) in
     match Hashtbl.find_opt subst_tbl key with
-    | Some r -> r
+    | Some r ->
+      incr subst_hits;
+      r
     | None ->
+      incr subst_misses;
       if Hashtbl.length subst_tbl >= subst_tbl_cap then Hashtbl.reset subst_tbl;
       let r = subst_uncached p v s in
       Hashtbl.add subst_tbl key r;
@@ -771,8 +815,11 @@ let trans s c =
   else
     let key = (s.id, c) in
     match Hashtbl.find_opt trans_tbl key with
-    | Some r -> r
+    | Some r ->
+      incr trans_hits;
+      r
     | None ->
+      incr trans_misses;
       if Hashtbl.length trans_tbl >= trans_tbl_cap then Hashtbl.reset trans_tbl;
       let r = trans_rec s c in
       Hashtbl.add trans_tbl key r;
@@ -780,6 +827,23 @@ let trans s c =
 
 let trans_word s w =
   List.fold_left (fun acc c -> Option.bind acc (fun s -> trans s c)) (Some s) w
+
+let () =
+  let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
+  let rate h m () =
+    let t = !h + !m in
+    if t = 0 then 0. else float_of_int !h /. float_of_int t
+  in
+  probe "state_transitions_total" trans_counter;
+  Telemetry.register_probe "state_live_states" (fun () -> float_of_int (live_states ()));
+  probe "state_memo_init_hits" init_hits;
+  probe "state_memo_init_misses" init_misses;
+  probe "state_memo_subst_hits" subst_hits;
+  probe "state_memo_subst_misses" subst_misses;
+  probe "state_memo_trans_hits" trans_hits;
+  probe "state_memo_trans_misses" trans_misses;
+  Telemetry.register_probe "state_memo_trans_hit_rate" (rate trans_hits trans_misses);
+  Telemetry.register_probe "state_memo_subst_hit_rate" (rate subst_hits subst_misses)
 
 let rec size (s : t) : int =
   match s.node with

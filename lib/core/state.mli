@@ -80,6 +80,24 @@ val live_states : unit -> int
 (** Number of distinct live states in the hash-cons table (weakly held:
     unreachable states are reclaimed by the GC). *)
 
+type cache_stats = {
+  init_hits : int;
+  init_misses : int;
+  subst_hits : int;
+  subst_misses : int;
+  trans_hits : int;
+  trans_misses : int;
+}
+
+val cache_stats : unit -> cache_stats
+(** Hit/miss tallies of the three memo caches ({!init}, instance
+    materialization, {!trans}) since start or the last
+    {!reset_cache_stats}.  Always counted — one int bump per lookup — and
+    exported to the telemetry registry as the [state_memo_*] probes.
+    Lookups made while memoization is disabled count nothing. *)
+
+val reset_cache_stats : unit -> unit
+
 val pp : Format.formatter -> t -> unit
 (** Structural dump of a state, for debugging and the examples. *)
 

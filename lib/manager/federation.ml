@@ -58,24 +58,49 @@ let relevant t c =
 
 let permitted t c = List.for_all (fun m -> Manager.permitted m c) (relevant t c)
 
+(* Message accounting for the two-phase round: an ask is a request plus a
+   reply (2 messages); a confirm or abort is fire-and-forget (1). *)
+let m_rounds = Telemetry.counter "federation_rounds_total"
+let m_msgs = Telemetry.counter "federation_messages_total"
+
 let execute t ~client c =
   let members = relevant t c in
-  (* phase 1: collect grants from every relevant manager *)
-  let rec grant acc = function
-    | [] -> Ok (List.rev acc)
-    | m :: rest -> (
-      match Manager.ask m ~client c with
-      | Manager.Granted -> grant (m :: acc) rest
-      | Manager.Denied | Manager.Busy -> Error acc)
+  let run () =
+    Telemetry.incr m_rounds;
+    (* phase 1: collect grants from every relevant manager *)
+    let rec grant acc = function
+      | [] -> Ok (List.rev acc)
+      | m :: rest -> (
+        Telemetry.add m_msgs 2;
+        match Manager.ask m ~client c with
+        | Manager.Granted -> grant (m :: acc) rest
+        | Manager.Denied | Manager.Busy -> Error acc)
+    in
+    match grant [] members with
+    | Ok granted ->
+      (* phase 2: commit everywhere *)
+      List.iter
+        (fun m ->
+          Telemetry.add m_msgs 1;
+          Manager.confirm m ~client c)
+        granted;
+      true
+    | Error granted ->
+      List.iter
+        (fun m ->
+          Telemetry.add m_msgs 1;
+          Manager.abort m ~client c)
+        granted;
+      false
   in
-  match grant [] members with
-  | Ok granted ->
-    (* phase 2: commit everywhere *)
-    List.iter (fun m -> Manager.confirm m ~client c) granted;
-    true
-  | Error granted ->
-    List.iter (fun m -> Manager.abort m ~client c) granted;
-    false
+  if not !Telemetry.on then run ()
+  else
+    Telemetry.span "federation.execute"
+      ~fields:
+        [ ("action", Telemetry.Str (Action.concrete_to_string c));
+          ("managers", Telemetry.Int (List.length members)) ]
+      ~exit:(fun ok -> [ ("ok", Telemetry.Bool ok) ])
+      run
 
 let loads t =
   List.map (fun (m, _) -> ((Manager.stats m).Manager.asks, Manager.stats m)) t.members

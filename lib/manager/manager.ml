@@ -30,6 +30,18 @@ type notification = {
   now_permitted : bool;
 }
 
+(* Telemetry handles, mirroring the [stats] record in the shared metrics
+   registry so live exposure (`imanager METRICS`, `iworkbench metrics`)
+   agrees with [pp_stats].  Counter bumps self-gate on the telemetry flag. *)
+let m_asks = Telemetry.counter "manager_asks_total"
+let m_grants = Telemetry.counter "manager_grants_total"
+let m_denials = Telemetry.counter "manager_denials_total"
+let m_busies = Telemetry.counter "manager_busies_total"
+let m_confirms = Telemetry.counter "manager_confirms_total"
+let m_aborts = Telemetry.counter "manager_aborts_total"
+let m_informs = Telemetry.counter "manager_informs_total"
+let m_execute_ns = Telemetry.histogram "manager_execute_ns"
+
 type t = {
   mexpr : Expr.t;
   alpha : Alpha.t;
@@ -92,6 +104,7 @@ let notify t ~before =
       let was = before action and is_now = permitted t action in
       if was <> is_now then (
         Mqueue.send (inbox t ~client) { action; now_permitted = is_now };
+        Telemetry.incr m_informs;
         t.st <- { t.st with informs = t.st.informs + 1 }))
     t.subs
 
@@ -126,7 +139,7 @@ let bump_action t c granted =
   let g, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_action c) in
   Hashtbl.replace t.per_action c (if granted then (g + 1, d) else (g, d + 1))
 
-let ask t ~client c =
+let ask_unobserved t ~client c =
   t.st <- { t.st with asks = t.st.asks + 1 };
   if t.crashed then Denied
   else if not (in_alphabet t c) then (
@@ -148,12 +161,29 @@ let ask t ~client c =
         bump_action t c false;
         Denied)
 
+let reply_name = function Granted -> "granted" | Denied -> "denied" | Busy -> "busy"
+
+let ask t ~client c =
+  if not !Telemetry.on then ask_unobserved t ~client c
+  else
+    Telemetry.span "manager.ask"
+      ~fields:
+        [ ("client", Telemetry.Str client);
+          ("action", Telemetry.Str (Action.concrete_to_string c)) ]
+      ~exit:(fun r -> [ ("reply", Telemetry.Str (reply_name r)) ])
+      (fun () ->
+        let r = ask_unobserved t ~client c in
+        Telemetry.incr m_asks;
+        Telemetry.incr
+          (match r with Granted -> m_grants | Denied -> m_denials | Busy -> m_busies);
+        r)
+
 let matching_grant t ~client c =
   match t.outstanding with
   | Some (cl, a) when String.equal cl client && Action.equal_concrete a c -> true
   | Some _ | None -> false
 
-let confirm t ~client c =
+let confirm_unobserved t ~client c =
   t.st <- { t.st with confirms = t.st.confirms + 1 };
   if not (in_alphabet t c) then () (* foreign actions carry no state *)
   else if matching_grant t ~client c then (
@@ -162,16 +192,49 @@ let confirm t ~client c =
     do_transition t c)
   else invalid_arg "Manager.confirm: no matching outstanding grant"
 
+let confirm t ~client c =
+  if not !Telemetry.on then confirm_unobserved t ~client c
+  else
+    Telemetry.span "manager.confirm"
+      ~fields:
+        [ ("client", Telemetry.Str client);
+          ("action", Telemetry.Str (Action.concrete_to_string c)) ]
+      (fun () ->
+        confirm_unobserved t ~client c;
+        Telemetry.incr m_confirms;
+        (* the trace's replayable log: confirmed = committed (a protocol
+           violation raised out of confirm_unobserved never reaches here) *)
+        Telemetry.event "manager.committed"
+          ~fields:
+            [ ("action", Telemetry.Str (Action.concrete_to_string c));
+              ("commit", Telemetry.Bool true) ])
+
 let abort t ~client c =
   t.st <- { t.st with aborts = t.st.aborts + 1 };
+  Telemetry.incr m_aborts;
+  if !Telemetry.on then
+    Telemetry.event "manager.abort"
+      ~fields:
+        [ ("client", Telemetry.Str client);
+          ("action", Telemetry.Str (Action.concrete_to_string c)) ];
   if matching_grant t ~client c then t.outstanding <- None
 
-let execute t ~client c =
+let execute_unobserved t ~client c =
   match ask t ~client c with
   | Granted ->
     confirm t ~client c;
     true
   | Denied | Busy -> false
+
+let execute t ~client c =
+  if not !Telemetry.on then execute_unobserved t ~client c
+  else
+    Telemetry.span "manager.execute"
+      ~fields:
+        [ ("client", Telemetry.Str client);
+          ("action", Telemetry.Str (Action.concrete_to_string c)) ]
+      ~exit:(fun ok -> [ ("ok", Telemetry.Bool ok) ])
+      (fun () -> Telemetry.time m_execute_ns (fun () -> execute_unobserved t ~client c))
 
 let is_stuck t = t.outstanding <> None
 
@@ -190,6 +253,7 @@ let subscribe t ~client c =
   then t.subs <- (client, c) :: t.subs;
   (* initial status notification *)
   Mqueue.send (inbox t ~client) { action = c; now_permitted = permitted t c };
+  Telemetry.incr m_informs;
   t.st <- { t.st with informs = t.st.informs + 1 }
 
 let unsubscribe t ~client c =

@@ -44,39 +44,79 @@ type 'a t = {
   flight : 'a fifo;  (* delivered, not acknowledged *)
   mutable sent : int;
   mutable redelivered : int;
+  mutable hwm : int;  (* max pending depth ever observed *)
 }
+
+(* Always-on aggregates across every queue in the process, sampled by the
+   telemetry registry as probes. *)
+let g_sends = ref 0
+let g_receives = ref 0
+let g_acks = ref 0
+let g_redeliveries = ref 0
+let g_depth_hwm = ref 0
+
+let () =
+  let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
+  probe "mqueue_sends_total" g_sends;
+  probe "mqueue_receives_total" g_receives;
+  probe "mqueue_acks_total" g_acks;
+  probe "mqueue_redeliveries_total" g_redeliveries;
+  probe "mqueue_depth_hwm" g_depth_hwm
 
 let create ~name =
   { qname = name; pending = fifo_empty (); flight = fifo_empty (); sent = 0;
-    redelivered = 0 }
+    redelivered = 0; hwm = 0 }
 
 let name q = q.qname
 
 let send q m =
   fifo_push q.pending m;
-  q.sent <- q.sent + 1
+  q.sent <- q.sent + 1;
+  incr g_sends;
+  if q.pending.size > q.hwm then q.hwm <- q.pending.size;
+  if q.pending.size > !g_depth_hwm then g_depth_hwm := q.pending.size;
+  if !Telemetry.on then
+    Telemetry.event "mqueue.enqueue"
+      ~fields:
+        [ ("queue", Telemetry.Str q.qname); ("depth", Telemetry.Int q.pending.size) ]
 
 let receive q =
   match fifo_pop q.pending with
   | None -> None
   | Some m ->
     fifo_push q.flight m;
+    incr g_receives;
+    if !Telemetry.on then
+      Telemetry.event "mqueue.dequeue"
+        ~fields:
+          [ ("queue", Telemetry.Str q.qname);
+            ("depth", Telemetry.Int q.pending.size);
+            ("in_flight", Telemetry.Int q.flight.size) ];
     Some m
 
 let ack q =
   match fifo_pop q.flight with
   | None -> invalid_arg "Mqueue.ack: no message in flight"
-  | Some _ -> ()
+  | Some _ -> incr g_acks
 
 let crash_receiver q =
   q.redelivered <- q.redelivered + q.flight.size;
+  g_redeliveries := !g_redeliveries + q.flight.size;
+  if !Telemetry.on && q.flight.size > 0 then
+    Telemetry.event "mqueue.redeliver"
+      ~fields:
+        [ ("queue", Telemetry.Str q.qname); ("count", Telemetry.Int q.flight.size) ];
   (* redelivery order: in-flight messages (oldest first) before pending *)
   fifo_requeue_front q.pending (fifo_to_list q.flight);
+  if q.pending.size > q.hwm then q.hwm <- q.pending.size;
+  if q.pending.size > !g_depth_hwm then g_depth_hwm := q.pending.size;
   q.flight.front <- [];
   q.flight.back <- [];
   q.flight.size <- 0
 
 let length q = q.pending.size
+let depth = length
+let high_watermark q = q.hwm
 let in_flight q = q.flight.size
 let sent_count q = q.sent
 let redelivered_count q = q.redelivered

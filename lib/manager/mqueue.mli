@@ -30,6 +30,13 @@ val crash_receiver : 'a t -> unit
 val length : 'a t -> int
 (** Undelivered messages. *)
 
+val depth : 'a t -> int
+(** Synonym of {!length}, the telemetry vocabulary. *)
+
+val high_watermark : 'a t -> int
+(** Maximum undelivered depth ever observed on this queue (including
+    redelivery bursts after {!crash_receiver}). *)
+
 val in_flight : 'a t -> int
 val sent_count : 'a t -> int
 val redelivered_count : 'a t -> int

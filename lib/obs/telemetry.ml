@@ -1,0 +1,492 @@
+(* Cross-layer telemetry: events/spans, metrics registry, pluggable sinks.
+   See telemetry.mli for the contract.  Everything here is deliberately
+   dependency-free (no Unix, no fmt) so every layer of the system can link
+   against it. *)
+
+(* ------------------------------------------------------------------ *)
+(* Enablement and clock                                                *)
+(* ------------------------------------------------------------------ *)
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+(* [Sys.time] is CPU time, not wall time, but it is monotonic within a
+   process and needs no extra library.  Callers wanting better
+   resolution (or determinism, in tests) install their own clock. *)
+let default_clock () = Int64.of_float (Sys.time () *. 1e9)
+let clock = ref default_clock
+let set_clock c = clock := c
+let now () = !clock ()
+
+(* ------------------------------------------------------------------ *)
+(* Events and spans                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type fields = (string * value) list
+type kind = Span_start | Span_end | Point
+
+type event = {
+  seq : int;
+  ts : int64;
+  kind : kind;
+  name : string;
+  span : int;
+  parent : int;
+  fields : fields;
+}
+
+type sink = event -> unit
+
+let sinks : sink list ref = ref []
+let add_sink s = sinks := !sinks @ [ s ]
+let clear_sinks () = sinks := []
+
+let seq_counter = ref 0
+let span_counter = ref 0
+let span_stack : int list ref = ref []
+let current_span () = match !span_stack with [] -> 0 | id :: _ -> id
+
+let emit kind name span parent fields =
+  Stdlib.incr seq_counter;
+  let ev = { seq = !seq_counter; ts = now (); kind; name; span; parent; fields } in
+  List.iter (fun s -> s ev) !sinks
+
+let event ?(fields = []) name =
+  if !on then emit Point name (current_span ()) 0 fields
+
+let span ?(fields = []) ?exit name f =
+  if not !on then f ()
+  else begin
+    Stdlib.incr span_counter;
+    let id = !span_counter in
+    let parent = current_span () in
+    let t0 = now () in
+    emit Span_start name id parent fields;
+    span_stack := id :: !span_stack;
+    let finish extra =
+      (match !span_stack with
+      | top :: rest when top = id -> span_stack := rest
+      | stack -> span_stack := List.filter (fun i -> i <> id) stack);
+      let dur = Int64.to_int (Int64.sub (now ()) t0) in
+      emit Span_end name id parent (("dur_ns", Int dur) :: extra)
+    in
+    match f () with
+    | r ->
+      finish (match exit with Some g -> g r | None -> []);
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish [ ("raised", Bool true) ];
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer sink                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  type t = {
+    buf : event option array;
+    mutable pushed : int;  (* total pushes since creation/clear *)
+  }
+
+  let create cap = { buf = Array.make (max 1 cap) None; pushed = 0 }
+  let capacity r = Array.length r.buf
+
+  let sink r ev =
+    r.buf.(r.pushed mod Array.length r.buf) <- Some ev;
+    r.pushed <- r.pushed + 1
+
+  let length r = min r.pushed (Array.length r.buf)
+  let dropped r = max 0 (r.pushed - Array.length r.buf)
+
+  let to_list r =
+    let cap = Array.length r.buf in
+    let n = length r in
+    List.init n (fun i ->
+        match r.buf.((r.pushed - n + i) mod cap) with
+        | Some ev -> ev
+        | None -> assert false)
+
+  let clear r =
+    Array.fill r.buf 0 (Array.length r.buf) None;
+    r.pushed <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable count : int }
+type gauge = { mutable current : float; mutable hwm : float }
+
+(* Bucket upper bounds in nanoseconds, roughly logarithmic: enough
+   resolution under 1µs for the τ̂ hot path, coarse above 1ms. *)
+let bucket_bounds =
+  [| 100.; 250.; 500.; 1_000.; 2_500.; 5_000.; 10_000.; 25_000.; 50_000.;
+     100_000.; 250_000.; 500_000.; 1_000_000.; 10_000_000.; 100_000_000. |]
+
+type histogram = {
+  buckets : int array;  (* one slot per bound; overflow tracked by hcount *)
+  mutable hcount : int;
+  mutable hsum : float;  (* ns *)
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Probe of (unit -> float)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let type_clash name =
+  invalid_arg
+    (Printf.sprintf "Telemetry: %S already registered with a different type" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> type_clash name
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add registry name (Counter c);
+    c
+
+let add c n = if !on then c.count <- c.count + n
+let incr c = add c 1
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> type_clash name
+  | None ->
+    let g = { current = 0.; hwm = 0. } in
+    Hashtbl.add registry name (Gauge g);
+    g
+
+let set_gauge g v =
+  if !on then begin
+    g.current <- v;
+    if v > g.hwm then g.hwm <- v
+  end
+
+let gauge_value g = g.current
+let gauge_hwm g = g.hwm
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> type_clash name
+  | None ->
+    let h =
+      { buckets = Array.make (Array.length bucket_bounds) 0; hcount = 0; hsum = 0. }
+    in
+    Hashtbl.add registry name (Histogram h);
+    h
+
+let observe h ns =
+  if !on then begin
+    let v = Int64.to_float ns in
+    let i = ref 0 in
+    while !i < Array.length bucket_bounds && v > bucket_bounds.(!i) do
+      i := !i + 1
+    done;
+    if !i < Array.length h.buckets then h.buckets.(!i) <- h.buckets.(!i) + 1;
+    h.hcount <- h.hcount + 1;
+    h.hsum <- h.hsum +. v
+  end
+
+let histogram_count h = h.hcount
+let histogram_sum h = h.hsum
+
+let time h f =
+  if not !on then f ()
+  else begin
+    let t0 = now () in
+    match f () with
+    | r ->
+      observe h (Int64.sub (now ()) t0);
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      observe h (Int64.sub (now ()) t0);
+      Printexc.raise_with_backtrace e bt
+  end
+
+let register_probe name f =
+  match Hashtbl.find_opt registry name with
+  | Some (Probe _) -> Hashtbl.replace registry name (Probe f)
+  | Some _ -> type_clash name
+  | None -> Hashtbl.add registry name (Probe f)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+        g.current <- 0.;
+        g.hwm <- 0.
+      | Histogram h ->
+        Array.fill h.buckets 0 (Array.length h.buckets) 0;
+        h.hcount <- 0;
+        h.hsum <- 0.
+      | Probe _ -> ())
+    registry;
+  seq_counter := 0;
+  span_counter := 0;
+  span_stack := []
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let expose () =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.bprintf b fmt in
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, m) ->
+         match m with
+         | Counter c -> pf "# TYPE %s counter\n%s %d\n" name name c.count
+         | Gauge g ->
+           pf "# TYPE %s gauge\n%s %s\n%s_hwm %s\n" name name
+             (fmt_float g.current) name (fmt_float g.hwm)
+         | Probe f -> pf "# TYPE %s gauge\n%s %s\n" name name (fmt_float (f ()))
+         | Histogram h ->
+           pf "# TYPE %s histogram\n" name;
+           let acc = ref 0 in
+           Array.iteri
+             (fun i n ->
+               acc := !acc + n;
+               pf "%s_bucket{le=\"%s\"} %d\n" name
+                 (fmt_float bucket_bounds.(i))
+                 !acc)
+             h.buckets;
+           pf "%s_bucket{le=\"+Inf\"} %d\n" name h.hcount;
+           pf "%s_sum %s\n" name (fmt_float h.hsum);
+           pf "%s_count %d\n" name h.hcount);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> fmt_float f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let kind_to_string = function
+  | Span_start -> "start"
+  | Span_end -> "end"
+  | Point -> "point"
+
+let event_to_json ev =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"seq\":%d,\"ts\":%Ld,\"ev\":\"%s\",\"name\":\"%s\""
+    ev.seq ev.ts (kind_to_string ev.kind) (json_escape ev.name);
+  if ev.span <> 0 then Printf.bprintf b ",\"span\":%d" ev.span;
+  if ev.parent <> 0 then Printf.bprintf b ",\"parent\":%d" ev.parent;
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf b ",\"%s\":%s" (json_escape k) (value_to_json v))
+    ev.fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let jsonl_sink write ev = write (event_to_json ev ^ "\n")
+
+module Jsonl = struct
+  exception Bad
+
+  (* Minimal parser for the flat objects [event_to_json] produces:
+     {"k":v,...} with v a string, number, true or false. *)
+  let parse_flat line =
+    let n = String.length line in
+    let pos = ref 0 in
+    let peek () = if !pos >= n then raise Bad else line.[!pos] in
+    let advance () = pos := !pos + 1 in
+    let skip_ws () =
+      while
+        !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then raise Bad;
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        let c = peek () in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          let e = peek () in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 > n then raise Bad;
+            let hex = String.sub line !pos 4 in
+            pos := !pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> raise Bad)
+          | _ -> raise Bad);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          go ()
+      in
+      go ()
+    in
+    let parse_scalar () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else raise Bad
+      | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else raise Bad
+      | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match line.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          advance ()
+        done;
+        if !pos = start then raise Bad;
+        let s = String.sub line start (!pos - start) in
+        (match int_of_string_opt s with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt s with Some f -> Float f | None -> raise Bad))
+    in
+    try
+      expect '{';
+      skip_ws ();
+      if peek () = '}' then Some []
+      else begin
+        let acc = ref [] in
+        let rec members () =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_scalar () in
+          acc := (k, v) :: !acc;
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ()
+          | '}' -> advance ()
+          | _ -> raise Bad
+        in
+        members ();
+        Some (List.rev !acc)
+      end
+    with Bad -> None
+
+  let builtin_keys = [ "seq"; "ts"; "ev"; "name"; "span"; "parent" ]
+
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" then None
+    else
+      match parse_flat line with
+      | None -> None
+      | Some kv -> (
+        let int k d =
+          match List.assoc_opt k kv with Some (Int i) -> i | _ -> d
+        in
+        let str k =
+          match List.assoc_opt k kv with Some (Str s) -> Some s | _ -> None
+        in
+        match (str "ev", str "name") with
+        | Some ev, Some name -> (
+          let kind =
+            match ev with
+            | "start" -> Some Span_start
+            | "end" -> Some Span_end
+            | "point" -> Some Point
+            | _ -> None
+          in
+          match kind with
+          | None -> None
+          | Some kind ->
+            Some
+              {
+                seq = int "seq" 0;
+                ts = Int64.of_int (int "ts" 0);
+                kind;
+                name;
+                span = int "span" 0;
+                parent = int "parent" 0;
+                fields = List.filter (fun (k, _) -> not (List.mem k builtin_keys)) kv;
+              })
+        | _ -> None)
+
+  let events_of_string input =
+    String.split_on_char '\n' input |> List.filter_map parse_line
+
+  let accepted_actions input =
+    events_of_string input
+    |> List.filter_map (fun ev ->
+           match
+             (List.assoc_opt "action" ev.fields, List.assoc_opt "commit" ev.fields)
+           with
+           | Some (Str a), Some (Bool true) -> Some a
+           | _ -> None)
+end

@@ -1,0 +1,159 @@
+(** Cross-layer telemetry: structured events with nested spans, a metrics
+    registry (counters, gauges, latency histograms, polled probes), and
+    pluggable sinks (bounded ring buffer, JSONL export, Prometheus-style
+    text exposition).
+
+    Cost model: every instrumentation site is gated on the single {!on}
+    flag.  When telemetry is disabled an instrumented operation pays one
+    [bool ref] read and allocates nothing.  Metric handles are created
+    once at module initialization time, so enabled hot paths only touch
+    mutable record fields. *)
+
+(** {1 Enablement} *)
+
+val on : bool ref
+(** The global gate.  Instrumentation sites read this directly
+    ([if !Telemetry.on then ...]) so the disabled path is a single load.
+    Prefer {!enable}/{!disable} over writing it. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** {1 Clock} *)
+
+val set_clock : (unit -> int64) -> unit
+(** Install a monotonic nanosecond clock.  The default derives from
+    [Sys.time] (CPU time, microsecond-ish resolution); tests install a
+    deterministic counter. *)
+
+val now : unit -> int64
+(** Current time in nanoseconds according to the installed clock. *)
+
+(** {1 Events and spans} *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type fields = (string * value) list
+type kind = Span_start | Span_end | Point
+
+type event = {
+  seq : int;  (** global emission order, 1-based *)
+  ts : int64;  (** clock reading at emission, ns *)
+  kind : kind;
+  name : string;
+  span : int;  (** id of the span this event belongs to; 0 = root *)
+  parent : int;  (** id of the enclosing span; 0 = none *)
+  fields : fields;
+}
+
+val event : ?fields:fields -> string -> unit
+(** Emit a point event inside the current span.  No-op when disabled —
+    but the [fields] argument is still built by the caller, so gate the
+    call site on {!on} when fields are non-trivial. *)
+
+val span : ?fields:fields -> ?exit:('a -> fields) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] bracketed by [Span_start]/[Span_end] events
+    sharing a fresh span id.  The end event carries ["dur_ns"] plus the
+    [exit] fields computed from the result; if [f] raises, the end event
+    carries [("raised", Bool true)] and the exception is re-raised with
+    its backtrace.  When disabled this is exactly [f ()]. *)
+
+val current_span : unit -> int
+(** Id of the innermost open span, 0 when none (useful in tests). *)
+
+(** {1 Sinks} *)
+
+type sink = event -> unit
+
+val add_sink : sink -> unit
+val clear_sinks : unit -> unit
+
+val jsonl_sink : (string -> unit) -> sink
+(** [jsonl_sink write] formats each event as one JSON line (terminated
+    by a newline) and passes it to [write]. *)
+
+(** Bounded in-memory ring buffer; oldest events are evicted first. *)
+module Ring : sig
+  type t
+
+  val create : int -> t
+  val capacity : t -> int
+  val sink : t -> sink
+  val length : t -> int
+  val dropped : t -> int  (** events evicted since creation/clear *)
+
+  val to_list : t -> event list
+  (** Retained events, oldest first. *)
+
+  val clear : t -> unit
+end
+
+(** {1 Metrics registry} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create a monotone counter.  Raises [Invalid_argument] if the
+    name is registered with a different metric type. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> float -> unit
+(** Sets the current value and updates the high-watermark. *)
+
+val gauge_value : gauge -> float
+val gauge_hwm : gauge -> float
+
+val histogram : string -> histogram
+(** Latency histogram with fixed logarithmic-ish nanosecond buckets. *)
+
+val observe : histogram -> int64 -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its duration (when enabled). *)
+
+val register_probe : string -> (unit -> float) -> unit
+(** Register a gauge whose value is sampled at exposition time.  Probes
+    report always-on counters owned by other modules (cache hit/miss
+    tallies, live-state counts) without any per-operation gating. *)
+
+val expose : unit -> string
+(** Prometheus-style text exposition of every registered metric, sorted
+    by name for deterministic output.  Gauges also emit a [_hwm] line;
+    histograms emit cumulative [_bucket{le="..."}], [_sum], [_count]. *)
+
+val reset : unit -> unit
+(** Zero all counters, gauges and histograms (probes are stateless) and
+    reset the event sequence / span counters.  For tests and for the
+    workbench [reset] of a metrics window. *)
+
+(** {1 JSONL} *)
+
+val event_to_json : event -> string
+(** One flat JSON object (no trailing newline): the built-in keys [seq],
+    [ts], [ev] ("start"|"end"|"point"), [name], [span], [parent], then
+    the event's fields at top level. *)
+
+(** Parsing the exported JSONL back, so offline tools ([Audit],
+    [Instrument]) can consume online traces. *)
+module Jsonl : sig
+  val parse_line : string -> event option
+  (** Parse one line as produced by {!event_to_json}; [None] on blank or
+      malformed lines. *)
+
+  val events_of_string : string -> event list
+  (** All parseable events, in file order. *)
+
+  val accepted_actions : string -> string list
+  (** The committed action subsequence of a trace: events carrying both
+      an ["action"] string field and [("commit", Bool true)], in order.
+      This is the replayable log an offline audit needs. *)
+end

@@ -43,7 +43,24 @@ let advance case kind activity =
   | Start -> Workflow.start_activity case activity
   | Finish -> Workflow.finish_activity case activity
 
-let run cfg ~constraints ~cases =
+let m_executed = Telemetry.counter "wfms_workitems_executed_total"
+let m_denied = Telemetry.counter "wfms_workitems_denied_total"
+let m_violations = Telemetry.counter "wfms_violations_total"
+
+let kind_name = function Start -> "start" | Finish -> "finish"
+
+(* Work-item lifecycle events: attempt → executed | denied, plus a
+   violation event whenever the reference monitor flags an action the
+   constraint forbids. *)
+let workitem_event name case kind activity =
+  if !Telemetry.on then
+    Telemetry.event name
+      ~fields:
+        [ ("case", Telemetry.Str (Workflow.case_id case));
+          ("activity", Telemetry.Str activity);
+          ("phase", Telemetry.Str (kind_name kind)) ]
+
+let run_unobserved cfg ~constraints ~cases =
   let rng = Random.State.make [| cfg.seed |] in
   let cases =
     List.map (fun (wf, id, args) -> Workflow.start_case wf ~id ~args) cases
@@ -56,7 +73,13 @@ let run cfg ~constraints ~cases =
   let calpha = Alpha.of_expr constraints in
   let violations = ref 0 in
   let observe c =
-    if Alpha.mem calpha c && not (Engine.try_action monitor c) then incr violations
+    if Alpha.mem calpha c && not (Engine.try_action monitor c) then begin
+      incr violations;
+      Telemetry.incr m_violations;
+      if !Telemetry.on then
+        Telemetry.event "workitem.violation"
+          ~fields:[ ("action", Telemetry.Str (Action.concrete_to_string c)) ]
+    end
   in
   let messages = ref 0 in
   let denials = ref 0 in
@@ -112,11 +135,21 @@ let run cfg ~constraints ~cases =
     | ms -> (
       let case, kind, activity = List.nth ms (Random.State.int rng (List.length ms)) in
       let c = action_of case kind activity in
+      workitem_event "workitem.attempt" case kind activity;
+      let did_execute () =
+        ignore (advance case kind activity);
+        incr executed;
+        Telemetry.incr m_executed;
+        workitem_event "workitem.executed" case kind activity
+      in
+      let was_denied () =
+        Telemetry.incr m_denied;
+        workitem_event "workitem.denied" case kind activity
+      in
       match cfg.adaptation with
       | Unadapted ->
         observe c;
-        ignore (advance case kind activity);
-        incr executed
+        did_execute ()
       | Adapted_worklists ->
         (* Keeping the worklist markings current: one ask/reply round-trip
            per offered item per refresh (the "substantial communication
@@ -126,17 +159,13 @@ let run cfg ~constraints ~cases =
           (* a standard, non-adapted handler executes behind the manager's
              back: the approach is not waterproof *)
           observe c;
-          ignore (advance case kind activity);
-          incr executed)
-        else if run_action ("worklist:" ^ Workflow.case_id case) c then (
-          ignore (advance case kind activity);
-          incr executed)
+          did_execute ())
+        else if run_action ("worklist:" ^ Workflow.case_id case) c then did_execute ()
+        else was_denied ()
       | Adapted_engine ->
         (* The engine is the single interaction client; even rogue worklist
            requests pass through it. *)
-        if run_action "engine" c then (
-          ignore (advance case kind activity);
-          incr executed))
+        if run_action "engine" c then did_execute () else was_denied ())
   done;
   let completed_cases =
     List.length (List.filter Workflow.is_finished cases)
@@ -150,6 +179,24 @@ let run cfg ~constraints ~cases =
     manager_timeouts = (Manager.stats mgr).Manager.timeouts;
     manager_state_size = Manager.state_size mgr
   }
+
+let adaptation_name = function
+  | Unadapted -> "unadapted"
+  | Adapted_worklists -> "worklists"
+  | Adapted_engine -> "engine"
+
+let run cfg ~constraints ~cases =
+  if not !Telemetry.on then run_unobserved cfg ~constraints ~cases
+  else
+    Telemetry.span "adapter.run"
+      ~fields:
+        [ ("adaptation", Telemetry.Str (adaptation_name cfg.adaptation));
+          ("cases", Telemetry.Int (List.length cases)) ]
+      ~exit:(fun o ->
+        [ ("steps", Telemetry.Int o.steps);
+          ("executed", Telemetry.Int o.executed);
+          ("violations", Telemetry.Int o.violations) ])
+      (fun () -> run_unobserved cfg ~constraints ~cases)
 
 let pp_outcome ppf o =
   Format.fprintf ppf

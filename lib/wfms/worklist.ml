@@ -18,6 +18,10 @@ let refresh t cases =
       cases
   in
   t.witems <- items;
+  if !Telemetry.on then
+    Telemetry.event "worklist.refresh"
+      ~fields:
+        [ ("user", Telemetry.Str t.wuser); ("items", Telemetry.Int (List.length items)) ];
   items
 
 let items t = t.witems

@@ -97,6 +97,39 @@ The workbench drives the whole toolbox.
   > state: 2 nodes, final (trace is a complete word)
   > bye
 
+Telemetry: the workbench collects events into a ring, exposes metrics, and
+exports the trace as JSONL.
+
+  $ printf 'telemetry on\ndo a\ndo a\ndo b\nmetrics\ntrace t.jsonl\nquit\n' \
+  >   | ../bin/iworkbench.exe "a - b" | sed 's/^> //' \
+  >   | grep -E 'telemetry|engine_(actions|accepted|rejected)_total [0-9]|wrote'
+  telemetry enabled (ring capacity 8192)
+  engine_accepted_total 2
+  engine_actions_total 3
+  engine_rejected_total 1
+  wrote 3 event(s) to t.jsonl (0 dropped)
+
+The exported JSONL trace replays offline: its committed actions are the log.
+
+  $ ../bin/iexpr.exe audit --jsonl "a - b" --log t.jsonl
+  events=2 accepted=2 foreign=0 issues=0 complete=true
+
+The manager server exposes the same registry and dumps periodic stats.
+
+  $ printf 'EXECUTE u a\nEXECUTE u b\nMETRICS\nQUIT\n' \
+  >   | ../bin/imanager.exe "a - b" \
+  >   | grep -E '^(READY|EXECUTED|REFUSED|manager_(asks|grants|confirms)_total)'
+  READY 3
+  EXECUTED
+  EXECUTED
+  manager_asks_total 2
+  manager_confirms_total 2
+  manager_grants_total 2
+
+  $ printf 'EXECUTE u a\nEXECUTE u b\nQUIT\n' \
+  >   | ../bin/imanager.exe --stats-every 2 "a - b" 2>&1 >/dev/null
+  STATS asks=2 grants=2 denials=0 busies=0 confirms=2 aborts=0 transitions=2 foreign=0 informs=0 subscribes=0 unsubscribes=0 timeouts=0
+
 Witness words.
 
   $ ../bin/iexpr.exe witness "some x: (a(x) - b(x) - c(x))"

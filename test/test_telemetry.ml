@@ -1,0 +1,321 @@
+(* Telemetry: spans, metrics, sinks, JSONL round-trips — and the property
+   that observation never changes behaviour (no observer effect). *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run [f] with telemetry enabled and every event captured in a fresh ring;
+   returns [f]'s result and the captured events.  Leaves telemetry disabled
+   and the sink list empty regardless of exceptions. *)
+let observed ?(capacity = 4096) f =
+  let ring = Telemetry.Ring.create capacity in
+  Telemetry.reset ();
+  Telemetry.clear_sinks ();
+  Telemetry.add_sink (Telemetry.Ring.sink ring);
+  Telemetry.enable ();
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.disable ();
+        Telemetry.clear_sinks ())
+      f
+  in
+  (r, Telemetry.Ring.to_list ring)
+
+(* ------------------------------------------------------------------ *)
+(* No observer effect: the engine and the manager answer identically   *)
+(* with telemetry off and with telemetry on + a live sink.             *)
+(* ------------------------------------------------------------------ *)
+
+let engine_run (e, word) =
+  let s = Engine.create e in
+  let accepts = List.map (Engine.try_action s) word in
+  (Engine.word e word, accepts, Engine.trace s, Engine.is_final s)
+
+let manager_run (e, word) =
+  let mgr = Interaction_manager.Manager.create e in
+  List.map (fun a -> Interaction_manager.Manager.execute mgr ~client:"w" a) word
+
+let no_observer_effect_engine =
+  to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"telemetry on/off: identical verdicts, accepts, traces"
+       (expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         let dark = engine_run case in
+         let lit, events = observed (fun () -> engine_run case) in
+         if dark <> lit then QCheck.Test.fail_report "engine behaviour changed";
+         (* the observed run must actually have produced events *)
+         if snd case <> [] && events = [] then
+           QCheck.Test.fail_report "no events emitted under telemetry";
+         true))
+
+let no_observer_effect_manager =
+  to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"telemetry on/off: identical manager replies"
+       (expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         let dark = manager_run case in
+         let lit, _ = observed (fun () -> manager_run case) in
+         dark = lit))
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kinds evs = List.map (fun (e : Telemetry.event) -> (e.kind, e.name)) evs
+
+let spans =
+  [ t "spans nest: start/end balance, parent links" (fun () ->
+        let (), evs =
+          observed (fun () ->
+              Telemetry.span "outer" (fun () ->
+                  Telemetry.span "inner" (fun () -> Telemetry.event "pt")))
+        in
+        Alcotest.(check (list (pair bool string)))
+          "event order"
+          [ (true, "outer"); (true, "inner"); (false, "pt"); (true, "inner");
+            (true, "outer")
+          ]
+          (List.map
+             (fun (k, n) -> (k <> Telemetry.Point, n))
+             (kinds evs));
+        (match evs with
+        | [ so; si; pt; ei; eo ] ->
+          check_int "outer start is span 1" 1 so.Telemetry.span;
+          check_int "outer has no parent" 0 so.Telemetry.parent;
+          check_int "inner is span 2" 2 si.Telemetry.span;
+          check_int "inner's parent is outer" 1 si.Telemetry.parent;
+          check_int "point lives in inner" 2 pt.Telemetry.span;
+          check_int "inner end matches start" 2 ei.Telemetry.span;
+          check_int "outer end matches start" 1 eo.Telemetry.span;
+          check_bool "end carries dur_ns" true
+            (List.mem_assoc "dur_ns" eo.Telemetry.fields)
+        | _ -> Alcotest.fail "expected exactly 5 events");
+        check_int "no span left open" 0 (Telemetry.current_span ()))
+    ; t "a raising span closes with raised=true and re-raises" (fun () ->
+        let raised, evs =
+          observed (fun () ->
+              try
+                Telemetry.span "boom" (fun () : unit -> failwith "no");
+                false
+              with Failure _ -> true)
+        in
+        check_bool "exception propagated" true raised;
+        check_int "span closed" 0 (Telemetry.current_span ());
+        match List.rev evs with
+        | last :: _ ->
+          check_bool "raised field" true
+            (List.assoc_opt "raised" last.Telemetry.fields = Some (Telemetry.Bool true))
+        | [] -> Alcotest.fail "no events")
+    ; t "disabled spans are transparent" (fun () ->
+        Telemetry.disable ();
+        check_int "result passes through" 7 (Telemetry.span "x" (fun () -> 7));
+        check_int "no span opened" 0 (Telemetry.current_span ()))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ring =
+  [ t "eviction is oldest-first with a dropped count" (fun () ->
+        let (), evs =
+          observed ~capacity:4 (fun () ->
+              for i = 1 to 6 do
+                Telemetry.event (Printf.sprintf "ev%d" i)
+              done)
+        in
+        Alcotest.(check (list string)) "retained tail"
+          [ "ev3"; "ev4"; "ev5"; "ev6" ]
+          (List.map (fun (e : Telemetry.event) -> e.name) evs))
+    ; t "dropped and clear" (fun () ->
+        let r = Telemetry.Ring.create 2 in
+        Telemetry.reset ();
+        Telemetry.clear_sinks ();
+        Telemetry.add_sink (Telemetry.Ring.sink r);
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            Telemetry.disable ();
+            Telemetry.clear_sinks ())
+          (fun () ->
+            for _ = 1 to 5 do
+              Telemetry.event "e"
+            done;
+            check_int "length capped" 2 (Telemetry.Ring.length r);
+            check_int "dropped" 3 (Telemetry.Ring.dropped r);
+            Telemetry.Ring.clear r;
+            check_int "cleared" 0 (Telemetry.Ring.length r);
+            check_int "dropped reset" 0 (Telemetry.Ring.dropped r)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics =
+  [ t "counters are monotone and gated on the enable flag" (fun () ->
+        Telemetry.reset ();
+        let c = Telemetry.counter "test_counter_total" in
+        Telemetry.disable ();
+        Telemetry.incr c;
+        check_int "disabled incr is a no-op" 0 (Telemetry.counter_value c);
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Telemetry.disable ())
+          (fun () ->
+            Telemetry.incr c;
+            Telemetry.add c 4;
+            check_int "enabled bumps" 5 (Telemetry.counter_value c)))
+    ; t "gauges track value and high-watermark" (fun () ->
+        Telemetry.reset ();
+        let g = Telemetry.gauge "test_gauge" in
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Telemetry.disable ())
+          (fun () ->
+            Telemetry.set_gauge g 5.;
+            Telemetry.set_gauge g 3.;
+            Alcotest.(check (float 0.)) "value" 3. (Telemetry.gauge_value g);
+            Alcotest.(check (float 0.)) "hwm" 5. (Telemetry.gauge_hwm g))
+    )
+    ; t "histograms count and sum observations" (fun () ->
+        Telemetry.reset ();
+        let h = Telemetry.histogram "test_ns" in
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Telemetry.disable ())
+          (fun () ->
+            Telemetry.observe h 150L;
+            Telemetry.observe h 90_000L;
+            check_int "count" 2 (Telemetry.histogram_count h);
+            Alcotest.(check (float 0.)) "sum" 90_150. (Telemetry.histogram_sum h))
+    )
+    ; t "same name with a different type is rejected" (fun () ->
+        Telemetry.reset ();
+        ignore (Telemetry.counter "test_clash");
+        (match Telemetry.gauge "test_clash" with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ()))
+    ; t "exposition lists metrics sorted and includes probes" (fun () ->
+        Telemetry.reset ();
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Telemetry.disable ())
+          (fun () ->
+            Telemetry.incr (Telemetry.counter "test_counter_total");
+            let text = Telemetry.expose () in
+            let has needle =
+              let n = String.length needle and l = String.length text in
+              let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+              go 0
+            in
+            check_bool "counter present" true (has "test_counter_total 1");
+            check_bool "engine probe present" true (has "engine_successor_cache_hits");
+            check_bool "state probe present" true (has "state_transitions_total")))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl =
+  [ t "event_to_json round-trips through Jsonl.parse_line" (fun () ->
+        let (), evs =
+          observed (fun () ->
+              Telemetry.event "weird"
+                ~fields:
+                  [ ("action", Telemetry.Str "a\"b\\c\nd");
+                    ("ok", Telemetry.Bool true); ("n", Telemetry.Int (-3));
+                    ("r", Telemetry.Float 1.5)
+                  ])
+        in
+        let ev = List.hd evs in
+        match Telemetry.Jsonl.parse_line (Telemetry.event_to_json ev) with
+        | None -> Alcotest.fail "did not parse back"
+        | Some p ->
+          Alcotest.(check string) "name" ev.Telemetry.name p.Telemetry.name;
+          check_int "seq" ev.Telemetry.seq p.Telemetry.seq;
+          check_bool "fields survive escaping" true
+            (List.assoc_opt "action" p.Telemetry.fields
+            = Some (Telemetry.Str "a\"b\\c\nd"));
+          check_bool "bool field" true
+            (List.assoc_opt "ok" p.Telemetry.fields = Some (Telemetry.Bool true)))
+    ; t "accepted_actions keeps only committed actions, in order" (fun () ->
+        let trace =
+          String.concat "\n"
+            [ {|{"seq":1,"ts":0,"ev":"point","name":"engine.try_action","action":"a(1)","commit":true}|};
+              {|{"seq":2,"ts":0,"ev":"point","name":"engine.try_action","action":"b","commit":false}|};
+              {|{"seq":3,"ts":0,"ev":"point","name":"mqueue.enqueue","queue":"q"}|};
+              "this line is not JSON";
+              {|{"seq":4,"ts":0,"ev":"point","name":"engine.force","action":"c","commit":true}|}
+            ]
+        in
+        Alcotest.(check (list string)) "committed subsequence" [ "a(1)"; "c" ]
+          (Telemetry.Jsonl.accepted_actions trace))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented layers: counters and watermarks reflect real activity  *)
+(* ------------------------------------------------------------------ *)
+
+let layers =
+  [ t "mqueue tracks depth and high-watermark" (fun () ->
+        let q = Interaction_manager.Mqueue.create ~name:"q" in
+        List.iter (Interaction_manager.Mqueue.send q) [ 1; 2; 3 ];
+        check_int "depth" 3 (Interaction_manager.Mqueue.depth q);
+        ignore (Interaction_manager.Mqueue.receive q);
+        Interaction_manager.Mqueue.ack q;
+        check_int "depth after ack" 2 (Interaction_manager.Mqueue.depth q);
+        Interaction_manager.Mqueue.send q 4;
+        check_int "hwm stays at the peak" 3
+          (Interaction_manager.Mqueue.high_watermark q))
+    ; t "state memo caches report hits once a trace repeats" (fun () ->
+        State.reset_cache_stats ();
+        let feed () =
+          let s = Engine.create !"(a - b)* || (c - d)*" in
+          List.iter (fun x -> ignore (Engine.try_action s x)) (w "a c b d a b")
+        in
+        feed ();
+        feed ();
+        let cs = State.cache_stats () in
+        check_bool "trans cache hit" true (cs.State.trans_hits > 0);
+        check_bool "some trans misses too" true (cs.State.trans_misses > 0))
+    ; t "successor cache reports the grant-loop hit" (fun () ->
+        Engine.reset_successor_cache_stats ();
+        let s = Engine.create !"(a - b)*" in
+        check_bool "permitted" true (Engine.permitted s (a1 "a"));
+        check_bool "committed" true (Engine.try_action s (a1 "a"));
+        let hits, _ = Engine.successor_cache_stats () in
+        check_bool "one hit recorded" true (hits >= 1))
+    ; t "engine counters line up with a small session" (fun () ->
+        let (), _ =
+          observed (fun () ->
+              Telemetry.reset ();
+              let s = Engine.create !"a - b" in
+              ignore (Engine.try_action s (a1 "a"));
+              ignore (Engine.try_action s (a1 "z"));
+              check_int "actions" 2
+                (Telemetry.counter_value (Telemetry.counter "engine_actions_total"));
+              check_int "accepted" 1
+                (Telemetry.counter_value (Telemetry.counter "engine_accepted_total"));
+              check_int "rejected" 1
+                (Telemetry.counter_value (Telemetry.counter "engine_rejected_total")))
+        in
+        ())
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("no-observer-effect", [ no_observer_effect_engine; no_observer_effect_manager ]);
+      ("spans", spans); ("ring", ring); ("metrics", metrics); ("jsonl", jsonl);
+      ("layers", layers)
+    ]
