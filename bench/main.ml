@@ -2,16 +2,22 @@
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-     dune exec bench/main.exe            -- all tables (E1..E16)
+     dune exec bench/main.exe            -- all tables (E1..E17)
      dune exec bench/main.exe e3 e4      -- selected tables
      dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
+     dune exec bench/main.exe -- smoke --domains 2
+                                         -- smoke + parallel-vs-sequential
+                                            oracle check (exit 1 on mismatch)
      dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks
 
-   Every run also writes BENCH_pr2.json: the machine-readable per-experiment
-   numbers (ns/op, transitions/action, cache hit rates) that accumulate the
-   perf trajectory across PRs. *)
+   Every run also writes BENCH_pr3.json: the machine-readable per-experiment
+   numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
+   that accumulate the perf trajectory across PRs.  The file is
+   deterministic (sorted keys) and self-describing (schema version plus
+   host metadata), so runs on different machines stay comparable. *)
 
 open Interaction
+open Interaction_exec
 open Wfms
 
 let pf = Format.printf
@@ -28,6 +34,13 @@ let time f =
   let t0 = Sys.time () in
   let r = f () in
   (r, Sys.time () -. t0)
+
+(* Wall-clock variant for the multicore rows: [Sys.time] is CPU time summed
+   over every domain, which cancels out exactly the speedup being measured. *)
+let wtime f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 let act name args = Action.conc name args
 
@@ -52,20 +65,48 @@ let json_number v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6g" v
 
-let write_bench_json file =
+(* Deterministic and self-describing: groups and keys are emitted sorted, and
+   a leading "_meta" object records the schema version plus enough host
+   context (core count, domain flag, OCaml version, hostname) to interpret
+   the multicore numbers.  Same measurements => byte-identical file. *)
+let bench_schema_version = 3
+
+let write_bench_json ~domains file =
+  let meta =
+    [ ("cores", string_of_int (Domain.recommended_domain_count ()));
+      ("domains_flag", string_of_int domains);
+      ("hostname", Printf.sprintf "%S" (Unix.gethostname ()));
+      ("ocaml_version", Printf.sprintf "%S" Sys.ocaml_version);
+      ("schema", "\"interaction-bench\"");
+      ("schema_version", string_of_int bench_schema_version) ]
+  in
+  let groups =
+    List.map
+      (fun (exp, kvs) ->
+        (exp, List.sort (fun (a, _) (b, _) -> compare a b) !kvs))
+      !bench_records
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"_meta\": {";
   List.iteri
-    (fun i (exp, kvs) ->
-      if i > 0 then Buffer.add_string b ",\n";
+    (fun j (k, v) ->
+      if j > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S: %s" k v)
+    meta;
+  Buffer.add_string b "}";
+  List.iter
+    (fun (exp, kvs) ->
+      Buffer.add_string b ",\n";
       Printf.bprintf b "  %S: {" exp;
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_string b ", ";
           Printf.bprintf b "%S: %s" k (json_number v))
-        !kvs;
+        kvs;
       Buffer.add_string b "}")
-    !bench_records;
+    groups;
   Buffer.add_string b "\n}\n";
   Out_channel.with_open_text file (fun oc -> Buffer.output_buffer oc b)
 
@@ -650,6 +691,201 @@ let e16 () =
   pf "@.(structurally equal states are physically shared; %d distinct live states)@."
     (State.live_states ())
 
+(* ------------------------------------------------------------------ E17 *)
+
+(* A many-conjunct workload: the coupling of [k] department capacity rules.
+   The conjuncts have pairwise-disjoint alphabets, so the partition yields
+   [k] shards and both evaluation layers can spread them over domains. *)
+let e17_departments k = List.init k (fun i -> Printf.sprintf "dep%d" (i + 1))
+
+let e17_expr k =
+  Expr.sync_list
+    (List.map
+       (fun x -> Medical.department_constraint ~exam:x ~capacity:2)
+       (e17_departments k))
+
+let e17_workload ~departments ~patients =
+  List.concat
+    (List.init patients (fun i ->
+         let p = Medical.patient (i + 1) in
+         List.concat_map
+           (fun x ->
+             [ act "call_s" [ p; x ]; act "call_t" [ p; x ];
+               act "perform_s" [ p; x ]; act "perform_t" [ p; x ] ])
+           departments))
+
+let e17_domain_counts = [ 1; 2; 4; 8 ]
+
+let e17 () =
+  header "E17" "multicore scaling: domain-sharded evaluation (lib/exec)"
+    "independent conjuncts evaluate in parallel; sequential semantics is the oracle";
+  let k = 8 and patients = 100 in
+  let e = e17_expr k in
+  let w = e17_workload ~departments:(e17_departments k) ~patients in
+  let n = List.length w in
+  pf "expression: coupling of %d department capacity rules (%d shards)@." k
+    (List.length (Partition.partition e));
+  pf "workload:   %d actions, fed as one batch@.@." n;
+  record "e17" "actions" (float_of_int n);
+  record "e17" "conjuncts" (float_of_int k);
+  record "e17" "host_cores" (float_of_int (Domain.recommended_domain_count ()));
+  (* Every configuration is measured in steady state: one untimed warmup
+     populates the (domain-local) memo tables of whichever domains the
+     configuration uses, then an identical fresh instance is timed.  A cold
+     run confounds shard scaling with first-touch state construction —
+     which E2/E16 already measure — and the domains of a fresh pool start
+     with cold tables while the inline path inherits warm ones. *)
+  let steady ~mk ~run =
+    ignore (run (mk ()));  (* warmup *)
+    (* best of a few repetitions: the hot path is sub-millisecond for the
+       whole batch, so a single sample is at the mercy of the scheduler *)
+    let best = ref infinity in
+    for _ = 1 to 9 do
+      let inst = mk () in
+      Gc.full_major ();
+      let (), dt = wtime (fun () -> run inst) in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* sequential baseline: the plain engine, no pool in sight.  The very
+     first run of this bench process is genuinely cold — keep it as the
+     one recorded cold number. *)
+  Gc.full_major ();
+  let (), t_cold =
+    wtime (fun () ->
+        let s = Engine.create e in
+        assert (Engine.feed s w = []))
+  in
+  record "e17" "engine_seq_cold_ns_per_action" (t_cold *. 1e9 /. float_of_int n);
+  let t_seq =
+    steady
+      ~mk:(fun () -> Engine.create e)
+      ~run:(fun s -> assert (Engine.feed s w = []))
+  in
+  let seq_tp = float_of_int n /. t_seq in
+  record "e17" "engine_seq_throughput" seq_tp;
+  record "e17" "engine_seq_ns_per_action" (t_seq *. 1e9 /. float_of_int n);
+  pf "%10s %8s %16s %16s %10s %12s@." "layer" "domains" "actions/s" "ns/action"
+    "speedup" "coordinations";
+  pf "%10s %8s %16.0f %16.0f %10s %12s@." "engine" "(seq)" seq_tp
+    (t_seq *. 1e9 /. float_of_int n) "-" "-";
+  let engine_d1 = ref nan and manager_d1 = ref nan in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          (* engine layer: sharded batch feed, sequential fallback at d=1 *)
+          let dt =
+            steady
+              ~mk:(fun () -> Pengine.create ~pool e)
+              ~run:(fun p -> assert (Pengine.feed p w = []))
+          in
+          let tp = float_of_int n /. dt in
+          if d = 1 then engine_d1 := tp;
+          record "e17" (Printf.sprintf "engine_throughput_d%d" d) tp;
+          record "e17" (Printf.sprintf "engine_speedup_d%d" d) (tp /. !engine_d1);
+          pf "%10s %8d %16.0f %16.0f %9.2fx %12s@." "engine" d tp
+            (dt *. 1e9 /. float_of_int n)
+            (tp /. !engine_d1) "-";
+          (* manager layer: one replica per shard, batch execute *)
+          let last_sm = ref None in
+          let dt2 =
+            steady
+              ~mk:(fun () ->
+                let sm = Interaction_manager.Sharded.create ~pool e in
+                last_sm := Some sm;
+                sm)
+              ~run:(fun sm ->
+                assert
+                  (List.for_all Fun.id
+                     (Interaction_manager.Sharded.execute_batch sm ~client:"bench" w)))
+          in
+          let sm = Option.get !last_sm in
+          assert (Interaction_manager.Sharded.coordinations sm = 0);
+          let tp2 = float_of_int n /. dt2 in
+          if d = 1 then manager_d1 := tp2;
+          record "e17" (Printf.sprintf "manager_throughput_d%d" d) tp2;
+          record "e17" (Printf.sprintf "manager_speedup_d%d" d) (tp2 /. !manager_d1);
+          record "e17"
+            (Printf.sprintf "manager_coordinations_d%d" d)
+            (float_of_int (Interaction_manager.Sharded.coordinations sm));
+          pf "%10s %8d %16.0f %16.0f %9.2fx %12d@." "manager" d tp2
+            (dt2 *. 1e9 /. float_of_int n)
+            (tp2 /. !manager_d1)
+            (Interaction_manager.Sharded.coordinations sm)))
+    e17_domain_counts;
+  record "e17" "engine_d1_vs_seq" (!engine_d1 /. seq_tp);
+  (* the E2-style quantified constraint does not decompose: one component,
+     so the parallel layer falls back to the sequential path — recorded so
+     the scaling table states its own limits *)
+  let e2e = Medical.patient_constraint in
+  record "e17" "e2_constraint_shards"
+    (float_of_int (List.length (Partition.partition e2e)));
+  pf "@.(the quantified E2 constraint has %d shard — quantifiers do not decompose;@."
+    (List.length (Partition.partition e2e));
+  pf " speedup on this host is bounded by its %d core(s))@."
+    (Domain.recommended_domain_count ())
+
+(* Parallel-vs-sequential oracle agreement, run by `smoke --domains N` in CI:
+   any disagreement between the sharded evaluation and the sequential engine
+   on accept/reject decisions, traces, finality, or word verdicts fails the
+   build. *)
+let parallel_smoke ~domains =
+  let k = 4 in
+  let e = e17_expr k in
+  let deps = e17_departments k in
+  let good = e17_workload ~departments:deps ~patients:25 in
+  (* stray perform/terminate actions that must be rejected, plus a foreign one *)
+  let stray =
+    [ act "perform_s" [ "p999"; "dep1" ]; act "call_t" [ "p998"; "dep3" ];
+      act "unrelated" [] ]
+  in
+  let w = good @ stray in
+  let seq_sess = Engine.create e in
+  let seq_rej = Engine.feed seq_sess w in
+  let fail fmt =
+    Format.kasprintf
+      (fun m ->
+        Format.eprintf "parallel smoke FAILED: %s@." m;
+        exit 1)
+      fmt
+  in
+  Pool.with_pool ~domains (fun pool ->
+      let p = Pengine.create ~pool e in
+      let par_rej = Pengine.feed p w in
+      if par_rej <> seq_rej then
+        fail "rejected lists differ (seq %d, par %d)" (List.length seq_rej)
+          (List.length par_rej);
+      if Pengine.is_final p <> Engine.is_final seq_sess then fail "finality differs";
+      (* per-shard traces must be the sequential trace's shard projections *)
+      let seq_trace = Engine.trace seq_sess in
+      let par_traces = Pengine.traces p in
+      let projected =
+        List.map
+          (fun (ce : Expr.t) ->
+            let al = Alpha.of_expr ce in
+            List.filter (Alpha.mem al) seq_trace)
+          (Partition.partition e)
+      in
+      (match Pengine.mode p with
+      | Pengine.Sharded _ ->
+        if par_traces <> projected then fail "shard traces are not the projections"
+      | Pengine.Sequential ->
+        if par_traces <> [ seq_trace ] then fail "sequential-mode trace differs");
+      (* word problem verdicts *)
+      List.iter
+        (fun (label, word) ->
+          let vs = Engine.word e word and vp = Pengine.word ~pool e word in
+          if vs <> vp then
+            fail "word verdict differs on %s (%a vs %a)" label Semantics.pp_verdict vs
+              Semantics.pp_verdict vp)
+        [ ("good-prefix", good); ("with-stray", w);
+          ("empty", []); ("one-pair", [ act "call" [ "p1"; "dep1" ]; act "perform" [ "p1"; "dep1" ] ]) ]);
+  record "smoke_parallel" "domains" (float_of_int domains);
+  record "smoke_parallel" "agree" 1.;
+  pf "@.parallel smoke (%d domains): sharded evaluation agrees with the sequential oracle@."
+    domains
+
 (* ------------------------------------------------------- bechamel ----- *)
 
 let bechamel () =
@@ -807,12 +1043,23 @@ let bechamel () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16);
+    ("e16", e16); ("e17", e17);
     ("bechamel", bechamel)
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract_domains acc = function
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d when d > 0 -> (d, List.rev_append acc rest)
+      | Some _ | None ->
+        Format.eprintf "--domains expects a positive integer@.";
+        exit 2)
+    | x :: rest -> extract_domains (x :: acc) rest
+    | [] -> (1, List.rev acc)
+  in
+  let domains, args = extract_domains [] args in
   let smoke = List.mem "smoke" args in
   if smoke then begin
     (* CI smoke run: collect a telemetry trace alongside the tables, so the
@@ -843,7 +1090,10 @@ let () =
   pf "Interaction expressions and graphs — experiment harness@.";
   pf "(reproduces the evaluation artifacts of Heinlein, ICDE 2001)@.";
   List.iter (fun (_, f) -> f ()) selected;
+  (* `smoke --domains N`: the sharded evaluation must agree with the
+     sequential oracle, or the run (and the CI job) fails *)
+  if smoke && domains > 1 then parallel_smoke ~domains;
   record_cache_stats ();
-  write_bench_json "BENCH_pr2.json";
-  pf "@.wrote BENCH_pr2.json@.";
+  write_bench_json ~domains "BENCH_pr3.json";
+  pf "@.wrote BENCH_pr3.json@.";
   pf "@."

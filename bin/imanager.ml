@@ -29,11 +29,17 @@
    Options (before the expression):
      --stats-every N   dump STATS to stderr every N processed commands
      --trace FILE      append every telemetry event to FILE as JSONL
+     --domains N       N > 1: shard the expression across N worker domains
+                       (one manager replica per independent component); an
+                       extra "SHARDS <k> DOMAINS <n>" line follows READY.
+                       Checkpoint-file recovery is per-replica state and is
+                       not available in sharded mode.
 
    Telemetry is enabled at startup: a server wants its counters live, and
    the cost without a sink is a few counter bumps per request. *)
 
 open Interaction
+open Interaction_exec
 open Interaction_manager
 
 let out fmt = Format.printf (fmt ^^ "@.")
@@ -46,7 +52,74 @@ let with_action rest k =
   | Ok a -> k a
   | Error m -> out "ERROR %s" m
 
-let run ~stats_every mgr =
+(* The command loop is backend-agnostic: the sequential manager and the
+   domain-sharded one answer the same protocol. *)
+type backend = {
+  b_ask : client:string -> Action.concrete -> Manager.reply;
+  b_confirm : client:string -> Action.concrete -> unit;
+  b_abort : client:string -> Action.concrete -> unit;
+  b_execute : client:string -> Action.concrete -> bool;
+  b_permitted : Action.concrete -> bool;
+  b_subscribe : client:string -> Action.concrete -> unit;
+  b_unsubscribe : client:string -> Action.concrete -> unit;
+  b_drain : client:string -> Manager.notification list;
+  b_timeout : unit -> unit;
+  b_checkpoint : unit -> string;
+  b_crash : unit -> unit;
+  b_recover : unit -> unit;
+  b_recover_with : checkpoint:string -> unit;
+  b_log : unit -> Action.concrete list;
+  b_stats : unit -> Manager.stats;
+  b_stats_extra : unit -> string;
+  b_state_size : unit -> int;
+}
+
+let seq_backend mgr =
+  { b_ask = Manager.ask mgr;
+    b_confirm = Manager.confirm mgr;
+    b_abort = Manager.abort mgr;
+    b_execute = Manager.execute mgr;
+    b_permitted = Manager.permitted mgr;
+    b_subscribe = Manager.subscribe mgr;
+    b_unsubscribe = Manager.unsubscribe mgr;
+    b_drain = (fun ~client -> Manager.drain_notifications mgr ~client);
+    b_timeout = (fun () -> Manager.timeout_outstanding mgr);
+    b_checkpoint = (fun () -> Manager.checkpoint mgr);
+    b_crash = (fun () -> Manager.crash mgr);
+    b_recover = (fun () -> Manager.recover mgr);
+    b_recover_with = (fun ~checkpoint -> Manager.recover_with mgr ~checkpoint);
+    b_log = (fun () -> Manager.confirmed_log mgr);
+    b_stats = (fun () -> Manager.stats mgr);
+    b_stats_extra = (fun () -> "");
+    b_state_size = (fun () -> Manager.state_size mgr) }
+
+let sharded_backend sm =
+  { b_ask = Sharded.ask sm;
+    b_confirm = Sharded.confirm sm;
+    b_abort = Sharded.abort sm;
+    b_execute = Sharded.execute sm;
+    b_permitted = Sharded.permitted sm;
+    b_subscribe = Sharded.subscribe sm;
+    b_unsubscribe = Sharded.unsubscribe sm;
+    b_drain = (fun ~client -> Sharded.drain_notifications sm ~client);
+    b_timeout = (fun () -> Sharded.timeout_outstanding sm);
+    b_checkpoint =
+      (fun () -> invalid_arg "checkpoints are per-replica; not available in sharded mode");
+    b_crash = (fun () -> Sharded.crash_all sm);
+    b_recover = (fun () -> Sharded.recover_all sm);
+    b_recover_with =
+      (fun ~checkpoint:_ ->
+        invalid_arg "checkpoints are per-replica; not available in sharded mode");
+    b_log = (fun () -> Sharded.confirmed_log sm);
+    b_stats = (fun () -> Sharded.stats sm);
+    b_stats_extra =
+      (fun () ->
+        Printf.sprintf " shards=%d coordinations=%d foreign_grants=%d"
+          (Sharded.shard_count sm) (Sharded.coordinations sm)
+          (Sharded.foreign_grants sm));
+    b_state_size = (fun () -> Sharded.state_size sm) }
+
+let run ~stats_every b =
   let stop = ref false in
   let processed = ref 0 in
   while not !stop do
@@ -60,31 +133,31 @@ let run ~stats_every mgr =
         match (String.uppercase_ascii cmd, args) with
         | "ASK", client :: rest ->
           with_action rest (fun a ->
-              match Manager.ask mgr ~client a with
+              match b.b_ask ~client a with
               | Manager.Granted -> out "GRANTED"
               | Manager.Denied -> out "DENIED"
               | Manager.Busy -> out "BUSY")
         | "CONFIRM", client :: rest ->
           with_action rest (fun a ->
-              match Manager.confirm mgr ~client a with
+              match b.b_confirm ~client a with
               | () -> out "OK"
               | exception Invalid_argument m -> out "ERROR %s" m)
         | "ABORT", client :: rest ->
           with_action rest (fun a ->
-              Manager.abort mgr ~client a;
+              b.b_abort ~client a;
               out "OK")
         | "EXECUTE", client :: rest ->
           with_action rest (fun a ->
-              out "%s" (if Manager.execute mgr ~client a then "EXECUTED" else "REFUSED"))
+              out "%s" (if b.b_execute ~client a then "EXECUTED" else "REFUSED"))
         | "PERMITTED", rest ->
-          with_action rest (fun a -> out "%s" (if Manager.permitted mgr a then "YES" else "NO"))
+          with_action rest (fun a -> out "%s" (if b.b_permitted a then "YES" else "NO"))
         | "SUBSCRIBE", client :: rest ->
           with_action rest (fun a ->
-              Manager.subscribe mgr ~client a;
+              b.b_subscribe ~client a;
               out "OK")
         | "UNSUBSCRIBE", client :: rest ->
           with_action rest (fun a ->
-              Manager.unsubscribe mgr ~client a;
+              b.b_unsubscribe ~client a;
               out "OK")
         | "NOTIFICATIONS", [ client ] ->
           List.iter
@@ -92,54 +165,57 @@ let run ~stats_every mgr =
               out "NOTIFY %s %s"
                 (Action.concrete_to_string n.Manager.action)
                 (if n.Manager.now_permitted then "ENABLED" else "DISABLED"))
-            (Manager.drain_notifications mgr ~client);
+            (b.b_drain ~client);
           out "OK"
         | "TIMEOUT", [] ->
-          Manager.timeout_outstanding mgr;
+          b.b_timeout ();
           out "OK"
         | "CHECKPOINT", [ file ] -> (
-          match Manager.checkpoint mgr with
+          match b.b_checkpoint () with
           | cp ->
             Out_channel.with_open_text file (fun oc -> output_string oc cp);
             out "OK"
           | exception Invalid_argument m -> out "ERROR %s" m)
         | "CRASH", [] ->
-          Manager.crash mgr;
+          b.b_crash ();
           out "OK"
         | "RECOVER", [] -> (
-          match Manager.recover mgr with
+          match b.b_recover () with
           | () -> out "OK"
           | exception Invalid_argument m -> out "ERROR %s" m)
         | "RECOVER", [ file ] -> (
           let cp = In_channel.with_open_text file In_channel.input_all in
-          match Manager.recover_with mgr ~checkpoint:cp with
+          match b.b_recover_with ~checkpoint:cp with
           | () -> out "OK"
           | exception Invalid_argument m -> out "ERROR %s" m)
         | "LOG", [] ->
           List.iter
             (fun a -> out "%s" (Action.concrete_to_string a))
-            (Manager.confirmed_log mgr);
+            (b.b_log ());
           out "OK"
-        | "STATS", [] -> out "%a" Manager.pp_stats (Manager.stats mgr)
+        | "STATS", [] -> out "%a%s" Manager.pp_stats (b.b_stats ()) (b.b_stats_extra ())
         | "METRICS", [] ->
           print_string (Telemetry.expose ());
           out "OK"
-        | "STATE", [] -> out "STATE %d" (Manager.state_size mgr)
+        | "STATE", [] -> out "STATE %d" (b.b_state_size ())
         | "QUIT", [] -> stop := true
         | _ -> out "ERROR unknown command %S" line);
         incr processed;
         if stats_every > 0 && !processed mod stats_every = 0 then
-          Format.eprintf "STATS %a@." Manager.pp_stats (Manager.stats mgr))
+          Format.eprintf "STATS %a%s@." Manager.pp_stats (b.b_stats ())
+            (b.b_stats_extra ()))
   done
 
 let usage () =
   prerr_endline
-    "usage: imanager [--stats-every N] [--trace FILE] \"<interaction expression>\"";
+    "usage: imanager [--stats-every N] [--trace FILE] [--domains N] \
+     \"<interaction expression>\"";
   exit 2
 
 let () =
   let stats_every = ref 0 in
   let trace_file = ref None in
+  let domains = ref 1 in
   let rec parse_args = function
     | "--stats-every" :: n :: rest -> (
       match int_of_string_opt n with
@@ -150,6 +226,12 @@ let () =
     | "--trace" :: file :: rest ->
       trace_file := Some file;
       parse_args rest
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        domains := n;
+        parse_args rest
+      | Some _ | None -> usage ())
     | [ expr ] -> expr
     | _ -> usage ()
   in
@@ -169,5 +251,10 @@ let () =
     in
     Telemetry.enable ();
     Format.printf "READY %d@." (Expr.size e);
-    run ~stats_every:!stats_every (Manager.create e);
+    if !domains <= 1 then run ~stats_every:!stats_every (seq_backend (Manager.create e))
+    else
+      Pool.with_pool ~domains:!domains (fun pool ->
+          let sm = Sharded.create ~pool e in
+          Format.printf "SHARDS %d DOMAINS %d@." (Sharded.shard_count sm) (Pool.size pool);
+          run ~stats_every:!stats_every (sharded_backend sm));
     Option.iter Out_channel.close trace_oc

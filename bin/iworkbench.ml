@@ -6,13 +6,25 @@
    the commands.
 
      dune exec bin/iworkbench.exe
-     dune exec bin/iworkbench.exe -- "mutex(a - b, c)" *)
+     dune exec bin/iworkbench.exe -- "mutex(a - b, c)"
+     dune exec bin/iworkbench.exe -- --domains 4 "(a - b) @ (c - d)"
+
+   With `--domains N` (N > 1) every loaded expression also gets a
+   domain-sharded parallel mirror (`Pengine`): each `do` is cross-checked
+   against it, a disagreement prints a warning — the sequential engine is
+   the oracle, the mirror is the thing under test.  Commands that bypass
+   the action problem (`force`, `restore`) detach the mirror. *)
 
 open Interaction
+open Interaction_exec
 
 type env = {
   mutable session : Engine.session option;
+  pool : Pool.t option;
+  mutable mirror : Pengine.t option;
 }
+
+let detach env = env.mirror <- None
 
 let out fmt = Format.printf (fmt ^^ "@.")
 
@@ -77,17 +89,37 @@ let command env line =
     match Syntax.parse rest with
     | Ok e ->
       env.session <- Some (Engine.create e);
+      (match env.pool with
+      | Some pool ->
+        let m = Pengine.create ~pool e in
+        env.mirror <- Some m;
+        (match Pengine.mode m with
+        | Pengine.Sharded k -> out "parallel mirror: %d shards on %d domains" k (Pool.size pool)
+        | Pengine.Sequential -> out "parallel mirror: sequential (expression does not decompose)")
+      | None -> ());
       out "loaded: %a" Syntax.pp e
     | Error m -> out "parse error: %s" m)
   | "do" ->
     with_session env (fun s ->
         with_action rest (fun a ->
-            if Engine.try_action s a then
-              out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
+            let ok = Engine.try_action s a in
+            (match env.mirror with
+            | Some m ->
+              let pok = Pengine.try_action m a in
+              if pok <> ok then
+                out "WARNING: parallel mirror disagrees (sequential %s, parallel %s)"
+                  (if ok then "accepts" else "rejects")
+                  (if pok then "accepts" else "rejects")
+            | None -> ());
+            if ok then out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
             else out "Reject."))
   | "force" ->
     with_session env (fun s ->
         with_action rest (fun a ->
+            if env.mirror <> None then begin
+              detach env;
+              out "(parallel mirror detached: force bypasses the action problem)"
+            end;
             let was_alive = Engine.is_alive s in
             if Engine.force s a then out "executed"
             else if was_alive then
@@ -120,7 +152,13 @@ let command env line =
         else
           out "state: %d nodes, %s" (Engine.state_size s)
             (if Engine.is_final s then "final (trace is a complete word)"
-             else "not final"))
+             else "not final");
+        match env.mirror with
+        | Some m ->
+          out "mirror: %d shard(s), %d nodes, %s" (Pengine.shard_count m)
+            (Pengine.state_size m)
+            (if Pengine.is_final m then "final" else "not final")
+        | None -> ())
   | "dump" ->
     with_session env (fun s ->
         match Engine.state s with
@@ -129,6 +167,7 @@ let command env line =
   | "reset" ->
     with_session env (fun s ->
         Engine.reset s;
+        Option.iter Pengine.reset env.mirror;
         out "reset")
   | "show" ->
     with_session env (fun s ->
@@ -162,7 +201,11 @@ let command env line =
     with_session env (fun s ->
         let n = match int_of_string_opt rest with Some n -> n | None -> 10 in
         let walk = Simulate.random_trace ~seed:(Engine.state_size s) ~length:n (Engine.expr s) in
-        List.iter (fun a -> ignore (Engine.try_action s a)) walk;
+        List.iter
+          (fun a ->
+            ignore (Engine.try_action s a);
+            Option.iter (fun m -> ignore (Pengine.try_action m a)) env.mirror)
+          walk;
         out "walked %d actions: %s" (List.length walk)
           (String.concat " " (List.map Action.concrete_to_string walk)))
   | "save" ->
@@ -180,6 +223,10 @@ let command env line =
         match Engine.load content with
         | s ->
           env.session <- Some s;
+          if env.mirror <> None then begin
+            detach env;
+            out "(parallel mirror detached: restored session has foreign history)"
+          end;
           out "restored: %a (%d actions in trace)" Syntax.pp (Engine.expr s)
             (List.length (Engine.trace s))
         | exception Invalid_argument m -> out "restore failed: %s" m)
@@ -199,15 +246,28 @@ let command env line =
   | other -> out "unknown command %S (try: help)" other
 
 let () =
-  let env = { session = None } in
-  (match Sys.argv with
-  | [| _; expr |] -> command env ("load " ^ expr)
+  let domains, initial =
+    match Array.to_list Sys.argv with
+    | _ :: "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> (n, rest)
+      | Some _ | None ->
+        prerr_endline "usage: iworkbench [--domains N] [\"<expression>\"]";
+        exit 2)
+    | _ :: rest -> (1, rest)
+    | [] -> (1, [])
+  in
+  let pool = if domains > 1 then Some (Pool.create ~domains) else None in
+  let env = { session = None; pool; mirror = None } in
+  (match initial with
+  | [ expr ] -> command env ("load " ^ expr)
   | _ -> out "iworkbench — type `help` for commands");
-  try
-    while true do
-      print_string "> ";
-      match In_channel.input_line stdin with
-      | None -> raise Exit
-      | Some line -> command env line
-    done
-  with Exit -> out "bye"
+  (try
+     while true do
+       print_string "> ";
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line -> command env line
+     done
+   with Exit -> out "bye");
+  Option.iter Pool.shutdown pool

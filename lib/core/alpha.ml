@@ -57,34 +57,43 @@ module ExprTbl = Hashtbl.Make (struct
   let hash e = Hashtbl.hash_param 256 1024 e
 end)
 
-let of_expr_tbl : t ExprTbl.t = ExprTbl.create 64
+(* The memo table is domain-local: each domain of the parallel evaluation
+   layer caches independently, so lookups never need a lock and never
+   contend.  The worst case of the split is a few redundant extractions
+   per domain. *)
+let of_expr_tbl : t ExprTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ExprTbl.create 64)
 
-(* Plain always-on tallies (like [State.trans_counter]): one int bump per
-   lookup, cheap enough not to gate.  Telemetry reads them as probes. *)
-let cache_hits = ref 0
-let cache_misses = ref 0
-let cache_stats () = (!cache_hits, !cache_misses)
+(* Always-on tallies (like [State.trans_counter]): one bump per lookup,
+   cheap enough not to gate.  Atomic, because every domain counts into
+   them.  Telemetry reads them as probes. *)
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
 
 let reset_cache_stats () =
-  cache_hits := 0;
-  cache_misses := 0
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
 
 let of_expr e =
   if not !memoize then of_expr_uncached e
   else
-    match ExprTbl.find_opt of_expr_tbl e with
+    let tbl = Domain.DLS.get of_expr_tbl in
+    match ExprTbl.find_opt tbl e with
     | Some alpha ->
-      incr cache_hits;
+      Atomic.incr cache_hits;
       alpha
     | None ->
-      incr cache_misses;
+      Atomic.incr cache_misses;
       let alpha = of_expr_uncached e in
-      ExprTbl.add of_expr_tbl e alpha;
+      ExprTbl.add tbl e alpha;
       alpha
 
 let () =
-  Telemetry.register_probe "alpha_memo_hits" (fun () -> float_of_int !cache_hits);
-  Telemetry.register_probe "alpha_memo_misses" (fun () -> float_of_int !cache_misses)
+  Telemetry.register_probe "alpha_memo_hits" (fun () ->
+      float_of_int (Atomic.get cache_hits));
+  Telemetry.register_probe "alpha_memo_misses" (fun () ->
+      float_of_int (Atomic.get cache_misses))
 
 (* Match a pattern against a concrete action.  [Bound] positions may take
    any value but must agree across positions with the same binder; [Free]

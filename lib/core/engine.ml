@@ -49,20 +49,21 @@ let set_successor_cache b = successor_cache := b
 let successor_cache_enabled () = !successor_cache
 
 (* Always-on hit/miss tallies of the one-slot cache, in the style of
-   [State.cache_stats]; exported as the [engine_successor_cache_*] probes. *)
-let succ_hits = ref 0
-let succ_misses = ref 0
-let successor_cache_stats () = (!succ_hits, !succ_misses)
+   [State.cache_stats]; exported as the [engine_successor_cache_*] probes.
+   Atomic: sharded sessions run on the evaluation domains. *)
+let succ_hits = Atomic.make 0
+let succ_misses = Atomic.make 0
+let successor_cache_stats () = (Atomic.get succ_hits, Atomic.get succ_misses)
 
 let reset_successor_cache_stats () =
-  succ_hits := 0;
-  succ_misses := 0
+  Atomic.set succ_hits 0;
+  Atomic.set succ_misses 0
 
 let () =
   Telemetry.register_probe "engine_successor_cache_hits" (fun () ->
-      float_of_int !succ_hits);
+      float_of_int (Atomic.get succ_hits));
   Telemetry.register_probe "engine_successor_cache_misses" (fun () ->
-      float_of_int !succ_misses)
+      float_of_int (Atomic.get succ_misses))
 
 let create e = { sexpr = e; state = Some (State.init e); rev_trace = []; tentative = None }
 let expr s = s.sexpr
@@ -73,10 +74,10 @@ let tentative_trans s st c =
   match s.tentative with
   | Some (st0, c0, succ)
     when !successor_cache && State.equal st0 st && Action.equal_concrete c0 c ->
-    incr succ_hits;
+    Atomic.incr succ_hits;
     succ
   | _ ->
-    if !successor_cache then incr succ_misses;
+    if !successor_cache then Atomic.incr succ_misses;
     let succ = State.trans st c in
     if !successor_cache then s.tentative <- Some (st, c, succ);
     succ

@@ -1,0 +1,40 @@
+(** Shard decomposition of synchronization expressions (Section 7, Table 8).
+
+    The coupling operator [y @ z] evaluates its operands independently: an
+    action inside α(y) but outside α(z) transitions only [y]'s state and is
+    shuffled past [z] via the complement language κ.  A top-level coupling
+    of operands with pairwise non-overlapping alphabets therefore splits
+    into {e shards} whose component states evolve independently under τ̂ —
+    the decomposition exploited by the federated manager and by the
+    multicore evaluation layer.
+
+    Overlap is decided conservatively on alphabet patterns: two patterns
+    overlap when some concrete action could match both ([Bound] positions
+    match any value, [Free] positions match nothing).  Operands whose
+    alphabets overlap are merged into one shard, so by construction a
+    concrete action is relevant to {e at most one} shard — the merge
+    closure is what makes per-shard evaluation coordination-free. *)
+
+val patterns_overlap : Alpha.pattern -> Alpha.pattern -> bool
+(** Could any concrete action match both patterns? *)
+
+val alphas_overlap : Alpha.t -> Alpha.t -> bool
+
+val flatten_sync : Expr.t -> Expr.t list
+(** The operands of a (nested) top-level coupling, left to right; [[e]]
+    for any other expression. *)
+
+val components : Expr.t -> (Expr.t * Alpha.t) list
+(** Decompose a top-level coupling into alphabet-disjoint shards, each
+    paired with its alphabet.  Operands with overlapping alphabets are
+    re-coupled inside one shard (operand order preserved); an expression
+    that is not a coupling, or whose operands all interfere, yields a
+    single shard.  Coupling the components in order is equivalent to the
+    original expression. *)
+
+val partition : Expr.t -> Expr.t list
+(** [components] without the alphabets (the federated manager's view). *)
+
+val owner : (Expr.t * Alpha.t) list -> Action.concrete -> int option
+(** Index of the unique shard whose alphabet contains the action, if any.
+    Uniqueness is guaranteed by the overlap closure of {!components}. *)

@@ -229,18 +229,29 @@ module WeakTbl = Weak.Make (struct
   let equal a b = node_equal a.node b.node
 end)
 
-let table = WeakTbl.create 4096
-let counter = ref 0
+(* The hash-cons table is domain-local: the parallel evaluation layer
+   transitions independent shards on separate domains, and a per-domain
+   table keeps [mk] lock-free.  States built on different domains are
+   never merged (physical equality can miss across domains), but ids come
+   from one atomic counter, so they are unique process-wide — id-keyed
+   memo tables stay sound even for states that crossed domains, and a
+   missed merge only costs a duplicate alternative, never wrong answers.
+   Each shard's states live on the domain that owns the shard, so within
+   a shard canonicalization is exactly as sharp as before. *)
+let table : WeakTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> WeakTbl.create 4096)
+
+let counter = Atomic.make 0
 
 (* The single constructor: every state in the system goes through [mk].
    The table holds states weakly, so unreachable states are reclaimed by
    the GC; ids are never reused. *)
 let mk node =
-  incr counter;
-  let candidate = { id = !counter; hkey = node_hash node; fin = node_final node; node } in
-  WeakTbl.merge table candidate
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  let candidate = { id; hkey = node_hash node; fin = node_final node; node } in
+  WeakTbl.merge (Domain.DLS.get table) candidate
 
-let live_states () = WeakTbl.count table
+let live_states () = WeakTbl.count (Domain.DLS.get table)
 
 let final s = s.fin
 
@@ -303,18 +314,23 @@ module ExprTbl = Hashtbl.Make (struct
   let hash e = Hashtbl.hash_param 256 1024 e
 end)
 
-let init_tbl : t ExprTbl.t = ExprTbl.create 64
+(* Domain-local like the hash-cons table: memo hits require the cached
+   state to be the domain's own (id-keyed entries written by this domain),
+   which holds because shards are pinned to domains. *)
+let init_tbl : t ExprTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ExprTbl.create 64)
 
 (* Always-on hit/miss tallies for the three memo caches (init, subst,
-   trans), in the style of [trans_counter]: one int bump per lookup, never
-   gated.  The telemetry registry samples them as probes; the experiment
-   harness reads them via [cache_stats]. *)
-let init_hits = ref 0
-let init_misses = ref 0
-let subst_hits = ref 0
-let subst_misses = ref 0
-let trans_hits = ref 0
-let trans_misses = ref 0
+   trans), in the style of [trans_counter]: one bump per lookup, never
+   gated.  Atomic, because every evaluation domain counts into them.  The
+   telemetry registry samples them as probes; the experiment harness
+   reads them via [cache_stats]. *)
+let init_hits = Atomic.make 0
+let init_misses = Atomic.make 0
+let subst_hits = Atomic.make 0
+let subst_misses = Atomic.make 0
+let trans_hits = Atomic.make 0
+let trans_misses = Atomic.make 0
 
 type cache_stats = {
   init_hits : int;
@@ -327,33 +343,34 @@ type cache_stats = {
 
 let cache_stats () =
   {
-    init_hits = !init_hits;
-    init_misses = !init_misses;
-    subst_hits = !subst_hits;
-    subst_misses = !subst_misses;
-    trans_hits = !trans_hits;
-    trans_misses = !trans_misses;
+    init_hits = Atomic.get init_hits;
+    init_misses = Atomic.get init_misses;
+    subst_hits = Atomic.get subst_hits;
+    subst_misses = Atomic.get subst_misses;
+    trans_hits = Atomic.get trans_hits;
+    trans_misses = Atomic.get trans_misses;
   }
 
 let reset_cache_stats () =
-  init_hits := 0;
-  init_misses := 0;
-  subst_hits := 0;
-  subst_misses := 0;
-  trans_hits := 0;
-  trans_misses := 0
+  Atomic.set init_hits 0;
+  Atomic.set init_misses 0;
+  Atomic.set subst_hits 0;
+  Atomic.set subst_misses 0;
+  Atomic.set trans_hits 0;
+  Atomic.set trans_misses 0
 
 let rec init (e : Expr.t) : t =
   if not !memoize then init_uncached e
   else
-    match ExprTbl.find_opt init_tbl e with
+    let tbl = Domain.DLS.get init_tbl in
+    match ExprTbl.find_opt tbl e with
     | Some s ->
-      incr init_hits;
+      Atomic.incr init_hits;
       s
     | None ->
-      incr init_misses;
+      Atomic.incr init_misses;
       let s = init_uncached e in
-      ExprTbl.add init_tbl e s;
+      ExprTbl.add tbl e s;
       s
 
 and init_uncached (e : Expr.t) : t =
@@ -401,7 +418,8 @@ and init_uncached (e : Expr.t) : t =
    Materializing the same value from the same (hash-consed) template is
    the common case — quantifier transitions re-derive candidate instances
    on every action — so results are memoized per (state id, param, value). *)
-let subst_tbl : (int * Action.param * Action.value, t) Hashtbl.t = Hashtbl.create 256
+let subst_tbl : (int * Action.param * Action.value, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 (* Entries hold states strongly; the cap bounds that retention (and the GC
    marking work it causes).  A flush only costs recomputation. *)
@@ -410,16 +428,17 @@ let subst_tbl_cap = 1 lsl 16
 let rec subst_state p v (s : t) : t =
   if not (!memoize && !canonicalize) then subst_uncached p v s
   else
+    let tbl = Domain.DLS.get subst_tbl in
     let key = (s.id, p, v) in
-    match Hashtbl.find_opt subst_tbl key with
+    match Hashtbl.find_opt tbl key with
     | Some r ->
-      incr subst_hits;
+      Atomic.incr subst_hits;
       r
     | None ->
-      incr subst_misses;
-      if Hashtbl.length subst_tbl >= subst_tbl_cap then Hashtbl.reset subst_tbl;
+      Atomic.incr subst_misses;
+      if Hashtbl.length tbl >= subst_tbl_cap then Hashtbl.reset tbl;
       let r = subst_uncached p v s in
-      Hashtbl.add subst_tbl key r;
+      Hashtbl.add tbl key r;
       r
 
 and subst_uncached p v (s : t) : t =
@@ -797,42 +816,49 @@ let rec trans_rec (s : t) (c : Action.concrete) : t option =
 (* Count top-level τ̂ invocations (recursive descents count once): the
    experiment harness uses this to show that the permitted → try_action
    grant loop performs a single transition. *)
-let trans_counter = ref 0
-let transitions () = !trans_counter
+let trans_counter = Atomic.make 0
+let transitions () = Atomic.get trans_counter
 
 (* τ̂ is pure and states are hash-consed, so whole transitions memoize by
    (predecessor id, action).  Steady states of quasi-regular expressions
    cycle through a handful of states, turning their transitions into table
    hits.  Ids are never reused, so a reclaimed predecessor can only lead
    to a harmless miss (a re-created equal state gets a fresh id); the
-   successor is held strongly until the table is flushed at its size cap. *)
-let trans_tbl : (int * Action.concrete, t option) Hashtbl.t = Hashtbl.create 1024
+   successor is held strongly until the table is flushed at its size cap.
+   Domain-local, like the other memo tables. *)
+let trans_tbl : (int * Action.concrete, t option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
 let trans_tbl_cap = 1 lsl 16
 
 let trans s c =
-  incr trans_counter;
+  Atomic.incr trans_counter;
   if not (!memoize && !canonicalize) then trans_rec s c
   else
+    let tbl = Domain.DLS.get trans_tbl in
     let key = (s.id, c) in
-    match Hashtbl.find_opt trans_tbl key with
+    match Hashtbl.find_opt tbl key with
     | Some r ->
-      incr trans_hits;
+      Atomic.incr trans_hits;
       r
     | None ->
-      incr trans_misses;
-      if Hashtbl.length trans_tbl >= trans_tbl_cap then Hashtbl.reset trans_tbl;
+      Atomic.incr trans_misses;
+      if Hashtbl.length tbl >= trans_tbl_cap then Hashtbl.reset tbl;
       let r = trans_rec s c in
-      Hashtbl.add trans_tbl key r;
+      Hashtbl.add tbl key r;
       r
 
 let trans_word s w =
   List.fold_left (fun acc c -> Option.bind acc (fun s -> trans s c)) (Some s) w
 
 let () =
-  let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
+  let probe name r =
+    Telemetry.register_probe name (fun () -> float_of_int (Atomic.get r))
+  in
   let rate h m () =
-    let t = !h + !m in
-    if t = 0 then 0. else float_of_int !h /. float_of_int t
+    let h = Atomic.get h and m = Atomic.get m in
+    let t = h + m in
+    if t = 0 then 0. else float_of_int h /. float_of_int t
   in
   probe "state_transitions_total" trans_counter;
   Telemetry.register_probe "state_live_states" (fun () -> float_of_int (live_states ()));

@@ -77,8 +77,22 @@ val transitions : unit -> int
     transition per granted action. *)
 
 val live_states : unit -> int
-(** Number of distinct live states in the hash-cons table (weakly held:
-    unreachable states are reclaimed by the GC). *)
+(** Number of distinct live states in the calling domain's hash-cons table
+    (weakly held: unreachable states are reclaimed by the GC).  Tables are
+    domain-local — see {!section-parallel}. *)
+
+(** {1:parallel Parallel evaluation}
+
+    The state model is safe to drive from multiple domains, with a
+    sharding discipline rather than locks: the hash-cons table and the
+    three memo caches are {e domain-local}, and ids are drawn from one
+    atomic process-wide counter.  Within a domain all guarantees are as
+    before (structural equality is pointer equality, alternative sets
+    dedup sharply).  A state that crosses domains keeps a unique id — so
+    id-keyed memo tables stay correct — but may miss hash-cons merging
+    with a structurally equal state built elsewhere, costing at worst a
+    duplicate alternative.  The parallel layer ({!module:Exec.Pengine})
+    therefore pins each independent shard of an expression to one domain. *)
 
 type cache_stats = {
   init_hits : int;

@@ -1,0 +1,188 @@
+open Interaction
+
+(* Shard i always runs on pool worker i: a shard's states are built in one
+   domain's hash-cons/memo tables and stay there (State's DLS discipline). *)
+
+type shard = {
+  salpha : Alpha.t;
+  session : Engine.session;
+  worker : int;
+}
+
+type impl =
+  | Seq of Engine.session
+  | Shards of shard array
+
+type t = {
+  pool : Pool.t;
+  whole : Expr.t;
+  impl : impl;
+}
+
+type mode =
+  | Sequential
+  | Sharded of int
+
+let m_routed = Telemetry.counter "pengine_routed_actions_total"
+let m_unowned = Telemetry.counter "pengine_unowned_actions_total"
+let m_batches = Telemetry.counter "pengine_parallel_batches_total"
+
+let create ~pool e =
+  let comps = if Pool.size pool <= 1 then [] else Partition.components e in
+  match comps with
+  | [] | [ _ ] -> { pool; whole = e; impl = Seq (Engine.create e) }
+  | comps ->
+    let shards =
+      List.mapi
+        (fun i (ce, al) ->
+          (* create on the pinned worker so the initial state lives there *)
+          let session = Pool.run pool ~worker:i (fun () -> Engine.create ce) in
+          { salpha = al; session; worker = i })
+        comps
+    in
+    { pool; whole = e; impl = Shards (Array.of_list shards) }
+
+let mode t =
+  match t.impl with
+  | Seq _ -> Sequential
+  | Shards s -> Sharded (Array.length s)
+
+let shard_count t =
+  match t.impl with
+  | Seq _ -> 1
+  | Shards s -> Array.length s
+
+let expr t = t.whole
+
+let owner_of shards c =
+  let n = Array.length shards in
+  let rec go i =
+    if i >= n then None
+    else if Alpha.mem shards.(i).salpha c then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let route t shards c f =
+  match owner_of shards c with
+  | None ->
+    Telemetry.incr m_unowned;
+    false
+  | Some i ->
+    Telemetry.incr m_routed;
+    let sh = shards.(i) in
+    Pool.run t.pool ~worker:sh.worker (fun () -> f sh.session c)
+
+let permitted t c =
+  match t.impl with
+  | Seq s -> Engine.permitted s c
+  | Shards shards -> route t shards c Engine.permitted
+
+let try_action t c =
+  match t.impl with
+  | Seq s -> Engine.try_action s c
+  | Shards shards -> route t shards c Engine.try_action
+
+(* Fan an operation over all shards concurrently and await the results in
+   shard order. *)
+let fan t shards f =
+  Array.to_list shards
+  |> List.map (fun sh -> Pool.submit t.pool ~worker:sh.worker (fun () -> f sh))
+  |> List.map Pool.await
+
+let feed t actions =
+  match t.impl with
+  | Seq s -> Engine.feed s actions
+  | Shards shards ->
+    Telemetry.incr m_batches;
+    (* Split the offered sequence by owning shard, keeping offer indices so
+       rejections merge back in offer order.  Accepted actions of different
+       shards commute, and a rejected action leaves its shard unchanged, so
+       running the per-shard subsequences concurrently is equivalent to the
+       sequential feed. *)
+    let indexed = List.mapi (fun i c -> (i, c)) actions in
+    let buckets = Array.make (Array.length shards) [] in
+    let unowned = ref [] in
+    List.iter
+      (fun (i, c) ->
+        match owner_of shards c with
+        | None ->
+          Telemetry.incr m_unowned;
+          unowned := (i, c) :: !unowned
+        | Some s ->
+          Telemetry.incr m_routed;
+          buckets.(s) <- (i, c) :: buckets.(s))
+      indexed;
+    let rejected_per_shard =
+      fan t shards (fun sh ->
+          let batch = List.rev buckets.(sh.worker) in
+          List.filter (fun (_, c) -> not (Engine.try_action sh.session c)) batch)
+    in
+    List.concat (!unowned :: rejected_per_shard)
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd
+
+let word ~pool e w =
+  let comps = if Pool.size pool <= 1 then [] else Partition.components e in
+  match comps with
+  | [] | [ _ ] -> Engine.word e w
+  | comps ->
+    let comps = Array.of_list comps in
+    let n = Array.length comps in
+    let owner c =
+      let rec go i =
+        if i >= n then None else if Alpha.mem (snd comps.(i)) c then Some i else go (i + 1)
+      in
+      go 0
+    in
+    let buckets = Array.make n [] in
+    let unowned = ref false in
+    List.iter
+      (fun c ->
+        match owner c with
+        | None -> unowned := true
+        | Some i -> buckets.(i) <- c :: buckets.(i))
+      w;
+    if !unowned then Engine.Illegal
+    else begin
+      Telemetry.incr m_batches;
+      let verdicts =
+        Array.to_list comps
+        |> List.mapi (fun i (ce, _) ->
+               Pool.submit pool ~worker:i (fun () -> Engine.word ce (List.rev buckets.(i))))
+        |> List.map Pool.await
+      in
+      if List.exists (fun v -> v = Engine.Illegal) verdicts then Engine.Illegal
+      else if List.for_all (fun v -> v = Engine.Complete) verdicts then Engine.Complete
+      else Engine.Partial
+    end
+
+let is_final t =
+  match t.impl with
+  | Seq s -> Engine.is_final s
+  | Shards shards ->
+    fan t shards (fun sh -> Engine.is_final sh.session) |> List.for_all Fun.id
+
+let is_alive t =
+  match t.impl with
+  | Seq s -> Engine.is_alive s
+  | Shards shards ->
+    fan t shards (fun sh -> Engine.is_alive sh.session) |> List.for_all Fun.id
+
+let state_size t =
+  match t.impl with
+  | Seq s -> Engine.state_size s
+  | Shards shards ->
+    fan t shards (fun sh -> Engine.state_size sh.session) |> List.fold_left ( + ) 0
+
+let traces t =
+  match t.impl with
+  | Seq s -> [ Engine.trace s ]
+  | Shards shards -> fan t shards (fun sh -> Engine.trace sh.session)
+
+let trace_len t = List.fold_left (fun acc tr -> acc + List.length tr) 0 (traces t)
+
+let reset t =
+  match t.impl with
+  | Seq s -> Engine.reset s
+  | Shards shards -> fan t shards (fun sh -> Engine.reset sh.session) |> ignore

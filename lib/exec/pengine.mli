@@ -1,0 +1,72 @@
+open Interaction
+
+(** Multicore evaluation of the action and word problems.
+
+    A session whose expression is a top-level coupling of alphabet-disjoint
+    components ({!Interaction.Partition}) is evaluated {e sharded}: one
+    {!Engine} session per component, each pinned to one worker of a
+    {!Pool}.  Independence of the components under τ̂ (an action transitions
+    exactly the shard owning it, and is shuffled past every other via the
+    complement language κ) makes the decomposition semantics-preserving:
+    verdicts, accept/reject decisions and per-shard traces agree with the
+    sequential session on the undecomposed expression — the property the
+    test suite checks against the sequential oracle.
+
+    Expressions that do not decompose, or pools with a single lane
+    ([domains = 1]), fall back to a plain sequential {!Engine} session. *)
+
+type t
+
+type mode =
+  | Sequential  (** plain {!Engine} session on the whole expression *)
+  | Sharded of int  (** number of shards, each pinned to a pool worker *)
+
+val create : pool:Pool.t -> Expr.t -> t
+(** Decompose and pin.  Shard sessions are created {e on} their worker
+    domain, so every state of a shard lives in one domain's tables. *)
+
+val mode : t -> mode
+
+val shard_count : t -> int
+(** 1 in sequential mode. *)
+
+val expr : t -> Expr.t
+
+val permitted : t -> Action.concrete -> bool
+(** Tentative: would the action be accepted now?  Routed to the owning
+    shard; an action owned by no shard is never permitted (it falls
+    outside the coupling's alphabet). *)
+
+val try_action : t -> Action.concrete -> bool
+(** Route the action to its owning shard and commit there. *)
+
+val feed : t -> Action.concrete list -> Action.concrete list
+(** Try each action in order; returns the rejected ones (in offer order).
+    The parallel entry point: the offered sequence is split by owning
+    shard and the per-shard subsequences run concurrently, one batch per
+    worker.  Equivalent to sequential {!Engine.feed} because rejected
+    actions do not change state and accepted actions of different shards
+    commute. *)
+
+val word : pool:Pool.t -> Expr.t -> Action.concrete list -> Engine.verdict
+(** The word problem, sharded: each shard folds τ̂ over its projection of
+    the word concurrently.  Illegal if any action is owned by no shard or
+    any shard's projection dies; Complete if furthermore every shard ends
+    final. *)
+
+val is_final : t -> bool
+val is_alive : t -> bool
+
+val state_size : t -> int
+(** Sum of the shard state sizes. *)
+
+val traces : t -> Action.concrete list list
+(** Accepted actions per shard, in execution order (a single list in
+    sequential mode).  The sharded evaluation has no global order across
+    shards — per-shard traces are the meaningful replay unit, and each
+    equals the sequential trace's projection onto that shard's alphabet. *)
+
+val trace_len : t -> int
+(** Total accepted actions across shards. *)
+
+val reset : t -> unit

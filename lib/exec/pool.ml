@@ -1,0 +1,141 @@
+(* Fixed worker pool over Domain + Mutex/Condition; see pool.mli for the
+   contract.  No dependencies beyond the stdlib: the multicore layer must
+   stay linkable everywhere the core is. *)
+
+type 'a promise = {
+  pm : Mutex.t;
+  pcv : Condition.t;
+  mutable outcome : ('a, exn) result option;
+}
+
+let promise () = { pm = Mutex.create (); pcv = Condition.create (); outcome = None }
+
+let fulfill p outcome =
+  Mutex.lock p.pm;
+  p.outcome <- Some outcome;
+  Condition.broadcast p.pcv;
+  Mutex.unlock p.pm
+
+let await p =
+  Mutex.lock p.pm;
+  while p.outcome = None do
+    Condition.wait p.pcv p.pm
+  done;
+  let outcome = p.outcome in
+  Mutex.unlock p.pm;
+  match outcome with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None -> assert false
+
+type worker = {
+  wm : Mutex.t;
+  wcv : Condition.t;
+  queue : (unit -> unit) Queue.t;  (* guarded by [wm] *)
+  mutable stopping : bool;  (* guarded by [wm] *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  workers : worker array;  (* empty for an inline pool *)
+  lanes : int;
+  submitted_n : int Atomic.t;
+  completed_n : int Atomic.t;
+  mutable shut : bool;
+}
+
+let worker_loop w () =
+  let rec go () =
+    Mutex.lock w.wm;
+    while Queue.is_empty w.queue && not w.stopping do
+      Condition.wait w.wcv w.wm
+    done;
+    match Queue.take_opt w.queue with
+    | Some task ->
+      Mutex.unlock w.wm;
+      task ();
+      go ()
+    | None ->
+      (* stopping and drained *)
+      Mutex.unlock w.wm
+  in
+  go ()
+
+let create ~domains =
+  let lanes = max 1 domains in
+  let workers =
+    if lanes = 1 then [||]
+    else
+      Array.init lanes (fun _ ->
+          { wm = Mutex.create (); wcv = Condition.create (); queue = Queue.create ();
+            stopping = false; domain = None })
+  in
+  Array.iter (fun w -> w.domain <- Some (Domain.spawn (worker_loop w))) workers;
+  { workers; lanes; submitted_n = Atomic.make 0; completed_n = Atomic.make 0;
+    shut = false }
+
+let size t = t.lanes
+let is_inline t = Array.length t.workers = 0
+
+let run_now t f p =
+  let outcome = match f () with v -> Ok v | exception e -> Error e in
+  (* bump the counter before fulfilling: an awaiter that has seen the
+     result must also see the completion reflected in [completed] *)
+  Atomic.incr t.completed_n;
+  fulfill p outcome
+
+let submit t ~worker f =
+  Atomic.incr t.submitted_n;
+  let p = promise () in
+  if is_inline t || t.shut then run_now t f p
+  else begin
+    let w = t.workers.(((worker mod t.lanes) + t.lanes) mod t.lanes) in
+    let task () = run_now t f p in
+    Mutex.lock w.wm;
+    Queue.add task w.queue;
+    Condition.signal w.wcv;
+    Mutex.unlock w.wm
+  end;
+  p
+
+let run t ~worker f = await (submit t ~worker f)
+
+let map_workers t fs =
+  List.mapi (fun i f -> submit t ~worker:i f) fs |> List.map await
+
+let queue_depth t i =
+  if is_inline t then 0
+  else begin
+    let w = t.workers.(((i mod t.lanes) + t.lanes) mod t.lanes) in
+    Mutex.lock w.wm;
+    let n = Queue.length w.queue in
+    Mutex.unlock w.wm;
+    n
+  end
+
+let submitted t = Atomic.get t.submitted_n
+let completed t = Atomic.get t.completed_n
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.wm;
+        w.stopping <- true;
+        Condition.broadcast w.wcv;
+        Mutex.unlock w.wm)
+      t.workers;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+          Domain.join d;
+          w.domain <- None
+        | None -> ())
+      t.workers
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

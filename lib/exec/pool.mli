@@ -1,0 +1,61 @@
+(** A fixed pool of worker domains with sticky per-worker task queues.
+
+    The evaluation layers pin work to workers: shard [i] of a decomposed
+    expression always runs on worker [i mod size], so the states it builds
+    stay in that domain's hash-cons and memo tables (see the parallel
+    evaluation notes in {!Interaction.State}).  Each worker owns a FIFO
+    protected by a mutex/condition pair; there is no work stealing — the
+    stickiness {e is} the point.
+
+    A pool created with [~domains:1] spawns no domains at all: submission
+    runs the task inline on the caller.  This is the sequential fallback —
+    the same code path, minus the parallelism and its overheads.
+
+    Discipline: tasks must not submit to their own pool and await the
+    result (a single-worker pool would deadlock).  The evaluation layers
+    only submit from the coordinating domain. *)
+
+type t
+
+type 'a promise
+
+val create : domains:int -> t
+(** [create ~domains] — a pool of [max 1 domains] lanes.  [domains = 1]
+    is inline (no domains spawned); [domains = n > 1] spawns [n] worker
+    domains. *)
+
+val size : t -> int
+(** Number of lanes (1 for an inline pool). *)
+
+val is_inline : t -> bool
+
+val submit : t -> worker:int -> (unit -> 'a) -> 'a promise
+(** Enqueue a task on worker [worker mod size] (run inline on an inline
+    pool, or when the pool is already shut down).  Tasks on one worker run
+    in submission order. *)
+
+val await : 'a promise -> 'a
+(** Block until the task finished; re-raises its exception. *)
+
+val run : t -> worker:int -> (unit -> 'a) -> 'a
+(** [await (submit ...)]. *)
+
+val map_workers : t -> (unit -> 'a) list -> 'a list
+(** Submit the [i]-th thunk to worker [i] and await all, in order.  The
+    canonical "one batch per shard" fan-out. *)
+
+val queue_depth : t -> int -> int
+(** Tasks currently queued (not yet started) on a worker lane; 0 on an
+    inline pool. *)
+
+val submitted : t -> int
+(** Tasks accepted since creation (including inline runs). *)
+
+val completed : t -> int
+
+val shutdown : t -> unit
+(** Drain every queue, stop and join the worker domains.  Idempotent.
+    Tasks submitted after shutdown run inline. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)

@@ -1,46 +1,8 @@
 open Interaction
 
-(* Can any concrete action match both patterns?  [Free] positions match
-   nothing, so a pattern containing one is inert and overlaps nothing. *)
-let patterns_overlap (p : Alpha.pattern) (q : Alpha.pattern) =
-  let inert pat =
-    List.exists (function Alpha.Free _ -> true | Alpha.Val _ | Alpha.Bound _ -> false)
-      pat.Alpha.pargs
-  in
-  String.equal p.Alpha.pname q.Alpha.pname
-  && List.length p.Alpha.pargs = List.length q.Alpha.pargs
-  && (not (inert p))
-  && (not (inert q))
-  && List.for_all2
-       (fun a b ->
-         match (a, b) with
-         | Alpha.Val v, Alpha.Val w -> String.equal v w
-         | Alpha.Val _, Alpha.Bound _ | Alpha.Bound _, Alpha.Val _
-         | Alpha.Bound _, Alpha.Bound _ ->
-           true
-         | Alpha.Free _, _ | _, Alpha.Free _ -> false)
-       p.Alpha.pargs q.Alpha.pargs
-
-let alphas_overlap a b =
-  List.exists (fun p -> List.exists (patterns_overlap p) b) a
-
-let rec flatten_sync = function
-  | Expr.Sync (y, z) -> flatten_sync y @ flatten_sync z
-  | e -> [ e ]
-
-let partition e =
-  let operands = flatten_sync e in
-  let with_alpha = List.map (fun op -> (op, Alpha.of_expr op)) operands in
-  (* union of overlapping groups, preserving operand order inside groups *)
-  let insert groups (op, al) =
-    let interferes (_, gal) = alphas_overlap al gal in
-    let hits, rest = List.partition interferes groups in
-    let merged_ops = List.concat_map fst hits @ [ op ] in
-    let merged_alpha = List.concat_map snd hits @ al in
-    rest @ [ (merged_ops, merged_alpha) ]
-  in
-  let groups = List.fold_left insert [] with_alpha in
-  List.map (fun (ops, _) -> Expr.sync_list ops) groups
+(* The alphabet-overlap decomposition lives in {!Interaction.Partition};
+   the federation keeps its historical entry point. *)
+let partition = Partition.partition
 
 type t = {
   members : (Manager.t * Alpha.t) list;

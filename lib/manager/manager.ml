@@ -30,6 +30,17 @@ type notification = {
   now_permitted : bool;
 }
 
+type subscription = {
+  sclient : string;
+  saction : Action.concrete;
+  (* Status last delivered to the client.  A change notification is due
+     exactly when the current status differs from this, so committing a
+     transition needs one permissibility check per subscription — not a
+     before/after pair recomputing what the previous notification round
+     already established. *)
+  mutable last_notified : bool;
+}
+
 (* Telemetry handles, mirroring the [stats] record in the shared metrics
    registry so live exposure (`imanager METRICS`, `iworkbench metrics`)
    agrees with [pp_stats].  Counter bumps self-gate on the telemetry flag. *)
@@ -49,7 +60,7 @@ type t = {
   mutable crashed : bool;
   mutable outstanding : (string * Action.concrete) option;
   mutable log : Action.concrete list;  (* confirmed, newest first; durable *)
-  mutable subs : (string * Action.concrete) list;  (* durable *)
+  mutable subs : subscription list;  (* durable *)
   mutable inboxes : (string * notification Mqueue.t) list;
   mutable st : stats;
   per_action : (Action.concrete, int * int) Hashtbl.t;  (* grants, denials *)
@@ -72,10 +83,29 @@ let confirmed_log t = List.rev t.log
 
 let in_alphabet t c = Alpha.mem t.alpha c
 
+(* One-slot cache effectiveness across all managers, exported as the
+   [manager_tentative_cache_*] probes (the engine's successor cache has the
+   matching [engine_successor_cache_*] pair). *)
+let tent_hits = Atomic.make 0
+let tent_misses = Atomic.make 0
+let tentative_cache_stats () = (Atomic.get tent_hits, Atomic.get tent_misses)
+let reset_tentative_cache_stats () =
+  Atomic.set tent_hits 0;
+  Atomic.set tent_misses 0
+
+let () =
+  Telemetry.register_probe "manager_tentative_cache_hits" (fun () ->
+      float_of_int (Atomic.get tent_hits));
+  Telemetry.register_probe "manager_tentative_cache_misses" (fun () ->
+      float_of_int (Atomic.get tent_misses))
+
 let tentative_trans t s c =
   match t.tentative with
-  | Some (s0, c0, succ) when State.equal s0 s && Action.equal_concrete c0 c -> succ
+  | Some (s0, c0, succ) when State.equal s0 s && Action.equal_concrete c0 c ->
+    Atomic.incr tent_hits;
+    succ
   | _ ->
+    Atomic.incr tent_misses;
     let succ = State.trans s c in
     t.tentative <- Some (s, c, succ);
     succ
@@ -97,30 +127,27 @@ let inbox t ~client =
 
 let drain_notifications t ~client = Mqueue.drain (inbox t ~client)
 
-let notify t ~before =
-  (* Inform every subscriber whose subscribed action changed status. *)
+let notify t =
+  (* Inform every subscriber whose subscribed action's status differs from
+     what they were last told. *)
   List.iter
-    (fun (client, action) ->
-      let was = before action and is_now = permitted t action in
-      if was <> is_now then (
-        Mqueue.send (inbox t ~client) { action; now_permitted = is_now };
+    (fun sub ->
+      let is_now = permitted t sub.saction in
+      if is_now <> sub.last_notified then (
+        sub.last_notified <- is_now;
+        Mqueue.send (inbox t ~client:sub.sclient)
+          { action = sub.saction; now_permitted = is_now };
         Telemetry.incr m_informs;
         t.st <- { t.st with informs = t.st.informs + 1 }))
     t.subs
 
 let do_transition t c =
-  (* Snapshot the permissibility of all subscribed actions, transition, then
-     notify changes.  The successor is looked up first — before the snapshot
-     overwrites the one-slot cache — so the grant-time tentative transition
-     is reused here instead of being recomputed. *)
+  (* The successor was computed at grant time and sits in the one-slot
+     cache; commit it, then check each subscription's status against its
+     recorded last notification.  One tentative transition per subscribed
+     action — the before-state statuses need no recomputation, the
+     bookkeeping already holds them. *)
   let succ = match t.state with Some s -> tentative_trans t s c | None -> None in
-  let subs_actions = List.map snd t.subs in
-  let before_list = List.map (fun a -> (a, permitted t a)) subs_actions in
-  let before a =
-    match List.find_opt (fun (b, _) -> Action.equal_concrete a b) before_list with
-    | Some (_, v) -> v
-    | None -> false
-  in
   (match t.state with
   | Some _ ->
     (match succ with
@@ -133,7 +160,7 @@ let do_transition t c =
          this point indicates a protocol violation by the caller. *)
       invalid_arg "Manager: confirmed action is not permitted by the current state")
   | None -> invalid_arg "Manager: crashed (call recover first)");
-  notify t ~before
+  notify t
 
 let bump_action t c granted =
   let g, d = Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_action c) in
@@ -245,14 +272,17 @@ let timeout_outstanding t =
 
 let subscribe t ~client c =
   t.st <- { t.st with subscribes = t.st.subscribes + 1 };
-  if
-    not
-      (List.exists
-         (fun (cl, a) -> String.equal cl client && Action.equal_concrete a c)
-         t.subs)
-  then t.subs <- (client, c) :: t.subs;
+  let status = permitted t c in
+  (match
+     List.find_opt
+       (fun sub -> String.equal sub.sclient client && Action.equal_concrete sub.saction c)
+       t.subs
+   with
+  | Some sub -> sub.last_notified <- status
+  | None ->
+    t.subs <- { sclient = client; saction = c; last_notified = status } :: t.subs);
   (* initial status notification *)
-  Mqueue.send (inbox t ~client) { action = c; now_permitted = permitted t c };
+  Mqueue.send (inbox t ~client) { action = c; now_permitted = status };
   Telemetry.incr m_informs;
   t.st <- { t.st with informs = t.st.informs + 1 }
 
@@ -260,7 +290,8 @@ let unsubscribe t ~client c =
   t.st <- { t.st with unsubscribes = t.st.unsubscribes + 1 };
   t.subs <-
     List.filter
-      (fun (cl, a) -> not (String.equal cl client && Action.equal_concrete a c))
+      (fun sub ->
+        not (String.equal sub.sclient client && Action.equal_concrete sub.saction c))
       t.subs
 
 let crash t =

@@ -93,7 +93,10 @@ type notification = {
 
 val subscribe : t -> client:string -> Action.concrete -> unit
 (** Begin informing [client] about status changes of [action].  An initial
-    notification with the current status is delivered immediately. *)
+    notification with the current status is delivered immediately.  Each
+    subscription records the status it last delivered, so a committed
+    transition performs one tentative transition per subscribed action to
+    find the changes — not a before/after pair. *)
 
 val unsubscribe : t -> client:string -> Action.concrete -> unit
 
@@ -136,3 +139,13 @@ val action_report : t -> (Action.concrete * int * int) list
 (** Per-action [(action, grants, denials)] counters over the manager's
     lifetime, sorted by total traffic — which activities are hot, and which
     are the contended ones (worklist analytics). *)
+
+val tentative_cache_stats : unit -> int * int
+(** [(hits, misses)] of the one-slot tentative-successor cache across all
+    managers since start (or the last {!reset_tentative_cache_stats}).
+    Exported to the telemetry registry as the [manager_tentative_cache_*]
+    probes.  The ask → confirm round trip of a granted action should score
+    exactly one hit: the grant computes the successor, the confirm commits
+    it. *)
+
+val reset_tentative_cache_stats : unit -> unit

@@ -1,0 +1,232 @@
+open Interaction
+open Interaction_exec
+
+type shard = {
+  mgr : Manager.t;
+  salpha : Alpha.t;
+  worker : int;
+}
+
+type t = {
+  spool : Pool.t;
+  whole : Expr.t;
+  shards : shard array;
+  log_mutex : Mutex.t;
+  mutable log : Action.concrete list;  (* global commit order, newest first *)
+  foreign_n : int Atomic.t;
+  coords_n : int Atomic.t;
+  batches_n : int Atomic.t;
+}
+
+let m_routed = Telemetry.counter "sharded_routed_total"
+let m_foreign = Telemetry.counter "sharded_foreign_total"
+let m_coords = Telemetry.counter "sharded_coordinations_total"
+let m_batches = Telemetry.counter "sharded_batches_total"
+
+let create ~pool e =
+  let comps = Partition.components e in
+  let shards =
+    List.mapi
+      (fun i (ce, al) ->
+        let worker = i mod Pool.size pool in
+        (* build the replica on its pinned worker so its states live in that
+           domain's tables *)
+        let mgr = Pool.run pool ~worker (fun () -> Manager.create ce) in
+        { mgr; salpha = al; worker })
+      comps
+    |> Array.of_list
+  in
+  let t =
+    { spool = pool; whole = e; shards; log_mutex = Mutex.create (); log = [];
+      foreign_n = Atomic.make 0; coords_n = Atomic.make 0; batches_n = Atomic.make 0 }
+  in
+  Telemetry.register_probe "sharded_shards" (fun () ->
+      float_of_int (Array.length shards));
+  Array.iteri
+    (fun i sh ->
+      Telemetry.register_probe
+        (Printf.sprintf "sharded_shard%d_queue_depth" i)
+        (fun () -> float_of_int (Pool.queue_depth pool sh.worker)))
+    shards;
+  t
+
+let shard_count t = Array.length t.shards
+let expr t = t.whole
+let pool t = t.spool
+
+(* All shards whose alphabet matches [c].  The overlap-closure partition
+   makes this list empty (foreign) or a singleton; longer lists only arise
+   if the partition invariant is broken, and flow through the two-phase
+   fallback. *)
+let owners t c =
+  Array.to_list t.shards |> List.filter (fun sh -> Alpha.mem sh.salpha c)
+
+let owner_indices t c =
+  Array.to_list t.shards
+  |> List.mapi (fun i sh -> (i, sh))
+  |> List.filter_map (fun (i, sh) -> if Alpha.mem sh.salpha c then Some i else None)
+
+let on_shard t sh f = Pool.run t.spool ~worker:sh.worker (fun () -> f sh.mgr)
+
+let log_commit t c =
+  Mutex.lock t.log_mutex;
+  t.log <- c :: t.log;
+  Mutex.unlock t.log_mutex
+
+let ask t ~client c =
+  match owners t c with
+  | [] ->
+    Atomic.incr t.foreign_n;
+    Telemetry.incr m_foreign;
+    Manager.Granted
+  | [ sh ] ->
+    Telemetry.incr m_routed;
+    on_shard t sh (fun m -> Manager.ask m ~client c)
+  | shs ->
+    (* defensive two-phase grant across all owners *)
+    Atomic.incr t.coords_n;
+    Telemetry.incr m_coords;
+    let rec grant acc = function
+      | [] -> (Manager.Granted, acc)
+      | sh :: rest -> (
+        match on_shard t sh (fun m -> Manager.ask m ~client c) with
+        | Manager.Granted -> grant (sh :: acc) rest
+        | (Manager.Denied | Manager.Busy) as r ->
+          List.iter (fun g -> on_shard t g (fun m -> Manager.abort m ~client c)) acc;
+          (r, []))
+    in
+    fst (grant [] shs)
+
+let confirm t ~client c =
+  match owners t c with
+  | [] -> ()  (* foreign: no replica holds a grant, nothing to commit *)
+  | shs ->
+    List.iter (fun sh -> on_shard t sh (fun m -> Manager.confirm m ~client c)) shs;
+    log_commit t c
+
+let abort t ~client c =
+  List.iter (fun sh -> on_shard t sh (fun m -> Manager.abort m ~client c)) (owners t c)
+
+let execute t ~client c =
+  match owners t c with
+  | [] ->
+    Atomic.incr t.foreign_n;
+    Telemetry.incr m_foreign;
+    true
+  | [ sh ] ->
+    Telemetry.incr m_routed;
+    let ok = on_shard t sh (fun m -> Manager.execute m ~client c) in
+    if ok then log_commit t c;
+    ok
+  | _ -> (
+    match ask t ~client c with
+    | Manager.Granted ->
+      confirm t ~client c;
+      true
+    | Manager.Denied | Manager.Busy -> false)
+
+let execute_batch t ~client actions =
+  Atomic.incr t.batches_n;
+  Telemetry.incr m_batches;
+  let n = List.length actions in
+  let results = Array.make n false in
+  let buckets = Array.make (Array.length t.shards) [] in
+  let leftover = ref [] in
+  List.iteri
+    (fun i c ->
+      match owner_indices t c with
+      | [] ->
+        Atomic.incr t.foreign_n;
+        Telemetry.incr m_foreign;
+        results.(i) <- true
+      | [ si ] ->
+        Telemetry.incr m_routed;
+        buckets.(si) <- (i, c) :: buckets.(si)
+      | _ -> leftover := (i, c) :: !leftover)
+    actions;
+  (* per-shard subsequences run concurrently; each replica executes its own
+     batch in offer order *)
+  Array.to_list t.shards
+  |> List.mapi (fun si sh ->
+         let batch = List.rev buckets.(si) in
+         Pool.submit t.spool ~worker:sh.worker (fun () ->
+             List.map
+               (fun (i, c) ->
+                 let ok = Manager.execute sh.mgr ~client c in
+                 if ok then log_commit t c;
+                 (i, ok))
+               batch))
+  |> List.iter (fun p -> List.iter (fun (i, ok) -> results.(i) <- ok) (Pool.await p));
+  (* unreachable multi-owner actions, after the parallel phase, offer order *)
+  List.iter (fun (i, c) -> results.(i) <- execute t ~client c) (List.rev !leftover);
+  Array.to_list results
+
+let permitted t c =
+  match owners t c with
+  | [] -> true
+  | shs -> List.for_all (fun sh -> on_shard t sh (fun m -> Manager.permitted m c)) shs
+
+let is_stuck t =
+  Array.exists (fun sh -> on_shard t sh (fun m -> Manager.is_stuck m)) t.shards
+
+let timeout_outstanding t =
+  Array.iter (fun sh -> on_shard t sh Manager.timeout_outstanding) t.shards
+
+let subscribe t ~client c =
+  match owners t c with
+  | [] ->
+    (* foreign actions are permanently permitted; deliver the one honest
+       notification through shard 0's replica so the inbox machinery is
+       uniform *)
+    if Array.length t.shards > 0 then
+      on_shard t t.shards.(0) (fun m -> Manager.subscribe m ~client c)
+  | shs -> List.iter (fun sh -> on_shard t sh (fun m -> Manager.subscribe m ~client c)) shs
+
+let unsubscribe t ~client c =
+  Array.iter (fun sh -> on_shard t sh (fun m -> Manager.unsubscribe m ~client c)) t.shards
+
+let drain_notifications t ~client =
+  Array.to_list t.shards
+  |> List.concat_map (fun sh -> on_shard t sh (fun m -> Manager.drain_notifications m ~client))
+
+let confirmed_log t =
+  Mutex.lock t.log_mutex;
+  let l = List.rev t.log in
+  Mutex.unlock t.log_mutex;
+  l
+
+let shard_logs t =
+  Array.to_list t.shards |> List.map (fun sh -> Manager.confirmed_log sh.mgr)
+
+let crash_all t = Array.iter (fun sh -> on_shard t sh Manager.crash) t.shards
+let recover_all t = Array.iter (fun sh -> on_shard t sh Manager.recover) t.shards
+
+let add_stats (a : Manager.stats) (b : Manager.stats) : Manager.stats =
+  { asks = a.asks + b.asks; grants = a.grants + b.grants;
+    denials = a.denials + b.denials; busies = a.busies + b.busies;
+    confirms = a.confirms + b.confirms; aborts = a.aborts + b.aborts;
+    transitions = a.transitions + b.transitions; foreign = a.foreign + b.foreign;
+    informs = a.informs + b.informs; subscribes = a.subscribes + b.subscribes;
+    unsubscribes = a.unsubscribes + b.unsubscribes; timeouts = a.timeouts + b.timeouts }
+
+let shard_stats t = Array.to_list t.shards |> List.map (fun sh -> Manager.stats sh.mgr)
+
+let stats t =
+  let zero : Manager.stats =
+    { asks = 0; grants = 0; denials = 0; busies = 0; confirms = 0; aborts = 0;
+      transitions = 0; foreign = 0; informs = 0; subscribes = 0; unsubscribes = 0;
+      timeouts = 0 }
+  in
+  List.fold_left add_stats zero (shard_stats t)
+
+let state_size t =
+  Array.to_list t.shards
+  |> List.map (fun sh -> on_shard t sh Manager.state_size)
+  |> List.fold_left ( + ) 0
+
+let queue_depths t =
+  Array.to_list t.shards |> List.map (fun sh -> Pool.queue_depth t.spool sh.worker)
+
+let coordinations t = Atomic.get t.coords_n
+let foreign_grants t = Atomic.get t.foreign_n
+let batches t = Atomic.get t.batches_n

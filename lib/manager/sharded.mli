@@ -1,0 +1,99 @@
+open Interaction
+open Interaction_exec
+
+(** A parallel interaction manager: one {!Manager} replica per independent
+    shard of the deployed expression, each pinned to a worker domain of an
+    {!Interaction_exec.Pool}.
+
+    The alphabet-overlap partition ({!Interaction.Partition}) guarantees
+    that every concrete action is relevant to at most one shard, so the
+    coordination protocol runs {e per shard}: asks for actions of different
+    shards never contend for one critical region, and replicas transition
+    concurrently.  Actions owned by no shard are foreign to the whole
+    expression and granted open-world, touching no replica.
+
+    A two-phase path (grant everywhere, then confirm or abort) remains as a
+    defensive fallback for an action matched by several shards; the
+    partition makes this unreachable, and {!coordinations} counts how often
+    it fired — the scaling experiments assert it stays 0.
+
+    Mutating calls are routed through the owning shard's pool worker, so a
+    replica's states live in exactly one domain's hash-cons tables (see the
+    parallel evaluation notes in {!Interaction.State}).  The merged
+    confirmed log preserves the global commit order. *)
+
+type t
+
+val create : pool:Pool.t -> Expr.t -> t
+(** Partition [e] and build one replica per shard, each created on its
+    pinned worker.  An expression that does not decompose yields a single
+    shard — the sequential manager with routing overhead only; a pool of
+    one lane pins every replica to that lane (sequential, but still
+    partitioned). *)
+
+val shard_count : t -> int
+val expr : t -> Expr.t
+val pool : t -> Pool.t
+
+(** {1 Coordination protocol, routed} *)
+
+val ask : t -> client:string -> Action.concrete -> Manager.reply
+val confirm : t -> client:string -> Action.concrete -> unit
+val abort : t -> client:string -> Action.concrete -> unit
+
+val execute : t -> client:string -> Action.concrete -> bool
+(** Ask-and-confirm on the owning shard (two-phase across shards in the
+    unreachable multi-owner case). *)
+
+val execute_batch : t -> client:string -> Action.concrete list -> bool list
+(** The parallel entry point: split the offered sequence by owning shard
+    and execute the per-shard subsequences concurrently.  Result [i] is
+    the fate of action [i] of the offer.  Equivalent to executing the
+    sequence in offer order, because actions of different shards commute
+    and rejected actions leave their shard unchanged. *)
+
+val permitted : t -> Action.concrete -> bool
+val is_stuck : t -> bool
+val timeout_outstanding : t -> unit
+
+(** {1 Subscription protocol} *)
+
+val subscribe : t -> client:string -> Action.concrete -> unit
+(** Routed to the owning shard; subscribing to a foreign action delivers a
+    single always-permitted notification from shard 0. *)
+
+val unsubscribe : t -> client:string -> Action.concrete -> unit
+
+val drain_notifications : t -> client:string -> Manager.notification list
+(** Notifications from every shard, shard order first. *)
+
+(** {1 Durability} *)
+
+val confirmed_log : t -> Action.concrete list
+(** Global commit order, oldest first. *)
+
+val shard_logs : t -> Action.concrete list list
+(** Per-replica confirmed logs — each is the global log's projection onto
+    that shard's alphabet. *)
+
+val crash_all : t -> unit
+val recover_all : t -> unit
+
+(** {1 Introspection} *)
+
+val stats : t -> Manager.stats
+(** Replica stats summed across shards. *)
+
+val shard_stats : t -> Manager.stats list
+val state_size : t -> int
+val queue_depths : t -> int list
+(** Pending tasks per shard lane (load skew diagnostic). *)
+
+val coordinations : t -> int
+(** Cross-shard two-phase rounds; 0 whenever the partition did its job. *)
+
+val foreign_grants : t -> int
+(** Open-world grants that touched no replica. *)
+
+val batches : t -> int
+(** {!execute_batch} invocations. *)

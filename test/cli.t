@@ -130,6 +130,39 @@ The manager server exposes the same registry and dumps periodic stats.
   >   | ../bin/imanager.exe --stats-every 2 "a - b" 2>&1 >/dev/null
   STATS asks=2 grants=2 denials=0 busies=0 confirms=2 aborts=0 transitions=2 foreign=0 informs=0 subscribes=0 unsubscribes=0 timeouts=0
 
+The manager server shards a disjoint coupling across domains: per-shard
+protocols, open-world foreign grants, and no cross-shard coordination.
+Checkpoints are per-replica and refuse politely in sharded mode.
+
+  $ printf 'EXECUTE u a\nEXECUTE u c\nASK v e\nCONFIRM v e\nPERMITTED b\nPERMITTED a\nSTATE\nCHECKPOINT x\nQUIT\n' \
+  >   | ../bin/imanager.exe --domains 4 "(a - b) @ (c - d) @ (e - f) @ (g - h)"
+  READY 15
+  SHARDS 4 DOMAINS 4
+  EXECUTED
+  EXECUTED
+  GRANTED
+  OK
+  YES
+  NO
+  STATE 8
+  ERROR checkpoints are per-replica; not available in sharded mode
+
+  $ printf 'EXECUTE u a\nEXECUTE u zz\nQUIT\n' \
+  >   | ../bin/imanager.exe --domains 2 --stats-every 2 "(a - b) @ (c - d)" 2>&1 >/dev/null
+  STATS asks=1 grants=1 denials=0 busies=0 confirms=1 aborts=0 transitions=1 foreign=0 informs=0 subscribes=0 unsubscribes=0 timeouts=0 shards=2 coordinations=0 foreign_grants=1
+
+The workbench cross-checks every action against a parallel mirror.
+
+  $ printf 'do a\ndo c\ndo a\nstate\nquit\n' | ../bin/iworkbench.exe --domains 2 "(a - b) @ (c - d)" | cat
+  parallel mirror: 2 shards on 2 domains
+  loaded: a - b @ c - d
+  > Accept.
+  > Accept.
+  > Reject.
+  > state: 5 nodes, not final
+  mirror: 2 shard(s), 4 nodes, not final
+  > bye
+
 Witness words.
 
   $ ../bin/iexpr.exe witness "some x: (a(x) - b(x) - c(x))"

@@ -1,0 +1,180 @@
+(* The domain pool and the sharded evaluator (lib/exec) against the
+   sequential oracle: the plain Engine session on the undecomposed
+   expression is the ground truth, Pengine is the thing under test. *)
+
+open Interaction
+open Interaction_exec
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* One pool for the whole suite: spawning domains per test case would
+   dominate the runtime.  Two lanes is enough to exercise cross-domain
+   hand-off even on a single-core host. *)
+let pool = Pool.create ~domains:2
+let () = at_exit (fun () -> Pool.shutdown pool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_cases =
+  [ t "an inline pool runs tasks on the caller" (fun () ->
+        let p = Pool.create ~domains:1 in
+        check_bool "inline" true (Pool.is_inline p);
+        check_int "size" 1 (Pool.size p);
+        let d = Domain.self () in
+        check_bool "same domain" true
+          (Pool.run p ~worker:0 (fun () -> Domain.self () = d));
+        Pool.shutdown p);
+    t "domains below one clamp to a single lane" (fun () ->
+        let p = Pool.create ~domains:0 in
+        check_int "size" 1 (Pool.size p);
+        check_int "result" 7 (Pool.run p ~worker:5 (fun () -> 7));
+        Pool.shutdown p);
+    t "work runs on a worker domain, not the caller" (fun () ->
+        let d = Domain.self () in
+        check_bool "different domain" true
+          (Pool.run pool ~worker:0 (fun () -> Domain.self () <> d)));
+    t "map_workers preserves thunk order" (fun () ->
+        let results = List.init 7 (fun i () -> i * i) |> Pool.map_workers pool in
+        check_bool "ordered" true (results = List.init 7 (fun i -> i * i)));
+    t "tasks on one lane run in submission order" (fun () ->
+        let m = Mutex.create () in
+        let log = Queue.create () in
+        let ps =
+          List.init 25 (fun i ->
+              Pool.submit pool ~worker:0 (fun () ->
+                  Mutex.lock m;
+                  Queue.push i log;
+                  Mutex.unlock m))
+        in
+        List.iter Pool.await ps;
+        check_bool "fifo" true
+          (List.of_seq (Queue.to_seq log) = List.init 25 Fun.id));
+    t "await re-raises the task's exception; the lane survives" (fun () ->
+        (match Pool.run pool ~worker:1 (fun () -> failwith "boom") with
+        | () -> Alcotest.fail "expected the exception to propagate"
+        | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+        check_int "lane alive" 3 (Pool.run pool ~worker:1 (fun () -> 3)));
+    t "negative worker indices wrap around" (fun () ->
+        check_int "ok" 42 (Pool.run pool ~worker:(-3) (fun () -> 42)));
+    t "submitted and completed counters agree after await" (fun () ->
+        let p = Pool.create ~domains:2 in
+        ignore (Pool.run p ~worker:0 (fun () -> ()));
+        ignore (Pool.run p ~worker:1 (fun () -> ()));
+        check_int "submitted" 2 (Pool.submitted p);
+        check_int "completed" 2 (Pool.completed p);
+        Pool.shutdown p);
+    t "shutdown is idempotent; later submits run inline" (fun () ->
+        let p = Pool.create ~domains:2 in
+        check_int "before" 1 (Pool.run p ~worker:1 (fun () -> 1));
+        Pool.shutdown p;
+        Pool.shutdown p;
+        let d = Domain.self () in
+        check_bool "inline after shutdown" true
+          (Pool.run p ~worker:1 (fun () -> Domain.self () = d)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pengine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pengine_cases =
+  [ t "a disjoint coupling shards, one shard per component" (fun () ->
+        let p = Pengine.create ~pool !"(a - b) @ (c - d)" in
+        check_bool "sharded" true (Pengine.mode p = Pengine.Sharded 2);
+        check_int "shards" 2 (Pengine.shard_count p));
+    t "an inline pool falls back to the sequential engine" (fun () ->
+        Pool.with_pool ~domains:1 (fun p1 ->
+            let p = Pengine.create ~pool:p1 !"(a - b) @ (c - d)" in
+            check_bool "sequential" true (Pengine.mode p = Pengine.Sequential);
+            check_int "one shard" 1 (Pengine.shard_count p)));
+    t "an overlapping coupling falls back to the sequential engine" (fun () ->
+        let p = Pengine.create ~pool !"(a - b) @ (b - c)" in
+        check_bool "sequential" true (Pengine.mode p = Pengine.Sequential));
+    t "try_action routes to the owning shard and commits there" (fun () ->
+        let p = Pengine.create ~pool !"(a - b) @ (c - d)" in
+        check_bool "a accepted" true (Pengine.try_action p (a1 "a"));
+        check_bool "b now permitted" true (Pengine.permitted p (a1 "b"));
+        check_bool "a again rejected" false (Pengine.try_action p (a1 "a"));
+        check_bool "c independent" true (Pengine.try_action p (a1 "c"));
+        check_bool "unowned rejected" false (Pengine.try_action p (a1 "zz"));
+        check_bool "unowned never permitted" false (Pengine.permitted p (a1 "zz")));
+    t "feed returns the rejected actions in offer order" (fun () ->
+        let p = Pengine.create ~pool !"(a - b) @ (c - d)" in
+        check_bool "rejects" true (Pengine.feed p (w "a a c b d d") = w "a d");
+        check_bool "final" true (Pengine.is_final p);
+        check_int "trace length" 4 (Pengine.trace_len p));
+    t "per-shard traces are the sequential trace's projections" (fun () ->
+        let e = !"(a - b)* @ (c - d)" in
+        let script = w "a c b a d b" in
+        let p = Pengine.create ~pool e in
+        let s = Engine.create e in
+        ignore (Pengine.feed p script);
+        ignore (Engine.feed s script);
+        let tr = Engine.trace s in
+        let projected =
+          List.map (fun (_, al) -> List.filter (Alpha.mem al) tr)
+            (Partition.components e)
+        in
+        check_bool "projections" true (Pengine.traces p = projected));
+    t "the sharded word problem agrees with the engine" (fun () ->
+        let e = !"(a - b) @ (c - d)" in
+        List.iter
+          (fun input ->
+            Alcotest.check verdict input
+              (Engine.word e (w input))
+              (Pengine.word ~pool e (w input)))
+          [ "a b c d"; "a c"; "b"; "a zz"; "" ]);
+    t "reset restores every shard's initial state" (fun () ->
+        let p = Pengine.create ~pool !"(a - b) @ (c - d)" in
+        ignore (Pengine.feed p (w "a b c d"));
+        check_bool "final before reset" true (Pengine.is_final p);
+        Pengine.reset p;
+        check_bool "not final" false (Pengine.is_final p);
+        check_int "trace empty" 0 (Pengine.trace_len p);
+        check_bool "a accepted again" true (Pengine.try_action p (a1 "a")))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The oracle property                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sharded evaluation must be indistinguishable from the sequential engine
+   on the undecomposed expression: same rejects (in offer order), same
+   finality, per-shard traces equal to the sequential trace's projections,
+   and the same word-problem verdict.  The generator mixes decomposable
+   couplings (1–4 disjoint components), components that split further or
+   not at all, and occasional actions foreign to every shard. *)
+let prop_parallel_eq_sequential =
+  QCheck.Test.make ~count:1200 ~long_factor:2
+    ~name:"sharded evaluation == sequential oracle"
+    (coupling_word_arb ~max_components:4 ~max_len:10 ())
+    (fun (e, word) ->
+      let s = Engine.create e in
+      let p = Pengine.create ~pool e in
+      let seq_rejected = Engine.feed s word in
+      let par_rejected = Pengine.feed p word in
+      let traces_ok =
+        match Pengine.mode p with
+        | Pengine.Sequential -> Pengine.traces p = [ Engine.trace s ]
+        | Pengine.Sharded _ ->
+          let tr = Engine.trace s in
+          Pengine.traces p
+          = List.map (fun (_, al) -> List.filter (Alpha.mem al) tr)
+              (Partition.components e)
+      in
+      seq_rejected = par_rejected
+      && Pengine.is_final p = Engine.is_final s
+      && traces_ok
+      && Pengine.word ~pool e word = Engine.word e word)
+
+let () =
+  Alcotest.run "exec"
+    [ ("pool", pool_cases);
+      ("pengine", pengine_cases);
+      ("oracle", [ to_alcotest prop_parallel_eq_sequential ])
+    ]

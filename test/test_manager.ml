@@ -118,6 +118,28 @@ let coordination =
         check_int "no transition" 0 (Manager.stats m).Manager.transitions;
         check_int "counted foreign" 1 (Manager.stats m).Manager.foreign;
         check_bool "a unaffected" true (Manager.execute m ~client:"c" (a1 "a")));
+    t "execute performs exactly one transition (successor-cache reuse)" (fun () ->
+        (* regression: the ask computes the tentative successor, the confirm
+           commits that same successor — never a second State.trans *)
+        let m = Manager.create !"a - b" in
+        let t0 = State.transitions () in
+        let h0, _ = Manager.tentative_cache_stats () in
+        check_bool "exec" true (Manager.execute m ~client:"c" (a1 "a"));
+        check_int "one transition" 1 (State.transitions () - t0);
+        let h1, _ = Manager.tentative_cache_stats () in
+        check_int "confirm reused the grant-time successor" 1 (h1 - h0));
+    t "a subscription costs one transition per commit, not two" (fun () ->
+        (* regression: the before-status comes from the subscription's
+           bookkeeping, so notify checks each subscribed action once *)
+        let m = Manager.create !"a - b" in
+        Manager.subscribe m ~client:"w" (a1 "b");
+        ignore (Manager.drain_notifications m ~client:"w");
+        let t0 = State.transitions () in
+        check_bool "exec" true (Manager.execute m ~client:"c" (a1 "a"));
+        check_int "commit + one status check" 2 (State.transitions () - t0);
+        match Manager.drain_notifications m ~client:"w" with
+        | [ n ] -> check_bool "pushed" true n.Manager.now_permitted
+        | _ -> Alcotest.fail "expected one notification");
     t "mutual exclusion scenario from the introduction" (fun () ->
         (* two clients, one patient: executing one call disables the other *)
         let m = Manager.create Wfms.Medical.patient_constraint in

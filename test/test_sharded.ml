@@ -1,0 +1,161 @@
+(* The parallel interaction manager (lib/manager/sharded.ml) against a
+   single Manager on the undecomposed expression. *)
+
+open Interaction
+open Interaction_manager
+open Interaction_exec
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pool = Pool.create ~domains:2
+let () = at_exit (fun () -> Pool.shutdown pool)
+
+let projections e log =
+  List.map (fun (_, al) -> List.filter (Alpha.mem al) log) (Partition.components e)
+
+let routing_cases =
+  [ t "routed execute matches a single manager, log and all" (fun () ->
+        let e = !"(a - b)* @ (c - d)*" in
+        let sm = Sharded.create ~pool e in
+        let m = Manager.create e in
+        check_int "two shards" 2 (Sharded.shard_count sm);
+        List.iter
+          (fun action ->
+            check_bool
+              (Action.concrete_to_string action)
+              (Manager.execute m ~client:"x" action)
+              (Sharded.execute sm ~client:"x" action))
+          (w "a c b d b a d c");
+        check_bool "global log" true
+          (Sharded.confirmed_log sm = Manager.confirmed_log m);
+        check_bool "shard logs are projections" true
+          (Sharded.shard_logs sm = projections e (Manager.confirmed_log m));
+        check_int "no coordination" 0 (Sharded.coordinations sm));
+    t "foreign actions are granted open-world, touching no replica" (fun () ->
+        let sm = Sharded.create ~pool !"(a - b) @ (c - d)" in
+        check_bool "granted" true (Sharded.execute sm ~client:"x" (a1 "zz"));
+        check_int "counted" 1 (Sharded.foreign_grants sm);
+        check_int "no transitions" 0 (Sharded.stats sm).Manager.transitions;
+        check_bool "log untouched" true (Sharded.confirmed_log sm = []));
+    t "critical regions are per shard" (fun () ->
+        let sm = Sharded.create ~pool !"(a - b) @ (c - d)" in
+        check_bool "a granted" true
+          (Sharded.ask sm ~client:"u" (a1 "a") = Manager.Granted);
+        (* u holds shard 0's region: shard 0 is busy for others... *)
+        check_bool "same shard busy" true
+          (Sharded.ask sm ~client:"v" (a1 "b") = Manager.Busy);
+        (* ...but shard 1 serves concurrently *)
+        check_bool "other shard free" true
+          (Sharded.ask sm ~client:"v" (a1 "c") = Manager.Granted);
+        Sharded.confirm sm ~client:"u" (a1 "a");
+        Sharded.abort sm ~client:"v" (a1 "c");
+        check_bool "only the confirm committed" true
+          (Sharded.confirmed_log sm = [ a1 "a" ]);
+        check_bool "aborted action retries fine" true
+          (Sharded.execute sm ~client:"v" (a1 "c")))
+  ]
+
+let batch_cases =
+  [ t "execute_batch matches sequential execution in offer order" (fun () ->
+        let e = !"(a - b)* @ (c - d)" in
+        let script = w "a c a b zz d c b a" in
+        let sm = Sharded.create ~pool e in
+        let m = Manager.create e in
+        let rs = Sharded.execute_batch sm ~client:"x" script in
+        let rm = List.map (Manager.execute m ~client:"x") script in
+        check_bool "per-offer results" true (rs = rm);
+        check_int "one batch" 1 (Sharded.batches sm);
+        check_int "no coordination" 0 (Sharded.coordinations sm);
+        check_bool "shard logs are projections" true
+          (Sharded.shard_logs sm = projections e (Manager.confirmed_log m)));
+    t "stats sum across replicas" (fun () ->
+        let sm = Sharded.create ~pool !"(a - b) @ (c - d)" in
+        ignore (Sharded.execute_batch sm ~client:"x" (w "a c b d"));
+        let st = Sharded.stats sm in
+        check_int "asks" 4 st.Manager.asks;
+        check_int "grants" 4 st.Manager.grants;
+        check_int "confirms" 4 st.Manager.confirms);
+    t "queue depths report one entry per shard" (fun () ->
+        let sm = Sharded.create ~pool !"(a - b) @ (c - d)" in
+        check_int "two lanes" 2 (List.length (Sharded.queue_depths sm)))
+  ]
+
+let subscription_cases =
+  [ t "notifications match the single manager's" (fun () ->
+        let e = !"(a - b) @ (c - d)" in
+        let sm = Sharded.create ~pool e in
+        let m = Manager.create e in
+        List.iter
+          (fun action ->
+            Sharded.subscribe sm ~client:"sub" action;
+            Manager.subscribe m ~client:"sub" action)
+          [ a1 "b"; a1 "d" ];
+        List.iter
+          (fun action ->
+            ignore (Sharded.execute sm ~client:"x" action);
+            ignore (Manager.execute m ~client:"x" action))
+          (w "a c b");
+        let key (n : Manager.notification) =
+          (Action.concrete_to_string n.action, n.now_permitted)
+        in
+        let norm l = List.sort compare (List.map key l) in
+        check_bool "same notification set" true
+          (norm (Sharded.drain_notifications sm ~client:"sub")
+          = norm (Manager.drain_notifications m ~client:"sub")))
+  ]
+
+let durability_cases =
+  [ t "crash and recovery preserve every shard's state" (fun () ->
+        let e = !"(a - b)* @ (c - d)" in
+        let sm = Sharded.create ~pool e in
+        ignore (Sharded.execute_batch sm ~client:"x" (w "a c b"));
+        Sharded.crash_all sm;
+        Sharded.recover_all sm;
+        check_bool "d permitted" true (Sharded.permitted sm (a1 "d"));
+        check_bool "b needs an a first" false (Sharded.permitted sm (a1 "b"));
+        check_bool "the loop continues" true (Sharded.execute sm ~client:"x" (a1 "a")))
+  ]
+
+(* The oracle property: on a random disjoint coupling and a random offer
+   sequence (foreign actions included), the sharded manager's per-offer
+   fates equal a single manager's, its shard logs are the single log's
+   projections, its notification sets match, and the defensive two-phase
+   path never fires. *)
+let prop_sharded_eq_manager =
+  QCheck.Test.make ~count:400 ~long_factor:2
+    ~name:"sharded manager == single manager"
+    (coupling_word_arb ~max_components:3 ~max_len:8 ())
+    (fun (e, script) ->
+      let sm = Sharded.create ~pool e in
+      let m = Manager.create e in
+      (* subscribe to a few actions of the universe on both sides *)
+      let watched =
+        List.filteri (fun i _ -> i mod 3 = 0) (universe_of e)
+      in
+      List.iter
+        (fun action ->
+          Sharded.subscribe sm ~client:"sub" action;
+          Manager.subscribe m ~client:"sub" action)
+        watched;
+      let rs = Sharded.execute_batch sm ~client:"x" script in
+      let rm = List.map (Manager.execute m ~client:"x") script in
+      let key (n : Manager.notification) =
+        (Action.concrete_to_string n.action, n.now_permitted)
+      in
+      let notif t drain = List.sort compare (List.map key (drain t ~client:"sub")) in
+      rs = rm
+      && Sharded.coordinations sm = 0
+      && Sharded.shard_logs sm = projections e (Manager.confirmed_log m)
+      && notif sm Sharded.drain_notifications = notif m Manager.drain_notifications)
+
+let () =
+  Alcotest.run "sharded"
+    [ ("routing", routing_cases);
+      ("batch", batch_cases);
+      ("subscription", subscription_cases);
+      ("durability", durability_cases);
+      ("oracle", [ to_alcotest prop_sharded_eq_manager ])
+    ]

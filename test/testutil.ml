@@ -38,17 +38,17 @@ let gen_arg bound =
     frequency
       [ (2, map Action.value (oneofl vals)); (3, map Action.param (oneofl bound)) ]
 
-let gen_atom bound =
+let gen_atom ~names bound =
   let open Gen in
   oneofl names >>= fun name ->
   int_range 0 2 >>= fun n ->
   list_repeat n (gen_arg bound) >>= fun args ->
   return (Expr.Atom (Action.make name args))
 
-let gen_expr_depth max_depth : Expr.t Gen.t =
+let gen_expr_depth ?(names = names) max_depth : Expr.t Gen.t =
   let open Gen in
   let rec go depth bound =
-    if depth <= 0 then gen_atom bound
+    if depth <= 0 then gen_atom ~names bound
     else
       let sub = go (depth - 1) bound in
       let quant mk =
@@ -56,7 +56,7 @@ let gen_expr_depth max_depth : Expr.t Gen.t =
         go (depth - 1) (p :: bound) >>= fun b -> return (mk p b)
       in
       frequency
-        [ (3, gen_atom bound);
+        [ (3, gen_atom ~names bound);
           (2, map2 (fun a b -> Expr.Seq (a, b)) sub sub);
           (2, map2 (fun a b -> Expr.Par (a, b)) sub sub);
           (2, map2 (fun a b -> Expr.Or (a, b)) sub sub);
@@ -105,6 +105,52 @@ let expr_word_arb ?(max_depth = 3) ?(max_len = 4) () =
     let open Gen in
     gen_expr_depth max_depth >>= fun e ->
     gen_word_for e ~max_len >>= fun w -> return (e, w)
+  in
+  let print (e, w) =
+    Printf.sprintf "%s  /  %s" (Syntax.to_string e)
+      (String.concat " " (List.map Action.concrete_to_string w))
+  in
+  QCheck.make ~print gen
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint couplings, for the sharded-evaluation suites               *)
+(* ------------------------------------------------------------------ *)
+
+(* A top-level coupling of components over pairwise-disjoint name sets —
+   the shape the domain-sharded evaluators decompose.  Component [i] draws
+   its atoms from a{i}/b{i}/c{i}, so the alphabet-overlap partition never
+   merges two components (a component may still split further if it is
+   itself a coupling of disjoint parts — more shards, same property). *)
+let gen_disjoint_coupling ?(max_components = 4) ?(depth = 2) () : Expr.t Gen.t =
+  let open Gen in
+  int_range 1 max_components >>= fun k ->
+  let component i =
+    gen_expr_depth
+      ~names:(List.map (fun n -> Printf.sprintf "%s%d" n i) names)
+      depth
+  in
+  let rec build i acc =
+    if i >= k then return (Expr.sync_list (List.rev acc))
+    else component i >>= fun e -> build (i + 1) (e :: acc)
+  in
+  build 0 []
+
+(* Random words over the coupling's own universe, with an occasional action
+   foreign to every component (exercises the unowned/open-world paths). *)
+let gen_word_with_foreign (e : Expr.t) ~max_len : Action.concrete list Gen.t =
+  let open Gen in
+  let foreign = Action.conc "zz" [] in
+  match universe_of e with
+  | [] -> int_range 0 1 >>= fun n -> return (List.init n (fun _ -> foreign))
+  | universe ->
+    int_range 0 max_len >>= fun n ->
+    list_repeat n (frequency [ (9, oneofl universe); (1, return foreign) ])
+
+let coupling_word_arb ?(max_components = 4) ?(max_len = 10) () =
+  let gen =
+    let open Gen in
+    gen_disjoint_coupling ~max_components () >>= fun e ->
+    gen_word_with_foreign e ~max_len >>= fun w -> return (e, w)
   in
   let print (e, w) =
     Printf.sprintf "%s  /  %s" (Syntax.to_string e)
