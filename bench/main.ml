@@ -2,7 +2,7 @@
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-     dune exec bench/main.exe            -- all tables (E1..E17)
+     dune exec bench/main.exe            -- all tables (E1..E18)
      dune exec bench/main.exe e3 e4      -- selected tables
      dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
      dune exec bench/main.exe -- smoke --domains 2
@@ -10,7 +10,7 @@
                                             oracle check (exit 1 on mismatch)
      dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks
 
-   Every run also writes BENCH_pr3.json: the machine-readable per-experiment
+   Every run also writes BENCH_pr4.json: the machine-readable per-experiment
    numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
    that accumulate the perf trajectory across PRs.  The file is
    deterministic (sorted keys) and self-describing (schema version plus
@@ -69,7 +69,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 3
+let bench_schema_version = 4
 
 let write_bench_json ~domains file =
   let meta =
@@ -131,7 +131,14 @@ let record_cache_stats () =
   record "caches" "engine_successor_misses" (f sm);
   record "caches" "engine_successor_hit_rate" (rate sh sm);
   record "caches" "state_transitions_total" (f (State.transitions ()));
-  record "caches" "state_live_states" (f (State.live_states ()))
+  record "caches" "state_live_states" (f (State.live_states ()));
+  record "caches" "state_memo_evictions" (f (State.memo_eviction_count ()));
+  let au = Automaton.stats () in
+  record "caches" "automaton_steps" (f au.Automaton.steps);
+  record "caches" "automaton_fallbacks" (f au.Automaton.fallbacks);
+  record "caches" "automaton_interned_states" (f au.Automaton.interned_states);
+  record "caches" "automaton_sig_cache_hit_rate"
+    (rate au.Automaton.sig_cache_hits au.Automaton.sig_cache_misses)
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -886,6 +893,181 @@ let parallel_smoke ~domains =
   pf "@.parallel smoke (%d domains): sharded evaluation agrees with the sequential oracle@."
     domains
 
+(* Compiled-vs-interpreted oracle agreement, run by `smoke` in CI: the
+   compiled transition kernel (signature classifier + lazy automaton) must
+   agree with the interpreted τ̂ on verdicts, rejected actions and finality
+   — sequentially always, and against the sharded evaluation when the
+   smoke run has domains.  Any disagreement fails the build. *)
+let compiled_smoke ~domains =
+  let fail fmt =
+    Format.kasprintf
+      (fun m ->
+        Format.eprintf "compiled smoke FAILED: %s@." m;
+        exit 1)
+      fmt
+  in
+  let with_compilation b f =
+    State.set_compilation b;
+    Fun.protect ~finally:(fun () -> State.set_compilation true) f
+  in
+  let e17e = e17_expr 4 in
+  let e17w =
+    e17_workload ~departments:(e17_departments 4) ~patients:10
+    @ [ act "perform_s" [ "p999"; "dep1" ]; act "unrelated" [] ]
+  in
+  let cases =
+    [ ("e1-script", e1_expr, List.map (fun n -> act n []) e1_script);
+      ("e1-with-stray", e1_expr, List.map (fun n -> act n []) [ "a"; "e"; "a"; "c"; "b" ]);
+      ("e2-patients", Medical.patient_constraint,
+       List.concat
+         (List.init 6 (fun i ->
+              let p = Medical.patient (i + 1) in
+              List.map (fun a -> act a [ p; "sono" ])
+                [ "prepare_s"; "prepare_t"; "call_s"; "call_t"; "perform_s"; "perform_t" ])));
+      ("e17-departments", e17e, e17w);
+      ("random-walk", e1_expr, Simulate.random_trace ~seed:42 ~length:40 e1_expr)
+    ]
+  in
+  List.iter
+    (fun (label, e, word) ->
+      let vc = with_compilation true (fun () -> Engine.word e word) in
+      let vi = with_compilation false (fun () -> Engine.word e word) in
+      if vc <> vi then
+        fail "word verdict differs on %s (compiled %a, interpreted %a)" label
+          Semantics.pp_verdict vc Semantics.pp_verdict vi;
+      let run b =
+        with_compilation b (fun () ->
+            let s = Engine.create e in
+            let rej = Engine.feed s word in
+            (rej, Engine.is_final s))
+      in
+      let rc, fc = run true and ri, fi = run false in
+      if not (List.equal Action.equal_concrete rc ri) then
+        fail "rejected lists differ on %s (compiled %d, interpreted %d)" label
+          (List.length rc) (List.length ri);
+      if fc <> fi then fail "finality differs on %s" label)
+    cases;
+  if domains > 1 then
+    Pool.with_pool ~domains (fun pool ->
+        (* sharded evaluation with the compiled kernel vs the sequential
+           interpreted oracle *)
+        let p = with_compilation true (fun () -> Pengine.create ~pool e17e) in
+        let par_rej = with_compilation true (fun () -> Pengine.feed p e17w) in
+        let seq_rej =
+          with_compilation false (fun () ->
+              let s = Engine.create e17e in
+              Engine.feed s e17w)
+        in
+        if par_rej <> seq_rej then
+          fail "sharded compiled rejected list differs (par %d, seq %d)"
+            (List.length par_rej) (List.length seq_rej));
+  record "smoke_compiled" "domains" (float_of_int domains);
+  record "smoke_compiled" "agree" 1.;
+  pf "@.compiled smoke (%d domains): compiled kernel agrees with the interpreted oracle@."
+    domains
+
+(* ------------------------------------------------------------------ E18 *)
+
+(* The compiled transition kernel (signature classifier + lazy automaton,
+   lib/core/automaton.ml) against the interpreted τ̂ — same process, same
+   warm memo tables, only the kill switch flipped between measurements. *)
+
+let e18_word =
+  (* a legal E2 word: four patients run a full sonography *)
+  List.concat
+    (List.init 4 (fun i ->
+         let p = Medical.patient (i + 1) in
+         List.map (fun a -> act a [ p; "sono" ])
+           [ "prepare_s"; "prepare_t"; "call_s"; "call_t"; "perform_s"; "perform_t" ]))
+
+let e18 () =
+  header "E18" "compiled transition kernel: signature-keyed automaton vs interpreted τ̂"
+    "not in the paper — engineering: the word/action hot path as a table walk";
+  (* earlier experiments drive the same expressions (E2 walks the patient
+     constraint with 64 live patients); drop their automata so the
+     before/after table measures this workload's rows, not theirs *)
+  Automaton.reset_shared ();
+  let with_compilation b f =
+    State.set_compilation b;
+    Fun.protect ~finally:(fun () -> State.set_compilation true) f
+  in
+  let steady run =
+    run ();  (* warmup: fill memo tables / automaton rows *)
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      Gc.full_major ();
+      let (), dt = wtime run in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  pf "%-44s %14s %14s %9s@." "workload" "interp ns/act" "compiled ns/act" "speedup";
+  let row label key ~actions run =
+    let t_on = with_compilation true (fun () -> steady run) in
+    let t_off = with_compilation false (fun () -> steady run) in
+    let per t = t *. 1e9 /. float_of_int actions in
+    record "e18" (key ^ "_interpreted_ns_per_action") (per t_off);
+    record "e18" (key ^ "_compiled_ns_per_action") (per t_on);
+    record "e18" (key ^ "_speedup") (t_off /. t_on);
+    pf "%-44s %14.0f %14.0f %8.2fx@." label (per t_off) (per t_on) (t_off /. t_on)
+  in
+  (* A — the acceptance workload: the word problem asked over and over on
+     the quantified E2 constraint (the paper's Fig. 2 scenario), as a
+     workflow server validating incoming traces would *)
+  let e = Medical.patient_constraint in
+  assert (Engine.word e e18_word = Engine.Complete);
+  let reps = 2_000 in
+  row "repeated word, quantified E2 constraint" "word"
+    ~actions:(reps * List.length e18_word)
+    (fun () -> for _ = 1 to reps do ignore (Engine.word e e18_word) done);
+  (* B — the E16-style session loop on the quasi-regular E1 expression:
+     eagerly compiled, so every step is a warm table hit *)
+  let e1_n = 20_000 in
+  row "session loop, quasi-regular E1 expression" "e1" ~actions:e1_n (fun () ->
+      let s = Engine.create e1_expr in
+      for i = 0 to e1_n - 1 do
+        let a = act (List.nth e1_script (i mod List.length e1_script)) [] in
+        ignore (Engine.try_action s a)
+      done);
+  (* C — the E2 growth feed: every patient materializes a new quantifier
+     instance, so the automaton keeps interning fresh rows (lazy path) *)
+  let patients = 150 in
+  row "growth feed, one new instance per patient" "feed" ~actions:(3 * patients)
+    (fun () -> ignore (e2_feed_patients e patients));
+  (* cold vs warm: the lazy automaton's first word pays table fill (plus
+     the interpreted τ̂ it falls back on); the steady state is the walk *)
+  with_compilation true (fun () ->
+      let a = Automaton.create ~eager:false e in
+      Gc.full_major ();
+      let (), t_cold = wtime (fun () -> ignore (Automaton.run_word a e18_word)) in
+      let warm_reps = 500 in
+      let t_warm =
+        steady (fun () ->
+            for _ = 1 to warm_reps do ignore (Automaton.run_word a e18_word) done)
+        /. float_of_int warm_reps
+      in
+      record "e18" "cold_first_word_ns" (t_cold *. 1e9);
+      record "e18" "warm_word_ns" (t_warm *. 1e9);
+      record "e18" "cold_vs_warm" (t_cold /. t_warm);
+      pf "@.cold first word %.0f ns, warm word %.0f ns (%.0fx: lazy compilation pays@."
+        (t_cold *. 1e9) (t_warm *. 1e9) (t_cold /. t_warm);
+      pf "for itself once a word repeats)@.";
+      let st = Automaton.stats () in
+      let i = Automaton.info (Automaton.shared e) in
+      record "e18" "automaton_rows" (float_of_int i.Automaton.rows);
+      record "e18" "automaton_signatures" (float_of_int i.Automaton.signatures);
+      record "e18" "automaton_fallbacks" (float_of_int st.Automaton.fallbacks);
+      record "e18" "automaton_steps" (float_of_int st.Automaton.steps);
+      let hr =
+        let h = st.Automaton.sig_cache_hits and m = st.Automaton.sig_cache_misses in
+        if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+      in
+      record "e18" "sig_cache_hit_rate" hr;
+      pf "@.shared automaton for the E2 constraint: %d rows, %d signatures;@."
+        i.Automaton.rows i.Automaton.signatures;
+      pf "process-wide: %d compiled steps, %d interpreted fallbacks, %.4f signature-cache hit rate@."
+        st.Automaton.steps st.Automaton.fallbacks hr)
+
 (* ------------------------------------------------------- bechamel ----- *)
 
 let bechamel () =
@@ -1043,7 +1225,7 @@ let bechamel () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17);
+    ("e16", e16); ("e17", e17); ("e18", e18);
     ("bechamel", bechamel)
   ]
 
@@ -1072,7 +1254,7 @@ let () =
   let names = List.filter (fun a -> a <> "smoke") args in
   let selected =
     if smoke && names = [] then
-      List.filter (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16" ]) experiments
+      List.filter (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18" ]) experiments
     else
       match names with
       | [] -> List.filter (fun (n, _) -> n <> "bechamel") experiments
@@ -1093,7 +1275,10 @@ let () =
   (* `smoke --domains N`: the sharded evaluation must agree with the
      sequential oracle, or the run (and the CI job) fails *)
   if smoke && domains > 1 then parallel_smoke ~domains;
+  (* smoke also cross-checks the compiled kernel against the interpreted
+     oracle (sequential always; sharded too when --domains > 1) *)
+  if smoke then compiled_smoke ~domains;
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr3.json";
-  pf "@.wrote BENCH_pr3.json@.";
+  write_bench_json ~domains "BENCH_pr4.json";
+  pf "@.wrote BENCH_pr4.json@.";
   pf "@."

@@ -34,6 +34,9 @@
                        extra "SHARDS <k> DOMAINS <n>" line follows READY.
                        Checkpoint-file recovery is per-replica state and is
                        not available in sharded mode.
+     --no-compile      disable the compiled transition kernel (signature
+                       classifier + lazy automaton); every step runs the
+                       interpreted transition function.
 
    Telemetry is enabled at startup: a server wants its counters live, and
    the cost without a sink is a few counter bumps per request. *)
@@ -208,7 +211,7 @@ let run ~stats_every b =
 
 let usage () =
   prerr_endline
-    "usage: imanager [--stats-every N] [--trace FILE] [--domains N] \
+    "usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] \
      \"<interaction expression>\"";
   exit 2
 
@@ -232,6 +235,9 @@ let () =
         domains := n;
         parse_args rest
       | Some _ | None -> usage ())
+    | "--no-compile" :: rest ->
+      State.set_compilation false;
+      parse_args rest
     | [ expr ] -> expr
     | _ -> usage ()
   in

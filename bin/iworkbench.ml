@@ -49,6 +49,7 @@ let help () =
     \  restore <file>     load a persisted session@.\
     \  telemetry on|off   collect events into a bounded ring buffer@.\
     \  metrics            Prometheus-style counters, caches, watermarks@.\
+    \  compile            compiled-kernel status: automaton shape, step counters@.\
     \  help, quit"
 
 (* One process-wide ring: `telemetry on` installs it as a sink once, and
@@ -242,20 +243,36 @@ let command env line =
       out "telemetry disabled"
     | _ -> out "usage: telemetry on|off")
   | "metrics" -> print_string (Telemetry.expose ())
+  | "compile" ->
+    out "compilation: %s" (if State.compilation () then "on" else "off");
+    (match env.session with
+    | Some s when Automaton.active () ->
+      let i = Automaton.info (Automaton.shared (Engine.expr s)) in
+      out "automaton: %s, %d row(s), %d signature(s)"
+        (if i.Automaton.eager then "eager" else "lazy")
+        i.Automaton.rows i.Automaton.signatures
+    | Some _ | None -> ());
+    let st = Automaton.stats () in
+    out "steps: %d (%d interpreted fallback(s))" st.Automaton.steps
+      st.Automaton.fallbacks;
+    out "signature cache: %d hit(s), %d miss(es)" st.Automaton.sig_cache_hits
+      st.Automaton.sig_cache_misses
   | "quit" | "exit" -> raise Exit
   | other -> out "unknown command %S (try: help)" other
 
 let () =
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let no_compile, args = List.partition (String.equal "--no-compile") args in
+  if no_compile <> [] then State.set_compilation false;
   let domains, initial =
-    match Array.to_list Sys.argv with
-    | _ :: "--domains" :: n :: rest -> (
+    match args with
+    | "--domains" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n > 0 -> (n, rest)
       | Some _ | None ->
-        prerr_endline "usage: iworkbench [--domains N] [\"<expression>\"]";
+        prerr_endline "usage: iworkbench [--domains N] [--no-compile] [\"<expression>\"]";
         exit 2)
-    | _ :: rest -> (1, rest)
-    | [] -> (1, [])
+    | rest -> (1, rest)
   in
   let pool = if domains > 1 then Some (Pool.create ~domains) else None in
   let env = { session = None; pool; mirror = None } in

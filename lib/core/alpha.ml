@@ -130,6 +130,37 @@ let pattern_match ?bindp pat (c : Action.concrete) : Action.value option option 
 
 let mem alpha c = List.exists (fun pat -> pattern_match pat c <> None) alpha
 
+(* Signature match, for the compiled kernel's classifier: like
+   [pattern_match] without a [bindp] — [Bound] positions bind consistently
+   and the assignment is returned (sorted by binder number), [Free]
+   positions match nothing.  The match verdict of every pattern an
+   evaluation can derive from this one (by quantifier-materialization
+   substitutions of binder values) is a function of this assignment: a
+   derived pattern matches [c] iff the root pattern does and the
+   substituted values agree with the assignment.  That is what makes the
+   tuple of per-pattern assignments a sound transition key. *)
+let sig_match pat (c : Action.concrete) : (int * Action.value) list option =
+  if
+    (not (String.equal pat.pname c.Action.cname))
+    || List.length pat.pargs <> List.length c.Action.cargs
+  then None
+  else
+    let exception Mismatch in
+    let binders : (int * Action.value) list ref = ref [] in
+    try
+      List.iter2
+        (fun parg v ->
+          match parg with
+          | Val u -> if not (String.equal u v) then raise Mismatch
+          | Bound k -> (
+            match List.assoc_opt k !binders with
+            | Some w -> if not (String.equal w v) then raise Mismatch
+            | None -> binders := (k, v) :: !binders)
+          | Free _ -> raise Mismatch)
+        pat.pargs c.Action.cargs;
+      Some (List.sort (fun (a, _) (b, _) -> Int.compare a b) !binders)
+    with Mismatch -> None
+
 module SSet = Set.Make (String)
 
 (* First-match order is part of the contract (quantifier materialization

@@ -51,6 +51,14 @@ val mem : t -> Action.concrete -> bool
 (** [mem alpha c] — does the concrete action [c] belong to the (expanded)
     alphabet?  [Free] positions match nothing. *)
 
+val sig_match : pattern -> Action.concrete -> (int * Action.value) list option
+(** Signature match of one pattern, for the compiled kernel's action
+    classifier ({!Automaton}): [None] when the pattern cannot match [c]
+    ([Free] positions match nothing), otherwise the binder assignment
+    (binder number → value, sorted) under which it does.  Two concrete
+    actions with identical signatures across an expression's whole
+    alphabet are indistinguishable to every state of that expression. *)
+
 val candidates : Action.param -> t -> Action.concrete -> Action.value list
 (** [candidates p alpha c] — the values [v] such that binding [p := v]
     (consistently) makes some pattern containing [Free p] match [c].  These

@@ -1,0 +1,504 @@
+(* The two-level compiled transition kernel.
+
+   Level 1 — match signatures.  The alphabet patterns of the session
+   expression (Alpha.of_expr) induce a classifier: the signature of a
+   concrete action is, per root pattern, whether it matches and under which
+   binder assignment (Alpha.sig_match).  Every pattern any evaluation step
+   can derive from the root alphabet — sub-alphabets of operands,
+   quantifier-materialized instance patterns, state atoms — is a
+   substitution instance of a root pattern, and its verdict on an action is
+   a function of the root pattern's signature entry.  Two actions with the
+   same signature therefore drive τ̂ identically from every reachable
+   state, and an action whose signature is all-None (no pattern matches)
+   is rejected by every state of the expression without touching the state
+   DAG: atoms cannot consume it, membership tests fail, candidate sets are
+   empty, so τ̂ returns the null state uniformly.
+
+   Level 2 — the lazy automaton.  Hash-consed states are interned into
+   dense row ids, signatures into dense column ids, and every *visited*
+   (row, column) pair is materialized into an array-backed transition row:
+   -2 = not yet computed, -1 = reject, otherwise the successor's row.  The
+   word and action problems then run as table walks; a cold entry falls
+   back to one τ̂ (itself memoized upstream) and fills the table behind
+   itself.  For harmless (quasi-regular, Section 6) expressions the
+   reachable space is finite and small, so it is compiled eagerly at
+   creation — generalizing the E15 deployment-time FSM into the production
+   path; benign and potentially-malignant expressions stay purely lazy.
+
+   Instances are domain-local (obtained via [shared]), like the state
+   model's hash-cons and memo tables: rows hold the owning domain's own
+   states, so [step] can hand them out with physical-equality guarantees
+   intact.  The caps bound retention — rows hold states strongly — and a
+   full table degrades to the interpreted kernel, never to a wrong
+   answer. *)
+
+type t = {
+  expr : Expr.t;
+  alpha : Alpha.pattern array;  (* root alphabet, fixed pattern order *)
+  (* level 1: action -> signature column.  The key table interns canonical
+     signatures; the action cache makes repeated classification one lookup
+     (segmented: open-world action streams are unbounded). *)
+  sig_keys : ((int * Action.value) list option list, int) Hashtbl.t;
+  mutable nsigs : int;
+  sig_cache : (Action.concrete, int) Segtbl.t;
+  (* level 2: state row × signature column *)
+  row_tbl : (int, int) Hashtbl.t;  (* State.id -> row *)
+  mutable states : State.t array;  (* row -> state (strong) *)
+  mutable finals : bool array;  (* row -> φ, so word walks never leave ints *)
+  mutable rows : int array array;  (* row -> column -> entry *)
+  mutable nrows : int;
+  (* one-slot state → row cache: a session's next input state is almost
+     always the previous step's output state, which makes row resolution a
+     pointer comparison instead of a hash lookup *)
+  mutable last_st : State.t;
+  mutable last_row : int;
+  max_rows : int;
+  max_sigs : int;
+  eager : bool;
+}
+
+(* Row entries and special signature columns. *)
+let e_cold = -2
+let e_reject = -1
+let sig_reject = 0  (* the all-None signature: uniform reject *)
+let sig_unclassified = -1  (* signature cap hit: not classified, fall back *)
+let no_row = -1  (* row cap hit: state not interned, fall back *)
+
+(* Process-wide tallies in the style of [State.cache_stats]: atomic because
+   every evaluation domain counts into them; sampled by the telemetry
+   registry as the [automaton_*] probes. *)
+let steps_total = Atomic.make 0
+let fallbacks_total = Atomic.make 0
+let sig_hits = Atomic.make 0
+let sig_misses = Atomic.make 0
+let sig_evictions = Atomic.make 0
+let overflows_total = Atomic.make 0
+let interned_total = Atomic.make 0
+let rows_live = Atomic.make 0
+let sigs_live = Atomic.make 0
+let instances_total = Atomic.make 0
+
+type stats = {
+  steps : int;
+  fallbacks : int;
+  sig_cache_hits : int;
+  sig_cache_misses : int;
+  sig_cache_evictions : int;
+  overflows : int;
+  interned_states : int;
+  live_rows : int;
+  live_signatures : int;
+  instances : int;
+}
+
+let stats () =
+  { steps = Atomic.get steps_total;
+    fallbacks = Atomic.get fallbacks_total;
+    sig_cache_hits = Atomic.get sig_hits;
+    sig_cache_misses = Atomic.get sig_misses;
+    sig_cache_evictions = Atomic.get sig_evictions;
+    overflows = Atomic.get overflows_total;
+    interned_states = Atomic.get interned_total;
+    live_rows = Atomic.get rows_live;
+    live_signatures = Atomic.get sigs_live;
+    instances = Atomic.get instances_total }
+
+let reset_stats () =
+  Atomic.set steps_total 0;
+  Atomic.set fallbacks_total 0;
+  Atomic.set sig_hits 0;
+  Atomic.set sig_misses 0;
+  Atomic.set sig_evictions 0;
+  Atomic.set overflows_total 0
+
+let () =
+  let probe name r =
+    Telemetry.register_probe name (fun () -> float_of_int (Atomic.get r))
+  in
+  probe "automaton_steps_total" steps_total;
+  probe "automaton_fallbacks_total" fallbacks_total;
+  probe "automaton_sig_cache_hits" sig_hits;
+  probe "automaton_sig_cache_misses" sig_misses;
+  probe "automaton_sig_cache_evictions" sig_evictions;
+  probe "automaton_overflow_total" overflows_total;
+  probe "automaton_interned_states" interned_total;
+  probe "automaton_rows" rows_live;
+  probe "automaton_signatures" sigs_live;
+  probe "automaton_instances" instances_total;
+  Telemetry.register_probe "automaton_sig_cache_hit_rate" (fun () ->
+      let h = Atomic.get sig_hits and m = Atomic.get sig_misses in
+      if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m))
+
+(* The compiled kernel is a memo structure over canonical states: without
+   memoization or canonicalization (the E11/E16 ablations) caching steps
+   would hide exactly the effect under measurement, so the kernel is active
+   only when all three switches are on.  Checked at every step: flipping
+   any switch mid-run takes effect immediately. *)
+let active () = State.compilation () && State.memoization () && State.canonicalization ()
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let grow_to a n =
+  if n > Array.length a.rows then begin
+    let cap = max n (max 64 (2 * Array.length a.rows)) in
+    let grow arr fill =
+      let b = Array.make cap fill in
+      Array.blit arr 0 b 0 a.nrows;
+      b
+    in
+    a.rows <- grow a.rows [||];
+    a.states <- grow a.states a.states.(0);
+    a.finals <- grow a.finals false
+  end
+
+(* Intern a state as a row; [no_row] once the row cap is reached (the
+   state keeps working through the interpreted fallback).  The one-slot
+   cache makes the sequential-session case a pointer comparison. *)
+let row_of a st =
+  if st == a.last_st then a.last_row
+  else
+    let r =
+      match Hashtbl.find_opt a.row_tbl (State.id st) with
+      | Some r -> r
+      | None ->
+        if a.nrows >= a.max_rows then begin
+          Atomic.incr overflows_total;
+          no_row
+        end
+        else begin
+          let r = a.nrows in
+          grow_to a (r + 1);
+          a.nrows <- r + 1;
+          a.states.(r) <- st;
+          a.finals.(r) <- State.final st;
+          a.rows.(r) <- Array.make 8 e_cold;
+          Hashtbl.add a.row_tbl (State.id st) r;
+          Atomic.incr interned_total;
+          Atomic.incr rows_live;
+          r
+        end
+    in
+    if r <> no_row then begin
+      a.last_st <- st;
+      a.last_row <- r
+    end;
+    r
+
+let signature a c =
+  Array.fold_right (fun p acc -> Alpha.sig_match p c :: acc) a.alpha []
+
+(* Classify an action: its dense signature column.  [Segtbl.find] keeps
+   the hot (young-hit) case allocation-free. *)
+let sig_of a c =
+  match Segtbl.find a.sig_cache c with
+  | s ->
+    Atomic.incr sig_hits;
+    s
+  | exception Not_found ->
+    Atomic.incr sig_misses;
+    let key = signature a c in
+    let s =
+      if List.for_all (fun m -> m = None) key then sig_reject
+      else
+        match Hashtbl.find_opt a.sig_keys key with
+        | Some s -> s
+        | None ->
+          if a.nsigs >= a.max_sigs then begin
+            Atomic.incr overflows_total;
+            sig_unclassified
+          end
+          else begin
+            let s = a.nsigs in
+            a.nsigs <- s + 1;
+            Hashtbl.add a.sig_keys key s;
+            Atomic.incr sigs_live;
+            s
+          end
+    in
+    if s <> sig_unclassified then Segtbl.add a.sig_cache c s;
+    s
+
+let entry a r s =
+  let row = a.rows.(r) in
+  if s < Array.length row then row.(s) else e_cold
+
+(* Rows start small and grow geometrically on column access: most states
+   are only ever stepped with a handful of the expression's signatures, so
+   dense nrows × nsigs allocation would be mostly dead weight. *)
+let set_entry a r s v =
+  let row = a.rows.(r) in
+  let row =
+    if s < Array.length row then row
+    else begin
+      let n = Array.make (max (s + 1) (2 * Array.length row)) e_cold in
+      Array.blit row 0 n 0 (Array.length row);
+      a.rows.(r) <- n;
+      n
+    end
+  in
+  row.(s) <- v
+
+(* Cold entry: one interpreted τ̂ (memoized upstream) computes the
+   successor and fills the table behind itself.  [s] may be
+   [sig_unclassified], in which case there is no column to fill. *)
+let resolve a r s c =
+  Atomic.incr fallbacks_total;
+  let succ = State.trans a.states.(r) c in
+  (if s >= 0 then
+     match succ with
+     | None -> set_entry a r s e_reject
+     | Some st' ->
+       let r' = row_of a st' in
+       (* row cap hit: the entry stays cold and keeps falling back *)
+       if r' <> no_row then set_entry a r s r');
+  succ
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Ground actions derivable from the root alphabet alone: patterns whose
+   positions are all concrete values.  For quasi-regular expressions (no
+   quantifiers, hence no [Bound]; [Free] matches nothing) this *is* the
+   concrete alphabet, which makes eager compilation self-contained. *)
+let ground_actions alpha =
+  List.filter_map
+    (fun (p : Alpha.pattern) ->
+      let rec vals acc = function
+        | [] -> Some (List.rev acc)
+        | Alpha.Val v :: rest -> vals (v :: acc) rest
+        | (Alpha.Bound _ | Alpha.Free _) :: _ -> None
+      in
+      Option.map (Action.conc p.Alpha.pname) (vals [] p.Alpha.pargs))
+    (List.sort_uniq Stdlib.compare alpha)
+
+(* Eager compilation: BFS over (row × ground action) until the table is
+   closed or a cap is hit.  Resolution goes through [resolve], so the rows
+   fill exactly like the lazy path would fill them. *)
+let precompile a =
+  let actions = ground_actions (Array.to_list a.alpha) in
+  let rec bfs frontier =
+    match frontier with
+    | [] -> ()
+    | r :: rest ->
+      let next =
+        List.filter_map
+          (fun c ->
+            let s = sig_of a c in
+            if s <= sig_reject then None
+            else
+              match entry a r s with
+              | e when e = e_cold -> (
+                let before = a.nrows in
+                match resolve a r s c with
+                | None -> None
+                | Some _ -> if a.nrows > before then Some (a.nrows - 1) else None)
+              | _ -> None)
+          actions
+      in
+      bfs (rest @ next)
+  in
+  bfs [ 0 ]
+
+let create ?eager ?(max_rows = 1 lsl 15) ?(max_sigs = 1 lsl 12) e =
+  let alpha = Array.of_list (Alpha.of_expr e) in
+  let s0 = State.init e in
+  let eager =
+    match eager with
+    | Some b -> b
+    | None -> ( match Classify.benignity e with
+      | Classify.Harmless -> true
+      | Classify.Benign _ | Classify.Potentially_malignant -> false)
+  in
+  let a =
+    { expr = e;
+      alpha;
+      sig_keys = Hashtbl.create 16;
+      nsigs = 1;  (* column 0 is the reject signature *)
+      sig_cache = Segtbl.create ~gen_cap:(1 lsl 14) ~evictions:sig_evictions 64;
+      row_tbl = Hashtbl.create 64;
+      states = Array.make 64 s0;
+      finals = Array.make 64 false;
+      rows = Array.make 64 [||];
+      nrows = 1;  (* row 0 is σ(e), interned inline just below *)
+      last_st = s0;
+      last_row = 0;
+      max_rows;
+      max_sigs;
+      eager }
+  in
+  a.finals.(0) <- State.final s0;
+  a.rows.(0) <- Array.make 8 e_cold;
+  Hashtbl.add a.row_tbl (State.id s0) 0;
+  Atomic.incr interned_total;
+  Atomic.incr rows_live;
+  Atomic.incr sigs_live (* the reject column *);
+  Atomic.incr instances_total;
+  if eager then precompile a;
+  a
+
+let expr a = a.expr
+
+type info = {
+  eager : bool;
+  rows : int;
+  signatures : int;
+}
+
+let info (a : t) = { eager = a.eager; rows = a.nrows; signatures = a.nsigs }
+
+(* Domain-local instance cache, keyed structurally per expression like
+   [Alpha.of_expr]'s: sessions, manager replicas and repeated word queries
+   on the same expression share one automaton — and its warm rows.  A
+   one-slot physical-equality fast path makes the repeated-word pattern
+   ([word e w] in a loop) skip the expression hash entirely.  The table is
+   bounded: property tests generate unbounded streams of expressions. *)
+module ExprTbl = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash e = Hashtbl.hash_param 256 1024 e
+end)
+
+let shared_cap = 256
+
+let shared_tbl : t ExprTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ExprTbl.create 16)
+
+let shared_slot : (Expr.t * t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let shared e =
+  let slot = Domain.DLS.get shared_slot in
+  match !slot with
+  | Some (e0, a) when e0 == e -> a
+  | _ ->
+    let tbl = Domain.DLS.get shared_tbl in
+    let a =
+      match ExprTbl.find_opt tbl e with
+      | Some a -> a
+      | None ->
+        if ExprTbl.length tbl >= shared_cap then begin
+          ExprTbl.reset tbl;
+          Atomic.incr overflows_total
+        end;
+        let a = create e in
+        ExprTbl.add tbl e a;
+        a
+    in
+    slot := Some (e, a);
+    a
+
+(* Drop this domain's shared instances.  For the experiment harness: an
+   automaton retained from an earlier workload on the same expression
+   carries that workload's rows and signatures, so before/after tables
+   would depend on experiment order.  Sessions that already bound an
+   instance keep it — only future [shared] calls see fresh tables. *)
+let reset_shared () =
+  ExprTbl.reset (Domain.DLS.get shared_tbl);
+  Domain.DLS.get shared_slot := None
+
+(* ------------------------------------------------------------------ *)
+(* Stepping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* τ̂ through the tables.  Precondition: [st] is a state of [a]'s
+   expression (initial, reachable, or loaded from a checkpoint of it) —
+   the reject short-circuit is only sound against the right alphabet.  The
+   warm path is two lookups (one a pointer comparison via the row slot)
+   and an array read; the successor is primed into the slot so the next
+   call resolves its row without hashing. *)
+let step a st c =
+  if not (active ()) then State.trans st c
+  else begin
+    Atomic.incr steps_total;
+    let r = row_of a st in
+    if r = no_row then begin
+      Atomic.incr fallbacks_total;
+      State.trans st c
+    end
+    else
+      let s = sig_of a c in
+      if s = sig_reject then begin
+        State.count_transition ();
+        None
+      end
+      else if s = sig_unclassified then begin
+        Atomic.incr fallbacks_total;
+        State.trans st c
+      end
+      else
+        let e = entry a r s in
+        if e = e_reject then begin
+          State.count_transition ();
+          None
+        end
+        else if e >= 0 then begin
+          State.count_transition ();
+          let st' = a.states.(e) in
+          a.last_st <- st';
+          a.last_row <- e;
+          Some st'
+        end
+        else resolve a r s c
+  end
+
+(* The word problem as a table walk: the warm path stays entirely in ints
+   (no state is touched, no option allocated), reads finality from the
+   per-row bit at the end, and flushes its step/transition counts in one
+   atomic add per word.  [None] = illegal, [Some fin] = survived. *)
+let run_word a w =
+  if not (active ()) then
+    match State.trans_word (State.init a.expr) w with
+    | None -> None
+    | Some s -> Some (State.final s)
+  else begin
+    let steps = ref 0 and warm = ref 0 in
+    let finish r =
+      if !steps > 0 then ignore (Atomic.fetch_and_add steps_total !steps);
+      State.count_transitions !warm;
+      r
+    in
+    (* off-table tail: plain τ̂ once the walk falls off the rows *)
+    let rec slow st = function
+      | [] -> Some (State.final st)
+      | c :: cs -> (
+        match State.trans st c with None -> None | Some st' -> slow st' cs)
+    in
+    let rec go r = function
+      | [] -> Some a.finals.(r)
+      | c :: cs -> (
+        incr steps;
+        let s = sig_of a c in
+        if s = sig_reject then begin
+          incr warm;
+          None
+        end
+        else if s = sig_unclassified then begin
+          Atomic.incr fallbacks_total;
+          match State.trans a.states.(r) c with
+          | None -> None
+          | Some st' -> slow st' cs
+        end
+        else
+          let e = entry a r s in
+          if e = e_reject then begin
+            incr warm;
+            None
+          end
+          else if e >= 0 then begin
+            incr warm;
+            go e cs
+          end
+          else
+            match resolve a r s c with
+            | None -> None
+            | Some st' ->
+              (* [resolve] interned the successor unless the rows are full *)
+              let r' = row_of a st' in
+              if r' <> no_row then go r' cs else slow st' cs)
+    in
+    finish (go 0 w)
+  end

@@ -1,0 +1,114 @@
+(** Compiled transition kernel: signature-keyed transitions over a lazily
+    materialized automaton.
+
+    The interpreted kernel ({!State.trans}) memoizes transitions keyed by
+    {e (state id, concrete action)}: every distinct action visiting a state
+    pays at least one full τ̂ descent, and the memo key itself allocates.
+    This module compiles the hot path in two levels:
+
+    {ol
+    {- {e Match signatures.}  The root alphabet ({!Alpha.of_expr}) of the
+       session expression classifies every concrete action into a
+       {e signature}: per pattern, whether it matches and under which binder
+       assignment ({!Alpha.sig_match}).  Every pattern reachable by
+       evaluation — sub-alphabets, quantifier-materialized instances, state
+       atoms — is a substitution instance of a root pattern, so two actions
+       with equal signatures are indistinguishable to {e every} state of the
+       expression; and an action matching {e no} pattern is rejected by
+       every state without touching the state DAG at all.}
+    {- {e A lazy automaton.}  Hash-consed states are interned into dense
+       row ids, signatures into dense column ids, and visited (row, column)
+       pairs are materialized into int-array transition rows.  Warm steps
+       are a table walk — no allocation, no hashing of expressions or
+       states; a cold entry falls back to one interpreted τ̂ and fills the
+       table behind itself.}}
+
+    Expressions classified {e harmless} by {!Classify.benignity}
+    (quasi-regular: finitely many reachable states) are compiled eagerly at
+    creation; benign and potentially-malignant expressions stay lazy, so the
+    table only ever holds the visited fringe.
+
+    The kernel is {e active} only while {!State.compilation},
+    {!State.memoization} and {!State.canonicalization} are all enabled
+    (flags are consulted at every step); otherwise every call transparently
+    degrades to the interpreted {!State.trans}.  Caps on rows and
+    signatures bound memory; hitting them likewise degrades to fallback,
+    never to a wrong answer. *)
+
+type t
+(** A compiled kernel instance for one expression.  Domain-local, like the
+    state model's caches: rows hold the owning domain's hash-consed states.
+    Obtain instances via {!shared}; {!create} is for tests and cold-start
+    measurements. *)
+
+val create : ?eager:bool -> ?max_rows:int -> ?max_sigs:int -> Expr.t -> t
+(** Fresh instance for an expression.  [eager] forces or suppresses eager
+    compilation (default: decided by {!Classify.benignity} — eager iff
+    harmless).  [max_rows] (default 2{^15}) caps interned states;
+    [max_sigs] (default 2{^12}) caps distinct signatures. *)
+
+val shared : Expr.t -> t
+(** The calling domain's shared instance for this expression (created on
+    first use; sessions, manager replicas and repeated word queries on one
+    expression share rows).  Keyed structurally with a physical-equality
+    fast path for the repeated-query pattern.  Bounded: a burst of more
+    than a few hundred distinct expressions resets the cache. *)
+
+val reset_shared : unit -> unit
+(** Drop the calling domain's shared instances.  For the experiment
+    harness: an instance retained from an earlier workload on the same
+    expression carries that workload's rows and signatures, so
+    before/after tables would depend on experiment order.  Sessions that
+    already bound an instance keep it. *)
+
+val expr : t -> Expr.t
+
+val step : t -> State.t -> Action.concrete -> State.t option
+(** τ̂ through the tables: exactly {!State.trans} observably (including the
+    {!State.transitions} counter), faster when warm.  [st] must be a state
+    of this instance's expression.  Inactive kernel, uninterned states,
+    capped tables and cold entries all fall back to {!State.trans}. *)
+
+val run_word : t -> Action.concrete list -> bool option
+(** The word problem as a table walk from σ(e): [None] if the word is not
+    even a partial word (some prefix is illegal), [Some fin] with the
+    finality of the reached state otherwise.  The warm path never leaves
+    integer land — states are only materialized on cold entries. *)
+
+val active : unit -> bool
+(** Whether compiled stepping is currently in force:
+    {!State.compilation} ∧ {!State.memoization} ∧
+    {!State.canonicalization}. *)
+
+(** {1 Introspection} *)
+
+type info = {
+  eager : bool;  (** was this instance eagerly compiled? *)
+  rows : int;  (** interned states *)
+  signatures : int;  (** distinct signature columns, including reject *)
+}
+
+val info : t -> info
+(** Per-instance shape, for the workbench [compile] command. *)
+
+type stats = {
+  steps : int;  (** compiled-kernel steps attempted *)
+  fallbacks : int;  (** steps resolved by the interpreted τ̂ *)
+  sig_cache_hits : int;
+  sig_cache_misses : int;
+  sig_cache_evictions : int;
+  overflows : int;  (** row/signature/instance cap events *)
+  interned_states : int;  (** rows ever interned, process-wide *)
+  live_rows : int;
+  live_signatures : int;
+  instances : int;  (** automata ever created, process-wide *)
+}
+
+val stats : unit -> stats
+(** Process-wide tallies since start or the last {!reset_stats}; also
+    exported to the telemetry registry as the [automaton_*] probes. *)
+
+val reset_stats : unit -> unit
+(** Reset the flow counters (steps, fallbacks, signature-cache tallies,
+    overflows).  Structural gauges (interned states, live rows/signatures,
+    instances) are left untouched. *)

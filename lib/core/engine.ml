@@ -12,10 +12,18 @@ let m_permitted_checks = Telemetry.counter "engine_permitted_checks_total"
 let m_try_ns = Telemetry.histogram "engine_try_action_ns"
 let g_state_size = Telemetry.gauge "engine_state_size"
 
+(* The word problem runs on the compiled kernel when it is active: a table
+   walk over the shared automaton of [e], falling back to the interpreted
+   τ̂ per cold entry (and wholesale when the kernel is switched off). *)
 let word_unobserved e w =
-  match State.trans_word (State.init e) w with
-  | None -> Illegal
-  | Some s -> if State.final s then Complete else Partial
+  if Automaton.active () then
+    match Automaton.run_word (Automaton.shared e) w with
+    | None -> Illegal
+    | Some fin -> if fin then Complete else Partial
+  else
+    match State.trans_word (State.init e) w with
+    | None -> Illegal
+    | Some s -> if State.final s then Complete else Partial
 
 let verdict_name = function
   | Illegal -> "illegal"
@@ -25,9 +33,12 @@ let verdict_name = function
 let word e w =
   if not !Telemetry.on then word_unobserved e w
   else
+    (* all fields in [~exit]: the word length is only walked once the span
+       has closed, keeping the measured section free of telemetry work *)
     Telemetry.span "engine.word"
-      ~fields:[ ("len", Telemetry.Int (List.length w)) ]
-      ~exit:(fun v -> [ ("verdict", Telemetry.Str (verdict_name v)) ])
+      ~exit:(fun v ->
+        [ ("len", Telemetry.Int (List.length w));
+          ("verdict", Telemetry.Str (verdict_name v)) ])
       (fun () -> word_unobserved e w)
 
 let word_int e w = Semantics.verdict_to_int (word e w)
@@ -41,6 +52,10 @@ type session = {
      successor computed by the tentative query makes that pattern perform
      one transition instead of two. *)
   mutable tentative : (State.t * Action.concrete * State.t option) option;
+  (* the session's compiled kernel, bound lazily on the first transition so
+     sessions created while compilation is disabled still pick it up when
+     the switch is flipped back on *)
+  mutable auto : Automaton.t option;
 }
 
 (* Switchable only for the experiment harness's before/after table. *)
@@ -65,8 +80,33 @@ let () =
   Telemetry.register_probe "engine_successor_cache_misses" (fun () ->
       float_of_int (Atomic.get succ_misses))
 
-let create e = { sexpr = e; state = Some (State.init e); rev_trace = []; tentative = None }
+let create e =
+  { sexpr = e;
+    state = Some (State.init e);
+    rev_trace = [];
+    tentative = None;
+    auto = None }
+
 let expr s = s.sexpr
+
+let session_auto s =
+  match s.auto with
+  | Some a -> a
+  | None ->
+    let a = Automaton.shared s.sexpr in
+    s.auto <- Some a;
+    a
+
+(* τ̂ as the session performs it: through the compiled kernel when active,
+   the interpreted transition otherwise.  Once the automaton is bound,
+   [Automaton.step] performs the (per-step) kill-switch check itself — the
+   flags are read exactly once on the hot path. *)
+let session_trans s st c =
+  match s.auto with
+  | Some a -> Automaton.step a st c
+  | None ->
+    if Automaton.active () then Automaton.step (session_auto s) st c
+    else State.trans st c
 
 (* τ̂ with the one-slot cache: reuse the successor when the query repeats
    the cached (state, action) pair; otherwise compute and remember it. *)
@@ -78,7 +118,7 @@ let tentative_trans s st c =
     succ
   | _ ->
     if !successor_cache then Atomic.incr succ_misses;
-    let succ = State.trans st c in
+    let succ = session_trans s st c in
     if !successor_cache then s.tentative <- Some (st, c, succ);
     succ
 
@@ -130,9 +170,11 @@ let try_action s c =
 let feed s cs =
   if not !Telemetry.on then List.filter (fun c -> not (try_action_unobserved s c)) cs
   else
+    (* both lengths in [~exit], computed after the span closed (see [word]) *)
     Telemetry.span "engine.feed"
-      ~fields:[ ("offered", Telemetry.Int (List.length cs)) ]
-      ~exit:(fun rejected -> [ ("rejected", Telemetry.Int (List.length rejected)) ])
+      ~exit:(fun rejected ->
+        [ ("offered", Telemetry.Int (List.length cs));
+          ("rejected", Telemetry.Int (List.length rejected)) ])
       (fun () -> List.filter (fun c -> not (try_action s c)) cs)
 
 let is_final s = match s.state with Some st -> State.final st | None -> false
@@ -201,7 +243,8 @@ let load str =
     { sexpr = Expr.of_sexp expr;
       state;
       rev_trace = List.rev_map Action.concrete_of_sexp trace;
-      tentative = None }
+      tentative = None;
+      auto = None }
   | Ok _ -> invalid_arg "Engine.load: malformed session"
 
 let reset s =
@@ -210,4 +253,8 @@ let reset s =
   s.rev_trace <- []
 
 let copy s =
-  { sexpr = s.sexpr; state = s.state; rev_trace = s.rev_trace; tentative = s.tentative }
+  { sexpr = s.sexpr;
+    state = s.state;
+    rev_trace = s.rev_trace;
+    tentative = s.tentative;
+    auto = s.auto }

@@ -1,0 +1,69 @@
+(* Two-generation (segmented) memo tables.
+
+   The memo caches previously dropped their whole contents on hitting the
+   size cap ([Hashtbl.reset]), so a long-running workload that cycles
+   through more than a cap's worth of keys suffered a periodic miss storm:
+   every hot entry was rebuilt from scratch right after each flush.  A
+   segmented table keeps two generations instead.  Inserts go to the young
+   generation; a lookup that only hits in the old generation promotes the
+   entry back into the young one; when the young generation reaches the
+   per-generation cap, the old generation is discarded and the young one
+   takes its place.  Hot entries are promoted before their generation dies,
+   so an eviction cycle sheds only the cold tail — retention stays bounded
+   by twice the generation cap, and the hit rate no longer collapses at the
+   cap boundary.
+
+   Eviction counting is shared: callers inject an [Atomic.t] so several
+   tables (and several domains' replicas of them) tally into one probe. *)
+
+type ('k, 'v) t = {
+  mutable young : ('k, 'v) Hashtbl.t;
+  mutable old : ('k, 'v) Hashtbl.t;
+  gen_cap : int;
+  evictions : int Atomic.t;
+}
+
+let create ?(gen_cap = 1 lsl 15) ~evictions n =
+  { young = Hashtbl.create n; old = Hashtbl.create n; gen_cap; evictions }
+
+(* Rotation discards the old generation (everything in it was neither
+   inserted nor promoted for a full generation) and recycles its table. *)
+let rotate t =
+  let dropped = Hashtbl.length t.old in
+  if dropped > 0 then ignore (Atomic.fetch_and_add t.evictions dropped);
+  let dead = t.old in
+  t.old <- t.young;
+  Hashtbl.reset dead;
+  t.young <- dead
+
+let add t k v =
+  if Hashtbl.length t.young >= t.gen_cap then rotate t;
+  Hashtbl.replace t.young k v
+
+let find_opt t k =
+  match Hashtbl.find_opt t.young k with
+  | Some _ as r -> r
+  | None -> (
+    match Hashtbl.find_opt t.old k with
+    | Some v as r ->
+      (* promote: a hit proves the entry is hot, keep it across the next
+         rotation (the old copy is shadowed and dies with its generation) *)
+      add t k v;
+      r
+    | None -> None)
+
+(* Allocation-free variant of [find_opt] for hot paths: the young-hit case
+   neither boxes the result nor allocates a key tuple. *)
+let find t k =
+  match Hashtbl.find t.young k with
+  | v -> v
+  | exception Not_found ->
+    let v = Hashtbl.find t.old k in
+    add t k v;
+    v
+
+let length t = Hashtbl.length t.young + Hashtbl.length t.old
+
+let clear t =
+  Hashtbl.reset t.young;
+  Hashtbl.reset t.old

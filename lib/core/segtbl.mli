@@ -1,0 +1,40 @@
+(** Bounded memo tables with two-generation (segmented) eviction.
+
+    A plain [Hashtbl] flushed wholesale at a size cap causes periodic miss
+    storms: every hot entry is dropped together with the cold tail and must
+    be recomputed immediately after.  This table keeps a young and an old
+    generation instead; inserts fill the young one, a hit in the old
+    generation promotes the entry, and reaching the per-generation cap
+    discards only the old generation — the cold tail.  Retention is bounded
+    by [2 * gen_cap] entries.
+
+    Not thread-safe by itself; intended for domain-local caches (the users
+    keep one instance per domain via [Domain.DLS]).  Only the eviction
+    counter is shared across instances. *)
+
+type ('k, 'v) t
+
+val create : ?gen_cap:int -> evictions:int Atomic.t -> int -> ('k, 'v) t
+(** [create ~evictions n] — an empty table with initial bucket hint [n].
+    [gen_cap] (default [2^15]) bounds each generation; [evictions] is
+    bumped by the number of entries discarded at each rotation (shared, so
+    several tables can tally into one probe). *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup across both generations; a hit in the old generation promotes
+    the entry into the young one. *)
+
+val find : ('k, 'v) t -> 'k -> 'v
+(** Like {!find_opt} but allocation-free on a young-generation hit, for
+    hot paths.  @raise Not_found when the key is in neither generation. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert into the young generation, rotating generations first when the
+    young one is at capacity. *)
+
+val length : ('k, 'v) t -> int
+(** Entries across both generations (promoted entries may be counted in
+    both — an upper bound on distinct keys). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop both generations without counting evictions. *)

@@ -272,6 +272,24 @@ let set_memoization b =
 
 let memoization () = !memoize
 
+(* Kill switch for the compiled transition kernel (the signature classifier
+   and the lazy automaton of {!Automaton}).  It lives here so that every
+   evaluation layer — engine sessions, the parallel shards, the manager —
+   reads one flag, and so the CLI/harness can flip it without reaching into
+   the automaton module.  The automaton additionally requires memoization
+   and canonicalization to be on: its tables are memo caches over canonical
+   states, and caching through an ablation run would hide exactly the
+   effect being measured. *)
+let compile_flag = ref true
+let set_compilation b = compile_flag := b
+let compilation () = !compile_flag
+
+(* Entries dropped by the segmented memo tables below (and by the
+   automaton's signature caches, which share the counter's probe style):
+   exported as the [state_memo_evictions_total] probe. *)
+let memo_evictions = Atomic.make 0
+let memo_eviction_count () = Atomic.get memo_evictions
+
 let cmp_inst (v, s) (w, u) =
   let c = String.compare v w in
   if c <> 0 then c else compare s u
@@ -417,28 +435,30 @@ and init_uncached (e : Expr.t) : t =
    Used when a quantifier materializes an instance from its template.
    Materializing the same value from the same (hash-consed) template is
    the common case — quantifier transitions re-derive candidate instances
-   on every action — so results are memoized per (state id, param, value). *)
-let subst_tbl : (int * Action.param * Action.value, t) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+   on every action — so results are memoized per (state id, param, value).
 
-(* Entries hold states strongly; the cap bounds that retention (and the GC
-   marking work it causes).  A flush only costs recomputation. *)
-let subst_tbl_cap = 1 lsl 16
+   Entries hold states strongly; the generation cap bounds that retention
+   (and the GC marking work it causes) at two generations of 2^15 entries.
+   Eviction is segmented (see {!Segtbl}): rotating out the old generation
+   sheds the cold tail while promoted hot entries survive, instead of the
+   former flush-everything-at-the-cap miss storm. *)
+let subst_tbl : (int * Action.param * Action.value, t) Segtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Segtbl.create ~gen_cap:(1 lsl 15) ~evictions:memo_evictions 256)
 
 let rec subst_state p v (s : t) : t =
   if not (!memoize && !canonicalize) then subst_uncached p v s
   else
     let tbl = Domain.DLS.get subst_tbl in
     let key = (s.id, p, v) in
-    match Hashtbl.find_opt tbl key with
+    match Segtbl.find_opt tbl key with
     | Some r ->
       Atomic.incr subst_hits;
       r
     | None ->
       Atomic.incr subst_misses;
-      if Hashtbl.length tbl >= subst_tbl_cap then Hashtbl.reset tbl;
       let r = subst_uncached p v s in
-      Hashtbl.add tbl key r;
+      Segtbl.add tbl key r;
       r
 
 and subst_uncached p v (s : t) : t =
@@ -819,17 +839,24 @@ let rec trans_rec (s : t) (c : Action.concrete) : t option =
 let trans_counter = Atomic.make 0
 let transitions () = Atomic.get trans_counter
 
+(* The compiled kernel ({!Automaton}) answers warm steps from its tables
+   without entering {!trans}; it bumps the same counter so [transitions]
+   keeps meaning "top-level kernel steps" regardless of the kernel in use
+   (the grant-loop invariant of the experiment harness depends on it). *)
+let count_transition () = Atomic.incr trans_counter
+let count_transitions n = if n > 0 then ignore (Atomic.fetch_and_add trans_counter n)
+
 (* τ̂ is pure and states are hash-consed, so whole transitions memoize by
    (predecessor id, action).  Steady states of quasi-regular expressions
    cycle through a handful of states, turning their transitions into table
    hits.  Ids are never reused, so a reclaimed predecessor can only lead
    to a harmless miss (a re-created equal state gets a fresh id); the
-   successor is held strongly until the table is flushed at its size cap.
-   Domain-local, like the other memo tables. *)
-let trans_tbl : (int * Action.concrete, t option) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
-
-let trans_tbl_cap = 1 lsl 16
+   successor is held strongly until its generation is rotated out at the
+   cap (segmented eviction: hot entries are promoted and survive, only the
+   cold tail is shed).  Domain-local, like the other memo tables. *)
+let trans_tbl : (int * Action.concrete, t option) Segtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Segtbl.create ~gen_cap:(1 lsl 15) ~evictions:memo_evictions 1024)
 
 let trans s c =
   Atomic.incr trans_counter;
@@ -837,15 +864,14 @@ let trans s c =
   else
     let tbl = Domain.DLS.get trans_tbl in
     let key = (s.id, c) in
-    match Hashtbl.find_opt tbl key with
+    match Segtbl.find_opt tbl key with
     | Some r ->
       Atomic.incr trans_hits;
       r
     | None ->
       Atomic.incr trans_misses;
-      if Hashtbl.length tbl >= trans_tbl_cap then Hashtbl.reset tbl;
       let r = trans_rec s c in
-      Hashtbl.add tbl key r;
+      Segtbl.add tbl key r;
       r
 
 let trans_word s w =
@@ -869,7 +895,8 @@ let () =
   probe "state_memo_trans_hits" trans_hits;
   probe "state_memo_trans_misses" trans_misses;
   Telemetry.register_probe "state_memo_trans_hit_rate" (rate trans_hits trans_misses);
-  Telemetry.register_probe "state_memo_subst_hit_rate" (rate subst_hits subst_misses)
+  Telemetry.register_probe "state_memo_subst_hit_rate" (rate subst_hits subst_misses);
+  probe "state_memo_evictions_total" memo_evictions
 
 let rec size (s : t) : int =
   match s.node with

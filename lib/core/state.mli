@@ -71,10 +71,21 @@ val hash : t -> int
 (** The memoized structural hash (stable across processes). *)
 
 val transitions : unit -> int
-(** Monotone count of top-level {!trans} invocations in this process;
-    recursive descents into substates are not counted.  Used by the
-    experiment harness to verify that the grant loop performs a single
-    transition per granted action. *)
+(** Monotone count of top-level kernel steps in this process: {!trans}
+    invocations plus table-answered steps of the compiled kernel
+    ({!Automaton}); recursive descents into substates are not counted.
+    Used by the experiment harness to verify that the grant loop performs
+    a single transition per granted action. *)
+
+val count_transition : unit -> unit
+(** Bump the {!transitions} counter without performing a transition.  For
+    the compiled kernel only: a step answered from the automaton's tables
+    is still a kernel step and must keep the counter (and the
+    [state_transitions_total] probe) meaningful. *)
+
+val count_transitions : int -> unit
+(** Batched {!count_transition}: one atomic add for [n] table-answered
+    steps (the compiled word walk counts locally and flushes once). *)
 
 val live_states : unit -> int
 (** Number of distinct live states in the calling domain's hash-cons table
@@ -112,6 +123,12 @@ val cache_stats : unit -> cache_stats
 
 val reset_cache_stats : unit -> unit
 
+val memo_eviction_count : unit -> int
+(** Entries shed by the segmented memo tables (transition and substitution
+    caches, all domains) since start.  Rotating a generation counts each
+    dropped entry once; exported as the [state_memo_evictions_total]
+    probe. *)
+
 val pp : Format.formatter -> t -> unit
 (** Structural dump of a state, for debugging and the examples. *)
 
@@ -136,6 +153,16 @@ val set_memoization : bool -> unit
     representation, not an optimization toggle. *)
 
 val memoization : unit -> bool
+
+val set_compilation : bool -> unit
+(** Kill switch for the compiled transition kernel (the signature
+    classifier and lazy automaton of {!Automaton}).  On by default.  The
+    flag is consulted at every step, so flipping it mid-run takes effect
+    immediately — running sessions fall back to the interpreted τ̂ and
+    return to the tables when re-enabled.  Exposed as [--no-compile] in
+    [imanager]/[iworkbench]. *)
+
+val compilation : unit -> bool
 
 (** {1 Persistence}
 

@@ -68,12 +68,16 @@ type t = {
      ask → confirm round trip computes the successor once at grant time
      and commits it at confirm time instead of transitioning twice. *)
   mutable tentative : (State.t * Action.concrete * State.t option) option;
+  (* compiled kernel, bound lazily on the first transition (see
+     [Engine.session]: managers created under [--no-compile] pick it up if
+     compilation is re-enabled) *)
+  mutable mauto : Automaton.t option;
 }
 
 let create e =
   { mexpr = e; alpha = Alpha.of_expr e; state = Some (State.init e); crashed = false;
     outstanding = None; log = []; subs = []; inboxes = []; st = zero_stats;
-    per_action = Hashtbl.create 32; tentative = None }
+    per_action = Hashtbl.create 32; tentative = None; mauto = None }
 
 let expr t = t.mexpr
 let alive t = not t.crashed
@@ -99,6 +103,20 @@ let () =
   Telemetry.register_probe "manager_tentative_cache_misses" (fun () ->
       float_of_int (Atomic.get tent_misses))
 
+(* τ̂ as the manager performs it: the compiled kernel when active (checked
+   per step inside [Automaton.step] — the kill switch applies to live
+   managers), interpreted otherwise. *)
+let mgr_trans t s c =
+  match t.mauto with
+  | Some a -> Automaton.step a s c
+  | None ->
+    if Automaton.active () then begin
+      let a = Automaton.shared t.mexpr in
+      t.mauto <- Some a;
+      Automaton.step a s c
+    end
+    else State.trans s c
+
 let tentative_trans t s c =
   match t.tentative with
   | Some (s0, c0, succ) when State.equal s0 s && Action.equal_concrete c0 c ->
@@ -106,7 +124,7 @@ let tentative_trans t s c =
     succ
   | _ ->
     Atomic.incr tent_misses;
-    let succ = State.trans s c in
+    let succ = mgr_trans t s c in
     t.tentative <- Some (s, c, succ);
     succ
 
@@ -304,7 +322,7 @@ let recover t =
   if t.crashed then (
     let replayed =
       List.fold_left
-        (fun s c -> match s with None -> None | Some s -> State.trans s c)
+        (fun s c -> match s with None -> None | Some s -> mgr_trans t s c)
         (Some (State.init t.mexpr))
         (List.rev t.log)
     in
@@ -348,7 +366,7 @@ let recover_with t ~checkpoint =
     in
     let replayed =
       List.fold_left
-        (fun s c -> match s with None -> None | Some s -> State.trans s c)
+        (fun s c -> match s with None -> None | Some s -> mgr_trans t s c)
         (Some (State.of_sexp state))
         suffix
     in

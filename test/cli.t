@@ -163,6 +163,40 @@ The workbench cross-checks every action against a parallel mirror.
   mirror: 2 shard(s), 4 nodes, not final
   > bye
 
+The compiled transition kernel is on by default; the workbench [compile]
+command shows the shared automaton's shape and the step counters, and
+[--no-compile] switches both tools back to the interpreted kernel.
+
+  $ printf 'do a\ncompile\ndo b\ncompile\nquit\n' | ../bin/iworkbench.exe "(a - b)*"
+  loaded: (a - b)*
+  > Accept.
+  > compilation: on
+  automaton: eager, 3 row(s), 3 signature(s)
+  steps: 1 (6 interpreted fallback(s))
+  signature cache: 5 hit(s), 2 miss(es)
+  > Accept. (complete)
+  > compilation: on
+  automaton: eager, 3 row(s), 3 signature(s)
+  steps: 2 (6 interpreted fallback(s))
+  signature cache: 6 hit(s), 2 miss(es)
+  > bye
+
+  $ printf 'do a\ncompile\nquit\n' | ../bin/iworkbench.exe --no-compile "(a - b)*"
+  loaded: (a - b)*
+  > Accept.
+  > compilation: off
+  steps: 0 (0 interpreted fallback(s))
+  signature cache: 0 hit(s), 0 miss(es)
+  > bye
+
+  $ printf 'EXECUTE u a\nEXECUTE u b\nEXECUTE u a\nQUIT\n' \
+  >   | ../bin/imanager.exe --no-compile "a - b" \
+  >   | grep -E '^(READY|EXECUTED|REFUSED)'
+  READY 3
+  EXECUTED
+  EXECUTED
+  REFUSED
+
 Witness words.
 
   $ ../bin/iexpr.exe witness "some x: (a(x) - b(x) - c(x))"

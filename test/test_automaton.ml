@@ -1,0 +1,205 @@
+(* The compiled kernel (signature classifier + lazy automaton) must be
+   observably identical to the interpreted transition function: same
+   verdicts, same finality, same traces, same states — on random
+   expressions including quantifiers, with compilation toggled both ways
+   mid-run to exercise the fallback seam. *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_compilation b f =
+  let was = State.compilation () in
+  State.set_compilation b;
+  Fun.protect ~finally:(fun () -> State.set_compilation was) f
+
+(* Interpreted oracle: fold τ̂ from σ(e), bypassing every compiled path. *)
+let oracle_verdict e word =
+  with_compilation false (fun () ->
+      match State.trans_word (State.init e) word with
+      | None -> Engine.Illegal
+      | Some s -> if State.final s then Engine.Complete else Engine.Partial)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Engine.word (compiled when active) ≡ interpreted fold. *)
+let word_oracle =
+  QCheck.Test.make ~count:500 ~name:"compiled word ≡ interpreted word"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      let compiled = with_compilation true (fun () -> Engine.word e word) in
+      let interp = oracle_verdict e word in
+      if compiled <> interp then
+        QCheck.Test.fail_reportf "compiled %a, interpreted %a"
+          Semantics.pp_verdict compiled Semantics.pp_verdict interp
+      else true)
+
+(* A fresh (non-shared) automaton instance agrees too — covers the cold
+   tables, eager precompilation, and run_word's off-table tail. *)
+let fresh_instance_oracle =
+  QCheck.Test.make ~count:300 ~name:"fresh automaton ≡ interpreted word"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      with_compilation true (fun () ->
+          let a = Automaton.create e in
+          let compiled =
+            match Automaton.run_word a word with
+            | None -> Engine.Illegal
+            | Some fin -> if fin then Engine.Complete else Engine.Partial
+          in
+          let interp = oracle_verdict e word in
+          if compiled <> interp then
+            QCheck.Test.fail_reportf "fresh automaton %a, interpreted %a"
+              Semantics.pp_verdict compiled Semantics.pp_verdict interp
+          else true))
+
+(* Tiny row/signature caps force constant fallback; answers must not
+   change when every table overflows. *)
+let capped_oracle =
+  QCheck.Test.make ~count:200 ~name:"capped automaton ≡ interpreted word"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      with_compilation true (fun () ->
+          let a = Automaton.create ~eager:false ~max_rows:2 ~max_sigs:2 e in
+          let compiled =
+            match Automaton.run_word a word with
+            | None -> Engine.Illegal
+            | Some fin -> if fin then Engine.Complete else Engine.Partial
+          in
+          let interp = oracle_verdict e word in
+          if compiled <> interp then
+            QCheck.Test.fail_reportf "capped automaton %a, interpreted %a"
+              Semantics.pp_verdict compiled Semantics.pp_verdict interp
+          else true))
+
+(* Sessions: rejected actions, trace, finality and the reached state must
+   be identical with compilation on and off. *)
+let session_oracle =
+  QCheck.Test.make ~count:300 ~name:"compiled session ≡ interpreted session"
+    (expr_word_arb ~max_depth:3 ~max_len:6 ())
+    (fun (e, word) ->
+      let run compiled =
+        with_compilation compiled (fun () ->
+            let s = Engine.create e in
+            let rejected = Engine.feed s word in
+            (rejected, Engine.trace s, Engine.is_final s, Engine.state s))
+      in
+      let rc, tc, fc, sc = run true in
+      let ri, ti, fi, si = run false in
+      if not (List.equal Action.equal_concrete rc ri) then
+        QCheck.Test.fail_report "rejected lists differ"
+      else if not (List.equal Action.equal_concrete tc ti) then
+        QCheck.Test.fail_report "traces differ"
+      else if fc <> fi then QCheck.Test.fail_report "finality differs"
+      else if not (Option.equal State.equal sc si) then
+        QCheck.Test.fail_report "states differ"
+      else true)
+
+(* The kill switch mid-word: compiled first half, interpreted second half
+   (and the reverse) — both must agree with the pure interpreted run.  The
+   session crosses the seam with table-produced states. *)
+let toggle_oracle =
+  QCheck.Test.make ~count:300 ~name:"mid-run compilation toggle preserves verdicts"
+    (expr_word_arb ~max_depth:3 ~max_len:6 ())
+    (fun (e, word) ->
+      let run first_half =
+        with_compilation first_half (fun () ->
+            let s = Engine.create e in
+            let n = List.length word / 2 in
+            List.iteri
+              (fun i c ->
+                if i = n then State.set_compilation (not first_half);
+                ignore (Engine.try_action s c))
+              word;
+            (Engine.trace s, Engine.is_final s, Engine.state s))
+      in
+      let reference =
+        with_compilation false (fun () ->
+            let s = Engine.create e in
+            ignore (Engine.feed s word);
+            (Engine.trace s, Engine.is_final s, Engine.state s))
+      in
+      let check dir (tr, fin, st) =
+        let rt, rf, rs = reference in
+        if not (List.equal Action.equal_concrete tr rt) then
+          QCheck.Test.fail_reportf "%s: traces differ" dir
+        else if fin <> rf then QCheck.Test.fail_reportf "%s: finality differs" dir
+        else if not (Option.equal State.equal st rs) then
+          QCheck.Test.fail_reportf "%s: states differ" dir
+        else true
+      in
+      check "on->off" (run true) && check "off->on" (run false))
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let units =
+  [ t "harmless expressions compile eagerly" (fun () ->
+        let a = Automaton.create !"(a - b)*" in
+        let i = Automaton.info a in
+        check_bool "eager" true i.Automaton.eager;
+        check_bool "rows materialized up front" true (i.Automaton.rows >= 2);
+        (* reject column + one per distinct ground atom *)
+        check_int "signatures" 3 i.Automaton.signatures)
+    ; t "quantified expressions stay lazy" (fun () ->
+        let a = Automaton.create !"some p: a(p) - b(p)" in
+        let i = Automaton.info a in
+        check_bool "lazy" false i.Automaton.eager;
+        check_int "only the initial row" 1 i.Automaton.rows)
+    ; t "reject short-circuit skips the state DAG" (fun () ->
+        with_compilation true (fun () ->
+            let a = Automaton.create !"(a - b)*" in
+            let st = State.init !"(a - b)*" in
+            ignore (Automaton.step a st (a1 "a"));  (* classify once *)
+            let before = (Automaton.stats ()).Automaton.fallbacks in
+            (* foreign action: all-None signature, answered without τ̂ *)
+            check_bool "rejected" true (Automaton.step a st (a1 "zzz") = None);
+            check_bool "rejected again" true (Automaton.step a st (a1 "zzz") = None);
+            let after = (Automaton.stats ()).Automaton.fallbacks in
+            check_int "no interpreted fallback" before after))
+    ; t "warm steps still count as kernel transitions" (fun () ->
+        with_compilation true (fun () ->
+            let a = Automaton.create !"(a - b)*" in
+            let st = State.init !"(a - b)*" in
+            ignore (Automaton.step a st (a1 "a"));  (* warm the entry *)
+            let before = State.transitions () in
+            ignore (Automaton.step a st (a1 "a"));
+            check_int "one transition" (before + 1) (State.transitions ())))
+    ; t "kill switch falls back to the interpreted kernel" (fun () ->
+        with_compilation false (fun () ->
+            check_bool "inactive" false (Automaton.active ());
+            let before = (Automaton.stats ()).Automaton.steps in
+            let s = Engine.create !"(a - b)*" in
+            check_bool "still accepts" true (Engine.try_action s (a1 "a"));
+            let after = (Automaton.stats ()).Automaton.steps in
+            check_int "no compiled steps" before after))
+    ; t "shared instances are per expression and reused" (fun () ->
+        let e = !"(a - b)* || c*" in
+        check_bool "same instance" true
+          (Automaton.shared e == Automaton.shared e);
+        check_bool "expr preserved" true (Expr.equal (Automaton.expr (Automaton.shared e)) e))
+    ; t "signature cache hits on repeated actions" (fun () ->
+        with_compilation true (fun () ->
+            let a = Automaton.create !"some p: a(p) - b(p)" in
+            let st = State.init !"some p: a(p) - b(p)" in
+            ignore (Automaton.step a st (a1 "a(1)"));
+            let h0 = (Automaton.stats ()).Automaton.sig_cache_hits in
+            ignore (Automaton.step a st (a1 "a(1)"));
+            let h1 = (Automaton.stats ()).Automaton.sig_cache_hits in
+            check_bool "hit recorded" true (h1 > h0)))
+  ]
+
+let () =
+  Alcotest.run "automaton"
+    [ ("oracle",
+       List.map to_alcotest
+         [ word_oracle; fresh_instance_oracle; capped_oracle; session_oracle;
+           toggle_oracle ]);
+      ("units", units)
+    ]

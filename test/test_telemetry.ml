@@ -279,6 +279,11 @@ let layers =
         check_int "hwm stays at the peak" 3
           (Interaction_manager.Mqueue.high_watermark q))
     ; t "state memo caches report hits once a trace repeats" (fun () ->
+        (* pin the interpreted kernel: with compilation on, the repeated
+           trace is answered from the automaton tables and never reaches
+           the transition memo cache under test *)
+        State.set_compilation false;
+        Fun.protect ~finally:(fun () -> State.set_compilation true) @@ fun () ->
         State.reset_cache_stats ();
         let feed () =
           let s = Engine.create !"(a - b)* || (c - d)*" in
