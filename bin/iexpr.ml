@@ -157,6 +157,27 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Feed WORD action by action, reporting accept/reject and state growth.")
     Term.(const run $ expr_pos $ word_pos $ dump)
 
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run e w =
+    match Explain.explain_word e w with
+    | Error s ->
+      Format.printf "accepted: the whole word is a partial word%s@."
+        (if State.final s then " (and complete)" else "");
+      exit 0
+    | Ok (i, _, x) ->
+      Format.printf "%s@." (Explain.to_string x);
+      Format.printf "  at position %d of the word@." i;
+      exit 1
+  in
+  let word_pos =
+    Arg.(required & pos 1 (some word_arg) None & info [] ~docv:"WORD" ~doc:"Sequence of concrete actions; the first rejected one is explained.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Denial provenance: run WORD against EXPR and attribute the first rejection to the minimal set of blocking subexpressions.")
+    Term.(const run $ expr_pos $ word_pos)
+
 (* --- dot ---------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -393,7 +414,8 @@ let main =
   Cmd.group
     (Cmd.info "iexpr" ~version:"1.0.0"
        ~doc:"Interaction expressions and graphs (Heinlein, ICDE 2001) — word/action problems, complexity analysis, language enumeration and graph rendering.")
-    [ word_cmd; run_cmd; classify_cmd; lang_cmd; trace_cmd; dot_cmd; show_cmd;
-      simplify_cmd; deadend_cmd; equiv_cmd; audit_cmd; profile_cmd; witness_cmd ]
+    [ word_cmd; run_cmd; classify_cmd; lang_cmd; trace_cmd; explain_cmd; dot_cmd;
+      show_cmd; simplify_cmd; deadend_cmd; equiv_cmd; audit_cmd; profile_cmd;
+      witness_cmd ]
 
 let () = exit (Cmd.eval main)

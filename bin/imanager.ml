@@ -4,11 +4,12 @@
    (or a shell script) can participate in the coordination and subscription
    protocols of Fig. 10.  Commands:
 
-     ASK <client> <action>          -> GRANTED | DENIED | BUSY
+     ASK <client> <action>          -> GRANTED | DENIED [<reason>] | BUSY
      CONFIRM <client> <action>      -> OK | ERROR <msg>
      ABORT <client> <action>        -> OK
      EXECUTE <client> <action>      -> EXECUTED | REFUSED
      PERMITTED <action>             -> YES | NO
+     EXPLAIN <action>               -> PERMITTED | BLAME <locus>: <reason> ... OK
      SUBSCRIBE <client> <action>    -> OK
      UNSUBSCRIBE <client> <action>  -> OK
      NOTIFICATIONS <client>         -> NOTIFY <action> ENABLED|DISABLED ... OK
@@ -63,6 +64,7 @@ type backend = {
   b_abort : client:string -> Action.concrete -> unit;
   b_execute : client:string -> Action.concrete -> bool;
   b_permitted : Action.concrete -> bool;
+  b_explain : Action.concrete -> Explain.explanation option;
   b_subscribe : client:string -> Action.concrete -> unit;
   b_unsubscribe : client:string -> Action.concrete -> unit;
   b_drain : client:string -> Manager.notification list;
@@ -83,6 +85,7 @@ let seq_backend mgr =
     b_abort = Manager.abort mgr;
     b_execute = Manager.execute mgr;
     b_permitted = Manager.permitted mgr;
+    b_explain = Manager.explain_denial mgr;
     b_subscribe = Manager.subscribe mgr;
     b_unsubscribe = Manager.unsubscribe mgr;
     b_drain = (fun ~client -> Manager.drain_notifications mgr ~client);
@@ -102,6 +105,7 @@ let sharded_backend sm =
     b_abort = Sharded.abort sm;
     b_execute = Sharded.execute sm;
     b_permitted = Sharded.permitted sm;
+    b_explain = Sharded.explain_denial sm;
     b_subscribe = Sharded.subscribe sm;
     b_unsubscribe = Sharded.unsubscribe sm;
     b_drain = (fun ~client -> Sharded.drain_notifications sm ~client);
@@ -132,13 +136,19 @@ let run ~stats_every b =
       match split_words (String.trim line) with
       | [] -> ()
       | cmd :: args ->
-        (
+        (* Each command line is one externally submitted request: it runs in
+           its own trace, so the events of its ask/confirm/deny chain share
+           one trace id in the --trace export. *)
+        let dispatch () =
         match (String.uppercase_ascii cmd, args) with
         | "ASK", client :: rest ->
           with_action rest (fun a ->
               match b.b_ask ~client a with
               | Manager.Granted -> out "GRANTED"
-              | Manager.Denied -> out "DENIED"
+              | Manager.Denied -> (
+                match b.b_explain a with
+                | Some x -> out "DENIED %s" (Explain.summary x)
+                | None -> out "DENIED")
               | Manager.Busy -> out "BUSY")
         | "CONFIRM", client :: rest ->
           with_action rest (fun a ->
@@ -154,6 +164,15 @@ let run ~stats_every b =
               out "%s" (if b.b_execute ~client a then "EXECUTED" else "REFUSED"))
         | "PERMITTED", rest ->
           with_action rest (fun a -> out "%s" (if b.b_permitted a then "YES" else "NO"))
+        | "EXPLAIN", rest ->
+          with_action rest (fun a ->
+              match b.b_explain a with
+              | None -> out "PERMITTED"
+              | Some x ->
+                List.iter
+                  (fun bl -> out "BLAME %s" (Explain.blame_to_string bl))
+                  x.Explain.blames;
+                out "OK")
         | "SUBSCRIBE", client :: rest ->
           with_action rest (fun a ->
               b.b_subscribe ~client a;
@@ -202,7 +221,9 @@ let run ~stats_every b =
           out "OK"
         | "STATE", [] -> out "STATE %d" (b.b_state_size ())
         | "QUIT", [] -> stop := true
-        | _ -> out "ERROR unknown command %S" line);
+        | _ -> out "ERROR unknown command %S" line
+        in
+        if !Telemetry.on then Telemetry.in_new_trace dispatch else dispatch ();
         incr processed;
         if stats_every > 0 && !processed mod stats_every = 0 then
           Format.eprintf "STATS %a%s@." Manager.pp_stats (b.b_stats ())

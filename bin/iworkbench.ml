@@ -33,6 +33,7 @@ let help () =
     "commands:@.\
     \  load <expr>        set the constraint expression@.\
     \  do <action>        attempt an action (Fig. 9's action problem)@.\
+    \  explain <action>   why would this action be denied right now?@.\
     \  force <action>     execute even if forbidden (may kill the session)@.\
     \  permitted          list currently permitted actions@.\
     \  trace [file]       accepted actions; with a file, export telemetry JSONL@.\
@@ -114,6 +115,12 @@ let command env line =
             | None -> ());
             if ok then out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
             else out "Reject."))
+  | "explain" ->
+    with_session env (fun s ->
+        with_action rest (fun a ->
+            match Engine.explain_denial s a with
+            | None -> out "permitted (nothing to explain)"
+            | Some x -> out "%s" (Explain.to_string x)))
   | "force" ->
     with_session env (fun s ->
         with_action rest (fun a ->

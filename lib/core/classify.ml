@@ -76,6 +76,68 @@ let describe e =
       Printf.sprintf "verdict:                %s" (verdict_to_string (benignity e));
     ]
 
+(* The subexpressions responsible for a non-harmless verdict, as
+   human-readable loci — what the runtime sentinel names when observed
+   growth exceeds the class-predicted envelope. *)
+let offenders e =
+  let out = ref [] in
+  let add trail msg =
+    let locus = match trail with [] -> "(root)" | _ -> String.concat "/" (List.rev trail) in
+    out := (locus ^ ": " ^ msg) :: !out
+  in
+  let rec go trail (e : Expr.t) =
+    match e with
+    | Expr.Atom _ -> ()
+    | Expr.Opt y -> go ("opt" :: trail) y
+    | Expr.Seq (y, z) ->
+      go ("seq.l" :: trail) y;
+      go ("seq.r" :: trail) z
+    | Expr.SeqIter y -> go ("iter" :: trail) y
+    | Expr.Par (y, z) ->
+      go ("par.l" :: trail) y;
+      go ("par.r" :: trail) z
+    | Expr.Or (y, z) ->
+      go ("or.l" :: trail) y;
+      go ("or.r" :: trail) z
+    | Expr.And (y, z) ->
+      go ("and.l" :: trail) y;
+      go ("and.r" :: trail) z
+    | Expr.Sync (y, z) ->
+      go ("sync.l" :: trail) y;
+      go ("sync.r" :: trail) z
+    | Expr.ParIter y ->
+      if not (pariter_safe y) then
+        add trail "parallel iteration with ambiguous walkers (body is not a uniformly quantified disjunction)";
+      go ("pariter" :: trail) y
+    | Expr.SomeQ (p, y) | Expr.AllQ (p, y) | Expr.SyncQ (p, y) | Expr.AndQ (p, y) ->
+      let kind =
+        match e with
+        | Expr.SomeQ _ -> "some"
+        | Expr.AllQ _ -> "all"
+        | Expr.SyncQ _ -> "sync"
+        | _ -> "conj"
+      in
+      if not (body_uniform_in p y) then
+        add trail
+          (Printf.sprintf "quantifier %s %s is not uniform (atoms omitting %s: %s)" kind
+             p p
+             (String.concat ", "
+                (List.filter_map
+                   (fun a ->
+                     if List.mem p (Action.params a) then None
+                     else Some (Action.to_string a))
+                   (Expr.atoms y))));
+      go ((kind ^ " " ^ p) :: trail) y
+  in
+  go [] e;
+  (match Expr.free_params e with
+  | [] -> ()
+  | ps ->
+    add []
+      (Printf.sprintf "free parameters %s (expression is not completely quantified)"
+         (String.concat ", " ps)));
+  List.rev !out
+
 let explain e =
   let buf = Buffer.create 256 in
   let add depth msg = Buffer.add_string buf (String.make (2 * depth) ' ' ^ msg ^ "\n") in

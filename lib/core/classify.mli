@@ -49,6 +49,14 @@ val verdict_to_string : verdict -> string
 val describe : Expr.t -> string
 (** Multi-line human-readable analysis (used by the CLI and benches). *)
 
+val offenders : Expr.t -> string list
+(** The subexpressions that prevent a better verdict, as human-readable
+    ["locus: detail"] loci: non-uniform quantifiers (naming the atoms that
+    omit the parameter), parallel iterations with ambiguous walkers, free
+    parameters.  Empty for harmless and (usually) benign expressions.
+    This is what the runtime complexity sentinel ({!Sentinel}) names when
+    observed state growth exceeds the class-predicted envelope. *)
+
 val explain : Expr.t -> string
 (** Indented per-subexpression analysis: each quantifier and parallel
     iteration is annotated with whether it satisfies the benignity

@@ -56,6 +56,9 @@ type session = {
      sessions created while compilation is disabled still pick it up when
      the switch is flipped back on *)
   mutable auto : Automaton.t option;
+  (* the complexity sentinel, bound lazily on the first observed action so
+     unobserved runs never pay the classification *)
+  mutable sentinel : Sentinel.t option;
 }
 
 (* Switchable only for the experiment harness's before/after table. *)
@@ -85,9 +88,18 @@ let create e =
     state = Some (State.init e);
     rev_trace = [];
     tentative = None;
-    auto = None }
+    auto = None;
+    sentinel = None }
 
 let expr s = s.sexpr
+
+let session_sentinel s =
+  match s.sentinel with
+  | Some w -> w
+  | None ->
+    let w = Sentinel.create s.sexpr in
+    s.sentinel <- Some w;
+    w
 
 let session_auto s =
   match s.auto with
@@ -158,6 +170,7 @@ let try_action s c =
     Telemetry.incr (if ok then m_accepted else m_rejected);
     let size = match s.state with Some st -> State.size st | None -> 0 in
     Telemetry.set_gauge g_state_size (float_of_int size);
+    Sentinel.sample (session_sentinel s) ~size;
     Telemetry.event "engine.try_action"
       ~fields:
         [ ("action", Telemetry.Str (Action.concrete_to_string c));
@@ -209,6 +222,23 @@ let trace s = List.rev s.rev_trace
 let state_size s = match s.state with Some st -> State.size st | None -> 0
 let state s = s.state
 
+let explain_denial s c =
+  match s.state with
+  | Some st -> Explain.explain st c
+  | None ->
+    (* a forced action killed the session: every action is denied and no
+       live subexpression can be blamed *)
+    Some
+      { Explain.eaction = c;
+        blames =
+          [ { Explain.bpath = [];
+              locus = "(root)";
+              operator = "session";
+              reason = "session is dead (a forced action violated the expression)";
+              requires = [] } ] }
+
+let sentinel_warnings s = match s.sentinel with Some w -> Sentinel.warnings w | None -> 0
+
 let save s =
   let state_sexp =
     match s.state with
@@ -244,7 +274,8 @@ let load str =
       state;
       rev_trace = List.rev_map Action.concrete_of_sexp trace;
       tentative = None;
-      auto = None }
+      auto = None;
+      sentinel = None }
   | Ok _ -> invalid_arg "Engine.load: malformed session"
 
 let reset s =
@@ -257,4 +288,5 @@ let copy s =
     state = s.state;
     rev_trace = s.rev_trace;
     tentative = s.tentative;
-    auto = s.auto }
+    auto = s.auto;
+    sentinel = s.sentinel }

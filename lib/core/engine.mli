@@ -65,6 +65,16 @@ val state_size : session -> int
 
 val state : session -> State.t option
 
+val explain_denial : session -> Action.concrete -> Explain.explanation option
+(** Denial provenance against the current state: [None] when the action
+    would be accepted, otherwise a minimal blame set ({!Explain.explain}).
+    A dead session yields a root blame naming the dead session.  Pure —
+    performs no transition and perturbs no counters. *)
+
+val sentinel_warnings : session -> int
+(** Complexity-sentinel warnings raised by this session's observed
+    actions (0 when telemetry never saw the session). *)
+
 val reset : session -> unit
 (** Back to the initial state, clearing the trace. *)
 

@@ -1,0 +1,594 @@
+(* Denial provenance: when τ̂ rejects an action, attribute the rejection to
+   a minimal set of blocking subexpression positions.
+
+   The analysis works on a boolean mirror of τ̂'s acceptance ([accepts]):
+   a recursive predicate over {!State.view} that answers "could this
+   subtree consume c" without building successor states, parameterized by
+   a set of {e relaxed} expression positions that are treated as
+   accepting.  Relaxing a position is the operational meaning of "remove
+   this node's constraint"; the oracle property (test suite) is that the
+   mirror with nothing relaxed agrees with τ̂ exactly.
+
+   Blame sets are computed in two steps: a guided recursive walk collects
+   a sufficient relaxation cut (choosing the smallest candidate at
+   disjunctive nodes, the union of failing branches at conjunctive
+   nodes), then a greedy pass 1-minimizes it against [accepts].  The
+   mirror is monotone in the relaxed set, so the greedy pass yields a set
+   where every member is necessary: un-relaxing any single blamed
+   position flips the verdict back to rejection. *)
+
+module SSet = Set.Make (String)
+
+type blame = {
+  bpath : int list;  (* expression-position path from the root *)
+  locus : string;  (* human-readable rendering of the path *)
+  operator : string;  (* node kind carrying the blame *)
+  reason : string;
+  requires : string list;  (* patterns the blamed subtree could accept *)
+}
+
+type explanation = {
+  eaction : Action.concrete;
+  blames : blame list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance mirror                                               *)
+(* ------------------------------------------------------------------ *)
+
+let accepts ?(relaxed = []) (root : State.t) (c : Action.concrete) : bool =
+  let rec acc path s =
+    List.mem path relaxed
+    ||
+    match State.view s with
+    | State.VAtom { pat; consumed } -> (not consumed) && Action.matches pat c
+    | State.VOpt { body } -> acc (path @ [ 0 ]) body
+    | State.VSeq { left; rights; zinit } ->
+      let zp = path @ [ 1 ] in
+      (match left with
+      | Some l -> acc (path @ [ 0 ]) l || (State.final l && acc zp zinit)
+      | None -> false)
+      || List.exists (acc zp) rights
+    | State.VSeqIter { actives; yinit } ->
+      let bp = path @ [ 0 ] in
+      List.exists (acc bp) actives
+      || (List.exists State.final actives && acc bp yinit)
+    | State.VPar { alts } ->
+      List.exists (fun (l, r) -> acc (path @ [ 0 ]) l || acc (path @ [ 1 ]) r) alts
+    | State.VParIter { alts; yinit } ->
+      let bp = path @ [ 0 ] in
+      acc bp yinit || List.exists (List.exists (acc bp)) alts
+    | State.VOr { left; right } ->
+      let side i st =
+        match st with
+        | Some s -> acc (path @ [ i ]) s
+        | None -> List.mem (path @ [ i ]) relaxed
+      in
+      side 0 left || side 1 right
+    | State.VAnd { left; right } -> acc (path @ [ 0 ]) left && acc (path @ [ 1 ]) right
+    | State.VSync { left; right; la; ra } ->
+      let inl = Alpha.mem la c and inr = Alpha.mem ra c in
+      if (not inl) && not inr then false
+      else
+        ((not inl) || acc (path @ [ 0 ]) left)
+        && ((not inr) || acc (path @ [ 1 ]) right)
+    | State.VSome { param; insts; dead; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let cands = Alpha.candidates param balpha c in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list cands in
+      let relevant v = in_free || SSet.mem v cset in
+      let taken =
+        List.fold_left (fun s v -> SSet.add v s)
+          (List.fold_left (fun s (v, _) -> SSet.add v s) SSet.empty insts)
+          dead
+      in
+      List.exists (fun (v, s) -> relevant v && acc bp s) insts
+      || (match template with
+         | None -> false
+         | Some tpl ->
+           acc bp tpl
+           || List.exists
+                (fun v ->
+                  (not (SSet.mem v taken)) && acc bp (State.materialize param v tpl))
+                cands)
+    | State.VAll { param; alts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let cands = Alpha.candidates param balpha c in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list cands in
+      let relevant v = in_free || SSet.mem v cset in
+      let alt_ok (bound, anon) =
+        let not_bound v = not (List.mem_assoc v bound) in
+        List.exists (fun (v, s) -> relevant v && acc bp s) bound
+        || List.exists
+             (fun w ->
+               (in_free && acc bp w)
+               || List.exists
+                    (fun v -> not_bound v && acc bp (State.materialize param v w))
+                    cands)
+             anon
+        || (in_free && acc bp template)
+        || List.exists
+             (fun v -> not_bound v && acc bp (State.materialize param v template))
+             cands
+      in
+      List.exists alt_ok alts
+    | State.VSyncQ { param; insts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let all_cands = Alpha.candidates param balpha c in
+      let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
+      let in_fresh = Alpha.mem balpha c in
+      let cset = SSet.of_list all_cands in
+      let relevant v = in_fresh || SSet.mem v cset in
+      (cands <> [] || in_fresh || List.exists (fun (v, _) -> relevant v) insts)
+      && List.for_all (fun (v, s) -> (not (relevant v)) || acc bp s) insts
+      && List.for_all (fun v -> acc bp (State.materialize param v template)) cands
+      && ((not in_fresh) || acc bp template)
+    | State.VAndQ { param; insts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let all_cands = Alpha.candidates param balpha c in
+      let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list all_cands in
+      let relevant v = in_free || SSet.mem v cset in
+      List.for_all (fun (v, s) -> relevant v && acc bp s) insts
+      && List.for_all (fun v -> acc bp (State.materialize param v template)) cands
+      && acc bp template
+  in
+  acc [] root
+
+(* ------------------------------------------------------------------ *)
+(* Frontier: what a subtree could currently accept                      *)
+(* ------------------------------------------------------------------ *)
+
+let frontier (root : State.t) : string list =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  let add pat =
+    let k = Action.to_string pat in
+    if not (List.mem k !out) then out := k :: !out
+  in
+  let rec go s =
+    if not (Hashtbl.mem seen (State.id s)) then begin
+      Hashtbl.add seen (State.id s) ();
+      match State.view s with
+      | State.VAtom { pat; consumed } -> if not consumed then add pat
+      | State.VOpt { body } -> go body
+      | State.VSeq { left; rights; zinit } ->
+        Option.iter go left;
+        List.iter go rights;
+        (match left with Some l when State.final l -> go zinit | _ -> ())
+      | State.VSeqIter { actives; yinit } ->
+        List.iter go actives;
+        if List.exists State.final actives then go yinit
+      | State.VPar { alts } ->
+        List.iter
+          (fun (l, r) ->
+            go l;
+            go r)
+          alts
+      | State.VParIter { alts; yinit } ->
+        List.iter (List.iter go) alts;
+        go yinit
+      | State.VOr { left; right } ->
+        Option.iter go left;
+        Option.iter go right
+      | State.VAnd { left; right } | State.VSync { left; right; _ } ->
+        go left;
+        go right
+      | State.VSome { insts; template; _ } ->
+        List.iter (fun (_, s) -> go s) insts;
+        Option.iter go template
+      | State.VAll { alts; template; _ } ->
+        List.iter
+          (fun (bound, anon) ->
+            List.iter (fun (_, s) -> go s) bound;
+            List.iter go anon)
+          alts;
+        go template
+      | State.VSyncQ { insts; template; _ } | State.VAndQ { insts; template; _ } ->
+        List.iter (fun (_, s) -> go s) insts;
+        go template
+    end
+  in
+  go root;
+  List.rev !out
+
+let truncate_requires l =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> [ "..." ]
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take 8 l
+
+(* ------------------------------------------------------------------ *)
+(* The guided cut                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let render_trail trail =
+  match trail with [] -> "(root)" | _ -> String.concat "/" (List.rev trail)
+
+let cut_candidate_cap = 16
+
+let raw_cut (root : State.t) (c : Action.concrete) : blame list =
+  let acc0 s = accepts s c in
+  let blame trail path ~operator ~reason ~requires =
+    [ { bpath = path; locus = render_trail trail; operator; reason;
+        requires = truncate_requires requires } ]
+  in
+  let best = function
+    | [] -> None
+    | x :: rest ->
+      Some
+        (List.fold_left
+           (fun b y -> if List.length y < List.length b then y else b)
+           x rest)
+  in
+  let cap l =
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take cut_candidate_cap l
+  in
+  let cstr = Action.concrete_to_string c in
+  let rec cut trail path s =
+    match State.view s with
+    | State.VAtom { pat; consumed } ->
+      let pstr = Action.to_string pat in
+      let reason =
+        if consumed then Printf.sprintf "atom %s already consumed" pstr
+        else Printf.sprintf "expects %s, not %s" pstr cstr
+      in
+      blame (("atom " ^ pstr) :: trail) path ~operator:"atom" ~reason
+        ~requires:(if consumed then [] else [ pstr ])
+    | State.VOpt { body } -> cut ("opt" :: trail) (path @ [ 0 ]) body
+    | State.VSeq { left; rights; zinit } ->
+      let lp = path @ [ 0 ] and zp = path @ [ 1 ] in
+      let options =
+        (match left with Some l -> [ cut ("seq.left" :: trail) lp l ] | None -> [])
+        @ List.map (fun r -> cut ("seq.right" :: trail) zp r) rights
+        @ (match left with
+          | Some l when State.final l -> [ cut ("seq.cross" :: trail) zp zinit ]
+          | _ -> [])
+      in
+      (match best options with
+      | Some b -> b
+      | None ->
+        blame ("seq" :: trail) path ~operator:"seq"
+          ~reason:"sequence has no live position for this action"
+          ~requires:(frontier s))
+    | State.VSeqIter { actives; yinit } ->
+      let bp = path @ [ 0 ] in
+      let options =
+        List.map (fun a -> cut ("iter" :: trail) bp a) actives
+        @
+        if List.exists State.final actives then
+          [ cut ("iter.restart" :: trail) bp yinit ]
+        else []
+      in
+      (match best options with
+      | Some b -> b
+      | None ->
+        blame ("iter" :: trail) path ~operator:"iteration"
+          ~reason:"iteration exhausted: no active or restarted pass accepts"
+          ~requires:(frontier s))
+    | State.VPar { alts } ->
+      let options =
+        List.concat_map
+          (fun (l, r) ->
+            [ cut ("par.left" :: trail) (path @ [ 0 ]) l;
+              cut ("par.right" :: trail) (path @ [ 1 ]) r ])
+          alts
+      in
+      (match best (cap options) with
+      | Some b -> b
+      | None ->
+        blame ("par" :: trail) path ~operator:"par"
+          ~reason:"no parallel alternative accepts" ~requires:(frontier s))
+    | State.VParIter { alts; yinit } ->
+      let bp = path @ [ 0 ] in
+      let options =
+        cut ("pariter.start" :: trail) bp yinit
+        :: List.concat_map (List.map (fun w -> cut ("pariter" :: trail) bp w)) alts
+      in
+      (match best (cap options) with
+      | Some b -> b
+      | None -> assert false)
+    | State.VOr { left; right } ->
+      let side i name st =
+        match st with
+        | Some s -> cut (name :: trail) (path @ [ i ]) s
+        | None ->
+          blame (name :: trail)
+            (path @ [ i ])
+            ~operator:"or-branch" ~reason:"alternative already exhausted (branch is dead)"
+            ~requires:[]
+      in
+      (match best [ side 0 "or.left" left; side 1 "or.right" right ] with
+      | Some b -> b
+      | None -> assert false)
+    | State.VAnd { left; right } ->
+      let parts =
+        (if not (acc0 left) then cut ("and.left" :: trail) (path @ [ 0 ]) left else [])
+        @
+        if not (acc0 right) then cut ("and.right" :: trail) (path @ [ 1 ]) right else []
+      in
+      if parts <> [] then parts
+      else
+        blame ("and" :: trail) path ~operator:"and"
+          ~reason:"conjunction branches disagree" ~requires:(frontier s)
+    | State.VSync { left; right; la; ra } ->
+      let inl = Alpha.mem la c and inr = Alpha.mem ra c in
+      if (not inl) && not inr then
+        blame ("sync" :: trail) path ~operator:"sync"
+          ~reason:
+            (Printf.sprintf "%s is outside the coupling alphabet of both operands" cstr)
+          ~requires:(frontier s)
+      else
+        let parts =
+          (if inl && not (acc0 left) then
+             cut ("sync.left" :: trail) (path @ [ 0 ]) left
+           else [])
+          @
+          if inr && not (acc0 right) then
+            cut ("sync.right" :: trail) (path @ [ 1 ]) right
+          else []
+        in
+        if parts <> [] then parts
+        else
+          blame ("sync" :: trail) path ~operator:"sync"
+            ~reason:"synchronization partners disagree" ~requires:(frontier s)
+    | State.VSome { param; insts; dead = _; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let cands = Alpha.candidates param balpha c in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list cands in
+      let relevant v = in_free || SSet.mem v cset in
+      let options =
+        List.filter_map
+          (fun (v, s) ->
+            if relevant v then
+              Some (cut (Printf.sprintf "some %s[%s]" param v :: trail) bp s)
+            else None)
+          insts
+        @ (match template with
+          | None -> []
+          | Some tpl ->
+            cut (Printf.sprintf "some %s[fresh]" param :: trail) bp tpl
+            :: List.filter_map
+                 (fun v ->
+                   if List.mem_assoc v insts then None
+                   else
+                     Some
+                       (cut
+                          (Printf.sprintf "some %s[%s]" param v :: trail)
+                          bp
+                          (State.materialize param v tpl)))
+                 cands)
+      in
+      (match best (cap options) with
+      | Some b -> b
+      | None ->
+        blame (("some " ^ param) :: trail) path ~operator:"some-quantifier"
+          ~reason:
+            (Printf.sprintf "no instance (materialized or fresh) may consume %s" cstr)
+          ~requires:(frontier s))
+    | State.VAll { param; alts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let cands = Alpha.candidates param balpha c in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list cands in
+      let relevant v = in_free || SSet.mem v cset in
+      let options =
+        List.concat_map
+          (fun (bound, anon) ->
+            let not_bound v = not (List.mem_assoc v bound) in
+            List.filter_map
+              (fun (v, s) ->
+                if relevant v then
+                  Some (cut (Printf.sprintf "all %s[%s]" param v :: trail) bp s)
+                else None)
+              bound
+            @ List.concat_map
+                (fun w ->
+                  (if in_free then
+                     [ cut (Printf.sprintf "all %s[anon]" param :: trail) bp w ]
+                   else [])
+                  @ List.filter_map
+                      (fun v ->
+                        if not_bound v then
+                          Some
+                            (cut
+                               (Printf.sprintf "all %s[%s]" param v :: trail)
+                               bp
+                               (State.materialize param v w))
+                        else None)
+                      cands)
+                anon
+            @ (if in_free then
+                 [ cut (Printf.sprintf "all %s[new]" param :: trail) bp template ]
+               else [])
+            @ List.filter_map
+                (fun v ->
+                  if not_bound v then
+                    Some
+                      (cut
+                         (Printf.sprintf "all %s[%s:new]" param v :: trail)
+                         bp
+                         (State.materialize param v template))
+                  else None)
+                cands)
+          alts
+      in
+      (match best (cap options) with
+      | Some b -> b
+      | None ->
+        blame (("all " ^ param) :: trail) path ~operator:"all-quantifier"
+          ~reason:(Printf.sprintf "no instance may consume %s" cstr)
+          ~requires:(frontier s))
+    | State.VSyncQ { param; insts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let all_cands = Alpha.candidates param balpha c in
+      let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
+      let in_fresh = Alpha.mem balpha c in
+      let cset = SSet.of_list all_cands in
+      let relevant v = in_fresh || SSet.mem v cset in
+      if
+        not (cands <> [] || in_fresh || List.exists (fun (v, _) -> relevant v) insts)
+      then
+        blame (("sync " ^ param) :: trail) path ~operator:"sync-quantifier"
+          ~reason:(Printf.sprintf "%s is outside the quantified alphabet" cstr)
+          ~requires:(frontier s)
+      else
+        let parts =
+          List.concat_map
+            (fun (v, s) ->
+              if relevant v && not (acc0 s) then
+                cut (Printf.sprintf "sync %s[%s]" param v :: trail) bp s
+              else [])
+            insts
+          @ List.concat_map
+              (fun v ->
+                let m = State.materialize param v template in
+                if not (acc0 m) then
+                  cut (Printf.sprintf "sync %s[%s:new]" param v :: trail) bp m
+                else [])
+              cands
+          @
+          if in_fresh && not (acc0 template) then
+            cut (Printf.sprintf "sync %s[fresh]" param :: trail) bp template
+          else []
+        in
+        if parts <> [] then parts
+        else
+          blame (("sync " ^ param) :: trail) path ~operator:"sync-quantifier"
+            ~reason:"synchronization partners disagree" ~requires:(frontier s)
+    | State.VAndQ { param; insts; template; balpha } ->
+      let bp = path @ [ 0 ] in
+      let all_cands = Alpha.candidates param balpha c in
+      let cands = List.filter (fun v -> not (List.mem_assoc v insts)) all_cands in
+      let in_free = Alpha.mem balpha c in
+      let cset = SSet.of_list all_cands in
+      let relevant v = in_free || SSet.mem v cset in
+      let parts =
+        List.concat_map
+          (fun (v, s) ->
+            if not (relevant v) then
+              blame (("conj " ^ param) :: trail) path ~operator:"conj-quantifier"
+                ~reason:
+                  (Printf.sprintf "instance %s cannot consume %s (outside its alphabet)"
+                     v cstr)
+                ~requires:(frontier s)
+            else if not (acc0 s) then
+              cut (Printf.sprintf "conj %s[%s]" param v :: trail) bp s
+            else [])
+          insts
+        @ List.concat_map
+            (fun v ->
+              let m = State.materialize param v template in
+              if not (acc0 m) then
+                cut (Printf.sprintf "conj %s[%s:new]" param v :: trail) bp m
+              else [])
+            cands
+        @
+        if not (acc0 template) then
+          cut (Printf.sprintf "conj %s[fresh]" param :: trail) bp template
+        else []
+      in
+      if parts <> [] then parts
+      else
+        blame (("conj " ^ param) :: trail) path ~operator:"conj-quantifier"
+          ~reason:"conjunction instances disagree" ~requires:(frontier s)
+  in
+  cut [] [] root
+
+(* ------------------------------------------------------------------ *)
+(* Minimization and the public entry points                             *)
+(* ------------------------------------------------------------------ *)
+
+let root_blame c =
+  { bpath = [];
+    locus = "(root)";
+    operator = "expression";
+    reason =
+      Printf.sprintf "the expression cannot consume %s in its current state"
+        (Action.concrete_to_string c);
+    requires = [] }
+
+let minimize (s : State.t) (c : Action.concrete) (blames : blame list) : blame list =
+  let dedup =
+    List.fold_left
+      (fun acc b -> if List.exists (fun b' -> b'.bpath = b.bpath) acc then acc else b :: acc)
+      [] blames
+    |> List.rev
+  in
+  let ok set = accepts ~relaxed:(List.map (fun b -> b.bpath) set) s c in
+  if not (ok dedup) then [ root_blame c ]
+  else
+    (* Greedy 1-minimization.  [accepts] is monotone in the relaxed set, so
+       a blame kept because dropping it broke acceptance stays necessary as
+       later blames are dropped: the final set is 1-minimal. *)
+    let rec go kept = function
+      | [] -> kept
+      | b :: rest -> if ok (kept @ rest) then go kept rest else go (kept @ [ b ]) rest
+    in
+    go [] dedup
+
+let explain (s : State.t) (c : Action.concrete) : explanation option =
+  if accepts s c then None
+  else Some { eaction = c; blames = minimize s c (raw_cut s c) }
+
+let explain_word (e : Expr.t) (w : Action.concrete list) :
+    (int * Action.concrete * explanation, State.t) result =
+  let rec go i s = function
+    | [] -> Error s
+    | c :: rest -> (
+      match State.trans s c with
+      | Some s' -> go (i + 1) s' rest
+      | None -> (
+        match explain s c with
+        | Some x -> Ok (i, c, x)
+        | None ->
+          (* mirror/τ̂ disagreement would be a bug; surface it honestly *)
+          Ok (i, c, { eaction = c; blames = [ root_blame c ] })))
+  in
+  go 0 (State.init e) w
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let blame_to_string b =
+  Printf.sprintf "%s: %s%s" b.locus b.reason
+    (match b.requires with
+    | [] -> ""
+    | rs -> Printf.sprintf " (can accept: %s)" (String.concat ", " rs))
+
+let to_string x =
+  String.concat "\n"
+    (Printf.sprintf "denied: %s" (Action.concrete_to_string x.eaction)
+    :: List.map (fun b -> "  - " ^ blame_to_string b) x.blames)
+
+let summary x =
+  String.concat "; " (List.map (fun b -> b.locus ^ ": " ^ b.reason) x.blames)
+
+let max_payload_blames = 4
+
+let fields x =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | b :: rest -> b :: take (n - 1) rest
+  in
+  ("blame_count", Telemetry.Int (List.length x.blames))
+  :: List.concat
+       (List.mapi
+          (fun i b ->
+            [ (Printf.sprintf "blame%d_locus" i, Telemetry.Str b.locus);
+              (Printf.sprintf "blame%d_op" i, Telemetry.Str b.operator);
+              (Printf.sprintf "blame%d_reason" i, Telemetry.Str b.reason) ])
+          (take max_payload_blames x.blames))

@@ -1,0 +1,76 @@
+(** Denial provenance (the "why not" analysis).
+
+    When τ̂ rejects an action, {!explain} walks the state DAG and
+    attributes the rejection to a {e minimal} set of blocking
+    subexpression positions — the conjunction branch that still requires
+    another action, the synchronization partner that cannot consume, the
+    exhausted iteration or quantifier instance.
+
+    The analysis is built on {!accepts}, a pure boolean mirror of τ̂'s
+    acceptance over {!State.view} parameterized by a set of {e relaxed}
+    expression positions treated as unconditionally accepting.  Blame
+    sets satisfy the oracle property enforced by the test suite:
+
+    - {e soundness}: relaxing every blamed position makes the action
+      acceptable;
+    - {e 1-minimality}: un-relaxing any single blamed position flips the
+      verdict back to rejection.
+
+    The computation never builds successor states and never touches the
+    transition memo tables, so explaining a denial perturbs no counters
+    that the no-observer-effect property watches. *)
+
+type blame = {
+  bpath : int list;
+      (** expression-position path from the root: child indices, where
+          binary nodes use 0/1, every [Par]/[Or] alternative maps to its
+          side, and quantifier instances and templates map to the body
+          position 0 *)
+  locus : string;  (** human-readable rendering of the path *)
+  operator : string;  (** node kind carrying the blame, e.g. ["sync"] *)
+  reason : string;
+  requires : string list;
+      (** patterns the blamed subtree could currently accept (truncated) *)
+}
+
+type explanation = {
+  eaction : Action.concrete;
+  blames : blame list;
+}
+
+val accepts : ?relaxed:int list list -> State.t -> Action.concrete -> bool
+(** [accepts s c] ⇔ [State.trans s c <> None] (property-tested); with
+    [~relaxed] positions, subtrees rooted at those positions are treated
+    as accepting.  Monotone in [relaxed]. *)
+
+val frontier : State.t -> string list
+(** Patterns of the unconsumed atoms currently reachable in a state —
+    "what could this subtree still accept". *)
+
+val explain : State.t -> Action.concrete -> explanation option
+(** [None] when the action is acceptable; otherwise a minimized blame
+    set.  Always non-empty: if the guided cut cannot be verified, the
+    root position is blamed (trivially sound). *)
+
+val explain_word :
+  Expr.t ->
+  Action.concrete list ->
+  (int * Action.concrete * explanation, State.t) result
+(** Run a word from σ(x); [Ok (i, c, x)] explains the first rejected
+    action (at index [i]), [Error s] is the surviving state when the
+    whole word is accepted. *)
+
+val blame_to_string : blame -> string
+
+val to_string : explanation -> string
+(** Multi-line rendering: the denied action, then one line per blame. *)
+
+val summary : explanation -> string
+(** One-line rendering for manager replies and event payloads. *)
+
+val fields : explanation -> Telemetry.fields
+(** Structured event payload: [blame_count] plus per-blame
+    [blame<i>_locus]/[blame<i>_op]/[blame<i>_reason] (first
+    {!max_payload_blames} blames). *)
+
+val max_payload_blames : int

@@ -1,0 +1,98 @@
+(* Runtime complexity sentinel.
+
+   The static classifier (Classify) predicts an envelope for state growth:
+   harmless expressions keep constant-size states, benign ones grow at
+   most polynomially in the number of processed actions, and potentially
+   malignant ones have no syntactic bound.  The sentinel watches the
+   actual evaluation — state size per step, live hash-consed states,
+   compiled-automaton rows — and raises a structured, rate-limited
+   warning when the observation leaves the predicted envelope, naming the
+   offending quantifier or iteration from Classify.offenders.
+
+   Sampling is meant for the observed paths only (Engine.try_action,
+   Manager.do_transition); callers gate on Telemetry.on so the sentinel
+   costs nothing when telemetry is off. *)
+
+type t = {
+  verdict : Classify.verdict;
+  offenders : string list;
+  base_size : int;  (* size of the initial state *)
+  mutable steps : int;  (* actions sampled so far *)
+  mutable max_size : int;  (* largest state size seen *)
+  mutable warnings : int;  (* warnings raised by this sentinel *)
+  mutable last_warn_step : int;  (* rate limiting: step of the last warning *)
+  slack : int;
+  warn_every : int;  (* minimum steps between warnings *)
+}
+
+let warnings_total = Telemetry.counter "sentinel_warnings_total"
+
+let default_slack = 64
+let default_warn_every = 256
+
+let create ?(slack = default_slack) ?(warn_every = default_warn_every) (e : Expr.t) =
+  {
+    verdict = Classify.benignity e;
+    offenders = Classify.offenders e;
+    base_size = State.size (State.init e);
+    steps = 0;
+    max_size = 0;
+    warnings = 0;
+    (* far enough back that the first breach always warns; [min_int] would
+       overflow the [steps - last_warn_step] distance below *)
+    last_warn_step = -warn_every;
+    slack;
+    warn_every;
+  }
+
+let verdict t = t.verdict
+let warnings t = t.warnings
+let max_size t = t.max_size
+let steps t = t.steps
+
+(* The growth envelope: the state size admitted by the static verdict
+   after [steps] actions.  Deliberately generous — the sentinel flags
+   clear departures, not tight-bound violations. *)
+let envelope t =
+  let n = max t.steps 1 in
+  match t.verdict with
+  | Classify.Harmless -> t.base_size + t.slack
+  | Classify.Benign d ->
+    let rec pow b e = if e <= 0 then 1 else b * pow b (e - 1) in
+    t.base_size + t.slack + (t.slack * pow n (max d 1))
+  | Classify.Potentially_malignant -> max_int
+
+(* A malignant expression has no static envelope; flag it instead on
+   confirmed blowup: state size doubling past a floor within the sample
+   window. *)
+let malignant_blowup t size = size > 4096 && size > 8 * max t.base_size 1
+
+let offender_summary t =
+  match t.offenders with
+  | [] -> "no static offender identified"
+  | l -> String.concat "; " l
+
+let sample (t : t) ~(size : int) : unit =
+  t.steps <- t.steps + 1;
+  if size > t.max_size then t.max_size <- size;
+  let breach =
+    match t.verdict with
+    | Classify.Potentially_malignant -> malignant_blowup t size
+    | _ -> size > envelope t
+  in
+  if breach && t.steps - t.last_warn_step >= t.warn_every then begin
+    t.last_warn_step <- t.steps;
+    t.warnings <- t.warnings + 1;
+    Telemetry.incr warnings_total;
+    Telemetry.event "sentinel.warning"
+      ~fields:
+      [ ("verdict", Telemetry.Str (Classify.verdict_to_string t.verdict));
+        ("steps", Telemetry.Int t.steps);
+        ("state_size", Telemetry.Int size);
+        ("envelope",
+         Telemetry.Int (match t.verdict with
+           | Classify.Potentially_malignant -> -1
+           | _ -> envelope t));
+        ("live_states", Telemetry.Int (State.live_states ()));
+        ("offenders", Telemetry.Str (offender_summary t)) ]
+  end

@@ -1,0 +1,43 @@
+(** Runtime complexity sentinel.
+
+    Cross-references the static complexity verdict ({!Classify.benignity})
+    with the observed evaluation: per-step state size, live hash-consed
+    states.  When observed growth leaves the class-predicted envelope, a
+    rate-limited structured [sentinel.warning] event is emitted naming the
+    offending quantifier or parallel iteration ({!Classify.offenders}),
+    and the [sentinel_warnings_total] counter is bumped.  Warning events
+    carry the ambient trace id like every other event, so a warning that
+    fires while an action is being evaluated lands inside that action's
+    recorded causal chain.
+
+    Envelopes are deliberately generous (a [slack] constant, times [n^d]
+    for benign degree [d]); a potentially malignant expression has no
+    static envelope and is flagged only on confirmed blowup (state size
+    > 4096 and > 8× the initial size).  Callers sample from observed
+    paths only, so the sentinel costs nothing while telemetry is off. *)
+
+type t
+
+val create : ?slack:int -> ?warn_every:int -> Expr.t -> t
+(** Classify the expression and set up the envelope.  [slack] (default
+    64) scales the envelope; [warn_every] (default 256) is the minimum
+    number of sampled steps between two warnings. *)
+
+val sample : t -> size:int -> unit
+(** Record one evaluation step with the resulting state size; emits a
+    [sentinel.warning] event (rate-limited) when outside the envelope. *)
+
+val verdict : t -> Classify.verdict
+val envelope : t -> int
+(** Current admitted state size (grows with the sampled step count). *)
+
+val offender_summary : t -> string
+
+val warnings : t -> int  (** warnings raised by this sentinel *)
+
+val max_size : t -> int  (** largest sampled state size *)
+
+val steps : t -> int
+
+val default_slack : int
+val default_warn_every : int

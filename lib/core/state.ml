@@ -972,6 +972,72 @@ let rec pp ppf (s : t) =
       template
 
 (* ------------------------------------------------------------------ *)
+(* Structural view (read-only, for the explain layer)                  *)
+(* ------------------------------------------------------------------ *)
+
+type view =
+  | VAtom of { pat : Action.t; consumed : bool }
+  | VOpt of { body : t }
+  | VSeq of { left : t option; rights : t list; zinit : t }
+  | VSeqIter of { actives : t list; yinit : t }
+  | VPar of { alts : (t * t) list }
+  | VParIter of { alts : t list list; yinit : t }
+  | VOr of { left : t option; right : t option }
+  | VAnd of { left : t; right : t }
+  | VSync of { left : t; right : t; la : Alpha.t; ra : Alpha.t }
+  | VSome of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      dead : Action.value list;
+      template : t option;
+      balpha : Alpha.t;
+    }
+  | VAll of {
+      param : Action.param;
+      alts : ((Action.value * t) list * t list) list;
+      template : t;
+      balpha : Alpha.t;
+    }
+  | VSyncQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      balpha : Alpha.t;
+    }
+  | VAndQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      balpha : Alpha.t;
+    }
+
+let view (s : t) : view =
+  match s.node with
+  | SAtom { pat; consumed } -> VAtom { pat; consumed }
+  | SOpt { body; _ } -> VOpt { body }
+  | SSeq { left; rights; zinit; _ } -> VSeq { left; rights; zinit }
+  | SSeqIter { actives; yinit; _ } -> VSeqIter { actives; yinit }
+  | SPar { alts } -> VPar { alts }
+  | SParIter { alts; yinit; _ } -> VParIter { alts; yinit }
+  | SOr { left; right } -> VOr { left; right }
+  | SAnd { left; right } -> VAnd { left; right }
+  | SSync { left; right; la; ra } -> VSync { left; right; la; ra }
+  | SSome { param; insts; dead; template; balpha; _ } ->
+    VSome { param; insts; dead; template; balpha }
+  | SAll { param; alts; template; balpha; _ } ->
+    VAll
+      { param;
+        alts = List.map (fun { bound; anon } -> (bound, anon)) alts;
+        template;
+        balpha }
+  | SSyncQ { param; insts; template; balpha; _ } ->
+    VSyncQ { param; insts; template; balpha }
+  | SAndQ { param; insts; template; balpha; _ } ->
+    VAndQ { param; insts; template; balpha }
+
+let materialize p v s = subst_state p v s
+
+(* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 

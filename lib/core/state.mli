@@ -132,6 +132,61 @@ val memo_eviction_count : unit -> int
 val pp : Format.formatter -> t -> unit
 (** Structural dump of a state, for debugging and the examples. *)
 
+(** {1 Structural view}
+
+    A read-only, one-level unfolding of a state for diagnostic walks (the
+    denial-provenance analysis in {!Explain}).  Derived memo fields that
+    take no part in the structural identity ([zempty], freshness flags,
+    embedded expressions) are omitted; what remains is exactly what an
+    acceptance analysis needs: the children, the quantifier instance maps
+    and templates, and the alphabets driving synchronization and
+    candidate materialization. *)
+
+type view =
+  | VAtom of { pat : Action.t; consumed : bool }
+  | VOpt of { body : t }
+  | VSeq of { left : t option; rights : t list; zinit : t }
+      (** [zinit] = σ(z), the crossover entry state *)
+  | VSeqIter of { actives : t list; yinit : t }
+  | VPar of { alts : (t * t) list }
+  | VParIter of { alts : t list list; yinit : t }
+  | VOr of { left : t option; right : t option }
+  | VAnd of { left : t; right : t }
+  | VSync of { left : t; right : t; la : Alpha.t; ra : Alpha.t }
+  | VSome of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      dead : Action.value list;
+      template : t option;
+      balpha : Alpha.t;
+    }
+  | VAll of {
+      param : Action.param;
+      alts : ((Action.value * t) list * t list) list;
+          (** per alternative: bound walkers, anonymous walkers *)
+      template : t;
+      balpha : Alpha.t;
+    }
+  | VSyncQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      balpha : Alpha.t;
+    }
+  | VAndQ of {
+      param : Action.param;
+      insts : (Action.value * t) list;
+      template : t;
+      balpha : Alpha.t;
+    }
+
+val view : t -> view
+
+val materialize : Action.param -> Action.value -> t -> t
+(** Capture-aware substitution of a value for a parameter inside a state —
+    how a quantifier turns its template into the instance for one value.
+    Memoized per (state, param, value) like the internal materialization. *)
+
 (** {1 Ablation support}
 
     Part of the optimizer ρ is the {e canonicalization} of alternative

@@ -72,12 +72,15 @@ type t = {
      [Engine.session]: managers created under [--no-compile] pick it up if
      compilation is re-enabled) *)
   mutable mauto : Automaton.t option;
+  (* complexity sentinel, bound lazily on the first observed commit *)
+  mutable msentinel : Sentinel.t option;
 }
 
 let create e =
   { mexpr = e; alpha = Alpha.of_expr e; state = Some (State.init e); crashed = false;
     outstanding = None; log = []; subs = []; inboxes = []; st = zero_stats;
-    per_action = Hashtbl.create 32; tentative = None; mauto = None }
+    per_action = Hashtbl.create 32; tentative = None; mauto = None;
+    msentinel = None }
 
 let expr t = t.mexpr
 let alive t = not t.crashed
@@ -126,6 +129,13 @@ let tentative_trans t s c =
     Atomic.incr tent_misses;
     let succ = mgr_trans t s c in
     t.tentative <- Some (s, c, succ);
+    (* the kernel-evaluation link of the causal chain: one event per fresh
+       τ̂ evaluation (cache hits re-use the recorded one) *)
+    if !Telemetry.on then
+      Telemetry.event "engine.eval"
+        ~fields:
+          [ ("action", Telemetry.Str (Action.concrete_to_string c));
+            ("ok", Telemetry.Bool (succ <> None)) ];
     succ
 
 let permitted t c =
@@ -159,6 +169,14 @@ let notify t =
         t.st <- { t.st with informs = t.st.informs + 1 }))
     t.subs
 
+let mgr_sentinel t =
+  match t.msentinel with
+  | Some w -> w
+  | None ->
+    let w = Sentinel.create t.mexpr in
+    t.msentinel <- Some w;
+    w
+
 let do_transition t c =
   (* The successor was computed at grant time and sits in the one-slot
      cache; commit it, then check each subscription's status against its
@@ -172,7 +190,8 @@ let do_transition t c =
     | Some s' ->
       t.state <- Some s';
       t.tentative <- None;
-      t.st <- { t.st with transitions = t.st.transitions + 1 }
+      t.st <- { t.st with transitions = t.st.transitions + 1 };
+      if !Telemetry.on then Sentinel.sample (mgr_sentinel t) ~size:(State.size s')
     | None ->
       (* A confirmed action must have been granted, hence valid; reaching
          this point indicates a protocol violation by the caller. *)
@@ -221,6 +240,23 @@ let ask t ~client c =
         Telemetry.incr m_asks;
         Telemetry.incr
           (match r with Granted -> m_grants | Denied -> m_denials | Busy -> m_busies);
+        (* denial provenance: attach the minimal blame set to the reply's
+           event stream (crash denials and busy replies carry none) *)
+        (match r with
+        | Denied when not t.crashed -> (
+          match t.state with
+          | Some s -> (
+            match Explain.explain s c with
+            | Some x ->
+              Telemetry.event "manager.denied"
+                ~fields:
+                  (("client", Telemetry.Str client)
+                  :: ("action", Telemetry.Str (Action.concrete_to_string c))
+                  :: ("reason", Telemetry.Str (Explain.summary x))
+                  :: Explain.fields x)
+            | None -> ())
+          | None -> ())
+        | _ -> ());
         r)
 
 let matching_grant t ~client c =
@@ -377,6 +413,14 @@ let recover_with t ~checkpoint =
       t.outstanding <- None
     | None -> invalid_arg "Manager.recover_with: log-suffix replay failed")
   | Ok _ -> invalid_arg "Manager.recover_with: malformed checkpoint"
+
+let current_state t = t.state
+
+let explain_denial t c =
+  match t.state with Some s -> Explain.explain s c | None -> None
+
+let sentinel_warnings t =
+  match t.msentinel with Some w -> Sentinel.warnings w | None -> 0
 
 let action_report t =
   Hashtbl.fold (fun a (g, d) acc -> (a, g, d) :: acc) t.per_action []

@@ -135,6 +135,23 @@ val stats : t -> stats
 val state_size : t -> int
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Provenance and the complexity sentinel} *)
+
+val current_state : t -> State.t option
+(** The manager's current interaction state ([None] between {!crash} and
+    {!recover}) — the input to offline provenance queries. *)
+
+val explain_denial : t -> Action.concrete -> Explain.explanation option
+(** Denial provenance against the current state ({!Explain.explain}):
+    [None] when the action would in fact be permitted (or the manager is
+    crashed).  Pure — no transition is performed, no counter bumped.
+    When telemetry is on, {!ask} additionally emits a [manager.denied]
+    event carrying the same blame payload in the denial's trace. *)
+
+val sentinel_warnings : t -> int
+(** Complexity-sentinel warnings raised by this manager's observed
+    commits ({!Sentinel}); 0 when telemetry never saw a commit. *)
+
 val action_report : t -> (Action.concrete * int * int) list
 (** Per-action [(action, grants, denials)] counters over the manager's
     lifetime, sorted by total traffic — which activities are hot, and which

@@ -38,13 +38,28 @@ let fifo_requeue_front q ms =
   q.back <- [];
   q.size <- List.length ms + q.size
 
+(* Every message travels in an envelope carrying its provenance: the
+   ambient trace id at send time (0 when no trace was active) and a
+   delivery count bumped on every delivery — including redeliveries after
+   a receiver crash, so at-least-once duplicates are distinguishable. *)
+type 'a envelope = {
+  payload : 'a;
+  etrace : int;
+  mutable deliveries : int;
+}
+
+let payload e = e.payload
+let trace e = e.etrace
+let deliveries e = e.deliveries
+
 type 'a t = {
   qname : string;
-  pending : 'a fifo;  (* undelivered *)
-  flight : 'a fifo;  (* delivered, not acknowledged *)
+  pending : 'a envelope fifo;  (* undelivered *)
+  flight : 'a envelope fifo;  (* delivered, not acknowledged *)
   mutable sent : int;
   mutable redelivered : int;
   mutable hwm : int;  (* max pending depth ever observed *)
+  mutable delivery_hwm : int;  (* max deliveries of any single envelope *)
 }
 
 (* Always-on aggregates across every queue in the process, sampled by the
@@ -54,6 +69,7 @@ let g_receives = ref 0
 let g_acks = ref 0
 let g_redeliveries = ref 0
 let g_depth_hwm = ref 0
+let g_delivery_hwm = ref 0
 
 let () =
   let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
@@ -61,16 +77,18 @@ let () =
   probe "mqueue_receives_total" g_receives;
   probe "mqueue_acks_total" g_acks;
   probe "mqueue_redeliveries_total" g_redeliveries;
-  probe "mqueue_depth_hwm" g_depth_hwm
+  probe "mqueue_depth_hwm" g_depth_hwm;
+  probe "mqueue_delivery_hwm" g_delivery_hwm
 
 let create ~name =
   { qname = name; pending = fifo_empty (); flight = fifo_empty (); sent = 0;
-    redelivered = 0; hwm = 0 }
+    redelivered = 0; hwm = 0; delivery_hwm = 0 }
 
 let name q = q.qname
 
 let send q m =
-  fifo_push q.pending m;
+  let env = { payload = m; etrace = Telemetry.current_trace (); deliveries = 0 } in
+  fifo_push q.pending env;
   q.sent <- q.sent + 1;
   incr g_sends;
   if q.pending.size > q.hwm then q.hwm <- q.pending.size;
@@ -78,21 +96,30 @@ let send q m =
   if !Telemetry.on then
     Telemetry.event "mqueue.enqueue"
       ~fields:
-        [ ("queue", Telemetry.Str q.qname); ("depth", Telemetry.Int q.pending.size) ]
+        [ ("queue", Telemetry.Str q.qname);
+          ("depth", Telemetry.Int q.pending.size);
+          ("origin_trace", Telemetry.Int env.etrace) ]
 
-let receive q =
+let receive_envelope q =
   match fifo_pop q.pending with
   | None -> None
-  | Some m ->
-    fifo_push q.flight m;
+  | Some env ->
+    env.deliveries <- env.deliveries + 1;
+    if env.deliveries > q.delivery_hwm then q.delivery_hwm <- env.deliveries;
+    if env.deliveries > !g_delivery_hwm then g_delivery_hwm := env.deliveries;
+    fifo_push q.flight env;
     incr g_receives;
     if !Telemetry.on then
       Telemetry.event "mqueue.dequeue"
         ~fields:
           [ ("queue", Telemetry.Str q.qname);
             ("depth", Telemetry.Int q.pending.size);
-            ("in_flight", Telemetry.Int q.flight.size) ];
-    Some m
+            ("in_flight", Telemetry.Int q.flight.size);
+            ("origin_trace", Telemetry.Int env.etrace);
+            ("deliveries", Telemetry.Int env.deliveries) ];
+    Some env
+
+let receive q = Option.map payload (receive_envelope q)
 
 let ack q =
   match fifo_pop q.flight with
@@ -106,7 +133,9 @@ let crash_receiver q =
     Telemetry.event "mqueue.redeliver"
       ~fields:
         [ ("queue", Telemetry.Str q.qname); ("count", Telemetry.Int q.flight.size) ];
-  (* redelivery order: in-flight messages (oldest first) before pending *)
+  (* redelivery order: in-flight messages (oldest first) before pending;
+     the envelopes keep their delivery counts, so the next receive reports
+     deliveries ≥ 2 — the at-least-once duplicate is visible *)
   fifo_requeue_front q.pending (fifo_to_list q.flight);
   if q.pending.size > q.hwm then q.hwm <- q.pending.size;
   if q.pending.size > !g_depth_hwm then g_depth_hwm := q.pending.size;
@@ -117,6 +146,7 @@ let crash_receiver q =
 let length q = q.pending.size
 let depth = length
 let high_watermark q = q.hwm
+let delivery_watermark q = q.delivery_hwm
 let in_flight q = q.flight.size
 let sent_count q = q.sent
 let redelivered_count q = q.redelivered

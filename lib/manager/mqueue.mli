@@ -9,15 +9,33 @@
 
 type 'a t
 
+type 'a envelope
+(** The unit of transport: the payload plus provenance — the trace id
+    ambient at send time and the number of times the message has been
+    delivered (> 1 after a redelivery). *)
+
+val payload : 'a envelope -> 'a
+
+val trace : 'a envelope -> int
+(** Trace id captured at {!send}; 0 when no trace was active. *)
+
+val deliveries : 'a envelope -> int
+(** Deliveries so far, counting the one that returned this envelope.
+    2 or more marks an at-least-once duplicate after {!crash_receiver}. *)
+
 val create : name:string -> 'a t
 val name : 'a t -> string
 
 val send : 'a t -> 'a -> unit
-(** Durable enqueue. *)
+(** Durable enqueue; the envelope captures {!Telemetry.current_trace}. *)
 
 val receive : 'a t -> 'a option
 (** Deliver the next message (FIFO) and mark it in-flight.  [None] when the
     queue holds no undelivered messages. *)
+
+val receive_envelope : 'a t -> 'a envelope option
+(** Like {!receive} but keeps the envelope, for consumers that propagate
+    the originating trace or inspect the delivery count. *)
 
 val ack : 'a t -> unit
 (** Acknowledge the oldest in-flight message, removing it durably.
@@ -36,6 +54,10 @@ val depth : 'a t -> int
 val high_watermark : 'a t -> int
 (** Maximum undelivered depth ever observed on this queue (including
     redelivery bursts after {!crash_receiver}). *)
+
+val delivery_watermark : 'a t -> int
+(** Maximum delivery count of any single envelope on this queue — stays 1
+    while no receiver has crashed. *)
 
 val in_flight : 'a t -> int
 val sent_count : 'a t -> int

@@ -100,7 +100,14 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
     | Subscribing -> subscribe_round
     | Optimistic -> optimistic_round
   in
-  let step cl = if cl.rest > 0 then cl.rest <- cl.rest - 1 else act cl in
+  (* Each active client round is one externally submitted request: it gets
+     its own trace id, so every ask/reply/confirm (and any denial blame)
+     recorded during the round shares one causal chain. *)
+  let step cl =
+    if cl.rest > 0 then cl.rest <- cl.rest - 1
+    else if !Telemetry.on then Telemetry.in_new_trace (fun () -> act cl)
+    else act cl
+  in
   let rounds = ref 0 in
   let unfinished () = List.exists (fun cl -> cl.script <> []) clients in
   while unfinished () && !rounds < max_rounds do

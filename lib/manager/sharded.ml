@@ -66,7 +66,14 @@ let owner_indices t c =
   |> List.mapi (fun i sh -> (i, sh))
   |> List.filter_map (fun (i, sh) -> if Alpha.mem sh.salpha c then Some i else None)
 
-let on_shard t sh f = Pool.run t.spool ~worker:sh.worker (fun () -> f sh.mgr)
+(* Run [f] on the shard's pinned worker, forwarding the caller's ambient
+   trace id into the worker domain: trace context is domain-local, so a
+   coordination round spanning shards keeps one causal chain. *)
+let on_shard t sh f =
+  let tid = Telemetry.current_trace () in
+  Pool.run t.spool ~worker:sh.worker (fun () ->
+      if tid = 0 then f sh.mgr
+      else Telemetry.with_trace tid (fun () -> f sh.mgr))
 
 let log_commit t c =
   Mutex.lock t.log_mutex;
@@ -149,17 +156,27 @@ let execute_batch t ~client actions =
   Array.to_list t.shards
   |> List.mapi (fun si sh ->
          let batch = List.rev buckets.(si) in
+         let tid = Telemetry.current_trace () in
          Pool.submit t.spool ~worker:sh.worker (fun () ->
-             List.map
-               (fun (i, c) ->
-                 let ok = Manager.execute sh.mgr ~client c in
-                 if ok then log_commit t c;
-                 (i, ok))
-               batch))
+             let run () =
+               List.map
+                 (fun (i, c) ->
+                   let ok = Manager.execute sh.mgr ~client c in
+                   if ok then log_commit t c;
+                   (i, ok))
+                 batch
+             in
+             if tid = 0 then run () else Telemetry.with_trace tid run))
   |> List.iter (fun p -> List.iter (fun (i, ok) -> results.(i) <- ok) (Pool.await p));
   (* unreachable multi-owner actions, after the parallel phase, offer order *)
   List.iter (fun (i, c) -> results.(i) <- execute t ~client c) (List.rev !leftover);
   Array.to_list results
+
+let explain_denial t c =
+  match owners t c with
+  | [] -> None  (* foreign actions are always permitted *)
+  | shs ->
+    List.find_map (fun sh -> on_shard t sh (fun m -> Manager.explain_denial m c)) shs
 
 let permitted t c =
   match owners t c with

@@ -53,6 +53,12 @@ val execute_batch : t -> client:string -> Action.concrete list -> bool list
     and rejected actions leave their shard unchanged. *)
 
 val permitted : t -> Action.concrete -> bool
+
+val explain_denial : t -> Action.concrete -> Explain.explanation option
+(** Denial provenance against the owning shard's replica (evaluated on
+    the shard's pinned worker, inside the caller's trace).  [None] for
+    foreign or currently-permitted actions. *)
+
 val is_stuck : t -> bool
 val timeout_outstanding : t -> unit
 

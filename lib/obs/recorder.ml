@@ -1,0 +1,128 @@
+(* The flight recorder: a bounded, mutex-protected ring of telemetry
+   events that survives denial/abort paths (events recorded before a
+   rejection stay in the buffer) and can be dumped as JSONL for offline
+   causal reconstruction.  Unlike Telemetry.Ring it is safe to feed from
+   several evaluation domains at once, and it knows about trace ids. *)
+
+type t = {
+  buf : Telemetry.event option array;
+  mutable pushed : int;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 4096) () =
+  { buf = Array.make (max 1 capacity) None; pushed = 0; lock = Mutex.create () }
+
+let capacity r = Array.length r.buf
+
+let locked r f =
+  Mutex.lock r.lock;
+  match f () with
+  | v ->
+    Mutex.unlock r.lock;
+    v
+  | exception e ->
+    Mutex.unlock r.lock;
+    raise e
+
+let record r ev =
+  locked r (fun () ->
+      r.buf.(r.pushed mod Array.length r.buf) <- Some ev;
+      r.pushed <- r.pushed + 1)
+
+let sink r : Telemetry.sink = record r
+
+let install r = Telemetry.add_sink (sink r)
+
+let length r = locked r (fun () -> min r.pushed (Array.length r.buf))
+let dropped r = locked r (fun () -> max 0 (r.pushed - Array.length r.buf))
+
+let events r =
+  locked r (fun () ->
+      let cap = Array.length r.buf in
+      let n = min r.pushed cap in
+      List.init n (fun i ->
+          match r.buf.((r.pushed - n + i) mod cap) with
+          | Some ev -> ev
+          | None -> assert false))
+
+let clear r =
+  locked r (fun () ->
+      Array.fill r.buf 0 (Array.length r.buf) None;
+      r.pushed <- 0)
+
+let events_for r ~trace =
+  List.filter (fun (ev : Telemetry.event) -> ev.trace = trace) (events r)
+
+let trace_ids r =
+  List.filter_map
+    (fun (ev : Telemetry.event) -> if ev.trace = 0 then None else Some ev.trace)
+    (events r)
+  |> List.sort_uniq Int.compare
+
+(* Causal edges of the retained events: within a trace the events form a
+   chain in emission order (each event's causal parent is its predecessor
+   in the same trace), which is exactly what an offline reconstruction
+   needs alongside the span nesting already carried by span/parent. *)
+let edges r =
+  let last : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (ev : Telemetry.event) ->
+      if ev.trace = 0 then None
+      else begin
+        let parent = Hashtbl.find_opt last ev.trace in
+        Hashtbl.replace last ev.trace ev.seq;
+        match parent with Some p -> Some (ev.trace, p, ev.seq) | None -> None
+      end)
+    (events r)
+
+let dump_jsonl r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string b (Telemetry.event_to_json ev);
+      Buffer.add_char b '\n')
+    (events r);
+  Buffer.contents b
+
+let dump_to_file r path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_jsonl r));
+  length r
+
+(* ------------------------------------------------------------------ *)
+(* Process-global recorder                                             *)
+(* ------------------------------------------------------------------ *)
+
+let global_r : t option ref = ref None
+let global () = !global_r
+
+let enable ?capacity () =
+  match !global_r with
+  | Some r -> r
+  | None ->
+    let r = create ?capacity () in
+    global_r := Some r;
+    install r;
+    r
+
+(* CI hook: when the environment names a dump file, install the global
+   recorder and append whatever it retained at exit.  Appending (rather
+   than truncating) lets several test binaries of one `dune runtest`
+   share the file; each line is self-describing JSONL either way. *)
+let auto_dump_env = "FLIGHT_RECORDER_DUMP"
+
+let append_dump r path =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_jsonl r))
+
+let auto_install () =
+  match Sys.getenv_opt auto_dump_env with
+  | None | Some "" -> ()
+  | Some path ->
+    let r = enable () in
+    at_exit (fun () -> if length r > 0 then append_dump r path)

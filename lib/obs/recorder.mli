@@ -1,0 +1,70 @@
+(** The flight recorder: a bounded ring of telemetry events, safe to feed
+    from several evaluation domains, retained across denial/abort paths and
+    dumpable as JSONL for offline causal reconstruction.
+
+    Events carry the ambient trace id ({!Telemetry.current_trace}); the
+    recorder groups them per trace so a denied action's whole causal chain
+    — boundary attempt, queue hops, manager coordination, kernel
+    evaluation — can be pulled out after the fact.
+
+    Cost model: recording is a mutex-protected array store per event, and
+    events are only emitted while [Telemetry.on] is set, so an installed
+    but disabled recorder costs nothing on the hot path. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A recorder retaining the last [capacity] (default 4096) events. *)
+
+val capacity : t -> int
+
+val sink : t -> Telemetry.sink
+
+val install : t -> unit
+(** [Telemetry.add_sink (sink r)]. *)
+
+val record : t -> Telemetry.event -> unit
+
+val length : t -> int
+val dropped : t -> int  (** events evicted since creation/clear *)
+
+val events : t -> Telemetry.event list
+(** Retained events, oldest first. *)
+
+val events_for : t -> trace:int -> Telemetry.event list
+(** Retained events of one trace, oldest first. *)
+
+val trace_ids : t -> int list
+(** Distinct non-zero trace ids among the retained events, ascending. *)
+
+val edges : t -> (int * int * int) list
+(** Causal [(trace_id, parent_seq, child_seq)] edges: within each trace,
+    consecutive retained events in emission order. *)
+
+val clear : t -> unit
+
+val dump_jsonl : t -> string
+(** All retained events as JSONL (one {!Telemetry.event_to_json} line
+    each, oldest first). *)
+
+val dump_to_file : t -> string -> int
+(** Write {!dump_jsonl} to a file (truncating); returns the number of
+    events written. *)
+
+(** {1 Process-global recorder} *)
+
+val enable : ?capacity:int -> unit -> t
+(** Install (once) and return the process-global recorder.  Idempotent;
+    the capacity of the first call wins.  Does {e not} flip
+    [Telemetry.on] — enable telemetry separately. *)
+
+val global : unit -> t option
+
+val auto_dump_env : string
+(** ["FLIGHT_RECORDER_DUMP"].  When set to a file name, {!auto_install}
+    arms the crash dump. *)
+
+val auto_install : unit -> unit
+(** If [FLIGHT_RECORDER_DUMP] names a file, install the global recorder
+    and append its retained events to that file at process exit (the CI
+    harness uploads it when a test run fails).  No-op otherwise. *)

@@ -21,6 +21,39 @@ let set_clock c = clock := c
 let now () = !clock ()
 
 (* ------------------------------------------------------------------ *)
+(* Trace context                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One trace id per externally submitted request, minted at the system
+   boundary (worklist handler, adapter, server command loop) and carried
+   by every event emitted while the request is being processed.  The
+   ambient context is domain-local so concurrent shards never clobber
+   each other; ids come from one atomic counter so they are unique
+   process-wide, and the parallel layers forward the originating id into
+   worker closures explicitly. *)
+let trace_counter = Atomic.make 0
+
+let trace_ctx : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let new_trace () = Atomic.fetch_and_add trace_counter 1 + 1
+let current_trace () = !(Domain.DLS.get trace_ctx)
+
+let with_trace id f =
+  let r = Domain.DLS.get trace_ctx in
+  let saved = !r in
+  r := id;
+  match f () with
+  | v ->
+    r := saved;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    r := saved;
+    Printexc.raise_with_backtrace e bt
+
+let in_new_trace f = with_trace (new_trace ()) f
+
+(* ------------------------------------------------------------------ *)
 (* Events and spans                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -35,6 +68,7 @@ type event = {
   name : string;
   span : int;
   parent : int;
+  trace : int;
   fields : fields;
 }
 
@@ -51,7 +85,10 @@ let current_span () = match !span_stack with [] -> 0 | id :: _ -> id
 
 let emit kind name span parent fields =
   Stdlib.incr seq_counter;
-  let ev = { seq = !seq_counter; ts = now (); kind; name; span; parent; fields } in
+  let ev =
+    { seq = !seq_counter; ts = now (); kind; name; span; parent;
+      trace = current_trace (); fields }
+  in
   List.iter (fun s -> s ev) !sinks
 
 let event ?(fields = []) name =
@@ -130,9 +167,10 @@ let bucket_bounds =
      100_000.; 250_000.; 500_000.; 1_000_000.; 10_000_000.; 100_000_000. |]
 
 type histogram = {
-  buckets : int array;  (* one slot per bound; overflow tracked by hcount *)
+  buckets : int array;  (* one slot per bound *)
   mutable hcount : int;
   mutable hsum : float;  (* ns *)
+  mutable hoverflow : int;  (* observations above the largest bound *)
 }
 
 type metric =
@@ -178,15 +216,25 @@ let set_gauge g v =
 let gauge_value g = g.current
 let gauge_hwm g = g.hwm
 
+(* Forward declaration: [histogram] registers the overflow probe and
+   probes are defined below. *)
+let register_probe_ref : (string -> (unit -> float) -> unit) ref =
+  ref (fun _ _ -> ())
+
 let histogram name =
   match Hashtbl.find_opt registry name with
   | Some (Histogram h) -> h
   | Some _ -> type_clash name
   | None ->
     let h =
-      { buckets = Array.make (Array.length bucket_bounds) 0; hcount = 0; hsum = 0. }
+      { buckets = Array.make (Array.length bucket_bounds) 0; hcount = 0; hsum = 0.;
+        hoverflow = 0 }
     in
     Hashtbl.add registry name (Histogram h);
+    (* Overflow probe: observations above the largest finite bound land in
+       no finite bucket (only in +Inf); the probe makes that population
+       visible so a saturated histogram is detectable at a glance. *)
+    !register_probe_ref (name ^ "_overflow") (fun () -> float_of_int h.hoverflow);
     h
 
 let observe h ns =
@@ -196,13 +244,15 @@ let observe h ns =
     while !i < Array.length bucket_bounds && v > bucket_bounds.(!i) do
       i := !i + 1
     done;
-    if !i < Array.length h.buckets then h.buckets.(!i) <- h.buckets.(!i) + 1;
+    if !i < Array.length h.buckets then h.buckets.(!i) <- h.buckets.(!i) + 1
+    else h.hoverflow <- h.hoverflow + 1;
     h.hcount <- h.hcount + 1;
     h.hsum <- h.hsum +. v
   end
 
 let histogram_count h = h.hcount
 let histogram_sum h = h.hsum
+let histogram_overflow h = h.hoverflow
 
 let time h f =
   if not !on then f ()
@@ -224,6 +274,8 @@ let register_probe name f =
   | Some _ -> type_clash name
   | None -> Hashtbl.add registry name (Probe f)
 
+let () = register_probe_ref := register_probe
+
 let reset () =
   Hashtbl.iter
     (fun _ m ->
@@ -235,12 +287,15 @@ let reset () =
       | Histogram h ->
         Array.fill h.buckets 0 (Array.length h.buckets) 0;
         h.hcount <- 0;
-        h.hsum <- 0.
+        h.hsum <- 0.;
+        h.hoverflow <- 0
       | Probe _ -> ())
     registry;
   seq_counter := 0;
   span_counter := 0;
-  span_stack := []
+  span_stack := [];
+  Atomic.set trace_counter 0;
+  Domain.DLS.get trace_ctx := 0
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus-style exposition                                         *)
@@ -314,6 +369,7 @@ let event_to_json ev =
     ev.seq ev.ts (kind_to_string ev.kind) (json_escape ev.name);
   if ev.span <> 0 then Printf.bprintf b ",\"span\":%d" ev.span;
   if ev.parent <> 0 then Printf.bprintf b ",\"parent\":%d" ev.parent;
+  if ev.trace <> 0 then Printf.bprintf b ",\"trace\":%d" ev.trace;
   List.iter
     (fun (k, v) ->
       Printf.bprintf b ",\"%s\":%s" (json_escape k) (value_to_json v))
@@ -439,7 +495,7 @@ module Jsonl = struct
       end
     with Bad -> None
 
-  let builtin_keys = [ "seq"; "ts"; "ev"; "name"; "span"; "parent" ]
+  let builtin_keys = [ "seq"; "ts"; "ev"; "name"; "span"; "parent"; "trace" ]
 
   let parse_line line =
     let line = String.trim line in
@@ -474,6 +530,7 @@ module Jsonl = struct
                 name;
                 span = int "span" 0;
                 parent = int "parent" 0;
+                trace = int "trace" 0;
                 fields = List.filter (fun (k, _) -> not (List.mem k builtin_keys)) kv;
               })
         | _ -> None)

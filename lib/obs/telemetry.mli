@@ -30,6 +30,31 @@ val set_clock : (unit -> int64) -> unit
 val now : unit -> int64
 (** Current time in nanoseconds according to the installed clock. *)
 
+(** {1 Trace context}
+
+    A {e trace id} names one externally submitted request (a worklist
+    handler's attempt, one server command, one protocol round).  It is
+    minted at the system boundary and stamped onto every event emitted
+    while the request is being processed, linking the ask/confirm
+    messages that cross queue and shard boundaries back to their origin.
+    The ambient context is domain-local; ids come from one atomic
+    process-wide counter.  The parallel layers forward the current id
+    into worker closures with {!with_trace}. *)
+
+val new_trace : unit -> int
+(** Mint a fresh process-unique trace id (1-based). *)
+
+val current_trace : unit -> int
+(** The ambient trace id of the calling domain; 0 = no trace. *)
+
+val with_trace : int -> (unit -> 'a) -> 'a
+(** Run the thunk with the given ambient trace id, restoring the previous
+    one afterwards (also on exceptions). *)
+
+val in_new_trace : (unit -> 'a) -> 'a
+(** [with_trace (new_trace ()) f].  Gate boundary call sites on {!on}:
+    minting ids while telemetry is off only burns counter values. *)
+
 (** {1 Events and spans} *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
@@ -43,6 +68,7 @@ type event = {
   name : string;
   span : int;  (** id of the span this event belongs to; 0 = root *)
   parent : int;  (** id of the enclosing span; 0 = none *)
+  trace : int;  (** ambient trace id at emission; 0 = untraced *)
   fields : fields;
 }
 
@@ -117,6 +143,12 @@ val observe : histogram -> int64 -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_overflow : histogram -> int
+(** Observations above the largest finite bucket bound.  They count into
+    [_count], [_sum] and the [+Inf] bucket but into no finite bucket; each
+    histogram also registers a [<name>_overflow] probe so a saturated
+    histogram is visible in the exposition. *)
+
 val time : histogram -> (unit -> 'a) -> 'a
 (** Run the thunk and observe its duration (when enabled). *)
 
@@ -139,8 +171,8 @@ val reset : unit -> unit
 
 val event_to_json : event -> string
 (** One flat JSON object (no trailing newline): the built-in keys [seq],
-    [ts], [ev] ("start"|"end"|"point"), [name], [span], [parent], then
-    the event's fields at top level. *)
+    [ts], [ev] ("start"|"end"|"point"), [name], [span], [parent], [trace]
+    (omitted when 0), then the event's fields at top level. *)
 
 (** Parsing the exported JSONL back, so offline tools ([Audit],
     [Instrument]) can consume online traces. *)

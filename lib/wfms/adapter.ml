@@ -52,13 +52,14 @@ let kind_name = function Start -> "start" | Finish -> "finish"
 (* Work-item lifecycle events: attempt → executed | denied, plus a
    violation event whenever the reference monitor flags an action the
    constraint forbids. *)
-let workitem_event name case kind activity =
+let workitem_event ?(fields = []) name case kind activity =
   if !Telemetry.on then
     Telemetry.event name
       ~fields:
-        [ ("case", Telemetry.Str (Workflow.case_id case));
-          ("activity", Telemetry.Str activity);
-          ("phase", Telemetry.Str (kind_name kind)) ]
+        ([ ("case", Telemetry.Str (Workflow.case_id case));
+           ("activity", Telemetry.Str activity);
+           ("phase", Telemetry.Str (kind_name kind)) ]
+        @ fields)
 
 let run_unobserved cfg ~constraints ~cases =
   let rng = Random.State.make [| cfg.seed |] in
@@ -66,6 +67,11 @@ let run_unobserved cfg ~constraints ~cases =
     List.map (fun (wf, id, args) -> Workflow.start_case wf ~id ~args) cases
   in
   let mgr = Manager.create constraints in
+  (* The request queue between the work-item handlers and the manager: the
+     recoverable-request transport of Section 7.  Every attempt travels
+     through it, so a recorded causal chain spans the full path
+     adapter -> queue -> manager -> engine. *)
+  let requests : Action.concrete Mqueue.t = Mqueue.create ~name:"adapter.requests" in
   (* Independent reference monitor: counts actions the constraint forbids
      (executed anyway), without advancing on them so later checks stay
      meaningful. *)
@@ -90,8 +96,17 @@ let run_unobserved cfg ~constraints ~cases =
   let stuck_rounds = ref 0 in
   let run_action client c =
     (* The coordination protocol of Fig. 10: ask(2 messages incl. reply),
-       execute locally, confirm(1). *)
+       execute locally, confirm(1).  The request rides the durable queue;
+       its envelope carries the attempt's trace id. *)
     messages := !messages + 2;
+    Mqueue.send requests c;
+    let c =
+      match Mqueue.receive_envelope requests with
+      | Some env ->
+        Mqueue.ack requests;
+        Mqueue.payload env
+      | None -> c  (* unreachable: we just enqueued *)
+    in
     match Manager.ask mgr ~client c with
     | Manager.Granted ->
       if !crash_countdown > 0 then decr crash_countdown;
@@ -135,6 +150,8 @@ let run_unobserved cfg ~constraints ~cases =
     | ms -> (
       let case, kind, activity = List.nth ms (Random.State.int rng (List.length ms)) in
       let c = action_of case kind activity in
+      (* every externally submitted work item is one trace *)
+      let process () =
       workitem_event "workitem.attempt" case kind activity;
       let did_execute () =
         ignore (advance case kind activity);
@@ -144,7 +161,16 @@ let run_unobserved cfg ~constraints ~cases =
       in
       let was_denied () =
         Telemetry.incr m_denied;
-        workitem_event "workitem.denied" case kind activity
+        (* denial provenance: the blame set rides the work-item event *)
+        let fields =
+          if not !Telemetry.on then []
+          else
+            match Manager.explain_denial mgr c with
+            | Some x ->
+              ("reason", Telemetry.Str (Explain.summary x)) :: Explain.fields x
+            | None -> []
+        in
+        workitem_event ~fields "workitem.denied" case kind activity
       in
       match cfg.adaptation with
       | Unadapted ->
@@ -165,7 +191,9 @@ let run_unobserved cfg ~constraints ~cases =
       | Adapted_engine ->
         (* The engine is the single interaction client; even rogue worklist
            requests pass through it. *)
-        if run_action "engine" c then did_execute () else was_denied ())
+        if run_action "engine" c then did_execute () else was_denied ()
+      in
+      if !Telemetry.on then Telemetry.in_new_trace process else process ())
   done;
   let completed_cases =
     List.length (List.filter Workflow.is_finished cases)

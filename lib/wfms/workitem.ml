@@ -99,10 +99,27 @@ let allocate t ~user item =
       Ok ()
     end
 
+(* Each submission through the worklist boundary is one externally
+   initiated request: it gets its own trace id, so the coordination round
+   it triggers (and any denial blame) forms one recorded causal chain. *)
 let run_protocol t ~client action =
   match t.manager with
   | None -> true
-  | Some m -> Manager.execute m ~client action
+  | Some m ->
+    if !Telemetry.on then
+      Telemetry.in_new_trace (fun () -> Manager.execute m ~client action)
+    else Manager.execute m ~client action
+
+(* Denial provenance for the human-facing error: append the minimal blame
+   set ("denied because the and-branch still requires b") when the manager
+   can attribute the denial. *)
+let denial_reason t action fallback =
+  match t.manager with
+  | None -> fallback
+  | Some m -> (
+    match Manager.explain_denial m action with
+    | Some x -> fallback ^ ": " ^ Interaction.Explain.summary x
+    | None -> fallback)
 
 let start t ~user item =
   match item.status with
@@ -110,7 +127,7 @@ let start t ~user item =
     let action = Workflow.start_action item.case item.activity in
     if not (run_protocol t ~client:user action) then begin
       tick t item Suspended;
-      Error "the interaction manager denied the start"
+      Error (denial_reason t action "the interaction manager denied the start")
     end
     else if not (Workflow.start_activity item.case item.activity) then
       Error "the workflow engine no longer enables this activity"
@@ -127,7 +144,7 @@ let complete t ~user item =
   | Started u when String.equal u user ->
     let action = Workflow.term_action item.case item.activity in
     if not (run_protocol t ~client:user action) then
-      Error "the interaction manager denied the completion"
+      Error (denial_reason t action "the interaction manager denied the completion")
     else if not (Workflow.finish_activity item.case item.activity) then
       Error "the workflow engine rejected the completion"
     else begin

@@ -76,6 +76,34 @@ The interaction manager server (Fig. 10 protocols).
   NO
   STATE 7
 
+Denial provenance: the first rejected action of a word is attributed to
+the minimal set of blocking subexpression nodes.
+
+  $ ../bin/iexpr.exe explain "a & (b - a)" "a"
+  denied: a
+    - and.right/seq.left/atom b: expects b, not a (can accept: b)
+    at position 0 of the word
+  [1]
+  $ ../bin/iexpr.exe explain "a - b" "a b"
+  accepted: the whole word is a partial word (and complete)
+
+The manager server answers EXPLAIN with the same blame set, and a DENIED
+reply carries the one-line reason.  Every command runs in its own trace:
+the denial's whole causal chain shares one trace id in the JSONL export.
+
+  $ printf 'ASK u b\nEXPLAIN b\nEXECUTE u a\nQUIT\n' \
+  >   | ../bin/imanager.exe --trace m.jsonl "a - b"
+  READY 3
+  DENIED seq.left/atom a: expects a, not b
+  BLAME seq.left/atom a: expects a, not b (can accept: a)
+  OK
+  EXECUTED
+  $ grep '"trace":1' m.jsonl | sed 's/.*"name":"\([a-z._]*\)".*/\1/'
+  manager.ask
+  engine.eval
+  manager.denied
+  manager.ask
+
 Tree view of an interaction graph.
 
   $ ../bin/iexpr.exe show "all p: (prep(p) | call(p) - perform(p))*"

@@ -1,0 +1,177 @@
+(* Denial provenance: the acceptance mirror must agree with τ̂, and every
+   blame set must be a sound, 1-minimal relaxation cut. *)
+
+open Interaction
+open Testutil
+
+let ( ! ) = Testutil.( ! )
+
+(* ------------------------------------------------------------------ *)
+(* Mirror agreement: Explain.accepts ⇔ State.trans ≠ None              *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the word through τ̂; at every reached state probe every universe
+   action with both the mirror and the real transition. *)
+let prop_mirror_agreement =
+  QCheck.Test.make ~count:300 ~name:"explain: accepts mirrors τ̂"
+    (expr_word_arb ~max_depth:3 ~max_len:4 ())
+    (fun (e, word) ->
+      let universe = universe_of e in
+      let check s =
+        List.for_all
+          (fun c ->
+            let mirror = Explain.accepts s c in
+            let real = State.trans s c <> None in
+            if mirror <> real then
+              QCheck.Test.fail_reportf "mirror=%b real=%b on %s at state:@.%a" mirror
+                real
+                (Action.concrete_to_string c)
+                (fun fmt s -> State.pp fmt s)
+                s
+            else true)
+          universe
+      in
+      let rec go s = function
+        | [] -> check s
+        | c :: rest -> (
+          check s
+          &&
+          match State.trans s c with Some s' -> go s' rest | None -> true)
+      in
+      go (State.init e) word)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: blame sets are sound and 1-minimal                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Find the first denial along the word (if any) and check the oracle
+   property of its explanation: relaxing all blamed positions flips the
+   verdict to acceptance, and dropping any single blame flips it back. *)
+let prop_blame_oracle =
+  QCheck.Test.make ~count:300 ~name:"explain: blame sets sound and 1-minimal"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      let rec first_denial s = function
+        | [] -> None
+        | c :: rest -> (
+          match State.trans s c with
+          | Some s' -> first_denial s' rest
+          | None -> Some (s, c))
+      in
+      match first_denial (State.init e) word with
+      | None -> true
+      | Some (s, c) -> (
+        match Explain.explain s c with
+        | None -> QCheck.Test.fail_report "denied action but explain returned None"
+        | Some x ->
+          let paths = List.map (fun (b : Explain.blame) -> b.Explain.bpath) x.blames in
+          if x.Explain.blames = [] then
+            QCheck.Test.fail_report "empty blame set for a denial"
+          else if not (Explain.accepts ~relaxed:paths s c) then
+            QCheck.Test.fail_reportf "blame set not sound: relaxing %d blames does not accept"
+              (List.length paths)
+          else
+            List.for_all
+              (fun dropped ->
+                let rest = List.filter (fun p -> p <> dropped) paths in
+                if Explain.accepts ~relaxed:rest s c then
+                  QCheck.Test.fail_reportf
+                    "blame set not minimal: dropping [%s] still accepts"
+                    (String.concat ";" (List.map string_of_int dropped))
+                else true)
+              paths))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let blame_ops x = List.map (fun (b : Explain.blame) -> b.Explain.operator) x.Explain.blames
+
+let explain_exn s c =
+  match Explain.explain s c with
+  | Some x -> x
+  | None -> Alcotest.fail "expected a denial explanation"
+
+let test_atom_mismatch () =
+  let s = State.init !"a - b" in
+  let x = explain_exn s (Action.conc "b" []) in
+  Alcotest.(check (list string)) "atom blamed" [ "atom" ] (blame_ops x);
+  let b = List.hd x.Explain.blames in
+  Alcotest.(check (list string)) "requires a" [ "a" ] b.Explain.requires
+
+let test_and_branch () =
+  (* a ∧ (b.a): after nothing, "a" is denied because the right branch
+     still requires b first.  The blame must point into the conjunction's
+     right branch, not at the root. *)
+  let s = State.init !"a & (b - a)" in
+  let x = explain_exn s (Action.conc "a" []) in
+  Alcotest.(check int) "single blame" 1 (List.length x.Explain.blames);
+  let b = List.hd x.Explain.blames in
+  Alcotest.(check bool) "blames the right branch"
+    true
+    (String.length b.Explain.locus >= 3
+    && String.sub b.Explain.locus 0 3 = "and");
+  Alcotest.(check (list string)) "requires b" [ "b" ] b.Explain.requires
+
+let test_sync_partner () =
+  (* (a.c) sync (b.c): c couples both sides; c first is denied because
+     neither side has reached it. *)
+  let s = State.init !"(a - c) @ (b - c)" in
+  let x = explain_exn s (Action.conc "c" []) in
+  Alcotest.(check bool) "non-empty" true (x.Explain.blames <> []);
+  List.iter
+    (fun (b : Explain.blame) ->
+      Alcotest.(check bool)
+        ("blame inside sync: " ^ b.Explain.locus)
+        true
+        (String.length b.Explain.locus >= 4
+        && String.sub b.Explain.locus 0 4 = "sync"))
+    x.Explain.blames
+
+let test_exhausted_iteration () =
+  (* an optional action can only be skipped, not taken twice *)
+  let s = State.init !"a?" in
+  let s = Option.get (State.trans s (Action.conc "a" [])) in
+  let x = explain_exn s (Action.conc "a" []) in
+  Alcotest.(check bool) "non-empty" true (x.Explain.blames <> [])
+
+let test_accepted_returns_none () =
+  let s = State.init !"a - b" in
+  Alcotest.(check bool) "None on acceptable" true
+    (Explain.explain s (Action.conc "a" []) = None)
+
+let test_explain_word () =
+  match Explain.explain_word !"a - b - c" (w "a c") with
+  | Ok (i, c, x) ->
+    Alcotest.(check int) "denied at index 1" 1 i;
+    Alcotest.(check string) "denied action" "c" (Action.concrete_to_string c);
+    Alcotest.(check bool) "has blames" true (x.Explain.blames <> [])
+  | Error _ -> Alcotest.fail "expected a denial"
+
+let test_rendering () =
+  let s = State.init !"a & (b - a)" in
+  let x = explain_exn s (Action.conc "a" []) in
+  let str = Explain.to_string x in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions denied action" true (contains str "denied: a");
+  let flds = Explain.fields x in
+  Alcotest.(check bool) "has blame_count field" true
+    (List.mem_assoc "blame_count" flds)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "explain"
+    [ ( "properties",
+        [ to_alcotest prop_mirror_agreement; to_alcotest prop_blame_oracle ] );
+      ( "cases",
+        [ Alcotest.test_case "atom mismatch" `Quick test_atom_mismatch;
+          Alcotest.test_case "and branch" `Quick test_and_branch;
+          Alcotest.test_case "sync partner" `Quick test_sync_partner;
+          Alcotest.test_case "exhausted iteration" `Quick test_exhausted_iteration;
+          Alcotest.test_case "accepted => None" `Quick test_accepted_returns_none;
+          Alcotest.test_case "explain_word" `Quick test_explain_word;
+          Alcotest.test_case "rendering" `Quick test_rendering ] ) ]

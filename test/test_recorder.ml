@@ -1,0 +1,406 @@
+(* The flight recorder: bounded causal ring, trace grouping, JSONL dumps,
+   envelope provenance on the message queues, the end-to-end causal chain
+   of a denied medical work item — and the property that recording never
+   changes behaviour (no observer effect, sequential and sharded). *)
+
+open Interaction
+open Interaction_exec
+open Interaction_manager
+open Wfms
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pool = Pool.create ~domains:2
+let () = at_exit (fun () -> Pool.shutdown pool)
+
+(* Run [f] with telemetry enabled and a fresh flight recorder installed as
+   the only sink; returns [f]'s result and the recorder.  Leaves telemetry
+   disabled and the sink list empty regardless of exceptions. *)
+let recorded ?(capacity = 4096) f =
+  let r = Recorder.create ~capacity () in
+  Telemetry.reset ();
+  Telemetry.clear_sinks ();
+  (* the CI crash-dump recorder, when armed, shadows every observed run *)
+  Option.iter Recorder.install (Recorder.global ());
+  Recorder.install r;
+  Telemetry.enable ();
+  let x =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.disable ();
+        Telemetry.clear_sinks ();
+        (* keep the CI crash-dump recorder armed across tests *)
+        Option.iter Recorder.install (Recorder.global ()))
+      f
+  in
+  (x, r)
+
+let names r = List.map (fun (e : Telemetry.event) -> e.name) (Recorder.events r)
+
+(* ------------------------------------------------------------------ *)
+(* Ring behaviour                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ring =
+  [ t "eviction is oldest-first with a dropped count" (fun () ->
+        let (), r =
+          recorded ~capacity:4 (fun () ->
+              for i = 1 to 6 do
+                Telemetry.event (Printf.sprintf "ev%d" i)
+              done)
+        in
+        check_int "capacity" 4 (Recorder.capacity r);
+        check_int "length" 4 (Recorder.length r);
+        check_int "dropped" 2 (Recorder.dropped r);
+        Alcotest.(check (list string))
+          "retained tail" [ "ev3"; "ev4"; "ev5"; "ev6" ] (names r);
+        Recorder.clear r;
+        check_int "cleared" 0 (Recorder.length r);
+        check_int "dropped reset" 0 (Recorder.dropped r))
+    ; t "events_for groups per trace; trace_ids are distinct and sorted"
+        (fun () ->
+          let (t1, t2), r =
+            recorded (fun () ->
+                let t1 =
+                  Telemetry.in_new_trace (fun () ->
+                      Telemetry.event "x";
+                      Telemetry.event "y";
+                      Telemetry.current_trace ())
+                in
+                Telemetry.event "untraced";
+                let t2 =
+                  Telemetry.in_new_trace (fun () ->
+                      Telemetry.event "z";
+                      Telemetry.current_trace ())
+                in
+                (t1, t2))
+          in
+          check_bool "ids minted" true (t1 > 0 && t2 > t1);
+          Alcotest.(check (list int)) "trace ids" [ t1; t2 ] (Recorder.trace_ids r);
+          Alcotest.(check (list string))
+            "chain of t1" [ "x"; "y" ]
+            (List.map
+               (fun (e : Telemetry.event) -> e.name)
+               (Recorder.events_for r ~trace:t1));
+          Alcotest.(check (list string))
+            "chain of t2" [ "z" ]
+            (List.map
+               (fun (e : Telemetry.event) -> e.name)
+               (Recorder.events_for r ~trace:t2)))
+    ; t "edges link consecutive events of one trace, across interleavings"
+        (fun () ->
+          let (ta, tb), r =
+            recorded (fun () ->
+                let ta = Telemetry.new_trace () in
+                let tb = Telemetry.new_trace () in
+                Telemetry.with_trace ta (fun () -> Telemetry.event "a1");
+                Telemetry.with_trace tb (fun () -> Telemetry.event "b1");
+                Telemetry.with_trace ta (fun () -> Telemetry.event "a2");
+                Telemetry.with_trace tb (fun () -> Telemetry.event "b2");
+                Telemetry.with_trace ta (fun () -> Telemetry.event "a3");
+                (ta, tb))
+          in
+          let seqs tr =
+            List.map
+              (fun (e : Telemetry.event) -> e.seq)
+              (Recorder.events_for r ~trace:tr)
+          in
+          let expected tr =
+            let rec pair = function
+              | a :: (b :: _ as rest) -> (tr, a, b) :: pair rest
+              | _ -> []
+            in
+            pair (seqs tr)
+          in
+          Alcotest.(check (list (triple int int int)))
+            "parent edges"
+            (List.sort compare (expected ta @ expected tb))
+            (List.sort compare (Recorder.edges r)))
+    ; t "dump_jsonl: one parseable line per event, trace ids round-trip"
+        (fun () ->
+          let (), r =
+            recorded (fun () ->
+                ignore
+                  (Telemetry.in_new_trace (fun () ->
+                       Telemetry.event "one"
+                         ~fields:[ ("action", Telemetry.Str "a(1)") ];
+                       Telemetry.event "two";
+                       0)))
+          in
+          let back = Telemetry.Jsonl.events_of_string (Recorder.dump_jsonl r) in
+          check_int "all lines parse back" (Recorder.length r) (List.length back);
+          List.iter2
+            (fun (a : Telemetry.event) (b : Telemetry.event) ->
+              check_int "seq" a.seq b.seq;
+              Alcotest.(check string) "name" a.name b.name;
+              check_int "trace survives the round-trip" a.trace b.trace)
+            (Recorder.events r) back)
+    ; t "dump_to_file writes the ring and reports the count" (fun () ->
+        let (), r =
+          recorded (fun () ->
+              Telemetry.event "e1";
+              Telemetry.event "e2")
+        in
+        let file = Filename.temp_file "recorder" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+        check_int "written" 2 (Recorder.dump_to_file r file);
+        let back =
+          Telemetry.Jsonl.events_of_string
+            (In_channel.with_open_text file In_channel.input_all)
+        in
+        check_int "file parses back" 2 (List.length back))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* No observer effect: behaviour with the recorder off and with the    *)
+(* recorder installed + telemetry on is bit-identical.                 *)
+(* ------------------------------------------------------------------ *)
+
+let engine_run (e, word) =
+  let s = Engine.create e in
+  let accepts = List.map (Engine.try_action s) word in
+  (accepts, Engine.trace s, Engine.is_final s, Engine.is_alive s)
+
+let manager_run (e, word) =
+  let mgr = Manager.create e in
+  List.map
+    (fun a ->
+      Manager.subscribe mgr ~client:"w" a;
+      let ok = Manager.execute mgr ~client:"w" a in
+      let notes =
+        List.map
+          (fun (n : Manager.notification) -> (n.Manager.action, n.Manager.now_permitted))
+          (Manager.drain_notifications mgr ~client:"w")
+      in
+      (ok, notes))
+    word
+
+let sharded_run (e, word) =
+  let sm = Sharded.create ~pool e in
+  List.map (fun a -> Sharded.execute sm ~client:"w" a) word
+
+let no_observer_engine =
+  to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"recorder off/on: identical engine verdicts and traces"
+       (expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         let dark = engine_run case in
+         let lit, r = recorded (fun () -> engine_run case) in
+         if dark <> lit then QCheck.Test.fail_report "engine behaviour changed";
+         if snd case <> [] && Recorder.length r = 0 then
+           QCheck.Test.fail_report "recorder captured nothing under telemetry";
+         true))
+
+let no_observer_manager =
+  to_alcotest
+    (QCheck.Test.make ~count:80
+       ~name:"recorder off/on: identical manager replies and notifications"
+       (expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         let dark = manager_run case in
+         let lit, _ = recorded (fun () -> manager_run case) in
+         dark = lit))
+
+let no_observer_sharded =
+  to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"recorder off/on: identical sharded replies (2 domains)"
+       (coupling_word_arb ~max_components:3 ~max_len:8 ())
+       (fun case ->
+         Telemetry.disable ();
+         let dark = sharded_run case in
+         let lit, _ = recorded (fun () -> sharded_run case) in
+         dark = lit))
+
+(* ------------------------------------------------------------------ *)
+(* Message-queue envelopes: provenance and at-least-once delivery      *)
+(* ------------------------------------------------------------------ *)
+
+let envelopes =
+  [ t "a receiver crash redelivers with a bumped delivery count" (fun () ->
+        let q = Mqueue.create ~name:"t" in
+        Mqueue.send q "m1";
+        Mqueue.send q "m2";
+        (match Mqueue.receive_envelope q with
+        | Some env ->
+          Alcotest.(check string) "payload" "m1" (Mqueue.payload env);
+          check_int "first delivery" 1 (Mqueue.deliveries env)
+        | None -> Alcotest.fail "expected m1");
+        (* the receiver dies before acking: m1 must come back, in front,
+           visibly a duplicate *)
+        Mqueue.crash_receiver q;
+        (match Mqueue.receive_envelope q with
+        | Some env ->
+          Alcotest.(check string) "redelivered first" "m1" (Mqueue.payload env);
+          check_int "delivery count bumped" 2 (Mqueue.deliveries env)
+        | None -> Alcotest.fail "expected m1 again");
+        check_int "per-queue delivery watermark" 2 (Mqueue.delivery_watermark q);
+        check_int "redelivered count" 1 (Mqueue.redelivered_count q);
+        (* m2 was never in flight: still a first delivery *)
+        match Mqueue.receive_envelope q with
+        | Some env -> check_int "m2 unaffected" 1 (Mqueue.deliveries env)
+        | None -> Alcotest.fail "expected m2")
+    ; t "envelopes capture the ambient trace id at send time" (fun () ->
+        let (tid, etrace), _ =
+          recorded (fun () ->
+              let q = Mqueue.create ~name:"t2" in
+              let tid =
+                Telemetry.in_new_trace (fun () ->
+                    Mqueue.send q "m";
+                    Telemetry.current_trace ())
+              in
+              match Mqueue.receive_envelope q with
+              | Some env -> (tid, Mqueue.trace env)
+              | None -> Alcotest.fail "message lost")
+        in
+        check_bool "trace minted" true (tid > 0);
+        check_int "origin trace travels in the envelope" tid etrace)
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The causal chain of a denied medical work item (Fig. 1 / Fig. 7)    *)
+(* ------------------------------------------------------------------ *)
+
+let chain_names =
+  [ "workitem.attempt"; "mqueue.enqueue"; "mqueue.dequeue"; "manager.ask";
+    "manager.denied"; "workitem.denied"
+  ]
+
+let causal_chain =
+  [ t "a denied work item's trace spans adapter -> queue -> manager" (fun () ->
+        let outcome, r =
+          recorded ~capacity:65536 (fun () ->
+              Adapter.run
+                { Adapter.default_config with max_steps = 400 }
+                ~constraints:(Medical.combined_constraint ~capacity:1 ())
+                ~cases:(Medical.ensemble ~patients:3))
+        in
+        check_bool "the tight capacity produced denials" true
+          (outcome.Adapter.denials > 0);
+        check_int "nothing evicted" 0 (Recorder.dropped r);
+        let denied =
+          List.filter
+            (fun (e : Telemetry.event) -> e.name = "workitem.denied")
+            (Recorder.events r)
+        in
+        check_bool "denied events recorded" true (denied <> []);
+        List.iter
+          (fun (e : Telemetry.event) ->
+            check_bool "every denial is traced" true (e.trace > 0))
+          denied;
+        (* at least one denial's chain must show the full path across the
+           layers, with a non-empty blame set on the work-item event *)
+        let full_chain (e : Telemetry.event) =
+          let chain = Recorder.events_for r ~trace:e.trace in
+          List.for_all
+            (fun n -> List.exists (fun (c : Telemetry.event) -> c.name = n) chain)
+            chain_names
+          &&
+          match List.assoc_opt "blame_count" e.fields with
+          | Some (Telemetry.Int n) -> n >= 1
+          | _ -> false
+        in
+        check_bool "full cross-layer chain with blame" true
+          (List.exists full_chain denied);
+        (* the kernel-evaluation link appears in the recording, traced *)
+        check_bool "engine.eval recorded in a trace" true
+          (List.exists
+             (fun (e : Telemetry.event) -> e.name = "engine.eval" && e.trace > 0)
+             (Recorder.events r)))
+    ; t "the medical denial's blame set is oracle-sound and 1-minimal"
+        (fun () ->
+          (* capacity 1: while p1's sono call-perform is in progress, p2's
+             call for the same examination must be denied *)
+          let mgr = Manager.create (Medical.capacity_constraint ~capacity:1 ()) in
+          check_bool "p1 enters the slot" true
+            (Manager.execute mgr ~client:"w" (a1 "call_s(p1,sono)"));
+          (match Manager.ask mgr ~client:"w" (a1 "call_s(p2,sono)") with
+          | Manager.Denied -> ()
+          | Manager.Granted | Manager.Busy -> Alcotest.fail "expected Denied");
+          let st =
+            match Manager.current_state mgr with
+            | Some s -> s
+            | None -> Alcotest.fail "manager has no state"
+          in
+          let x =
+            match Manager.explain_denial mgr (a1 "call_s(p2,sono)") with
+            | Some x -> x
+            | None -> Alcotest.fail "no explanation for a denied action"
+          in
+          check_bool "blame set non-empty" true (x.Explain.blames <> []);
+          let paths = List.map (fun b -> b.Explain.bpath) x.Explain.blames in
+          check_bool "relaxing every blamed node flips the verdict" true
+            (Explain.accepts ~relaxed:paths st (a1 "call_s(p2,sono)"));
+          List.iteri
+            (fun i _ ->
+              let dropped = List.filteri (fun j _ -> j <> i) paths in
+              check_bool "no blamed node is redundant" false
+                (Explain.accepts ~relaxed:dropped st (a1 "call_s(p2,sono)")))
+            paths;
+          check_bool "summary names the blame" true (Explain.summary x <> ""))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The complexity sentinel                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sentinel =
+  [ t "harmless envelope: a breach warns, the rate limit holds" (fun () ->
+        let w = Sentinel.create ~slack:8 ~warn_every:4 !"a - b" in
+        check_bool "statically harmless" true (Sentinel.verdict w = Classify.Harmless);
+        Sentinel.sample w ~size:3;
+        check_int "within envelope" 0 (Sentinel.warnings w);
+        Sentinel.sample w ~size:1000;
+        check_int "breach warns" 1 (Sentinel.warnings w);
+        Sentinel.sample w ~size:1000;
+        check_int "rate-limited" 1 (Sentinel.warnings w);
+        Sentinel.sample w ~size:1000;
+        Sentinel.sample w ~size:1000;
+        Sentinel.sample w ~size:1000;
+        check_int "warns again once the window passes" 2 (Sentinel.warnings w);
+        check_int "max size tracked" 1000 (Sentinel.max_size w))
+    ; t "a malignant verdict warns only on confirmed blowup, naming the offender"
+        (fun () ->
+          (* the non-uniform quantifier (atom b omits p) is §6-malignant *)
+          let w = Sentinel.create !"all p: (a(p) - b - c(p))" in
+          check_bool "statically malignant" true
+            (Sentinel.verdict w = Classify.Potentially_malignant);
+          Sentinel.sample w ~size:4000;
+          check_int "below the blowup floor: no cry-wolf" 0 (Sentinel.warnings w);
+          Sentinel.sample w ~size:5000;
+          check_int "confirmed blowup warns" 1 (Sentinel.warnings w);
+          check_bool "the offending quantifier is named" true
+            (Sentinel.offender_summary w <> "no static offender identified"))
+    ; t "sentinel warnings are traced telemetry events" (fun () ->
+        let (), r =
+          recorded (fun () ->
+              Telemetry.in_new_trace (fun () ->
+                  let w = Sentinel.create ~slack:1 ~warn_every:1 !"a" in
+                  Sentinel.sample w ~size:100))
+        in
+        match
+          List.filter
+            (fun (e : Telemetry.event) -> e.name = "sentinel.warning")
+            (Recorder.events r)
+        with
+        | [ ev ] ->
+          check_bool "carries the ambient trace" true (ev.trace > 0);
+          check_bool "names the verdict" true (List.mem_assoc "verdict" ev.fields);
+          check_bool "reports the envelope" true (List.mem_assoc "envelope" ev.fields)
+        | _ -> Alcotest.fail "expected exactly one warning event")
+  ]
+
+let () =
+  Alcotest.run "recorder"
+    [ ("ring", ring);
+      ("no-observer-effect",
+       [ no_observer_engine; no_observer_manager; no_observer_sharded ]);
+      ("envelopes", envelopes); ("causal-chain", causal_chain);
+      ("sentinel", sentinel)
+    ]

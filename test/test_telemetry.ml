@@ -15,13 +15,17 @@ let observed ?(capacity = 4096) f =
   let ring = Telemetry.Ring.create capacity in
   Telemetry.reset ();
   Telemetry.clear_sinks ();
+  (* the CI crash-dump recorder, when armed, shadows every observed run *)
+  Option.iter Recorder.install (Recorder.global ());
   Telemetry.add_sink (Telemetry.Ring.sink ring);
   Telemetry.enable ();
   let r =
     Fun.protect
       ~finally:(fun () ->
         Telemetry.disable ();
-        Telemetry.clear_sinks ())
+        Telemetry.clear_sinks ();
+        (* keep the CI crash-dump recorder armed across tests *)
+        Option.iter Recorder.install (Recorder.global ()))
       f
   in
   (r, Telemetry.Ring.to_list ring)
@@ -145,7 +149,8 @@ let ring =
         Fun.protect
           ~finally:(fun () ->
             Telemetry.disable ();
-            Telemetry.clear_sinks ())
+            Telemetry.clear_sinks ();
+            Option.iter Recorder.install (Recorder.global ()))
           (fun () ->
             for _ = 1 to 5 do
               Telemetry.event "e"
@@ -199,6 +204,32 @@ let metrics =
             check_int "count" 2 (Telemetry.histogram_count h);
             Alcotest.(check (float 0.)) "sum" 90_150. (Telemetry.histogram_sum h))
     )
+    ; t "histogram overflow counts into +Inf and the _overflow probe" (fun () ->
+        Telemetry.reset ();
+        let h = Telemetry.histogram "test_ovf_ns" in
+        Telemetry.enable ();
+        Fun.protect
+          ~finally:(fun () -> Telemetry.disable ())
+          (fun () ->
+            Telemetry.observe h 150L;
+            (* above the largest finite bucket bound (1e8 ns) *)
+            Telemetry.observe h 200_000_000L;
+            check_int "count includes the overflow" 2 (Telemetry.histogram_count h);
+            check_int "overflow tally" 1 (Telemetry.histogram_overflow h);
+            Alcotest.(check (float 0.)) "sum includes the overflow" 200_000_150.
+              (Telemetry.histogram_sum h);
+            let text = Telemetry.expose () in
+            let has needle =
+              let n = String.length needle and l = String.length text in
+              let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+              go 0
+            in
+            check_bool "+Inf bucket equals _count" true
+              (has "test_ovf_ns_bucket{le=\"+Inf\"} 2");
+            check_bool "largest finite bucket misses the overflow" true
+              (has "test_ovf_ns_bucket{le=\"100000000\"} 1");
+            check_bool "saturation is visible as a probe" true
+              (has "test_ovf_ns_overflow 1")))
     ; t "same name with a different type is rejected" (fun () ->
         Telemetry.reset ();
         ignore (Telemetry.counter "test_clash");
@@ -249,6 +280,19 @@ let jsonl =
             = Some (Telemetry.Str "a\"b\\c\nd"));
           check_bool "bool field" true
             (List.assoc_opt "ok" p.Telemetry.fields = Some (Telemetry.Bool true)))
+    ; t "trace ids are stamped on events and survive the round-trip" (fun () ->
+        let tid, evs =
+          observed (fun () ->
+              Telemetry.in_new_trace (fun () ->
+                  Telemetry.event "tr";
+                  Telemetry.current_trace ()))
+        in
+        let ev = List.hd evs in
+        check_bool "a fresh id was minted" true (tid > 0);
+        check_int "event stamped with the ambient trace" tid ev.Telemetry.trace;
+        match Telemetry.Jsonl.parse_line (Telemetry.event_to_json ev) with
+        | None -> Alcotest.fail "did not parse back"
+        | Some p -> check_int "trace round-trips" tid p.Telemetry.trace)
     ; t "accepted_actions keeps only committed actions, in order" (fun () ->
         let trace =
           String.concat "\n"

@@ -2,6 +2,11 @@
 
 open Interaction
 
+(* Arm the flight-recorder crash dump: when the CI harness exports
+   FLIGHT_RECORDER_DUMP, a failing test binary leaves its retained events
+   behind as JSONL for the post-mortem.  A no-op otherwise. *)
+let () = Recorder.auto_install ()
+
 let names = [ "a"; "b"; "c" ]
 let vals = [ "1"; "2" ]
 let params_pool = [ "p"; "q" ]
