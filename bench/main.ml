@@ -2,15 +2,20 @@
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-     dune exec bench/main.exe            -- all tables (E1..E18)
+     dune exec bench/main.exe            -- all tables (E1..E19)
      dune exec bench/main.exe e3 e4      -- selected tables
      dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
      dune exec bench/main.exe -- smoke --domains 2
                                          -- smoke + parallel-vs-sequential
                                             oracle check (exit 1 on mismatch)
      dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks
+     dune exec bench/main.exe crash-smoke
+                                         -- kill–replay–verify: cut the WAL
+                                            at every boundary, recover, and
+                                            check against the prefix oracle
+                                            (exit 1 on divergence)
 
-   Every run also writes BENCH_pr4.json: the machine-readable per-experiment
+   Every run also writes BENCH_pr6.json: the machine-readable per-experiment
    numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
    that accumulate the perf trajectory across PRs.  The file is
    deterministic (sorted keys) and self-describing (schema version plus
@@ -69,7 +74,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 4
+let bench_schema_version = 6
 
 let write_bench_json ~domains file =
   let meta =
@@ -1068,6 +1073,329 @@ let e18 () =
       pf "process-wide: %d compiled steps, %d interpreted fallbacks, %.4f signature-cache hit rate@."
         st.Automaton.steps st.Automaton.fallbacks hr)
 
+(* ------------------------------------------------------------------ E19 *)
+
+(* The durable manager (lib/manager/durable.ml): what the WAL costs on the
+   coordination hot path, what fsync costs on top of the append, and how
+   fast recovery replays — plus the bounded tentative-successor cache
+   (lib/core/scache.ml, shared by Manager) under the contended multi-client
+   workload whose interleaved ask/confirm pairs defeated the one-slot
+   predecessor (0.3% hit rate, BENCH_pr4). *)
+
+module Mgr = Interaction_manager.Manager
+module Dur = Interaction_manager.Durable
+module Mq = Interaction_manager.Mqueue
+module Wal = Interaction_store.Wal
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let e19_store_root () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ibench-e19-%d" (Unix.getpid ()))
+
+let e19_patients = List.init 8 (fun i -> Medical.patient (i + 1))
+
+(* One steady-state round over the capacity-3 ward: the eight patients'
+   start/terminate pairs interleaved round-robin, so consecutive manager
+   calls come from different sessions.  Capacity 3 admits three concurrent
+   examinations and refuses the rest, so every round mixes commits (each an
+   ask miss + confirm hit on the tentative cache) with denials. *)
+let e19_round =
+  List.concat_map
+    (fun nm -> List.map (fun p -> (p, act nm [ p; "sono" ])) e19_patients)
+    [ "call_s"; "call_t"; "perform_s"; "perform_t" ]
+
+let e19 () =
+  header "E19" "durable manager: WAL on the hot path, snapshots, recovery replay"
+    "not in the paper — engineering: coordination state that survives process death";
+  let e_word () = Medical.capacity_constraint ~capacity:3 () in
+  let root = e19_store_root () in
+  rm_rf root;
+  let rounds = 50 in
+  let actions = rounds * List.length e19_round in
+  (* each config replays the identical deterministic script: subscribe a
+     worklist, then [rounds] interleaved rounds, then drain *)
+  let drive ~execute ~subscribe ~drain =
+    subscribe ~client:"worklist" (act "call_s" [ Medical.patient 1; "sono" ]);
+    for _ = 1 to rounds do
+      List.iter (fun (p, a) -> ignore (execute ~client:("wf-" ^ p) a)) e19_round
+    done;
+    ignore (drain ~client:"worklist")
+  in
+  let per dt = dt *. 1e9 /. float_of_int actions in
+  pf "%-44s %14s %9s@." "word workload (32 actions/round, 8 sessions)" "ns/action"
+    "vs none";
+  let volatile_ns = ref 0. in
+  let word_row label key run =
+    Gc.full_major ();
+    let (), dt = wtime run in
+    let ns = per dt in
+    record "e19" (key ^ "_word_ns_per_action") ns;
+    if key = "volatile" then volatile_ns := ns;
+    pf "%-44s %14.0f %8.2fx@." label ns
+      (if !volatile_ns > 0. then ns /. !volatile_ns else 1.);
+    ns
+  in
+  (* warmup: fill the global memo tables once, so the first measured config
+     isn't charged for cold caches the later ones inherit warm *)
+  (let m = Mgr.create (e_word ()) in
+   drive
+     ~execute:(fun ~client a -> ignore (Mgr.execute m ~client a))
+     ~subscribe:(Mgr.subscribe m)
+     ~drain:(fun ~client -> ignore (Mgr.drain_notifications m ~client)));
+  (* volatile: the plain manager, durability compiled in but no store
+     attached — the cost every pre-WAL client keeps paying *)
+  Mgr.reset_tentative_cache_stats ();
+  let commits = ref 0 in
+  let (_ : float) =
+    word_row "volatile Manager (no store)" "volatile" (fun () ->
+        let m = Mgr.create (e_word ()) in
+        drive
+          ~execute:(fun ~client a ->
+            if Mgr.execute m ~client a then incr commits)
+          ~subscribe:(Mgr.subscribe m)
+          ~drain:(fun ~client -> ignore (Mgr.drain_notifications m ~client)))
+  in
+  let hits, misses = Mgr.tentative_cache_stats () in
+  let hit_rate =
+    if hits + misses = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  assert (!commits > 0);
+  (* WAL without fsync: append-only logging, commit point at the append *)
+  let wal_dir = Filename.concat root "word-wal" in
+  let wal_records = ref 0 in
+  let (_ : float) =
+    word_row "Durable, WAL append (fsync off)" "wal" (fun () ->
+        let d = Dur.open_ ~fsync:false ~dir:wal_dir (e_word ()) in
+        drive ~execute:(Dur.execute d) ~subscribe:(Dur.subscribe d)
+          ~drain:(fun ~client -> ignore (Dur.drain_notifications d ~client));
+        wal_records :=
+          List.length (Wal.records (Filename.concat wal_dir "wal.log"));
+        Dur.close d)
+  in
+  (* WAL with fsync on every commit: the full durability guarantee; far
+     fewer rounds, each append now waits on the disk *)
+  let fsync_rounds = 4 in
+  let fsync_dir = Filename.concat root "word-fsync" in
+  (let d = Dur.open_ ~fsync:true ~dir:fsync_dir (e_word ()) in
+   Gc.full_major ();
+   let (), dt =
+     wtime (fun () ->
+         for _ = 1 to fsync_rounds do
+           List.iter
+             (fun (p, a) -> ignore (Dur.execute d ~client:("wf-" ^ p) a))
+             e19_round
+         done)
+   in
+   Dur.close d;
+   let ns = dt *. 1e9 /. float_of_int (fsync_rounds * List.length e19_round) in
+   record "e19" "wal_fsync_word_ns_per_action" ns;
+   pf "%-44s %14.0f %8.2fx@." "Durable, WAL + fsync every commit" ns
+     (ns /. !volatile_ns));
+  pf "@.tentative successor cache (bounded per-session map, volatile run):@.";
+  pf "  %d hits / %d misses — %.1f%% hit rate (one-slot predecessor: 0.3%%)@."
+    hits misses (100. *. hit_rate);
+  record "e19" "tentative_cache_hits" (float_of_int hits);
+  record "e19" "tentative_cache_misses" (float_of_int misses);
+  record "e19" "tentative_cache_hit_rate" hit_rate;
+  (* the kill switch degrades both the engine and manager caches together *)
+  Engine.set_successor_cache false;
+  Mgr.reset_tentative_cache_stats ();
+  let m = Mgr.create (e_word ()) in
+  drive
+    ~execute:(fun ~client a -> ignore (Mgr.execute m ~client a))
+    ~subscribe:(Mgr.subscribe m)
+    ~drain:(fun ~client -> ignore (Mgr.drain_notifications m ~client));
+  let off_hits, _ = Mgr.tentative_cache_stats () in
+  Engine.set_successor_cache true;
+  Mgr.reset_tentative_cache_stats ();
+  record "e19" "tentative_cache_hits_killed" (float_of_int off_hits);
+  pf "  with set_successor_cache false: %d hits (kill switch verified)@." off_hits;
+  (* growth feed: every patient materializes a quantifier instance, so the
+     WAL cost rides on top of ever-larger state images *)
+  let feed_patients = 60 in
+  let feed nm execute =
+    for i = 1 to feed_patients do
+      let p = Medical.patient i in
+      List.iter
+        (fun a -> ignore (execute ~client:("wf-" ^ p) (act a [ p; "sono" ])))
+        [ "prepare_s"; "prepare_t"; "call_s"; "call_t"; "perform_s"; "perform_t" ];
+      ignore nm
+    done
+  in
+  let feed_actions = 6 * feed_patients in
+  (* same warmup argument as above: one untimed feed fills the per-instance
+     memo tables both measured feeds then share *)
+  (let m = Mgr.create Medical.patient_constraint in
+   feed "warmup" (Mgr.execute m));
+  Gc.full_major ();
+  let mfeed = Mgr.create Medical.patient_constraint in
+  let (), t_feed_v = wtime (fun () -> feed "volatile" (Mgr.execute mfeed)) in
+  let feed_dir = Filename.concat root "feed-wal" in
+  Gc.full_major ();
+  let dfeed = Dur.open_ ~fsync:false ~dir:feed_dir Medical.patient_constraint in
+  let (), t_feed_w = wtime (fun () -> feed "wal" (Dur.execute dfeed)) in
+  Dur.close dfeed;
+  let fv = t_feed_v *. 1e9 /. float_of_int feed_actions in
+  let fw = t_feed_w *. 1e9 /. float_of_int feed_actions in
+  record "e19" "volatile_feed_ns_per_action" fv;
+  record "e19" "wal_feed_ns_per_action" fw;
+  pf "@.growth feed, %d patients: volatile %.0f ns/action, WAL %.0f ns/action (%.2fx)@."
+    feed_patients fv fw (fw /. fv);
+  (* recovery: reopen the word-workload store and time the replay; then
+     snapshot and reopen again — the snapshot bounds replay to zero *)
+  let d, t_rec = wtime (fun () -> Dur.open_ ~fsync:false ~dir:wal_dir (e_word ())) in
+  let replayed = Dur.replayed d in
+  Dur.snapshot d;
+  Dur.close d;
+  let d2, t_rec2 = wtime (fun () -> Dur.open_ ~fsync:false ~dir:wal_dir (e_word ())) in
+  let replayed2 = Dur.replayed d2 in
+  Dur.close d2;
+  record "e19" "recovery_replayed_records" (float_of_int replayed);
+  record "e19" "recovery_ms" (t_rec *. 1e3);
+  record "e19" "recovery_records_per_s"
+    (if t_rec > 0. then float_of_int replayed /. t_rec else 0.);
+  record "e19" "recovery_after_snapshot_replayed" (float_of_int replayed2);
+  record "e19" "recovery_after_snapshot_ms" (t_rec2 *. 1e3);
+  pf "@.recovery: %d WAL records (%d appended) replayed in %.1f ms (%.0f records/s);@."
+    replayed !wal_records (t_rec *. 1e3)
+    (if t_rec > 0. then float_of_int replayed /. t_rec else 0.);
+  pf "after snapshot: %d replayed in %.2f ms (replay bounded by snapshot cadence)@."
+    replayed2 (t_rec2 *. 1e3);
+  rm_rf root
+
+(* ------------------------------------------------ crash-recovery smoke - *)
+
+(* Kill–replay–verify, run by CI's crash-recovery-smoke job: a scripted
+   session on the durable manager is cut at every WAL record boundary; each
+   cut must recover to the observable state of an oracle that executed the
+   logged prefix.  test/test_recovery.ml is the thorough matrix (torn
+   writes, corruption, snapshots); this is the fast canary that also leaves
+   the diverging store behind for the CI artifact upload. *)
+
+let crash_store_dir = "crash-smoke-store"
+
+let crash_smoke () =
+  header "CRASH" "kill–replay–verify: cut the WAL at every record boundary"
+    "recovered manager must match the prefix oracle at every cut";
+  let e = Syntax.parse_exn "mutex(a - b, c - d)" in
+  let a n = act n [] in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ibench-crash-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  rm_rf crash_store_dir;
+  let src = Filename.concat root "live" in
+  let d = Dur.open_ ~fsync:false ~dir:src e in
+  let oracle = Mgr.create e in
+  let wal = Filename.concat src "wal.log" in
+  let is_op r = String.length r >= 2 && String.sub r 0 2 = "(r" in
+  let ops_now () = List.length (List.filter is_op (Wal.records wal)) in
+  (* oracle image per op-record count: a cut with j op records in its
+     prefix must recover to the image stored under j *)
+  let imgs = ref [ (0, Sexp.to_string (Mgr.image oracle)) ] in
+  let step i fd fo =
+    Telemetry.with_trace (500 + i) (fun () ->
+        fd ();
+        fo ());
+    imgs := (ops_now (), Sexp.to_string (Mgr.image oracle)) :: !imgs
+  in
+  let recv_oracle client =
+    ignore (Mq.receive_envelope (Mgr.inbox oracle ~client))
+  in
+  let script =
+    [ (fun () -> ignore (Dur.execute d ~client:"w1" (a "a"))),
+      (fun () -> ignore (Mgr.execute oracle ~client:"w1" (a "a")));
+      (fun () -> Dur.subscribe d ~client:"mon" (a "b")),
+      (fun () -> Mgr.subscribe oracle ~client:"mon" (a "b"));
+      (fun () -> ignore (Dur.execute d ~client:"w2" (a "c"))),
+      (fun () -> ignore (Mgr.execute oracle ~client:"w2" (a "c")));
+      (fun () -> ignore (Dur.execute d ~client:"w1" (a "b"))),
+      (fun () -> ignore (Mgr.execute oracle ~client:"w1" (a "b")));
+      (fun () -> ignore (Dur.receive_notification d ~client:"mon")),
+      (fun () -> recv_oracle "mon");
+      (fun () -> Dur.crash_client d ~client:"mon"),
+      (fun () -> Mq.crash_receiver (Mgr.inbox oracle ~client:"mon"));
+      (fun () -> ignore (Dur.receive_notification d ~client:"mon")),
+      (fun () -> recv_oracle "mon");
+      (fun () -> Dur.ack_notification d ~client:"mon"),
+      (fun () -> Mq.ack (Mgr.inbox oracle ~client:"mon"));
+      (fun () -> ignore (Dur.execute d ~client:"w2" (a "d"))),
+      (fun () -> ignore (Mgr.execute oracle ~client:"w2" (a "d")))
+    ]
+  in
+  List.iteri (fun i (fd, fo) -> step i fd fo) script;
+  Dur.close d;
+  (* frame scan: every prefix length that ends exactly on a record *)
+  let bytes = In_channel.with_open_bin wal In_channel.input_all in
+  let boundaries =
+    let bs = ref [ 0 ] and pos = ref 0 in
+    while !pos + 8 <= String.length bytes do
+      let len = Int32.to_int (String.get_int32_le bytes !pos) in
+      pos := !pos + 8 + len;
+      if !pos <= String.length bytes then bs := !pos :: !bs
+    done;
+    List.rev !bs
+  in
+  if List.length boundaries < 8 then begin
+    Format.eprintf "crash-smoke: script too short (%d boundaries)@."
+      (List.length boundaries);
+    exit 1
+  end;
+  let probes = List.map a [ "a"; "b"; "c"; "d" ] in
+  let failures = ref 0 in
+  List.iteri
+    (fun k cut ->
+      let dst = Filename.concat root (Printf.sprintf "cut-%d" k) in
+      Unix.mkdir dst 0o755;
+      Out_channel.with_open_bin (Filename.concat dst "wal.log") (fun oc ->
+          Out_channel.output_string oc (String.sub bytes 0 cut));
+      let prefix = Wal.records (Filename.concat dst "wal.log") in
+      let j = List.length (List.filter is_op prefix) in
+      let o = Mgr.of_image (Sexp.of_string_exn (List.assoc j !imgs)) in
+      let r = Dur.open_ ~fsync:false ~dir:dst e in
+      let rm = Dur.manager r in
+      let queue_total q = List.length (Mq.pending_envelopes q) + Mq.in_flight q in
+      let ok =
+        List.map (Mgr.permitted rm) probes = List.map (Mgr.permitted o) probes
+        && Mgr.confirmed_log rm = Mgr.confirmed_log o
+        && List.sort compare (Mgr.inbox_clients rm)
+           = List.sort compare (Mgr.inbox_clients o)
+        && List.for_all
+             (fun c ->
+               let qr = Mgr.inbox rm ~client:c and qo = Mgr.inbox o ~client:c in
+               Mq.sent_count qr = Mq.sent_count qo
+               && queue_total qr = queue_total qo)
+             (Mgr.inbox_clients o)
+      in
+      Dur.close r;
+      if not ok then begin
+        incr failures;
+        (* preserve the diverging store where CI picks artifacts up *)
+        if not (Sys.file_exists crash_store_dir) then Sys.rename dst crash_store_dir;
+        Format.eprintf
+          "crash-smoke: divergence at cut %d (%d bytes, %d ops in prefix)@." k cut j
+      end)
+    boundaries;
+  if !failures > 0 then begin
+    Format.eprintf "crash-smoke: %d diverging cut(s); store preserved in %s/@."
+      !failures crash_store_dir;
+    exit 1
+  end;
+  record "crash_smoke" "cuts" (float_of_int (List.length boundaries));
+  record "crash_smoke" "agree" 1.;
+  rm_rf root;
+  pf "crash smoke: %d cuts, every recovery matches its prefix oracle@."
+    (List.length boundaries)
+
 (* ------------------------------------------------------- bechamel ----- *)
 
 let bechamel () =
@@ -1225,7 +1553,7 @@ let bechamel () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
     ("bechamel", bechamel)
   ]
 
@@ -1251,10 +1579,14 @@ let () =
     Telemetry.add_sink (Telemetry.jsonl_sink (output_string oc));
     Telemetry.enable ()
   end;
-  let names = List.filter (fun a -> a <> "smoke") args in
+  let crash = List.mem "crash-smoke" args in
+  let names = List.filter (fun a -> a <> "smoke" && a <> "crash-smoke") args in
   let selected =
     if smoke && names = [] then
-      List.filter (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18" ]) experiments
+      List.filter
+        (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18"; "e19" ])
+        experiments
+    else if crash && names = [] then []
     else
       match names with
       | [] -> List.filter (fun (n, _) -> n <> "bechamel") experiments
@@ -1278,7 +1610,10 @@ let () =
   (* smoke also cross-checks the compiled kernel against the interpreted
      oracle (sequential always; sharded too when --domains > 1) *)
   if smoke then compiled_smoke ~domains;
+  (* `crash-smoke`: the CI kill–replay–verify canary (exit 1 on divergence,
+     diverging store left in ./crash-smoke-store for the artifact upload) *)
+  if crash then crash_smoke ();
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr4.json";
-  pf "@.wrote BENCH_pr4.json@.";
+  write_bench_json ~domains "BENCH_pr6.json";
+  pf "@.wrote BENCH_pr6.json@.";
   pf "@."

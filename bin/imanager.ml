@@ -15,6 +15,7 @@
      NOTIFICATIONS <client>         -> NOTIFY <action> ENABLED|DISABLED ... OK
      TIMEOUT                        -> OK        (drop an outstanding grant)
      CHECKPOINT <file>              -> OK        (write a checkpoint)
+     SNAPSHOT                       -> OK        (store snapshot; needs --store)
      CRASH                          -> OK        (lose volatile state)
      RECOVER [<file>]               -> OK        (log replay, or from checkpoint)
      LOG                            -> one line per confirmed action, then OK
@@ -30,6 +31,15 @@
    Options (before the expression):
      --stats-every N   dump STATS to stderr every N processed commands
      --trace FILE      append every telemetry event to FILE as JSONL
+     --store DIR       durable mode: every protocol operation is written
+                       to a write-ahead log in DIR before the reply, and
+                       an existing store is recovered at startup (snapshot
+                       + WAL replay + requeue of in-flight notifications);
+                       a "RECOVERED <records>" line follows READY.  With
+                       --domains N, each shard logs to DIR/shard<i>.
+     --no-fsync        keep the WAL but skip the per-append fsync (faster,
+                       durable only against process crashes)
+     --snapshot-every N  automatic snapshot every N WAL records
      --domains N       N > 1: shard the expression across N worker domains
                        (one manager replica per independent component); an
                        extra "SHARDS <k> DOMAINS <n>" line follows READY.
@@ -77,6 +87,7 @@ type backend = {
   b_stats : unit -> Manager.stats;
   b_stats_extra : unit -> string;
   b_state_size : unit -> int;
+  b_snapshot : (unit -> unit) option;  (* None without a --store *)
 }
 
 let seq_backend mgr =
@@ -97,7 +108,32 @@ let seq_backend mgr =
     b_log = (fun () -> Manager.confirmed_log mgr);
     b_stats = (fun () -> Manager.stats mgr);
     b_stats_extra = (fun () -> "");
-    b_state_size = (fun () -> Manager.state_size mgr) }
+    b_state_size = (fun () -> Manager.state_size mgr);
+    b_snapshot = None }
+
+let durable_backend d =
+  let mgr = Durable.manager d in
+  { b_ask = Durable.ask d;
+    b_confirm = Durable.confirm d;
+    b_abort = Durable.abort d;
+    b_execute = Durable.execute d;
+    b_permitted = Durable.permitted d;
+    b_explain = Manager.explain_denial mgr;
+    b_subscribe = Durable.subscribe d;
+    b_unsubscribe = Durable.unsubscribe d;
+    b_drain = (fun ~client -> Durable.drain_notifications d ~client);
+    b_timeout = (fun () -> Durable.timeout_outstanding d);
+    b_checkpoint = (fun () -> Manager.checkpoint mgr);
+    (* CRASH/RECOVER stay the paper's volatile-state simulation on the
+       in-memory replica; the WAL recovers real process crashes *)
+    b_crash = (fun () -> Manager.crash mgr);
+    b_recover = (fun () -> Manager.recover mgr);
+    b_recover_with = (fun ~checkpoint -> Manager.recover_with mgr ~checkpoint);
+    b_log = (fun () -> Durable.confirmed_log d);
+    b_stats = (fun () -> Durable.stats d);
+    b_stats_extra = (fun () -> Printf.sprintf " wal_replayed=%d" (Durable.replayed d));
+    b_state_size = (fun () -> Manager.state_size mgr);
+    b_snapshot = Some (fun () -> Durable.snapshot d) }
 
 let sharded_backend sm =
   { b_ask = Sharded.ask sm;
@@ -124,7 +160,9 @@ let sharded_backend sm =
         Printf.sprintf " shards=%d coordinations=%d foreign_grants=%d"
           (Sharded.shard_count sm) (Sharded.coordinations sm)
           (Sharded.foreign_grants sm));
-    b_state_size = (fun () -> Sharded.state_size sm) }
+    b_state_size = (fun () -> Sharded.state_size sm);
+    b_snapshot =
+      (if Sharded.durable sm then Some (fun () -> Sharded.snapshot_all sm) else None) }
 
 let run ~stats_every b =
   let stop = ref false in
@@ -192,6 +230,12 @@ let run ~stats_every b =
         | "TIMEOUT", [] ->
           b.b_timeout ();
           out "OK"
+        | "SNAPSHOT", [] -> (
+          match b.b_snapshot with
+          | Some f ->
+            f ();
+            out "OK"
+          | None -> out "ERROR no store attached (start with --store DIR)")
         | "CHECKPOINT", [ file ] -> (
           match b.b_checkpoint () with
           | cp ->
@@ -233,13 +277,16 @@ let run ~stats_every b =
 let usage () =
   prerr_endline
     "usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] \
-     \"<interaction expression>\"";
+     [--store DIR] [--no-fsync] [--snapshot-every N] \"<interaction expression>\"";
   exit 2
 
 let () =
   let stats_every = ref 0 in
   let trace_file = ref None in
   let domains = ref 1 in
+  let store = ref None in
+  let fsync = ref true in
+  let snapshot_every = ref None in
   let rec parse_args = function
     | "--stats-every" :: n :: rest -> (
       match int_of_string_opt n with
@@ -259,6 +306,18 @@ let () =
     | "--no-compile" :: rest ->
       State.set_compilation false;
       parse_args rest
+    | "--store" :: dir :: rest ->
+      store := Some dir;
+      parse_args rest
+    | "--no-fsync" :: rest ->
+      fsync := false;
+      parse_args rest
+    | "--snapshot-every" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        snapshot_every := Some n;
+        parse_args rest
+      | Some _ | None -> usage ())
     | [ expr ] -> expr
     | _ -> usage ()
   in
@@ -278,10 +337,31 @@ let () =
     in
     Telemetry.enable ();
     Format.printf "READY %d@." (Expr.size e);
-    if !domains <= 1 then run ~stats_every:!stats_every (seq_backend (Manager.create e))
-    else
-      Pool.with_pool ~domains:!domains (fun pool ->
-          let sm = Sharded.create ~pool e in
-          Format.printf "SHARDS %d DOMAINS %d@." (Sharded.shard_count sm) (Pool.size pool);
-          run ~stats_every:!stats_every (sharded_backend sm));
+    (try
+       if !domains <= 1 then
+       match !store with
+       | None -> run ~stats_every:!stats_every (seq_backend (Manager.create e))
+       | Some dir ->
+         let d =
+           Durable.open_ ~fsync:!fsync ?snapshot_every:!snapshot_every ~dir e
+         in
+         Format.printf "RECOVERED %d@." (Durable.replayed d);
+         run ~stats_every:!stats_every (durable_backend d);
+         Durable.close d
+       else
+         Pool.with_pool ~domains:!domains (fun pool ->
+             let sm =
+               Sharded.create ~pool ?store:!store ~fsync:!fsync
+                 ?snapshot_every:!snapshot_every e
+             in
+             Format.printf "SHARDS %d DOMAINS %d@." (Sharded.shard_count sm)
+               (Pool.size pool);
+             if Sharded.durable sm then
+               Format.printf "RECOVERED %d@." (Sharded.replayed_total sm);
+             run ~stats_every:!stats_every (sharded_backend sm);
+             Sharded.close_stores sm)
+     with Invalid_argument m ->
+       (* e.g. a store directory written for a different expression *)
+       prerr_endline ("imanager: " ^ m);
+       exit 1);
     Option.iter Out_channel.close trace_oc

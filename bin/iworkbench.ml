@@ -17,16 +17,50 @@
 
 open Interaction
 open Interaction_exec
+module Store = Interaction_store.Store
 
 type env = {
   mutable session : Engine.session option;
   pool : Pool.t option;
   mutable mirror : Pengine.t option;
+  (* durable store attached by `save-store`/`recover`: the snapshot is the
+     Engine.save image, and every accepted do/force appends one WAL record,
+     so a crashed workbench session replays to where it stopped *)
+  mutable store : Store.t option;
 }
 
 let detach env = env.mirror <- None
 
 let out fmt = Format.printf (fmt ^^ "@.")
+
+let detach_store env reason =
+  match env.store with
+  | Some st ->
+    Store.close st;
+    env.store <- None;
+    out "(store detached: %s)" reason
+  | None -> ()
+
+(* WAL records of a workbench session: accepted actions, tagged by how
+   they were executed. *)
+let action_record tag a =
+  Sexp.to_string (Sexp.List [ Sexp.Atom tag; Action.concrete_to_sexp a ])
+
+let log_action env tag a =
+  Option.iter (fun st -> Store.append st (action_record tag a)) env.store
+
+(* Replaying a record re-runs the action the way it originally ran; a
+   rejection here means the store does not match the snapshot (it was
+   tampered with, or written by a different build). *)
+let replay_record s r =
+  match Sexp.of_string_exn r with
+  | Sexp.List [ Sexp.Atom "do"; a ] ->
+    if not (Engine.try_action s (Action.concrete_of_sexp a)) then
+      out "WARNING: replayed action rejected (store diverges from snapshot)"
+  | Sexp.List [ Sexp.Atom "force"; a ] ->
+    ignore (Engine.force s (Action.concrete_of_sexp a))
+  | _ -> out "WARNING: unknown store record skipped"
+  | exception Invalid_argument m -> out "WARNING: bad store record skipped: %s" m
 
 let help () =
   out
@@ -48,6 +82,8 @@ let help () =
     \  walk <n>           random walk of n permitted actions@.\
     \  save <file>        persist the session@.\
     \  restore <file>     load a persisted session@.\
+    \  save-store <dir>   attach a durable store: snapshot now, WAL every action@.\
+    \  recover <dir>      rebuild the session from a store (snapshot + replay)@.\
     \  telemetry on|off   collect events into a bounded ring buffer@.\
     \  metrics            Prometheus-style counters, caches, watermarks@.\
     \  compile            compiled-kernel status: automaton shape, step counters@.\
@@ -90,6 +126,7 @@ let command env line =
   | "load" -> (
     match Syntax.parse rest with
     | Ok e ->
+      detach_store env "new expression loaded";
       env.session <- Some (Engine.create e);
       (match env.pool with
       | Some pool ->
@@ -113,7 +150,10 @@ let command env line =
                   (if ok then "accepts" else "rejects")
                   (if pok then "accepts" else "rejects")
             | None -> ());
-            if ok then out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
+            if ok then begin
+              log_action env "do" a;
+              out "Accept.%s" (if Engine.is_final s then " (complete)" else "")
+            end
             else out "Reject."))
   | "explain" ->
     with_session env (fun s ->
@@ -129,7 +169,9 @@ let command env line =
               out "(parallel mirror detached: force bypasses the action problem)"
             end;
             let was_alive = Engine.is_alive s in
-            if Engine.force s a then out "executed"
+            let ok = Engine.force s a in
+            if ok || was_alive then log_action env "force" a;
+            if ok then out "executed"
             else if was_alive then
               out "executed — the session is now dead (constraint violated)"
             else out "ignored — the session is dead (reset to continue)"))
@@ -176,6 +218,9 @@ let command env line =
     with_session env (fun s ->
         Engine.reset s;
         Option.iter Pengine.reset env.mirror;
+        (* the store stays attached: a reset is a state change like any
+           other, so re-snapshot rather than let the WAL diverge *)
+        Option.iter (fun st -> Store.snapshot st (Engine.save s)) env.store;
         out "reset")
   | "show" ->
     with_session env (fun s ->
@@ -211,7 +256,7 @@ let command env line =
         let walk = Simulate.random_trace ~seed:(Engine.state_size s) ~length:n (Engine.expr s) in
         List.iter
           (fun a ->
-            ignore (Engine.try_action s a);
+            if Engine.try_action s a then log_action env "do" a;
             Option.iter (fun m -> ignore (Pengine.try_action m a)) env.mirror)
           walk;
         out "walked %d actions: %s" (List.length walk)
@@ -230,6 +275,7 @@ let command env line =
       | content -> (
         match Engine.load content with
         | s ->
+          detach_store env "restored session replaces the stored one";
           env.session <- Some s;
           if env.mirror <> None then begin
             detach env;
@@ -239,6 +285,47 @@ let command env line =
             (List.length (Engine.trace s))
         | exception Invalid_argument m -> out "restore failed: %s" m)
       | exception Sys_error m -> out "restore failed: %s" m)
+  | "save-store" ->
+    with_session env (fun s ->
+        if rest = "" then out "usage: save-store <dir>"
+        else begin
+          detach_store env "superseded by new store";
+          match Store.open_ rest with
+          | st, _, _ ->
+            Store.snapshot st (Engine.save s);
+            env.store <- Some st;
+            out "store attached: %s (snapshot written, accepted actions now logged)"
+              rest
+          | exception Invalid_argument m -> out "save-store failed: %s" m
+          | exception Sys_error m -> out "save-store failed: %s" m
+        end)
+  | "recover" -> (
+    if rest = "" then out "usage: recover <dir>"
+    else
+      match Store.open_ rest with
+      | st, Some snap, records -> (
+        match Engine.load snap with
+        | s ->
+          List.iter (replay_record s) records;
+          detach_store env "superseded by recovered store";
+          env.session <- Some s;
+          env.store <- Some st;
+          if env.mirror <> None then begin
+            detach env;
+            out "(parallel mirror detached: recovered session has foreign history)"
+          end;
+          out "recovered: %a (%d actions in trace, %d WAL record(s) replayed)"
+            Syntax.pp (Engine.expr s)
+            (List.length (Engine.trace s))
+            (List.length records)
+        | exception Invalid_argument m ->
+          Store.close st;
+          out "recover failed: %s" m)
+      | st, None, _ ->
+        Store.close st;
+        out "recover failed: no snapshot in %s (use save-store first)" rest
+      | exception Invalid_argument m -> out "recover failed: %s" m
+      | exception Sys_error m -> out "recover failed: %s" m)
   | "telemetry" -> (
     match rest with
     | "on" ->
@@ -282,7 +369,7 @@ let () =
     | rest -> (1, rest)
   in
   let pool = if domains > 1 then Some (Pool.create ~domains) else None in
-  let env = { session = None; pool; mirror = None } in
+  let env = { session = None; pool; mirror = None; store = None } in
   (match initial with
   | [ expr ] -> command env ("load " ^ expr)
   | _ -> out "iworkbench — type `help` for commands");
@@ -294,4 +381,5 @@ let () =
        | Some line -> command env line
      done
    with Exit -> out "bye");
+  Option.iter Store.close env.store;
   Option.iter Pool.shutdown pool

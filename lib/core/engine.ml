@@ -47,11 +47,14 @@ type session = {
   sexpr : Expr.t;
   mutable state : State.t option;
   mutable rev_trace : Action.concrete list;
-  (* one-slot tentative-successor cache: the Fig. 9 grant loop asks
+  (* bounded tentative-successor cache: the Fig. 9 grant loop asks
      [permitted c] and then commits with [try_action c]; remembering the
      successor computed by the tentative query makes that pattern perform
-     one transition instead of two. *)
-  mutable tentative : (State.t * Action.concrete * State.t option) option;
+     one transition instead of two.  Direct-mapped over (state, action),
+     so interleaved queries of other actions no longer evict the pair
+     being committed (the former one-slot cache decayed to a 0.3% hit
+     rate under exactly that interleaving — BENCH_pr4). *)
+  tentative : Scache.t;
   (* the session's compiled kernel, bound lazily on the first transition so
      sessions created while compilation is disabled still pick it up when
      the switch is flipped back on *)
@@ -66,7 +69,7 @@ let successor_cache = ref true
 let set_successor_cache b = successor_cache := b
 let successor_cache_enabled () = !successor_cache
 
-(* Always-on hit/miss tallies of the one-slot cache, in the style of
+(* Always-on hit/miss tallies of the successor cache, in the style of
    [State.cache_stats]; exported as the [engine_successor_cache_*] probes.
    Atomic: sharded sessions run on the evaluation domains. *)
 let succ_hits = Atomic.make 0
@@ -87,7 +90,7 @@ let create e =
   { sexpr = e;
     state = Some (State.init e);
     rev_trace = [];
-    tentative = None;
+    tentative = Scache.create ();
     auto = None;
     sentinel = None }
 
@@ -120,19 +123,20 @@ let session_trans s st c =
     if Automaton.active () then Automaton.step (session_auto s) st c
     else State.trans st c
 
-(* τ̂ with the one-slot cache: reuse the successor when the query repeats
-   the cached (state, action) pair; otherwise compute and remember it. *)
+(* τ̂ with the bounded cache: reuse the successor when the query repeats a
+   cached (state, action) pair; otherwise compute and remember it. *)
 let tentative_trans s st c =
-  match s.tentative with
-  | Some (st0, c0, succ)
-    when !successor_cache && State.equal st0 st && Action.equal_concrete c0 c ->
-    Atomic.incr succ_hits;
-    succ
-  | _ ->
-    if !successor_cache then Atomic.incr succ_misses;
-    let succ = session_trans s st c in
-    if !successor_cache then s.tentative <- Some (st, c, succ);
-    succ
+  if not !successor_cache then session_trans s st c
+  else
+    match Scache.find s.tentative st c with
+    | Some succ ->
+      Atomic.incr succ_hits;
+      succ
+    | None ->
+      Atomic.incr succ_misses;
+      let succ = session_trans s st c in
+      Scache.add s.tentative st c succ;
+      succ
 
 let permitted s c =
   match s.state with
@@ -154,8 +158,9 @@ let try_action_unobserved s c =
   | Some st -> (
     match tentative_trans s st c with
     | Some st' ->
+      (* no invalidation: the cache is keyed by (state, action), so entries
+         for the pre-commit state stay sound and re-hit on cycles *)
       s.state <- Some st';
-      s.tentative <- None;
       s.rev_trace <- c :: s.rev_trace;
       true
     | None -> false)
@@ -202,7 +207,6 @@ let force s c =
   | Some st ->
     let next = tentative_trans s st c in
     s.state <- next;
-    s.tentative <- None;
     s.rev_trace <- c :: s.rev_trace;
     let ok = next <> None in
     if !Telemetry.on then begin
@@ -273,20 +277,21 @@ let load str =
     { sexpr = Expr.of_sexp expr;
       state;
       rev_trace = List.rev_map Action.concrete_of_sexp trace;
-      tentative = None;
+      tentative = Scache.create ();
       auto = None;
       sentinel = None }
   | Ok _ -> invalid_arg "Engine.load: malformed session"
 
 let reset s =
   s.state <- Some (State.init s.sexpr);
-  s.tentative <- None;
+  Scache.clear s.tentative;
   s.rev_trace <- []
 
 let copy s =
   { sexpr = s.sexpr;
     state = s.state;
     rev_trace = s.rev_trace;
-    tentative = s.tentative;
+    (* fresh cache: sharing the array would alias mutable slots *)
+    tentative = Scache.create ();
     auto = s.auto;
     sentinel = s.sentinel }

@@ -29,10 +29,12 @@ val expr : session -> Expr.t
 
 val permitted : session -> Action.concrete -> bool
 (** Tentative transition: would the action be accepted now?  Does not
-    change the session.  The computed successor is kept in a one-slot
-    cache, so a following {!try_action} (or {!force}) of the same action
-    commits it without recomputing the transition — the Fig. 9 grant loop
-    performs exactly one transition per granted action. *)
+    change the session.  The computed successor is kept in a small bounded
+    per-session cache ({!Scache}) keyed by (state, action), so a following
+    {!try_action} (or {!force}) of the same action commits it without
+    recomputing the transition — the Fig. 9 grant loop performs exactly
+    one transition per granted action, and interleaved queries of other
+    actions no longer evict the pair being committed. *)
 
 val try_action : session -> Action.concrete -> bool
 (** Fig. 9's [action()] loop body: perform a tentative transition; on
@@ -82,14 +84,14 @@ val copy : session -> session
 (** Independent snapshot of the session. *)
 
 val set_successor_cache : bool -> unit
-(** Enable/disable the one-slot tentative-successor cache (on by default).
+(** Enable/disable the tentative-successor cache (on by default).
     Only the experiment harness switches it off, to measure the
     permitted → try_action path with and without the cache. *)
 
 val successor_cache_enabled : unit -> bool
 
 val successor_cache_stats : unit -> int * int
-(** [(hits, misses)] of the one-slot successor cache across all sessions
+(** [(hits, misses)] of the bounded successor cache across all sessions
     since start (or the last {!reset_successor_cache_stats}).  Always
     counted; exported to the telemetry registry as the
     [engine_successor_cache_*] probes.  Queries made while the cache is

@@ -1,0 +1,54 @@
+(* A small direct-mapped successor cache: (state, action) -> successor.
+
+   Replaces the former one-slot tentative-successor caches of the engine
+   and the manager (BENCH_pr4 measured the slot at a 0.3% hit rate: any
+   interleaved query of a second action evicted the first).  A handful of
+   direct-mapped slots keyed by the hash-cons id of the state and the
+   structural hash of the action keeps a working set of (state, action)
+   pairs alive across interleavings: the grant loop's permitted →
+   try_action pair, a polling client's repeated denied ask, a worklist
+   re-checking the same marking.
+
+   Entries are never invalidated on commit — the transition function is
+   pure and states are hash-consed, so a stale entry keyed by an old state
+   can only be re-hit if the session returns to exactly that state, in
+   which case its successor is still correct.  Collisions simply overwrite
+   (direct-mapped); the cache is transparent and bounded. *)
+
+type entry = {
+  est : State.t;
+  eact : Action.concrete;
+  esucc : State.t option;
+}
+
+type t = {
+  slots : entry option array;
+  mask : int;
+}
+
+let default_slots = 32
+
+let create ?(slots = default_slots) () =
+  (* round up to a power of two so indexing is a mask *)
+  let n = max 1 slots in
+  let rec pow2 k = if k >= n then k else pow2 (k * 2) in
+  let n = pow2 1 in
+  { slots = Array.make n None; mask = n - 1 }
+
+let size t = Array.length t.slots
+
+let index t st act =
+  (* the state id is already unique per process; mix in the action's
+     structural hash so different actions from one state spread out *)
+  (State.id st * 31 + Hashtbl.hash act) land t.mask
+
+let find t st act =
+  match t.slots.(index t st act) with
+  | Some e when State.equal e.est st && Action.equal_concrete e.eact act ->
+    Some e.esucc
+  | Some _ | None -> None
+
+let add t st act succ =
+  t.slots.(index t st act) <- Some { est = st; eact = act; esucc = succ }
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) None

@@ -1,0 +1,31 @@
+(** Bounded direct-mapped successor cache for the tentative-transition
+    pattern: [(state, action) -> successor].
+
+    The Fig. 9 grant loop computes a successor tentatively ([permitted])
+    and then commits it ([try_action]); the coordination protocol does the
+    same across an ask → confirm round trip.  A one-slot memo serves that
+    pattern only when nothing intervenes — this cache keeps a small
+    direct-mapped working set instead, so interleaved queries (other
+    clients polling, worklists re-checking markings) no longer evict the
+    pair being committed.
+
+    Soundness: the transition function is pure and states are hash-consed,
+    so entries never need invalidation — a hit always returns the correct
+    successor.  The structure is per-session (not thread-safe); sharded
+    evaluation gives each replica its own instance on its pinned domain. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** [slots] is rounded up to a power of two; default 32. *)
+
+val size : t -> int
+(** Actual slot count. *)
+
+val find : t -> State.t -> Action.concrete -> State.t option option
+(** [Some succ] on a hit ([succ = None] means the cached transition was a
+    rejection); [None] on a miss. *)
+
+val add : t -> State.t -> Action.concrete -> State.t option -> unit
+
+val clear : t -> unit

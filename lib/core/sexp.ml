@@ -8,7 +8,11 @@ let list l = List l
 let needs_quoting s =
   s = ""
   || String.exists
-       (function ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true | _ -> false)
+       (* ';' must be quoted too: a bare atom containing it would parse as
+          a shorter atom followed by a comment eating the rest of the line *)
+       (function
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' | ';' -> true
+         | _ -> false)
        s
 
 let quote s =
@@ -139,3 +143,20 @@ let bool_field s =
 let list_field = function
   | List l -> l
   | Atom _ -> invalid_arg "Sexp: expected a list"
+
+let of_int i = Atom (string_of_int i)
+let of_bool b = Atom (if b then "true" else "false")
+
+let field name = function
+  | List items ->
+    List.find_map
+      (function
+        | List (Atom tag :: rest) when String.equal tag name -> Some rest
+        | _ -> None)
+      items
+  | Atom _ -> None
+
+let field_exn name s =
+  match field name s with
+  | Some rest -> rest
+  | None -> invalid_arg ("Sexp: missing field " ^ name)

@@ -35,3 +35,16 @@ val int_field : t -> int
 val bool_field : t -> bool
 val list_field : t -> t list
 (** @raise Invalid_argument when the sexp is not a list. *)
+
+val of_int : int -> t
+val of_bool : bool -> t
+
+val field : string -> t -> t list option
+(** [field name s] looks up a tagged sub-list [(name x1 x2 ...)] among the
+    items of the list [s] and returns its payload [\[x1; x2; ...\]].  The
+    record idiom of the persistence layer: images are lists of tagged
+    fields, so readers tolerate field reordering and unknown extras (a
+    newer writer's file still loads). *)
+
+val field_exn : string -> t -> t list
+(** @raise Invalid_argument when the field is absent. *)

@@ -1,0 +1,245 @@
+open Interaction
+module Store = Interaction_store.Store
+
+(* The durable interaction manager: a Manager.t whose every state-changing
+   operation is written to a Store WAL, with periodic full-image snapshots
+   and replay-on-open recovery.
+
+   Redo-log discipline: the operation is applied in memory first and its
+   record appended after — the append (+ fsync) is the commit point.  A
+   crash between apply and append loses that operation, which is exactly a
+   crash "just before" it; a crash after the append is recovered by
+   replay.
+
+   Record formats (one sexp per WAL record):
+
+     (r TID (OP ...))    an operation, applied under ambient trace TID so
+                         replay regenerates notification envelopes with
+                         their original trace ids
+     (sent CLIENT ENV)   audit record of an envelope enqueued by the
+                         preceding operation; skipped at replay (the
+                         replayed operation regenerates the send)
+
+   Operations:
+
+     (ask C A) (confirm C A) (abort C A) (execute C A) (timeout)
+     (subscribe C A) (unsubscribe C A)
+     (recv C) (ackn C) (drain C) (crashrecv C)
+     (requeue)           crash-recovery requeue of every inbox, logged by
+                         [open_] itself: the process died, so every
+                         receiver died with its in-flight notifications
+                         unacknowledged — at-least-once delivery requeues
+                         them, and post-recovery redelivery is observable
+                         as deliveries ≥ 2
+
+   The snapshot is the manager's full image (Manager.image): restoring it
+   and replaying the records appended since is observationally equivalent
+   to never having crashed. *)
+
+let g_replayed = ref 0
+
+let () =
+  Telemetry.register_probe "recovery_replayed_records" (fun () ->
+      float_of_int !g_replayed)
+
+type t = {
+  mgr : Manager.t;
+  store : Store.t;
+  snapshot_every : int option;
+  mutable replayed : int;  (* records replayed by [open_] *)
+}
+
+let manager t = t.mgr
+let dir t = Store.dir t.store
+let replayed t = t.replayed
+
+(* ---- record construction ---------------------------------------- *)
+
+let act = Action.concrete_to_sexp
+
+let op_record op =
+  Sexp.to_string
+    (Sexp.List [ Sexp.Atom "r"; Sexp.of_int (Telemetry.current_trace ()); op ])
+
+let op2 tag client a = Sexp.List [ Sexp.Atom tag; Sexp.Atom client; act a ]
+let op1 tag client = Sexp.List [ Sexp.Atom tag; Sexp.Atom client ]
+let op0 tag = Sexp.List [ Sexp.Atom tag ]
+
+(* ---- sent-envelope audit trail ----------------------------------- *)
+
+let sent_counts mgr =
+  List.map
+    (fun client -> (client, Mqueue.sent_count (Manager.inbox mgr ~client)))
+    (Manager.inbox_clients mgr)
+
+let last_n n xs =
+  let len = List.length xs in
+  List.filteri (fun i _ -> i >= len - n) xs
+
+(* After an operation, append one audit record per envelope it enqueued:
+   the send already committed with the op's record (replay regenerates
+   it), but the trail makes every enqueue individually visible in the
+   log. *)
+let log_sends t before =
+  List.iter
+    (fun client ->
+      let q = Manager.inbox t.mgr ~client in
+      let fresh =
+        Mqueue.sent_count q
+        - (match List.assoc_opt client before with Some n -> n | None -> 0)
+      in
+      if fresh > 0 then
+        List.iter
+          (fun env ->
+            Store.append t.store
+              (Sexp.to_string
+                 (Sexp.List
+                    [ Sexp.Atom "sent"; Sexp.Atom client;
+                      Mqueue.envelope_to_sexp Manager.notification_to_sexp env
+                    ])))
+          (last_n fresh (Mqueue.pending_envelopes q)))
+    (Manager.inbox_clients t.mgr)
+
+let maybe_snapshot t =
+  match t.snapshot_every with
+  | Some n when n > 0 && Store.records_since_snapshot t.store >= n ->
+    Store.snapshot t.store (Sexp.to_string (Manager.image t.mgr))
+  | _ -> ()
+
+(* Apply-then-log wrapper for operations that may also enqueue
+   notifications. *)
+let logged t op f =
+  let before = sent_counts t.mgr in
+  let result = f () in
+  Store.append t.store (op_record op);
+  log_sends t before;
+  maybe_snapshot t;
+  result
+
+(* ---- the logged operations --------------------------------------- *)
+
+let ask t ~client c = logged t (op2 "ask" client c) (fun () -> Manager.ask t.mgr ~client c)
+
+let confirm t ~client c =
+  logged t (op2 "confirm" client c) (fun () -> Manager.confirm t.mgr ~client c)
+
+let abort t ~client c =
+  logged t (op2 "abort" client c) (fun () -> Manager.abort t.mgr ~client c)
+
+let execute t ~client c =
+  logged t (op2 "execute" client c) (fun () -> Manager.execute t.mgr ~client c)
+
+let timeout_outstanding t =
+  logged t (op0 "timeout") (fun () -> Manager.timeout_outstanding t.mgr)
+
+let subscribe t ~client c =
+  logged t (op2 "subscribe" client c) (fun () -> Manager.subscribe t.mgr ~client c)
+
+let unsubscribe t ~client c =
+  logged t (op2 "unsubscribe" client c) (fun () -> Manager.unsubscribe t.mgr ~client c)
+
+let receive_notification t ~client =
+  (* logged even when the queue is empty: the receive still creates the
+     client's inbox on first use, which is observable state — and replay
+     is deterministic, so a replayed empty receive stays empty *)
+  let env = Mqueue.receive_envelope (Manager.inbox t.mgr ~client) in
+  Store.append t.store (op_record (op1 "recv" client));
+  maybe_snapshot t;
+  env
+
+let ack_notification t ~client =
+  Mqueue.ack (Manager.inbox t.mgr ~client);
+  Store.append t.store (op_record (op1 "ackn" client));
+  maybe_snapshot t
+
+let drain_notifications t ~client =
+  (* unconditional for the same reason as [receive_notification] *)
+  let ms = Manager.drain_notifications t.mgr ~client in
+  Store.append t.store (op_record (op1 "drain" client));
+  maybe_snapshot t;
+  ms
+
+let crash_client t ~client =
+  logged t (op1 "crashrecv" client) (fun () ->
+      Mqueue.crash_receiver (Manager.inbox t.mgr ~client))
+
+(* Read-only pass-throughs. *)
+let permitted t c = Manager.permitted t.mgr c
+let is_stuck t = Manager.is_stuck t.mgr
+let stats t = Manager.stats t.mgr
+let expr t = Manager.expr t.mgr
+let confirmed_log t = Manager.confirmed_log t.mgr
+
+let snapshot t = Store.snapshot t.store (Sexp.to_string (Manager.image t.mgr))
+let close t = Store.close t.store
+
+(* ---- recovery ----------------------------------------------------- *)
+
+let requeue_all mgr =
+  List.iter
+    (fun client -> Mqueue.crash_receiver (Manager.inbox mgr ~client))
+    (Manager.inbox_clients mgr)
+
+let apply_op mgr op =
+  match op with
+  | Sexp.List [ Sexp.Atom "ask"; Sexp.Atom client; a ] ->
+    ignore (Manager.ask mgr ~client (Action.concrete_of_sexp a))
+  | Sexp.List [ Sexp.Atom "confirm"; Sexp.Atom client; a ] ->
+    Manager.confirm mgr ~client (Action.concrete_of_sexp a)
+  | Sexp.List [ Sexp.Atom "abort"; Sexp.Atom client; a ] ->
+    Manager.abort mgr ~client (Action.concrete_of_sexp a)
+  | Sexp.List [ Sexp.Atom "execute"; Sexp.Atom client; a ] ->
+    ignore (Manager.execute mgr ~client (Action.concrete_of_sexp a))
+  | Sexp.List [ Sexp.Atom "timeout" ] -> Manager.timeout_outstanding mgr
+  | Sexp.List [ Sexp.Atom "subscribe"; Sexp.Atom client; a ] ->
+    Manager.subscribe mgr ~client (Action.concrete_of_sexp a)
+  | Sexp.List [ Sexp.Atom "unsubscribe"; Sexp.Atom client; a ] ->
+    Manager.unsubscribe mgr ~client (Action.concrete_of_sexp a)
+  | Sexp.List [ Sexp.Atom "recv"; Sexp.Atom client ] ->
+    ignore (Mqueue.receive_envelope (Manager.inbox mgr ~client))
+  | Sexp.List [ Sexp.Atom "ackn"; Sexp.Atom client ] ->
+    Mqueue.ack (Manager.inbox mgr ~client)
+  | Sexp.List [ Sexp.Atom "drain"; Sexp.Atom client ] ->
+    ignore (Manager.drain_notifications mgr ~client)
+  | Sexp.List [ Sexp.Atom "crashrecv"; Sexp.Atom client ] ->
+    Mqueue.crash_receiver (Manager.inbox mgr ~client)
+  | Sexp.List [ Sexp.Atom "requeue" ] -> requeue_all mgr
+  | _ -> invalid_arg "Durable: unknown operation record"
+
+let replay_record mgr record =
+  match Sexp.of_string_exn record with
+  | Sexp.List [ Sexp.Atom "r"; tid; op ] ->
+    (* the original ambient trace: regenerated envelopes carry the same
+       provenance the lost ones did *)
+    Telemetry.with_trace (Sexp.int_field tid) (fun () -> apply_op mgr op)
+  | Sexp.List (Sexp.Atom "sent" :: _) -> ()  (* audit only *)
+  | _ -> invalid_arg "Durable: unknown record"
+
+let open_ ?fsync ?snapshot_every ~dir e =
+  let store, snapshot, records = Store.open_ ?fsync dir in
+  let mgr =
+    match snapshot with
+    | None -> Manager.create e
+    | Some image ->
+      let m = Manager.of_image (Sexp.of_string_exn image) in
+      if not (Expr.equal (Manager.expr m) e) then
+        invalid_arg "Durable.open_: store belongs to a different expression";
+      m
+  in
+  List.iter (replay_record mgr) records;
+  let n = List.length records in
+  g_replayed := !g_replayed + n;
+  let t = { mgr; store; snapshot_every; replayed = n } in
+  if !Telemetry.on then
+    Telemetry.event "durable.recovered"
+      ~fields:
+        [ ("dir", Telemetry.Str dir);
+          ("replayed", Telemetry.Int n);
+          ("snapshot", Telemetry.Bool (snapshot <> None)) ];
+  (* The process restart is a receiver crash for every inbox: requeue
+     in-flight notifications (at-least-once), as a *logged* operation so
+     the next replay reproduces it in sequence. *)
+  if List.exists (fun c -> Mqueue.in_flight (Manager.inbox mgr ~client:c) > 0)
+       (Manager.inbox_clients mgr)
+  then logged t (op0 "requeue") (fun () -> requeue_all mgr);
+  t

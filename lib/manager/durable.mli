@@ -1,0 +1,79 @@
+open Interaction
+
+(** The durable interaction manager: {!Manager} + a write-ahead log.
+
+    Every state-changing operation — the coordination protocol's
+    ask/confirm/abort rounds, subscription changes, and each notification
+    receive/ack — is applied in memory and then appended to a {!Store} WAL
+    (redo logging: the append, fsync'd by default, is the commit point).
+    Periodic full-image snapshots bound replay cost; {!open_} recovers by
+    loading the snapshot and replaying the log, then requeues every
+    in-flight notification (the process death was a receiver crash for
+    every inbox), so post-recovery redelivery reports [deliveries >= 2].
+
+    Operation records carry the trace id ambient when the operation ran;
+    replay re-applies them under {!Telemetry.with_trace}, so regenerated
+    notification envelopes keep their original provenance.  Envelope
+    enqueues additionally leave per-envelope [sent] audit records.
+
+    Exported probe: [recovery_replayed_records] (cumulative over opens);
+    the store layer adds [wal_*] and [snapshot_*]. *)
+
+type t
+
+val open_ : ?fsync:bool -> ?snapshot_every:int -> dir:string -> Expr.t -> t
+(** Open (or create) the durable manager stored in [dir] for expression
+    [e].  An existing store is recovered: snapshot + WAL replay + requeue
+    of in-flight notifications.  [fsync] (default [true]) makes every
+    append durable before the operation returns; [snapshot_every] takes an
+    automatic snapshot whenever that many WAL records accumulate (default:
+    only explicit {!snapshot} calls).
+    @raise Invalid_argument when the store belongs to a different
+    expression or holds malformed records. *)
+
+val manager : t -> Manager.t
+(** The underlying in-memory manager.  Read freely; state-changing calls
+    made directly on it bypass the log and will not survive a crash. *)
+
+(** {1 Logged operations} — semantics as in {!Manager}. *)
+
+val ask : t -> client:string -> Action.concrete -> Manager.reply
+val confirm : t -> client:string -> Action.concrete -> unit
+val abort : t -> client:string -> Action.concrete -> unit
+val execute : t -> client:string -> Action.concrete -> bool
+val timeout_outstanding : t -> unit
+val subscribe : t -> client:string -> Action.concrete -> unit
+val unsubscribe : t -> client:string -> Action.concrete -> unit
+
+val receive_notification :
+  t -> client:string -> Manager.notification Mqueue.envelope option
+(** Receive (and log) the next notification from the client's inbox,
+    keeping the envelope so provenance is visible. *)
+
+val ack_notification : t -> client:string -> unit
+(** @raise Invalid_argument when nothing is in flight. *)
+
+val drain_notifications : t -> client:string -> Manager.notification list
+
+val crash_client : t -> client:string -> unit
+(** The client's receiver loses its volatile state: requeue its in-flight
+    notifications ({!Mqueue.crash_receiver}), as a logged operation. *)
+
+(** {1 Read-only pass-throughs} *)
+
+val permitted : t -> Action.concrete -> bool
+val is_stuck : t -> bool
+val stats : t -> Manager.stats
+val expr : t -> Expr.t
+val confirmed_log : t -> Action.concrete list
+
+(** {1 Store control} *)
+
+val snapshot : t -> unit
+(** Write the manager's full image atomically, then truncate the WAL. *)
+
+val replayed : t -> int
+(** WAL records replayed when this handle was opened. *)
+
+val dir : t -> string
+val close : t -> unit

@@ -64,10 +64,14 @@ type t = {
   mutable inboxes : (string * notification Mqueue.t) list;
   mutable st : stats;
   per_action : (Action.concrete, int * int) Hashtbl.t;  (* grants, denials *)
-  (* one-slot tentative-successor cache: the coordination protocol's
+  (* bounded tentative-successor cache: the coordination protocol's
      ask → confirm round trip computes the successor once at grant time
-     and commits it at confirm time instead of transitioning twice. *)
-  mutable tentative : (State.t * Action.concrete * State.t option) option;
+     and commits it at confirm time instead of transitioning twice.
+     Direct-mapped over (state, action), so interleaved asks by other
+     clients and the notify loop's permissibility sweeps no longer evict
+     the pair being committed (BENCH_pr4 measured the former one-slot
+     cache at a 0.3% hit rate under exactly that interleaving). *)
+  tentative : Scache.t;
   (* compiled kernel, bound lazily on the first transition (see
      [Engine.session]: managers created under [--no-compile] pick it up if
      compilation is re-enabled) *)
@@ -79,7 +83,7 @@ type t = {
 let create e =
   { mexpr = e; alpha = Alpha.of_expr e; state = Some (State.init e); crashed = false;
     outstanding = None; log = []; subs = []; inboxes = []; st = zero_stats;
-    per_action = Hashtbl.create 32; tentative = None; mauto = None;
+    per_action = Hashtbl.create 32; tentative = Scache.create (); mauto = None;
     msentinel = None }
 
 let expr t = t.mexpr
@@ -90,7 +94,7 @@ let confirmed_log t = List.rev t.log
 
 let in_alphabet t c = Alpha.mem t.alpha c
 
-(* One-slot cache effectiveness across all managers, exported as the
+(* Tentative-cache effectiveness across all managers, exported as the
    [manager_tentative_cache_*] probes (the engine's successor cache has the
    matching [engine_successor_cache_*] pair). *)
 let tent_hits = Atomic.make 0
@@ -120,23 +124,31 @@ let mgr_trans t s c =
     end
     else State.trans s c
 
+(* a fresh τ̂ evaluation: the kernel-evaluation link of the causal chain —
+   one event per evaluation (cache hits re-use the recorded one) *)
+let eval_trans t s c =
+  let succ = mgr_trans t s c in
+  if !Telemetry.on then
+    Telemetry.event "engine.eval"
+      ~fields:
+        [ ("action", Telemetry.Str (Action.concrete_to_string c));
+          ("ok", Telemetry.Bool (succ <> None)) ];
+  succ
+
 let tentative_trans t s c =
-  match t.tentative with
-  | Some (s0, c0, succ) when State.equal s0 s && Action.equal_concrete c0 c ->
-    Atomic.incr tent_hits;
-    succ
-  | _ ->
-    Atomic.incr tent_misses;
-    let succ = mgr_trans t s c in
-    t.tentative <- Some (s, c, succ);
-    (* the kernel-evaluation link of the causal chain: one event per fresh
-       τ̂ evaluation (cache hits re-use the recorded one) *)
-    if !Telemetry.on then
-      Telemetry.event "engine.eval"
-        ~fields:
-          [ ("action", Telemetry.Str (Action.concrete_to_string c));
-            ("ok", Telemetry.Bool (succ <> None)) ];
-    succ
+  (* the manager's cache obeys the same kill switch as the engine's: the
+     experiment harness measures both paths with one flag *)
+  if not (Engine.successor_cache_enabled ()) then eval_trans t s c
+  else
+    match Scache.find t.tentative s c with
+    | Some succ ->
+      Atomic.incr tent_hits;
+      succ
+    | None ->
+      Atomic.incr tent_misses;
+      let succ = eval_trans t s c in
+      Scache.add t.tentative s c succ;
+      succ
 
 let permitted t c =
   (not (in_alphabet t c))
@@ -178,18 +190,18 @@ let mgr_sentinel t =
     w
 
 let do_transition t c =
-  (* The successor was computed at grant time and sits in the one-slot
+  (* The successor was computed at grant time and sits in the tentative
      cache; commit it, then check each subscription's status against its
      recorded last notification.  One tentative transition per subscribed
      action — the before-state statuses need no recomputation, the
-     bookkeeping already holds them. *)
+     bookkeeping already holds them.  No cache invalidation on commit:
+     entries are keyed by the pre-commit state and stay sound. *)
   let succ = match t.state with Some s -> tentative_trans t s c | None -> None in
   (match t.state with
   | Some _ ->
     (match succ with
     | Some s' ->
       t.state <- Some s';
-      t.tentative <- None;
       t.st <- { t.st with transitions = t.st.transitions + 1 };
       if !Telemetry.on then Sentinel.sample (mgr_sentinel t) ~size:(State.size s')
     | None ->
@@ -352,7 +364,7 @@ let crash t =
   t.state <- None;
   t.crashed <- true;
   t.outstanding <- None;
-  t.tentative <- None
+  Scache.clear t.tentative
 
 let recover t =
   if t.crashed then (
@@ -413,6 +425,146 @@ let recover_with t ~checkpoint =
       t.outstanding <- None
     | None -> invalid_arg "Manager.recover_with: log-suffix replay failed")
   | Ok _ -> invalid_arg "Manager.recover_with: malformed checkpoint"
+
+(* ------------------------------------------------------------------ *)
+(* Full images: the durable layer snapshots the whole manager — state,
+   protocol position, subscriptions and notification queues — not just
+   the state+log pair of [checkpoint]. *)
+
+let notification_to_sexp n =
+  Sexp.List
+    [ Sexp.Atom "notif"; Action.concrete_to_sexp n.action;
+      Sexp.of_bool n.now_permitted ]
+
+let notification_of_sexp = function
+  | Sexp.List [ Sexp.Atom "notif"; a; b ] ->
+    { action = Action.concrete_of_sexp a; now_permitted = Sexp.bool_field b }
+  | _ -> invalid_arg "Manager: malformed notification"
+
+let stats_to_sexp s =
+  Sexp.List
+    (Sexp.Atom "stats"
+    :: List.map Sexp.of_int
+         [ s.asks; s.grants; s.denials; s.busies; s.confirms; s.aborts;
+           s.transitions; s.foreign; s.informs; s.subscribes; s.unsubscribes;
+           s.timeouts ])
+
+let stats_of_sexp = function
+  | Sexp.List (Sexp.Atom "stats" :: fields) -> (
+    match List.map Sexp.int_field fields with
+    | [ asks; grants; denials; busies; confirms; aborts; transitions; foreign;
+        informs; subscribes; unsubscribes; timeouts ] ->
+      { asks; grants; denials; busies; confirms; aborts; transitions; foreign;
+        informs; subscribes; unsubscribes; timeouts }
+    | _ -> invalid_arg "Manager: malformed stats")
+  | _ -> invalid_arg "Manager: malformed stats"
+
+let image t =
+  let state_sexp =
+    match t.state with
+    | Some s -> Sexp.List [ Sexp.Atom "s"; State.to_sexp s ]
+    | None -> Sexp.Atom "null"
+  in
+  let outstanding =
+    match t.outstanding with
+    | Some (client, c) -> [ Sexp.Atom client; Action.concrete_to_sexp c ]
+    | None -> []
+  in
+  Sexp.List
+    [ Sexp.Atom "manager-image";
+      Sexp.List [ Sexp.Atom "expr"; Expr.to_sexp t.mexpr ];
+      Sexp.List [ Sexp.Atom "state"; state_sexp ];
+      Sexp.List [ Sexp.Atom "crashed"; Sexp.of_bool t.crashed ];
+      Sexp.List (Sexp.Atom "outstanding" :: outstanding);
+      Sexp.List (Sexp.Atom "log" :: List.rev_map Action.concrete_to_sexp t.log);
+      Sexp.List
+        (Sexp.Atom "subs"
+        :: List.rev_map
+             (fun sub ->
+               Sexp.List
+                 [ Sexp.Atom "sub"; Sexp.Atom sub.sclient;
+                   Action.concrete_to_sexp sub.saction;
+                   Sexp.of_bool sub.last_notified ])
+             t.subs);
+      Sexp.List
+        (Sexp.Atom "inboxes"
+        :: List.rev_map
+             (fun (_, q) -> Mqueue.to_sexp notification_to_sexp q)
+             t.inboxes);
+      stats_to_sexp t.st;
+      Sexp.List
+        (Sexp.Atom "per-action"
+        :: Hashtbl.fold
+             (fun a (g, d) acc ->
+               Sexp.List
+                 [ Sexp.Atom "pa"; Action.concrete_to_sexp a; Sexp.of_int g;
+                   Sexp.of_int d ]
+               :: acc)
+             t.per_action [])
+    ]
+
+let of_image s =
+  match s with
+  | Sexp.List (Sexp.Atom "manager-image" :: _) ->
+    let one name =
+      match Sexp.field name s with
+      | Some [ v ] -> v
+      | Some _ | None -> invalid_arg ("Manager.of_image: missing field " ^ name)
+    in
+    let many name =
+      match Sexp.field name s with
+      | Some vs -> vs
+      | None -> invalid_arg ("Manager.of_image: missing field " ^ name)
+    in
+    let mexpr = Expr.of_sexp (one "expr") in
+    let state =
+      match one "state" with
+      | Sexp.Atom "null" -> None
+      | Sexp.List [ Sexp.Atom "s"; st ] -> Some (State.of_sexp st)
+      | _ -> invalid_arg "Manager.of_image: malformed state"
+    in
+    let outstanding =
+      match Sexp.field "outstanding" s with
+      | Some [] | None -> None
+      | Some [ Sexp.Atom client; a ] -> Some (client, Action.concrete_of_sexp a)
+      | Some _ -> invalid_arg "Manager.of_image: malformed outstanding"
+    in
+    let subs =
+      List.rev_map
+        (function
+          | Sexp.List [ Sexp.Atom "sub"; Sexp.Atom client; a; ln ] ->
+            { sclient = client; saction = Action.concrete_of_sexp a;
+              last_notified = Sexp.bool_field ln }
+          | _ -> invalid_arg "Manager.of_image: malformed subscription")
+        (many "subs")
+    in
+    let inboxes =
+      List.rev_map
+        (fun qs ->
+          let q = Mqueue.of_sexp notification_of_sexp qs in
+          (Mqueue.name q, q))
+        (many "inboxes")
+    in
+    let per_action = Hashtbl.create 32 in
+    List.iter
+      (function
+        | Sexp.List [ Sexp.Atom "pa"; a; g; d ] ->
+          Hashtbl.replace per_action (Action.concrete_of_sexp a)
+            (Sexp.int_field g, Sexp.int_field d)
+        | _ -> invalid_arg "Manager.of_image: malformed per-action entry")
+      (many "per-action");
+    { mexpr; alpha = Alpha.of_expr mexpr; state;
+      crashed = Sexp.bool_field (one "crashed"); outstanding;
+      log = List.rev_map Action.concrete_of_sexp (many "log");
+      subs; inboxes; st = stats_of_sexp (Sexp.List (Sexp.Atom "stats" :: many "stats"));
+      per_action; tentative = Scache.create (); mauto = None; msentinel = None }
+  | _ -> invalid_arg "Manager.of_image: malformed image"
+
+let subscriptions t =
+  List.rev_map (fun sub -> (sub.sclient, sub.saction, sub.last_notified)) t.subs
+
+let outstanding t = t.outstanding
+let inbox_clients t = List.rev_map fst t.inboxes
 
 let current_state t = t.state
 

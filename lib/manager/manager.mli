@@ -131,6 +131,31 @@ val recover_with : t -> checkpoint:string -> unit
 val alive : t -> bool
 (** False between {!crash} and {!recover}. *)
 
+val image : t -> Sexp.t
+(** The manager's {e full} image — expression, state, protocol position
+    (outstanding grant), confirmed log, subscriptions with their
+    last-notified status, notification queues with envelope provenance,
+    and counters.  Unlike {!checkpoint} (state + log position only), an
+    image restored by {!of_image} is observationally equivalent to the
+    original; this is what the durable store snapshots. *)
+
+val of_image : Sexp.t -> t
+(** @raise Invalid_argument on a malformed image. *)
+
+val subscriptions : t -> (string * Action.concrete * bool) list
+(** Live subscriptions as [(client, action, last_notified)], in
+    subscription order. *)
+
+val outstanding : t -> (string * Action.concrete) option
+(** The outstanding grant, if the manager sits in the critical region. *)
+
+val inbox_clients : t -> string list
+(** Clients that have a notification inbox, oldest first. *)
+
+val notification_to_sexp : notification -> Sexp.t
+val notification_of_sexp : Sexp.t -> notification
+(** @raise Invalid_argument on malformed input. *)
+
 val stats : t -> stats
 val state_size : t -> int
 val pp_stats : Format.formatter -> stats -> unit
@@ -158,11 +183,13 @@ val action_report : t -> (Action.concrete * int * int) list
     are the contended ones (worklist analytics). *)
 
 val tentative_cache_stats : unit -> int * int
-(** [(hits, misses)] of the one-slot tentative-successor cache across all
+(** [(hits, misses)] of the bounded tentative-successor cache across all
     managers since start (or the last {!reset_tentative_cache_stats}).
     Exported to the telemetry registry as the [manager_tentative_cache_*]
-    probes.  The ask → confirm round trip of a granted action should score
-    exactly one hit: the grant computes the successor, the confirm commits
-    it. *)
+    probes.  The ask → confirm round trip of a granted action scores at
+    least one hit: the grant computes the successor, the confirm commits
+    it — and, unlike the former one-slot memo, interleaved asks by other
+    clients no longer evict the pair in between.  Obeys
+    {!Engine.set_successor_cache}. *)
 
 val reset_tentative_cache_stats : unit -> unit

@@ -107,6 +107,14 @@ let receive_envelope q =
     env.deliveries <- env.deliveries + 1;
     if env.deliveries > q.delivery_hwm then q.delivery_hwm <- env.deliveries;
     if env.deliveries > !g_delivery_hwm then g_delivery_hwm := env.deliveries;
+    (* a redelivery is counted when it happens — the second (or later)
+       delivery of one envelope.  Counting at crash time over-reported:
+       requeued envelopes that were never re-received still scored, and
+       crash–receive–crash sequences tallied the same envelope twice. *)
+    if env.deliveries >= 2 then begin
+      q.redelivered <- q.redelivered + 1;
+      incr g_redeliveries
+    end;
     fifo_push q.flight env;
     incr g_receives;
     if !Telemetry.on then
@@ -127,8 +135,9 @@ let ack q =
   | Some _ -> incr g_acks
 
 let crash_receiver q =
-  q.redelivered <- q.redelivered + q.flight.size;
-  g_redeliveries := !g_redeliveries + q.flight.size;
+  (* no redelivery counting here: the crash only *requeues*; the
+     redelivery is tallied by [receive_envelope] when the envelope is
+     actually handed out again (deliveries ≥ 2) *)
   if !Telemetry.on && q.flight.size > 0 then
     Telemetry.event "mqueue.redeliver"
       ~fields:
@@ -160,3 +169,70 @@ let drain q =
       go (m :: acc)
   in
   go []
+
+let pending_envelopes q = fifo_to_list q.pending
+let flight_envelopes q = fifo_to_list q.flight
+
+(* Persistence: the WAL snapshots queue images, and provenance must survive
+   a restart — an envelope that was delivered once before the crash must
+   still report deliveries ≥ 2 when redelivered after recovery. *)
+
+module Sexp = Interaction.Sexp
+
+let envelope_to_sexp payload_to_sexp e =
+  Sexp.List
+    [ Sexp.Atom "env";
+      Sexp.List [ Sexp.Atom "payload"; payload_to_sexp e.payload ];
+      Sexp.List [ Sexp.Atom "trace"; Sexp.of_int e.etrace ];
+      Sexp.List [ Sexp.Atom "deliveries"; Sexp.of_int e.deliveries ] ]
+
+let envelope_of_sexp payload_of_sexp s =
+  match s with
+  | Sexp.List (Sexp.Atom "env" :: _) ->
+    let one name =
+      match Sexp.field name s with
+      | Some [ v ] -> v
+      | Some _ | None ->
+        invalid_arg ("Mqueue.envelope_of_sexp: missing field " ^ name)
+    in
+    { payload = payload_of_sexp (one "payload");
+      etrace = Sexp.int_field (one "trace");
+      deliveries = Sexp.int_field (one "deliveries") }
+  | _ -> invalid_arg "Mqueue.envelope_of_sexp: malformed envelope"
+
+let to_sexp payload_to_sexp q =
+  let envs es = List.map (envelope_to_sexp payload_to_sexp) es in
+  Sexp.List
+    [ Sexp.Atom "mqueue";
+      Sexp.List [ Sexp.Atom "name"; Sexp.Atom q.qname ];
+      Sexp.List (Sexp.Atom "pending" :: envs (fifo_to_list q.pending));
+      Sexp.List (Sexp.Atom "flight" :: envs (fifo_to_list q.flight));
+      Sexp.List [ Sexp.Atom "sent"; Sexp.of_int q.sent ];
+      Sexp.List [ Sexp.Atom "redelivered"; Sexp.of_int q.redelivered ];
+      Sexp.List [ Sexp.Atom "hwm"; Sexp.of_int q.hwm ];
+      Sexp.List [ Sexp.Atom "delivery_hwm"; Sexp.of_int q.delivery_hwm ] ]
+
+let of_sexp payload_of_sexp s =
+  match s with
+  | Sexp.List (Sexp.Atom "mqueue" :: _) ->
+    let one name =
+      match Sexp.field name s with
+      | Some [ v ] -> v
+      | Some _ | None -> invalid_arg ("Mqueue.of_sexp: missing field " ^ name)
+    in
+    let envs name =
+      match Sexp.field name s with
+      | Some vs -> List.map (envelope_of_sexp payload_of_sexp) vs
+      | None -> invalid_arg ("Mqueue.of_sexp: missing field " ^ name)
+    in
+    let fifo_of_list ms =
+      { front = ms; back = []; size = List.length ms }
+    in
+    { qname = Sexp.string_field (one "name");
+      pending = fifo_of_list (envs "pending");
+      flight = fifo_of_list (envs "flight");
+      sent = Sexp.int_field (one "sent");
+      redelivered = Sexp.int_field (one "redelivered");
+      hwm = Sexp.int_field (one "hwm");
+      delivery_hwm = Sexp.int_field (one "delivery_hwm") }
+  | _ -> invalid_arg "Mqueue.of_sexp: malformed queue image"

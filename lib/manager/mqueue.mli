@@ -61,7 +61,37 @@ val delivery_watermark : 'a t -> int
 
 val in_flight : 'a t -> int
 val sent_count : 'a t -> int
+
 val redelivered_count : 'a t -> int
+(** Redeliveries actually performed: the number of times {!receive} handed
+    out an envelope for the second (or later) time.  A crash alone counts
+    nothing — requeued envelopes only score when re-received. *)
 
 val drain : 'a t -> 'a list
 (** Receive-and-ack everything undelivered, in order. *)
+
+(** {1 Persistence}
+
+    Envelope provenance must survive a restart: the store snapshots queue
+    images, and an envelope delivered once before a crash must still report
+    [deliveries >= 2] when redelivered after recovery. *)
+
+val pending_envelopes : 'a t -> 'a envelope list
+(** Undelivered envelopes, oldest first.  Read-only view for persistence
+    and inspection. *)
+
+val flight_envelopes : 'a t -> 'a envelope list
+(** Delivered-but-unacknowledged envelopes, oldest first. *)
+
+val envelope_to_sexp :
+  ('a -> Interaction.Sexp.t) -> 'a envelope -> Interaction.Sexp.t
+
+val envelope_of_sexp :
+  (Interaction.Sexp.t -> 'a) -> Interaction.Sexp.t -> 'a envelope
+(** @raise Invalid_argument on malformed input. *)
+
+val to_sexp : ('a -> Interaction.Sexp.t) -> 'a t -> Interaction.Sexp.t
+(** Full queue image: name, pending and in-flight envelopes, counters. *)
+
+val of_sexp : (Interaction.Sexp.t -> 'a) -> Interaction.Sexp.t -> 'a t
+(** @raise Invalid_argument on malformed input. *)

@@ -32,8 +32,39 @@ let unsubscribe_cost = 1
 let report_cost = 1 (* optimistic: report without waiting for a reply *)
 let compensate_cost = 1 (* optimistic: notify the manager of the undo *)
 
-let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
-  let mgr = Manager.create e in
+(* A protocol target: any backend that speaks the coordination and
+   subscription protocols.  The simulation is backend-agnostic — the same
+   client strategies drive an in-memory manager, a durable (WAL-backed)
+   manager, or anything else that implements these six verbs. *)
+type target = {
+  t_ask : client:string -> Action.concrete -> Manager.reply;
+  t_confirm : client:string -> Action.concrete -> unit;
+  t_execute : client:string -> Action.concrete -> bool;
+  t_subscribe : client:string -> Action.concrete -> unit;
+  t_unsubscribe : client:string -> Action.concrete -> unit;
+  t_drain : client:string -> Manager.notification list;
+  t_stats : unit -> Manager.stats;
+}
+
+let manager_target mgr =
+  { t_ask = (fun ~client c -> Manager.ask mgr ~client c);
+    t_confirm = (fun ~client c -> Manager.confirm mgr ~client c);
+    t_execute = (fun ~client c -> Manager.execute mgr ~client c);
+    t_subscribe = (fun ~client c -> Manager.subscribe mgr ~client c);
+    t_unsubscribe = (fun ~client c -> Manager.unsubscribe mgr ~client c);
+    t_drain = (fun ~client -> Manager.drain_notifications mgr ~client);
+    t_stats = (fun () -> Manager.stats mgr) }
+
+let durable_target d =
+  { t_ask = (fun ~client c -> Durable.ask d ~client c);
+    t_confirm = (fun ~client c -> Durable.confirm d ~client c);
+    t_execute = (fun ~client c -> Durable.execute d ~client c);
+    t_subscribe = (fun ~client c -> Durable.subscribe d ~client c);
+    t_unsubscribe = (fun ~client c -> Durable.unsubscribe d ~client c);
+    t_drain = (fun ~client -> Durable.drain_notifications d ~client);
+    t_stats = (fun () -> Durable.stats d) }
+
+let simulate_on ?(max_rounds = 10_000) ?(think_rounds = 0) strategy target ~scripts =
   let clients =
     List.map (fun (cname, script) -> { cname; script; waiting = false; rest = 0 }) scripts
   in
@@ -41,11 +72,11 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
   let compensations = ref 0 in
   let try_execute cl action =
     messages := !messages + ask_cost;
-    match Manager.ask mgr ~client:cl.cname action with
+    match target.t_ask ~client:cl.cname action with
     | Manager.Granted ->
       (* step 3 (execute) is local; step 4 confirms *)
       messages := !messages + confirm_cost;
-      Manager.confirm mgr ~client:cl.cname action;
+      target.t_confirm ~client:cl.cname action;
       cl.script <- List.tl cl.script;
       cl.rest <- think_rounds;
       true
@@ -60,7 +91,7 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
     | action :: _ ->
       (* execute locally, then report; the manager validates the report *)
       messages := !messages + report_cost;
-      if Manager.execute mgr ~client:cl.cname action then (
+      if target.t_execute ~client:cl.cname action then (
         cl.script <- List.tl cl.script;
         cl.rest <- think_rounds)
       else (
@@ -74,12 +105,12 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
     | action :: _ ->
       if not cl.waiting then (
         messages := !messages + subscribe_cost;
-        Manager.subscribe mgr ~client:cl.cname action;
+        target.t_subscribe ~client:cl.cname action;
         cl.waiting <- true);
       (* Consume notifications; the subscription protocol delivers the
          initial status plus every change (each is one inform message,
          already counted by the manager; we mirror the count here). *)
-      let notes = Manager.drain_notifications mgr ~client:cl.cname in
+      let notes = target.t_drain ~client:cl.cname in
       messages := !messages + List.length notes;
       let go =
         List.exists (fun (n : Manager.notification) -> n.Manager.now_permitted) notes
@@ -87,7 +118,7 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
       if go then
         if try_execute cl action then (
           messages := !messages + unsubscribe_cost;
-          Manager.unsubscribe mgr ~client:cl.cname action;
+          target.t_unsubscribe ~client:cl.cname action;
           cl.waiting <- false)
         else
           (* raced by another client: stay subscribed, wait for the next
@@ -114,7 +145,7 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
     incr rounds;
     List.iter step clients
   done;
-  let st = Manager.stats mgr in
+  let st = target.t_stats () in
   { completed = not (unfinished ());
     rounds = !rounds;
     messages = !messages;
@@ -125,6 +156,11 @@ let simulate ?(max_rounds = 10_000) ?(think_rounds = 0) strategy e ~scripts =
     subscribes = st.Manager.subscribes;
     compensations = !compensations
   }
+
+let simulate ?max_rounds ?think_rounds strategy e ~scripts =
+  simulate_on ?max_rounds ?think_rounds strategy
+    (manager_target (Manager.create e))
+    ~scripts
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -41,6 +41,25 @@ type result = {
   compensations : int;  (** optimistic executions that had to be undone *)
 }
 
+type target
+(** A protocol backend: anything speaking the coordination and
+    subscription protocols.  The same client strategies can drive an
+    in-memory {!Manager} or a WAL-backed {!Durable} manager. *)
+
+val manager_target : Manager.t -> target
+val durable_target : Durable.t -> target
+
+val simulate_on :
+  ?max_rounds:int ->
+  ?think_rounds:int ->
+  strategy ->
+  target ->
+  scripts:(string * Action.concrete list) list ->
+  result
+(** Like {!simulate}, against an explicit backend (which may hold prior
+    state — e.g. a durable manager recovered mid-workflow resumes where
+    the crashed run left off). *)
+
 val simulate :
   ?max_rounds:int ->
   ?think_rounds:int ->

@@ -2,7 +2,8 @@ open Interaction
 open Interaction_exec
 
 type shard = {
-  mgr : Manager.t;
+  mgr : Manager.t;  (* the in-memory replica ([Durable.manager dur] when durable) *)
+  dur : Durable.t option;  (* WAL-backed wrapper, only touched on [worker] *)
   salpha : Alpha.t;
   worker : int;
 }
@@ -23,21 +24,43 @@ let m_foreign = Telemetry.counter "sharded_foreign_total"
 let m_coords = Telemetry.counter "sharded_coordinations_total"
 let m_batches = Telemetry.counter "sharded_batches_total"
 
-let create ~pool e =
+let create ~pool ?store ?fsync ?snapshot_every e =
   let comps = Partition.components e in
   let shards =
     List.mapi
       (fun i (ce, al) ->
         let worker = i mod Pool.size pool in
         (* build the replica on its pinned worker so its states live in that
-           domain's tables *)
-        let mgr = Pool.run pool ~worker (fun () -> Manager.create ce) in
-        { mgr; salpha = al; worker })
+           domain's tables; with a store, each shard logs to its own
+           subdirectory (one WAL per shard — appends never contend across
+           lanes, and recovery replays each shard independently) *)
+        Pool.run pool ~worker (fun () ->
+            match store with
+            | None -> { mgr = Manager.create ce; dur = None; salpha = al; worker }
+            | Some dir ->
+              let d =
+                Durable.open_ ?fsync ?snapshot_every
+                  ~dir:(Filename.concat dir (Printf.sprintf "shard%d" i))
+                  ce
+              in
+              { mgr = Durable.manager d; dur = Some d; salpha = al; worker }))
       comps
     |> Array.of_list
   in
+  (* Seed the merged log from the recovered replicas.  The exact cross-
+     shard interleaving is not WAL-recorded (each shard logs alone), but
+     actions of different shards commute — that is the partition's whole
+     argument — so any merge consistent with each shard's commit order is
+     observationally equivalent to the lost one; we use shard order. *)
+  let recovered_log =
+    List.rev
+      (List.concat_map
+         (fun sh -> Manager.confirmed_log sh.mgr)
+         (Array.to_list shards))
+  in
   let t =
-    { spool = pool; whole = e; shards; log_mutex = Mutex.create (); log = [];
+    { spool = pool; whole = e; shards; log_mutex = Mutex.create ();
+      log = recovered_log;
       foreign_n = Atomic.make 0; coords_n = Atomic.make 0; batches_n = Atomic.make 0 }
   in
   Telemetry.register_probe "sharded_shards" (fun () ->
@@ -75,6 +98,55 @@ let on_shard t sh f =
       if tid = 0 then f sh.mgr
       else Telemetry.with_trace tid (fun () -> f sh.mgr))
 
+(* Mutating protocol verbs go through the shard's durable wrapper when one
+   exists (WAL-logged, on the pinned worker); without a store they hit the
+   in-memory replica directly.  Read-only queries always use [sh.mgr]. *)
+let s_ask sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.ask d ~client c
+  | None -> Manager.ask sh.mgr ~client c
+
+let s_confirm sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.confirm d ~client c
+  | None -> Manager.confirm sh.mgr ~client c
+
+let s_abort sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.abort d ~client c
+  | None -> Manager.abort sh.mgr ~client c
+
+let s_execute sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.execute d ~client c
+  | None -> Manager.execute sh.mgr ~client c
+
+let s_subscribe sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.subscribe d ~client c
+  | None -> Manager.subscribe sh.mgr ~client c
+
+let s_unsubscribe sh ~client c =
+  match sh.dur with
+  | Some d -> Durable.unsubscribe d ~client c
+  | None -> Manager.unsubscribe sh.mgr ~client c
+
+let s_drain sh ~client =
+  match sh.dur with
+  | Some d -> Durable.drain_notifications d ~client
+  | None -> Manager.drain_notifications sh.mgr ~client
+
+let s_timeout sh =
+  match sh.dur with
+  | Some d -> Durable.timeout_outstanding d
+  | None -> Manager.timeout_outstanding sh.mgr
+
+(* [on_shard] variant passing the shard itself, for the dispatchers. *)
+let on_shard' t sh f =
+  let tid = Telemetry.current_trace () in
+  Pool.run t.spool ~worker:sh.worker (fun () ->
+      if tid = 0 then f sh else Telemetry.with_trace tid (fun () -> f sh))
+
 let log_commit t c =
   Mutex.lock t.log_mutex;
   t.log <- c :: t.log;
@@ -88,7 +160,7 @@ let ask t ~client c =
     Manager.Granted
   | [ sh ] ->
     Telemetry.incr m_routed;
-    on_shard t sh (fun m -> Manager.ask m ~client c)
+    on_shard' t sh (fun sh -> s_ask sh ~client c)
   | shs ->
     (* defensive two-phase grant across all owners *)
     Atomic.incr t.coords_n;
@@ -96,10 +168,10 @@ let ask t ~client c =
     let rec grant acc = function
       | [] -> (Manager.Granted, acc)
       | sh :: rest -> (
-        match on_shard t sh (fun m -> Manager.ask m ~client c) with
+        match on_shard' t sh (fun sh -> s_ask sh ~client c) with
         | Manager.Granted -> grant (sh :: acc) rest
         | (Manager.Denied | Manager.Busy) as r ->
-          List.iter (fun g -> on_shard t g (fun m -> Manager.abort m ~client c)) acc;
+          List.iter (fun g -> on_shard' t g (fun sh -> s_abort sh ~client c)) acc;
           (r, []))
     in
     fst (grant [] shs)
@@ -108,11 +180,11 @@ let confirm t ~client c =
   match owners t c with
   | [] -> ()  (* foreign: no replica holds a grant, nothing to commit *)
   | shs ->
-    List.iter (fun sh -> on_shard t sh (fun m -> Manager.confirm m ~client c)) shs;
+    List.iter (fun sh -> on_shard' t sh (fun sh -> s_confirm sh ~client c)) shs;
     log_commit t c
 
 let abort t ~client c =
-  List.iter (fun sh -> on_shard t sh (fun m -> Manager.abort m ~client c)) (owners t c)
+  List.iter (fun sh -> on_shard' t sh (fun sh -> s_abort sh ~client c)) (owners t c)
 
 let execute t ~client c =
   match owners t c with
@@ -122,7 +194,7 @@ let execute t ~client c =
     true
   | [ sh ] ->
     Telemetry.incr m_routed;
-    let ok = on_shard t sh (fun m -> Manager.execute m ~client c) in
+    let ok = on_shard' t sh (fun sh -> s_execute sh ~client c) in
     if ok then log_commit t c;
     ok
   | _ -> (
@@ -161,7 +233,7 @@ let execute_batch t ~client actions =
              let run () =
                List.map
                  (fun (i, c) ->
-                   let ok = Manager.execute sh.mgr ~client c in
+                   let ok = s_execute sh ~client c in
                    if ok then log_commit t c;
                    (i, ok))
                  batch
@@ -187,7 +259,7 @@ let is_stuck t =
   Array.exists (fun sh -> on_shard t sh (fun m -> Manager.is_stuck m)) t.shards
 
 let timeout_outstanding t =
-  Array.iter (fun sh -> on_shard t sh Manager.timeout_outstanding) t.shards
+  Array.iter (fun sh -> on_shard' t sh s_timeout) t.shards
 
 let subscribe t ~client c =
   match owners t c with
@@ -196,15 +268,15 @@ let subscribe t ~client c =
        notification through shard 0's replica so the inbox machinery is
        uniform *)
     if Array.length t.shards > 0 then
-      on_shard t t.shards.(0) (fun m -> Manager.subscribe m ~client c)
-  | shs -> List.iter (fun sh -> on_shard t sh (fun m -> Manager.subscribe m ~client c)) shs
+      on_shard' t t.shards.(0) (fun sh -> s_subscribe sh ~client c)
+  | shs -> List.iter (fun sh -> on_shard' t sh (fun sh -> s_subscribe sh ~client c)) shs
 
 let unsubscribe t ~client c =
-  Array.iter (fun sh -> on_shard t sh (fun m -> Manager.unsubscribe m ~client c)) t.shards
+  Array.iter (fun sh -> on_shard' t sh (fun sh -> s_unsubscribe sh ~client c)) t.shards
 
 let drain_notifications t ~client =
   Array.to_list t.shards
-  |> List.concat_map (fun sh -> on_shard t sh (fun m -> Manager.drain_notifications m ~client))
+  |> List.concat_map (fun sh -> on_shard' t sh (fun sh -> s_drain sh ~client))
 
 let confirmed_log t =
   Mutex.lock t.log_mutex;
@@ -247,3 +319,28 @@ let queue_depths t =
 let coordinations t = Atomic.get t.coords_n
 let foreign_grants t = Atomic.get t.foreign_n
 let batches t = Atomic.get t.batches_n
+
+(* ---- per-shard durability ----------------------------------------- *)
+
+let durable t = Array.exists (fun sh -> sh.dur <> None) t.shards
+
+let snapshot_all t =
+  Array.iter
+    (fun sh ->
+      match sh.dur with
+      | Some d -> ignore (on_shard' t sh (fun _ -> Durable.snapshot d))
+      | None -> ())
+    t.shards
+
+let replayed_total t =
+  Array.to_list t.shards
+  |> List.map (fun sh -> match sh.dur with Some d -> Durable.replayed d | None -> 0)
+  |> List.fold_left ( + ) 0
+
+let close_stores t =
+  Array.iter
+    (fun sh ->
+      match sh.dur with
+      | Some d -> ignore (on_shard' t sh (fun _ -> Durable.close d))
+      | None -> ())
+    t.shards

@@ -24,12 +24,24 @@ open Interaction_exec
 
 type t
 
-val create : pool:Pool.t -> Expr.t -> t
+val create :
+  pool:Pool.t ->
+  ?store:string ->
+  ?fsync:bool ->
+  ?snapshot_every:int ->
+  Expr.t ->
+  t
 (** Partition [e] and build one replica per shard, each created on its
     pinned worker.  An expression that does not decompose yields a single
     shard — the sequential manager with routing overhead only; a pool of
     one lane pins every replica to that lane (sequential, but still
-    partitioned). *)
+    partitioned).
+
+    With [~store:dir], each shard is a {!Durable} manager logging to its
+    own subdirectory [dir/shard<i>] — one WAL per shard, appended only
+    from that shard's pinned worker (no cross-lane contention), recovered
+    independently at the next [create] on the same directory.  [fsync] and
+    [snapshot_every] are forwarded to {!Durable.open_}. *)
 
 val shard_count : t -> int
 val expr : t -> Expr.t
@@ -84,6 +96,23 @@ val shard_logs : t -> Action.concrete list list
 
 val crash_all : t -> unit
 val recover_all : t -> unit
+(** Simulated volatile-state crash/recovery of every replica (the paper's
+    Section 7 experiment).  Acts on the in-memory replicas directly; with
+    a store attached, the WAL neither records nor needs this — real
+    process crashes recover through [create ~store] replay. *)
+
+val durable : t -> bool
+(** True when the manager was created with a store. *)
+
+val snapshot_all : t -> unit
+(** Snapshot every durable shard (no-op shards without a store), each on
+    its pinned worker. *)
+
+val replayed_total : t -> int
+(** WAL records replayed across all shards when this instance opened. *)
+
+val close_stores : t -> unit
+(** Close every shard's store (no-op without one). *)
 
 (** {1 Introspection} *)
 

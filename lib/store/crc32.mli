@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial) — the WAL's record checksum. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] with [len] bytes of [s] starting
+    at [pos]. *)

@@ -1,0 +1,151 @@
+(* A durable store directory:
+
+     DIR/snapshot.sexp   last full image (atomic: tmp + fsync + rename)
+     DIR/wal.log         redo records since that snapshot (CRC-framed)
+
+   Recovery = load the snapshot (if any), then replay the WAL records on
+   top of it.  A snapshot is only allowed to supersede the log once it is
+   durably on disk — write tmp, fsync tmp, rename over snapshot.sexp,
+   fsync the directory, and only then reset the WAL.
+
+   That ordering leaves one window: a crash after the rename but before
+   the reset reopens to the new snapshot plus a log of records the
+   snapshot already covers — replaying them would apply every covered
+   operation twice.  Snapshot generations close it: each snapshot file
+   carries a generation header, and the first record of a freshly reset
+   WAL is a marker (NUL-prefixed, so it can never collide with a caller
+   payload) naming the generation it follows.  At open, records are live
+   only if they sit behind the marker matching the snapshot's generation;
+   a log without that marker is entirely covered and is discarded. *)
+
+let m_snapshots = ref 0
+let m_snapshot_bytes = ref 0
+
+let () =
+  let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
+  probe "snapshot_writes_total" m_snapshots;
+  probe "snapshot_last_bytes" m_snapshot_bytes
+
+type t = {
+  sdir : string;
+  fsync : bool;
+  wal : Wal.t;
+  mutable generation : int;  (* snapshots taken over this directory *)
+  mutable records_since_snapshot : int;
+}
+
+(* snapshot file = "gen N\n" header + caller image; WAL marker record =
+   "\x00gen N" (caller payloads are sexps, never NUL-led) *)
+
+let snapshot_header gen = Printf.sprintf "gen %d\n" gen
+let marker gen = Printf.sprintf "\x00gen %d" gen
+let is_marker r = String.length r > 0 && r.[0] = '\x00'
+
+let parse_snapshot raw =
+  match String.index_opt raw '\n' with
+  | Some i when i > 4 && String.sub raw 0 4 = "gen " -> (
+    match int_of_string_opt (String.sub raw 4 (i - 4)) with
+    | Some g -> (g, String.sub raw (i + 1) (String.length raw - i - 1))
+    | None -> (0, raw))
+  | _ -> (0, raw)
+
+let snapshot_file dir = Filename.concat dir "snapshot.sexp"
+let snapshot_tmp dir = Filename.concat dir "snapshot.tmp"
+let wal_file dir = Filename.concat dir "wal.log"
+
+let fsync_dir dir =
+  (* make the rename itself durable: fsync the directory entry *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+  | exception Unix.Unix_error _ -> ()
+
+let read_snapshot dir =
+  let path = snapshot_file dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    (* EEXIST can race with a sibling shard creating the same parent *)
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg ("Store.open_: not a directory: " ^ dir)
+
+let open_ ?(fsync = true) dir =
+  ensure_dir dir;
+  (* a leftover tmp snapshot is an interrupted write: discard it *)
+  if Sys.file_exists (snapshot_tmp dir) then Sys.remove (snapshot_tmp dir);
+  let snapshot_raw = read_snapshot dir in
+  let wal, records = Wal.open_ ~fsync (wal_file dir) in
+  let generation, snapshot, live =
+    match snapshot_raw with
+    | None -> (0, None, List.filter (fun r -> not (is_marker r)) records)
+    | Some raw ->
+      let gen, image = parse_snapshot raw in
+      let live =
+        match records with
+        | m :: rest when is_marker m && m = marker gen -> rest
+        | _ :: _ ->
+          (* every record predates the snapshot: the crash hit between the
+             snapshot rename and the WAL reset — replaying them over the
+             image that already covers them would double-apply *)
+          Wal.reset wal;
+          []
+        | [] -> []
+      in
+      (gen, Some image, live)
+  in
+  ( { sdir = dir; fsync; wal; generation;
+      records_since_snapshot = List.length live },
+    snapshot,
+    live )
+
+let dir t = t.sdir
+
+let append t payload =
+  Wal.append t.wal payload;
+  t.records_since_snapshot <- t.records_since_snapshot + 1
+
+let records_since_snapshot t = t.records_since_snapshot
+
+let snapshot t image =
+  let gen = t.generation + 1 in
+  let tmp = snapshot_tmp t.sdir in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (snapshot_header gen);
+     output_string oc image;
+     flush oc;
+     if t.fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  Sys.rename tmp (snapshot_file t.sdir);
+  if t.fsync then fsync_dir t.sdir;
+  (* only now is the snapshot durable: the log's records are redundant *)
+  Wal.reset t.wal;
+  (* generation marker: records appended after it are the ones the
+     snapshot does not cover *)
+  Wal.append t.wal (marker gen);
+  t.generation <- gen;
+  t.records_since_snapshot <- 0;
+  incr m_snapshots;
+  m_snapshot_bytes := String.length image;
+  if !Telemetry.on then
+    Telemetry.event "store.snapshot"
+      ~fields:
+        [ ("dir", Telemetry.Str t.sdir);
+          ("bytes", Telemetry.Int (String.length image)) ]
+
+let sync t = Wal.sync t.wal
+let close t = Wal.close t.wal

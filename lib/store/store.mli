@@ -1,0 +1,39 @@
+(** A durable store directory: one snapshot plus a write-ahead log.
+
+    Layout: [DIR/snapshot.sexp] (last full image, written atomically via
+    tmp + fsync + rename + directory fsync) and [DIR/wal.log] (CRC-framed
+    redo records since that snapshot — see {!Wal}).  Recovery loads the
+    snapshot and replays the log on top.  The payloads are opaque strings;
+    the caller defines the image and record formats.
+
+    Exported probes: [snapshot_writes_total], [snapshot_last_bytes] (plus
+    the {!Wal} probes). *)
+
+type t
+
+val open_ : ?fsync:bool -> string -> t * string option * string list
+(** [open_ dir] creates [dir] if needed, discards any interrupted
+    temporary snapshot, heals a torn WAL tail, drops WAL records the
+    snapshot already covers (a crash can land between the snapshot rename
+    and the WAL truncation; generation markers detect the stale log), and
+    returns the store together with the current snapshot image (if any)
+    and the live WAL records, oldest first.  [fsync] (default [true]) governs both the WAL and
+    snapshot durability. *)
+
+val append : t -> string -> unit
+(** Append a redo record — the commit point of the logged operation. *)
+
+val snapshot : t -> string -> unit
+(** Atomically replace the snapshot with [image], then truncate the WAL
+    (its records are covered by the new snapshot). *)
+
+val records_since_snapshot : t -> int
+(** WAL records not yet covered by a snapshot (replay cost of a crash
+    right now); used to drive automatic snapshot cadence. *)
+
+val dir : t -> string
+
+val sync : t -> unit
+(** Explicit WAL fsync, for [~fsync:false] batching. *)
+
+val close : t -> unit

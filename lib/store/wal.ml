@@ -1,0 +1,124 @@
+(* Append-only write-ahead log.
+
+   Record framing: a fixed 8-byte header — 4-byte little-endian payload
+   length, 4-byte little-endian CRC-32 of the payload — followed by the
+   payload bytes.  Appends are redo records: the in-memory operation has
+   already been applied when the record is written, and recovery replays
+   the log forward from the last snapshot.
+
+   Torn-tail discipline: a crash can leave a partial record at the end of
+   the file (short header, short payload, or a payload whose CRC does not
+   match).  [open_] scans the log from the start, keeps every record up to
+   the last valid one, and truncates the file there — a torn tail is
+   expected damage, silently healed; corruption *before* the tail would
+   also be cut off there, which is the only safe interpretation without a
+   record index. *)
+
+let m_appends = ref 0
+let m_fsyncs = ref 0
+let m_truncated = ref 0
+
+let () =
+  let probe name r = Telemetry.register_probe name (fun () -> float_of_int !r) in
+  probe "wal_appends_total" m_appends;
+  probe "wal_fsyncs_total" m_fsyncs;
+  probe "wal_torn_tails_total" m_truncated
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  fsync : bool;
+  mutable appended : int;  (* records appended through this handle *)
+  mutable closed : bool;
+}
+
+let header_len = 8
+
+(* Reject absurd lengths before allocating: a corrupt header must not ask
+   for gigabytes.  Generous for real records (states are small sexps). *)
+let max_record_len = 64 * 1024 * 1024
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b header_len len;
+  b
+
+(* Scan [contents], returning the valid records (oldest first) and the
+   byte offset just past the last valid one. *)
+let scan contents =
+  let n = String.length contents in
+  let rec go off acc =
+    if off + header_len > n then (List.rev acc, off)
+    else
+      let len = Int32.to_int (String.get_int32_le contents off) in
+      if len < 0 || len > max_record_len || off + header_len + len > n then
+        (List.rev acc, off)
+      else
+        let crc = String.get_int32_le contents (off + 4) in
+        let payload = String.sub contents (off + header_len) len in
+        if Crc32.string payload <> crc then (List.rev acc, off)
+        else go (off + header_len + len) (payload :: acc)
+  in
+  go 0 []
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+
+let records path = fst (scan (read_file path))
+
+let open_ ?(fsync = true) path =
+  let contents = read_file path in
+  let recs, valid = scan contents in
+  if valid < String.length contents then incr m_truncated;
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Unix.ftruncate fd valid;
+  ignore (Unix.lseek fd valid Unix.SEEK_SET);
+  ({ path; fd; fsync; appended = 0; closed = false }, recs)
+
+let path t = t.path
+
+let really_write fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let sync t =
+  Unix.fsync t.fd;
+  incr m_fsyncs
+
+let append t payload =
+  if t.closed then invalid_arg "Wal.append: closed";
+  really_write t.fd (frame payload);
+  t.appended <- t.appended + 1;
+  incr m_appends;
+  if t.fsync then sync t;
+  if !Telemetry.on then
+    Telemetry.event "wal.append"
+      ~fields:
+        [ ("path", Telemetry.Str t.path);
+          ("bytes", Telemetry.Int (String.length payload)) ]
+
+let appended t = t.appended
+
+let reset t =
+  if t.closed then invalid_arg "Wal.reset: closed";
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  if t.fsync then sync t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end

@@ -1,0 +1,41 @@
+(** Append-only write-ahead log with CRC-framed records.
+
+    Each record is framed as [len₃₂ᴸᴱ crc₃₂ᴸᴱ payload]: a 4-byte
+    little-endian payload length, the payload's CRC-32, then the payload.
+    Records are redo entries — the in-memory operation is applied first and
+    the record written after, so recovery replays the log forward.
+
+    A crash can tear the last record (short write); {!open_} detects the
+    torn tail by length/CRC validation and truncates the file back to the
+    last valid record.  Exported probes: [wal_appends_total],
+    [wal_fsyncs_total], [wal_torn_tails_total]. *)
+
+type t
+
+val open_ : ?fsync:bool -> string -> t * string list
+(** [open_ path] opens (creating if needed) the log, validates it, cuts
+    any torn tail, and returns the handle positioned for append together
+    with the surviving records, oldest first.  [fsync] (default [true])
+    makes every {!append} and {!reset} durable before returning. *)
+
+val append : t -> string -> unit
+(** Append one record (and fsync it when the log was opened with
+    [~fsync:true]).  This is the commit point of the operation the record
+    describes. *)
+
+val sync : t -> unit
+(** Explicit fsync (useful with [~fsync:false] batching). *)
+
+val reset : t -> unit
+(** Truncate the log to empty — called after a snapshot made its records
+    redundant. *)
+
+val appended : t -> int
+(** Records appended through this handle. *)
+
+val path : t -> string
+val close : t -> unit
+
+val records : string -> string list
+(** Read-only scan of a log file: the valid records, oldest first, torn
+    tail excluded.  Does not modify the file. *)

@@ -232,3 +232,69 @@ Witness words.
   $ ../bin/iexpr.exe witness "(a - b) & (b - a)"
   no complete word found within the bound
   [1]
+
+Durable manager: --store attaches a write-ahead-logged store; a restart
+replays the log (RECOVERED counts the records), SNAPSHOT truncates it so
+later restarts replay only the suffix.
+
+  $ printf 'EXECUTE u a\nQUIT\n' | ../bin/imanager.exe --store st "a - b - c"
+  READY 5
+  RECOVERED 0
+  EXECUTED
+
+  $ printf 'SNAPSHOT\nEXECUTE u b\nLOG\nQUIT\n' | ../bin/imanager.exe --store st "a - b - c"
+  READY 5
+  RECOVERED 1
+  OK
+  EXECUTED
+  a
+  b
+  OK
+
+  $ printf 'LOG\nQUIT\n' | ../bin/imanager.exe --store st "a - b - c"
+  READY 5
+  RECOVERED 1
+  a
+  b
+  OK
+
+A store belongs to its expression.
+
+  $ printf 'QUIT\n' | ../bin/imanager.exe --store st "x - y"
+  READY 3
+  imanager: Durable.open_: store belongs to a different expression
+  [1]
+
+Sharded mode logs per shard under the same root.
+
+  $ printf 'EXECUTE u a\nEXECUTE u c\nQUIT\n' \
+  >   | ../bin/imanager.exe --domains 2 --store shst "(a - b) @ (c - d)"
+  READY 7
+  SHARDS 2 DOMAINS 2
+  RECOVERED 0
+  EXECUTED
+  EXECUTED
+
+  $ printf 'LOG\nQUIT\n' | ../bin/imanager.exe --domains 2 --store shst "(a - b) @ (c - d)"
+  READY 7
+  SHARDS 2 DOMAINS 2
+  RECOVERED 2
+  a
+  c
+  OK
+
+The workbench's save-store/recover do the same for a single session.
+
+  $ printf 'do a\nsave-store wb\ndo b\nquit\n' | ../bin/iworkbench.exe "a - b - c" | cat
+  loaded: a - b - c
+  > Accept.
+  > store attached: wb (snapshot written, accepted actions now logged)
+  > Accept.
+  > bye
+
+  $ printf 'recover wb\ntrace\ndo c\nquit\n' | ../bin/iworkbench.exe | cat
+  iworkbench — type `help` for commands
+  > recovered: a - b - c (2 actions in trace, 1 WAL record(s) replayed)
+  > a b
+  > Accept. (complete)
+  > bye

@@ -1,0 +1,520 @@
+(* Crash-injection matrix for the durable interaction manager.
+
+   A scripted medical-suite session drives a {!Durable} manager and an
+   independent in-memory {!Manager} oracle in lockstep.  The WAL is then
+   cut at *every* record boundary — plus torn mid-record cuts and a
+   CRC-corrupted record — and each cut is recovered into a fresh manager,
+   which must be observationally equivalent to the oracle at the matching
+   point of the script: same permitted answers, confirmed log,
+   subscriptions, outstanding grant, counters, and queue contents.
+
+   The only licensed difference is the recovery requeue: the process
+   death is a receiver crash for every inbox, so the recovered queues
+   hold the oracle's in-flight envelopes back in front of its pending
+   ones (deliveries counts intact), and nothing in flight. *)
+
+open Interaction
+open Interaction_manager
+module Store = Interaction_store.Store
+module Wal = Interaction_store.Wal
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_strs = Alcotest.(check (list string))
+
+(* ---- scratch directories ------------------------------------------ *)
+
+let dir_seq = ref 0
+
+let fresh_dir () =
+  incr dir_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "irecovery-%d-%d" (Unix.getpid ()) !dir_seq)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let wal_path dir = Filename.concat dir "wal.log"
+let snap_path dir = Filename.concat dir "snapshot.sexp"
+
+(* A store copy whose WAL is the first [cut] bytes of the original — the
+   crash image "the disk held when the process died". *)
+let cut_store ~src ~cut =
+  let dst = fresh_dir () in
+  Unix.mkdir dst 0o755;
+  if Sys.file_exists (snap_path src) then
+    write_file (snap_path dst) (read_file (snap_path src));
+  let wal = read_file (wal_path src) in
+  write_file (wal_path dst) (String.sub wal 0 (min cut (String.length wal)));
+  dst
+
+(* Byte offsets of the record boundaries of a WAL file, starting with 0;
+   element [k] is where the [k]-th record begins (last element = end of
+   the valid log). *)
+let boundaries wal =
+  let len = String.length wal in
+  let rec go pos acc =
+    if pos + 8 > len then List.rev (pos :: acc)
+    else
+      let l = Int32.to_int (String.get_int32_le wal pos) in
+      if pos + 8 + l > len then List.rev (pos :: acc)
+      else go (pos + 8 + l) (pos :: acc)
+  in
+  go 0 []
+
+let is_op r = String.length r >= 2 && String.sub r 0 2 = "(r"
+
+(* ---- the scripted session ----------------------------------------- *)
+
+type step =
+  | Ask of string * Action.concrete
+  | Confirm of string * Action.concrete
+  | Abort of string * Action.concrete
+  | Execute of string * Action.concrete
+  | Timeout
+  | Subscribe of string * Action.concrete
+  | Unsubscribe of string * Action.concrete
+  | Recv of string
+  | Ackn of string
+  | Drain of string
+  | CrashRecv of string
+
+let apply_durable d = function
+  | Ask (client, a) -> ignore (Durable.ask d ~client a)
+  | Confirm (client, a) -> Durable.confirm d ~client a
+  | Abort (client, a) -> Durable.abort d ~client a
+  | Execute (client, a) -> ignore (Durable.execute d ~client a)
+  | Timeout -> Durable.timeout_outstanding d
+  | Subscribe (client, a) -> Durable.subscribe d ~client a
+  | Unsubscribe (client, a) -> Durable.unsubscribe d ~client a
+  | Recv client -> ignore (Durable.receive_notification d ~client)
+  | Ackn client -> Durable.ack_notification d ~client
+  | Drain client -> ignore (Durable.drain_notifications d ~client)
+  | CrashRecv client -> Durable.crash_client d ~client
+
+let apply_oracle m = function
+  | Ask (client, a) -> ignore (Manager.ask m ~client a)
+  | Confirm (client, a) -> Manager.confirm m ~client a
+  | Abort (client, a) -> Manager.abort m ~client a
+  | Execute (client, a) -> ignore (Manager.execute m ~client a)
+  | Timeout -> Manager.timeout_outstanding m
+  | Subscribe (client, a) -> Manager.subscribe m ~client a
+  | Unsubscribe (client, a) -> Manager.unsubscribe m ~client a
+  | Recv client -> ignore (Mqueue.receive_envelope (Manager.inbox m ~client))
+  | Ackn client -> Mqueue.ack (Manager.inbox m ~client)
+  | Drain client -> ignore (Manager.drain_notifications m ~client)
+  | CrashRecv client -> Mqueue.crash_receiver (Manager.inbox m ~client)
+
+let a name p x = Action.conc name [ p; x ]
+
+(* Two patients under the capacity-1 medical constraint: enough
+   contention for denials and Busy replies, plus the full subscription
+   machinery with an unacknowledged in-flight envelope left at the end
+   (so recovery's requeue path is always exercised at the final cut).
+   The compiled constraint graphs split every activity into a start and
+   a terminate action, hence the [_s]/[_t] suffixes. *)
+let script =
+  [ Subscribe ("worklist", a "call_s" "p1" "sono");
+    Subscribe ("worklist", a "perform_s" "p1" "sono");
+    Execute ("wfms-p1", a "prepare_s" "p1" "sono");
+    Execute ("wfms-p1", a "prepare_t" "p1" "sono");
+    Ask ("wfms-p1", a "call_s" "p1" "sono");
+    Ask ("wfms-p2", a "call_s" "p2" "endo");   (* critical region: Busy *)
+    Confirm ("wfms-p1", a "call_s" "p1" "sono");
+    Recv "worklist";                           (* in flight, never acked *)
+    Execute ("wfms-p2", a "call_s" "p2" "endo");  (* capacity 1: denied *)
+    Execute ("wfms-p1", a "call_t" "p1" "sono");
+    Ask ("wfms-p1", a "perform_s" "p1" "sono");
+    Abort ("wfms-p1", a "perform_s" "p1" "sono");
+    Execute ("wfms-p1", a "order" "p1" "sono");  (* foreign: open world *)
+    Execute ("wfms-p1", a "perform_s" "p1" "sono");
+    Execute ("wfms-p1", a "perform_t" "p1" "sono");
+    Recv "worklist";
+    CrashRecv "worklist";                      (* both requeued *)
+    Recv "worklist";                           (* deliveries >= 2 *)
+    Ackn "worklist";
+    Drain "worklist";
+    Subscribe ("wfms-p2", a "call_s" "p2" "endo");
+    Execute ("wfms-p2", a "call_s" "p2" "endo");  (* capacity free now *)
+    Ask ("wfms-p2", a "call_t" "p2" "endo");
+    Timeout;
+    Unsubscribe ("worklist", a "call_s" "p1" "sono");
+    Execute ("wfms-p2", a "call_t" "p2" "endo");
+    Recv "wfms-p2"                             (* left in flight at the end *)
+  ]
+
+let expr () = Wfms.Medical.combined_constraint ~capacity:1 ()
+
+let probes =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun p -> List.map (a n p) [ "sono"; "endo" ])
+        [ "p1"; "p2" ])
+    [ "prepare_s"; "prepare_t"; "call_s"; "call_t"; "perform_s"; "perform_t";
+      "inform_s"; "inform_t" ]
+
+(* ---- observational equivalence ------------------------------------ *)
+
+let env_strs envs =
+  List.map
+    (fun e -> Sexp.to_string (Mqueue.envelope_to_sexp Manager.notification_to_sexp e))
+    envs
+
+let sub_strs m =
+  List.map
+    (fun (c, act, last) ->
+      Printf.sprintf "%s %s %b" c (Action.concrete_to_string act) last)
+    (Manager.subscriptions m)
+
+let out_str m =
+  match Manager.outstanding m with
+  | None -> "-"
+  | Some (c, act) -> c ^ " " ^ Action.concrete_to_string act
+
+let stats_t = Alcotest.testable Manager.pp_stats ( = )
+
+(* [recovered] must behave exactly like [oracle] — modulo the recovery
+   requeue when the oracle has envelopes in flight. *)
+let check_equiv msg oracle recovered =
+  List.iter
+    (fun act ->
+      check_bool
+        (msg ^ ": permitted " ^ Action.concrete_to_string act)
+        (Manager.permitted oracle act)
+        (Manager.permitted recovered act))
+    probes;
+  check_strs (msg ^ ": confirmed log")
+    (List.map Action.concrete_to_string (Manager.confirmed_log oracle))
+    (List.map Action.concrete_to_string (Manager.confirmed_log recovered));
+  check_strs (msg ^ ": subscriptions") (sub_strs oracle) (sub_strs recovered);
+  check_str (msg ^ ": outstanding grant") (out_str oracle) (out_str recovered);
+  Alcotest.check stats_t (msg ^ ": stats") (Manager.stats oracle)
+    (Manager.stats recovered);
+  let clients = Manager.inbox_clients oracle in
+  check_strs (msg ^ ": inbox clients") clients (Manager.inbox_clients recovered);
+  let requeued =
+    List.exists
+      (fun c -> Mqueue.in_flight (Manager.inbox oracle ~client:c) > 0)
+      clients
+  in
+  List.iter
+    (fun c ->
+      let oq = Manager.inbox oracle ~client:c in
+      let rq = Manager.inbox recovered ~client:c in
+      let expect_pending =
+        if requeued then
+          Mqueue.flight_envelopes oq @ Mqueue.pending_envelopes oq
+        else Mqueue.pending_envelopes oq
+      in
+      check_strs
+        (msg ^ ": pending of " ^ c)
+        (env_strs expect_pending)
+        (env_strs (Mqueue.pending_envelopes rq));
+      check_int (msg ^ ": in flight of " ^ c)
+        (if requeued then 0 else Mqueue.in_flight oq)
+        (Mqueue.in_flight rq);
+      check_int (msg ^ ": sent of " ^ c) (Mqueue.sent_count oq)
+        (Mqueue.sent_count rq);
+      check_int
+        (msg ^ ": redelivered of " ^ c)
+        (Mqueue.redelivered_count oq)
+        (Mqueue.redelivered_count rq))
+    clients
+
+(* ---- driving the session ------------------------------------------ *)
+
+(* Run the script against a durable manager and the oracle in lockstep,
+   asserting full-image agreement after every step, and record the
+   oracle's image at every WAL op count (the key recovery needs: a cut
+   containing j op records must recover to the oracle after j logged
+   operations).  [snapshot_at] takes a mid-script snapshot, resetting
+   the WAL — the recorded op counts restart, and lookups take the most
+   recent entry, which is the one counted from the surviving snapshot. *)
+let drive ?snapshot_at dir =
+  let e = expr () in
+  let d = Durable.open_ ~fsync:false ~dir e in
+  let oracle = Manager.create e in
+  let imgs = ref [ (0, Sexp.to_string (Manager.image oracle)) ] in
+  List.iteri
+    (fun i step ->
+      Telemetry.with_trace (100 + i)
+        (fun () ->
+          apply_durable d step;
+          apply_oracle oracle step);
+      check_str
+        (Printf.sprintf "lockstep after step %d" i)
+        (Sexp.to_string (Manager.image oracle))
+        (Sexp.to_string (Manager.image (Durable.manager d)));
+      (match snapshot_at with
+      | Some j when j = i -> Durable.snapshot d
+      | _ -> ());
+      let ops = List.length (List.filter is_op (Wal.records (wal_path dir))) in
+      imgs := (ops, Sexp.to_string (Manager.image oracle)) :: !imgs)
+    script;
+  Durable.close d;
+  (oracle, !imgs (* newest first: List.assoc finds the latest for a count *))
+
+let img_for imgs j =
+  match List.assoc_opt j imgs with
+  | Some img -> img
+  | None -> Alcotest.failf "no oracle image recorded for op count %d" j
+
+let recover_cut ?(reopen = false) ~msg ~e ~src ~cut imgs =
+  let dst = cut_store ~src ~cut in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dst)
+    (fun () ->
+      let recs = Wal.records (wal_path dst) in
+      let j = List.length (List.filter is_op recs) in
+      let oracle = Manager.of_image (Sexp.of_string_exn (img_for imgs j)) in
+      let d = Durable.open_ ~fsync:false ~dir:dst e in
+      check_equiv msg oracle (Durable.manager d);
+      Durable.close d;
+      if reopen then begin
+        (* recovery must itself be durable: the requeue it performed was
+           logged, so a second crash straight after recovers identically *)
+        let d2 = Durable.open_ ~fsync:false ~dir:dst e in
+        check_equiv (msg ^ " (reopened)") oracle (Durable.manager d2);
+        Durable.close d2
+      end)
+
+let matrix ?snapshot_at name =
+  t name (fun () ->
+      let src = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf src)
+        (fun () ->
+          let oracle, imgs = drive ?snapshot_at src in
+          (* the script must actually exercise the interesting machinery *)
+          check_bool "script leaves an envelope in flight" true
+            (List.exists
+               (fun c -> Mqueue.in_flight (Manager.inbox oracle ~client:c) > 0)
+               (Manager.inbox_clients oracle));
+          check_bool "script commits actions" true
+            (List.length (Manager.confirmed_log oracle) >= 4);
+          check_bool "script redelivers" true
+            (List.exists
+               (fun c ->
+                 Mqueue.redelivered_count (Manager.inbox oracle ~client:c) > 0)
+               (Manager.inbox_clients oracle));
+          let wal = read_file (wal_path src) in
+          let bounds = boundaries wal in
+          check_bool "several records to cut at" true (List.length bounds > 10);
+          let last = List.length bounds - 1 in
+          List.iteri
+            (fun k off ->
+              (* kill exactly at the record boundary *)
+              recover_cut ~reopen:(k = last)
+                ~msg:(Printf.sprintf "cut at record %d" k)
+                ~e:(expr ()) ~src ~cut:off imgs;
+              (* torn header: a few bytes of the next record's frame *)
+              if k < last then
+                recover_cut
+                  ~msg:(Printf.sprintf "torn header after record %d" k)
+                  ~e:(expr ()) ~src ~cut:(off + 3) imgs;
+              (* torn payload: the next record short by one byte *)
+              if k < last then
+                let next = List.nth bounds (k + 1) in
+                recover_cut
+                  ~msg:(Printf.sprintf "torn payload after record %d" k)
+                  ~e:(expr ()) ~src ~cut:(next - 1) imgs)
+            bounds))
+
+let corrupt =
+  t "corrupt byte: CRC rejects the record and everything after" (fun () ->
+      let src = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf src)
+        (fun () ->
+          let _oracle, imgs = drive src in
+          let wal = read_file (wal_path src) in
+          let bounds = Array.of_list (boundaries wal) in
+          let n = Array.length bounds - 1 in
+          (* flip one payload byte of a record in the middle of the log *)
+          let k = n / 2 in
+          let pos = bounds.(k) + 8 in
+          let mutated = Bytes.of_string wal in
+          Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor 0xff));
+          let dst = fresh_dir () in
+          Unix.mkdir dst 0o755;
+          write_file (wal_path dst) (Bytes.to_string mutated);
+          Fun.protect
+            ~finally:(fun () -> rm_rf dst)
+            (fun () ->
+              (* only the records before the corruption survive *)
+              let recs = Wal.records (wal_path dst) in
+              check_int "records truncated at the corruption" k
+                (List.length recs);
+              let j = List.length (List.filter is_op recs) in
+              let oracle =
+                Manager.of_image (Sexp.of_string_exn (img_for imgs j))
+              in
+              let d = Durable.open_ ~fsync:false ~dir:dst (expr ()) in
+              check_equiv "corrupt cut" oracle (Durable.manager d);
+              Durable.close d)))
+
+let store_guards =
+  [ t "empty store bootstraps a fresh manager" (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let e = expr () in
+            let d = Durable.open_ ~fsync:false ~dir e in
+            check_int "nothing replayed" 0 (Durable.replayed d);
+            check_str "same image as a fresh manager"
+              (Sexp.to_string (Manager.image (Manager.create e)))
+              (Sexp.to_string (Manager.image (Durable.manager d)));
+            Durable.close d));
+    t "store of a different expression is refused" (fun () ->
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let d = Durable.open_ ~fsync:false ~dir (expr ()) in
+            Durable.snapshot d;
+            Durable.close d;
+            Alcotest.check_raises "refused"
+              (Invalid_argument
+                 "Durable.open_: store belongs to a different expression")
+              (fun () ->
+                ignore
+                  (Durable.open_ ~fsync:false ~dir
+                     Wfms.Medical.patient_constraint))));
+    t "crash between snapshot rename and WAL truncation" (fun () ->
+        (* the one ordering window of Store.snapshot: the new snapshot is
+           durably renamed in, but the process dies before the WAL reset —
+           reopening sees the snapshot plus a log it already covers, and
+           replaying that log would apply every operation twice.  The
+           crash image is reconstructed from parts: the WAL of a store
+           that never snapshotted, under the snapshot of its twin that
+           did. *)
+        let dir = fresh_dir () and crash = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () ->
+            rm_rf dir;
+            rm_rf crash)
+          (fun () ->
+            let e = expr () in
+            let d = Durable.open_ ~fsync:false ~dir e in
+            let a = Action.conc "call_s" [ "p1"; "sono" ] in
+            let b = Action.conc "call_t" [ "p1"; "sono" ] in
+            Durable.subscribe d ~client:"w" a;
+            check_bool "a commits" true (Durable.execute d ~client:"wf" a);
+            check_bool "b commits" true (Durable.execute d ~client:"wf" b);
+            let oracle = Sexp.to_string (Manager.image (Durable.manager d)) in
+            let covered_wal = read_file (wal_path dir) in
+            Durable.snapshot d;
+            Durable.close d;
+            Unix.mkdir crash 0o755;
+            write_file (snap_path crash) (read_file (snap_path dir));
+            write_file (wal_path crash) covered_wal;
+            let r = Durable.open_ ~fsync:false ~dir:crash e in
+            check_int "covered records are not replayed" 0 (Durable.replayed r);
+            check_str "image matches the snapshot, not a double application"
+              oracle
+              (Sexp.to_string (Manager.image (Durable.manager r)));
+            check_strs "confirmed log is not doubled"
+              (List.map Action.concrete_to_string [ a; b ])
+              (List.map Action.concrete_to_string
+                 (Manager.confirmed_log (Durable.manager r)));
+            Durable.close r))
+  ]
+
+(* ---- random scripts: recovery equivalence as a property ------------ *)
+
+let qcheck_recovery =
+  let gen =
+    QCheck.make
+      ~print:(fun (steps, cut) ->
+        Printf.sprintf "steps=%s cut=%d"
+          (String.concat ","
+             (List.map
+                (fun (k, c, x) -> Printf.sprintf "%d:%d:%d" k c x)
+                steps))
+          cut)
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 1 25)
+             (triple (int_range 0 5) (int_range 0 2) (int_range 0 3)))
+          (int_range 0 200))
+  in
+  QCheck.Test.make ~name:"random session: every cut recovers to the oracle"
+    ~count:30 gen (fun (steps, cutpick) ->
+      let e = Syntax.parse_exn "mutex(a - b, c - d)" in
+      let acts = [| Action.conc "a" []; Action.conc "b" []; Action.conc "c" []; Action.conc "d" [] |] in
+      let clients = [| "c0"; "c1"; "c2" |] in
+      let dir = fresh_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let d = Durable.open_ ~fsync:false ~dir e in
+          let oracle = Manager.create e in
+          let imgs = ref [ (0, Sexp.to_string (Manager.image oracle)) ] in
+          List.iteri
+            (fun i (kind, ci, ai) ->
+              let client = clients.(ci) in
+              let act = acts.(ai) in
+              let step =
+                match kind with
+                | 0 -> Some (Execute (client, act))
+                | 1 -> Some (Subscribe (client, act))
+                | 2 -> Some (Recv client)
+                | 3 ->
+                  (* ack only when something is in flight (else it raises);
+                     probe without creating the inbox as a side effect *)
+                  if
+                    List.mem client (Manager.inbox_clients oracle)
+                    && Mqueue.in_flight (Manager.inbox oracle ~client) > 0
+                  then Some (Ackn client)
+                  else None
+                | 4 -> Some (CrashRecv client)
+                | _ -> Some (Unsubscribe (client, act))
+              in
+              match step with
+              | None -> ()
+              | Some step ->
+                Telemetry.with_trace (1000 + i)
+                  (fun () ->
+                    apply_durable d step;
+                    apply_oracle oracle step);
+                let ops =
+                  List.length (List.filter is_op (Wal.records (wal_path dir)))
+                in
+                imgs := (ops, Sexp.to_string (Manager.image oracle)) :: !imgs)
+            steps;
+          Durable.close d;
+          let wal = read_file (wal_path dir) in
+          let bounds = Array.of_list (boundaries wal) in
+          let cut = bounds.(cutpick mod Array.length bounds) in
+          recover_cut ~msg:"random cut" ~e ~src:dir ~cut !imgs;
+          true))
+
+let () =
+  Alcotest.run "recovery"
+    [ ("matrix", [ matrix "every record boundary, no snapshot";
+                   matrix ~snapshot_at:11 "every record boundary, mid-script snapshot" ]);
+      ("corruption", [ corrupt ]);
+      ("guards", store_guards);
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_recovery ])
+    ]
