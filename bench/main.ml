@@ -15,7 +15,7 @@
                                             check against the prefix oracle
                                             (exit 1 on divergence)
 
-   Every run also writes BENCH_pr6.json: the machine-readable per-experiment
+   Every run also writes BENCH_pr7.json: the machine-readable per-experiment
    numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
    that accumulate the perf trajectory across PRs.  The file is
    deterministic (sorted keys) and self-describing (schema version plus
@@ -74,7 +74,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 6
+let bench_schema_version = 7
 
 let write_bench_json ~domains file =
   let meta =
@@ -1396,6 +1396,106 @@ let crash_smoke () =
   pf "crash smoke: %d cuts, every recovery matches its prefix oracle@."
     (List.length boundaries)
 
+(* ------------------------------------------- latency attribution ----- *)
+
+(* Scripted request traffic whose whole causal chain is traced: every
+   request mints its own trace id, is staged through an Mqueue (the
+   enqueue->dequeue gap is its queue wait), then runs on a durable
+   manager (engine.eval under manager.execute, wal.append on commit).
+   The run then re-analyzes its own bench_trace.jsonl with the same
+   lib/trace code `itrace` ships and records the attribution totals —
+   CI fails the smoke if the trace ever grows orphaned spans or stops
+   splitting into queue / engine / manager / WAL segments. *)
+let latency_smoke ~flush_trace () =
+  header "LAT" "latency attribution smoke: queued requests on a durable manager"
+    "not in the paper — engineering: the telemetry artifact must explain its own latency";
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ibench-lat-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  let d = Dur.open_ ~fsync:false ~dir:root (Medical.capacity_constraint ~capacity:3 ()) in
+  let q = Mq.create ~name:"requests" in
+  let patients = List.init 4 (fun i -> Medical.patient (i + 1)) in
+  let script =
+    List.concat_map
+      (fun nm -> List.map (fun p -> (p, act nm [ p; "sono" ])) patients)
+      [ "call_s"; "call_t"; "perform_s"; "perform_t" ]
+  in
+  (* batch-enqueue, then drain: each request waits behind its
+     predecessors, so every trace carries a non-trivial queue segment;
+     the capacity-3 ward denies some requests, so denial flags show up
+     in the attribution too *)
+  List.iter
+    (fun req -> Telemetry.in_new_trace (fun () -> Mq.send q req))
+    script;
+  let committed = ref 0 and requests = ref 0 in
+  let rec drain () =
+    match Mq.receive_envelope q with
+    | None -> ()
+    | Some env ->
+      let p, a = Mq.payload env in
+      incr requests;
+      Telemetry.with_trace (Mq.trace env) (fun () ->
+          if Dur.execute d ~client:("wf-" ^ p) a then incr committed);
+      Mq.ack q;
+      drain ()
+  in
+  drain ();
+  Dur.close d;
+  rm_rf root;
+  flush_trace ();
+  (* self-analysis: everything the smoke run emitted so far, this
+     workload included, through the itrace pipeline *)
+  let module T = Interaction_trace in
+  let src = T.Source.of_file "bench_trace.jsonl" in
+  let forest = T.Spantree.build src.T.Source.events in
+  let attribs = T.Attrib.of_events src.T.Source.events forest in
+  let sum f = List.fold_left (fun acc a -> acc + f a) 0 attribs in
+  record "latency" "requests" (float_of_int !requests);
+  record "latency" "committed" (float_of_int !committed);
+  record "latency" "trace_events" (float_of_int forest.T.Spantree.events);
+  record "latency" "bad_lines" (float_of_int src.T.Source.bad_lines);
+  record "latency" "closed_spans" (float_of_int (T.Spantree.closed_count forest));
+  record "latency" "orphans" (float_of_int (T.Spantree.orphans forest));
+  record "latency" "traces" (float_of_int (List.length attribs));
+  record "latency" "queue_ns_total" (float_of_int (sum (fun a -> a.T.Attrib.queue_ns)));
+  record "latency" "engine_ns_total" (float_of_int (sum (fun a -> a.T.Attrib.engine_ns)));
+  record "latency" "manager_ns_total" (float_of_int (sum (fun a -> a.T.Attrib.manager_ns)));
+  record "latency" "wal_ns_total" (float_of_int (sum (fun a -> a.T.Attrib.wal_ns)));
+  record "latency" "denied_traces"
+    (float_of_int (List.length (List.filter (fun a -> a.T.Attrib.denied) attribs)));
+  List.iter
+    (fun (s : T.Report.op_stat) ->
+      match s.T.Report.op with
+      | "manager.execute" | "engine.eval" | "wal.append" | "mqueue.enqueue" ->
+        let k = String.map (fun c -> if c = '.' then '_' else c) s.T.Report.op in
+        record "latency" (k ^ "_p50_ns") (float_of_int s.T.Report.p50);
+        record "latency" (k ^ "_p99_ns") (float_of_int s.T.Report.p99)
+      | _ -> ())
+    (T.Report.op_stats forest);
+  pf "traced %d request(s) (%d committed): %d event(s), %d closed span(s), %d orphan(s), %d trace(s)@."
+    !requests !committed forest.T.Spantree.events
+    (T.Spantree.closed_count forest)
+    (T.Spantree.orphans forest)
+    (List.length attribs);
+  let tq = sum (fun a -> a.T.Attrib.queue_ns)
+  and te = sum (fun a -> a.T.Attrib.engine_ns)
+  and tm = sum (fun a -> a.T.Attrib.manager_ns)
+  and tw = sum (fun a -> a.T.Attrib.wal_ns) in
+  pf "attribution totals (ns): queue=%d engine=%d manager=%d wal=%d@." tq te tm tw;
+  if T.Spantree.orphans forest > 0 || src.T.Source.bad_lines > 0 then begin
+    Format.eprintf
+      "latency smoke: %d orphan(s) / %d bad line(s) in bench_trace.jsonl@."
+      (T.Spantree.orphans forest) src.T.Source.bad_lines;
+    exit 1
+  end;
+  if tq = 0 || te = 0 then begin
+    Format.eprintf
+      "latency smoke: degenerate attribution (queue=%d engine=%d)@." tq te;
+    exit 1
+  end
+
 (* ------------------------------------------------------- bechamel ----- *)
 
 let bechamel () =
@@ -1571,10 +1671,12 @@ let () =
   in
   let domains, args = extract_domains [] args in
   let smoke = List.mem "smoke" args in
+  let trace_oc = ref None in
   if smoke then begin
     (* CI smoke run: collect a telemetry trace alongside the tables, so the
        JSONL artifact exercises the whole sink path on every push *)
     let oc = Out_channel.open_text "bench_trace.jsonl" in
+    trace_oc := Some oc;
     at_exit (fun () -> Out_channel.close oc);
     Telemetry.add_sink (Telemetry.jsonl_sink (output_string oc));
     Telemetry.enable ()
@@ -1610,10 +1712,17 @@ let () =
   (* smoke also cross-checks the compiled kernel against the interpreted
      oracle (sequential always; sharded too when --domains > 1) *)
   if smoke then compiled_smoke ~domains;
+  (* smoke finally replays scripted queued requests under per-request
+     traces and re-analyzes its own JSONL artifact (exit 1 on orphaned
+     spans or degenerate attribution) *)
+  if smoke then
+    latency_smoke
+      ~flush_trace:(fun () -> Option.iter Out_channel.flush !trace_oc)
+      ();
   (* `crash-smoke`: the CI kill–replay–verify canary (exit 1 on divergence,
      diverging store left in ./crash-smoke-store for the artifact upload) *)
   if crash then crash_smoke ();
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr6.json";
-  pf "@.wrote BENCH_pr6.json@.";
+  write_bench_json ~domains "BENCH_pr7.json";
+  pf "@.wrote BENCH_pr7.json@.";
   pf "@."

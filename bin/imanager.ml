@@ -48,9 +48,17 @@
      --no-compile      disable the compiled transition kernel (signature
                        classifier + lazy automaton); every step runs the
                        interpreted transition function.
+     --slow-ms N       tail sampling: buffer each request's event chain
+                       and append it to the slow-trace file when the
+                       request was slower than N ms, denied, or raised
+                       (fast successful requests are discarded whole)
+     --slow-trace FILE where --slow-ms appends captured chains
+                       (default slow_traces.jsonl; analyze with itrace)
 
    Telemetry is enabled at startup: a server wants its counters live, and
-   the cost without a sink is a few counter bumps per request. *)
+   the cost without a sink is a few counter bumps per request.  STATS
+   lines carry estimated execute p50/p99 once the latency histogram has
+   observations. *)
 
 open Interaction
 open Interaction_exec
@@ -164,7 +172,17 @@ let sharded_backend sm =
     b_snapshot =
       (if Sharded.durable sm then Some (fun () -> Sharded.snapshot_all sm) else None) }
 
-let run ~stats_every b =
+(* find-or-create returns the handle Manager registered at init *)
+let exec_hist = Telemetry.histogram "manager_execute_ns"
+
+let latency_suffix () =
+  if Telemetry.histogram_count exec_hist = 0 then ""
+  else
+    Printf.sprintf " execute_p50_ns=%.0f execute_p99_ns=%.0f"
+      (Telemetry.histogram_quantile exec_hist 0.5)
+      (Telemetry.histogram_quantile exec_hist 0.99)
+
+let run ~stats_every ~sampler b =
   let stop = ref false in
   let processed = ref 0 in
   while not !stop do
@@ -259,7 +277,9 @@ let run ~stats_every b =
             (fun a -> out "%s" (Action.concrete_to_string a))
             (b.b_log ());
           out "OK"
-        | "STATS", [] -> out "%a%s" Manager.pp_stats (b.b_stats ()) (b.b_stats_extra ())
+        | "STATS", [] ->
+          out "%a%s%s" Manager.pp_stats (b.b_stats ()) (b.b_stats_extra ())
+            (latency_suffix ())
         | "METRICS", [] ->
           print_string (Telemetry.expose ());
           out "OK"
@@ -267,17 +287,30 @@ let run ~stats_every b =
         | "QUIT", [] -> stop := true
         | _ -> out "ERROR unknown command %S" line
         in
-        if !Telemetry.on then Telemetry.in_new_trace dispatch else dispatch ();
+        let trace = if !Telemetry.on then Telemetry.new_trace () else 0 in
+        if trace = 0 then dispatch () else Telemetry.with_trace trace dispatch;
+        (match sampler with
+        | Some (smp, oc) when trace <> 0 ->
+          if Sampler.finish smp ~trace () then (
+            match Sampler.last_capture smp with
+            | Some (t, evs) when t = trace ->
+              List.iter
+                (fun ev -> output_string oc (Telemetry.event_to_json ev ^ "\n"))
+                evs;
+              flush oc
+            | _ -> ())
+        | _ -> ());
         incr processed;
         if stats_every > 0 && !processed mod stats_every = 0 then
-          Format.eprintf "STATS %a%s@." Manager.pp_stats (b.b_stats ())
-            (b.b_stats_extra ()))
+          Format.eprintf "STATS %a%s%s@." Manager.pp_stats (b.b_stats ())
+            (b.b_stats_extra ()) (latency_suffix ()))
   done
 
 let usage () =
   prerr_endline
     "usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] \
-     [--store DIR] [--no-fsync] [--snapshot-every N] \"<interaction expression>\"";
+     [--store DIR] [--no-fsync] [--snapshot-every N] [--slow-ms N] \
+     [--slow-trace FILE] \"<interaction expression>\"";
   exit 2
 
 let () =
@@ -287,6 +320,8 @@ let () =
   let store = ref None in
   let fsync = ref true in
   let snapshot_every = ref None in
+  let slow_ms = ref None in
+  let slow_trace = ref "slow_traces.jsonl" in
   let rec parse_args = function
     | "--stats-every" :: n :: rest -> (
       match int_of_string_opt n with
@@ -318,6 +353,15 @@ let () =
         snapshot_every := Some n;
         parse_args rest
       | Some _ | None -> usage ())
+    | "--slow-ms" :: n :: rest -> (
+      match float_of_string_opt n with
+      | Some v when v >= 0. ->
+        slow_ms := Some v;
+        parse_args rest
+      | Some _ | None -> usage ())
+    | "--slow-trace" :: file :: rest ->
+      slow_trace := file;
+      parse_args rest
     | [ expr ] -> expr
     | _ -> usage ()
   in
@@ -335,18 +379,27 @@ let () =
         Telemetry.add_sink (Telemetry.jsonl_sink (output_string oc));
         Some oc
     in
+    let sampler =
+      match !slow_ms with
+      | None -> None
+      | Some ms ->
+        let smp = Sampler.create ~slow_ns:(Int64.of_float (ms *. 1e6)) () in
+        Telemetry.add_sink (Sampler.sink smp);
+        Some (smp, Out_channel.open_text !slow_trace)
+    in
     Telemetry.enable ();
     Format.printf "READY %d@." (Expr.size e);
     (try
        if !domains <= 1 then
        match !store with
-       | None -> run ~stats_every:!stats_every (seq_backend (Manager.create e))
+       | None ->
+         run ~stats_every:!stats_every ~sampler (seq_backend (Manager.create e))
        | Some dir ->
          let d =
            Durable.open_ ~fsync:!fsync ?snapshot_every:!snapshot_every ~dir e
          in
          Format.printf "RECOVERED %d@." (Durable.replayed d);
-         run ~stats_every:!stats_every (durable_backend d);
+         run ~stats_every:!stats_every ~sampler (durable_backend d);
          Durable.close d
        else
          Pool.with_pool ~domains:!domains (fun pool ->
@@ -358,10 +411,11 @@ let () =
                (Pool.size pool);
              if Sharded.durable sm then
                Format.printf "RECOVERED %d@." (Sharded.replayed_total sm);
-             run ~stats_every:!stats_every (sharded_backend sm);
+             run ~stats_every:!stats_every ~sampler (sharded_backend sm);
              Sharded.close_stores sm)
      with Invalid_argument m ->
        (* e.g. a store directory written for a different expression *)
        prerr_endline ("imanager: " ^ m);
        exit 1);
-    Option.iter Out_channel.close trace_oc
+    Option.iter Out_channel.close trace_oc;
+    Option.iter (fun (_, oc) -> Out_channel.close oc) sampler

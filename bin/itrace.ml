@@ -1,0 +1,105 @@
+(* itrace — offline latency attribution over exported telemetry JSONL.
+
+   Consumes what the rest of the toolbox produces (`imanager --trace`,
+   `bench smoke`'s bench_trace.jsonl, flight-recorder dumps, tail-sampler
+   capture files), reconstructs the per-request span trees, and reports
+   where the wall time of each request went.
+
+     itrace summary [options] FILE...       ("-" reads stdin)
+
+   Options:
+     --top N           per-trace rows shown (slowest first; default 10)
+     --slow-ms N       flag traces with wall time >= N ms as "slow"
+     --strict          exit 1 on unparseable lines or orphaned spans
+                       (CI mode: a clean sequential run must produce a
+                       perfectly balanced stream)
+     --perfetto FILE   also write a Chrome trace-event JSON export
+                       (load in https://ui.perfetto.dev)
+     --folded FILE     also write flame-graph folded stacks
+                       (feed to flamegraph.pl / speedscope / inferno) *)
+
+open Interaction_trace
+
+let usage () =
+  prerr_endline
+    "usage: itrace summary [--top N] [--slow-ms N] [--strict] [--perfetto FILE] \
+     [--folded FILE] FILE...   (FILE \"-\" = stdin)";
+  exit 2
+
+let () =
+  let top = ref 10 in
+  let slow_ms = ref None in
+  let strict = ref false in
+  let perfetto = ref None in
+  let folded = ref None in
+  let files = ref [] in
+  let rec parse_args = function
+    | "--top" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        top := n;
+        parse_args rest
+      | Some _ | None -> usage ())
+    | "--slow-ms" :: n :: rest -> (
+      match float_of_string_opt n with
+      | Some n when n >= 0. ->
+        slow_ms := Some n;
+        parse_args rest
+      | Some _ | None -> usage ())
+    | "--strict" :: rest ->
+      strict := true;
+      parse_args rest
+    | "--perfetto" :: file :: rest ->
+      perfetto := Some file;
+      parse_args rest
+    | "--folded" :: file :: rest ->
+      folded := Some file;
+      parse_args rest
+    | f :: rest ->
+      if String.length f > 2 && String.sub f 0 2 = "--" then usage ();
+      files := f :: !files;
+      parse_args rest
+    | [] -> ()
+  in
+  (match Array.to_list Sys.argv with
+  | _ :: "summary" :: rest -> parse_args rest
+  | _ -> usage ());
+  let files = List.rev !files in
+  if files = [] then usage ();
+  let src =
+    Source.concat
+      (List.map
+         (fun f ->
+           if f = "-" then Source.of_channel stdin
+           else
+             try Source.of_file f
+             with Sys_error m ->
+               prerr_endline ("itrace: " ^ m);
+               exit 2)
+         files)
+  in
+  let slow_ns =
+    Option.map (fun ms -> int_of_float (ms *. 1e6)) !slow_ms
+  in
+  print_string (Report.summary ~top:!top ?slow_ns ~files src);
+  let forest = Spantree.build src.Source.events in
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Perfetto.to_string forest));
+      Printf.printf "perfetto export: %s\n" file)
+    !perfetto;
+  Option.iter
+    (fun file ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Folded.to_string forest));
+      Printf.printf "folded stacks: %s\n" file)
+    !folded;
+  if
+    !strict
+    && (src.Source.bad_lines > 0 || Spantree.orphans forest > 0)
+  then begin
+    Printf.eprintf "itrace: strict: %d bad line(s), %d orphan(s)\n"
+      src.Source.bad_lines (Spantree.orphans forest);
+    exit 1
+  end

@@ -27,6 +27,9 @@ type env = {
      Engine.save image, and every accepted do/force appends one WAL record,
      so a crashed workbench session replays to where it stopped *)
   mutable store : Store.t option;
+  (* tail sampler armed by --slow-ms: each command line runs in its own
+     trace and slow/raised chains are retained (`slow` inspects them) *)
+  sampler : Sampler.t option;
 }
 
 let detach env = env.mirror <- None
@@ -85,6 +88,7 @@ let help () =
     \  save-store <dir>   attach a durable store: snapshot now, WAL every action@.\
     \  recover <dir>      rebuild the session from a store (snapshot + replay)@.\
     \  telemetry on|off   collect events into a bounded ring buffer@.\
+    \  slow [file]        tail-sampler captures (--slow-ms); export as JSONL@.\
     \  metrics            Prometheus-style counters, caches, watermarks@.\
     \  compile            compiled-kernel status: automaton shape, step counters@.\
     \  help, quit"
@@ -336,6 +340,24 @@ let command env line =
       Telemetry.disable ();
       out "telemetry disabled"
     | _ -> out "usage: telemetry on|off")
+  | "slow" -> (
+    match env.sampler with
+    | None -> out "tail sampler is off (start with --slow-ms N)"
+    | Some smp ->
+      if rest <> "" then begin
+        let n =
+          Out_channel.with_open_text rest (fun oc ->
+              Sampler.dump_jsonl smp (output_string oc))
+        in
+        out "wrote %d event(s) from %d capture(s) to %s (analyze with itrace)" n
+          (List.length (Sampler.captures smp))
+          rest
+      end
+      else
+        out "considered %d, captured %d, discarded %d (%d event(s) dropped)"
+          (Sampler.considered smp) (Sampler.captured smp)
+          (Sampler.discarded smp)
+          (Sampler.dropped_events smp))
   | "metrics" -> print_string (Telemetry.expose ())
   | "compile" ->
     out "compilation: %s" (if State.compilation () then "on" else "off");
@@ -354,31 +376,69 @@ let command env line =
   | "quit" | "exit" -> raise Exit
   | other -> out "unknown command %S (try: help)" other
 
+let usage_exit () =
+  prerr_endline
+    "usage: iworkbench [--domains N] [--no-compile] [--slow-ms N] \
+     [\"<expression>\"]";
+  exit 2
+
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   let no_compile, args = List.partition (String.equal "--no-compile") args in
   if no_compile <> [] then State.set_compilation false;
+  let slow_ms, args =
+    let rec extract acc = function
+      | "--slow-ms" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some v when v >= 0. -> (Some v, List.rev_append acc rest)
+        | Some _ | None -> usage_exit ())
+      | [ "--slow-ms" ] -> usage_exit ()
+      | x :: rest -> extract (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    extract [] args
+  in
   let domains, initial =
     match args with
     | "--domains" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n > 0 -> (n, rest)
-      | Some _ | None ->
-        prerr_endline "usage: iworkbench [--domains N] [--no-compile] [\"<expression>\"]";
-        exit 2)
+      | Some _ | None -> usage_exit ())
     | rest -> (1, rest)
   in
   let pool = if domains > 1 then Some (Pool.create ~domains) else None in
-  let env = { session = None; pool; mirror = None; store = None } in
+  let sampler =
+    Option.map
+      (fun ms ->
+        let smp = Sampler.create ~slow_ns:(Int64.of_float (ms *. 1e6)) () in
+        Telemetry.add_sink (Sampler.sink smp);
+        Telemetry.enable ();
+        out "tail sampler on: capturing command chains slower than %gms (or raised)"
+          ms;
+        smp)
+      slow_ms
+  in
+  let env = { session = None; pool; mirror = None; store = None; sampler } in
   (match initial with
   | [ expr ] -> command env ("load " ^ expr)
   | _ -> out "iworkbench — type `help` for commands");
+  (* with the sampler armed, each command line is one request: its events
+     share a fresh trace id and the chain's fate is decided at the end *)
+  let run_line line =
+    match env.sampler with
+    | None -> command env line
+    | Some smp ->
+      let trace = Telemetry.new_trace () in
+      Telemetry.with_trace trace (fun () -> command env line);
+      if Sampler.finish smp ~trace () then
+        out "(slow-capture: trace %d retained — see `slow`)" trace
+  in
   (try
      while true do
        print_string "> ";
        match In_channel.input_line stdin with
        | None -> raise Exit
-       | Some line -> command env line
+       | Some line -> run_line line
      done
    with Exit -> out "bye");
   Option.iter Store.close env.store;

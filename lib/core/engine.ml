@@ -170,7 +170,8 @@ let try_action s c =
   else begin
     let t0 = Telemetry.now () in
     let ok = try_action_unobserved s c in
-    Telemetry.observe m_try_ns (Int64.sub (Telemetry.now ()) t0);
+    let dur = Int64.sub (Telemetry.now ()) t0 in
+    Telemetry.observe m_try_ns dur;
     Telemetry.incr m_actions;
     Telemetry.incr (if ok then m_accepted else m_rejected);
     let size = match s.state with Some st -> State.size st | None -> 0 in
@@ -181,7 +182,8 @@ let try_action s c =
         [ ("action", Telemetry.Str (Action.concrete_to_string c));
           ("ok", Telemetry.Bool ok);
           ("commit", Telemetry.Bool ok);
-          ("state_size", Telemetry.Int size) ];
+          ("state_size", Telemetry.Int size);
+          ("dur_ns", Telemetry.Int (Int64.to_int dur)) ];
     ok
   end
 

@@ -127,13 +127,18 @@ let mgr_trans t s c =
 (* a fresh τ̂ evaluation: the kernel-evaluation link of the causal chain —
    one event per evaluation (cache hits re-use the recorded one) *)
 let eval_trans t s c =
-  let succ = mgr_trans t s c in
-  if !Telemetry.on then
+  if not !Telemetry.on then mgr_trans t s c
+  else begin
+    let t0 = Telemetry.now () in
+    let succ = mgr_trans t s c in
+    let dur = Int64.to_int (Int64.sub (Telemetry.now ()) t0) in
     Telemetry.event "engine.eval"
       ~fields:
         [ ("action", Telemetry.Str (Action.concrete_to_string c));
-          ("ok", Telemetry.Bool (succ <> None)) ];
-  succ
+          ("ok", Telemetry.Bool (succ <> None));
+          ("dur_ns", Telemetry.Int dur) ];
+    succ
+  end
 
 let tentative_trans t s c =
   (* the manager's cache obeys the same kill switch as the engine's: the

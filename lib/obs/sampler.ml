@@ -1,0 +1,152 @@
+(* Tail-based slow-request sampler — see sampler.mli for the contract.
+
+   The decision structure is the point: a head sampler decides at the
+   start of a request (and so keeps a uniform, mostly-boring sample),
+   while this one buffers everything and decides at the end, when the
+   latency and the verdict are known.  The price is bounded memory per
+   in-flight trace, paid only while telemetry is on. *)
+
+type buf = {
+  mutable evs : Telemetry.event list;  (* newest first *)
+  mutable n : int;
+  mutable flagged : bool;
+  mutable first_ts : int64;
+  mutable last_ts : int64;
+}
+
+type t = {
+  mutable slow_ns : int64;
+  per_trace_cap : int;
+  max_live : int;
+  max_captured : int;
+  flag_names : string list;
+  live : (int, buf) Hashtbl.t;
+  mutable caps : (int * Telemetry.event list) list;  (* newest first *)
+  mutable n_caps : int;
+  mutable considered : int;
+  mutable captured : int;
+  mutable discarded : int;
+  mutable dropped : int;
+  lock : Mutex.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let default_flag_names = [ "manager.denied"; "workitem.denied"; "sentinel.warning" ]
+
+let create ?(per_trace_cap = 512) ?(max_live = 1024) ?(max_captured = 64)
+    ?(flag_names = default_flag_names) ~slow_ns () =
+  let t =
+    { slow_ns;
+      per_trace_cap = max 1 per_trace_cap;
+      max_live = max 1 max_live;
+      max_captured = max 1 max_captured;
+      flag_names;
+      live = Hashtbl.create 64;
+      caps = [];
+      n_caps = 0;
+      considered = 0;
+      captured = 0;
+      discarded = 0;
+      dropped = 0;
+      lock = Mutex.create () }
+  in
+  Telemetry.register_probe "sampler_considered_total" (fun () ->
+      float_of_int t.considered);
+  Telemetry.register_probe "sampler_captured_total" (fun () ->
+      float_of_int t.captured);
+  Telemetry.register_probe "sampler_discarded_total" (fun () ->
+      float_of_int t.discarded);
+  Telemetry.register_probe "sampler_dropped_events_total" (fun () ->
+      float_of_int t.dropped);
+  t
+
+let set_slow_ns t ns = locked t (fun () -> t.slow_ns <- ns)
+
+let flags t (ev : Telemetry.event) =
+  List.mem ev.Telemetry.name t.flag_names
+  || List.assoc_opt "raised" ev.Telemetry.fields = Some (Telemetry.Bool true)
+
+(* a timed point spans [ts - dur_ns, ts] (same convention as the offline
+   span-tree reader), so a chain made of a single timed point still has a
+   non-zero wall time *)
+let start_ts (ev : Telemetry.event) =
+  match List.assoc_opt "dur_ns" ev.Telemetry.fields with
+  | Some (Telemetry.Int d) when d > 0 && ev.Telemetry.kind = Telemetry.Point ->
+    Int64.sub ev.Telemetry.ts (Int64.of_int d)
+  | _ -> ev.Telemetry.ts
+
+let sink t (ev : Telemetry.event) =
+  let trace = ev.Telemetry.trace in
+  if trace <> 0 then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.live trace with
+        | Some b ->
+          if b.n < t.per_trace_cap then begin
+            b.evs <- ev :: b.evs;
+            b.n <- b.n + 1
+          end
+          else t.dropped <- t.dropped + 1;
+          if start_ts ev < b.first_ts then b.first_ts <- start_ts ev;
+          b.last_ts <- ev.Telemetry.ts;
+          if flags t ev then b.flagged <- true
+        | None ->
+          if Hashtbl.length t.live >= t.max_live then t.dropped <- t.dropped + 1
+          else
+            Hashtbl.add t.live trace
+              { evs = [ ev ];
+                n = 1;
+                flagged = flags t ev;
+                first_ts = start_ts ev;
+                last_ts = ev.Telemetry.ts })
+
+let finish t ~trace ?(failed = false) () =
+  locked t (fun () ->
+      t.considered <- t.considered + 1;
+      match Hashtbl.find_opt t.live trace with
+      | None ->
+        t.discarded <- t.discarded + 1;
+        false
+      | Some b ->
+        Hashtbl.remove t.live trace;
+        let wall = Int64.sub b.last_ts b.first_ts in
+        let slow = Int64.compare wall t.slow_ns >= 0 in
+        if b.flagged || failed || slow then begin
+          t.captured <- t.captured + 1;
+          t.caps <- (trace, List.rev b.evs) :: t.caps;
+          t.n_caps <- t.n_caps + 1;
+          if t.n_caps > t.max_captured then begin
+            (* evict the oldest capture (tail of the newest-first list) *)
+            t.caps <- List.filteri (fun i _ -> i < t.max_captured) t.caps;
+            t.n_caps <- t.max_captured
+          end;
+          true
+        end
+        else begin
+          t.discarded <- t.discarded + 1;
+          false
+        end)
+
+let captures t = locked t (fun () -> List.rev t.caps)
+let last_capture t = locked t (fun () -> match t.caps with [] -> None | c :: _ -> Some c)
+
+let dump_jsonl t write =
+  let caps = captures t in
+  List.fold_left
+    (fun n (_, evs) ->
+      List.iter (fun ev -> write (Telemetry.event_to_json ev ^ "\n")) evs;
+      n + List.length evs)
+    0 caps
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.live;
+      t.caps <- [];
+      t.n_caps <- 0)
+
+let considered t = t.considered
+let captured t = t.captured
+let discarded t = t.discarded
+let dropped_events t = t.dropped

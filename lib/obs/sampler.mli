@@ -1,0 +1,80 @@
+(** Tail-based slow-request sampler.
+
+    An online, bounded, per-trace event buffer that keeps the {e full}
+    span chain of a request while it is in flight and decides its fate
+    only when the request finishes: fast successful requests are
+    discarded wholesale, while requests that were slow, denied,
+    sentinel-flagged, or raised an exception are {e captured} — the whole
+    chain, not a head sample, which is exactly what head-based sampling
+    loses about tail latency.
+
+    The sampler is a regular telemetry {!Telemetry.sink}: it sees events
+    only while [Telemetry.on] is set, so with telemetry disabled it has
+    strictly zero effect (property-tested).  All entry points are
+    mutex-protected — events may arrive from several domains. *)
+
+type t
+
+val create :
+  ?per_trace_cap:int ->
+  ?max_live:int ->
+  ?max_captured:int ->
+  ?flag_names:string list ->
+  slow_ns:int64 ->
+  unit ->
+  t
+(** [create ~slow_ns ()] builds a sampler that captures finished traces
+    whose wall time (last event ts − first event ts) is ≥ [slow_ns].
+
+    - [per_trace_cap] (default 512): events retained per in-flight
+      trace; the overflow is counted in {!dropped_events} and the trace
+      is still captured with a truncated chain.
+    - [max_live] (default 1024): in-flight traces tracked at once;
+      events of traces beyond it are dropped (counted).
+    - [max_captured] (default 64): completed captures retained; older
+      captures are evicted FIFO.
+    - [flag_names] (default [["manager.denied"; "workitem.denied";
+      "sentinel.warning"]]): an event with one of these names — or any
+      event carrying [("raised", Bool true)] — flags its trace for
+      capture regardless of latency. *)
+
+val set_slow_ns : t -> int64 -> unit
+(** Adjust the slowness threshold of a live sampler. *)
+
+val sink : t -> Telemetry.sink
+(** The sink to register with [Telemetry.add_sink].  Events with
+    trace id 0 (untraced) are ignored. *)
+
+val finish : t -> trace:int -> ?failed:bool -> unit -> bool
+(** Declare the request of [trace] finished.  Returns [true] iff the
+    trace was captured (flagged, [~failed:true], or wall ≥ slow_ns);
+    either way the trace's live buffer is released.  Unknown traces
+    (no events seen) count as considered-and-discarded. *)
+
+val captures : t -> (int * Telemetry.event list) list
+(** Retained captures, oldest first: trace id and its event chain in
+    emission order. *)
+
+val last_capture : t -> (int * Telemetry.event list) option
+(** The newest capture, if any. *)
+
+val dump_jsonl : t -> (string -> unit) -> int
+(** Write every retained capture as JSONL (one event per line, in
+    capture order), returning the number of events written.  The lines
+    parse back with [Telemetry.Jsonl] / the [lib/trace] reader. *)
+
+val clear : t -> unit
+(** Drop live buffers and retained captures; counters keep counting. *)
+
+(** {1 Counters} (also registered as probes [sampler_considered_total],
+    [sampler_captured_total], [sampler_discarded_total],
+    [sampler_dropped_events_total]) *)
+
+val considered : t -> int  (** finished traces seen *)
+
+val captured : t -> int  (** finished traces captured *)
+
+val discarded : t -> int  (** finished traces discarded *)
+
+val dropped_events : t -> int
+(** events dropped by per-trace or live-table bounds *)

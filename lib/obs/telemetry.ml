@@ -1,7 +1,7 @@
 (* Cross-layer telemetry: events/spans, metrics registry, pluggable sinks.
-   See telemetry.mli for the contract.  Everything here is deliberately
-   dependency-free (no Unix, no fmt) so every layer of the system can link
-   against it. *)
+   See telemetry.mli for the contract.  The only dependency is [unix]
+   (which ships with the compiler) for the wall clock, so every layer of
+   the system can link against it. *)
 
 (* ------------------------------------------------------------------ *)
 (* Enablement and clock                                                *)
@@ -12,10 +12,25 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
-(* [Sys.time] is CPU time, not wall time, but it is monotonic within a
-   process and needs no extra library.  Callers wanting better
-   resolution (or determinism, in tests) install their own clock. *)
-let default_clock () = Int64.of_float (Sys.time () *. 1e9)
+(* Wall clock, not CPU time: span durations must include time spent
+   blocked (queue wait, fsync, another domain holding a lock), which
+   [Sys.time] never sees.  [Unix.gettimeofday] can step backwards under
+   NTP adjustment, so readings are clamped to be non-decreasing
+   process-wide — an mtime-style monotonic wrapper without a new
+   dependency.  Callers wanting determinism (tests) install their own
+   clock. *)
+let last_reading = Atomic.make 0L
+
+let default_clock () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last_reading in
+    if Int64.compare t prev <= 0 then prev
+    else if Atomic.compare_and_set last_reading prev t then t
+    else clamp ()
+  in
+  clamp ()
+
 let clock = ref default_clock
 let set_clock c = clock := c
 let now () = !clock ()
@@ -69,6 +84,7 @@ type event = {
   span : int;
   parent : int;
   trace : int;
+  dom : int;
   fields : fields;
 }
 
@@ -87,7 +103,7 @@ let emit kind name span parent fields =
   Stdlib.incr seq_counter;
   let ev =
     { seq = !seq_counter; ts = now (); kind; name; span; parent;
-      trace = current_trace (); fields }
+      trace = current_trace (); dom = (Domain.self () :> int); fields }
   in
   List.iter (fun s -> s ev) !sinks
 
@@ -254,6 +270,32 @@ let histogram_count h = h.hcount
 let histogram_sum h = h.hsum
 let histogram_overflow h = h.hoverflow
 
+(* Quantile estimate by linear interpolation within the bucket holding
+   the q-th observation (the classic Prometheus histogram_quantile).
+   Observations above the largest finite bound have no upper edge, so
+   any quantile landing there is clamped to that bound — a saturated
+   histogram under-reports its tail, which the [_overflow] probe makes
+   visible. *)
+let histogram_quantile h q =
+  if h.hcount = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int h.hcount in
+    let nb = Array.length h.buckets in
+    let rec go i acc =
+      if i >= nb then bucket_bounds.(nb - 1)
+      else
+        let n = h.buckets.(i) in
+        let acc' = acc + n in
+        if n > 0 && float_of_int acc' >= target then
+          let lo = if i = 0 then 0. else bucket_bounds.(i - 1) in
+          let hi = bucket_bounds.(i) in
+          lo +. ((hi -. lo) *. ((target -. float_of_int acc) /. float_of_int n))
+        else go (i + 1) acc'
+    in
+    go 0 0
+  end
+
 let time h f =
   if not !on then f ()
   else begin
@@ -329,7 +371,9 @@ let expose () =
              h.buckets;
            pf "%s_bucket{le=\"+Inf\"} %d\n" name h.hcount;
            pf "%s_sum %s\n" name (fmt_float h.hsum);
-           pf "%s_count %d\n" name h.hcount);
+           pf "%s_count %d\n" name h.hcount;
+           pf "%s_p50 %s\n" name (fmt_float (histogram_quantile h 0.5));
+           pf "%s_p99 %s\n" name (fmt_float (histogram_quantile h 0.99)));
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -370,6 +414,7 @@ let event_to_json ev =
   if ev.span <> 0 then Printf.bprintf b ",\"span\":%d" ev.span;
   if ev.parent <> 0 then Printf.bprintf b ",\"parent\":%d" ev.parent;
   if ev.trace <> 0 then Printf.bprintf b ",\"trace\":%d" ev.trace;
+  if ev.dom <> 0 then Printf.bprintf b ",\"dom\":%d" ev.dom;
   List.iter
     (fun (k, v) ->
       Printf.bprintf b ",\"%s\":%s" (json_escape k) (value_to_json v))
@@ -495,7 +540,7 @@ module Jsonl = struct
       end
     with Bad -> None
 
-  let builtin_keys = [ "seq"; "ts"; "ev"; "name"; "span"; "parent"; "trace" ]
+  let builtin_keys = [ "seq"; "ts"; "ev"; "name"; "span"; "parent"; "trace"; "dom" ]
 
   let parse_line line =
     let line = String.trim line in
@@ -531,6 +576,7 @@ module Jsonl = struct
                 span = int "span" 0;
                 parent = int "parent" 0;
                 trace = int "trace" 0;
+                dom = int "dom" 0;
                 fields = List.filter (fun (k, _) -> not (List.mem k builtin_keys)) kv;
               })
         | _ -> None)

@@ -23,9 +23,10 @@ val enabled : unit -> bool
 (** {1 Clock} *)
 
 val set_clock : (unit -> int64) -> unit
-(** Install a monotonic nanosecond clock.  The default derives from
-    [Sys.time] (CPU time, microsecond-ish resolution); tests install a
-    deterministic counter. *)
+(** Install a monotonic nanosecond clock.  The default is a wall clock
+    ([Unix.gettimeofday], clamped non-decreasing process-wide), so span
+    durations include blocked time — queue wait, fsync, cross-domain
+    handoffs; tests install a deterministic counter. *)
 
 val now : unit -> int64
 (** Current time in nanoseconds according to the installed clock. *)
@@ -69,6 +70,7 @@ type event = {
   span : int;  (** id of the span this event belongs to; 0 = root *)
   parent : int;  (** id of the enclosing span; 0 = none *)
   trace : int;  (** ambient trace id at emission; 0 = untraced *)
+  dom : int;  (** id of the emitting domain; 0 = the initial domain *)
   fields : fields;
 }
 
@@ -149,6 +151,13 @@ val histogram_overflow : histogram -> int
     histogram also registers a [<name>_overflow] probe so a saturated
     histogram is visible in the exposition. *)
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile (0 ≤ q ≤ 1, ns)
+    by linear interpolation within the bucket holding the q-th
+    observation.  0 on an empty histogram; quantiles landing above the
+    largest finite bound are clamped to it (see
+    {!histogram_overflow}). *)
+
 val time : histogram -> (unit -> 'a) -> 'a
 (** Run the thunk and observe its duration (when enabled). *)
 
@@ -160,7 +169,8 @@ val register_probe : string -> (unit -> float) -> unit
 val expose : unit -> string
 (** Prometheus-style text exposition of every registered metric, sorted
     by name for deterministic output.  Gauges also emit a [_hwm] line;
-    histograms emit cumulative [_bucket{le="..."}], [_sum], [_count]. *)
+    histograms emit cumulative [_bucket{le="..."}], [_sum], [_count],
+    and estimated [_p50]/[_p99] lines ({!histogram_quantile}). *)
 
 val reset : unit -> unit
 (** Zero all counters, gauges and histograms (probes are stateless) and
@@ -171,8 +181,8 @@ val reset : unit -> unit
 
 val event_to_json : event -> string
 (** One flat JSON object (no trailing newline): the built-in keys [seq],
-    [ts], [ev] ("start"|"end"|"point"), [name], [span], [parent], [trace]
-    (omitted when 0), then the event's fields at top level. *)
+    [ts], [ev] ("start"|"end"|"point"), [name], [span], [parent], [trace],
+    [dom] (omitted when 0), then the event's fields at top level. *)
 
 (** Parsing the exported JSONL back, so offline tools ([Audit],
     [Instrument]) can consume online traces. *)

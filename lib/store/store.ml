@@ -118,6 +118,7 @@ let append t payload =
 let records_since_snapshot t = t.records_since_snapshot
 
 let snapshot t image =
+  let t0 = if !Telemetry.on then Telemetry.now () else 0L in
   let gen = t.generation + 1 in
   let tmp = snapshot_tmp t.sdir in
   let oc = open_out_bin tmp in
@@ -142,10 +143,12 @@ let snapshot t image =
   incr m_snapshots;
   m_snapshot_bytes := String.length image;
   if !Telemetry.on then
+    let dur = Int64.to_int (Int64.sub (Telemetry.now ()) t0) in
     Telemetry.event "store.snapshot"
       ~fields:
         [ ("dir", Telemetry.Str t.sdir);
-          ("bytes", Telemetry.Int (String.length image)) ]
+          ("bytes", Telemetry.Int (String.length image));
+          ("dur_ns", Telemetry.Int dur) ]
 
 let sync t = Wal.sync t.wal
 let close t = Wal.close t.wal

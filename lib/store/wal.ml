@@ -99,15 +99,21 @@ let sync t =
 
 let append t payload =
   if t.closed then invalid_arg "Wal.append: closed";
+  let t0 = if !Telemetry.on then Telemetry.now () else 0L in
   really_write t.fd (frame payload);
   t.appended <- t.appended + 1;
   incr m_appends;
   if t.fsync then sync t;
   if !Telemetry.on then
+    (* dur_ns covers write + fsync: the timed-point convention the trace
+       analyzer relies on to carve WAL time out of the enclosing span *)
+    let dur = Int64.to_int (Int64.sub (Telemetry.now ()) t0) in
     Telemetry.event "wal.append"
       ~fields:
         [ ("path", Telemetry.Str t.path);
-          ("bytes", Telemetry.Int (String.length payload)) ]
+          ("bytes", Telemetry.Int (String.length payload));
+          ("fsync", Telemetry.Bool t.fsync);
+          ("dur_ns", Telemetry.Int dur) ]
 
 let appended t = t.appended
 

@@ -1,0 +1,203 @@
+(* Per-request latency attribution.
+
+   For one trace id, wall time (first event ts → last event ts) is
+   carved into segments by charging every tree node's *self* time to the
+   layer its name belongs to — double counting is impossible because a
+   node's self time excludes its children, and timed points (wal.append,
+   engine.eval, ...) are children.  Queue wait is not a span at all: it
+   is the gap between an mqueue.enqueue point and the mqueue.dequeue
+   point that delivered the same envelope, paired FIFO per (queue,
+   origin_trace) — the envelope's origin_trace field ties both ends to
+   the request even though the dequeue runs in the receiver's context. *)
+
+type category = Queue | Engine | Manager | Wal | Other
+
+let category name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  if has_prefix "engine." then Engine
+  else if has_prefix "wal." || has_prefix "store." then Wal
+  else if has_prefix "mqueue." then Queue
+  else if
+    has_prefix "manager." || has_prefix "federation." || has_prefix "durable."
+    || has_prefix "adapter." || has_prefix "workitem" || has_prefix "worklist"
+    || has_prefix "sentinel."
+  then Manager
+  else Other
+
+type t = {
+  trace : int;
+  events : int;  (* events carrying this trace id *)
+  wall_ns : int;  (* last ts - first ts over the trace's events *)
+  queue_ns : int;  (* enqueue->dequeue gaps of the trace's envelopes *)
+  engine_ns : int;  (* self time of engine.* spans/points *)
+  manager_ns : int;  (* self time of manager/federation/durable/adapter *)
+  wal_ns : int;  (* self time of wal.*/store.* *)
+  other_ns : int;  (* self time of everything else *)
+  denied : bool;
+  raised : bool;
+  doms : int list;  (* distinct emitting domains, sorted *)
+  critical_path : string list;  (* heaviest root-to-leaf name chain *)
+}
+
+(* heaviest root, then repeatedly the heaviest child *)
+let critical_path roots =
+  let heaviest = function
+    | [] -> None
+    | n :: ns ->
+      Some
+        (List.fold_left
+           (fun best c ->
+             if Spantree.dur_ns c > Spantree.dur_ns best then c else best)
+           n ns)
+  in
+  let rec descend acc (n : Spantree.node) =
+    match heaviest n.Spantree.children with
+    | Some c -> descend (c.Spantree.name :: acc) c
+    | None -> List.rev acc
+  in
+  match heaviest roots with
+  | None -> []
+  | Some r -> descend [ r.Spantree.name ] r
+
+let int_field k (ev : Telemetry.event) =
+  match List.assoc_opt k ev.Telemetry.fields with
+  | Some (Telemetry.Int i) -> Some i
+  | _ -> None
+
+let str_field k (ev : Telemetry.event) =
+  match List.assoc_opt k ev.Telemetry.fields with
+  | Some (Telemetry.Str s) -> Some s
+  | _ -> None
+
+(* The trace that owns a queue hop: the envelope's origin, falling back
+   to the emitting context for pre-envelope streams. *)
+let hop_trace ev =
+  match int_field "origin_trace" ev with
+  | Some t -> t
+  | None -> ev.Telemetry.trace
+
+(* trace id -> summed enqueue->dequeue wait *)
+let queue_waits events =
+  let pending : (string * int, int64 Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let waits : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      match (ev.Telemetry.name, str_field "queue" ev) with
+      | "mqueue.enqueue", Some q ->
+        let key = (q, hop_trace ev) in
+        let fifo =
+          match Hashtbl.find_opt pending key with
+          | Some f -> f
+          | None ->
+            let f = Queue.create () in
+            Hashtbl.add pending key f;
+            f
+        in
+        Queue.push ev.Telemetry.ts fifo
+      | "mqueue.dequeue", Some q -> (
+        let t = hop_trace ev in
+        match Hashtbl.find_opt pending (q, t) with
+        | Some fifo when not (Queue.is_empty fifo) ->
+          let t0 = Queue.pop fifo in
+          let w = max 0 (Int64.to_int (Int64.sub ev.Telemetry.ts t0)) in
+          Hashtbl.replace waits t
+            (w + Option.value ~default:0 (Hashtbl.find_opt waits t))
+        | _ -> ())
+      | _ -> ())
+    events;
+  waits
+
+type acc = {
+  mutable a_events : int;
+  mutable first : int64;
+  mutable last : int64;
+  mutable q_ns : int;
+  mutable e_ns : int;
+  mutable m_ns : int;
+  mutable w_ns : int;
+  mutable o_ns : int;
+  mutable a_denied : bool;
+  mutable a_raised : bool;
+  mutable a_doms : int list;
+}
+
+let of_events events forest =
+  let accs : (int, acc) Hashtbl.t = Hashtbl.create 16 in
+  let get trace =
+    match Hashtbl.find_opt accs trace with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_events = 0; first = Int64.max_int; last = Int64.min_int;
+          q_ns = 0; e_ns = 0; m_ns = 0; w_ns = 0; o_ns = 0;
+          a_denied = false; a_raised = false; a_doms = [] }
+      in
+      Hashtbl.add accs trace a;
+      a
+  in
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      if ev.Telemetry.trace <> 0 then begin
+        let a = get ev.Telemetry.trace in
+        a.a_events <- a.a_events + 1;
+        if Int64.compare ev.Telemetry.ts a.first < 0 then a.first <- ev.Telemetry.ts;
+        if Int64.compare ev.Telemetry.ts a.last > 0 then a.last <- ev.Telemetry.ts;
+        if not (List.mem ev.Telemetry.dom a.a_doms) then
+          a.a_doms <- ev.Telemetry.dom :: a.a_doms;
+        (match ev.Telemetry.name with
+        | "manager.denied" | "workitem.denied" -> a.a_denied <- true
+        | _ -> ());
+        if List.assoc_opt "raised" ev.Telemetry.fields = Some (Telemetry.Bool true)
+        then a.a_raised <- true
+      end)
+    events;
+  Spantree.iter
+    (fun n ->
+      if n.Spantree.trace <> 0 && n.Spantree.closed then begin
+        let a = get n.Spantree.trace in
+        let ns = Spantree.self_ns n in
+        match category n.Spantree.name with
+        | Queue -> a.q_ns <- a.q_ns + ns
+        | Engine -> a.e_ns <- a.e_ns + ns
+        | Manager -> a.m_ns <- a.m_ns + ns
+        | Wal -> a.w_ns <- a.w_ns + ns
+        | Other -> a.o_ns <- a.o_ns + ns
+      end)
+    forest;
+  Hashtbl.iter
+    (fun trace w -> if trace <> 0 then (get trace).q_ns <- (get trace).q_ns + w)
+    (queue_waits events);
+  let roots_of : (int, Spantree.node list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Spantree.node) ->
+      if n.Spantree.trace <> 0 then
+        Hashtbl.replace roots_of n.Spantree.trace
+          (n
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt roots_of n.Spantree.trace)))
+    forest.Spantree.roots;
+  Hashtbl.fold
+    (fun trace a out ->
+      { trace;
+        events = a.a_events;
+        wall_ns =
+          (if a.a_events = 0 then 0
+           else max 0 (Int64.to_int (Int64.sub a.last a.first)));
+        queue_ns = a.q_ns;
+        engine_ns = a.e_ns;
+        manager_ns = a.m_ns;
+        wal_ns = a.w_ns;
+        other_ns = a.o_ns;
+        denied = a.a_denied;
+        raised = a.a_raised;
+        doms = List.sort compare a.a_doms;
+        critical_path =
+          critical_path
+            (List.rev
+               (Option.value ~default:[] (Hashtbl.find_opt roots_of trace))) }
+      :: out)
+    accs []
+  |> List.sort (fun x y -> compare x.trace y.trace)

@@ -1,0 +1,28 @@
+(* Flame-graph folded stacks: one line per distinct root-to-node name
+   path, `a;b;c <self_ns>`, mergeable by the standard flamegraph.pl /
+   speedscope / inferno toolchains.  Self time (not inclusive time) per
+   line is the folded-stack convention — the graph's width sums to total
+   instrumented time exactly once. *)
+
+let folded forest =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec go prefix (n : Spantree.node) =
+    let path = if prefix = "" then n.Spantree.name else prefix ^ ";" ^ n.Spantree.name in
+    if n.Spantree.closed then begin
+      let self = Spantree.self_ns n in
+      if self > 0 then
+        Hashtbl.replace tbl path
+          (self + Option.value ~default:0 (Hashtbl.find_opt tbl path))
+    end;
+    List.iter (go path) n.Spantree.children
+  in
+  List.iter (go "") forest.Spantree.roots;
+  Hashtbl.fold (fun path ns acc -> (path, ns) :: acc) tbl []
+  |> List.sort compare
+
+let to_string forest =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (path, ns) -> Printf.bprintf b "%s %d\n" path ns)
+    (folded forest);
+  Buffer.contents b

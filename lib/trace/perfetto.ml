@@ -1,0 +1,136 @@
+(* Chrome trace-event ("Perfetto") export.
+
+   One JSON object, {"traceEvents":[...]}, loadable in
+   https://ui.perfetto.dev or chrome://tracing:
+
+   - every closed span / timed point is a complete ("X") slice on the
+     track of its emitting domain (pid 0, tid = domain id, named by a
+     thread_name metadata record);
+   - untimed points are instants ("i");
+   - each trace id with more than one slice becomes a flow (an "s" arrow
+     start on its first slice, a "t" step on every later one), so a
+     request's hops across domains draw as connected arrows.
+
+   Timestamps are microseconds, rebased to the earliest slice so the
+   viewer opens at t=0 instead of at the wall-clock epoch. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_to_json = function
+  | Telemetry.Int i -> string_of_int i
+  | Telemetry.Float f -> Printf.sprintf "%g" f
+  | Telemetry.Str s -> "\"" ^ escape s ^ "\""
+  | Telemetry.Bool b -> if b then "true" else "false"
+
+let args_json trace fields =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "{";
+  Printf.bprintf b "\"trace\":%d" trace;
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf b ",\"%s\":%s" (escape k) (value_to_json v))
+    fields;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let us ~t0 ts = Int64.to_float (Int64.sub ts t0) /. 1000.
+
+let to_string forest =
+  let nodes = ref [] in
+  Spantree.iter (fun n -> if n.Spantree.closed then nodes := n :: !nodes) forest;
+  let nodes = List.rev !nodes in
+  let t0 =
+    List.fold_left
+      (fun a (n : Spantree.node) -> min a n.Spantree.start_ts)
+      Int64.max_int nodes
+  in
+  let t0 =
+    List.fold_left
+      (fun a (ev : Telemetry.event) -> min a ev.Telemetry.ts)
+      t0 forest.Spantree.points
+  in
+  let t0 = if t0 = Int64.max_int then 0L else t0 in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let record s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  (* one named track per domain *)
+  let doms =
+    List.sort_uniq compare
+      (List.map (fun (n : Spantree.node) -> n.Spantree.dom) nodes
+      @ List.map (fun (ev : Telemetry.event) -> ev.Telemetry.dom)
+          forest.Spantree.points)
+  in
+  List.iter
+    (fun d ->
+      record
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain %d\"}}"
+           d d))
+    doms;
+  List.iter
+    (fun (n : Spantree.node) ->
+      record
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"span\",\"args\":%s}"
+           n.Spantree.dom
+           (us ~t0 n.Spantree.start_ts)
+           (float_of_int (Spantree.dur_ns n) /. 1000.)
+           (escape n.Spantree.name)
+           (args_json n.Spantree.trace n.Spantree.fields)))
+    nodes;
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      record
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"s\":\"t\",\"cat\":\"point\",\"args\":%s}"
+           ev.Telemetry.dom
+           (us ~t0 ev.Telemetry.ts)
+           (escape ev.Telemetry.name)
+           (args_json ev.Telemetry.trace ev.Telemetry.fields)))
+    forest.Spantree.points;
+  (* flow arrows: one flow per trace id across its slices *)
+  let by_trace : (int, Spantree.node list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Spantree.node) ->
+      if n.Spantree.trace <> 0 then
+        Hashtbl.replace by_trace n.Spantree.trace
+          (n
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt by_trace n.Spantree.trace)))
+    nodes;
+  Hashtbl.fold (fun tr ns acc -> (tr, List.rev ns) :: acc) by_trace []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (tr, ns) ->
+         match ns with
+         | [] | [ _ ] -> ()
+         | first_n :: rest ->
+           let flow ph (n : Spantree.node) =
+             record
+               (Printf.sprintf
+                  "{\"ph\":\"%s\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"name\":\"request\",\"cat\":\"flow\",\"id\":%d}"
+                  ph n.Spantree.dom
+                  (us ~t0 n.Spantree.start_ts)
+                  tr)
+           in
+           flow "s" first_n;
+           List.iter (flow "t") rest);
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b

@@ -1,0 +1,110 @@
+(* The human-readable `itrace summary` report: parse/reconstruction
+   counters, a per-operation latency table (exact nearest-rank
+   percentiles over every closed occurrence of each span/point name),
+   and a per-trace attribution table with the slowest requests first.
+   All output is deterministic given the input file — the cram suite
+   pins it against a checked-in mini trace. *)
+
+type op_stat = {
+  op : string;
+  count : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max_ns : int;
+}
+
+(* exact nearest-rank percentile on a sorted array *)
+let rank q n = max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let op_stats forest =
+  let samples : (string, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  Spantree.iter
+    (fun n ->
+      if n.Spantree.closed then
+        match Hashtbl.find_opt samples n.Spantree.name with
+        | Some r -> r := Spantree.dur_ns n :: !r
+        | None -> Hashtbl.add samples n.Spantree.name (ref [ Spantree.dur_ns n ]))
+    forest;
+  Hashtbl.fold
+    (fun op r acc ->
+      let a = Array.of_list !r in
+      Array.sort compare a;
+      let n = Array.length a in
+      { op;
+        count = n;
+        p50 = a.(rank 0.50 n);
+        p90 = a.(rank 0.90 n);
+        p99 = a.(rank 0.99 n);
+        max_ns = a.(n - 1) }
+      :: acc)
+    samples []
+  |> List.sort (fun a b -> compare a.op b.op)
+
+let flags_of (a : Attrib.t) ~slow_ns =
+  List.filter_map Fun.id
+    [ (if a.Attrib.denied then Some "denied" else None);
+      (if a.Attrib.raised then Some "raised" else None);
+      (match slow_ns with
+      | Some s when a.Attrib.wall_ns >= s -> Some "slow"
+      | _ -> None) ]
+  |> String.concat ","
+
+let summary ?(top = 10) ?slow_ns ~files (src : Source.t) =
+  let forest = Spantree.build src.Source.events in
+  let attribs = Attrib.of_events src.Source.events forest in
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf b fmt in
+  pf "itrace: %d file(s), %d event(s), %d bad line(s)\n" (List.length files)
+    forest.Spantree.events src.Source.bad_lines;
+  pf "spans: %d closed, %d orphan start(s), %d unmatched end(s); traces: %d\n"
+    (Spantree.closed_count forest)
+    forest.Spantree.orphan_starts forest.Spantree.orphan_ends
+    (List.length attribs);
+  let ops = op_stats forest in
+  if ops <> [] then begin
+    pf "per-operation latency (ns):\n";
+    pf "  %-32s %7s %10s %10s %10s %10s\n" "operation" "count" "p50" "p90" "p99"
+      "max";
+    List.iter
+      (fun s ->
+        pf "  %-32s %7d %10d %10d %10d %10d\n" s.op s.count s.p50 s.p90 s.p99
+          s.max_ns)
+      ops
+  end;
+  if attribs <> [] then begin
+    let slowest =
+      List.sort (fun a b -> compare b.Attrib.wall_ns a.Attrib.wall_ns) attribs
+    in
+    let shown = List.filteri (fun i _ -> i < top) slowest in
+    pf "per-trace attribution (ns), slowest %d of %d:\n" (List.length shown)
+      (List.length attribs);
+    pf "  %7s %10s %10s %10s %10s %10s %10s  %s\n" "trace" "wall" "queue"
+      "engine" "manager" "wal" "other" "flags";
+    List.iter
+      (fun (a : Attrib.t) ->
+        pf "  %7d %10d %10d %10d %10d %10d %10d  %s\n" a.Attrib.trace
+          a.Attrib.wall_ns a.Attrib.queue_ns a.Attrib.engine_ns
+          a.Attrib.manager_ns a.Attrib.wal_ns a.Attrib.other_ns
+          (flags_of a ~slow_ns))
+      shown;
+    let tot f = List.fold_left (fun acc a -> acc + f a) 0 attribs in
+    pf "totals (ns): queue=%d engine=%d manager=%d wal=%d other=%d\n"
+      (tot (fun a -> a.Attrib.queue_ns))
+      (tot (fun a -> a.Attrib.engine_ns))
+      (tot (fun a -> a.Attrib.manager_ns))
+      (tot (fun a -> a.Attrib.wal_ns))
+      (tot (fun a -> a.Attrib.other_ns));
+    (match slowest with
+    | s :: _ when s.Attrib.critical_path <> [] ->
+      pf "critical path of trace %d: %s\n" s.Attrib.trace
+        (String.concat " > " s.Attrib.critical_path)
+    | _ -> ());
+    let multi =
+      List.filter (fun a -> List.length a.Attrib.doms > 1) attribs
+    in
+    if multi <> [] then
+      pf "multi-domain traces: %d (of %d)\n" (List.length multi)
+        (List.length attribs)
+  end;
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(* Loading exported telemetry streams back into memory.
+
+   A source is whatever produced JSONL: `imanager --trace`, `bench smoke`,
+   a flight-recorder dump, a tail-sampler capture file.  Real exports end
+   mid-line when the process died or several domains interleaved a write,
+   so unparseable lines are counted, never fatal — the strictness policy
+   belongs to the caller (itrace --strict). *)
+
+type t = {
+  events : Telemetry.event list;  (* file order *)
+  lines : int;  (* non-blank input lines *)
+  bad_lines : int;  (* non-blank lines that did not parse *)
+}
+
+let empty = { events = []; lines = 0; bad_lines = 0 }
+
+let of_lines lines =
+  let events = ref [] and n = ref 0 and bad = ref 0 in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then begin
+        incr n;
+        match Telemetry.Jsonl.parse_line line with
+        | Some ev -> events := ev :: !events
+        | None -> incr bad
+      end)
+    lines;
+  { events = List.rev !events; lines = !n; bad_lines = !bad }
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let of_channel ic =
+  let rec go acc =
+    match In_channel.input_line ic with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  of_lines (go [])
+
+let of_file path = In_channel.with_open_text path of_channel
+
+let concat ts =
+  { events = List.concat_map (fun t -> t.events) ts;
+    lines = List.fold_left (fun a t -> a + t.lines) 0 ts;
+    bad_lines = List.fold_left (fun a t -> a + t.bad_lines) 0 ts }

@@ -1,0 +1,149 @@
+(* Span-tree reconstruction from a flat event stream.
+
+   Span_start/Span_end pairs share a span id; a point event's [span]
+   field names its enclosing span.  Reconstruction keeps, per span id, a
+   *stack* of open nodes — `Telemetry.reset` restarts the id counter, so
+   one file can legitimately contain the same id twice (the inner one
+   closes first).  Timed point events (those carrying an integer
+   ["dur_ns"] field: wal.append, store.snapshot, engine.eval,
+   engine.try_action) become closed leaf nodes spanning
+   [ts - dur_ns, ts], so the parent's self-time excludes them and a WAL
+   fsync inside a manager.execute is charged to the WAL, not the
+   manager.
+
+   Truncated logs are expected: a start whose end was cut off is an
+   *orphan start* (the node stays in the tree with zero duration), an
+   end whose start predates the log is an *unmatched end*.  Both are
+   counted, never raised. *)
+
+type node = {
+  span : int;  (* 0 for synthesized timed-point leaves *)
+  name : string;
+  trace : int;
+  dom : int;
+  start_ts : int64;
+  mutable end_ts : int64;
+  mutable fields : Telemetry.fields;  (* start fields, then end fields *)
+  mutable children : node list;  (* reconstruction order *)
+  mutable closed : bool;
+}
+
+type forest = {
+  roots : node list;  (* start order *)
+  orphan_starts : int;  (* spans opened but never closed *)
+  orphan_ends : int;  (* span ends with no matching open span *)
+  points : Telemetry.event list;  (* untimed point events, file order *)
+  events : int;  (* events consumed *)
+}
+
+let orphans f = f.orphan_starts + f.orphan_ends
+
+let dur_ns n =
+  if not n.closed then 0
+  else
+    match List.assoc_opt "dur_ns" n.fields with
+    | Some (Telemetry.Int d) -> max 0 d
+    | _ -> max 0 (Int64.to_int (Int64.sub n.end_ts n.start_ts))
+
+let self_ns n =
+  let kids = List.fold_left (fun a c -> a + dur_ns c) 0 n.children in
+  max 0 (dur_ns n - kids)
+
+let timed_point_dur (ev : Telemetry.event) =
+  if ev.Telemetry.kind <> Telemetry.Point then None
+  else
+    match List.assoc_opt "dur_ns" ev.Telemetry.fields with
+    | Some (Telemetry.Int d) -> Some (max 0 d)
+    | _ -> None
+
+let build events =
+  let open_tbl : (int, node list ref) Hashtbl.t = Hashtbl.create 64 in
+  let stack_of id =
+    match Hashtbl.find_opt open_tbl id with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add open_tbl id r;
+      r
+  in
+  let top id = match !(stack_of id) with [] -> None | n :: _ -> Some n in
+  let roots = ref [] and orphan_ends = ref 0 and points = ref [] and n_events = ref 0 in
+  let attach ~enclosing node =
+    match if enclosing = 0 then None else top enclosing with
+    | Some p -> p.children <- node :: p.children
+    | None -> roots := node :: !roots
+  in
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      incr n_events;
+      match ev.Telemetry.kind with
+      | Telemetry.Span_start ->
+        let node =
+          { span = ev.Telemetry.span;
+            name = ev.Telemetry.name;
+            trace = ev.Telemetry.trace;
+            dom = ev.Telemetry.dom;
+            start_ts = ev.Telemetry.ts;
+            end_ts = ev.Telemetry.ts;
+            fields = ev.Telemetry.fields;
+            children = [];
+            closed = false }
+        in
+        attach ~enclosing:ev.Telemetry.parent node;
+        let st = stack_of ev.Telemetry.span in
+        st := node :: !st
+      | Telemetry.Span_end -> (
+        let st = stack_of ev.Telemetry.span in
+        match !st with
+        | [] -> incr orphan_ends
+        | node :: rest ->
+          st := rest;
+          node.end_ts <- ev.Telemetry.ts;
+          node.fields <- node.fields @ ev.Telemetry.fields;
+          node.closed <- true)
+      | Telemetry.Point -> (
+        match timed_point_dur ev with
+        | Some d ->
+          let node =
+            { span = 0;
+              name = ev.Telemetry.name;
+              trace = ev.Telemetry.trace;
+              dom = ev.Telemetry.dom;
+              start_ts = Int64.sub ev.Telemetry.ts (Int64.of_int d);
+              end_ts = ev.Telemetry.ts;
+              fields = ev.Telemetry.fields;
+              children = [];
+              closed = true }
+          in
+          (* a point's [span] field is its enclosing span *)
+          attach ~enclosing:ev.Telemetry.span node
+        | None -> points := ev :: !points))
+    events;
+  let orphan_starts =
+    Hashtbl.fold (fun _ r acc -> acc + List.length !r) open_tbl 0
+  in
+  let rec fix n =
+    n.children <- List.rev n.children;
+    List.iter fix n.children
+  in
+  let roots = List.rev !roots in
+  List.iter fix roots;
+  { roots;
+    orphan_starts;
+    orphan_ends = !orphan_ends;
+    points = List.rev !points;
+    events = !n_events }
+
+let iter f forest =
+  let rec go n =
+    f n;
+    List.iter go n.children
+  in
+  List.iter go forest.roots
+
+let fold f acc forest =
+  let acc = ref acc in
+  iter (fun n -> acc := f !acc n) forest;
+  !acc
+
+let closed_count forest = fold (fun a n -> if n.closed then a + 1 else a) 0 forest

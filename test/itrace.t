@@ -1,0 +1,71 @@
+Offline latency attribution.  A checked-in mini trace: one queued request
+(300 ns queue wait, a 600 ns manager.execute containing a 200 ns
+engine.eval and a 100 ns wal.append) and one fast denied ask.
+
+  $ cat > mini.jsonl <<'EOF'
+  > {"seq":1,"ts":100,"ev":"point","name":"mqueue.enqueue","trace":1,"queue":"q","origin_trace":1}
+  > {"seq":2,"ts":400,"ev":"point","name":"mqueue.dequeue","trace":1,"queue":"q","origin_trace":1}
+  > {"seq":3,"ts":400,"ev":"start","name":"manager.execute","span":1,"trace":1}
+  > {"seq":4,"ts":800,"ev":"point","name":"engine.eval","span":1,"trace":1,"dur_ns":200}
+  > {"seq":5,"ts":900,"ev":"point","name":"wal.append","span":1,"trace":1,"dur_ns":100}
+  > {"seq":6,"ts":1000,"ev":"end","name":"manager.execute","span":1,"trace":1,"dur_ns":600}
+  > {"seq":7,"ts":1100,"ev":"start","name":"manager.ask","span":2,"trace":2}
+  > {"seq":8,"ts":1150,"ev":"point","name":"engine.eval","span":2,"trace":2,"dur_ns":30}
+  > {"seq":9,"ts":1160,"ev":"point","name":"manager.denied","span":2,"trace":2}
+  > {"seq":10,"ts":1200,"ev":"end","name":"manager.ask","span":2,"trace":2,"dur_ns":100}
+  > EOF
+
+The summary splits each request's wall time into queue wait and per-layer
+self time — the numbers are exact because the timestamps are, and the
+timed points (dur_ns) are excluded from their parent's self time, so the
+columns add up to the wall time minus genuinely unobserved gaps.
+
+  $ ../bin/itrace.exe summary --slow-ms 0.0005 mini.jsonl
+  itrace: 1 file(s), 10 event(s), 0 bad line(s)
+  spans: 5 closed, 0 orphan start(s), 0 unmatched end(s); traces: 2
+  per-operation latency (ns):
+    operation                          count        p50        p90        p99        max
+    engine.eval                            2         30        200        200        200
+    manager.ask                            1        100        100        100        100
+    manager.execute                        1        600        600        600        600
+    wal.append                             1        100        100        100        100
+  per-trace attribution (ns), slowest 2 of 2:
+      trace       wall      queue     engine    manager        wal      other  flags
+          1        900        300        200        300        100          0  slow
+          2        100          0         30         70          0          0  denied
+  totals (ns): queue=300 engine=230 manager=370 wal=100 other=0
+  critical path of trace 1: manager.execute > engine.eval
+
+The exports: flame-graph folded stacks (self time per path) and a Chrome
+trace-event JSON for ui.perfetto.dev — one complete slice per closed span.
+
+  $ ../bin/itrace.exe summary --perfetto p.json --folded f.txt mini.jsonl | grep -E 'perfetto|folded'
+  perfetto export: p.json
+  folded stacks: f.txt
+  $ cat f.txt
+  manager.ask 70
+  manager.ask;engine.eval 30
+  manager.execute 300
+  manager.execute;engine.eval 200
+  manager.execute;wal.append 100
+  $ grep -c '"ph":"X"' p.json
+  5
+  $ grep -c 'traceEvents' p.json
+  1
+
+A truncated log (the process died after opening manager.execute) still
+analyzes — the unclosed span is counted as an orphan, and --strict turns
+that count into a failing exit for CI.
+
+  $ head -3 mini.jsonl | ../bin/itrace.exe summary - >/dev/null
+  $ head -3 mini.jsonl | ../bin/itrace.exe summary --strict - 2>&1 >/dev/null
+  itrace: strict: 0 bad line(s), 1 orphan(s)
+  [1]
+
+Unparseable lines are counted, never fatal; --strict rejects them too.
+
+  $ printf 'not json\n' | ../bin/itrace.exe summary - | head -1
+  itrace: 1 file(s), 0 event(s), 1 bad line(s)
+  $ printf 'not json\n' | ../bin/itrace.exe summary --strict - 2>&1 >/dev/null
+  itrace: strict: 1 bad line(s), 0 orphan(s)
+  [1]

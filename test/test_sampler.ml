@@ -1,0 +1,201 @@
+(* Tail sampler: captures exactly the slow / denied / raised traces of a
+   scripted workload, and has strictly zero effect while telemetry is off. *)
+
+
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A deterministic nanosecond clock the scripts advance by hand. *)
+let clock = ref 0L
+
+let tick ns =
+  clock := Int64.add !clock (Int64.of_int ns)
+
+let with_sampler ?(slow_ns = 1000L) ?per_trace_cap ?max_live ?max_captured f =
+  Telemetry.reset ();
+  Telemetry.clear_sinks ();
+  clock := 0L;
+  Telemetry.set_clock (fun () -> !clock);
+  let smp = Sampler.create ?per_trace_cap ?max_live ?max_captured ~slow_ns () in
+  Telemetry.add_sink (Sampler.sink smp);
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.clear_sinks ();
+      (* restore the wall clock for whatever runs next in this binary *)
+      Telemetry.set_clock (fun () ->
+          Int64.of_float (Unix.gettimeofday () *. 1e9));
+      Option.iter Recorder.install (Recorder.global ()))
+    (fun () -> f smp)
+
+(* a request: [dur] ns inside one manager.execute span, optionally
+   emitting a denial; returns its trace id *)
+let request ?(denied = false) ~dur () =
+  Telemetry.in_new_trace (fun () ->
+      Telemetry.span "manager.execute" (fun () ->
+          if denied then Telemetry.event "manager.denied";
+          tick dur);
+      Telemetry.current_trace ())
+
+(* ------------------------------------------------------------------ *)
+(* Capture policy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let capture_policy =
+  t "captures exactly the slow, denied, and raised traces" (fun () ->
+      with_sampler ~slow_ns:1000L (fun smp ->
+          Telemetry.enable ();
+          let fast = request ~dur:10 () in
+          let slow = request ~dur:5000 () in
+          let denied = request ~denied:true ~dur:10 () in
+          let raised =
+            Telemetry.in_new_trace (fun () ->
+                (try
+                   Telemetry.span "manager.execute" (fun () ->
+                       tick 10;
+                       failwith "boom")
+                 with Failure _ -> ());
+                Telemetry.current_trace ())
+          in
+          check_bool "fast discarded" false (Sampler.finish smp ~trace:fast ());
+          check_bool "slow captured" true (Sampler.finish smp ~trace:slow ());
+          check_bool "denied captured" true
+            (Sampler.finish smp ~trace:denied ());
+          check_bool "raised captured" true
+            (Sampler.finish smp ~trace:raised ());
+          Alcotest.(check (list int))
+            "capture set, in finish order"
+            [ slow; denied; raised ]
+            (List.map fst (Sampler.captures smp));
+          check_int "considered" 4 (Sampler.considered smp);
+          check_int "captured" 3 (Sampler.captured smp);
+          check_int "discarded" 1 (Sampler.discarded smp);
+          (* the captured chain is the whole request, span ends included *)
+          match List.assoc_opt slow (Sampler.captures smp) with
+          | None -> Alcotest.fail "slow trace not in captures"
+          | Some evs ->
+            check_int "full chain retained" 2 (List.length evs);
+            check_bool "all events carry the trace id" true
+              (List.for_all
+                 (fun (e : Telemetry.event) -> e.Telemetry.trace = slow)
+                 evs)))
+
+let failed_overrides =
+  t "~failed:true captures a fast successful-looking trace" (fun () ->
+      with_sampler ~slow_ns:1_000_000L (fun smp ->
+          Telemetry.enable ();
+          let tr = request ~dur:10 () in
+          check_bool "captured on failed" true
+            (Sampler.finish smp ~trace:tr ~failed:true ())))
+
+let unknown_trace =
+  t "finishing a trace with no events counts as discarded" (fun () ->
+      with_sampler (fun smp ->
+          Telemetry.enable ();
+          check_bool "nothing to capture" false (Sampler.finish smp ~trace:999 ());
+          check_int "considered" 1 (Sampler.considered smp);
+          check_int "discarded" 1 (Sampler.discarded smp)))
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let per_trace_bound =
+  t "per-trace cap truncates the chain and counts the overflow" (fun () ->
+      with_sampler ~slow_ns:0L ~per_trace_cap:3 (fun smp ->
+          Telemetry.enable ();
+          let tr =
+            Telemetry.in_new_trace (fun () ->
+                for i = 1 to 8 do
+                  Telemetry.event (Printf.sprintf "ev%d" i)
+                done;
+                Telemetry.current_trace ())
+          in
+          check_bool "still captured (slow_ns 0)" true
+            (Sampler.finish smp ~trace:tr ());
+          (match Sampler.last_capture smp with
+          | Some (t', evs) ->
+            check_int "capture is this trace" tr t';
+            check_int "chain truncated to the cap" 3 (List.length evs)
+          | None -> Alcotest.fail "no capture");
+          check_int "overflow counted" 5 (Sampler.dropped_events smp)))
+
+let capture_eviction =
+  t "old captures are evicted FIFO past max_captured" (fun () ->
+      with_sampler ~slow_ns:0L ~max_captured:2 (fun smp ->
+          Telemetry.enable ();
+          let run () =
+            let tr = request ~dur:1 () in
+            ignore (Sampler.finish smp ~trace:tr ());
+            tr
+          in
+          let _t1 = run () in
+          let t2 = run () in
+          let t3 = run () in
+          Alcotest.(check (list int))
+            "two newest retained" [ t2; t3 ]
+            (List.map fst (Sampler.captures smp))))
+
+(* ------------------------------------------------------------------ *)
+(* No observer effect while disabled                                   *)
+(* ------------------------------------------------------------------ *)
+
+let engine_run (e, word) =
+  let s = Interaction.Engine.create e in
+  let accepts = List.map (Interaction.Engine.try_action s) word in
+  (Interaction.Engine.word e word, accepts, Interaction.Engine.is_final s)
+
+let no_observer_effect =
+  Testutil.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"sampler installed + telemetry off: zero effect"
+       (Testutil.expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         Telemetry.clear_sinks ();
+         let dark = engine_run case in
+         let smp = Sampler.create ~slow_ns:0L () in
+         Telemetry.add_sink (Sampler.sink smp);
+         (* telemetry stays OFF: the sink must never fire *)
+         let lit = engine_run case in
+         Telemetry.clear_sinks ();
+         Option.iter Recorder.install (Recorder.global ());
+         if dark <> lit then QCheck.Test.fail_report "behaviour changed";
+         if Sampler.captures smp <> [] then
+           QCheck.Test.fail_report "sampler saw events while disabled";
+         ignore (Sampler.finish smp ~trace:1 ());
+         Sampler.captured smp = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let dump_roundtrip =
+  t "dump_jsonl parses back through the lib/trace reader" (fun () ->
+      with_sampler ~slow_ns:0L (fun smp ->
+          Telemetry.enable ();
+          let tr = request ~dur:100 () in
+          ignore (Sampler.finish smp ~trace:tr ());
+          let buf = Buffer.create 256 in
+          let n = Sampler.dump_jsonl smp (Buffer.add_string buf) in
+          check_int "events written" 2 n;
+          let src = Interaction_trace.Source.of_string (Buffer.contents buf) in
+          check_int "all lines parse" 0 src.Interaction_trace.Source.bad_lines;
+          check_int "events read back" 2
+            (List.length src.Interaction_trace.Source.events);
+          let forest =
+            Interaction_trace.Spantree.build src.Interaction_trace.Source.events
+          in
+          check_int "the captured span closes" 1
+            (Interaction_trace.Spantree.closed_count forest);
+          check_int "no orphans" 0 (Interaction_trace.Spantree.orphans forest)))
+
+let () =
+  Alcotest.run "sampler"
+    [ ("policy", [ capture_policy; failed_overrides; unknown_trace ]);
+      ("bounds", [ per_trace_bound; capture_eviction ]);
+      ("no-observer-effect", [ no_observer_effect ]);
+      ("export", [ dump_roundtrip ])
+    ]

@@ -1,0 +1,476 @@
+(* lib/trace: JSONL round-trips, span-tree reconstruction, exact latency
+   attribution, the perfetto export, and tolerance of truncated logs. *)
+
+
+module Src = Interaction_trace.Source
+module Tree = Interaction_trace.Spantree
+module Attrib = Interaction_trace.Attrib
+module Perfetto = Interaction_trace.Perfetto
+module Report = Interaction_trace.Report
+
+let t name f = Alcotest.test_case name `Quick f
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Hand-built events, for the synthetic fixtures *)
+let ev ?(kind = Telemetry.Point) ?(span = 0) ?(parent = 0) ?(trace = 0)
+    ?(dom = 0) ?(fields = []) ~seq ~ts name =
+  { Telemetry.seq; ts = Int64.of_int ts; kind; name; span; parent; trace; dom;
+    fields }
+
+(* Run [f] with telemetry enabled and every event captured in a fresh
+   ring (same discipline as test_telemetry's helper). *)
+let observed ?(capacity = 65536) f =
+  let ring = Telemetry.Ring.create capacity in
+  Telemetry.reset ();
+  Telemetry.clear_sinks ();
+  Telemetry.add_sink (Telemetry.Ring.sink ring);
+  Telemetry.enable ();
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.disable ();
+        Telemetry.clear_sinks ();
+        Option.iter Recorder.install (Recorder.global ()))
+      f
+  in
+  (r, Telemetry.Ring.to_list ring)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL round-trip: whatever jsonl_sink writes, parse_line reads back *)
+(* loss-free.  Integer-valued floats are excluded by construction: the *)
+(* writer prints them without a decimal point, so they parse back as   *)
+(* Int — a documented asymmetry, not a data loss.                      *)
+(* ------------------------------------------------------------------ *)
+
+let value_gen =
+  let open QCheck.Gen in
+  frequency
+    [ (3, map (fun i -> Telemetry.Int i) (int_range (-1_000_000) 1_000_000));
+      (2,
+       map
+         (fun s -> Telemetry.Str s)
+         (string_size ~gen:printable (int_range 0 10)));
+      (1, map (fun b -> Telemetry.Bool b) bool);
+      (* k + 0.5 is exactly representable and short under %g, and never
+         integer-valued — the only Float shape the format round-trips *)
+      (2,
+       map
+         (fun k -> Telemetry.Float (float_of_int k +. 0.5))
+         (int_range (-1000) 1000)) ]
+
+let event_gen =
+  let open QCheck.Gen in
+  oneofl [ Telemetry.Span_start; Telemetry.Span_end; Telemetry.Point ]
+  >>= fun kind ->
+  oneofl [ "engine.eval"; "manager.ask"; "wal.append"; "mqueue.enqueue"; "pt" ]
+  >>= fun name ->
+  int_range 0 1000 >>= fun seq ->
+  int_range 0 1_000_000 >>= fun ts ->
+  int_range 0 50 >>= fun span ->
+  int_range 0 50 >>= fun parent ->
+  int_range 0 20 >>= fun trace ->
+  int_range 0 4 >>= fun dom ->
+  list_size (int_range 0 5) value_gen >>= fun vals ->
+  (* distinct non-builtin keys: an assoc list with duplicates has no
+     canonical reading *)
+  let fields = List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) vals in
+  return (ev ~kind ~span ~parent ~trace ~dom ~fields ~seq ~ts name)
+
+let event_arb =
+  QCheck.make ~print:(fun e -> Telemetry.event_to_json e) event_gen
+
+let jsonl_roundtrip =
+  Testutil.to_alcotest
+    (QCheck.Test.make ~count:500
+       ~name:"event_to_json . parse_line = identity (sink-shaped events)"
+       event_arb
+       (fun e ->
+         match Telemetry.Jsonl.parse_line (Telemetry.event_to_json e) with
+         | None -> QCheck.Test.fail_report "did not parse back"
+         | Some p ->
+           if p <> e then
+             QCheck.Test.fail_reportf "parsed to a different event: %s"
+               (Telemetry.event_to_json p);
+           true))
+
+(* ------------------------------------------------------------------ *)
+(* Span trees over real engine/manager runs                            *)
+(* ------------------------------------------------------------------ *)
+
+let manager_workload (e, word) =
+  let mgr = Interaction_manager.Manager.create e in
+  List.iter
+    (fun a ->
+      Telemetry.in_new_trace (fun () ->
+          ignore (Interaction_manager.Manager.execute mgr ~client:"w" a)))
+    word
+
+(* every start has its end, children nest inside their parents *)
+let balanced_nesting =
+  Testutil.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"captured runs reconstruct with zero orphans, nested children"
+       (Testutil.expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         let (), evs = observed (fun () -> manager_workload case) in
+         let forest = Tree.build evs in
+         if Tree.orphans forest > 0 then
+           QCheck.Test.fail_reportf "%d orphan(s) in a complete log"
+             (Tree.orphans forest);
+         Tree.iter
+           (fun n ->
+             if not n.Tree.closed then
+               QCheck.Test.fail_report "unclosed node in a complete log";
+             List.iter
+               (fun (c : Tree.node) ->
+                 if
+                   Int64.compare c.Tree.start_ts n.Tree.start_ts < 0
+                   || Int64.compare c.Tree.end_ts n.Tree.end_ts > 0
+                 then
+                   QCheck.Test.fail_reportf "child %s escapes parent %s"
+                     c.Tree.name n.Tree.name)
+               n.Tree.children)
+           forest;
+         true))
+
+(* a log cut at any point still builds — orphans counted, nothing raised *)
+let truncation_tolerated =
+  Testutil.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"any prefix of a log builds; the full log has no orphans"
+       (Testutil.expr_word_arb ~max_depth:3 ~max_len:4 ())
+       (fun case ->
+         let (), evs = observed (fun () -> manager_workload case) in
+         let lines = List.map Telemetry.event_to_json evs in
+         let n = List.length lines in
+         for cut = 0 to n do
+           let prefix = List.filteri (fun i _ -> i < cut) lines in
+           let src = Src.of_lines prefix in
+           let forest = Tree.build src.Src.events in
+           ignore (Tree.closed_count forest);
+           ignore (Attrib.of_events src.Src.events forest)
+         done;
+         let full = Tree.build (Src.of_lines lines).Src.events in
+         Tree.orphans full = 0))
+
+let truncated_log_counts_orphans =
+  t "a start without its end is an orphan start, not an error" (fun () ->
+      let evs =
+        [ ev ~kind:Telemetry.Span_start ~span:1 ~trace:1 ~seq:1 ~ts:100
+            "manager.execute";
+          ev ~kind:Telemetry.Span_start ~span:2 ~parent:1 ~trace:1 ~seq:2
+            ~ts:200 "manager.ask"
+          (* log ends here: the process died mid-request *) ]
+      in
+      let forest = Tree.build evs in
+      check_int "orphan starts" 2 forest.Tree.orphan_starts;
+      check_int "unmatched ends" 0 forest.Tree.orphan_ends;
+      check_int "nothing closed" 0 (Tree.closed_count forest);
+      let forest2 =
+        Tree.build
+          [ ev ~kind:Telemetry.Span_end ~span:9 ~trace:1 ~seq:1 ~ts:50
+              "manager.execute" ]
+      in
+      check_int "end without start" 1 forest2.Tree.orphan_ends)
+
+(* ------------------------------------------------------------------ *)
+(* Exact attribution on a synthetic request                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One request, fixed timestamps: 300 ns queue wait, then a 600 ns
+   manager.execute containing a 200 ns engine.eval and a 100 ns
+   wal.append (both timed points -> leaf children).  Nothing may be
+   double-counted and nothing may go missing. *)
+let synthetic_request =
+  [ ev ~seq:1 ~ts:100 ~trace:1 "mqueue.enqueue"
+      ~fields:
+        [ ("queue", Telemetry.Str "q"); ("origin_trace", Telemetry.Int 1) ];
+    ev ~seq:2 ~ts:400 ~trace:1 "mqueue.dequeue"
+      ~fields:
+        [ ("queue", Telemetry.Str "q"); ("origin_trace", Telemetry.Int 1) ];
+    ev ~kind:Telemetry.Span_start ~seq:3 ~ts:400 ~span:1 ~trace:1
+      "manager.execute";
+    ev ~seq:4 ~ts:800 ~span:1 ~trace:1 "engine.eval"
+      ~fields:[ ("dur_ns", Telemetry.Int 200) ];
+    ev ~seq:5 ~ts:900 ~span:1 ~trace:1 "wal.append"
+      ~fields:[ ("dur_ns", Telemetry.Int 100) ];
+    ev ~kind:Telemetry.Span_end ~seq:6 ~ts:1000 ~span:1 ~trace:1
+      "manager.execute" ~fields:[ ("dur_ns", Telemetry.Int 600) ]
+  ]
+
+let exact_attribution =
+  t "queue/engine/manager/wal split exactly, no double counting" (fun () ->
+      let forest = Tree.build synthetic_request in
+      check_int "orphans" 0 (Tree.orphans forest);
+      match Attrib.of_events synthetic_request forest with
+      | [ a ] ->
+        check_int "trace" 1 a.Attrib.trace;
+        check_int "wall = last - first" 900 a.Attrib.wall_ns;
+        check_int "queue = dequeue - enqueue" 300 a.Attrib.queue_ns;
+        check_int "engine = eval's dur" 200 a.Attrib.engine_ns;
+        check_int "wal = append's dur" 100 a.Attrib.wal_ns;
+        check_int "manager = execute self time" 300 a.Attrib.manager_ns;
+        check_int "other" 0 a.Attrib.other_ns;
+        check_bool "not denied" false a.Attrib.denied;
+        Alcotest.(check (list string))
+          "critical path follows the heaviest child"
+          [ "manager.execute"; "engine.eval" ]
+          a.Attrib.critical_path
+      | l -> Alcotest.failf "expected 1 attribution, got %d" (List.length l))
+
+let denied_flag =
+  t "a manager.denied event flags its trace" (fun () ->
+      let evs =
+        synthetic_request
+        @ [ ev ~seq:7 ~ts:1100 ~trace:2 "manager.denied";
+            ev ~seq:8 ~ts:1200 ~trace:2 "manager.ask" ]
+      in
+      let forest = Tree.build evs in
+      match Attrib.of_events evs forest with
+      | [ a1'; a2 ] ->
+        check_bool "trace 1 clean" false a1'.Attrib.denied;
+        check_bool "trace 2 denied" true a2.Attrib.denied
+      | l -> Alcotest.failf "expected 2 attributions, got %d" (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export is well-formed JSON                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* a minimal JSON syntax checker: accepts exactly one value, rejects
+   trailing garbage — enough to catch a malformed export *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t'
+                  || s.[!pos] = '\r')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else raise Exit
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('t' | 'f' | 'n') -> lit ()
+    | Some ('-' | '0' .. '9') -> num ()
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else begin
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> raise Exit
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> raise Exit
+      in
+      elems ()
+    end
+  and str () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Exit
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          pos := !pos + 2;
+          go ()
+        | _ ->
+          incr pos;
+          go ()
+    in
+    go ()
+  and lit () =
+    List.iter (fun c -> expect c)
+      (match peek () with
+      | Some 't' -> [ 't'; 'r'; 'u'; 'e' ]
+      | Some 'f' -> [ 'f'; 'a'; 'l'; 's'; 'e' ]
+      | _ -> [ 'n'; 'u'; 'l'; 'l' ])
+  and num () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ())
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | r -> r
+  | exception Exit -> false
+
+let perfetto_valid_synthetic =
+  t "perfetto export of the synthetic request is valid JSON" (fun () ->
+      let s = Perfetto.to_string (Tree.build synthetic_request) in
+      check_bool "parses" true (json_valid s);
+      let has needle =
+        let m = String.length needle and l = String.length s in
+        let rec go i = i + m <= l && (String.sub s i m = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "has traceEvents" true (has "\"traceEvents\"");
+      check_bool "has a complete slice" true (has "\"ph\":\"X\""))
+
+let perfetto_valid_runs =
+  Testutil.to_alcotest
+    (QCheck.Test.make ~count:30 ~name:"perfetto export of real runs is valid JSON"
+       (Testutil.expr_word_arb ~max_depth:3 ~max_len:4 ())
+       (fun case ->
+         let (), evs = observed (fun () -> manager_workload case) in
+         json_valid (Perfetto.to_string (Tree.build evs))))
+
+(* ------------------------------------------------------------------ *)
+(* Percentile report + histogram quantile estimator                    *)
+(* ------------------------------------------------------------------ *)
+
+let op_stats_exact =
+  t "op_stats: exact nearest-rank percentiles over closed spans" (fun () ->
+      (* 10 engine.eval leaves of durations 100,200,...,1000 ns *)
+      let evs =
+        List.concat
+          (List.init 10 (fun i ->
+               let d = (i + 1) * 100 in
+               [ ev ~kind:Telemetry.Span_start ~seq:(2 * i) ~ts:(i * 10_000)
+                   ~span:(i + 1) "engine.eval";
+                 ev ~kind:Telemetry.Span_end
+                   ~seq:((2 * i) + 1)
+                   ~ts:((i * 10_000) + d)
+                   ~span:(i + 1) "engine.eval" ]))
+      in
+      match Report.op_stats (Tree.build evs) with
+      | [ s ] ->
+        check_int "count" 10 s.Report.count;
+        check_int "p50 is the 5th of 10" 500 s.Report.p50;
+        check_int "p90 is the 9th of 10" 900 s.Report.p90;
+        check_int "p99 is the 10th of 10" 1000 s.Report.p99;
+        check_int "max" 1000 s.Report.max_ns
+      | l -> Alcotest.failf "expected 1 op, got %d" (List.length l))
+
+let quantile_estimator =
+  t "histogram_quantile: linear interpolation inside the bucket" (fun () ->
+      Telemetry.reset ();
+      let h = Telemetry.histogram "test_quantile_ns" in
+      Telemetry.enable ();
+      Fun.protect ~finally:(fun () -> Telemetry.disable ()) @@ fun () ->
+      Alcotest.(check (float 0.))
+        "empty histogram -> 0" 0.
+        (Telemetry.histogram_quantile h 0.5);
+      (* 10 observations land in the (100, 250] bucket: the estimator
+         interpolates target/n of the way through it *)
+      for _ = 1 to 10 do
+        Telemetry.observe h 150L
+      done;
+      Alcotest.(check (float 0.))
+        "p50 = 100 + 150 * 5/10" 175.
+        (Telemetry.histogram_quantile h 0.5);
+      Alcotest.(check (float 0.))
+        "p99 = 100 + 150 * 9.9/10" 248.5
+        (Telemetry.histogram_quantile h 0.99);
+      Alcotest.(check (float 0.))
+        "p0 clamps into the bucket" 100.
+        (Telemetry.histogram_quantile h 0.);
+      (* overflow observations clamp to the largest finite bound *)
+      let h2 = Telemetry.histogram "test_quantile_ovf_ns" in
+      Telemetry.observe h2 500_000_000L;
+      Alcotest.(check (float 0.))
+        "overflow clamps to the largest bound" 100_000_000.
+        (Telemetry.histogram_quantile h2 0.5))
+
+let expose_percentiles =
+  t "expose prints _p50/_p99 lines for histograms" (fun () ->
+      Telemetry.reset ();
+      let h = Telemetry.histogram "test_expose_ns" in
+      Telemetry.enable ();
+      Fun.protect ~finally:(fun () -> Telemetry.disable ()) @@ fun () ->
+      for _ = 1 to 10 do
+        Telemetry.observe h 150L
+      done;
+      let text = Telemetry.expose () in
+      let has needle =
+        let m = String.length needle and l = String.length text in
+        let rec go i =
+          i + m <= l && (String.sub text i m = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "p50 line" true (has "test_expose_ns_p50 175");
+      check_bool "p99 line" true (has "test_expose_ns_p99 248.5"))
+
+(* ------------------------------------------------------------------ *)
+(* Source counts bad lines without failing                             *)
+(* ------------------------------------------------------------------ *)
+
+let source_bad_lines =
+  t "unparseable lines are counted, parseable ones kept" (fun () ->
+      let src =
+        Src.of_string
+          (String.concat "\n"
+             [ Telemetry.event_to_json (ev ~seq:1 ~ts:10 "a");
+               "garbage {not json";
+               "";
+               Telemetry.event_to_json (ev ~seq:2 ~ts:20 "b");
+               "{\"seq\":3}" ])
+      in
+      check_int "events" 2 (List.length src.Src.events);
+      check_int "non-blank lines" 4 src.Src.lines;
+      check_int "bad lines" 2 src.Src.bad_lines)
+
+let () =
+  Alcotest.run "trace"
+    [ ("jsonl", [ jsonl_roundtrip; source_bad_lines ]);
+      ("spantree",
+       [ balanced_nesting; truncation_tolerated; truncated_log_counts_orphans ]);
+      ("attribution", [ exact_attribution; denied_flag ]);
+      ("perfetto", [ perfetto_valid_synthetic; perfetto_valid_runs ]);
+      ("percentiles", [ op_stats_exact; quantile_estimator; expose_percentiles ])
+    ]
