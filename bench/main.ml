@@ -2,12 +2,15 @@
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-     dune exec bench/main.exe            -- all tables (E1..E19)
+     dune exec bench/main.exe            -- all tables (E1..E20)
      dune exec bench/main.exe e3 e4      -- selected tables
      dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
      dune exec bench/main.exe -- smoke --domains 2
                                          -- smoke + parallel-vs-sequential
                                             oracle check (exit 1 on mismatch)
+     dune exec bench/main.exe -- smoke --engine vm
+                                         -- smoke with a pinned engine
+                                            (interp | table | vm | auto)
      dune exec bench/main.exe bechamel   -- bechamel micro-benchmarks
      dune exec bench/main.exe crash-smoke
                                          -- kill–replay–verify: cut the WAL
@@ -15,7 +18,7 @@
                                             check against the prefix oracle
                                             (exit 1 on divergence)
 
-   Every run also writes BENCH_pr7.json: the machine-readable per-experiment
+   Every run also writes BENCH_pr8.json: the machine-readable per-experiment
    numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
    that accumulate the perf trajectory across PRs.  The file is
    deterministic (sorted keys) and self-describing (schema version plus
@@ -74,7 +77,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 7
+let bench_schema_version = 8
 
 let write_bench_json ~domains file =
   let meta =
@@ -933,6 +936,11 @@ let compiled_smoke ~domains =
       ("random-walk", e1_expr, Simulate.random_trace ~seed:42 ~length:40 e1_expr)
     ]
   in
+  let with_backend pref f =
+    let was = Engine.backend () in
+    Engine.set_backend pref;
+    Fun.protect ~finally:(fun () -> Engine.set_backend was) f
+  in
   List.iter
     (fun (label, e, word) ->
       let vc = with_compilation true (fun () -> Engine.word e word) in
@@ -940,6 +948,22 @@ let compiled_smoke ~domains =
       if vc <> vi then
         fail "word verdict differs on %s (compiled %a, interpreted %a)" label
           Semantics.pp_verdict vc Semantics.pp_verdict vi;
+      (* every backend preference must agree too: the bytecode VM where
+         the expression compiles (forced vm degrades, never diverges) *)
+      List.iter
+        (fun pref ->
+          let vb =
+            with_compilation true (fun () ->
+                with_backend pref (fun () -> Engine.word e word))
+          in
+          if vb <> vi then
+            fail "word verdict differs on %s under --engine %s (%a vs %a)"
+              label
+              (match pref with
+              | None -> "auto"
+              | Some b -> Engine.backend_name b)
+              Semantics.pp_verdict vb Semantics.pp_verdict vi)
+        [ None; Some Engine.Table; Some Engine.Vm ];
       let run b =
         with_compilation b (fun () ->
             let s = Engine.create e in
@@ -1270,6 +1294,134 @@ let e19 () =
   pf "after snapshot: %d replayed in %.2f ms (replay bounded by snapshot cadence)@."
     replayed2 (t_rec2 *. 1e3);
   rm_rf root
+
+(* ------------------------------------------------------------------ E20 *)
+
+(* The three executable backends against each other: interpreted τ̂,
+   signature automaton (table), and the ahead-of-time bytecode VM — the
+   engine preference is the only thing flipped between measurements.
+
+   Unlike E18, every round measures all engines back to back (interleaved,
+   best-of across rounds): measuring one column fully before the other
+   gave the later column a systematic ~5–8% handicap on this machine
+   (frequency/cache drift) — with identical code on both columns E18's
+   protocol reported 0.92–0.95x.  Interleaving removes the bias instead
+   of hiding it in the ratio. *)
+
+let e20 () =
+  header "E20" "bytecode VM vs lazy automaton vs interpreted τ̂ (interleaved rounds)"
+    "not in the paper — engineering: harmless expressions as flat programs";
+  Automaton.reset_shared ();
+  Bytecode.reset_shared ();
+  (* engine-vs-engine only: the smoke run arms telemetry for the trace
+     artifact, but a per-action span tax on every column compresses the
+     ratios toward 1 — switch it off for the measured section *)
+  let tel = Telemetry.enabled () in
+  Telemetry.disable ();
+  Fun.protect ~finally:(fun () -> if tel then Telemetry.enable ())
+  @@ fun () ->
+  let saved = Engine.backend () in
+  let with_backend pref f =
+    Engine.set_backend pref;
+    Fun.protect ~finally:(fun () -> Engine.set_backend saved) f
+  in
+  (* auto is the shipped default for the vm column: harmless expressions
+     (word, e1) run on the VM, the quantified E2 feed degrades to the
+     automaton — exactly what a deployment with compilation on gets *)
+  let engines =
+    [ ("interp", Some Engine.Interp); ("table", Some Engine.Table); ("vm", None) ]
+  in
+  let rounds = 25 in
+  let measure run =
+    List.iter (fun (_, pref) -> with_backend pref run) engines;  (* warmup *)
+    let samples =
+      Array.of_list (List.map (fun (name, pref) -> (name, pref, ref [])) engines)
+    in
+    let n = Array.length samples in
+    (* rotate who goes first each round: the engine measured right after
+       the previous round's tail systematically sees a different cache and
+       heap than the one measured last, and at parity that position bias
+       is the whole signal *)
+    for r = 0 to rounds - 1 do
+      for k = 0 to n - 1 do
+        let _, pref, acc = samples.((k + r) mod n) in
+        with_backend pref (fun () ->
+            Gc.full_major ();
+            let (), dt = wtime run in
+            acc := dt :: !acc)
+      done
+    done;
+    Array.to_list (Array.map (fun (name, _, acc) -> (name, !acc)) samples)
+  in
+  pf "%-38s %11s %11s %11s %8s %8s@." "workload" "interp" "table" "vm"
+    "tbl/int" "vm/int";
+  let row label key ~actions run =
+    let res = measure run in
+    let times name = List.assoc name res in
+    let per name =
+      List.fold_left min infinity (times name) *. 1e9 /. float_of_int actions
+    in
+    (* paired speedups: a host-noise epoch outlasting one round inflates
+       every engine of that round together, so the median of per-round
+       ratios is far more stable than the ratio of minima taken from
+       different rounds *)
+    let ratio name =
+      let rs = List.map2 (fun i t -> i /. t) (times "interp") (times name) in
+      let a = Array.of_list rs in
+      Array.sort compare a;
+      a.(Array.length a / 2)
+    in
+    let interp = per "interp" and table = per "table" and vm = per "vm" in
+    List.iter
+      (fun name -> record "e20" (Printf.sprintf "%s_%s_ns_per_action" key name) (per name))
+      [ "interp"; "table"; "vm" ];
+    record "e20" (key ^ "_table_vs_interp_speedup") (ratio "table");
+    record "e20" (key ^ "_vm_vs_interp_speedup") (ratio "vm");
+    pf "%-38s %11.0f %11.0f %11.0f %7.2fx %7.2fx@." label interp table vm
+      (ratio "table") (ratio "vm")
+  in
+  (* A — the word problem on the harmless E1 expression: the VM walks a
+     27-state flat program; steady-state target is tens of ns per action *)
+  let word1 = List.map (fun n -> act n []) [ "a"; "c"; "e"; "b"; "d"; "f" ] in
+  assert (Engine.word e1_expr word1 <> Semantics.Illegal);
+  let reps = 5_000 in
+  row "word, harmless E1 expression" "word" ~actions:(reps * List.length word1)
+    (fun () -> for _ = 1 to reps do ignore (Engine.word e1_expr word1) done);
+  (* B — the E16/E18 session loop on E1: the action problem through
+     sessions, VM-bound under auto *)
+  let e1_n = 20_000 in
+  row "session loop, harmless E1 expression" "e1" ~actions:e1_n (fun () ->
+      let s = Engine.create e1_expr in
+      for i = 0 to e1_n - 1 do
+        let a = act (List.nth e1_script (i mod List.length e1_script)) [] in
+        ignore (Engine.try_action s a)
+      done);
+  (* C — the E2 growth feed: quantified, so the vm column exercises the
+     auto fallback to the automaton (and its batched-counter warm path) *)
+  let patients = 150 in
+  (* 5 feeds per timed region: one feed is ~450 actions (~0.1 ms), small
+     enough that timer and cache jitter dominate a single run *)
+  let feed_reps = 25 in
+  row "growth feed, quantified E2 constraint" "feed"
+    ~actions:(feed_reps * 3 * patients) (fun () ->
+      for _ = 1 to feed_reps do
+        ignore (e2_feed_patients Medical.patient_constraint patients)
+      done);
+  (* shape of the compiled artifact the word workload ran on *)
+  (match Bytecode.shared e1_expr with
+  | Some t ->
+    let i = Bytecode.info t in
+    record "e20" "e1_program_states" (float_of_int i.Bytecode.states);
+    record "e20" "e1_program_columns" (float_of_int i.Bytecode.columns);
+    pf "@.E1 program: %d states over %d signature columns@." i.Bytecode.states
+      i.Bytecode.columns
+  | None -> pf "@.E1 program: not compiled (kill switch off?)@.");
+  let st = Bytecode.stats () in
+  record "e20" "vm_steps" (float_of_int st.Bytecode.steps);
+  record "e20" "vm_fallbacks" (float_of_int st.Bytecode.fallbacks);
+  pf "process-wide: %d vm steps, %d interpreted fallbacks, %d program(s), %d compile failure(s)@."
+    st.Bytecode.steps st.Bytecode.fallbacks st.Bytecode.programs
+    st.Bytecode.failures
 
 (* ------------------------------------------------ crash-recovery smoke - *)
 
@@ -1653,7 +1805,7 @@ let bechamel () =
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
-    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19);
+    ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
     ("bechamel", bechamel)
   ]
 
@@ -1670,6 +1822,19 @@ let () =
     | [] -> (1, List.rev acc)
   in
   let domains, args = extract_domains [] args in
+  let rec extract_engine acc = function
+    | "--engine" :: name :: rest -> (
+      match Engine.backend_of_string name with
+      | Ok pref ->
+        Engine.set_backend pref;
+        (List.rev_append acc rest)
+      | Error m ->
+        Format.eprintf "%s@." m;
+        exit 2)
+    | x :: rest -> extract_engine (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_engine [] args in
   let smoke = List.mem "smoke" args in
   let trace_oc = ref None in
   if smoke then begin
@@ -1686,7 +1851,7 @@ let () =
   let selected =
     if smoke && names = [] then
       List.filter
-        (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18"; "e19" ])
+        (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18"; "e19"; "e20" ])
         experiments
     else if crash && names = [] then []
     else
@@ -1723,6 +1888,6 @@ let () =
      diverging store left in ./crash-smoke-store for the artifact upload) *)
   if crash then crash_smoke ();
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr7.json";
-  pf "@.wrote BENCH_pr7.json@.";
+  write_bench_json ~domains "BENCH_pr8.json";
+  pf "@.wrote BENCH_pr8.json@.";
   pf "@."

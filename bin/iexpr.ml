@@ -70,9 +70,98 @@ let run_cmd =
          Action.pp_concrete)
       (Engine.trace session)
   in
+  (* The action problem straight off a compiled artifact: the walk is
+     rows-only (Vm.step_row / Vm.final_row), no state DAG is derived. *)
+  let run_program file =
+    match Interaction_store.Progfile.read file with
+    | Error m ->
+      Format.eprintf "iexpr run: %s@." m;
+      exit 2
+    | Ok p ->
+      let t = Bytecode.of_program p in
+      let i = Bytecode.info t in
+      Format.printf "program: %a (%d states, %d columns)@." Syntax.pp
+        (Bytecode.expr p) i.Bytecode.states i.Bytecode.columns;
+      Format.printf "enter one concrete action per line (EOF to stop)@.";
+      let row = ref Bytecode.Vm.start_row in
+      let accepted = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line stdin) in
+           if line <> "" then
+             match Syntax.parse_action line with
+             | Error m -> Format.printf "parse error: %s@." m
+             | Ok a ->
+               let r' = Bytecode.Vm.step_row t !row a in
+               if r' < 0 then Format.printf "Reject.@."
+               else begin
+                 row := r';
+                 accepted := a :: !accepted;
+                 Format.printf "Accept.%s@."
+                   (if Bytecode.Vm.final_row t r' then " (complete)" else "")
+               end
+         done
+       with End_of_file -> ());
+      Format.printf "trace: %a@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           Action.pp_concrete)
+        (List.rev !accepted)
+  in
+  let expr_opt =
+    Arg.(value & pos 0 (some expr_arg) None & info [] ~docv:"EXPR" ~doc:"Interaction expression.")
+  in
+  let program =
+    Arg.(value & opt (some string) None & info [ "program" ] ~docv:"FILE" ~doc:"Execute a compiled program artifact (see $(b,iexpr compile)) instead of EXPR.")
+  in
+  let run' e_opt program =
+    match (e_opt, program) with
+    | None, Some file -> run_program file
+    | Some e, None -> run e
+    | Some _, Some _ ->
+      Format.eprintf "iexpr run: give either EXPR or --program, not both@.";
+      exit 2
+    | None, None ->
+      Format.eprintf "iexpr run: an EXPR argument or --program FILE is required@.";
+      exit 2
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Solve the action problem interactively: accept or reject actions read from stdin.")
-    Term.(const run $ expr_pos)
+    Term.(const run' $ expr_opt $ program)
+
+(* --- compile ------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run e out max_states =
+    match Bytecode.compile ?max_states e with
+    | None ->
+      Format.eprintf
+        "iexpr compile: %a does not flatten to a bytecode program@." Syntax.pp e;
+      Format.eprintf
+        "  (the alphabet must be ground and the reachable state space must close within the row cap; %s)@."
+        (Classify.describe e);
+      exit 1
+    | Some t ->
+      let p = Bytecode.program t in
+      let i = Bytecode.info t in
+      (match out with
+      | Some file ->
+        Interaction_store.Progfile.write file p;
+        Format.printf "wrote %s: %d states, %d columns@." file
+          i.Bytecode.states i.Bytecode.columns
+      | None ->
+        Format.printf "compiled: %d states, %d columns@." i.Bytecode.states
+          i.Bytecode.columns)
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the CRC-framed program artifact to FILE.")
+  in
+  let max_states =
+    Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N" ~doc:"Row cap for the flattening BFS (default 4096; 512 for potentially-malignant expressions).")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile EXPR ahead of time to a flat bytecode program; with -o, emit a versioned artifact that $(b,iexpr run --program) executes.")
+    Term.(const run $ expr_pos $ out $ max_states)
 
 (* --- classify ---------------------------------------------------------- *)
 
@@ -414,8 +503,8 @@ let main =
   Cmd.group
     (Cmd.info "iexpr" ~version:"1.0.0"
        ~doc:"Interaction expressions and graphs (Heinlein, ICDE 2001) — word/action problems, complexity analysis, language enumeration and graph rendering.")
-    [ word_cmd; run_cmd; classify_cmd; lang_cmd; trace_cmd; explain_cmd; dot_cmd;
-      show_cmd; simplify_cmd; deadend_cmd; equiv_cmd; audit_cmd; profile_cmd;
-      witness_cmd ]
+    [ word_cmd; run_cmd; compile_cmd; classify_cmd; lang_cmd; trace_cmd;
+      explain_cmd; dot_cmd; show_cmd; simplify_cmd; deadend_cmd; equiv_cmd;
+      audit_cmd; profile_cmd; witness_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -48,6 +48,9 @@
      --no-compile      disable the compiled transition kernel (signature
                        classifier + lazy automaton); every step runs the
                        interpreted transition function.
+     --engine E        executable backend: interp | table | vm | auto
+                       (default auto: the bytecode VM when the expression
+                       compiles, the lazy automaton otherwise).
      --slow-ms N       tail sampling: buffer each request's event chain
                        and append it to the slow-trace file when the
                        request was slower than N ms, denied, or raised
@@ -309,8 +312,9 @@ let run ~stats_every ~sampler b =
 let usage () =
   prerr_endline
     "usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] \
-     [--store DIR] [--no-fsync] [--snapshot-every N] [--slow-ms N] \
-     [--slow-trace FILE] \"<interaction expression>\"";
+     [--engine interp|table|vm|auto] [--store DIR] [--no-fsync] \
+     [--snapshot-every N] [--slow-ms N] [--slow-trace FILE] \
+     \"<interaction expression>\"";
   exit 2
 
 let () =
@@ -341,6 +345,14 @@ let () =
     | "--no-compile" :: rest ->
       State.set_compilation false;
       parse_args rest
+    | "--engine" :: name :: rest -> (
+      match Engine.backend_of_string name with
+      | Ok pref ->
+        Engine.set_backend pref;
+        parse_args rest
+      | Error m ->
+        prerr_endline ("imanager: " ^ m);
+        usage ())
     | "--store" :: dir :: rest ->
       store := Some dir;
       parse_args rest

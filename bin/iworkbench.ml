@@ -90,7 +90,10 @@ let help () =
     \  telemetry on|off   collect events into a bounded ring buffer@.\
     \  slow [file]        tail-sampler captures (--slow-ms); export as JSONL@.\
     \  metrics            Prometheus-style counters, caches, watermarks@.\
-    \  compile            compiled-kernel status: automaton shape, step counters@.\
+    \  compile            compiled-kernel status: active backend, program or@.\
+    \                     automaton shape, step counters@.\
+    \  load-program <f>   load a compiled artifact (iexpr compile -o) and@.\
+    \                     bind a session to its expression@.\
     \  help, quit"
 
 (* One process-wide ring: `telemetry on` installs it as a sink once, and
@@ -362,30 +365,77 @@ let command env line =
   | "compile" ->
     out "compilation: %s" (if State.compilation () then "on" else "off");
     (match env.session with
-    | Some s when Automaton.active () ->
-      let i = Automaton.info (Automaton.shared (Engine.expr s)) in
-      out "automaton: %s, %d row(s), %d signature(s)"
-        (if i.Automaton.eager then "eager" else "lazy")
-        i.Automaton.rows i.Automaton.signatures
-    | Some _ | None -> ());
+    | Some s -> (
+      let e = Engine.expr s in
+      match Engine.resolve e with
+      | Engine.Vm -> (
+        match Bytecode.shared e with
+        | Some t ->
+          let i = Bytecode.info t in
+          out "backend: vm (%d state(s), %d column(s))" i.Bytecode.states
+            i.Bytecode.columns
+        | None -> out "backend: vm")
+      | Engine.Table ->
+        out "backend: table";
+        if Automaton.active () then begin
+          let i = Automaton.info (Automaton.shared e) in
+          out "automaton: %s, %d row(s), %d signature(s)"
+            (if i.Automaton.eager then "eager" else "lazy")
+            i.Automaton.rows i.Automaton.signatures
+        end
+      | Engine.Interp -> out "backend: interp")
+    | None -> ());
     let st = Automaton.stats () in
     out "steps: %d (%d interpreted fallback(s))" st.Automaton.steps
       st.Automaton.fallbacks;
     out "signature cache: %d hit(s), %d miss(es)" st.Automaton.sig_cache_hits
-      st.Automaton.sig_cache_misses
+      st.Automaton.sig_cache_misses;
+    let bst = Bytecode.stats () in
+    out "vm steps: %d (%d fallback(s)); %d program(s), %d compile failure(s)"
+      bst.Bytecode.steps bst.Bytecode.fallbacks bst.Bytecode.programs
+      bst.Bytecode.failures
+  | "load-program" ->
+    if rest = "" then out "usage: load-program <file>"
+    else (
+      match Interaction_store.Progfile.read rest with
+      | Error m -> out "%s" m
+      | Ok p ->
+        let e = Interaction.Bytecode.expr p in
+        let t = Interaction.Bytecode.of_program p in
+        let i = Interaction.Bytecode.info t in
+        detach_store env "new expression loaded";
+        env.session <- Some (Engine.create e);
+        out "loaded program: %a (%d state(s), %d column(s))" Syntax.pp e
+          i.Interaction.Bytecode.states i.Interaction.Bytecode.columns)
   | "quit" | "exit" -> raise Exit
   | other -> out "unknown command %S (try: help)" other
 
 let usage_exit () =
   prerr_endline
-    "usage: iworkbench [--domains N] [--no-compile] [--slow-ms N] \
-     [\"<expression>\"]";
+    "usage: iworkbench [--domains N] [--no-compile] \
+     [--engine interp|table|vm|auto] [--slow-ms N] [\"<expression>\"]";
   exit 2
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
   let no_compile, args = List.partition (String.equal "--no-compile") args in
   if no_compile <> [] then State.set_compilation false;
+  let args =
+    let rec extract acc = function
+      | "--engine" :: name :: rest -> (
+        match Engine.backend_of_string name with
+        | Ok pref ->
+          Engine.set_backend pref;
+          List.rev_append acc rest
+        | Error m ->
+          prerr_endline ("iworkbench: " ^ m);
+          usage_exit ())
+      | [ "--engine" ] -> usage_exit ()
+      | x :: rest -> extract (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    extract [] args
+  in
   let slow_ms, args =
     let rec extract acc = function
       | "--slow-ms" :: n :: rest -> (

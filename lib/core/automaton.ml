@@ -44,6 +44,9 @@ type t = {
   (* level 2: state row × signature column *)
   row_tbl : (int, int) Hashtbl.t;  (* State.id -> row *)
   mutable states : State.t array;  (* row -> state (strong) *)
+  mutable opts : State.t option array;  (* row -> [Some state], preallocated
+                                           so warm steps hand out successors
+                                           without boxing *)
   mutable finals : bool array;  (* row -> φ, so word walks never leave ints *)
   mutable rows : int array array;  (* row -> column -> entry *)
   mutable nrows : int;
@@ -52,6 +55,12 @@ type t = {
      pointer comparison instead of a hash lookup *)
   mutable last_st : State.t;
   mutable last_row : int;
+  (* instance-local tallies, flushed to the process-wide atomics in
+     batches (every [flush_threshold], and exactly on [stats]): the warm
+     session step used to pay three atomic read-modify-writes, a
+     measurable tax at a few hundred ns per action *)
+  mutable pending_steps : int;
+  mutable pending_sig_hits : int;
   max_rows : int;
   max_sigs : int;
   eager : bool;
@@ -78,6 +87,39 @@ let rows_live = Atomic.make 0
 let sigs_live = Atomic.make 0
 let instances_total = Atomic.make 0
 
+(* Pending-tally registry: instances batch their hot counters locally, so
+   [stats] must walk every live instance to stay exact (the workbench and
+   the unit tests read deltas).  Weak references — property tests mint
+   unbounded streams of instances; dead slots are compacted on insert.
+   Flushing a foreign domain's instance reads plain int fields, which can
+   transiently under-count an in-flight batch: acceptable for stats. *)
+let registry : t Weak.t list ref = ref []
+let registry_mu = Mutex.create ()
+
+let register a =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some a);
+  Mutex.protect registry_mu (fun () ->
+      registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
+
+let flush_threshold = 1 lsl 12
+
+let flush a =
+  if a.pending_steps > 0 then begin
+    ignore (Atomic.fetch_and_add steps_total a.pending_steps);
+    a.pending_steps <- 0
+  end;
+  if a.pending_sig_hits > 0 then begin
+    ignore (Atomic.fetch_and_add sig_hits a.pending_sig_hits);
+    a.pending_sig_hits <- 0
+  end
+
+let flush_all () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun w -> match Weak.get w 0 with Some a -> flush a | None -> ())
+        !registry)
+
 type stats = {
   steps : int;
   fallbacks : int;
@@ -92,6 +134,7 @@ type stats = {
 }
 
 let stats () =
+  flush_all ();
   { steps = Atomic.get steps_total;
     fallbacks = Atomic.get fallbacks_total;
     sig_cache_hits = Atomic.get sig_hits;
@@ -104,6 +147,15 @@ let stats () =
     instances = Atomic.get instances_total }
 
 let reset_stats () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun w ->
+          match Weak.get w 0 with
+          | Some a ->
+            a.pending_steps <- 0;
+            a.pending_sig_hits <- 0
+          | None -> ())
+        !registry);
   Atomic.set steps_total 0;
   Atomic.set fallbacks_total 0;
   Atomic.set sig_hits 0;
@@ -150,6 +202,7 @@ let grow_to a n =
     in
     a.rows <- grow a.rows [||];
     a.states <- grow a.states a.states.(0);
+    a.opts <- grow a.opts None;
     a.finals <- grow a.finals false
   end
 
@@ -172,6 +225,7 @@ let row_of a st =
           grow_to a (r + 1);
           a.nrows <- r + 1;
           a.states.(r) <- st;
+          a.opts.(r) <- Some st;
           a.finals.(r) <- State.final st;
           a.rows.(r) <- Array.make 8 e_cold;
           Hashtbl.add a.row_tbl (State.id st) r;
@@ -194,7 +248,9 @@ let signature a c =
 let sig_of a c =
   match Segtbl.find a.sig_cache c with
   | s ->
-    Atomic.incr sig_hits;
+    let n = a.pending_sig_hits + 1 in
+    a.pending_sig_hits <- n;
+    if n >= flush_threshold then flush a;
     s
   | exception Not_found ->
     Atomic.incr sig_misses;
@@ -320,15 +376,20 @@ let create ?eager ?(max_rows = 1 lsl 15) ?(max_sigs = 1 lsl 12) e =
       sig_cache = Segtbl.create ~gen_cap:(1 lsl 14) ~evictions:sig_evictions 64;
       row_tbl = Hashtbl.create 64;
       states = Array.make 64 s0;
+      opts = Array.make 64 None;
       finals = Array.make 64 false;
       rows = Array.make 64 [||];
       nrows = 1;  (* row 0 is σ(e), interned inline just below *)
       last_st = s0;
       last_row = 0;
+      pending_steps = 0;
+      pending_sig_hits = 0;
       max_rows;
       max_sigs;
       eager }
   in
+  register a;
+  a.opts.(0) <- Some s0;
   a.finals.(0) <- State.final s0;
   a.rows.(0) <- Array.make 8 e_cold;
   Hashtbl.add a.row_tbl (State.id s0) 0;
@@ -413,7 +474,9 @@ let reset_shared () =
 let step a st c =
   if not (active ()) then State.trans st c
   else begin
-    Atomic.incr steps_total;
+    let n = a.pending_steps + 1 in
+    a.pending_steps <- n;
+    if n >= flush_threshold then flush a;
     let r = row_of a st in
     if r = no_row then begin
       Atomic.incr fallbacks_total;
@@ -437,10 +500,11 @@ let step a st c =
         end
         else if e >= 0 then begin
           State.count_transition ();
-          let st' = a.states.(e) in
-          a.last_st <- st';
+          a.last_st <- a.states.(e);
           a.last_row <- e;
-          Some st'
+          (* preallocated: the warm path hands out the row's option
+             without boxing a fresh [Some] per step *)
+          a.opts.(e)
         end
         else resolve a r s c
   end

@@ -1,0 +1,558 @@
+(* Ahead-of-time compiled programs and the VM that runs them.
+
+   The lazy automaton (Automaton) answers warm steps from hash tables it
+   fills as it goes; every step still pays a signature probe and atomic
+   counter traffic.  When an expression's alphabet patterns are all ground
+   — no quantifier binders, so the signature of an action is simply "which
+   alphabet action is it, if any" — the signature-level automaton is
+   finite whenever the reachable state space is, and can be flattened once
+   into a dense program:
+
+     columns   the deduplicated ground alphabet (pattern i = column i)
+     rows      reachable states in BFS order, row 0 = σ(e)
+     trans     row-major int table, -1 = reject
+     finals    one bit of φ per row
+
+   An action matching no column is rejected by every state (the uniform
+   reject of Alpha.sig_match: all-None signature), so classification alone
+   answers it — the fast path never reads the table.  Every §6-harmless
+   expression qualifies (quasi-regular ⇒ ground alphabet, finite space);
+   benign or even malignant expressions qualify exactly when they are
+   ground and close within the row cap, which the BFS itself decides.
+
+   The VM walk is the whole point: a step is a name-keyed dispatch probe
+   plus one array read — no state hashing, no signature interning, no
+   per-step boxing (successor options are preallocated per row), and the
+   instance-local step tally is flushed to the process-wide atomic in
+   batches rather than per step. *)
+
+type program = {
+  pexpr : Expr.t;
+  patterns : Alpha.pattern array;  (* ground, deduplicated; defines columns *)
+  cols : Action.concrete array;  (* patterns instantiated; same order *)
+  nstates : int;
+  trans : int array;  (* nstates * ncols, row-major; -1 = reject *)
+  finals : Bytes.t;  (* bitset, (nstates+7)/8 bytes *)
+}
+
+type t = {
+  prog : program;
+  (* name -> candidate columns; ground alphabets rarely overload a name,
+     so classification is one probe and a short scan *)
+  dispatch : (string, (Action.value list * int) list) Hashtbl.t;
+  (* in-process compiles carry the hash-consed state of each row, so
+     sessions can leave and re-enter the program mid-word *)
+  states : State.t array option;
+  row_ids : (int, int) Hashtbl.t;  (* State.id -> row *)
+  opts : State.t option array;  (* preallocated [Some states.(r)] per row *)
+  (* concrete action -> column memo: the dispatch probe hashes the name and
+     scans candidates; the memo answers warm steps in one table probe, the
+     same cost the automaton pays for its signature cache *)
+  ccache : (Action.concrete, int) Segtbl.t;
+  mutable last_st : State.t option;  (* one-slot row resolution *)
+  mutable last_row : int;
+  mutable pending_steps : int;  (* flushed at threshold and on [stats] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let steps_total = Atomic.make 0
+let col_evictions = Atomic.make 0
+let fallbacks_total = Atomic.make 0
+let programs_total = Atomic.make 0
+let failures_total = Atomic.make 0
+
+(* Instances batch their step tally locally; [stats] must still be exact
+   (the workbench and the experiment harness print it), so every instance
+   is reachable — weakly, property tests mint thousands — from a registry
+   the flush walks. *)
+let registry : t Weak.t list ref = ref []
+let registry_mu = Mutex.create ()
+
+let register inst =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some inst);
+  Mutex.protect registry_mu (fun () ->
+      registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
+
+let flush inst =
+  let n = inst.pending_steps in
+  if n > 0 then begin
+    inst.pending_steps <- 0;
+    ignore (Atomic.fetch_and_add steps_total n)
+  end
+
+let flush_all () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun w -> match Weak.get w 0 with Some i -> flush i | None -> ())
+        !registry)
+
+let flush_threshold = 1 lsl 12
+
+type stats = {
+  steps : int;
+  fallbacks : int;
+  programs : int;
+  failures : int;
+}
+
+let stats () =
+  flush_all ();
+  { steps = Atomic.get steps_total;
+    fallbacks = Atomic.get fallbacks_total;
+    programs = Atomic.get programs_total;
+    failures = Atomic.get failures_total }
+
+let reset_stats () =
+  Mutex.protect registry_mu (fun () ->
+      List.iter
+        (fun w ->
+          match Weak.get w 0 with Some i -> i.pending_steps <- 0 | None -> ())
+        !registry);
+  Atomic.set steps_total 0;
+  Atomic.set fallbacks_total 0;
+  Atomic.set programs_total 0;
+  Atomic.set failures_total 0
+
+let () =
+  let probe name r =
+    Telemetry.register_probe name (fun () -> float_of_int (Atomic.get r))
+  in
+  probe "vm_steps_total" steps_total;
+  probe "vm_fallbacks_total" fallbacks_total;
+  probe "vm_programs_total" programs_total;
+  probe "vm_compile_failures_total" failures_total
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The ground alphabet, or None if any pattern carries a binder or free
+   parameter (the classifier cannot be closed: distinct values would need
+   distinct columns). *)
+let ground_cols e =
+  let rec vals acc = function
+    | [] -> Some (List.rev acc)
+    | Alpha.Val v :: rest -> vals (v :: acc) rest
+    | (Alpha.Bound _ | Alpha.Free _) :: _ -> None
+  in
+  let rec go acc = function
+    | [] -> Some (List.sort_uniq Stdlib.compare (List.rev acc))
+    | (p : Alpha.pattern) :: rest -> (
+      match vals [] p.Alpha.pargs with
+      | None -> None
+      | Some args -> go ((p, Action.conc p.Alpha.pname args) :: acc) rest)
+  in
+  go [] (Alpha.of_expr e)
+
+let mk_dispatch cols =
+  let d = Hashtbl.create (2 * Array.length cols) in
+  Array.iteri
+    (fun i (c : Action.concrete) ->
+      let prev = try Hashtbl.find d c.Action.cname with Not_found -> [] in
+      Hashtbl.replace d c.Action.cname (prev @ [ (c.Action.cargs, i) ]))
+    cols;
+  d
+
+let set_final finals r = Bytes.set_uint8 finals (r lsr 3)
+    (Bytes.get_uint8 finals (r lsr 3) lor (1 lsl (r land 7)))
+
+let is_final finals r = Bytes.get_uint8 finals (r lsr 3) land (1 lsl (r land 7)) <> 0
+
+let mk_instance prog states row_ids =
+  let n = prog.nstates in
+  let opts =
+    match states with
+    | None -> Array.make n None
+    | Some sts -> Array.map (fun s -> Some s) sts
+  in
+  let inst =
+    { prog;
+      dispatch = mk_dispatch prog.cols;
+      ccache = Segtbl.create ~gen_cap:(1 lsl 12) ~evictions:col_evictions 64;
+      states;
+      row_ids;
+      opts;
+      last_st = (match states with Some sts -> Some sts.(0) | None -> None);
+      last_row = 0;
+      pending_steps = 0 }
+  in
+  register inst;
+  inst
+
+let default_cap e =
+  (* §6 guides the budget: harmless and benign spaces are bounded, so the
+     cap is generous; a potentially-malignant ground expression (e.g. a
+     parallel iteration) usually diverges, so its BFS is cut off early *)
+  match Classify.benignity e with
+  | Classify.Potentially_malignant -> 512
+  | Classify.Harmless | Classify.Benign _ -> 4096
+
+let compile ?max_states e =
+  let max_states =
+    match max_states with Some n -> max 1 n | None -> default_cap e
+  in
+  match ground_cols e with
+  | None ->
+    Atomic.incr failures_total;
+    None
+  | Some pcols ->
+    let patterns = Array.of_list (List.map fst pcols) in
+    let cols = Array.of_list (List.map snd pcols) in
+    let ncols = Array.length cols in
+    let s0 = State.init e in
+    let ids = Hashtbl.create 64 in
+    let states = ref (Array.make 64 s0) in
+    let nstates = ref 0 in
+    (* two caps bound the BFS work: the row cap (below) and a state-size
+       cap — a state bigger than this makes every ÏÌ of the closure
+       expensive and the flat table unprofitable (harmless expressions,
+       the primary targets, stay far under it by quasi-regularity) *)
+    let max_state_size = 512 in
+    let intern st =
+      match Hashtbl.find_opt ids (State.id st) with
+      | Some r -> Some r
+      | None ->
+        if !nstates >= max_states || State.size st > max_state_size then None
+        else begin
+          if !nstates >= Array.length !states then begin
+            let b = Array.make (2 * Array.length !states) st in
+            Array.blit !states 0 b 0 !nstates;
+            states := b
+          end;
+          !states.(!nstates) <- st;
+          Hashtbl.add ids (State.id st) !nstates;
+          incr nstates;
+          Some (!nstates - 1)
+        end
+    in
+    ignore (intern s0);
+    (* BFS in intern order: processing row i may intern new rows behind
+       the cursor, which the loop then reaches — the table is closed when
+       the cursor catches up without busting the cap *)
+    let rows = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < !nstates do
+      let row = Array.make ncols (-1) in
+      (try
+         for c = 0 to ncols - 1 do
+           match State.trans !states.(!i) cols.(c) with
+           | None -> ()
+           | Some st' -> (
+             match intern st' with
+             | Some r -> row.(c) <- r
+             | None ->
+               ok := false;
+               raise Exit)
+         done
+       with Exit -> ());
+      rows := row :: !rows;
+      incr i
+    done;
+    if not !ok then begin
+      Atomic.incr failures_total;
+      None
+    end
+    else begin
+      let n = !nstates in
+      let trans = Array.make (n * ncols) (-1) in
+      List.iteri
+        (fun k row -> Array.blit row 0 trans ((n - 1 - k) * ncols) ncols)
+        !rows;
+      let finals = Bytes.make ((n + 7) / 8) '\000' in
+      let sts = Array.sub !states 0 n in
+      Array.iteri (fun r st -> if State.final st then set_final finals r) sts;
+      let prog = { pexpr = e; patterns; cols; nstates = n; trans; finals } in
+      Atomic.incr programs_total;
+      Some (mk_instance prog (Some sts) ids)
+    end
+
+let of_program prog = mk_instance prog None (Hashtbl.create 1)
+let program t = t.prog
+let expr p = p.pexpr
+
+type info = {
+  states : int;
+  columns : int;
+  has_states : bool;
+}
+
+let info t =
+  { states = t.prog.nstates;
+    columns = Array.length t.prog.cols;
+    has_states = t.states <> None }
+
+(* ------------------------------------------------------------------ *)
+(* Shared instances                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Domain-local per-expression cache, negative results included: a benign
+   session binding its backend must learn "no program" from one probe,
+   not from a fresh BFS attempt.  Same shape as [Automaton.shared].
+
+   Auto selection ([shared]) only pays the flattening BFS for Â§6-harmless
+   expressions â their spaces are the ones the lazy automaton already
+   precompiles eagerly, so the cost matches the table backend's.  A benign
+   expression can still have thousands of sizable reachable states under
+   the cap, and auto selection runs on every fresh expression (property
+   tests mint them by the thousand); those compile only on request
+   ([shared_forced], i.e. --engine vm or iexpr compile).  [Declined] keeps
+   the two entry points from shadowing each other's verdicts. *)
+module ExprTbl = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash e = Hashtbl.hash_param 256 1024 e
+end)
+
+type cached = Prog of t | Failed | Declined
+
+let shared_cap = 256
+
+let shared_tbl : cached ExprTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ExprTbl.create 16)
+
+let shared_slot : (Expr.t * cached) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let shared_lookup ~force e =
+  let compile_now () =
+    match compile e with Some t -> Prog t | None -> Failed
+  in
+  let fresh () =
+    if force then compile_now ()
+    else
+      match Classify.benignity e with
+      | Classify.Harmless -> compile_now ()
+      | Classify.Benign _ | Classify.Potentially_malignant -> Declined
+  in
+  let slot = Domain.DLS.get shared_slot in
+  let cached =
+    match !slot with
+    | Some (e0, v) when e0 == e && not (force && v = Declined) -> v
+    | _ ->
+      let tbl = Domain.DLS.get shared_tbl in
+      let v =
+        match ExprTbl.find_opt tbl e with
+        | Some Declined when force ->
+          let v = compile_now () in
+          ExprTbl.replace tbl e v;
+          v
+        | Some v -> v
+        | None ->
+          if ExprTbl.length tbl >= shared_cap then ExprTbl.reset tbl;
+          let v = fresh () in
+          ExprTbl.add tbl e v;
+          v
+      in
+      slot := Some (e, v);
+      v
+  in
+  match cached with Prog t -> Some t | Failed | Declined -> None
+
+let shared e = shared_lookup ~force:false e
+let shared_forced e = shared_lookup ~force:true e
+
+let reset_shared () =
+  ExprTbl.reset (Domain.DLS.get shared_tbl);
+  Domain.DLS.get shared_slot := None
+
+(* ------------------------------------------------------------------ *)
+(* The VM                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Vm = struct
+  (* Classify an action into its column; -1 = matches no ground pattern,
+     hence rejected by every state (the uniform-reject fast path). *)
+  let col_of t (c : Action.concrete) =
+    match Segtbl.find t.ccache c with
+    | col -> col
+    | exception Not_found ->
+      let col =
+        match Hashtbl.find t.dispatch c.Action.cname with
+        | exception Not_found -> -1
+        | cands ->
+          let rec go = function
+            | [] -> -1
+            | (args, i) :: rest ->
+              if List.equal String.equal args c.Action.cargs then i else go rest
+          in
+          go cands
+      in
+      Segtbl.add t.ccache c col;
+      col
+
+  let start_row = 0
+  let final_row t r = r >= 0 && is_final t.prog.finals r
+
+  let step_row t r (c : Action.concrete) =
+    if r < 0 then -1
+    else
+      let col = col_of t c in
+      if col < 0 then -1
+      else t.prog.trans.((r * Array.length t.prog.cols) + col)
+
+  let bump t =
+    let n = t.pending_steps + 1 in
+    t.pending_steps <- n;
+    if n >= flush_threshold then flush t
+
+  let step t st c =
+    if not (Automaton.active ()) then State.trans st c
+    else begin
+      bump t;
+      let r =
+        match t.last_st with
+        | Some s0 when s0 == st -> t.last_row
+        | _ -> (
+          match Hashtbl.find_opt t.row_ids (State.id st) with
+          | Some r ->
+            t.last_st <- t.opts.(r);
+            t.last_row <- r;
+            r
+          | None -> -1)
+      in
+      if r < 0 then begin
+        (* a state the program does not carry: an artifact-loaded program,
+           or a walk that left through the interpreter on another domain *)
+        Atomic.incr fallbacks_total;
+        State.trans st c
+      end
+      else
+        let col = col_of t c in
+        (* the table step is one kernel transition, warm or rejecting,
+           exactly like the automaton's (the grant-loop invariant) *)
+        State.count_transition ();
+        if col < 0 then None
+        else
+          let r' = t.prog.trans.((r * Array.length t.prog.cols) + col) in
+          if r' < 0 then None
+          else begin
+            let o = t.opts.(r') in
+            t.last_st <- o;
+            t.last_row <- r';
+            o
+          end
+    end
+
+  let word t w =
+    if not (Automaton.active ()) then
+      match State.trans_word (State.init t.prog.pexpr) w with
+      | None -> None
+      | Some s -> Some (State.final s)
+    else begin
+      let ncols = Array.length t.prog.cols in
+      let trans = t.prog.trans in
+      let steps = ref 0 in
+      let rec go r = function
+        | [] -> Some (final_row t r)
+        | c :: cs ->
+          incr steps;
+          let col = col_of t c in
+          if col < 0 then None
+          else
+            let r' = trans.((r * ncols) + col) in
+            if r' < 0 then None else go r' cs
+      in
+      let res = go 0 w in
+      if !steps > 0 then begin
+        ignore (Atomic.fetch_and_add steps_total !steps);
+        State.count_transitions !steps
+      end;
+      res
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Persistence payload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Sexp payload; the CRC frame around it lives in the store library.
+   The bit string for finals keeps the payload diff-able and the decoder
+   trivial to bound-check. *)
+let encode p =
+  let bits = String.init p.nstates (fun r -> if is_final p.finals r then '1' else '0') in
+  Sexp.to_string
+    (Sexp.List
+       [ Sexp.Atom "bytecode-program";
+         Sexp.List [ Sexp.Atom "expr"; Expr.to_sexp p.pexpr ];
+         Sexp.List [ Sexp.Atom "alpha"; Alpha.to_sexp (Array.to_list p.patterns) ];
+         Sexp.List [ Sexp.Atom "states"; Sexp.Atom (string_of_int p.nstates) ];
+         Sexp.List
+           (Sexp.Atom "trans"
+           :: Array.to_list
+                (Array.map (fun v -> Sexp.Atom (string_of_int v)) p.trans));
+         Sexp.List [ Sexp.Atom "finals"; Sexp.Atom bits ]
+       ])
+
+let decode s =
+  let ( let* ) = Result.bind in
+  let fail m = Error ("bytecode program: " ^ m) in
+  let int_atom = function
+    | Sexp.Atom a -> ( match int_of_string_opt a with
+      | Some v -> Ok v
+      | None -> fail ("not an integer: " ^ a))
+    | Sexp.List _ -> fail "expected integer atom"
+  in
+  match Sexp.of_string s with
+  | Error m -> fail ("unparseable payload: " ^ m)
+  | Ok
+      (Sexp.List
+        [ Sexp.Atom "bytecode-program";
+          Sexp.List [ Sexp.Atom "expr"; expr_s ];
+          Sexp.List [ Sexp.Atom "alpha"; alpha_s ];
+          Sexp.List [ Sexp.Atom "states"; n_s ];
+          Sexp.List (Sexp.Atom "trans" :: trans_s);
+          Sexp.List [ Sexp.Atom "finals"; Sexp.Atom bits ]
+        ]) -> (
+    let* pexpr =
+      try Ok (Expr.of_sexp expr_s)
+      with Invalid_argument m -> fail ("bad expression: " ^ m)
+    in
+    let* alpha =
+      try Ok (Alpha.of_sexp alpha_s)
+      with Invalid_argument m -> fail ("bad alphabet: " ^ m)
+    in
+    let* nstates = int_atom n_s in
+    if nstates < 1 then fail "no states"
+    else
+      (* the stored alphabet must be the expression's own ground alphabet:
+         a frame that passes the CRC but pairs a table with the wrong
+         expression is still rejected *)
+      match ground_cols pexpr with
+      | None -> fail "expression has a non-ground alphabet"
+      | Some pcols ->
+        let patterns = Array.of_list (List.map fst pcols) in
+        let cols = Array.of_list (List.map snd pcols) in
+        if Array.to_list patterns <> alpha then
+          fail "alphabet does not match the expression"
+        else
+          let ncols = Array.length cols in
+          let* trans =
+            let rec go acc = function
+              | [] -> Ok (Array.of_list (List.rev acc))
+              | x :: rest ->
+                let* v = int_atom x in
+                if v < -1 || v >= nstates then
+                  fail (Printf.sprintf "transition target %d out of range" v)
+                else go (v :: acc) rest
+            in
+            go [] trans_s
+          in
+          if Array.length trans <> nstates * ncols then
+            fail
+              (Printf.sprintf "transition table has %d entries, expected %d"
+                 (Array.length trans) (nstates * ncols))
+          else if String.length bits <> nstates then fail "finality bitset length"
+          else if String.exists (fun ch -> ch <> '0' && ch <> '1') bits then
+            fail "finality bitset contents"
+          else begin
+            let finals = Bytes.make ((nstates + 7) / 8) '\000' in
+            String.iteri (fun r ch -> if ch = '1' then set_final finals r) bits;
+            Ok { pexpr; patterns; cols; nstates; trans; finals }
+          end)
+  | Ok _ -> fail "malformed payload"

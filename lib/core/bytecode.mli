@@ -1,0 +1,127 @@
+(** Ahead-of-time bytecode backend for bounded expressions.
+
+    The lazy automaton ({!Automaton}) interns states and signatures on
+    demand and still pays hash probes and counter traffic on every warm
+    step.  For expressions whose reachable state space is finite {e and}
+    closed under their own ground alphabet — every §6-harmless
+    (quasi-regular) expression, plus any benign or other expression whose
+    alphabet patterns are all ground and whose BFS closes within the row
+    cap — the whole transition relation can be flattened {e once} into a
+    compact program: a dense [nstates × ncols] int table over the ground
+    alphabet's signature columns, a finality bitset, and a uniform-reject
+    fast path (an action matching no column is rejected by every state
+    without touching the table).  The VM ({!Vm}) then walks words and
+    sessions by array indexing alone: no hashing of states, no signature
+    interning, no per-step boxing, transition counts flushed in batches.
+
+    Programs are also the embeddable artifact: {!encode}/{!decode} give a
+    self-contained, versioned payload (framed with a CRC by
+    [Interaction_store.Progfile]) that [iexpr compile -o] emits and
+    [iexpr run --program] executes without re-deriving the state DAG. *)
+
+type program
+(** The flat, serializable form: expression, ground alphabet columns,
+    dense transition table and finality bitset.  Immutable. *)
+
+type t
+(** An executable instance: a {!program} plus the runtime dispatch table
+    and, for in-process compiles, the hash-consed state of each row (so
+    sessions can switch between the VM and the interpreted τ̂ mid-word). *)
+
+val compile : ?max_states:int -> Expr.t -> t option
+(** Flatten [e] by BFS over its ground alphabet.  [None] when the
+    alphabet contains non-ground patterns (quantifier binders — the
+    classifier could not be closed) or when more than [max_states] states
+    are reachable (the row cap; default 4096, lowered to 512 for
+    potentially-malignant expressions whose spaces are usually infinite).
+    A returned program is complete: every reachable (state, column) pair
+    is resolved, so the VM never falls back on a known state. *)
+
+val shared : Expr.t -> t option
+(** Domain-local instance per expression, like {!Automaton.shared}.
+    Compilation failures are cached too, so binding a session to an
+    uncompilable expression costs one table probe, not a BFS retry.
+    This is the {e auto-selection} entry point: it only attempts the
+    flattening BFS for §6-harmless expressions (matching the state space
+    the lazy automaton precompiles eagerly anyway); benign and other
+    expressions yield [None] without a BFS. *)
+
+val shared_forced : Expr.t -> t option
+(** Like {!shared} but attempts compilation regardless of benignity
+    (subject to the row cap) — the [--engine vm] entry point.  Upgrades a
+    cached auto decline in place. *)
+
+val reset_shared : unit -> unit
+(** Drop this domain's cached instances and negative results (the
+    experiment harness isolates workloads this way). *)
+
+val of_program : program -> t
+(** Executable view of a loaded artifact.  Rows carry no hash-consed
+    states, so {!Vm.step} on states outside the one-slot window falls
+    back to the interpreted τ̂; the row-level walk ({!Vm.step_row},
+    {!Vm.word}) is exact and fast. *)
+
+val program : t -> program
+val expr : program -> Expr.t
+
+type info = {
+  states : int;
+  columns : int;
+  has_states : bool;  (** in-process compile (rows carry states)? *)
+}
+
+val info : t -> info
+
+module Vm : sig
+  (** The tight loop.  All functions are pure table walks; correctness
+      does not depend on the memoization switches, but {!step} respects
+      the compilation kill switch so ablations and mid-word engine
+      switches behave exactly like the lazy automaton's. *)
+
+  val word : t -> Action.concrete list -> bool option
+  (** The word problem from row 0: [None] = illegal, [Some fin] = the
+      word survived with finality [fin].  Stays in ints; transition
+      counts are flushed in one batch at the end. *)
+
+  val step : t -> State.t -> Action.concrete -> State.t option
+  (** τ̂ through the program.  Warm path: resolve [st]'s row (one-slot
+      pointer comparison, then the id table), classify the action (one
+      dispatch probe), one array read — the returned successor is the
+      row's preallocated state option, no boxing.  Unknown states (only
+      possible after mid-word engine switches across domains or on
+      artifact-loaded programs) fall back to [State.trans].  When the
+      compilation switch is off, falls back unconditionally. *)
+
+  val start_row : int
+  (** Row of σ(e): 0. *)
+
+  val step_row : t -> int -> Action.concrete -> int
+  (** Row-level step for embedded use: [-1] = reject, otherwise the
+      successor row.  [step_row t (-1) _ = -1] (a dead walk stays dead). *)
+
+  val final_row : t -> int -> bool
+end
+
+(** {1 Persistence payload}
+
+    The CRC-framed file container lives in [Interaction_store.Progfile];
+    these functions (de)serialize the payload inside the frame. *)
+
+val encode : program -> string
+
+val decode : string -> (program, string) result
+(** Structural validation: shape, trans entries in range, finality bitset
+    length.  A malformed payload yields [Error], never a crash or a
+    program that answers wrongly. *)
+
+(** {1 Stats} *)
+
+type stats = {
+  steps : int;  (** VM table steps (batched; exact after [stats ()]) *)
+  fallbacks : int;  (** steps answered by the interpreted τ̂ *)
+  programs : int;  (** successful compiles *)
+  failures : int;  (** compile attempts that returned [None] *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

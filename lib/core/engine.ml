@@ -12,18 +12,69 @@ let m_permitted_checks = Telemetry.counter "engine_permitted_checks_total"
 let m_try_ns = Telemetry.histogram "engine_try_action_ns"
 let g_state_size = Telemetry.gauge "engine_state_size"
 
-(* The word problem runs on the compiled kernel when it is active: a table
-   walk over the shared automaton of [e], falling back to the interpreted
-   τ̂ per cold entry (and wholesale when the kernel is switched off). *)
-let word_unobserved e w =
-  if Automaton.active () then
-    match Automaton.run_word (Automaton.shared e) w with
-    | None -> Illegal
-    | Some fin -> if fin then Complete else Partial
+(* Tri-state engine selection.  [None] (the default) is auto: §6-harmless
+   expressions run on the VM, everything else on the lazy automaton; a
+   forced backend overrides per process.  The preference
+   ref is read on every step, so flipping it mid-word takes effect
+   immediately — like the compilation kill switch, which still trumps
+   everything (any backend degrades to the interpreted τ̂ while the kernel
+   switches are off). *)
+type backend = Interp | Table | Vm
+
+let backend_pref : backend option ref = ref None
+let set_backend b = backend_pref := b
+let backend () = !backend_pref
+let backend_name = function Interp -> "interp" | Table -> "table" | Vm -> "vm"
+
+let backend_of_string = function
+  | "auto" -> Ok None
+  | "interp" -> Ok (Some Interp)
+  | "table" -> Ok (Some Table)
+  | "vm" -> Ok (Some Vm)
+  | s -> Error (Printf.sprintf "unknown engine %S (expected interp|table|vm|auto)" s)
+
+(* The backend a fresh walk of [e] would use right now (the workbench's
+   [compile] line and the experiment harness report this). *)
+let resolve e =
+  if not (Automaton.active ()) then Interp
   else
+    match !backend_pref with
+    | Some Interp -> Interp
+    | Some Table -> Table
+    | Some Vm -> (
+      match Bytecode.shared_forced e with Some _ -> Vm | None -> Table)
+    | None -> (
+      match Bytecode.shared e with Some _ -> Vm | None -> Table)
+
+(* The word problem on the selected backend: the VM when a compiled
+   program exists (a pure int walk), the shared automaton otherwise,
+   falling back to the interpreted τ̂ per cold entry (and wholesale when
+   the kernel is switched off). *)
+let word_unobserved e w =
+  let interp () =
     match State.trans_word (State.init e) w with
     | None -> Illegal
     | Some s -> if State.final s then Complete else Partial
+  in
+  let table () =
+    match Automaton.run_word (Automaton.shared e) w with
+    | None -> Illegal
+    | Some fin -> if fin then Complete else Partial
+  in
+  if not (Automaton.active ()) then interp ()
+  else
+    let vm v =
+      match Bytecode.Vm.word v w with
+      | None -> Illegal
+      | Some fin -> if fin then Complete else Partial
+    in
+    match !backend_pref with
+    | Some Interp -> interp ()
+    | Some Table -> table ()
+    | Some Vm -> (
+      match Bytecode.shared_forced e with None -> table () | Some v -> vm v)
+    | None -> (
+      match Bytecode.shared e with None -> table () | Some v -> vm v)
 
 let verdict_name = function
   | Illegal -> "illegal"
@@ -55,14 +106,30 @@ type session = {
      being committed (the former one-slot cache decayed to a 0.3% hit
      rate under exactly that interleaving — BENCH_pr4). *)
   tentative : Scache.t;
-  (* the session's compiled kernel, bound lazily on the first transition so
-     sessions created while compilation is disabled still pick it up when
+  (* the session's compiled kernels, bound lazily on the first transition so
+     sessions created while compilation is disabled still pick them up when
      the switch is flipped back on *)
   mutable auto : Automaton.t option;
+  mutable vm : Bytecode.t option;
+  mutable vm_tried : bool;
+  (* the step route resolved for [route_for] (the preference value it was
+     computed under, compared physically): every backend then dispatches
+     through one field read per step, and a mid-word [set_backend] — a new
+     preference allocation — re-resolves on the next step *)
+  mutable route : route;
+  mutable route_for : backend option option;
   (* the complexity sentinel, bound lazily on the first observed action so
      unobserved runs never pay the classification *)
   mutable sentinel : Sentinel.t option;
 }
+
+and route =
+  | RInterp  (* pinned interpreted kernel *)
+  | RTable  (* the lazy automaton *)
+  | RVm of Bytecode.t  (* a bound program *)
+  | RDeclined  (* auto: compilation declined — the interpreted τ̂ wins on
+                  churning (quantified-growth) states *)
+  | RUnbound  (* vm-capable preference, program not resolved yet *)
 
 (* Switchable only for the experiment harness's before/after table. *)
 let successor_cache = ref true
@@ -92,6 +159,10 @@ let create e =
     rev_trace = [];
     tentative = Scache.create ();
     auto = None;
+    vm = None;
+    vm_tried = false;
+    route = RUnbound;
+    route_for = None;
     sentinel = None }
 
 let expr s = s.sexpr
@@ -112,16 +183,88 @@ let session_auto s =
     s.auto <- Some a;
     a
 
-(* τ̂ as the session performs it: through the compiled kernel when active,
-   the interpreted transition otherwise.  Once the automaton is bound,
-   [Automaton.step] performs the (per-step) kill-switch check itself — the
-   flags are read exactly once on the hot path. *)
-let session_trans s st c =
+(* The session's compiled program, attempted once per session while the
+   kernel is active.  [None] is memoized too (via the shared negative
+   cache), so benign sessions pay one probe, not a BFS per step; binding
+   is deferred while the kernel is off so a session created under
+   [--no-compile] still picks the program up when the switch flips. *)
+let session_vm ~force s =
+  if not (Automaton.active ()) then None
+  else if force then begin
+    (* a forced [vm] upgrades an auto decline; after the first forced
+       probe the shared cache answers in one lookup *)
+    (match s.vm with
+    | None ->
+      s.vm <- Bytecode.shared_forced s.sexpr;
+      s.vm_tried <- true
+    | Some _ -> ());
+    s.vm
+  end
+  else if s.vm_tried then s.vm
+  else begin
+    s.vm_tried <- true;
+    s.vm <- Bytecode.shared s.sexpr;
+    s.vm
+  end
+
+(* τ̂ as the session performs it: through the selected compiled kernel
+   when active, the interpreted transition otherwise.  Once a kernel is
+   bound, its [step] performs the (per-step) kill-switch check itself —
+   the flags are read exactly once on the hot path; the backend
+   preference is read here, so mid-word engine switches apply at the next
+   step. *)
+let session_trans_table s st c =
   match s.auto with
   | Some a -> Automaton.step a st c
   | None ->
     if Automaton.active () then Automaton.step (session_auto s) st c
     else State.trans st c
+
+let rebind s pref =
+  s.route_for <- Some pref;
+  s.route <-
+    (match pref with
+    | Some Interp -> RInterp
+    | Some Table -> RTable
+    | Some Vm | None -> RUnbound)
+
+let session_trans s st c =
+  let pref = !backend_pref in
+  (match s.route_for with
+  | Some p when p == pref -> ()
+  | _ -> rebind s pref);
+  match s.route with
+  | RVm v -> Bytecode.Vm.step v st c
+  | RInterp | RDeclined ->
+    (* a declined session (benign or malignant: quantified growth, §6)
+       steps on the interpreted τ̂, not the automaton — a churning state
+       mints a fresh row per action, so tabulation pays two probes (row +
+       signature) where the per-state transition memo pays one; the
+       automaton still serves the word problem, where repeated words stay
+       inside its int walk *)
+    State.trans st c
+  | RTable -> session_trans_table s st c
+  | RUnbound -> (
+    (* vm-capable preference (auto or forced), program not resolved yet:
+       probe once per session — [session_vm] memoizes both outcomes — and
+       settle the route.  While the kill switch is off nothing is tried
+       and the route stays unbound, so a session created under
+       [--no-compile] still binds when the switch flips back. *)
+    match session_vm ~force:(pref != None) s with
+    | Some v ->
+      s.route <- RVm v;
+      Bytecode.Vm.step v st c
+    | None ->
+      if not s.vm_tried then session_trans_table s st c
+      else if pref != None then begin
+        (* forced vm, space does not close: degrade to the automaton *)
+        s.route <- RTable;
+        session_trans_table s st c
+      end
+      else begin
+        s.route <- RDeclined;
+        State.trans st c
+      end)
 
 (* τ̂ with the bounded cache: reuse the successor when the query repeats a
    cached (state, action) pair; otherwise compute and remember it. *)
@@ -281,6 +424,10 @@ let load str =
       rev_trace = List.rev_map Action.concrete_of_sexp trace;
       tentative = Scache.create ();
       auto = None;
+      vm = None;
+      vm_tried = false;
+      route = RUnbound;
+      route_for = None;
       sentinel = None }
   | Ok _ -> invalid_arg "Engine.load: malformed session"
 
@@ -296,4 +443,8 @@ let copy s =
     (* fresh cache: sharing the array would alias mutable slots *)
     tentative = Scache.create ();
     auto = s.auto;
+    vm = s.vm;
+    vm_tried = s.vm_tried;
+    route = s.route;
+    route_for = s.route_for;
     sentinel = s.sentinel }

@@ -11,6 +11,37 @@ type verdict = Semantics.verdict =
   | Partial
   | Complete
 
+(** {1 Engine selection}
+
+    Three executable backends solve the word and action problems:
+    the interpreted τ̂ ([Interp]), the lazily-filled signature automaton
+    ([Table], PR 4), and the ahead-of-time compiled bytecode VM ([Vm],
+    {!Bytecode}).  The default is {e auto}: §6-harmless expressions —
+    whose finite state spaces the bytecode compiler closes the same way
+    the automaton's eager precompile does — run on the VM, everything
+    else on the automaton.  A forced [Vm] compiles {e any} expression
+    whose alphabet is ground and whose space closes within the row cap
+    (benign expressions often qualify), degrading to [Table] when
+    compilation fails; the compilation kill switch
+    ({!State.set_compilation}) degrades everything to [Interp].  The
+    preference is read per step, so switching engines mid-word takes
+    effect immediately. *)
+
+type backend = Interp | Table | Vm
+
+val set_backend : backend option -> unit
+(** [None] = auto (the default). *)
+
+val backend : unit -> backend option
+val backend_name : backend -> string
+
+val backend_of_string : string -> (backend option, string) result
+(** ["interp" | "table" | "vm" | "auto"] — the CLI [--engine] values. *)
+
+val resolve : Expr.t -> backend
+(** The backend a fresh walk of [e] would use right now, after auto
+    selection and fallback. *)
+
 val word : Expr.t -> Action.concrete list -> verdict
 (** Fig. 9's [word()], via the operational state model. *)
 

@@ -1,0 +1,69 @@
+(* Compiled-program artifacts: magic + version, then one CRC frame.
+
+   The frame discipline is the WAL's (4-byte LE length, 4-byte LE CRC-32,
+   payload), but where the WAL heals a torn tail by truncation, an
+   artifact is all-or-nothing: any damage — short file, bad magic, future
+   version, length out of bounds, CRC mismatch, trailing garbage — is a
+   load error, because a guard compiled from half a program would answer
+   wrongly rather than crash. *)
+
+let magic = "IEXBYTC1"
+let version = 1
+let header_len = String.length magic + 4
+let frame_header_len = 8
+let max_payload_len = 64 * 1024 * 1024
+
+let to_string p =
+  let payload = Interaction.Bytecode.encode p in
+  let len = String.length payload in
+  let b = Bytes.create (header_len + frame_header_len + len) in
+  Bytes.blit_string magic 0 b 0 (String.length magic);
+  Bytes.set_int32_le b (String.length magic) (Int32.of_int version);
+  Bytes.set_int32_le b header_len (Int32.of_int len);
+  Bytes.set_int32_le b (header_len + 4) (Crc32.string payload);
+  Bytes.blit_string payload 0 b (header_len + frame_header_len) len;
+  Bytes.unsafe_to_string b
+
+let of_string s =
+  let n = String.length s in
+  if n < header_len then Error "program artifact: truncated header"
+  else if String.sub s 0 (String.length magic) <> magic then
+    Error "program artifact: bad magic (not a compiled program)"
+  else
+    let v = Int32.to_int (String.get_int32_le s (String.length magic)) in
+    if v <> version then
+      Error
+        (Printf.sprintf "program artifact: unsupported format version %d (expected %d)" v
+           version)
+    else if n < header_len + frame_header_len then
+      Error "program artifact: truncated frame header"
+    else
+      let len = Int32.to_int (String.get_int32_le s header_len) in
+      if len < 0 || len > max_payload_len then
+        Error "program artifact: frame length out of bounds"
+      else if header_len + frame_header_len + len > n then
+        Error "program artifact: truncated payload"
+      else if header_len + frame_header_len + len < n then
+        Error "program artifact: trailing bytes after the program frame"
+      else
+        let crc = String.get_int32_le s (header_len + 4) in
+        let payload = String.sub s (header_len + frame_header_len) len in
+        if Crc32.string payload <> crc then
+          Error "program artifact: CRC mismatch (corrupt payload)"
+        else Interaction.Bytecode.decode payload
+
+let write path p =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string p))
+
+let read path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error m -> Error ("program artifact: " ^ m)

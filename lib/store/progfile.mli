@@ -1,0 +1,30 @@
+(** CRC-framed container for compiled bytecode programs.
+
+    The file layout is a fixed 12-byte header — an 8-byte magic, a 4-byte
+    little-endian format version — followed by one WAL-style frame: 4-byte
+    little-endian payload length, 4-byte little-endian CRC-32 of the
+    payload, then the {!Interaction.Bytecode} payload itself.  Trailing
+    bytes after the frame are rejected: an artifact is exactly one
+    program.
+
+    Every failure mode reads as a clear [Error] — wrong magic, unsupported
+    version, truncation anywhere (header, frame header, payload), CRC
+    mismatch, or a payload that fails {!Interaction.Bytecode.decode}'s
+    structural validation — never an exception or a silently wrong
+    program. *)
+
+val magic : string
+val version : int
+
+val write : string -> Interaction.Bytecode.program -> unit
+(** [write path p] — binary, whole file in one write.
+    @raise Sys_error on I/O failure. *)
+
+val read : string -> (Interaction.Bytecode.program, string) result
+(** Load and validate an artifact.  I/O errors are [Error] too. *)
+
+val of_string : string -> (Interaction.Bytecode.program, string) result
+(** Validate in-memory contents (the unit tests cut artifacts at every
+    byte boundary through this). *)
+
+val to_string : Interaction.Bytecode.program -> string

@@ -204,22 +204,26 @@ command shows the shared automaton's shape and the step counters, and
   loaded: (a - b)*
   > Accept.
   > compilation: on
-  automaton: eager, 3 row(s), 3 signature(s)
-  steps: 1 (6 interpreted fallback(s))
-  signature cache: 5 hit(s), 2 miss(es)
+  backend: vm (3 state(s), 2 column(s))
+  steps: 0 (0 interpreted fallback(s))
+  signature cache: 0 hit(s), 0 miss(es)
+  vm steps: 1 (0 fallback(s)); 1 program(s), 0 compile failure(s)
   > Accept. (complete)
   > compilation: on
-  automaton: eager, 3 row(s), 3 signature(s)
-  steps: 2 (6 interpreted fallback(s))
-  signature cache: 6 hit(s), 2 miss(es)
+  backend: vm (3 state(s), 2 column(s))
+  steps: 0 (0 interpreted fallback(s))
+  signature cache: 0 hit(s), 0 miss(es)
+  vm steps: 2 (0 fallback(s)); 1 program(s), 0 compile failure(s)
   > bye
 
   $ printf 'do a\ncompile\nquit\n' | ../bin/iworkbench.exe --no-compile "(a - b)*"
   loaded: (a - b)*
   > Accept.
   > compilation: off
+  backend: interp
   steps: 0 (0 interpreted fallback(s))
   signature cache: 0 hit(s), 0 miss(es)
+  vm steps: 0 (0 fallback(s)); 0 program(s), 0 compile failure(s)
   > bye
 
   $ printf 'EXECUTE u a\nEXECUTE u b\nEXECUTE u a\nQUIT\n' \
@@ -229,6 +233,80 @@ command shows the shared automaton's shape and the step counters, and
   EXECUTED
   EXECUTED
   REFUSED
+
+The tri-state engine flag: [--engine table] pins the lazy automaton,
+[--engine interp] the interpreted kernel, [--engine vm] forces bytecode
+compilation; the workbench [compile] command names the active backend.
+
+  $ printf 'do a\ncompile\nquit\n' | ../bin/iworkbench.exe --engine table "(a - b)*"
+  loaded: (a - b)*
+  > Accept.
+  > compilation: on
+  backend: table
+  automaton: eager, 3 row(s), 3 signature(s)
+  steps: 1 (6 interpreted fallback(s))
+  signature cache: 5 hit(s), 2 miss(es)
+  vm steps: 0 (0 fallback(s)); 0 program(s), 0 compile failure(s)
+  > bye
+
+  $ printf 'do a\ncompile\nquit\n' | ../bin/iworkbench.exe --engine interp "(a - b)*"
+  loaded: (a - b)*
+  > Accept.
+  > compilation: on
+  backend: interp
+  steps: 0 (0 interpreted fallback(s))
+  signature cache: 0 hit(s), 0 miss(es)
+  vm steps: 0 (0 fallback(s)); 0 program(s), 0 compile failure(s)
+  > bye
+
+  $ printf 'EXECUTE u a\nEXECUTE u b\nEXECUTE u a\nQUIT\n' \
+  >   | ../bin/imanager.exe --engine vm "a - b" \
+  >   | grep -E '^(READY|EXECUTED|REFUSED)'
+  READY 3
+  EXECUTED
+  EXECUTED
+  REFUSED
+
+  $ printf 'QUIT\n' | ../bin/imanager.exe --engine warp "a - b"
+  imanager: unknown engine "warp" (expected interp|table|vm|auto)
+  usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] [--engine interp|table|vm|auto] [--store DIR] [--no-fsync] [--snapshot-every N] [--slow-ms N] [--slow-trace FILE] "<interaction expression>"
+  [2]
+
+Ahead-of-time compilation: [iexpr compile] flattens an expression to a
+flat program; [-o] frames it as a versioned, checksummed artifact that
+[iexpr run --program] executes without deriving any state DAG.
+
+  $ ../bin/iexpr.exe compile "(a - b)*"
+  compiled: 3 states, 2 columns
+
+  $ ../bin/iexpr.exe compile "(a - b)*" -o prog.iex
+  wrote prog.iex: 3 states, 2 columns
+
+  $ printf 'a\nb\nb\n' | ../bin/iexpr.exe run --program prog.iex
+  program: (a - b)* (3 states, 2 columns)
+  enter one concrete action per line (EOF to stop)
+  Accept.
+  Accept. (complete)
+  Reject.
+  trace: a b
+
+  $ ../bin/iexpr.exe compile "(a - b)#"
+  iexpr compile: (a - b)# does not flatten to a bytecode program
+    (the alphabet must be ground and the reachable state space must close within the row cap; expression size:        4 nodes
+  quasi-regular:          no
+  parameterless:          yes
+  uniformly quantified:   yes
+  completely quantified:  yes
+  verdict:                potentially malignant (exponential growth not excluded))
+  [1]
+
+A damaged artifact is rejected up front (all-or-nothing framing), never
+half-executed.
+
+  $ head -c 21 prog.iex > torn.iex
+  $ ../bin/iexpr.exe run --program torn.iex < /dev/null
+  iexpr run: program artifact: truncated payload
+  [2]
 
 Witness words.
 

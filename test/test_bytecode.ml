@@ -1,0 +1,298 @@
+(* The bytecode VM must be observably identical to the lazy automaton and
+   the interpreted τ̂ — on random expressions and words, across mid-word
+   engine switches, and on the uniform-reject fast path — and its
+   serialized artifacts must reject every corruption (truncation at any
+   byte, bit flips, bad magic/version, trailing bytes) with a clear
+   [Error], never a crash or a silently wrong program. *)
+
+open Interaction
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_compilation b f =
+  let was = State.compilation () in
+  State.set_compilation b;
+  Fun.protect ~finally:(fun () -> State.set_compilation was) f
+
+let with_backend pref f =
+  let was = Engine.backend () in
+  Engine.set_backend pref;
+  Fun.protect ~finally:(fun () -> Engine.set_backend was) f
+
+(* Interpreted oracle: fold τ̂ from σ(e), bypassing every compiled path. *)
+let oracle_verdict e word =
+  with_compilation false (fun () ->
+      match State.trans_word (State.init e) word with
+      | None -> Engine.Illegal
+      | Some s -> if State.final s then Engine.Complete else Engine.Partial)
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: vm ≡ table ≡ interp                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Engine.word under every backend preference agrees with the interpreted
+   fold.  Auto selection compiles the harmless cases; the explicit table
+   and interp preferences pin the other two backends. *)
+let backend_oracle =
+  QCheck.Test.make ~count:700 ~name:"word: auto(vm) ≡ table ≡ interp"
+    (expr_word_arb ~max_depth:3 ~max_len:5 ())
+    (fun (e, word) ->
+      let interp = oracle_verdict e word in
+      with_compilation true (fun () ->
+          List.iter
+            (fun pref ->
+              let v = with_backend pref (fun () -> Engine.word e word) in
+              if v <> interp then
+                QCheck.Test.fail_reportf "backend %s: %a, interpreted %a"
+                  (match pref with
+                  | None -> "auto"
+                  | Some b -> Engine.backend_name b)
+                  Semantics.pp_verdict v Semantics.pp_verdict interp)
+            [ None; Some Engine.Table; Some Engine.Interp ]);
+      true)
+
+(* A forced vm compiles even benign expressions (row cap permitting) and
+   must still agree; shallower expressions keep the BFS spaces small. *)
+let forced_vm_oracle =
+  QCheck.Test.make ~count:300 ~name:"word: forced vm ≡ interp"
+    (expr_word_arb ~max_depth:2 ~max_len:5 ())
+    (fun (e, word) ->
+      let interp = oracle_verdict e word in
+      let vm =
+        with_compilation true (fun () ->
+            with_backend (Some Engine.Vm) (fun () -> Engine.word e word))
+      in
+      if vm <> interp then
+        QCheck.Test.fail_reportf "forced vm %a, interpreted %a"
+          Semantics.pp_verdict vm Semantics.pp_verdict interp
+      else true)
+
+(* The action problem with the engine switched every step
+   (interp → table → vm → auto → …) must accept and reject exactly like a
+   session pinned to the interpreter: every backend computes the same τ̂,
+   so switching mid-word is invisible. *)
+let switch_oracle =
+  QCheck.Test.make ~count:300
+    ~name:"session: per-step engine switches ≡ pinned interp"
+    (expr_word_arb ~max_depth:3 ~max_len:6 ())
+    (fun (e, word) ->
+      let prefs =
+        [| Some Engine.Interp; Some Engine.Table; Some Engine.Vm; None |]
+      in
+      with_compilation true (fun () ->
+          let pinned = with_backend (Some Engine.Interp) (fun () -> Engine.create e) in
+          let switched = Engine.create e in
+          List.iteri
+            (fun i a ->
+              let ok_pinned =
+                with_backend (Some Engine.Interp) (fun () ->
+                    Engine.try_action pinned a)
+              in
+              let ok_switched =
+                with_backend prefs.(i mod Array.length prefs) (fun () ->
+                    Engine.try_action switched a)
+              in
+              if ok_pinned <> ok_switched then
+                QCheck.Test.fail_reportf
+                  "action %d: pinned interp %b, switched engine %b" i ok_pinned
+                  ok_switched)
+            word;
+          if Engine.is_final pinned <> Engine.is_final switched then
+            QCheck.Test.fail_reportf "finality diverged after switches");
+      true)
+
+(* The uniform-reject fast path: an action matching no ground column is
+   rejected by the VM at every position, exactly like the oracle. *)
+let uniform_reject_oracle =
+  QCheck.Test.make ~count:200 ~name:"vm uniform reject ≡ interp"
+    (expr_word_arb ~max_depth:2 ~max_len:3 ())
+    (fun (e, word) ->
+      let word = word @ [ a1 "zz" ] in
+      let interp = oracle_verdict e word in
+      let vm =
+        with_compilation true (fun () ->
+            with_backend (Some Engine.Vm) (fun () -> Engine.word e word))
+      in
+      if vm <> interp then
+        QCheck.Test.fail_reportf "with foreign action: vm %a, interpreted %a"
+          Semantics.pp_verdict vm Semantics.pp_verdict interp
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Program units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compiled e =
+  match Bytecode.compile e with
+  | Some t -> t
+  | None -> Alcotest.failf "expected %s to compile" (Syntax.to_string e)
+
+let vm_verdict t word =
+  match Bytecode.Vm.word t word with
+  | None -> Engine.Illegal
+  | Some fin -> if fin then Engine.Complete else Engine.Partial
+
+let units =
+  [ t "harmless expression compiles; benign alphabet closes on demand"
+      (fun () ->
+        let i = Bytecode.info (compiled !"(a - b)* | c") in
+        check_bool "has states" true i.Bytecode.has_states;
+        check_bool "some rows" true (i.Bytecode.states > 0);
+        check_int "columns are the ground alphabet" 3 i.Bytecode.columns)
+  ; t "non-ground alphabet does not compile" (fun () ->
+        check_bool "quantifier binder" true
+          (Bytecode.compile !"all p: a(p) - b(p)" = None))
+  ; t "row cap returns None, not a partial program" (fun () ->
+        check_bool "cap 1" true (Bytecode.compile ~max_states:1 !"a - b - c" = None))
+  ; t "vm word agrees on the universe walk" (fun () ->
+        let e = !"(a - b)* | c" in
+        let tc = compiled e in
+        List.iter
+          (fun w' ->
+            Alcotest.check verdict
+              (String.concat " " (List.map Action.concrete_to_string w'))
+              (oracle_verdict e w') (vm_verdict tc w'))
+          [ []; w "a"; w "a b"; w "a b a"; w "c"; w "c a"; w "a c"; w "b" ])
+  ; t "uniform reject leaves the walk intact" (fun () ->
+        let tc = compiled !"(a - b)*" in
+        check_bool "foreign action illegal" true
+          (Bytecode.Vm.word tc (w "a zz b") = None);
+        let r = Bytecode.Vm.step_row tc Bytecode.Vm.start_row (a1 "zz") in
+        check_int "step_row rejects" (-1) r;
+        check_int "dead walk stays dead" (-1)
+          (Bytecode.Vm.step_row tc (-1) (a1 "a")))
+  ; t "step hands out hash-consed states" (fun () ->
+        with_compilation true (fun () ->
+            let e = !"(a - b)*" in
+            let tc = compiled e in
+            match Bytecode.Vm.step tc (State.init e) (a1 "a") with
+            | None -> Alcotest.fail "a must be accepted"
+            | Some st ->
+              check_bool "physically the interpreted successor" true
+                (match State.trans (State.init e) (a1 "a") with
+                | Some st' -> st == st'
+                | None -> false)))
+  ; t "step respects the kill switch" (fun () ->
+        let e = !"(a - b)*" in
+        let tc = compiled e in
+        with_compilation false (fun () ->
+            let before = (Bytecode.stats ()).Bytecode.steps in
+            ignore (Bytecode.Vm.step tc (State.init e) (a1 "a"));
+            check_int "no vm steps counted" before
+              (Bytecode.stats ()).Bytecode.steps))
+  ; t "auto declines benign; forced vm attempts, then degrades" (fun () ->
+        with_compilation true (fun () ->
+            Bytecode.reset_shared ();
+            (* a# is benign (degree 1) with a ground alphabet, but each
+               accepted action spawns a fresh parallel branch, so its BFS
+               never closes: auto must decline without a BFS, a forced vm
+               must attempt one, fail, and degrade to the automaton *)
+            let e = !"a#" in
+            let f0 = (Bytecode.stats ()).Bytecode.failures in
+            check_bool "auto declines" true (Bytecode.shared e = None);
+            check_int "auto decline is not a BFS failure" f0
+              (Bytecode.stats ()).Bytecode.failures;
+            check_bool "forced attempt fails" true (Bytecode.shared_forced e = None);
+            check_bool "the attempt ran a BFS" true
+              ((Bytecode.stats ()).Bytecode.failures > f0);
+            with_backend (Some Engine.Vm) (fun () ->
+                check_bool "forced vm degrades to table" true
+                  (Engine.resolve e = Engine.Table))))
+  ; t "resolve reports the session backend" (fun () ->
+        with_compilation true (fun () ->
+            check_bool "harmless resolves to vm" true
+              (Engine.resolve !"(a - b)*" = Engine.Vm);
+            check_bool "quantified resolves to table" true
+              (Engine.resolve !"all p: a(p) - b(p)" = Engine.Table);
+            with_compilation false (fun () ->
+                check_bool "kill switch forces interp" true
+                  (Engine.resolve !"(a - b)*" = Engine.Interp))))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Artifact integrity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let artifact () = Bytecode.program (compiled !"(a - b)* | c")
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+let integrity =
+  [ t "payload round-trips through encode/decode" (fun () ->
+        let p = artifact () in
+        match Bytecode.decode (Bytecode.encode p) with
+        | Error m -> Alcotest.failf "round-trip failed: %s" m
+        | Ok p' ->
+          check_bool "expression preserved" true
+            (Expr.equal (Bytecode.expr p) (Bytecode.expr p'));
+          let tc = Bytecode.of_program p' in
+          List.iter
+            (fun w' ->
+              Alcotest.check verdict "behavior preserved"
+                (oracle_verdict !"(a - b)* | c" w') (vm_verdict tc w'))
+            [ []; w "a"; w "a b"; w "c"; w "b" ])
+  ; t "file round-trips through write/read" (fun () ->
+        let p = artifact () in
+        let path = Filename.temp_file "iexbytc" ".ixp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Interaction_store.Progfile.write path p;
+            match Interaction_store.Progfile.read path with
+            | Error m -> Alcotest.failf "read back failed: %s" m
+            | Ok p' ->
+              check_bool "expression preserved" true
+                (Expr.equal (Bytecode.expr p) (Bytecode.expr p'))))
+  ; t "truncation at every byte boundary is an Error" (fun () ->
+        let s = Interaction_store.Progfile.to_string (artifact ()) in
+        for i = 0 to String.length s - 1 do
+          match Interaction_store.Progfile.of_string (String.sub s 0 i) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" i
+        done)
+  ; t "every single-bit flip is an Error" (fun () ->
+        let s = Interaction_store.Progfile.to_string (artifact ()) in
+        for i = 0 to String.length s - 1 do
+          let b = Bytes.of_string s in
+          Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl (i mod 8))));
+          match Interaction_store.Progfile.of_string (Bytes.to_string b) with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "bit flip at byte %d decoded" i
+        done)
+  ; t "trailing bytes are an Error" (fun () ->
+        let s = Interaction_store.Progfile.to_string (artifact ()) in
+        check_bool "trailing garbage rejected" true
+          (is_error (Interaction_store.Progfile.of_string (s ^ "x"))))
+  ; t "bad magic and future version are Errors" (fun () ->
+        let s = Interaction_store.Progfile.to_string (artifact ()) in
+        let bad_magic = Bytes.of_string s in
+        Bytes.set bad_magic 0 'X';
+        check_bool "bad magic" true
+          (is_error
+             (Interaction_store.Progfile.of_string (Bytes.to_string bad_magic)));
+        let future = Bytes.of_string s in
+        Bytes.set future (String.length Interaction_store.Progfile.magic) '\xff';
+        check_bool "future version" true
+          (is_error
+             (Interaction_store.Progfile.of_string (Bytes.to_string future))))
+  ; t "missing file reads as an Error" (fun () ->
+        check_bool "no exception" true
+          (is_error
+             (Interaction_store.Progfile.read "/nonexistent/prog.ixp")))
+  ; t "decode validates structure, not just framing" (fun () ->
+        check_bool "garbage sexp" true (is_error (Bytecode.decode "(not a program)"));
+        check_bool "empty payload" true (is_error (Bytecode.decode "")))
+  ]
+
+let () =
+  Alcotest.run "bytecode"
+    [ ("oracle",
+       List.map to_alcotest
+         [ backend_oracle; forced_vm_oracle; switch_oracle;
+           uniform_reject_oracle ]);
+      ("units", units);
+      ("integrity", integrity)
+    ]
