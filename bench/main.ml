@@ -18,11 +18,13 @@
                                             check against the prefix oracle
                                             (exit 1 on divergence)
 
-   Every run also writes BENCH_pr8.json: the machine-readable per-experiment
+   Every run also writes BENCH_pr9.json: the machine-readable per-experiment
    numbers (ns/op, transitions/action, cache hit rates, multicore scaling)
    that accumulate the perf trajectory across PRs.  The file is
    deterministic (sorted keys) and self-describing (schema version plus
-   host metadata), so runs on different machines stay comparable. *)
+   host metadata; every section carries its own _cores/_domains_flag so
+   multicore rows are interpretable in isolation), so runs on different
+   machines stay comparable. *)
 
 open Interaction
 open Interaction_exec
@@ -49,6 +51,22 @@ let wtime f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Steady-state protocol shared by the multicore experiments (E17, E21):
+   one untimed warmup populates whatever memo tables the configuration
+   touches, then the best of a few wall-clock repetitions on identical
+   fresh instances is kept — the hot path is sub-millisecond for a whole
+   batch, so a single sample is at the mercy of the scheduler. *)
+let steady ~mk ~run =
+  ignore (run (mk ()));
+  let best = ref infinity in
+  for _ = 1 to 9 do
+    let inst = mk () in
+    Gc.full_major ();
+    let (), dt = wtime (fun () -> run inst) in
+    if dt < !best then best := dt
+  done;
+  !best
 
 let act name args = Action.conc name args
 
@@ -77,7 +95,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 8
+let bench_schema_version = 9
 
 let write_bench_json ~domains file =
   let meta =
@@ -88,10 +106,17 @@ let write_bench_json ~domains file =
       ("schema", "\"interaction-bench\"");
       ("schema_version", string_of_int bench_schema_version) ]
   in
+  (* schema 9: every section repeats the host core count and the --domains
+     flag it ran under, so a multicore row pasted out of the file still
+     states the hardware it came from *)
+  let section_meta =
+    [ ("_cores", float_of_int (Domain.recommended_domain_count ()));
+      ("_domains_flag", float_of_int domains) ]
+  in
   let groups =
     List.map
       (fun (exp, kvs) ->
-        (exp, List.sort (fun (a, _) (b, _) -> compare a b) !kvs))
+        (exp, List.sort (fun (a, _) (b, _) -> compare a b) (section_meta @ !kvs)))
       !bench_records
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
@@ -744,25 +769,10 @@ let e17 () =
   record "e17" "actions" (float_of_int n);
   record "e17" "conjuncts" (float_of_int k);
   record "e17" "host_cores" (float_of_int (Domain.recommended_domain_count ()));
-  (* Every configuration is measured in steady state: one untimed warmup
-     populates the (domain-local) memo tables of whichever domains the
-     configuration uses, then an identical fresh instance is timed.  A cold
-     run confounds shard scaling with first-touch state construction —
-     which E2/E16 already measure — and the domains of a fresh pool start
+  (* Every configuration is measured in steady state (see [steady] above):
+     a cold run confounds shard scaling with first-touch state construction
+     — which E2/E16 already measure — and the domains of a fresh pool start
      with cold tables while the inline path inherits warm ones. *)
-  let steady ~mk ~run =
-    ignore (run (mk ()));  (* warmup *)
-    (* best of a few repetitions: the hot path is sub-millisecond for the
-       whole batch, so a single sample is at the mercy of the scheduler *)
-    let best = ref infinity in
-    for _ = 1 to 9 do
-      let inst = mk () in
-      Gc.full_major ();
-      let (), dt = wtime (fun () -> run inst) in
-      if dt < !best then best := dt
-    done;
-    !best
-  in
   (* sequential baseline: the plain engine, no pool in sight.  The very
      first run of this bench process is genuinely cold — keep it as the
      one recorded cold number. *)
@@ -1800,13 +1810,249 @@ let bechamel () =
     (fun (name, est) -> pf "%-42s %18.1f@." name est)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ E21 *)
+
+(* Shared-memory scaling of the compiled kernels themselves: with the
+   global hash-cons (PR 9) an automaton row's states mean the same thing
+   on every domain, so N domains can walk ONE shared automaton / ONE
+   shared VM program instead of compiling N private copies; and a coupling
+   the alphabet partition cannot split can still be sharded by operand
+   groups under the optimistic protocol ({!Speculate}), priced here
+   against the defensive two-phase baseline. *)
+
+let e21_domain_counts = [ 1; 2; 4; 8 ]
+let e21_walks = 240 (* total word walks per configuration, split over domains *)
+
+(* the overlapping coupling: k operands that all share the action [tick] —
+   one alphabet component, so Pengine/Sharded cannot split it *)
+let e21_overlap_expr ~k =
+  Expr.sync_list
+    (List.init k (fun i ->
+         Syntax.parse_exn (Printf.sprintf "(a%d - tick - b%d)*" (i + 1) (i + 1))))
+
+(* one unanimous round: every operand reaches its tick point before the
+   tick, so the owners agree and the speculative fast path commits the
+   whole batch without per-action coordination *)
+let e21_overlap_round ~k =
+  List.init k (fun i -> act (Printf.sprintf "a%d" (i + 1)) [])
+  @ (act "tick" [] :: List.init k (fun i -> act (Printf.sprintf "b%d" (i + 1)) []))
+
+(* one adversarial round: a tick arrives when only shard 0's operands
+   (round-robin grouping: indices ≡ 0 mod shards) are ready — shard 0
+   accepts, every other owner rejects, the mixed verdicts force a
+   conflict, rollback and serial retry (where the tick is rejected, as
+   the sequential oracle demands); the round then completes cleanly *)
+let e21_conflict_round ~k ~shards =
+  let ready, rest = List.partition (fun i -> i mod shards = 0) (List.init k Fun.id) in
+  let a i = act (Printf.sprintf "a%d" (i + 1)) [] in
+  let b i = act (Printf.sprintf "b%d" (i + 1)) [] in
+  List.map a ready
+  @ [ act "tick" [] ] (* mixed verdicts: conflict *)
+  @ List.map a rest
+  @ [ act "tick" [] ] (* unanimous *)
+  @ List.map b (List.init k Fun.id)
+
+let e21 () =
+  header "E21" "shared-memory scaling: one automaton/VM, many domains (PR 9)"
+    "global hash-cons lets all domains walk one compiled kernel; optimistic sharding beats two-phase on overlap";
+  let cores = Domain.recommended_domain_count () in
+  record "e21" "host_cores" (float_of_int cores);
+  (* --- A: one shared automaton, walked from 1/2/4/8 domains ----------- *)
+  let word = List.concat (List.init 20 (fun _ -> List.map (fun n -> act n []) e1_script)) in
+  let wn = List.length word in
+  record "e21" "word_actions" (float_of_int wn);
+  record "e21" "walks" (float_of_int e21_walks);
+  pf "word: the E1 script x20 (%d actions), %d walks split over the domains@.@."
+    wn e21_walks;
+  pf "%16s %8s %16s %10s@." "kernel" "domains" "actions/s" "speedup";
+  let scale_rows label runner d1 =
+    List.iter
+      (fun d ->
+        Pool.with_pool ~domains:d (fun pool ->
+            let dt =
+              steady
+                ~mk:(fun () -> ())
+                ~run:(fun () ->
+                  ignore
+                    (Pool.map_workers pool
+                       (List.init d (fun _ () ->
+                            for _ = 1 to e21_walks / d do
+                              runner ()
+                            done))))
+            in
+            let tp = float_of_int (e21_walks * wn) /. dt in
+            if d = 1 then d1 := tp;
+            record "e21" (Printf.sprintf "%s_shared_throughput_d%d" label d) tp;
+            record "e21" (Printf.sprintf "%s_shared_speedup_d%d" label d) (tp /. !d1);
+            pf "%16s %8d %16.0f %9.2fx@." label d tp (tp /. !d1)))
+      e21_domain_counts
+  in
+  Automaton.reset_shared ();
+  let auto = Automaton.shared e1_expr in
+  let auto_d1 = ref nan in
+  scale_rows "automaton" (fun () -> assert (Automaton.run_word auto word <> None)) auto_d1;
+  (match Bytecode.shared e1_expr with
+  | None -> pf "%16s %8s (E1 does not compile to bytecode — skipped)@." "vm" "-"
+  | Some vm ->
+    let vm_d1 = ref nan in
+    scale_rows "vm" (fun () -> assert (Bytecode.Vm.word vm word <> None)) vm_d1);
+  (* --- B: shared instance vs a private instance per domain ------------ *)
+  (* the disjoint E17 coupling, at 4 domains: "shared" amortizes one row
+     fill across every walker, "private" pays compilation and first-walk
+     fill in each domain on every repetition *)
+  let ce = e17_expr 8 in
+  let cw = e17_workload ~departments:(e17_departments 8) ~patients:4 in
+  let cwalks = 80 and d = 4 in
+  Pool.with_pool ~domains:d (fun pool ->
+      let sweep mk_kernel =
+        steady
+          ~mk:(fun () -> ())
+          ~run:(fun () ->
+            ignore
+              (Pool.map_workers pool
+                 (List.init d (fun _ () ->
+                      let a = mk_kernel () in
+                      for _ = 1 to cwalks / d do
+                        assert (Automaton.run_word a cw <> None)
+                      done))))
+      in
+      Automaton.reset_shared ();
+      let shared_a = Automaton.shared ce in
+      let t_shared = sweep (fun () -> shared_a) in
+      let t_private = sweep (fun () -> Automaton.create ce) in
+      let n = float_of_int (cwalks * List.length cw) in
+      record "e21" "coupling_shared_throughput_d4" (n /. t_shared);
+      record "e21" "coupling_private_throughput_d4" (n /. t_private);
+      record "e21" "coupling_shared_vs_private_d4" (t_private /. t_shared);
+      pf "@.E17 coupling at %d domains: shared automaton %.0f actions/s, private-per-domain %.0f (%.2fx)@."
+        d (n /. t_shared) (n /. t_private) (t_private /. t_shared));
+  (* --- C: optimistic cross-shard execution on the overlapping coupling - *)
+  let k = 8 and shards = 4 and rounds = 60 in
+  let oe = e21_overlap_expr ~k in
+  let batches = List.init rounds (fun _ -> e21_overlap_round ~k) in
+  let n = float_of_int (rounds * List.length (e21_overlap_round ~k)) in
+  record "e21" "overlap_operands" (float_of_int k);
+  record "e21" "overlap_shards" (float_of_int shards);
+  record "e21" "overlap_actions" n;
+  pf "@.overlapping coupling: %d operands sharing `tick`, %d shards, %d rounds@."
+    k shards rounds;
+  (* sequential oracle: the batched protocols must reproduce its rejects *)
+  let oracle_rej = Engine.feed (Engine.create oe) (List.concat batches) in
+  assert (oracle_rej = []);
+  Pool.with_pool ~domains:shards (fun pool ->
+      let run sp =
+        List.iter (fun b -> assert (Speculate.feed sp b = [])) batches
+      in
+      let t_opt =
+        steady ~mk:(fun () -> Speculate.create ~pool ~shards oe) ~run
+      in
+      let t_two =
+        steady
+          ~mk:(fun () -> Speculate.create ~pool ~protocol:Speculate.Two_phase ~shards oe)
+          ~run
+      in
+      record "e21" "overlap_optimistic_throughput" (n /. t_opt);
+      record "e21" "overlap_two_phase_throughput" (n /. t_two);
+      record "e21" "overlap_speculation_speedup" (t_two /. t_opt);
+      pf "%16s %16.0f actions/s@." "optimistic" (n /. t_opt);
+      pf "%16s %16.0f actions/s  (speculation %.2fx)@." "two-phase" (n /. t_two)
+        (t_two /. t_opt);
+      (* instrumented single pass: the clean workload must commit purely
+         speculatively *)
+      Speculate.reset_stats ();
+      run (Speculate.create ~pool ~shards oe);
+      let st = Speculate.stats () in
+      assert (st.Speculate.conflicts = 0);
+      record "e21" "overlap_clean_batches" (float_of_int st.Speculate.batches);
+      record "e21" "overlap_clean_conflicts" (float_of_int st.Speculate.conflicts);
+      (* forced conflicts: the adversarial rounds must conflict, retry
+         serially, and still match the sequential oracle *)
+      let cbatch = e21_conflict_round ~k ~shards in
+      let crounds = 20 in
+      let coracle =
+        Engine.feed (Engine.create oe)
+          (List.concat (List.init crounds (fun _ -> cbatch)))
+      in
+      Speculate.reset_stats ();
+      let sp = Speculate.create ~pool ~shards oe in
+      let rej =
+        List.concat (List.init crounds (fun _ -> Speculate.feed sp cbatch))
+      in
+      assert (rej = coracle);
+      let st = Speculate.stats () in
+      assert (st.Speculate.conflicts > 0);
+      let rate =
+        float_of_int st.Speculate.conflicts
+        /. float_of_int (max 1 st.Speculate.speculative)
+      in
+      record "e21" "overlap_forced_conflicts" (float_of_int st.Speculate.conflicts);
+      record "e21" "overlap_forced_conflict_rate" rate;
+      record "e21" "overlap_forced_retries" (float_of_int st.Speculate.retries);
+      record "e21" "overlap_forced_serial_actions"
+        (float_of_int st.Speculate.serial_actions);
+      pf "forced-conflict stream: %d/%d speculative batches conflicted (rate %.2f), %d serial retries, oracle agrees@."
+        st.Speculate.conflicts st.Speculate.speculative rate st.Speculate.retries);
+  if cores < 4 then
+    pf "@.(this host has %d core(s) — the d>1 rows time-slice and cannot show real scaling)@."
+      cores
+
+(* Speculative-vs-sequential oracle agreement on an overlapping coupling,
+   run by `smoke --domains N` in CI: the optimistic protocol must
+   reproduce the sequential engine's rejects and trace exactly — including
+   across forced conflicts — and the conflict counters are recorded so the
+   smoke artifact carries them. *)
+let speculate_smoke ~domains =
+  let k = 6 in
+  let shards = max 2 (min domains k) in
+  let e = e21_overlap_expr ~k in
+  let fail fmt =
+    Format.kasprintf
+      (fun m ->
+        Format.eprintf "speculate smoke FAILED: %s@." m;
+        exit 1)
+      fmt
+  in
+  let batches =
+    List.concat
+      (List.init 5 (fun _ ->
+           [ e21_overlap_round ~k; e21_conflict_round ~k ~shards ]))
+  in
+  let oracle = Engine.create e in
+  let oracle_rej = Engine.feed oracle (List.concat batches) in
+  Speculate.reset_stats ();
+  Pool.with_pool ~domains (fun pool ->
+      let sp = Speculate.create ~pool ~shards e in
+      let rej = List.concat_map (Speculate.feed sp) batches in
+      if rej <> oracle_rej then
+        fail "rejects differ from the sequential oracle (seq %d, spec %d)"
+          (List.length oracle_rej) (List.length rej);
+      if Speculate.trace sp <> Engine.trace oracle then
+        fail "merged trace differs from the sequential oracle";
+      if Speculate.is_final sp <> Engine.is_final oracle then
+        fail "finality differs from the sequential oracle");
+  let st = Speculate.stats () in
+  if st.Speculate.conflicts = 0 then
+    fail "adversarial rounds produced no conflicts (protocol not exercised)";
+  record "smoke_speculate" "domains" (float_of_int domains);
+  record "smoke_speculate" "shards" (float_of_int shards);
+  record "smoke_speculate" "batches" (float_of_int st.Speculate.batches);
+  record "smoke_speculate" "conflicts" (float_of_int st.Speculate.conflicts);
+  record "smoke_speculate" "conflict_actions"
+    (float_of_int st.Speculate.conflict_actions);
+  record "smoke_speculate" "retries" (float_of_int st.Speculate.retries);
+  record "smoke_speculate" "serial_actions"
+    (float_of_int st.Speculate.serial_actions);
+  record "smoke_speculate" "agree" 1.;
+  pf "@.speculate smoke (%d domains, %d shards): optimistic execution agrees with the sequential oracle across %d conflicts@."
+    domains shards st.Speculate.conflicts
+
 (* ----------------------------------------------------------------------- *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
-    ("bechamel", bechamel)
+    ("e21", e21); ("bechamel", bechamel)
   ]
 
 let () =
@@ -1874,6 +2120,9 @@ let () =
   (* `smoke --domains N`: the sharded evaluation must agree with the
      sequential oracle, or the run (and the CI job) fails *)
   if smoke && domains > 1 then parallel_smoke ~domains;
+  (* `smoke --domains N` also drives the optimistic cross-shard protocol
+     through forced conflicts against the sequential oracle *)
+  if smoke && domains > 1 then speculate_smoke ~domains;
   (* smoke also cross-checks the compiled kernel against the interpreted
      oracle (sequential always; sharded too when --domains > 1) *)
   if smoke then compiled_smoke ~domains;
@@ -1888,6 +2137,6 @@ let () =
      diverging store left in ./crash-smoke-store for the artifact upload) *)
   if crash then crash_smoke ();
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr8.json";
-  pf "@.wrote BENCH_pr8.json@.";
+  write_bench_json ~domains "BENCH_pr9.json";
+  pf "@.wrote BENCH_pr9.json@.";
   pf "@."

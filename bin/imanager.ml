@@ -45,6 +45,11 @@
                        extra "SHARDS <k> DOMAINS <n>" line follows READY.
                        Checkpoint-file recovery is per-replica state and is
                        not available in sharded mode.
+     --overlap-shards  with --domains N: shard a coupling even when its
+                       operands' alphabets overlap (operand groups, round
+                       robin); actions owned by several shards coordinate
+                       through the two-phase grant across exactly their
+                       owners.
      --no-compile      disable the compiled transition kernel (signature
                        classifier + lazy automaton); every step runs the
                        interpreted transition function.
@@ -311,7 +316,8 @@ let run ~stats_every ~sampler b =
 
 let usage () =
   prerr_endline
-    "usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] \
+    "usage: imanager [--stats-every N] [--trace FILE] [--domains N] \
+     [--overlap-shards] [--no-compile] \
      [--engine interp|table|vm|auto] [--store DIR] [--no-fsync] \
      [--snapshot-every N] [--slow-ms N] [--slow-trace FILE] \
      \"<interaction expression>\"";
@@ -321,6 +327,7 @@ let () =
   let stats_every = ref 0 in
   let trace_file = ref None in
   let domains = ref 1 in
+  let overlap = ref false in
   let store = ref None in
   let fsync = ref true in
   let snapshot_every = ref None in
@@ -342,6 +349,9 @@ let () =
         domains := n;
         parse_args rest
       | Some _ | None -> usage ())
+    | "--overlap-shards" :: rest ->
+      overlap := true;
+      parse_args rest
     | "--no-compile" :: rest ->
       State.set_compilation false;
       parse_args rest
@@ -417,7 +427,7 @@ let () =
          Pool.with_pool ~domains:!domains (fun pool ->
              let sm =
                Sharded.create ~pool ?store:!store ~fsync:!fsync
-                 ?snapshot_every:!snapshot_every e
+                 ?snapshot_every:!snapshot_every ~overlap:!overlap e
              in
              Format.printf "SHARDS %d DOMAINS %d@." (Sharded.shard_count sm)
                (Pool.size pool);

@@ -12,8 +12,11 @@
    With `--domains N` (N > 1) every loaded expression also gets a
    domain-sharded parallel mirror (`Pengine`): each `do` is cross-checked
    against it, a disagreement prints a warning — the sequential engine is
-   the oracle, the mirror is the thing under test.  Commands that bypass
-   the action problem (`force`, `restore`) detach the mirror. *)
+   the oracle, the mirror is the thing under test.  A coupling the
+   alphabet partition cannot split additionally gets a speculative mirror
+   (`Speculate`, optimistic cross-shard execution); `state` reports its
+   shard count and the process-wide conflict/retry counters.  Commands
+   that bypass the action problem (`force`, `restore`) detach both. *)
 
 open Interaction
 open Interaction_exec
@@ -23,6 +26,9 @@ type env = {
   mutable session : Engine.session option;
   pool : Pool.t option;
   mutable mirror : Pengine.t option;
+  (* optimistic cross-shard mirror, attached when the loaded expression is
+     a coupling the alphabet partition cannot split *)
+  mutable spec : Speculate.t option;
   (* durable store attached by `save-store`/`recover`: the snapshot is the
      Engine.save image, and every accepted do/force appends one WAL record,
      so a crashed workbench session replays to where it stopped *)
@@ -32,7 +38,9 @@ type env = {
   sampler : Sampler.t option;
 }
 
-let detach env = env.mirror <- None
+let detach env =
+  env.mirror <- None;
+  env.spec <- None
 
 let out fmt = Format.printf (fmt ^^ "@.")
 
@@ -141,7 +149,21 @@ let command env line =
         env.mirror <- Some m;
         (match Pengine.mode m with
         | Pengine.Sharded k -> out "parallel mirror: %d shards on %d domains" k (Pool.size pool)
-        | Pengine.Sequential -> out "parallel mirror: sequential (expression does not decompose)")
+        | Pengine.Sequential -> out "parallel mirror: sequential (expression does not decompose)");
+        (* an overlapping coupling defeats the partition; mirror it
+           speculatively as well so disagreements and conflict rates
+           surface interactively *)
+        env.spec <-
+          (match Pengine.mode m with
+          | Pengine.Sharded _ -> None
+          | Pengine.Sequential ->
+            if List.length (Partition.flatten_sync e) > 1 then begin
+              let sp = Speculate.create ~pool e in
+              out "speculative mirror: %d shards (%s)" (Speculate.shard_count sp)
+                (Speculate.protocol_name (Speculate.protocol sp));
+              Some sp
+            end
+            else None)
       | None -> ());
       out "loaded: %a" Syntax.pp e
     | Error m -> out "parse error: %s" m)
@@ -156,6 +178,14 @@ let command env line =
                 out "WARNING: parallel mirror disagrees (sequential %s, parallel %s)"
                   (if ok then "accepts" else "rejects")
                   (if pok then "accepts" else "rejects")
+            | None -> ());
+            (match env.spec with
+            | Some sp ->
+              let sok = Speculate.try_action sp a in
+              if sok <> ok then
+                out "WARNING: speculative mirror disagrees (sequential %s, speculative %s)"
+                  (if ok then "accepts" else "rejects")
+                  (if sok then "accepts" else "rejects")
             | None -> ());
             if ok then begin
               log_action env "do" a;
@@ -210,11 +240,19 @@ let command env line =
           out "state: %d nodes, %s" (Engine.state_size s)
             (if Engine.is_final s then "final (trace is a complete word)"
              else "not final");
-        match env.mirror with
+        (match env.mirror with
         | Some m ->
           out "mirror: %d shard(s), %d nodes, %s" (Pengine.shard_count m)
             (Pengine.state_size m)
             (if Pengine.is_final m then "final" else "not final")
+        | None -> ());
+        match env.spec with
+        | Some sp ->
+          let st = Speculate.stats () in
+          out "speculative: %d shard(s), %s; %d batch(es), %d conflict(s), %d serial action(s)"
+            (Speculate.shard_count sp)
+            (if Speculate.is_final sp then "final" else "not final")
+            st.Speculate.batches st.Speculate.conflicts st.Speculate.serial_actions
         | None -> ())
   | "dump" ->
     with_session env (fun s ->
@@ -225,6 +263,7 @@ let command env line =
     with_session env (fun s ->
         Engine.reset s;
         Option.iter Pengine.reset env.mirror;
+        Option.iter Speculate.reset env.spec;
         (* the store stays attached: a reset is a state change like any
            other, so re-snapshot rather than let the WAL diverge *)
         Option.iter (fun st -> Store.snapshot st (Engine.save s)) env.store;
@@ -468,7 +507,7 @@ let () =
         smp)
       slow_ms
   in
-  let env = { session = None; pool; mirror = None; store = None; sampler } in
+  let env = { session = None; pool; mirror = None; spec = None; store = None; sampler } in
   (match initial with
   | [ expr ] -> command env ("load " ^ expr)
   | _ -> out "iworkbench — type `help` for commands");

@@ -25,42 +25,85 @@
    creation — generalizing the E15 deployment-time FSM into the production
    path; benign and potentially-malignant expressions stay purely lazy.
 
-   Instances are domain-local (obtained via [shared]), like the state
-   model's hash-cons and memo tables: rows hold the owning domain's own
-   states, so [step] can hand them out with physical-equality guarantees
-   intact.  The caps bound retention — rows hold states strongly — and a
-   full table degrades to the interpreted kernel, never to a wrong
-   answer. *)
+   Concurrency.  Instances are process-global ([shared]) and walked by
+   every evaluation domain at once; the hash-cons table being global (see
+   State) means rows hold canonical states valid on all domains.  The
+   design splits reads from fills:
+
+   - The dense arrays live in an immutable [tables] record published
+     through an [Atomic.t].  A warm step takes one atomic load and then
+     stays inside that snapshot; growing under the fill lock builds fresh
+     arrays and publishes a new record, so the release store of
+     [Atomic.set] makes every slot written for rows < nrows visible to
+     any reader that observes the new record.  Row entries mutate in
+     place (plain int stores): a reader sees the old value (a cold miss,
+     resolved under the lock) or the new one; an entry pointing past the
+     reader's snapshot is treated as cold and re-read under the lock,
+     never dereferenced blindly.
+   - The State.id → row map is a {!Cmap}: lock-free probes over published
+     snapshots, inserts only under the fill lock.
+   - One mutex (per instance) serializes all mutation: row interning,
+     entry fill, signature interning.  The interpreted τ̂ of a cold entry
+     runs *outside* the lock — it is pure, and global hash-consing makes
+     concurrent duplicate computes converge on the same successor — so
+     cold fills of different entries proceed in parallel and the lock
+     only covers table surgery.
+   - Per-domain state lives in {!Dshard}s: the one-slot state → row cache
+     (a shared slot would false-share and mispair under interleaving),
+     the signature Segtbl (single-domain by contract), and the batched
+     step/signature-hit tallies (the former per-instance pending ints
+     tore when two domains walked one instance).
+
+   The caps bound retention — rows hold states strongly — and a full
+   table degrades to the interpreted kernel, never to a wrong answer. *)
+
+(* The dense tables, as one immutable snapshot.  The arrays themselves are
+   mutable (slots are written under the fill lock, row entries in place),
+   but the record is copied on every row interning so [nrows] and the
+   array spines are published together with a release store. *)
+type tables = {
+  states : State.t array;  (* row -> state (strong) *)
+  opts : State.t option array;  (* row -> [Some state], preallocated so warm
+                                   steps hand out successors without boxing *)
+  finals : bool array;  (* row -> φ, so word walks never leave ints *)
+  rows : int array array;  (* row -> column -> entry *)
+  nrows : int;
+}
+
+(* Per-domain one-slot state → row cache: a session's next input state is
+   almost always the previous step's output state, which makes row
+   resolution a pointer comparison instead of a hash lookup.  Only the
+   owning domain reads or writes its cell (Dshard), and a cell's row was
+   validated against a snapshot this domain already held, so it never
+   exceeds the domain's current snapshot. *)
+type lastslot = {
+  mutable lst : State.t;
+  mutable lrow : int;
+}
 
 type t = {
   expr : Expr.t;
   alpha : Alpha.pattern array;  (* root alphabet, fixed pattern order *)
+  (* serializes every mutation: row interning, entry fill, signature
+     interning.  Never held during an interpreted τ̂. *)
+  fill : Mutex.t;
   (* level 1: action -> signature column.  The key table interns canonical
-     signatures; the action cache makes repeated classification one lookup
-     (segmented: open-world action streams are unbounded). *)
+     signatures (under [fill]); the per-domain action caches make repeated
+     classification one lookup (segmented: open-world action streams are
+     unbounded; per-domain: Segtbl is single-domain by contract). *)
   sig_keys : ((int * Action.value) list option list, int) Hashtbl.t;
-  mutable nsigs : int;
-  sig_cache : (Action.concrete, int) Segtbl.t;
+  mutable nsigs : int;  (* under [fill]; racy reads only for [info] *)
+  sig_caches : (Action.concrete, int) Segtbl.t Dshard.replica;
   (* level 2: state row × signature column *)
-  row_tbl : (int, int) Hashtbl.t;  (* State.id -> row *)
-  mutable states : State.t array;  (* row -> state (strong) *)
-  mutable opts : State.t option array;  (* row -> [Some state], preallocated
-                                           so warm steps hand out successors
-                                           without boxing *)
-  mutable finals : bool array;  (* row -> φ, so word walks never leave ints *)
-  mutable rows : int array array;  (* row -> column -> entry *)
-  mutable nrows : int;
-  (* one-slot state → row cache: a session's next input state is almost
-     always the previous step's output state, which makes row resolution a
-     pointer comparison instead of a hash lookup *)
-  mutable last_st : State.t;
-  mutable last_row : int;
-  (* instance-local tallies, flushed to the process-wide atomics in
-     batches (every [flush_threshold], and exactly on [stats]): the warm
-     session step used to pay three atomic read-modify-writes, a
-     measurable tax at a few hundred ns per action *)
-  mutable pending_steps : int;
-  mutable pending_sig_hits : int;
+  row_map : Cmap.t;  (* State.id -> row; lock-free reads *)
+  tables : tables Atomic.t;
+  last : lastslot Dshard.replica;
+  (* per-domain tallies over the process-wide atomics: the warm session
+     step used to pay three atomic read-modify-writes, a measurable tax
+     at a few hundred ns per action — and the former instance-local
+     pending ints raced once instances became shared *)
+  step_tally : Dshard.Tally.t;
+  sig_hit_tally : Dshard.Tally.t;
   max_rows : int;
   max_sigs : int;
   eager : bool;
@@ -87,12 +130,13 @@ let rows_live = Atomic.make 0
 let sigs_live = Atomic.make 0
 let instances_total = Atomic.make 0
 
-(* Pending-tally registry: instances batch their hot counters locally, so
-   [stats] must walk every live instance to stay exact (the workbench and
-   the unit tests read deltas).  Weak references — property tests mint
-   unbounded streams of instances; dead slots are compacted on insert.
-   Flushing a foreign domain's instance reads plain int fields, which can
-   transiently under-count an in-flight batch: acceptable for stats. *)
+(* Pending-tally registry: instances batch their hot counters in
+   per-domain cells, so [stats] must walk every live instance to stay
+   exact (the workbench and the unit tests read deltas).  Weak references
+   — property tests mint unbounded streams of instances; dead slots are
+   compacted on insert.  Draining a foreign domain's cells reads plain
+   int fields, which can transiently under-count an in-flight batch:
+   acceptable for stats, and exact once the domains are joined. *)
 let registry : t Weak.t list ref = ref []
 let registry_mu = Mutex.create ()
 
@@ -102,17 +146,9 @@ let register a =
   Mutex.protect registry_mu (fun () ->
       registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
 
-let flush_threshold = 1 lsl 12
-
 let flush a =
-  if a.pending_steps > 0 then begin
-    ignore (Atomic.fetch_and_add steps_total a.pending_steps);
-    a.pending_steps <- 0
-  end;
-  if a.pending_sig_hits > 0 then begin
-    ignore (Atomic.fetch_and_add sig_hits a.pending_sig_hits);
-    a.pending_sig_hits <- 0
-  end
+  Dshard.Tally.drain a.step_tally;
+  Dshard.Tally.drain a.sig_hit_tally
 
 let flush_all () =
   Mutex.protect registry_mu (fun () ->
@@ -152,8 +188,8 @@ let reset_stats () =
         (fun w ->
           match Weak.get w 0 with
           | Some a ->
-            a.pending_steps <- 0;
-            a.pending_sig_hits <- 0
+            Dshard.Tally.discard a.step_tally;
+            Dshard.Tally.discard a.sig_hit_tally
           | None -> ())
         !registry);
   Atomic.set steps_total 0;
@@ -189,68 +225,91 @@ let () =
 let active () = State.compilation () && State.memoization () && State.canonicalization ()
 
 (* ------------------------------------------------------------------ *)
+(* Per-domain cells                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let last_cell a tb =
+  Dshard.replica_get a.last ~create:(fun () ->
+      (* row 0 is σ(e): always a true (state, row) pair *)
+      { lst = tb.states.(0); lrow = 0 })
+
+let sig_cache a =
+  Dshard.replica_get a.sig_caches ~create:(fun () ->
+      Segtbl.create ~gen_cap:(1 lsl 14) ~evictions:sig_evictions 64)
+
+(* ------------------------------------------------------------------ *)
 (* Interning                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let grow_to a n =
-  if n > Array.length a.rows then begin
-    let cap = max n (max 64 (2 * Array.length a.rows)) in
-    let grow arr fill =
-      let b = Array.make cap fill in
-      Array.blit arr 0 b 0 a.nrows;
-      b
-    in
-    a.rows <- grow a.rows [||];
-    a.states <- grow a.states a.states.(0);
-    a.opts <- grow a.opts None;
-    a.finals <- grow a.finals false
-  end
-
 (* Intern a state as a row; [no_row] once the row cap is reached (the
-   state keeps working through the interpreted fallback).  The one-slot
-   cache makes the sequential-session case a pointer comparison. *)
-let row_of a st =
-  if st == a.last_st then a.last_row
+   state keeps working through the interpreted fallback).  Caller holds
+   [fill].  Slot writes happen before the [Atomic.set] that publishes the
+   enlarged [nrows] (release), so readers of the new snapshot see the row
+   complete; the Cmap insert comes last, after publication. *)
+let intern_locked a st =
+  let r0 = Cmap.find a.row_map (State.id st) in
+  if r0 >= 0 then r0
   else
-    let r =
-      match Hashtbl.find_opt a.row_tbl (State.id st) with
-      | Some r -> r
-      | None ->
-        if a.nrows >= a.max_rows then begin
-          Atomic.incr overflows_total;
-          no_row
+    let tb = Atomic.get a.tables in
+    let r = tb.nrows in
+    if r >= a.max_rows then begin
+      Atomic.incr overflows_total;
+      no_row
+    end
+    else begin
+      let tb' =
+        if r < Array.length tb.states then begin
+          tb.states.(r) <- st;
+          tb.opts.(r) <- Some st;
+          tb.finals.(r) <- State.final st;
+          tb.rows.(r) <- Array.make 8 e_cold;
+          { tb with nrows = r + 1 }
         end
         else begin
-          let r = a.nrows in
-          grow_to a (r + 1);
-          a.nrows <- r + 1;
-          a.states.(r) <- st;
-          a.opts.(r) <- Some st;
-          a.finals.(r) <- State.final st;
-          a.rows.(r) <- Array.make 8 e_cold;
-          Hashtbl.add a.row_tbl (State.id st) r;
-          Atomic.incr interned_total;
-          Atomic.incr rows_live;
-          r
+          let cap = max 64 (2 * Array.length tb.states) in
+          let grow arr fill =
+            let b = Array.make cap fill in
+            Array.blit arr 0 b 0 r;
+            b
+          in
+          let states = grow tb.states st in
+          let opts = grow tb.opts None in
+          let finals = grow tb.finals false in
+          let rows = grow tb.rows [||] in
+          states.(r) <- st;
+          opts.(r) <- Some st;
+          finals.(r) <- State.final st;
+          rows.(r) <- Array.make 8 e_cold;
+          { states; opts; finals; rows; nrows = r + 1 }
         end
-    in
-    if r <> no_row then begin
-      a.last_st <- st;
-      a.last_row <- r
-    end;
-    r
+      in
+      Atomic.set a.tables tb';
+      Cmap.add a.row_map (State.id st) r;
+      Atomic.incr interned_total;
+      Atomic.incr rows_live;
+      r
+    end
+
+(* A snapshot guaranteed to cover row [r] (which must be interned): the
+   racy fast reload almost always suffices; the lock round-trip is the
+   fence of last resort. *)
+let snap_covering a r =
+  let tb = Atomic.get a.tables in
+  if r < tb.nrows then tb
+  else Mutex.protect a.fill (fun () -> Atomic.get a.tables)
 
 let signature a c =
   Array.fold_right (fun p acc -> Alpha.sig_match p c :: acc) a.alpha []
 
-(* Classify an action: its dense signature column.  [Segtbl.find] keeps
-   the hot (young-hit) case allocation-free. *)
+(* Classify an action: its dense signature column.  [Segtbl.find] on the
+   calling domain's own cache keeps the hot (young-hit) case
+   allocation-free and lock-free; only a cache miss consults the shared
+   key table under [fill] (the signature itself is computed outside). *)
 let sig_of a c =
-  match Segtbl.find a.sig_cache c with
+  let cache = sig_cache a in
+  match Segtbl.find cache c with
   | s ->
-    let n = a.pending_sig_hits + 1 in
-    a.pending_sig_hits <- n;
-    if n >= flush_threshold then flush a;
+    Dshard.Tally.bump a.sig_hit_tally 1;
     s
   | exception Not_found ->
     Atomic.incr sig_misses;
@@ -258,58 +317,78 @@ let sig_of a c =
     let s =
       if List.for_all (fun m -> m = None) key then sig_reject
       else
-        match Hashtbl.find_opt a.sig_keys key with
-        | Some s -> s
-        | None ->
-          if a.nsigs >= a.max_sigs then begin
-            Atomic.incr overflows_total;
-            sig_unclassified
-          end
-          else begin
-            let s = a.nsigs in
-            a.nsigs <- s + 1;
-            Hashtbl.add a.sig_keys key s;
-            Atomic.incr sigs_live;
-            s
-          end
+        Mutex.protect a.fill (fun () ->
+            match Hashtbl.find_opt a.sig_keys key with
+            | Some s -> s
+            | None ->
+              if a.nsigs >= a.max_sigs then begin
+                Atomic.incr overflows_total;
+                sig_unclassified
+              end
+              else begin
+                let s = a.nsigs in
+                a.nsigs <- s + 1;
+                Hashtbl.add a.sig_keys key s;
+                Atomic.incr sigs_live;
+                s
+              end)
     in
-    if s <> sig_unclassified then Segtbl.add a.sig_cache c s;
+    if s <> sig_unclassified then Segtbl.add cache c s;
     s
 
-let entry a r s =
-  let row = a.rows.(r) in
+let entry tb r s =
+  let row = tb.rows.(r) in
   if s < Array.length row then row.(s) else e_cold
 
 (* Rows start small and grow geometrically on column access: most states
    are only ever stepped with a handful of the expression's signatures, so
-   dense nrows × nsigs allocation would be mostly dead weight. *)
-let set_entry a r s v =
-  let row = a.rows.(r) in
+   dense nrows × nsigs allocation would be mostly dead weight.  Caller
+   holds [fill]; the grown row is installed in the freshest snapshot —
+   readers of older snapshots keep the short row and miss cold, which the
+   lock path resolves. *)
+let set_entry_locked a r s v =
+  let tb = Atomic.get a.tables in
+  let row = tb.rows.(r) in
   let row =
     if s < Array.length row then row
     else begin
-      let n = Array.make (max (s + 1) (2 * Array.length row)) e_cold in
+      let n = Array.make (max (s + 1) (2 * max 1 (Array.length row))) e_cold in
       Array.blit row 0 n 0 (Array.length row);
-      a.rows.(r) <- n;
+      tb.rows.(r) <- n;
       n
     end
   in
   row.(s) <- v
 
-(* Cold entry: one interpreted τ̂ (memoized upstream) computes the
-   successor and fills the table behind itself.  [s] may be
+(* Cold entry: re-check under a fresh snapshot (another domain may have
+   filled it), then one interpreted τ̂ — computed OUTSIDE the lock: τ̂ is
+   pure and hash-consing is global, so concurrent duplicate computes are
+   idempotent — and fill the table behind it.  [s] may be
    [sig_unclassified], in which case there is no column to fill. *)
 let resolve a r s c =
-  Atomic.incr fallbacks_total;
-  let succ = State.trans a.states.(r) c in
-  (if s >= 0 then
-     match succ with
-     | None -> set_entry a r s e_reject
-     | Some st' ->
-       let r' = row_of a st' in
-       (* row cap hit: the entry stays cold and keeps falling back *)
-       if r' <> no_row then set_entry a r s r');
-  succ
+  let tb = snap_covering a r in
+  let e = if s >= 0 then entry tb r s else e_cold in
+  if e = e_reject then begin
+    State.count_transition ();
+    None
+  end
+  else if e >= 0 && e < tb.nrows then begin
+    State.count_transition ();
+    tb.opts.(e)
+  end
+  else begin
+    Atomic.incr fallbacks_total;
+    let succ = State.trans tb.states.(r) c in
+    (if s >= 0 then
+       Mutex.protect a.fill (fun () ->
+           match succ with
+           | None -> set_entry_locked a r s e_reject
+           | Some st' ->
+             let r' = intern_locked a st' in
+             (* row cap hit: the entry stays cold and keeps falling back *)
+             if r' <> no_row then set_entry_locked a r s r'));
+    succ
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -345,12 +424,14 @@ let precompile a =
             let s = sig_of a c in
             if s <= sig_reject then None
             else
-              match entry a r s with
+              match entry (Atomic.get a.tables) r s with
               | e when e = e_cold -> (
-                let before = a.nrows in
+                let before = (Atomic.get a.tables).nrows in
                 match resolve a r s c with
                 | None -> None
-                | Some _ -> if a.nrows > before then Some (a.nrows - 1) else None)
+                | Some _ ->
+                  let after = (Atomic.get a.tables).nrows in
+                  if after > before then Some (after - 1) else None)
               | _ -> None)
           actions
       in
@@ -368,31 +449,32 @@ let create ?eager ?(max_rows = 1 lsl 15) ?(max_sigs = 1 lsl 12) e =
       | Classify.Harmless -> true
       | Classify.Benign _ | Classify.Potentially_malignant -> false)
   in
+  let states = Array.make 64 s0 in
+  let opts = Array.make 64 None in
+  let finals = Array.make 64 false in
+  let rows = Array.make 64 [||] in
+  opts.(0) <- Some s0;
+  finals.(0) <- State.final s0;
+  rows.(0) <- Array.make 8 e_cold;
+  let row_map = Cmap.create 64 in
+  Cmap.add row_map (State.id s0) 0;
   let a =
     { expr = e;
       alpha;
+      fill = Mutex.create ();
       sig_keys = Hashtbl.create 16;
       nsigs = 1;  (* column 0 is the reject signature *)
-      sig_cache = Segtbl.create ~gen_cap:(1 lsl 14) ~evictions:sig_evictions 64;
-      row_tbl = Hashtbl.create 64;
-      states = Array.make 64 s0;
-      opts = Array.make 64 None;
-      finals = Array.make 64 false;
-      rows = Array.make 64 [||];
-      nrows = 1;  (* row 0 is σ(e), interned inline just below *)
-      last_st = s0;
-      last_row = 0;
-      pending_steps = 0;
-      pending_sig_hits = 0;
+      sig_caches = Dshard.replica ();
+      row_map;
+      tables = Atomic.make { states; opts; finals; rows; nrows = 1 };
+      last = Dshard.replica ();
+      step_tally = Dshard.Tally.create steps_total;
+      sig_hit_tally = Dshard.Tally.create sig_hits;
       max_rows;
       max_sigs;
       eager }
   in
   register a;
-  a.opts.(0) <- Some s0;
-  a.finals.(0) <- State.final s0;
-  a.rows.(0) <- Array.make 8 e_cold;
-  Hashtbl.add a.row_tbl (State.id s0) 0;
   Atomic.incr interned_total;
   Atomic.incr rows_live;
   Atomic.incr sigs_live (* the reject column *);
@@ -408,14 +490,17 @@ type info = {
   signatures : int;
 }
 
-let info (a : t) = { eager = a.eager; rows = a.nrows; signatures = a.nsigs }
+let info (a : t) =
+  { eager = a.eager; rows = (Atomic.get a.tables).nrows; signatures = a.nsigs }
 
-(* Domain-local instance cache, keyed structurally per expression like
+(* Process-global instance cache, keyed structurally per expression like
    [Alpha.of_expr]'s: sessions, manager replicas and repeated word queries
-   on the same expression share one automaton — and its warm rows.  A
-   one-slot physical-equality fast path makes the repeated-word pattern
-   ([word e w] in a loop) skip the expression hash entirely.  The table is
-   bounded: property tests generate unbounded streams of expressions. *)
+   on the same expression — on EVERY domain — share one automaton and its
+   warm rows.  A per-domain one-slot physical-equality fast path (tagged
+   with a generation so [reset_shared] invalidates every domain's slot)
+   makes the repeated-word pattern skip both the lock and the expression
+   hash.  The table is bounded: property tests generate unbounded streams
+   of expressions. *)
 module ExprTbl = Hashtbl.Make (struct
   type t = Expr.t
 
@@ -424,41 +509,45 @@ module ExprTbl = Hashtbl.Make (struct
 end)
 
 let shared_cap = 256
+let shared_mu = Mutex.create ()
+let shared_tbl : t ExprTbl.t = ExprTbl.create 16
+let shared_gen = Atomic.make 0
 
-let shared_tbl : t ExprTbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ExprTbl.create 16)
-
-let shared_slot : (Expr.t * t) option ref Domain.DLS.key =
+let shared_slot : (int * Expr.t * t) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
 let shared e =
+  let gen = Atomic.get shared_gen in
   let slot = Domain.DLS.get shared_slot in
   match !slot with
-  | Some (e0, a) when e0 == e -> a
+  | Some (g, e0, a) when g = gen && e0 == e -> a
   | _ ->
-    let tbl = Domain.DLS.get shared_tbl in
     let a =
-      match ExprTbl.find_opt tbl e with
-      | Some a -> a
-      | None ->
-        if ExprTbl.length tbl >= shared_cap then begin
-          ExprTbl.reset tbl;
-          Atomic.incr overflows_total
-        end;
-        let a = create e in
-        ExprTbl.add tbl e a;
-        a
+      Mutex.protect shared_mu (fun () ->
+          match ExprTbl.find_opt shared_tbl e with
+          | Some a -> a
+          | None ->
+            if ExprTbl.length shared_tbl >= shared_cap then begin
+              ExprTbl.reset shared_tbl;
+              Atomic.incr overflows_total
+            end;
+            let a = create e in
+            ExprTbl.add shared_tbl e a;
+            a)
     in
-    slot := Some (e, a);
+    slot := Some (gen, e, a);
     a
 
-(* Drop this domain's shared instances.  For the experiment harness: an
-   automaton retained from an earlier workload on the same expression
-   carries that workload's rows and signatures, so before/after tables
-   would depend on experiment order.  Sessions that already bound an
-   instance keep it — only future [shared] calls see fresh tables. *)
+(* Drop the shared instances — all domains' views of them.  For the
+   experiment harness: an automaton retained from an earlier workload on
+   the same expression carries that workload's rows and signatures, so
+   before/after tables would depend on experiment order.  The generation
+   bump invalidates every domain's one-slot cache; sessions that already
+   bound an instance keep it — only future [shared] calls see fresh
+   tables. *)
 let reset_shared () =
-  ExprTbl.reset (Domain.DLS.get shared_tbl);
+  Mutex.protect shared_mu (fun () -> ExprTbl.reset shared_tbl);
+  Atomic.incr shared_gen;
   Domain.DLS.get shared_slot := None
 
 (* ------------------------------------------------------------------ *)
@@ -468,21 +557,39 @@ let reset_shared () =
 (* τ̂ through the tables.  Precondition: [st] is a state of [a]'s
    expression (initial, reachable, or loaded from a checkpoint of it) —
    the reject short-circuit is only sound against the right alphabet.  The
-   warm path is two lookups (one a pointer comparison via the row slot)
-   and an array read; the successor is primed into the slot so the next
-   call resolves its row without hashing. *)
+   warm path is one atomic snapshot load, two lookups (one a pointer
+   comparison via the domain's row slot) and an array read; the successor
+   is primed into the slot so the next call resolves its row without
+   hashing. *)
 let step a st c =
   if not (active ()) then State.trans st c
   else begin
-    let n = a.pending_steps + 1 in
-    a.pending_steps <- n;
-    if n >= flush_threshold then flush a;
-    let r = row_of a st in
+    Dshard.Tally.bump a.step_tally 1;
+    let tb0 = Atomic.get a.tables in
+    let l = last_cell a tb0 in
+    let r =
+      if l.lst == st then l.lrow
+      else begin
+        let r = Cmap.find a.row_map (State.id st) in
+        let r =
+          if r >= 0 then r
+          else Mutex.protect a.fill (fun () -> intern_locked a st)
+        in
+        if r >= 0 then begin
+          l.lst <- st;
+          l.lrow <- r
+        end;
+        r
+      end
+    in
     if r = no_row then begin
       Atomic.incr fallbacks_total;
       State.trans st c
     end
     else
+      (* the domain's own slot never exceeds its current snapshot; a row
+         fresh from the Cmap or the lock may, so re-cover *)
+      let tb = if r < tb0.nrows then tb0 else snap_covering a r in
       let s = sig_of a c in
       if s = sig_reject then begin
         State.count_transition ();
@@ -493,18 +600,18 @@ let step a st c =
         State.trans st c
       end
       else
-        let e = entry a r s in
+        let e = entry tb r s in
         if e = e_reject then begin
           State.count_transition ();
           None
         end
-        else if e >= 0 then begin
+        else if e >= 0 && e < tb.nrows then begin
           State.count_transition ();
-          a.last_st <- a.states.(e);
-          a.last_row <- e;
+          l.lst <- tb.states.(e);
+          l.lrow <- e;
           (* preallocated: the warm path hands out the row's option
              without boxing a fresh [Some] per step *)
-          a.opts.(e)
+          tb.opts.(e)
         end
         else resolve a r s c
   end
@@ -531,8 +638,8 @@ let run_word a w =
       | c :: cs -> (
         match State.trans st c with None -> None | Some st' -> slow st' cs)
     in
-    let rec go r = function
-      | [] -> Some a.finals.(r)
+    let rec go tb r = function
+      | [] -> Some tb.finals.(r)
       | c :: cs -> (
         incr steps;
         let s = sig_of a c in
@@ -542,27 +649,29 @@ let run_word a w =
         end
         else if s = sig_unclassified then begin
           Atomic.incr fallbacks_total;
-          match State.trans a.states.(r) c with
+          match State.trans tb.states.(r) c with
           | None -> None
           | Some st' -> slow st' cs
         end
         else
-          let e = entry a r s in
+          let e = entry tb r s in
           if e = e_reject then begin
             incr warm;
             None
           end
-          else if e >= 0 then begin
+          else if e >= 0 && e < tb.nrows then begin
             incr warm;
-            go e cs
+            go tb e cs
           end
           else
             match resolve a r s c with
             | None -> None
             | Some st' ->
-              (* [resolve] interned the successor unless the rows are full *)
-              let r' = row_of a st' in
-              if r' <> no_row then go r' cs else slow st' cs)
+              (* [resolve] interned the successor unless the rows are
+                 full; walk on from a snapshot that covers it *)
+              let tb = Atomic.get a.tables in
+              let r' = Cmap.find a.row_map (State.id st') in
+              if r' >= 0 && r' < tb.nrows then go tb r' cs else slow st' cs)
     in
-    finish (go 0 w)
+    finish (go (Atomic.get a.tables) 0 w)
   end

@@ -36,10 +36,13 @@
     never to a wrong answer. *)
 
 type t
-(** A compiled kernel instance for one expression.  Domain-local, like the
-    state model's caches: rows hold the owning domain's hash-consed states.
-    Obtain instances via {!shared}; {!create} is for tests and cold-start
-    measurements. *)
+(** A compiled kernel instance for one expression.  Safe to walk from any
+    number of domains at once: rows hold globally hash-consed states, warm
+    reads run lock-free against a published snapshot of the dense tables,
+    and all mutation (row interning, entry fill, signature interning)
+    serializes on one per-instance lock — the interpreted τ̂ of a cold
+    entry runs outside it.  Obtain instances via {!shared}; {!create} is
+    for tests and cold-start measurements. *)
 
 val create : ?eager:bool -> ?max_rows:int -> ?max_sigs:int -> Expr.t -> t
 (** Fresh instance for an expression.  [eager] forces or suppresses eager
@@ -48,14 +51,17 @@ val create : ?eager:bool -> ?max_rows:int -> ?max_sigs:int -> Expr.t -> t
     [max_sigs] (default 2{^12}) caps distinct signatures. *)
 
 val shared : Expr.t -> t
-(** The calling domain's shared instance for this expression (created on
-    first use; sessions, manager replicas and repeated word queries on one
-    expression share rows).  Keyed structurally with a physical-equality
-    fast path for the repeated-query pattern.  Bounded: a burst of more
-    than a few hundred distinct expressions resets the cache. *)
+(** The process-wide shared instance for this expression (created on first
+    use; sessions, manager replicas and repeated word queries on one
+    expression — on {e every} domain — share one automaton and its warm
+    rows).  Keyed structurally under a lock, with a per-domain
+    physical-equality fast path for the repeated-query pattern.  Bounded:
+    a burst of more than a few hundred distinct expressions resets the
+    cache. *)
 
 val reset_shared : unit -> unit
-(** Drop the calling domain's shared instances.  For the experiment
+(** Drop the shared instances — all domains' views of them (a generation
+    bump invalidates every domain's fast-path slot).  For the experiment
     harness: an instance retained from an earlier workload on the same
     expression carries that workload's rows and signatures, so
     before/after tables would depend on experiment order.  Sessions that

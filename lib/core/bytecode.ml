@@ -23,8 +23,19 @@
    The VM walk is the whole point: a step is a name-keyed dispatch probe
    plus one array read — no state hashing, no signature interning, no
    per-step boxing (successor options are preallocated per row), and the
-   instance-local step tally is flushed to the process-wide atomic in
-   batches rather than per step. *)
+   per-domain step tally is flushed to the process-wide atomic in batches
+   rather than per step.
+
+   Concurrency.  A compiled program is immutable, and everything an
+   instance computes at construction (dispatch table, row-id map, row
+   states, preallocated options) is read-only afterwards — so the whole
+   walk is naturally share-everything and any number of domains can run
+   one instance at once.  The only mutable instance state is per-domain
+   ({!Dshard}): the column-memo Segtbl (single-domain by contract), the
+   one-slot state → row cell, and the batched step tally (the former
+   instance-local pending int tore under two walkers).  The shared
+   program cache is process-global under a mutex, with a per-domain
+   one-slot fast path invalidated by a generation counter. *)
 
 type program = {
   pexpr : Expr.t;
@@ -35,23 +46,31 @@ type program = {
   finals : Bytes.t;  (* bitset, (nstates+7)/8 bytes *)
 }
 
+(* Per-domain one-slot state → row cell; only the owning domain touches
+   it (Dshard), so the stores are plain. *)
+type lastslot = {
+  mutable lst : State.t option;
+  mutable lrow : int;
+}
+
 type t = {
   prog : program;
   (* name -> candidate columns; ground alphabets rarely overload a name,
-     so classification is one probe and a short scan *)
+     so classification is one probe and a short scan.  Read-only after
+     construction, hence safe to probe from every domain. *)
   dispatch : (string, (Action.value list * int) list) Hashtbl.t;
   (* in-process compiles carry the hash-consed state of each row, so
      sessions can leave and re-enter the program mid-word *)
   states : State.t array option;
-  row_ids : (int, int) Hashtbl.t;  (* State.id -> row *)
+  row_ids : (int, int) Hashtbl.t;  (* State.id -> row; read-only after compile *)
   opts : State.t option array;  (* preallocated [Some states.(r)] per row *)
   (* concrete action -> column memo: the dispatch probe hashes the name and
      scans candidates; the memo answers warm steps in one table probe, the
-     same cost the automaton pays for its signature cache *)
-  ccache : (Action.concrete, int) Segtbl.t;
-  mutable last_st : State.t option;  (* one-slot row resolution *)
-  mutable last_row : int;
-  mutable pending_steps : int;  (* flushed at threshold and on [stats] *)
+     same cost the automaton pays for its signature cache.  One replica
+     per domain: Segtbl is single-domain. *)
+  ccaches : (Action.concrete, int) Segtbl.t Dshard.replica;
+  last : lastslot Dshard.replica;
+  step_tally : Dshard.Tally.t;  (* batched into [steps_total] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -64,10 +83,11 @@ let fallbacks_total = Atomic.make 0
 let programs_total = Atomic.make 0
 let failures_total = Atomic.make 0
 
-(* Instances batch their step tally locally; [stats] must still be exact
-   (the workbench and the experiment harness print it), so every instance
-   is reachable — weakly, property tests mint thousands — from a registry
-   the flush walks. *)
+(* Instances batch their step tally in per-domain cells; [stats] must
+   still be exact (the workbench and the experiment harness print it), so
+   every instance is reachable — weakly, property tests mint thousands —
+   from a registry the flush walks.  Draining foreign cells is racy
+   (plain-int reads) but exact once domains are joined. *)
 let registry : t Weak.t list ref = ref []
 let registry_mu = Mutex.create ()
 
@@ -77,20 +97,13 @@ let register inst =
   Mutex.protect registry_mu (fun () ->
       registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
 
-let flush inst =
-  let n = inst.pending_steps in
-  if n > 0 then begin
-    inst.pending_steps <- 0;
-    ignore (Atomic.fetch_and_add steps_total n)
-  end
+let flush inst = Dshard.Tally.drain inst.step_tally
 
 let flush_all () =
   Mutex.protect registry_mu (fun () ->
       List.iter
         (fun w -> match Weak.get w 0 with Some i -> flush i | None -> ())
         !registry)
-
-let flush_threshold = 1 lsl 12
 
 type stats = {
   steps : int;
@@ -110,7 +123,9 @@ let reset_stats () =
   Mutex.protect registry_mu (fun () ->
       List.iter
         (fun w ->
-          match Weak.get w 0 with Some i -> i.pending_steps <- 0 | None -> ())
+          match Weak.get w 0 with
+          | Some i -> Dshard.Tally.discard i.step_tally
+          | None -> ())
         !registry);
   Atomic.set steps_total 0;
   Atomic.set fallbacks_total 0;
@@ -172,16 +187,24 @@ let mk_instance prog states row_ids =
   let inst =
     { prog;
       dispatch = mk_dispatch prog.cols;
-      ccache = Segtbl.create ~gen_cap:(1 lsl 12) ~evictions:col_evictions 64;
+      ccaches = Dshard.replica ();
       states;
       row_ids;
       opts;
-      last_st = (match states with Some sts -> Some sts.(0) | None -> None);
-      last_row = 0;
-      pending_steps = 0 }
+      last = Dshard.replica ();
+      step_tally = Dshard.Tally.create steps_total }
   in
   register inst;
   inst
+
+let ccache t =
+  Dshard.replica_get t.ccaches ~create:(fun () ->
+      Segtbl.create ~gen_cap:(1 lsl 12) ~evictions:col_evictions 64)
+
+let last_cell t =
+  Dshard.replica_get t.last ~create:(fun () ->
+      { lst = (match t.states with Some sts -> Some sts.(0) | None -> None);
+        lrow = 0 })
 
 let default_cap e =
   (* §6 guides the budget: harmless and benign spaces are bounded, so the
@@ -290,9 +313,13 @@ let info t =
 (* Shared instances                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Domain-local per-expression cache, negative results included: a benign
-   session binding its backend must learn "no program" from one probe,
-   not from a fresh BFS attempt.  Same shape as [Automaton.shared].
+(* Process-global per-expression cache, negative results included: a
+   benign session binding its backend must learn "no program" from one
+   probe, not from a fresh BFS attempt.  Same shape as [Automaton.shared]:
+   one mutex-guarded table all domains compile into — so a program is
+   flattened once per process, not once per domain — plus a per-domain
+   one-slot fast path tagged with a generation that [reset_shared]
+   bumps.
 
    Auto selection ([shared]) only pays the flattening BFS for Â§6-harmless
    expressions â their spaces are the ones the lazy automaton already
@@ -312,11 +339,11 @@ end)
 type cached = Prog of t | Failed | Declined
 
 let shared_cap = 256
+let shared_mu = Mutex.create ()
+let shared_tbl : cached ExprTbl.t = ExprTbl.create 16
+let shared_gen = Atomic.make 0
 
-let shared_tbl : cached ExprTbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ExprTbl.create 16)
-
-let shared_slot : (Expr.t * cached) option ref Domain.DLS.key =
+let shared_slot : (int * Expr.t * cached) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
 let shared_lookup ~force e =
@@ -330,26 +357,29 @@ let shared_lookup ~force e =
       | Classify.Harmless -> compile_now ()
       | Classify.Benign _ | Classify.Potentially_malignant -> Declined
   in
+  let gen = Atomic.get shared_gen in
   let slot = Domain.DLS.get shared_slot in
   let cached =
     match !slot with
-    | Some (e0, v) when e0 == e && not (force && v = Declined) -> v
+    | Some (g, e0, v) when g = gen && e0 == e && not (force && v = Declined)
+      -> v
     | _ ->
-      let tbl = Domain.DLS.get shared_tbl in
       let v =
-        match ExprTbl.find_opt tbl e with
-        | Some Declined when force ->
-          let v = compile_now () in
-          ExprTbl.replace tbl e v;
-          v
-        | Some v -> v
-        | None ->
-          if ExprTbl.length tbl >= shared_cap then ExprTbl.reset tbl;
-          let v = fresh () in
-          ExprTbl.add tbl e v;
-          v
+        Mutex.protect shared_mu (fun () ->
+            match ExprTbl.find_opt shared_tbl e with
+            | Some Declined when force ->
+              let v = compile_now () in
+              ExprTbl.replace shared_tbl e v;
+              v
+            | Some v -> v
+            | None ->
+              if ExprTbl.length shared_tbl >= shared_cap then
+                ExprTbl.reset shared_tbl;
+              let v = fresh () in
+              ExprTbl.add shared_tbl e v;
+              v)
       in
-      slot := Some (e, v);
+      slot := Some (gen, e, v);
       v
   in
   match cached with Prog t -> Some t | Failed | Declined -> None
@@ -358,7 +388,8 @@ let shared e = shared_lookup ~force:false e
 let shared_forced e = shared_lookup ~force:true e
 
 let reset_shared () =
-  ExprTbl.reset (Domain.DLS.get shared_tbl);
+  Mutex.protect shared_mu (fun () -> ExprTbl.reset shared_tbl);
+  Atomic.incr shared_gen;
   Domain.DLS.get shared_slot := None
 
 (* ------------------------------------------------------------------ *)
@@ -369,7 +400,8 @@ module Vm = struct
   (* Classify an action into its column; -1 = matches no ground pattern,
      hence rejected by every state (the uniform-reject fast path). *)
   let col_of t (c : Action.concrete) =
-    match Segtbl.find t.ccache c with
+    let cache = ccache t in
+    match Segtbl.find cache c with
     | col -> col
     | exception Not_found ->
       let col =
@@ -383,7 +415,7 @@ module Vm = struct
           in
           go cands
       in
-      Segtbl.add t.ccache c col;
+      Segtbl.add cache c col;
       col
 
   let start_row = 0
@@ -396,29 +428,25 @@ module Vm = struct
       if col < 0 then -1
       else t.prog.trans.((r * Array.length t.prog.cols) + col)
 
-  let bump t =
-    let n = t.pending_steps + 1 in
-    t.pending_steps <- n;
-    if n >= flush_threshold then flush t
-
   let step t st c =
     if not (Automaton.active ()) then State.trans st c
     else begin
-      bump t;
+      Dshard.Tally.bump t.step_tally 1;
+      let l = last_cell t in
       let r =
-        match t.last_st with
-        | Some s0 when s0 == st -> t.last_row
+        match l.lst with
+        | Some s0 when s0 == st -> l.lrow
         | _ -> (
           match Hashtbl.find_opt t.row_ids (State.id st) with
           | Some r ->
-            t.last_st <- t.opts.(r);
-            t.last_row <- r;
+            l.lst <- t.opts.(r);
+            l.lrow <- r;
             r
           | None -> -1)
       in
       if r < 0 then begin
         (* a state the program does not carry: an artifact-loaded program,
-           or a walk that left through the interpreter on another domain *)
+           or a walk that left through the interpreter *)
         Atomic.incr fallbacks_total;
         State.trans st c
       end
@@ -433,8 +461,8 @@ module Vm = struct
           if r' < 0 then None
           else begin
             let o = t.opts.(r') in
-            t.last_st <- o;
-            t.last_row <- r';
+            l.lst <- o;
+            l.lrow <- r';
             o
           end
     end

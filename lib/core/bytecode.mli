@@ -38,7 +38,9 @@ val compile : ?max_states:int -> Expr.t -> t option
     is resolved, so the VM never falls back on a known state. *)
 
 val shared : Expr.t -> t option
-(** Domain-local instance per expression, like {!Automaton.shared}.
+(** Process-global instance per expression, like {!Automaton.shared}: all
+    domains share one program and VM instance (instances are concurrency-
+    safe — the tables are immutable and the mutable caches per-domain).
     Compilation failures are cached too, so binding a session to an
     uncompilable expression costs one table probe, not a BFS retry.
     This is the {e auto-selection} entry point: it only attempts the
@@ -52,8 +54,9 @@ val shared_forced : Expr.t -> t option
     cached auto decline in place. *)
 
 val reset_shared : unit -> unit
-(** Drop this domain's cached instances and negative results (the
-    experiment harness isolates workloads this way). *)
+(** Drop the cached instances and negative results on every domain (the
+    experiment harness isolates workloads this way; a generation bump
+    invalidates the per-domain fast-path slots). *)
 
 val of_program : program -> t
 (** Executable view of a loaded artifact.  Rows carry no hash-consed

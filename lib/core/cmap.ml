@@ -1,0 +1,88 @@
+(* A concurrent-read, exclusively-written int → int hash map.
+
+   The automaton's row table (State.id → row) sits on the lock-free read
+   path of the shared kernel: any domain may probe it while one domain —
+   under the instance's fill lock — inserts.  A stdlib [Hashtbl] is not
+   safe to read during a resize, so this map publishes immutable
+   snapshots instead:
+
+   - The slot array (open addressing, linear probing) lives in a [snap]
+     record held by an [Atomic.t].  Readers take one [Atomic.get] and
+     probe that snapshot; they never see a half-rebuilt table.
+   - Entries are boxed immutable records.  An insert writes [Some entry]
+     into an empty slot of the *current* snapshot — a single pointer
+     store.  A racing reader either sees [None] (a miss, which the caller
+     resolves under the fill lock, where the freshest table is
+     re-checked) or the complete entry: the OCaml memory model guarantees
+     a racy read of a mutable pointer yields a fully initialized object.
+   - Keys are never overwritten or removed, so whatever a reader observes
+     is true; growth rebuilds fresh arrays under the writer's lock and
+     publishes them with [Atomic.set] (a release store), leaving old
+     snapshots intact for in-flight readers.
+   - The writer keeps the load factor under 3/4, and a probe sequence in
+     any snapshot therefore terminates at an empty slot.
+
+   Writes MUST be serialized by the caller (the automaton's fill lock);
+   only reads are lock-free. *)
+
+type entry = { key : int; value : int }
+
+type snap = {
+  slots : entry option array;
+  smask : int;
+}
+
+type t = {
+  snap : snap Atomic.t;
+  mutable count : int;  (* writer-only, guarded by the caller's lock *)
+}
+
+let mk_snap cap = { slots = Array.make cap None; smask = cap - 1 }
+
+let create n =
+  let rec pow2 k = if k >= n || k >= 1 lsl 20 then k else pow2 (2 * k) in
+  let cap = pow2 16 in
+  { snap = Atomic.make (mk_snap cap); count = 0 }
+
+(* Fibonacci-style mix: keys are hash-cons ids, i.e. small sequential
+   ints, which linear probing would otherwise cluster. *)
+let mix k =
+  let h = k * 0x9E3779B97F4A7C1 in
+  h lxor (h lsr 29)
+
+let find t k =
+  let s = Atomic.get t.snap in
+  let m = s.smask in
+  let rec go i =
+    match s.slots.(i) with
+    | None -> -1
+    | Some e -> if e.key = k then e.value else go ((i + 1) land m)
+  in
+  go (mix k land m)
+
+let mem t k = find t k >= 0
+
+(* Insert into a snapshot's arrays; caller guarantees a free slot. *)
+let put snap e =
+  let m = snap.smask in
+  let rec go i =
+    match snap.slots.(i) with
+    | None -> snap.slots.(i) <- Some e
+    | Some e' -> if e'.key = e.key then () else go ((i + 1) land m)
+  in
+  go (mix e.key land m)
+
+(* Caller holds the write lock.  [k] must not be negative (readers use -1
+   as the miss sentinel) and must not already be present. *)
+let add t k v =
+  let s = Atomic.get t.snap in
+  if 4 * (t.count + 1) > 3 * (s.smask + 1) then begin
+    let s' = mk_snap (2 * (s.smask + 1)) in
+    Array.iter (function Some e -> put s' e | None -> ()) s.slots;
+    put s' { key = k; value = v };
+    Atomic.set t.snap s'
+  end
+  else put s { key = k; value = v };
+  t.count <- t.count + 1
+
+let length t = t.count

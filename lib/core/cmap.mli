@@ -1,0 +1,28 @@
+(** Concurrent-read int → int map with snapshot publication.
+
+    Backs the shared automaton's state-id → row index on its lock-free
+    read path: any domain may {!find} concurrently; {!add} must be
+    serialized by the caller (the automaton's fill lock).  Readers probe
+    an immutable snapshot obtained with one atomic load, so a concurrent
+    grow never exposes a half-built table; a racing reader can at worst
+    miss a just-inserted key, which the caller resolves under its lock.
+    Keys must be non-negative and are never removed. *)
+
+type t
+
+val create : int -> t
+(** [create n] — initial capacity at least [n] (rounded to a power of
+    two, minimum 16). *)
+
+val find : t -> int -> int
+(** The value bound to the key, or [-1].  Lock-free; may miss an entry
+    added concurrently (never returns a wrong binding). *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> int -> unit
+(** Bind a new key.  The caller must hold the structure's write lock and
+    must not re-bind an existing key. *)
+
+val length : t -> int
+(** Writer-side entry count (call under the write lock). *)

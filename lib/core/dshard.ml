@@ -1,0 +1,146 @@
+(* Per-domain slot arrays: the building block that lets one shared
+   structure (an automaton, a VM instance, an engine session) be walked by
+   several domains without putting a lock on its hot path.
+
+   A [Dshard] value owns a small fixed array of slots indexed by
+   [Domain.self () land mask].  Each slot records the domain id that
+   created it; a slot is only ever *used* by the domain whose id it
+   carries, so the value inside is effectively domain-private — mutating
+   it needs no synchronization.  Two racy situations remain and both are
+   benign:
+
+   - Two domains whose ids collide modulo the slot count race on one
+     slot.  Slot writes store an immutable boxed record (the OCaml memory
+     model guarantees a racy read returns a fully initialized object, not
+     a torn one), and the id check makes the loser fall back — a replica
+     is recreated ([replica_get]) or the update bypasses the batch
+     straight into the shared atomic ([Tally.bump]).  Correctness never
+     depends on winning the race; only cache warmth does, and domain ids
+     only collide past [slot_count] concurrently live domains.
+
+   - A foreign domain reads the slots for aggregate statistics
+     ([Tally.drain], [iter]).  Those reads race with the owner's plain
+     writes and can observe a slightly stale value — the documented,
+     pre-existing contract of the batched counters ("stats can
+     transiently under-count an in-flight batch").  After [Domain.join]
+     the owner's writes are visible, so post-join drains are exact (the
+     2-domain stress regression relies on this). *)
+
+let slot_count = 64
+let mask = slot_count - 1
+let self () = (Domain.self () :> int)
+
+(* ------------------------------------------------------------------ *)
+(* Replicas: one lazily created value per domain                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'a slot = { sdid : int; value : 'a }
+type 'a replica = { slots : 'a slot option array }
+
+let replica () = { slots = Array.make slot_count None }
+
+(* The calling domain's value, created on first use.  On an id collision
+   the slot is simply retaken: the previous owner recreates its value on
+   its next call.  An evicted value is never touched by the evictor, so
+   single-owner mutation stays safe; colliding domains merely lose cache
+   warmth. *)
+let replica_get r ~create =
+  let me = self () in
+  let i = me land mask in
+  match r.slots.(i) with
+  | Some s when s.sdid = me -> s.value
+  | _ ->
+    let v = create () in
+    r.slots.(i) <- Some { sdid = me; value = v };
+    v
+
+let replica_find r =
+  let me = self () in
+  match r.slots.(me land mask) with
+  | Some s when s.sdid = me -> Some s.value
+  | _ -> None
+
+(* Number of populated slots — a cheap "how many domains touched this"
+   gauge (collisions under-count, which is the conservative direction). *)
+let replica_populated r =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 r.slots
+
+(* Visit every live replica, own and foreign.  Foreign values may be
+   mutated concurrently by their owners; callers must only perform
+   race-tolerant reads or writes (statistics, cache clears). *)
+let replica_iter f r =
+  Array.iter (function Some s -> f s.value | None -> ()) r.slots
+
+(* ------------------------------------------------------------------ *)
+(* Tallies: batched per-domain counters over one shared atomic          *)
+(* ------------------------------------------------------------------ *)
+
+module Tally = struct
+  (* One cell per domain; [pending] is only written by the owning domain
+     (plus the racy stats drain, see the header).  The padding fields keep
+     cells on separate cache lines so two domains' batch counters do not
+     false-share. *)
+  type cell = {
+    cdid : int;
+    mutable pending : int;
+    mutable p1 : int;
+    mutable p2 : int;
+    mutable p3 : int;
+    mutable p4 : int;
+    mutable p5 : int;
+    mutable p6 : int;
+  }
+
+  type t = {
+    cells : cell option array;
+    into : int Atomic.t;  (* the shared process-wide total *)
+  }
+
+  let threshold = 1 lsl 12
+
+  let create into = { cells = Array.make slot_count None; into }
+
+  let fresh did =
+    { cdid = did; pending = 0; p1 = 0; p2 = 0; p3 = 0; p4 = 0; p5 = 0; p6 = 0 }
+
+  (* Count [n] events.  The common case is a plain increment of the
+     domain's own cell; the batch flushes into the shared atomic at the
+     threshold.  A collided (or just-created, possibly lost-to-a-race)
+     cell adds straight to the atomic so no count can ride in a cell that
+     loses a publication race: published cells always carry pending = 0. *)
+  let bump t n =
+    let me = self () in
+    let i = me land mask in
+    match t.cells.(i) with
+    | Some c when c.cdid = me ->
+      let p = c.pending + n in
+      if p >= threshold then begin
+        c.pending <- 0;
+        ignore (Atomic.fetch_and_add t.into p)
+      end
+      else c.pending <- p
+    | Some _ -> ignore (Atomic.fetch_and_add t.into n)
+    | None ->
+      t.cells.(i) <- Some (fresh me);
+      ignore (Atomic.fetch_and_add t.into n)
+
+  (* Flush every cell's batch into the shared total.  Draining a foreign
+     cell races with its owner's bumps and can momentarily miss an
+     in-flight batch (the long-standing stats contract); it is exact once
+     the owning domains have been joined. *)
+  let drain t =
+    Array.iter
+      (function
+        | Some c ->
+          let p = c.pending in
+          if p > 0 then begin
+            c.pending <- 0;
+            ignore (Atomic.fetch_and_add t.into p)
+          end
+        | None -> ())
+      t.cells
+
+  (* Discard pending batches without counting them (stats reset). *)
+  let discard t =
+    Array.iter (function Some c -> c.pending <- 0 | None -> ()) t.cells
+end

@@ -1,0 +1,67 @@
+(** Per-domain slot arrays for shared hot structures.
+
+    The concurrent kernel tables ({!Automaton}, {!Bytecode}) are walked by
+    several domains at once, but their per-instance caches and batched
+    counters are plain mutable state.  A [Dshard] gives each domain its
+    own slot — indexed by [Domain.self () mod slot_count] and tagged with
+    the creating domain's id — so the value inside is effectively
+    domain-private and needs no lock.  Domains whose ids collide modulo
+    the slot count fall back safely: replicas are recreated (losing only
+    cache warmth) and tallies bypass their batch straight into the shared
+    atomic (losing only the batching).  See the implementation header for
+    the memory-model argument. *)
+
+val slot_count : int
+(** Number of slots (64).  Collisions start only past this many
+    concurrently live domains. *)
+
+(** {1 Replicas}
+
+    One lazily created value per domain: per-domain memo tables
+    ({!Segtbl}), successor caches ({!Scache}), one-slot row caches. *)
+
+type 'a replica
+
+val replica : unit -> 'a replica
+
+val replica_get : 'a replica -> create:(unit -> 'a) -> 'a
+(** The calling domain's value, created on first use.  Only the calling
+    domain ever mutates the returned value (the slot's domain-id check
+    enforces it), so the value may be freely mutable. *)
+
+val replica_find : 'a replica -> 'a option
+(** The calling domain's value if it already exists. *)
+
+val replica_populated : 'a replica -> int
+(** Populated slots — how many domains have touched this structure. *)
+
+val replica_iter : ('a -> unit) -> 'a replica -> unit
+(** Visit every replica, own and foreign.  Foreign values race with their
+    owners; only race-tolerant operations (stats reads, cache clears) are
+    sound here. *)
+
+(** {1 Tallies}
+
+    Batched per-domain counters flushing into one shared [Atomic.t] —
+    the multi-domain-safe replacement for the former per-instance
+    [mutable pending] ints, which tore when two domains walked one
+    instance. *)
+
+module Tally : sig
+  type t
+
+  val create : int Atomic.t -> t
+  (** A tally flushing into the given shared total. *)
+
+  val bump : t -> int -> unit
+  (** Count [n] events: a plain increment of the calling domain's cell,
+      flushed into the shared atomic at the batch threshold (4096). *)
+
+  val drain : t -> unit
+  (** Flush all cells into the shared total.  Foreign cells are drained
+      racily and can transiently miss an in-flight batch; exact after the
+      owning domains are joined. *)
+
+  val discard : t -> unit
+  (** Drop pending batches without counting them (stats reset). *)
+end

@@ -104,8 +104,11 @@ type session = {
      one transition instead of two.  Direct-mapped over (state, action),
      so interleaved queries of other actions no longer evict the pair
      being committed (the former one-slot cache decayed to a 0.3% hit
-     rate under exactly that interleaving — BENCH_pr4). *)
-  tentative : Scache.t;
+     rate under exactly that interleaving — BENCH_pr4).  One replica per
+     domain: Scache is single-domain, and a session handed across domains
+     (pool rebalance, speculation retry) starts cold there instead of
+     racing — creations are tallied by [Scache.count_replica]. *)
+  tentative : Scache.t Dshard.replica;
   (* the session's compiled kernels, bound lazily on the first transition so
      sessions created while compilation is disabled still pick them up when
      the switch is flipped back on *)
@@ -157,7 +160,7 @@ let create e =
   { sexpr = e;
     state = Some (State.init e);
     rev_trace = [];
-    tentative = Scache.create ();
+    tentative = Dshard.replica ();
     auto = None;
     vm = None;
     vm_tried = false;
@@ -268,17 +271,23 @@ let session_trans s st c =
 
 (* τ̂ with the bounded cache: reuse the successor when the query repeats a
    cached (state, action) pair; otherwise compute and remember it. *)
+let session_scache s =
+  Dshard.replica_get s.tentative ~create:(fun () ->
+      Scache.count_replica ~cross:(Dshard.replica_populated s.tentative > 0);
+      Scache.create ())
+
 let tentative_trans s st c =
   if not !successor_cache then session_trans s st c
   else
-    match Scache.find s.tentative st c with
+    let cache = session_scache s in
+    match Scache.find cache st c with
     | Some succ ->
       Atomic.incr succ_hits;
       succ
     | None ->
       Atomic.incr succ_misses;
       let succ = session_trans s st c in
-      Scache.add s.tentative st c succ;
+      Scache.add cache st c succ;
       succ
 
 let permitted s c =
@@ -422,7 +431,7 @@ let load str =
     { sexpr = Expr.of_sexp expr;
       state;
       rev_trace = List.rev_map Action.concrete_of_sexp trace;
-      tentative = Scache.create ();
+      tentative = Dshard.replica ();
       auto = None;
       vm = None;
       vm_tried = false;
@@ -433,15 +442,34 @@ let load str =
 
 let reset s =
   s.state <- Some (State.init s.sexpr);
-  Scache.clear s.tentative;
+  (* successor-cache entries are sound across resets (pure transitions,
+     hash-consed keys), but reset delimits measurement runs — clear every
+     domain's replica so hit rates start cold *)
+  Dshard.replica_iter Scache.clear s.tentative;
   s.rev_trace <- []
+
+(* Lightweight rollback support for optimistic execution (Speculate): a
+   checkpoint captures the session's logical state — current state and
+   trace — by value; the caches are deliberately left out (their entries
+   are keyed by (state, action) over pure transitions, so they stay sound
+   across a rollback and keep the retry warm). *)
+type checkpoint = {
+  ck_state : State.t option;
+  ck_rev_trace : Action.concrete list;
+}
+
+let checkpoint s = { ck_state = s.state; ck_rev_trace = s.rev_trace }
+
+let restore s ck =
+  s.state <- ck.ck_state;
+  s.rev_trace <- ck.ck_rev_trace
 
 let copy s =
   { sexpr = s.sexpr;
     state = s.state;
     rev_trace = s.rev_trace;
     (* fresh cache: sharing the array would alias mutable slots *)
-    tentative = Scache.create ();
+    tentative = Dshard.replica ();
     auto = s.auto;
     vm = s.vm;
     vm_tried = s.vm_tried;

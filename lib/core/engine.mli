@@ -114,6 +114,19 @@ val reset : session -> unit
 val copy : session -> session
 (** Independent snapshot of the session. *)
 
+type checkpoint
+(** A by-value capture of a session's logical state (current state +
+    trace) for optimistic execution: {!Speculate} checkpoints each shard
+    before a speculative batch and rolls back on conflict.  Caches are
+    not captured — their entries stay sound across rollback (pure
+    transitions, hash-consed keys) and keep the retry warm. *)
+
+val checkpoint : session -> checkpoint
+
+val restore : session -> checkpoint -> unit
+(** Roll the session back to [checkpoint].  Only meaningful with a
+    checkpoint taken from the same session. *)
+
 val set_successor_cache : bool -> unit
 (** Enable/disable the tentative-successor cache (on by default).
     Only the experiment harness switches it off, to measure the

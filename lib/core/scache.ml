@@ -13,7 +13,16 @@
    pure and states are hash-consed, so a stale entry keyed by an old state
    can only be re-hit if the session returns to exactly that state, in
    which case its successor is still correct.  Collisions simply overwrite
-   (direct-mapped); the cache is transparent and bounded. *)
+   (direct-mapped); the cache is transparent and bounded.
+
+   Ownership: an [Scache.t] is SINGLE-DOMAIN.  Slot writes are pointer
+   stores of immutable entries, so racy sharing would be memory-safe, but
+   two domains interleaving on one array evict each other's working set
+   and make hit rates unattributable.  The engine therefore keeps one
+   replica per domain per session route ([Dshard.replica] in
+   {!Engine}); the [scache_cross_domain_*] probes below count how often a
+   session's cache had to be replicated because a second domain drove the
+   session, so the E21 scaling columns can attribute hit-rate changes. *)
 
 type entry = {
   est : State.t;
@@ -52,3 +61,22 @@ let add t st act succ =
   t.slots.(index t st act) <- Some { est = st; eact = act; esucc = succ }
 
 let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+
+(* Replica accounting: per-domain successor caches created by the engine.
+   [replicas] counts every per-(session route, domain) cache; a creation
+   for a session some other domain already populated is a cross-domain
+   handoff — the new domain starts cold, which shows up in hit rates. *)
+let replicas_total = Atomic.make 0
+let cross_domain_total = Atomic.make 0
+
+let count_replica ~cross =
+  Atomic.incr replicas_total;
+  if cross then Atomic.incr cross_domain_total
+
+let replica_stats () = (Atomic.get replicas_total, Atomic.get cross_domain_total)
+
+let () =
+  Telemetry.register_probe "scache_replicas_total" (fun () ->
+      float_of_int (Atomic.get replicas_total));
+  Telemetry.register_probe "scache_cross_domain_replicas_total" (fun () ->
+      float_of_int (Atomic.get cross_domain_total))

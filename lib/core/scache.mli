@@ -11,8 +11,12 @@
 
     Soundness: the transition function is pure and states are hash-consed,
     so entries never need invalidation — a hit always returns the correct
-    successor.  The structure is per-session (not thread-safe); sharded
-    evaluation gives each replica its own instance on its pinned domain. *)
+    successor.  The structure is SINGLE-DOMAIN (per session route): the
+    engine keeps one replica per domain via {!Dshard.replica}, so a
+    session handed across domains starts with a cold cache there instead
+    of racing on one array.  Replica creations are counted and exported
+    as the [scache_replicas_total] / [scache_cross_domain_replicas_total]
+    probes. *)
 
 type t
 
@@ -29,3 +33,10 @@ val find : t -> State.t -> Action.concrete -> State.t option option
 val add : t -> State.t -> Action.concrete -> State.t option -> unit
 
 val clear : t -> unit
+
+val count_replica : cross:bool -> unit
+(** Record the creation of a per-domain replica; [cross] when the session
+    was already populated by another domain (a cross-domain handoff). *)
+
+val replica_stats : unit -> int * int
+(** [(replicas, cross_domain_replicas)] since process start. *)

@@ -14,7 +14,15 @@
    cap boundary.
 
    Eviction counting is shared: callers inject an [Atomic.t] so several
-   tables (and several domains' replicas of them) tally into one probe. *)
+   tables (and several domains' replicas of them) tally into one probe.
+
+   Ownership: a segtbl is SINGLE-DOMAIN.  The generations are stdlib
+   hashtables and even [find_opt] mutates (promotion), so two domains
+   sharing one table race on its buckets.  Structures walked by several
+   domains keep one segtbl per domain via [Dshard.replica] (the shared
+   automaton's signature cache, the VM's column cache) or [Domain.DLS]
+   (the state model's memo tables); only the injected eviction counter is
+   shared, and it is atomic. *)
 
 type ('k, 'v) t = {
   mutable young : ('k, 'v) Hashtbl.t;

@@ -229,29 +229,61 @@ module WeakTbl = Weak.Make (struct
   let equal a b = node_equal a.node b.node
 end)
 
-(* The hash-cons table is domain-local: the parallel evaluation layer
-   transitions independent shards on separate domains, and a per-domain
-   table keeps [mk] lock-free.  States built on different domains are
-   never merged (physical equality can miss across domains), but ids come
-   from one atomic counter, so they are unique process-wide — id-keyed
-   memo tables stay sound even for states that crossed domains, and a
-   missed merge only costs a duplicate alternative, never wrong answers.
-   Each shard's states live on the domain that owns the shard, so within
-   a shard canonicalization is exactly as sharp as before. *)
-let table : WeakTbl.t Domain.DLS.key =
+(* The hash-cons table is process-global and lock-striped: all domains
+   intern into one canonical table, so structurally equal states are
+   physically equal *across* domains — the property that lets several
+   domains walk one compiled automaton (whose rows hold states by
+   pointer) and lets successor caches and trace validation compare states
+   from different domains with [==].
+
+   Layout: [nstripes] weak tables, each guarded by its own mutex and
+   selected by the candidate's structural hash, so concurrent interning
+   of unrelated states takes disjoint locks.  In front of the stripes
+   sits a lock-free per-domain weak cache holding only states that
+   already passed through the global table; a warm [mk] costs exactly
+   what the former domain-local table cost (one weak probe, no lock), and
+   only a domain-cold state pays a stripe mutex.  Both levels hold states
+   weakly, so unreachable states are reclaimed by the GC; ids come from
+   one atomic counter and are never reused.
+
+   Invariant: every state the system hands out was merged through the
+   global table before entering any domain cache — the per-domain level
+   is a pure cache of global canonical representatives.  [node_equal]
+   compares children with [==], which is sound cross-domain precisely
+   because of this invariant. *)
+let stripe_count = 256
+
+type stripe = { smu : Mutex.t; stbl : WeakTbl.t }
+
+let stripes =
+  Array.init stripe_count (fun _ ->
+      { smu = Mutex.create (); stbl = WeakTbl.create 256 })
+
+(* Per-domain front cache over the stripes (lock-free warm path). *)
+let local_table : WeakTbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> WeakTbl.create 4096)
 
 let counter = Atomic.make 0
 
 (* The single constructor: every state in the system goes through [mk].
-   The table holds states weakly, so unreachable states are reclaimed by
-   the GC; ids are never reused. *)
+   A candidate that loses the global merge simply wastes its id —
+   uniqueness, not density, is what the id-keyed memo tables need. *)
 let mk node =
   let id = Atomic.fetch_and_add counter 1 + 1 in
   let candidate = { id; hkey = node_hash node; fin = node_final node; node } in
-  WeakTbl.merge (Domain.DLS.get table) candidate
+  let local = Domain.DLS.get local_table in
+  match WeakTbl.find_opt local candidate with
+  | Some s -> s
+  | None ->
+    let st = stripes.(candidate.hkey land (stripe_count - 1)) in
+    let s = Mutex.protect st.smu (fun () -> WeakTbl.merge st.stbl candidate) in
+    WeakTbl.add local s;
+    s
 
-let live_states () = WeakTbl.count (Domain.DLS.get table)
+let live_states () =
+  Array.fold_left
+    (fun acc st -> acc + Mutex.protect st.smu (fun () -> WeakTbl.count st.stbl))
+    0 stripes
 
 let final s = s.fin
 
@@ -332,9 +364,10 @@ module ExprTbl = Hashtbl.Make (struct
   let hash e = Hashtbl.hash_param 256 1024 e
 end)
 
-(* Domain-local like the hash-cons table: memo hits require the cached
-   state to be the domain's own (id-keyed entries written by this domain),
-   which holds because shards are pinned to domains. *)
+(* The memo caches stay domain-local (lock-free) even though the
+   hash-cons table is global: entries are keyed by hash-cons ids, which
+   are canonical process-wide, so each domain's private memo simply warms
+   up independently and every hit is valid everywhere. *)
 let init_tbl : t ExprTbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ExprTbl.create 64)
 
@@ -853,7 +886,8 @@ let count_transitions n = if n > 0 then ignore (Atomic.fetch_and_add trans_count
    to a harmless miss (a re-created equal state gets a fresh id); the
    successor is held strongly until its generation is rotated out at the
    cap (segmented eviction: hot entries are promoted and survive, only the
-   cold tail is shed).  Domain-local, like the other memo tables. *)
+   cold tail is shed).  Domain-local, like the other memo tables — sound
+   because ids are globally canonical (see the hash-cons table). *)
 let trans_tbl : (int * Action.concrete, t option) Segtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       Segtbl.create ~gen_cap:(1 lsl 15) ~evictions:memo_evictions 1024)

@@ -88,22 +88,23 @@ val count_transitions : int -> unit
     steps (the compiled word walk counts locally and flushes once). *)
 
 val live_states : unit -> int
-(** Number of distinct live states in the calling domain's hash-cons table
-    (weakly held: unreachable states are reclaimed by the GC).  Tables are
-    domain-local — see {!section-parallel}. *)
+(** Number of distinct live states in the process-global hash-cons table
+    (weakly held: unreachable states are reclaimed by the GC) — see
+    {!section-parallel}. *)
 
 (** {1:parallel Parallel evaluation}
 
-    The state model is safe to drive from multiple domains, with a
-    sharding discipline rather than locks: the hash-cons table and the
-    three memo caches are {e domain-local}, and ids are drawn from one
-    atomic process-wide counter.  Within a domain all guarantees are as
-    before (structural equality is pointer equality, alternative sets
-    dedup sharply).  A state that crosses domains keeps a unique id — so
-    id-keyed memo tables stay correct — but may miss hash-cons merging
-    with a structurally equal state built elsewhere, costing at worst a
-    duplicate alternative.  The parallel layer ({!module:Exec.Pengine})
-    therefore pins each independent shard of an expression to one domain. *)
+    The state model is safe to drive from multiple domains.  The
+    hash-cons table is {e process-global} and lock-striped: every state
+    is merged through one canonical table (per-stripe mutation locks, a
+    lock-free per-domain front cache for the warm path), so structural
+    equality is pointer equality {e across} domains and ids — drawn from
+    one atomic process-wide counter — are globally canonical.  This is
+    what lets several domains walk one compiled automaton or VM program
+    ({!Automaton.shared}, {!Bytecode.shared}) and compare states from
+    different domains with [==].  The three memo caches remain
+    domain-local and lock-free; their id-keyed entries are valid
+    everywhere precisely because ids are canonical. *)
 
 type cache_stats = {
   init_hits : int;

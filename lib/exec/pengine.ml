@@ -1,7 +1,9 @@
 open Interaction
 
-(* Shard i always runs on pool worker i: a shard's states are built in one
-   domain's hash-cons/memo tables and stay there (State's DLS discipline). *)
+(* Shard i always runs on pool worker i.  The hash-cons table is global
+   (states compare with == across domains), but the memo caches and the
+   per-domain replicas of the shared automaton's caches are not — pinning
+   keeps a shard's transitions hitting one domain's warm caches. *)
 
 type shard = {
   salpha : Alpha.t;

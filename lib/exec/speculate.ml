@@ -1,0 +1,358 @@
+open Interaction
+
+(* Optimistic cross-shard execution for couplings the alphabet partition
+   cannot split.
+
+   [Partition.components] merges coupling operands whose alphabets overlap
+   into one shard, so {!Pengine} only parallelizes when operands are
+   pairwise independent — an expression like [y @ z @ w] with a shared
+   "commit" action collapses to a single sequential shard even though the
+   overwhelming share of its actions touch one operand.  This module
+   shards such a coupling anyway, by operand groups, and keeps the
+   semantics of the shared actions by optimistic concurrency:
+
+   - Every shard owns a group of coupling operands (round-robin over the
+     pool); an action's OWNERS are the shards whose alphabet contains it.
+     Coupling semantics: an action is accepted iff its owner set is
+     non-empty and EVERY owner accepts it (an action outside all
+     alphabets is rejected; an action private to one shard shuffles past
+     the others).
+   - [feed] runs the whole offered batch on every shard concurrently and
+     speculatively: each shard checkpoints its session, walks the batch,
+     and records a verdict for every action it owns — betting that the
+     other owners of a shared action will agree.
+   - The coordinator merges the verdict matrix.  A multi-owner action
+     with disagreeing verdicts is a CONFLICT: some shard advanced on an
+     action the coupling as a whole rejects (or rejected one it accepts),
+     so every verdict it produced after that point is tainted.  All
+     shards roll back to their checkpoints and the batch retries
+     serially.
+   - A speculative run that merges cleanly is VALIDATED against the
+     interpreted kernel before being committed: each shard replays its
+     accepted subsequence from the pre-batch state through the
+     interpreted τ̂ ({!State.trans_word} — the oracle the property tests
+     trust) and compares the result physically with the session state
+     (sound across domains: the hash-cons table is global).  A mismatch
+     is treated exactly like a conflict.
+
+   Correctness of the no-conflict fast path: if every multi-owner action
+   drew unanimous verdicts, then by induction over the batch each shard's
+   local run is precisely the projection of the sequential coupling run
+   onto its operands — every action a shard advanced on is globally
+   accepted, every action it rejected is globally rejected, and
+   single-owner actions are decided by the one state that matters.  So
+   the merged verdicts, the per-shard states and the merged trace all
+   equal the sequential outcome.  Disagreement is detected on the spot
+   and discarded wholesale; the serial retry (the same defensive
+   per-action all-owners protocol {!Manager_sharded} uses for residual
+   multi-owner actions) is trivially equivalent to the sequential run.
+
+   The bet pays when shared actions are rare or verdict-stable: the
+   common all-private batch commits after one parallel sweep plus one
+   parallel replay, no per-action coordination at all.  The [Two_phase]
+   protocol pins the defensive path — it is the baseline the E21
+   experiment compares against, and the measured conflict rate
+   ([stats]) prices the bet. *)
+
+type protocol = Optimistic | Two_phase
+
+let protocol_name = function
+  | Optimistic -> "optimistic"
+  | Two_phase -> "two-phase"
+
+type shard = {
+  salpha : Alpha.t;
+  session : Engine.session;
+  worker : int;
+}
+
+type t = {
+  pool : Pool.t;
+  whole : Expr.t;
+  protocol : protocol;
+  shards : shard array;
+  (* the merged trace, maintained by the coordinator in offer order (the
+     per-shard sessions only know their projections) *)
+  mutable rev_trace : Action.concrete list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batches_total = Atomic.make 0
+let speculative_total = Atomic.make 0
+let conflicts_total = Atomic.make 0
+let conflict_actions_total = Atomic.make 0
+let validation_failures_total = Atomic.make 0
+let retries_total = Atomic.make 0
+let serial_actions_total = Atomic.make 0
+
+type stats = {
+  batches : int;  (** [feed] batches processed *)
+  speculative : int;  (** batches attempted optimistically *)
+  conflicts : int;  (** speculative batches discarded (incl. validation) *)
+  conflict_actions : int;  (** multi-owner actions with mixed verdicts *)
+  validation_failures : int;  (** clean merges rejected by the oracle *)
+  retries : int;  (** serial retries after a rollback *)
+  serial_actions : int;  (** actions executed by the defensive path *)
+}
+
+let stats () =
+  { batches = Atomic.get batches_total;
+    speculative = Atomic.get speculative_total;
+    conflicts = Atomic.get conflicts_total;
+    conflict_actions = Atomic.get conflict_actions_total;
+    validation_failures = Atomic.get validation_failures_total;
+    retries = Atomic.get retries_total;
+    serial_actions = Atomic.get serial_actions_total }
+
+let reset_stats () =
+  Atomic.set batches_total 0;
+  Atomic.set speculative_total 0;
+  Atomic.set conflicts_total 0;
+  Atomic.set conflict_actions_total 0;
+  Atomic.set validation_failures_total 0;
+  Atomic.set retries_total 0;
+  Atomic.set serial_actions_total 0
+
+let () =
+  let probe name r =
+    Telemetry.register_probe name (fun () -> float_of_int (Atomic.get r))
+  in
+  probe "speculate_batches_total" batches_total;
+  probe "speculate_speculative_batches_total" speculative_total;
+  probe "speculate_conflicts_total" conflicts_total;
+  probe "speculate_conflict_actions_total" conflict_actions_total;
+  probe "speculate_validation_failures_total" validation_failures_total;
+  probe "speculate_retries_total" retries_total;
+  probe "speculate_serial_actions_total" serial_actions_total;
+  Telemetry.register_probe "speculate_conflict_rate" (fun () ->
+      let s = Atomic.get speculative_total in
+      if s = 0 then 0.
+      else float_of_int (Atomic.get conflicts_total) /. float_of_int s)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ~pool ?(protocol = Optimistic) ?shards e =
+  let operands = Partition.flatten_sync e in
+  let want =
+    match shards with
+    | Some n -> max 1 n
+    | None -> Pool.size pool
+  in
+  let nshards = max 1 (min want (List.length operands)) in
+  (* round-robin: operand i joins group (i mod nshards), preserving
+     operand order inside each group *)
+  let groups = Array.make nshards [] in
+  List.iteri (fun i op -> groups.(i mod nshards) <- op :: groups.(i mod nshards)) operands;
+  let shards =
+    Array.mapi
+      (fun w ops ->
+        let ce = Expr.sync_list (List.rev ops) in
+        (* create on the pinned worker so memo caches warm up there *)
+        let session = Pool.run pool ~worker:w (fun () -> Engine.create ce) in
+        { salpha = Alpha.of_expr ce; session; worker = w })
+      groups
+  in
+  { pool; whole = e; protocol; shards; rev_trace = [] }
+
+let expr t = t.whole
+let protocol t = t.protocol
+let shard_count t = Array.length t.shards
+
+let owner_indices t c =
+  let os = ref [] in
+  for i = Array.length t.shards - 1 downto 0 do
+    if Alpha.mem t.shards.(i).salpha c then os := i :: !os
+  done;
+  !os
+
+(* Fan a per-shard operation over the pool and await in shard order. *)
+let fan t f =
+  Array.to_list t.shards
+  |> List.map (fun sh -> Pool.submit t.pool ~worker:sh.worker (fun () -> f sh))
+  |> List.map Pool.await
+
+(* ------------------------------------------------------------------ *)
+(* The defensive path                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One action under the per-action all-owners protocol: every owner must
+   permit, then every owner commits.  Between the permits and the commits
+   nothing else touches the sessions (single coordinator), so the commit
+   cannot fail; the engine's successor cache hands the commit the
+   tentative successor already computed by the permit. *)
+let serial_action t c =
+  match owner_indices t c with
+  | [] -> false
+  | owners ->
+    Atomic.incr serial_actions_total;
+    let permitted =
+      List.for_all
+        (fun i ->
+          let sh = t.shards.(i) in
+          Pool.run t.pool ~worker:sh.worker (fun () -> Engine.permitted sh.session c))
+        owners
+    in
+    if permitted then
+      List.iter
+        (fun i ->
+          let sh = t.shards.(i) in
+          let ok =
+            Pool.run t.pool ~worker:sh.worker (fun () ->
+                Engine.try_action sh.session c)
+          in
+          ignore ok)
+        owners;
+    if permitted then t.rev_trace <- c :: t.rev_trace;
+    permitted
+
+let feed_serial t actions = List.filter (fun c -> not (serial_action t c)) actions
+
+(* ------------------------------------------------------------------ *)
+(* The optimistic path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Speculative sweep of one shard: checkpoint, walk the whole batch
+   recording verdicts for owned offers, then replay the accepted
+   subsequence from the pre-batch state through the interpreted τ̂ and
+   compare physically.  Runs pinned on the shard's worker. *)
+let speculate_shard sh i indexed owned =
+  let ck = Engine.checkpoint sh.session in
+  let pre = Engine.state sh.session in
+  let m = Array.length indexed in
+  let verdicts = Array.make m false in
+  for k = 0 to m - 1 do
+    if owned.(k) i then verdicts.(k) <- Engine.try_action sh.session indexed.(k)
+  done;
+  let accepted = ref [] in
+  for k = m - 1 downto 0 do
+    if owned.(k) i && verdicts.(k) then accepted := indexed.(k) :: !accepted
+  done;
+  let valid =
+    match pre with
+    | None -> !accepted = []  (* a dead shard must not have accepted *)
+    | Some st -> (
+      match State.trans_word st !accepted with
+      | None -> false
+      | Some st' -> (
+        match Engine.state sh.session with
+        | Some st'' -> st' == st''  (* sound across domains: global hash-cons *)
+        | None -> false))
+  in
+  (ck, verdicts, valid)
+
+let feed_optimistic t actions =
+  let indexed = Array.of_list actions in
+  let m = Array.length indexed in
+  let owners = Array.map (owner_indices t) indexed in
+  let owned = Array.map (fun os i -> List.memq i os) owners in
+  Atomic.incr speculative_total;
+  let runs =
+    fan t (fun sh ->
+        (* recover the shard's index from its pinned worker *)
+        speculate_shard sh sh.worker indexed owned)
+  in
+  let runs = Array.of_list runs in
+  (* merge: any multi-owner offer with disagreeing verdicts poisons the
+     whole speculative run *)
+  let conflicts = ref 0 in
+  for k = 0 to m - 1 do
+    match owners.(k) with
+    | [] | [ _ ] -> ()
+    | o0 :: rest ->
+      let v0 = let _, vs, _ = runs.(o0) in vs.(k) in
+      if
+        List.exists
+          (fun i ->
+            let _, vs, _ = runs.(i) in
+            vs.(k) <> v0)
+          rest
+      then incr conflicts
+  done;
+  let all_valid = Array.for_all (fun (_, _, v) -> v) runs in
+  if !conflicts = 0 && all_valid then begin
+    (* commit: merged verdict of offer k is its owners' unanimous verdict
+       (false for unowned offers) *)
+    let rejected = ref [] in
+    for k = m - 1 downto 0 do
+      match owners.(k) with
+      | [] -> rejected := indexed.(k) :: !rejected
+      | o :: _ ->
+        let _, vs, _ = runs.(o) in
+        if not vs.(k) then rejected := indexed.(k) :: !rejected
+    done;
+    for k = 0 to m - 1 do
+      match owners.(k) with
+      | [] -> ()
+      | o :: _ ->
+        let _, vs, _ = runs.(o) in
+        if vs.(k) then t.rev_trace <- indexed.(k) :: t.rev_trace
+    done;
+    !rejected
+  end
+  else begin
+    (* rollback everywhere and retry under the defensive protocol *)
+    Atomic.incr conflicts_total;
+    if !conflicts > 0 then
+      ignore (Atomic.fetch_and_add conflict_actions_total !conflicts);
+    if not all_valid then Atomic.incr validation_failures_total;
+    Atomic.incr retries_total;
+    Array.iteri
+      (fun i sh ->
+        let ck, _, _ = runs.(i) in
+        Pool.run t.pool ~worker:sh.worker (fun () -> Engine.restore sh.session ck))
+      t.shards;
+    feed_serial t actions
+  end
+
+(* ------------------------------------------------------------------ *)
+(* API                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let feed t actions =
+  Atomic.incr batches_total;
+  match t.protocol with
+  | Two_phase -> feed_serial t actions
+  | Optimistic ->
+    if Array.length t.shards <= 1 then begin
+      (* single shard: plain engine walk, no speculation to merge *)
+      let sh = t.shards.(0) in
+      let verdicts =
+        Pool.run t.pool ~worker:sh.worker (fun () ->
+            List.map (fun c -> Engine.try_action sh.session c) actions)
+      in
+      List.iter2
+        (fun c ok -> if ok then t.rev_trace <- c :: t.rev_trace)
+        actions verdicts;
+      List.combine actions verdicts
+      |> List.filter_map (fun (c, ok) -> if ok then None else Some c)
+    end
+    else feed_optimistic t actions
+
+let try_action t c = serial_action t c
+
+let permitted t c =
+  match owner_indices t c with
+  | [] -> false
+  | owners ->
+    List.for_all
+      (fun i ->
+        let sh = t.shards.(i) in
+        Pool.run t.pool ~worker:sh.worker (fun () -> Engine.permitted sh.session c))
+      owners
+
+let is_final t =
+  fan t (fun sh -> Engine.is_final sh.session) |> List.for_all Fun.id
+
+let is_alive t =
+  fan t (fun sh -> Engine.is_alive sh.session) |> List.for_all Fun.id
+
+let trace t = List.rev t.rev_trace
+
+let reset t =
+  fan t (fun sh -> Engine.reset sh.session) |> ignore;
+  t.rev_trace <- []

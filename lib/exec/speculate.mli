@@ -1,0 +1,92 @@
+(** Optimistic cross-shard execution of overlapping couplings.
+
+    {!Pengine} parallelizes a coupling only when
+    {!Interaction.Partition.components} finds alphabet-disjoint operands;
+    one shared action between two operands collapses the whole expression
+    into a single sequential shard.  This module shards such a coupling by
+    operand {e groups} anyway and preserves the coupling semantics of
+    shared actions — accepted iff the owner set is non-empty and every
+    owning shard accepts — by optimistic concurrency:
+
+    - [feed] runs the whole batch on every shard speculatively (each
+      shard checkpoints, walks the batch, records verdicts for the
+      actions it owns);
+    - the coordinator merges the verdict matrix; a multi-owner action
+      with disagreeing verdicts is a {e conflict} — every shard rolls
+      back to its checkpoint and the batch retries serially under the
+      defensive per-action all-owners protocol;
+    - a clean merge is {e validated} before commit: each shard replays
+      its accepted subsequence from the pre-batch state through the
+      interpreted τ̂ ({!Interaction.State.trans_word}) and compares the
+      result physically with the session state (the global hash-cons
+      table makes [==] sound across domains); a mismatch counts and
+      retries like a conflict.
+
+    When no multi-owner action disagrees, each shard's run is exactly the
+    projection of the sequential coupling run, so the fast path is
+    equivalent to sequential execution — an all-private batch commits
+    after one parallel sweep with no per-action coordination.  Conflict
+    and retry rates are counted ({!stats}) and exported as the
+    [speculate_*] telemetry probes, so the E21 experiment can price the
+    bet against the {!Two_phase} baseline. *)
+
+type t
+
+type protocol =
+  | Optimistic  (** speculate per batch, validate, retry on conflict *)
+  | Two_phase
+      (** defensive baseline: per action, ask every owner, then commit —
+          the protocol {!Manager_sharded} uses for residual multi-owner
+          actions *)
+
+val protocol_name : protocol -> string
+
+val create : pool:Pool.t -> ?protocol:protocol -> ?shards:int -> Interaction.Expr.t -> t
+(** Shard the (nested) top-level coupling operands of [e] round-robin
+    into [shards] groups (default: the pool size; never more than the
+    operand count, never less than 1) and pin shard [i] to pool worker
+    [i].  A non-coupling expression yields one shard and degrades to a
+    plain engine session. *)
+
+val expr : t -> Interaction.Expr.t
+val protocol : t -> protocol
+val shard_count : t -> int
+
+val feed : t -> Interaction.Action.concrete list -> Interaction.Action.concrete list
+(** Offer a batch; returns the rejected actions in offer order.
+    Equivalent to feeding the sequential coupling session action by
+    action ([Optimistic] validates that equivalence per batch against
+    the interpreted kernel). *)
+
+val try_action : t -> Interaction.Action.concrete -> bool
+(** One action under the defensive protocol (a single action cannot
+    amortize a speculative sweep). *)
+
+val permitted : t -> Interaction.Action.concrete -> bool
+(** Would [try_action] accept?  Asks every owner tentatively. *)
+
+val is_final : t -> bool
+val is_alive : t -> bool
+
+val trace : t -> Interaction.Action.concrete list
+(** The merged accepted trace, in offer order across batches. *)
+
+val reset : t -> unit
+
+(** {1 Stats}
+
+    Process-wide counters over all instances, exported as the
+    [speculate_*] probes. *)
+
+type stats = {
+  batches : int;  (** [feed] batches processed *)
+  speculative : int;  (** batches attempted optimistically *)
+  conflicts : int;  (** speculative batches discarded (incl. validation) *)
+  conflict_actions : int;  (** multi-owner actions with mixed verdicts *)
+  validation_failures : int;  (** clean merges rejected by the oracle *)
+  retries : int;  (** serial retries after a rollback *)
+  serial_actions : int;  (** actions executed by the defensive path *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -24,8 +24,32 @@ let m_foreign = Telemetry.counter "sharded_foreign_total"
 let m_coords = Telemetry.counter "sharded_coordinations_total"
 let m_batches = Telemetry.counter "sharded_batches_total"
 
-let create ~pool ?store ?fsync ?snapshot_every e =
+let create ~pool ?store ?fsync ?snapshot_every ?(overlap = false) e =
   let comps = Partition.components e in
+  (* [overlap]: when the alphabet partition cannot split the coupling (one
+     component), shard by operand groups anyway.  Actions owned by several
+     shards flow through the defensive two-phase ask/confirm/abort path
+     below — correct for any owner multiplicity — so the only cost of
+     overlapping alphabets is coordination on exactly the shared actions,
+     instead of total serialization of the whole expression. *)
+  let comps =
+    match comps with
+    | _ :: _ :: _ -> comps
+    | _ when not (overlap && Pool.size pool > 1) -> comps
+    | _ -> (
+      match Partition.flatten_sync e with
+      | [] | [ _ ] -> comps
+      | operands ->
+        let n = min (Pool.size pool) (List.length operands) in
+        let groups = Array.make n [] in
+        List.iteri
+          (fun i op -> groups.(i mod n) <- op :: groups.(i mod n))
+          operands;
+        Array.to_list groups
+        |> List.map (fun ops ->
+               let ce = Expr.sync_list (List.rev ops) in
+               (ce, Alpha.of_expr ce)))
+  in
   let shards =
     List.mapi
       (fun i (ce, al) ->

@@ -14,8 +14,10 @@ open Interaction_exec
 
     A two-phase path (grant everywhere, then confirm or abort) remains as a
     defensive fallback for an action matched by several shards; the
-    partition makes this unreachable, and {!coordinations} counts how often
-    it fired — the scaling experiments assert it stays 0.
+    partition makes this unreachable — unless sharding was forced with
+    [~overlap:true], where it is the designed coordination path for
+    exactly the shared actions — and {!coordinations} counts how often it
+    fired (the disjoint scaling experiments assert it stays 0).
 
     Mutating calls are routed through the owning shard's pool worker, so a
     replica's states live in exactly one domain's hash-cons tables (see the
@@ -29,6 +31,7 @@ val create :
   ?store:string ->
   ?fsync:bool ->
   ?snapshot_every:int ->
+  ?overlap:bool ->
   Expr.t ->
   t
 (** Partition [e] and build one replica per shard, each created on its
@@ -36,6 +39,14 @@ val create :
     shard — the sequential manager with routing overhead only; a pool of
     one lane pins every replica to that lane (sequential, but still
     partitioned).
+
+    [~overlap:true] (default false) shards even when the alphabet
+    partition finds a single component: the coupling operands are grouped
+    round-robin over the pool, and actions owned by several shards run
+    the two-phase grant across exactly their owners (counted by
+    {!coordinations}).  Private actions of different groups then execute
+    concurrently instead of serializing on one replica; see {!Speculate}
+    for the optimistic engine-level variant of the same idea.
 
     With [~store:dir], each shard is a {!Durable} manager logging to its
     own subdirectory [dir/shard<i>] — one WAL per shard, appended only

@@ -269,7 +269,7 @@ compilation; the workbench [compile] command names the active backend.
 
   $ printf 'QUIT\n' | ../bin/imanager.exe --engine warp "a - b"
   imanager: unknown engine "warp" (expected interp|table|vm|auto)
-  usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--no-compile] [--engine interp|table|vm|auto] [--store DIR] [--no-fsync] [--snapshot-every N] [--slow-ms N] [--slow-trace FILE] "<interaction expression>"
+  usage: imanager [--stats-every N] [--trace FILE] [--domains N] [--overlap-shards] [--no-compile] [--engine interp|table|vm|auto] [--store DIR] [--no-fsync] [--snapshot-every N] [--slow-ms N] [--slow-trace FILE] "<interaction expression>"
   [2]
 
 Ahead-of-time compilation: [iexpr compile] flattens an expression to a

@@ -1,0 +1,220 @@
+(* Multi-domain regression suite for the shared-memory kernels: the global
+   hash-cons must make states physically equal across domains, one compiled
+   automaton / VM program must serve concurrent walkers with correct
+   verdicts, and the batched per-domain counters must lose no bumps —
+   post-join stats deltas are checked exactly, not approximately (the
+   regression that motivated the suite was a lost-flush race in the
+   batched tallies). *)
+
+open Interaction
+open Interaction_exec
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The E1 expression: harmless, so the automaton compiles eagerly and the
+   bytecode backend accepts it. *)
+let e1 = ! "((a - b)* || (c | d)*) @ (e - f)*"
+let e1_script = [ "a"; "c"; "e"; "b"; "d"; "f"; "a"; "b"; "c"; "d" ]
+
+let e1_word reps =
+  List.concat
+    (List.init reps (fun _ -> List.map (fun n -> Action.conc n []) e1_script))
+
+(* ------------------------------------------------------------------ *)
+(* Global hash-cons: physical identity across domains                  *)
+(* ------------------------------------------------------------------ *)
+
+let hashcons_cases =
+  let identity_at domains =
+    t (Printf.sprintf "State.init is one physical state across %d domains" domains)
+      (fun () ->
+        Pool.with_pool ~domains (fun pool ->
+            let here = State.init e1 in
+            let there =
+              Pool.map_workers pool
+                (List.init domains (fun _ () -> State.init e1))
+            in
+            List.iter
+              (fun st -> check_bool "physically equal" true (st == here))
+              there))
+  in
+  let trans_at domains =
+    t (Printf.sprintf "transition results are shared across %d domains" domains)
+      (fun () ->
+        let w = e1_word 1 in
+        Pool.with_pool ~domains (fun pool ->
+            let here = State.trans_word (State.init e1) w in
+            let there =
+              Pool.map_workers pool
+                (List.init domains (fun _ () ->
+                     State.trans_word (State.init e1) w))
+            in
+            check_bool "caller reached a state" true (here <> None);
+            List.iter
+              (fun r ->
+                match (r, here) with
+                | Some a, Some b -> check_bool "physically equal" true (a == b)
+                | _ -> Alcotest.fail "a domain failed the walk")
+              there))
+  in
+  [ identity_at 2; identity_at 4; trans_at 2; trans_at 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Batched tallies: no bump is ever lost                               *)
+(* ------------------------------------------------------------------ *)
+
+let tally_cases =
+  [ t "concurrent bumps from 4 domains drain to the exact total" (fun () ->
+        let total = Atomic.make 0 in
+        let tl = Dshard.Tally.create total in
+        let per_domain = 50_000 in
+        let workers =
+          Array.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for i = 1 to per_domain do
+                    (* mixed increments, crossing the flush threshold many
+                       times per domain *)
+                    Dshard.Tally.bump tl (if i mod 3 = 0 then 3 else 1)
+                  done))
+        in
+        Array.iter Domain.join workers;
+        Dshard.Tally.drain tl;
+        let expected =
+          4 * (per_domain + (per_domain / 3) * 2)
+        in
+        check_int "exact total" expected (Atomic.get total));
+    t "a churn of short-lived domains loses nothing to slot reuse" (fun () ->
+        (* more domains than tally slots, sequentially: every spawn after
+           the 64th lands on a reused slot (the collision/creation path
+           must publish cells with no pending count in flight) *)
+        let total = Atomic.make 0 in
+        let tl = Dshard.Tally.create total in
+        for _ = 1 to 70 do
+          Domain.join
+            (Domain.spawn (fun () ->
+                 for _ = 1 to 1_000 do
+                   Dshard.Tally.bump tl 1
+                 done))
+        done;
+        Dshard.Tally.drain tl;
+        check_int "exact total" 70_000 (Atomic.get total))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* One shared automaton / VM program, many walkers                     *)
+(* ------------------------------------------------------------------ *)
+
+let walks_per_domain = 25
+
+let shared_kernel_cases =
+  [ t "4 domains walk one shared automaton; steps count exactly" (fun () ->
+        let w = e1_word 5 in
+        let len = List.length w in
+        Automaton.reset_shared ();
+        let a = Automaton.shared e1 in
+        let expected_verdict = Automaton.run_word a w in
+        check_bool "word is legal" true (expected_verdict <> None);
+        Automaton.reset_stats ();
+        Pool.with_pool ~domains:4 (fun pool ->
+            ignore
+              (Pool.map_workers pool
+                 (List.init 4 (fun _ () ->
+                      for _ = 1 to walks_per_domain do
+                        check_bool "verdict agrees" true
+                          (Automaton.run_word a w = expected_verdict)
+                      done))));
+        let st = Automaton.stats () in
+        check_int "exact step count" (4 * walks_per_domain * len)
+          st.Automaton.steps;
+        check_int "no interpreted fallbacks" 0 st.Automaton.fallbacks);
+    t "4 domains walk one shared VM program; steps count exactly" (fun () ->
+        let w = e1_word 5 in
+        let len = List.length w in
+        Bytecode.reset_shared ();
+        match Bytecode.shared e1 with
+        | None -> Alcotest.fail "E1 must compile to bytecode"
+        | Some vm ->
+          let expected_verdict = Bytecode.Vm.word vm w in
+          check_bool "word is legal" true (expected_verdict <> None);
+          Bytecode.reset_stats ();
+          Pool.with_pool ~domains:4 (fun pool ->
+              ignore
+                (Pool.map_workers pool
+                   (List.init 4 (fun _ () ->
+                        for _ = 1 to walks_per_domain do
+                          check_bool "verdict agrees" true
+                            (Bytecode.Vm.word vm w = expected_verdict)
+                        done))));
+          let st = Bytecode.stats () in
+          check_int "exact step count" (4 * walks_per_domain * len)
+            st.Bytecode.steps);
+    t "concurrent cold fill: domains populate one automaton and agree"
+      (fun () ->
+        (* a lazy coupling, walked from cold by every domain at once with
+           different words: row interning and entry fill race on the
+           instance lock, verdicts must still match the interpreted τ̂ *)
+        let e =
+          Expr.sync_list
+            (List.init 4 (fun i ->
+                 Syntax.parse_exn (Printf.sprintf "(a%d - b%d)*" (i + 1) (i + 1))))
+        in
+        let word_for i =
+          List.concat
+            (List.init 6 (fun _ ->
+                 [ Action.conc (Printf.sprintf "a%d" (i + 1)) [];
+                   Action.conc (Printf.sprintf "b%d" (i + 1)) []
+                 ]))
+        in
+        let oracle w =
+          match State.trans_word (State.init e) w with
+          | None -> None
+          | Some s -> Some (State.final s)
+        in
+        Pool.with_pool ~domains:4 (fun pool ->
+            let a = Automaton.create e in
+            let got =
+              Pool.map_workers pool
+                (List.init 4 (fun i () -> Automaton.run_word a (word_for i)))
+            in
+            List.iteri
+              (fun i v ->
+                check_bool
+                  (Printf.sprintf "domain %d verdict" i)
+                  true
+                  (v = oracle (word_for i)))
+              got))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine sessions under concurrent per-domain caches                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_cases =
+  [ t "Engine.word agrees with the interpreted oracle from every domain"
+      (fun () ->
+        let w = e1_word 3 in
+        let oracle =
+          match State.trans_word (State.init e1) w with
+          | None -> Semantics.Illegal
+          | Some s -> if State.final s then Semantics.Complete else Semantics.Partial
+        in
+        Pool.with_pool ~domains:4 (fun pool ->
+            let got =
+              Pool.map_workers pool
+                (List.init 4 (fun _ () -> Engine.word e1 w))
+            in
+            List.iter
+              (fun v -> check_bool "verdict" true (v = oracle))
+              got))
+  ]
+
+let () =
+  Alcotest.run "concurrent"
+    [ ("hashcons", hashcons_cases);
+      ("tally", tally_cases);
+      ("shared-kernel", shared_kernel_cases);
+      ("engine", engine_cases)
+    ]

@@ -1,0 +1,274 @@
+(* Differential oracle for the parallel shared-memory execution paths:
+   whatever runs across domains — engine sessions on the shared compiled
+   kernels, the optimistic cross-shard protocol ({!Speculate}), the
+   sharded manager forced over an overlapping coupling — must agree with
+   the sequential interpreted τ̂, action by action.  Overlapping-alphabet
+   couplings are driven through speculation including forced conflicts
+   and serial retries. *)
+
+open Interaction
+open Interaction_exec
+open Testutil
+open QCheck
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+
+(* Suite-level pools (spawning domains per qcheck case would dominate the
+   runtime; 2 and 4 lanes are the configurations CI stresses). *)
+let pool2 = Pool.create ~domains:2
+let pool4 = Pool.create ~domains:4
+let () = at_exit (fun () -> Pool.shutdown pool2; Pool.shutdown pool4)
+
+(* ------------------------------------------------------------------ *)
+(* The sequential interpreted oracle                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed semantics over the plain interpreted kernel: a rejected action
+   leaves the state unchanged. *)
+let oracle_feed e w =
+  let rec go st acc = function
+    | [] -> List.rev acc
+    | c :: cs -> (
+      match State.trans st c with
+      | Some st' -> go st' acc cs
+      | None -> go st (c :: acc) cs)
+  in
+  go (State.init e) [] w
+
+(* Same walk, the accepted subsequence in order (the trace shape). *)
+let oracle_trace e w =
+  let rec go st acc = function
+    | [] -> List.rev acc
+    | c :: cs -> (
+      match State.trans st c with
+      | Some st' -> go st' (c :: acc) cs
+      | None -> go st acc cs)
+  in
+  go (State.init e) [] w
+
+(* Same walk, per-action verdicts (the manager's execute_batch shape). *)
+let oracle_verdicts e w =
+  let rec go st acc = function
+    | [] -> List.rev acc
+    | c :: cs -> (
+      match State.trans st c with
+      | Some st' -> go st' (true :: acc) cs
+      | None -> go st (false :: acc) cs)
+  in
+  go (State.init e) [] w
+
+(* Chop a word into batches of at most [n] (speculation is per batch, so
+   batch boundaries must not be observable). *)
+let chunks n w =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | c :: cs ->
+      if k = n then go (List.rev cur :: acc) [ c ] 1 cs
+      else go acc (c :: cur) (k + 1) cs
+  in
+  go [] [] 0 w
+
+(* ------------------------------------------------------------------ *)
+(* Overlapping couplings: components sharing the action name "s"       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_overlap_coupling ?(max_components = 4) ?(depth = 2) () : Expr.t Gen.t =
+  let open Gen in
+  int_range 2 max_components >>= fun k ->
+  let component i =
+    gen_expr_depth
+      ~names:[ Printf.sprintf "a%d" i; Printf.sprintf "b%d" i; "s" ]
+      depth
+  in
+  let rec build i acc =
+    if i >= k then return (Expr.sync_list (List.rev acc))
+    else component i >>= fun e -> build (i + 1) (e :: acc)
+  in
+  build 0 []
+
+let overlap_word_arb ?(max_components = 4) ?(max_len = 10) () =
+  let gen =
+    let open Gen in
+    gen_overlap_coupling ~max_components () >>= fun e ->
+    gen_word_with_foreign e ~max_len >>= fun w -> return (e, w)
+  in
+  let print (e, w) =
+    Printf.sprintf "%s  /  %s" (Syntax.to_string e)
+      (String.concat " " (List.map Action.concrete_to_string w))
+  in
+  QCheck.make ~print gen
+
+(* ------------------------------------------------------------------ *)
+(* Speculate vs the oracle                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spec_feed_matches ~pool ~shards ~batch (e, w) =
+  let expected = oracle_feed e w in
+  let sp = Speculate.create ~pool ~shards e in
+  let got = List.concat_map (Speculate.feed sp) (chunks batch w) in
+  got = expected && Speculate.trace sp = oracle_trace e w
+
+let spec_disjoint_2d =
+  Test.make ~count:250 ~name:"speculate == interpreted oracle (disjoint, 2 domains)"
+    (coupling_word_arb ())
+    (fun ew -> spec_feed_matches ~pool:pool2 ~shards:2 ~batch:4 ew)
+
+let spec_overlap_2d =
+  Test.make ~count:250 ~name:"speculate == interpreted oracle (overlap, 2 domains)"
+    (overlap_word_arb ())
+    (fun ew -> spec_feed_matches ~pool:pool2 ~shards:2 ~batch:4 ew)
+
+let spec_overlap_4d =
+  Test.make ~count:150 ~name:"speculate == interpreted oracle (overlap, 4 domains)"
+    (overlap_word_arb ())
+    (fun ew -> spec_feed_matches ~pool:pool4 ~shards:4 ~batch:3 ew)
+
+(* ------------------------------------------------------------------ *)
+(* Engine word/feed on the shared kernels, from worker domains         *)
+(* ------------------------------------------------------------------ *)
+
+let engine_word_verdict e w =
+  match State.trans_word (State.init e) w with
+  | None -> Semantics.Illegal
+  | Some s -> if State.final s then Semantics.Complete else Semantics.Partial
+
+let engine_parallel_matches ~pool ~domains (e, w) =
+  let expected_word = engine_word_verdict e w in
+  let expected_rej = oracle_feed e w in
+  let verdicts =
+    Pool.map_workers pool (List.init domains (fun _ () -> Engine.word e w))
+  in
+  let rejects =
+    Pool.map_workers pool
+      (List.init domains (fun _ () ->
+           let s = Engine.create e in
+           Engine.feed s w))
+  in
+  List.for_all (fun v -> v = expected_word) verdicts
+  && List.for_all (fun r -> r = expected_rej) rejects
+
+let engine_shared_2d =
+  Test.make ~count:75 ~name:"engine word/feed == interpreted oracle (2 domains)"
+    (expr_word_arb ~max_len:6 ())
+    (fun ew -> engine_parallel_matches ~pool:pool2 ~domains:2 ew)
+
+let engine_shared_4d =
+  Test.make ~count:75 ~name:"engine word/feed == interpreted oracle (4 domains)"
+    (expr_word_arb ~max_len:6 ())
+    (fun ew -> engine_parallel_matches ~pool:pool4 ~domains:4 ew)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded manager forced over an overlapping coupling                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Words restricted to the coupling's routed alphabet: the manager grants
+   alphabet-foreign actions open-world — including near-miss pattern
+   instantiations like s(2,1) against s(?q,?q) — exactly like the
+   sequential manager, while the raw τ̂ rejects them.  That divergence is
+   by design and tested in test_sharded; here every offered action must
+   reach a replica, so manager verdicts and τ̂ verdicts coincide. *)
+let overlap_universe_word_arb () =
+  let gen =
+    let open Gen in
+    gen_overlap_coupling () >>= fun e ->
+    gen_word_for e ~max_len:8 >>= fun w ->
+    let al = Alpha.of_expr e in
+    return (e, List.filter (Alpha.mem al) w)
+  in
+  let print (e, w) =
+    Printf.sprintf "%s  /  %s" (Syntax.to_string e)
+      (String.concat " " (List.map Action.concrete_to_string w))
+  in
+  QCheck.make ~print gen
+
+let sharded_overlap_matches ~pool (e, w) =
+  let expected = oracle_verdicts e w in
+  let sm = Interaction_manager.Sharded.create ~pool ~overlap:true e in
+  let got = Interaction_manager.Sharded.execute_batch sm ~client:"t" w in
+  got = expected
+
+let sharded_overlap_2d =
+  Test.make ~count:100 ~name:"sharded ~overlap:true == interpreted oracle (2 domains)"
+    (overlap_universe_word_arb ())
+    (fun ew -> sharded_overlap_matches ~pool:pool2 ew)
+
+(* ------------------------------------------------------------------ *)
+(* Forced conflicts: the optimistic bet must lose and recover          *)
+(* ------------------------------------------------------------------ *)
+
+(* k operands (a_i - s - b_i)*, sharded round-robin: a tick offered when
+   only shard 0's operands are ready splits the owners' verdicts. *)
+let conflict_expr k =
+  Expr.sync_list
+    (List.init k (fun i ->
+         Syntax.parse_exn (Printf.sprintf "(a%d - s - b%d)*" (i + 1) (i + 1))))
+
+let conflict_round ~k ~shards =
+  let ready, rest = List.partition (fun i -> i mod shards = 0) (List.init k Fun.id) in
+  let a i = Action.conc (Printf.sprintf "a%d" (i + 1)) [] in
+  let b i = Action.conc (Printf.sprintf "b%d" (i + 1)) [] in
+  List.map a ready
+  @ [ Action.conc "s" [] ]
+  @ List.map a rest
+  @ [ Action.conc "s" [] ]
+  @ List.map b (List.init k Fun.id)
+
+let forced_conflict_case ~pool ~shards ~domains =
+  t (Printf.sprintf "forced conflicts retry serially and match the oracle (%d domains)" domains)
+    (fun () ->
+      let k = 2 * shards in
+      let e = conflict_expr k in
+      let round = conflict_round ~k ~shards in
+      let rounds = 10 in
+      let word = List.concat (List.init rounds (fun _ -> round)) in
+      let expected = oracle_feed e word in
+      (* sanity: the adversarial tick is really rejected sequentially *)
+      check_bool "oracle rejects one tick per round" true
+        (List.length expected = rounds);
+      Speculate.reset_stats ();
+      let sp = Speculate.create ~pool ~shards e in
+      let got =
+        List.concat (List.init rounds (fun _ -> Speculate.feed sp round))
+      in
+      check_bool "rejects match the oracle" true (got = expected);
+      let st = Speculate.stats () in
+      check_bool "conflicts were forced" true (st.Speculate.conflicts > 0);
+      check_bool "serial retries ran" true (st.Speculate.retries > 0);
+      check_bool "the defensive path executed actions" true
+        (st.Speculate.serial_actions > 0);
+      (* and the protocol still reports a live, consistent instance *)
+      check_bool "alive" true (Speculate.is_alive sp);
+      check_bool "trace is the accepted subsequence" true
+        (List.length (Speculate.trace sp)
+        = List.length word - List.length expected))
+
+let deterministic_cases =
+  [ forced_conflict_case ~pool:pool2 ~shards:2 ~domains:2;
+    forced_conflict_case ~pool:pool4 ~shards:4 ~domains:4;
+    t "permitted asks every owner without committing" (fun () ->
+        let k = 4 in
+        let e = conflict_expr k in
+        let sp = Speculate.create ~pool:pool2 ~shards:2 e in
+        let s = Action.conc "s" [] in
+        check_bool "tick not permitted before the a's" false
+          (Speculate.permitted sp s);
+        List.iter
+          (fun i ->
+            check_bool "a accepted" true
+              (Speculate.try_action sp (Action.conc (Printf.sprintf "a%d" i) [])))
+          [ 1; 2; 3; 4 ];
+        check_bool "tick permitted once every operand is ready" true
+          (Speculate.permitted sp s);
+        check_bool "permitted did not advance the trace" true
+          (List.length (Speculate.trace sp) = 4))
+  ]
+
+let qcheck_cases =
+  List.map to_alcotest
+    [ spec_disjoint_2d; spec_overlap_2d; spec_overlap_4d; engine_shared_2d;
+      engine_shared_4d; sharded_overlap_2d ]
+
+let () =
+  Alcotest.run "speculate"
+    [ ("differential", qcheck_cases); ("conflicts", deterministic_cases) ]
