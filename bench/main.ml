@@ -2,7 +2,7 @@
    (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-     dune exec bench/main.exe            -- all tables (E1..E20)
+     dune exec bench/main.exe            -- all tables (E1..E22)
      dune exec bench/main.exe e3 e4      -- selected tables
      dune exec bench/main.exe smoke      -- quick CI subset + telemetry trace
      dune exec bench/main.exe -- smoke --domains 2
@@ -95,7 +95,7 @@ let json_number v =
    a leading "_meta" object records the schema version plus enough host
    context (core count, domain flag, OCaml version, hostname) to interpret
    the multicore numbers.  Same measurements => byte-identical file. *)
-let bench_schema_version = 9
+let bench_schema_version = 10
 
 let write_bench_json ~domains file =
   let meta =
@@ -108,7 +108,9 @@ let write_bench_json ~domains file =
   in
   (* schema 9: every section repeats the host core count and the --domains
      flag it ran under, so a multicore row pasted out of the file still
-     states the hardware it came from *)
+     states the hardware it came from.  Schema 10 adds the e22 section
+     (lock-site contention, GC deltas, speculation time split); the full
+     schema history lives in docs/PERFORMANCE.md *)
   let section_meta =
     [ ("_cores", float_of_int (Domain.recommended_domain_count ()));
       ("_domains_flag", float_of_int domains) ]
@@ -1996,6 +1998,145 @@ let e21 () =
     pf "@.(this host has %d core(s) — the d>1 rows time-slice and cannot show real scaling)@."
       cores
 
+(* ------------------------------------------------------------------ E22 *)
+
+(* Runtime-health profiles of the scaling workloads themselves: with the
+   contention and GC probes (PR 10) armed, re-run E21's two extremes — the
+   disjoint shared-kernel word walk and the overlapping speculative
+   coupling — at 1/4/8 domains and record what the locks actually did.
+   The claim under test is that the hash-cons stripes and the automaton
+   fill lock are *cold* in steady state (fill fires once per missing row,
+   stripes once per new state), so throughput scaling is not serialized on
+   them; the overlap rows additionally split the speculation time into
+   sweep / validate / rollback / serial so E21's conflict rates gain a
+   "where did the time go" breakdown. *)
+
+let e22_domain_counts = [ 1; 4; 8 ]
+
+let e22_sites =
+  [ "state.stripe"; "automaton.fill"; "automaton.shared"; "bytecode.shared";
+    "pool.submit" ]
+
+let e22 () =
+  header "E22" "runtime-health profiles: lock contention & GC under the scaling workloads (PR 10)"
+    "the stripe and fill locks must be cold; speculation time splits into sweep/validate/rollback/serial";
+  let was_on = !Telemetry.on in
+  Telemetry.enable ();
+  Prof.Gcprof.install ();
+  let cores = Domain.recommended_domain_count () in
+  record "e22" "host_cores" (float_of_int cores);
+  let sanitize s = String.map (fun c -> if c = '.' then '_' else c) s in
+  (* one profiled region: reset the probe state, run, then record every
+     tracked lock site (zeros included — the cold-lock claim *is* the
+     zero) and the GC deltas under deterministic keys *)
+  let profile label actions run =
+    Prof.Lock.reset ();
+    Prof.Gcprof.reset ();
+    Prof.Gcprof.sample ();
+    run ();
+    Prof.Gcprof.sample ();
+    record "e22" (label ^ "_actions") (float_of_int actions);
+    let sites = Prof.Lock.stats () in
+    List.iter
+      (fun site ->
+        let k suffix =
+          Printf.sprintf "%s_lock_%s_%s" label (sanitize site) suffix
+        in
+        match
+          List.find_opt (fun (s : Prof.Lock.stats) -> s.Prof.Lock.site_name = site) sites
+        with
+        | None ->
+          record "e22" (k "acq") 0.;
+          record "e22" (k "contended") 0.;
+          record "e22" (k "wait_ns") 0.;
+          record "e22" (k "wait_p99_ns") 0.
+        | Some s ->
+          record "e22" (k "acq") (float_of_int s.Prof.Lock.acquisitions);
+          record "e22" (k "contended") (float_of_int s.Prof.Lock.contended);
+          record "e22" (k "wait_ns") (float_of_int s.Prof.Lock.wait_ns);
+          record "e22" (k "wait_p99_ns") s.Prof.Lock.p99_ns)
+      e22_sites;
+    let g = Prof.Gcprof.stats () in
+    record "e22" (label ^ "_gc_minor_words") g.Prof.Gcprof.minor_words;
+    record "e22" (label ^ "_gc_promoted_words") g.Prof.Gcprof.promoted_words;
+    record "e22" (label ^ "_gc_minor_collections")
+      (float_of_int g.Prof.Gcprof.minor_collections);
+    record "e22" (label ^ "_gc_major_collections")
+      (float_of_int g.Prof.Gcprof.major_collections);
+    let hot =
+      List.filter (fun (s : Prof.Lock.stats) -> s.Prof.Lock.acquisitions > 0) sites
+    in
+    pf "%-14s %8d actions  minor words %12.0f  hot sites: %s@." label actions
+      g.Prof.Gcprof.minor_words
+      (if hot = [] then "(none)"
+       else
+         String.concat ", "
+           (List.map
+              (fun (s : Prof.Lock.stats) ->
+                Printf.sprintf "%s acq=%d contended=%d" s.Prof.Lock.site_name
+                  s.Prof.Lock.acquisitions s.Prof.Lock.contended)
+              hot))
+  in
+  let word =
+    List.concat (List.init 20 (fun _ -> List.map (fun n -> act n []) e1_script))
+  in
+  let wn = List.length word in
+  pf "word: the E1 script x20 (%d actions), %d walks split over the domains@.@."
+    wn e21_walks;
+  List.iter
+    (fun d ->
+      (* disjoint: every domain walks the one shared automaton; a fresh
+         registry per configuration so each row shows the full lazy fill *)
+      Automaton.reset_shared ();
+      let auto = Automaton.shared e1_expr in
+      Pool.with_pool ~domains:d (fun pool ->
+          profile (Printf.sprintf "disjoint_d%d" d) (e21_walks * wn) (fun () ->
+              ignore
+                (Pool.map_workers pool
+                   (List.init d (fun _ () ->
+                        for _ = 1 to e21_walks / d do
+                          assert (Automaton.run_word auto word <> None)
+                        done)))));
+      (* overlap: the speculative coupling, clean + adversarial rounds *)
+      let k = 8 in
+      let shards = max 2 (min d k) in
+      let oe = e21_overlap_expr ~k in
+      let rounds = 30 in
+      let batches =
+        List.concat
+          (List.init rounds (fun _ ->
+               [ e21_overlap_round ~k; e21_conflict_round ~k ~shards ]))
+      in
+      let n =
+        List.fold_left (fun a b -> a + List.length b) 0 batches
+      in
+      Pool.with_pool ~domains:d (fun pool ->
+          let sp = Speculate.create ~pool ~shards oe in
+          Speculate.reset_stats ();
+          profile (Printf.sprintf "overlap_d%d" d) n (fun () ->
+              List.iter (fun b -> ignore (Speculate.feed sp b)) batches);
+          let st = Speculate.stats () in
+          let label = Printf.sprintf "overlap_d%d" d in
+          record "e22" (label ^ "_conflicts") (float_of_int st.Speculate.conflicts);
+          record "e22" (label ^ "_sweep_ns") (float_of_int st.Speculate.sweep_ns);
+          record "e22" (label ^ "_validate_ns")
+            (float_of_int st.Speculate.validate_ns);
+          record "e22" (label ^ "_rollback_ns")
+            (float_of_int st.Speculate.rollback_ns);
+          record "e22" (label ^ "_serial_ns") (float_of_int st.Speculate.serial_ns);
+          pf "%-14s speculation time (us): sweep %.1f validate %.1f rollback %.1f serial %.1f (%d conflicts)@."
+            ""
+            (float_of_int st.Speculate.sweep_ns /. 1e3)
+            (float_of_int st.Speculate.validate_ns /. 1e3)
+            (float_of_int st.Speculate.rollback_ns /. 1e3)
+            (float_of_int st.Speculate.serial_ns /. 1e3)
+            st.Speculate.conflicts))
+    e22_domain_counts;
+  if not was_on then Telemetry.disable ();
+  if cores < 4 then
+    pf "@.(this host has %d core(s) — contention at d>1 is time-sliced, not parallel)@."
+      cores
+
 (* Speculative-vs-sequential oracle agreement on an overlapping coupling,
    run by `smoke --domains N` in CI: the optimistic protocol must
    reproduce the sequential engine's rejects and trace exactly — including
@@ -2052,7 +2193,7 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("e16", e16); ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20);
-    ("e21", e21); ("bechamel", bechamel)
+    ("e21", e21); ("e22", e22); ("bechamel", bechamel)
   ]
 
 let () =
@@ -2097,7 +2238,7 @@ let () =
   let selected =
     if smoke && names = [] then
       List.filter
-        (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18"; "e19"; "e20" ])
+        (fun (n, _) -> List.mem n [ "e1"; "e5"; "e16"; "e18"; "e19"; "e20"; "e22" ])
         experiments
     else if crash && names = [] then []
     else
@@ -2137,6 +2278,6 @@ let () =
      diverging store left in ./crash-smoke-store for the artifact upload) *)
   if crash then crash_smoke ();
   record_cache_stats ();
-  write_bench_json ~domains "BENCH_pr9.json";
-  pf "@.wrote BENCH_pr9.json@.";
+  write_bench_json ~domains "BENCH_pr10.json";
+  pf "@.wrote BENCH_pr10.json@.";
   pf "@."

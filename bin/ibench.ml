@@ -1,0 +1,92 @@
+(* ibench — the bench-history tool: load BENCH_pr*.json files across
+   schema generations, print a normalized trajectory table, and gate a
+   current run against a committed baseline.
+
+     ibench trajectory BENCH_pr2.json ... BENCH_pr10.json
+     ibench gate --baseline BENCH_pr9.json --current BENCH_pr10.json \
+                 [--tolerance 15%] [--max-lock-p99-us N]
+
+   The gate exits 1 on any regression beyond the tolerance in the pinned
+   headline metrics (and, with --max-lock-p99-us, on a contended-lock
+   wait p99 above the bound), so CI fails the build the moment a PR
+   slows the hot path instead of discovering it one schema later. *)
+
+let usage () =
+  prerr_endline
+    "usage: ibench trajectory FILE...\n\
+    \       ibench gate --baseline FILE --current FILE [--tolerance P%]\n\
+    \                   [--max-lock-p99-us N]\n\
+    \       ibench metrics";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "metrics" :: [] ->
+    List.iter
+      (fun (m : Interaction_trace.Benchfile.metric) ->
+        Printf.printf "%-34s %s %s\n" m.Interaction_trace.Benchfile.mname
+          (match m.Interaction_trace.Benchfile.direction with
+          | Interaction_trace.Benchfile.Lower_better -> "lower-better "
+          | Interaction_trace.Benchfile.Higher_better -> "higher-better")
+          m.Interaction_trace.Benchfile.unit_)
+      Interaction_trace.Benchfile.metrics
+  | _ :: "trajectory" :: files when files <> [] -> (
+    match Interaction_trace.Benchfile.load_all files with
+    | [] ->
+      prerr_endline "ibench: no readable bench files";
+      exit 1
+    | loaded -> print_string (Interaction_trace.Benchfile.trajectory loaded))
+  | _ :: "gate" :: rest ->
+    let baseline = ref None and current = ref None in
+    let tolerance = ref 15.0 in
+    let max_lock_p99_us = ref None in
+    let pct s =
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '%' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      match float_of_string_opt s with
+      | Some p when p >= 0.0 -> p
+      | _ -> usage ()
+    in
+    let rec parse = function
+      | [] -> ()
+      | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse rest
+      | "--current" :: f :: rest ->
+        current := Some f;
+        parse rest
+      | "--tolerance" :: p :: rest ->
+        tolerance := pct p;
+        parse rest
+      | "--max-lock-p99-us" :: n :: rest -> (
+        match float_of_string_opt n with
+        | Some v when v > 0.0 ->
+          max_lock_p99_us := Some v;
+          parse rest
+        | _ -> usage ())
+      | _ -> usage ()
+    in
+    parse rest;
+    (match (!baseline, !current) with
+    | Some b, Some c -> (
+      let load name f =
+        match Interaction_trace.Benchfile.load f with
+        | Some bf -> bf
+        | None ->
+          Printf.eprintf "ibench: cannot read %s file %s\n" name f;
+          exit 1
+      in
+      let bf = load "baseline" b and cf = load "current" c in
+      let report =
+        Interaction_trace.Benchfile.gate ~tolerance:!tolerance
+          ?max_lock_p99_us:!max_lock_p99_us ~baseline:bf ~current:cf ()
+      in
+      print_string (Interaction_trace.Benchfile.gate_to_string report);
+      match report.Interaction_trace.Benchfile.verdict with
+      | Interaction_trace.Benchfile.Pass -> ()
+      | Interaction_trace.Benchfile.Fail -> exit 1)
+    | _ -> usage ())
+  | _ -> usage ()

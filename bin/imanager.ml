@@ -21,6 +21,9 @@
      LOG                            -> one line per confirmed action, then OK
      STATS                          -> one line of counters
      METRICS                        -> telemetry exposition, then OK
+     HEALTH                         -> one-screen runtime-health snapshot
+                                       (top contended locks, GC, per-domain
+                                       utilization, speculation rates), then OK
      STATE                          -> STATE <size>
      QUIT
 
@@ -103,8 +106,45 @@ type backend = {
   b_stats : unit -> Manager.stats;
   b_stats_extra : unit -> string;
   b_state_size : unit -> int;
+  b_health : unit -> string;
   b_snapshot : (unit -> unit) option;  (* None without a --store *)
 }
+
+(* One-screen runtime-health snapshot: Prof's lock/GC core plus the
+   layers Prof cannot see from below — scache replica spread, the
+   speculation conflict/retry/time breakdown, and (sharded mode) pool
+   lane utilization. *)
+let health_report ?util () =
+  let reps, cross = Scache.replica_stats () in
+  let sp = Speculate.stats () in
+  let spec_lines =
+    if sp.Speculate.batches = 0 then [ "no batches" ]
+    else
+      [ Printf.sprintf
+          "batches %d, speculative %d, conflicts %d (rate %.3f), retries %d"
+          sp.Speculate.batches sp.Speculate.speculative sp.Speculate.conflicts
+          (if sp.Speculate.speculative = 0 then 0.0
+           else
+             float_of_int sp.Speculate.conflicts
+             /. float_of_int sp.Speculate.speculative)
+          sp.Speculate.retries;
+        Printf.sprintf
+          "conflict actions %d, validation failures %d, serial actions %d"
+          sp.Speculate.conflict_actions sp.Speculate.validation_failures
+          sp.Speculate.serial_actions;
+        Printf.sprintf
+          "time: sweep %.1f us, validate %.1f us, rollback %.1f us, serial \
+           %.1f us"
+          (float_of_int sp.Speculate.sweep_ns /. 1e3)
+          (float_of_int sp.Speculate.validate_ns /. 1e3)
+          (float_of_int sp.Speculate.rollback_ns /. 1e3)
+          (float_of_int sp.Speculate.serial_ns /. 1e3) ]
+  in
+  Prof.health ?util
+    ~extra:
+      [ ("scache", [ Printf.sprintf "replicas %d (cross-domain %d)" reps cross ]);
+        ("speculation", spec_lines) ]
+    ()
 
 let seq_backend mgr =
   { b_ask = Manager.ask mgr;
@@ -125,6 +165,7 @@ let seq_backend mgr =
     b_stats = (fun () -> Manager.stats mgr);
     b_stats_extra = (fun () -> "");
     b_state_size = (fun () -> Manager.state_size mgr);
+    b_health = (fun () -> health_report ());
     b_snapshot = None }
 
 let durable_backend d =
@@ -149,6 +190,7 @@ let durable_backend d =
     b_stats = (fun () -> Durable.stats d);
     b_stats_extra = (fun () -> Printf.sprintf " wal_replayed=%d" (Durable.replayed d));
     b_state_size = (fun () -> Manager.state_size mgr);
+    b_health = (fun () -> health_report ());
     b_snapshot = Some (fun () -> Durable.snapshot d) }
 
 let sharded_backend sm =
@@ -177,6 +219,8 @@ let sharded_backend sm =
           (Sharded.shard_count sm) (Sharded.coordinations sm)
           (Sharded.foreign_grants sm));
     b_state_size = (fun () -> Sharded.state_size sm);
+    b_health =
+      (fun () -> health_report ~util:(Pool.utilization (Sharded.pool sm)) ());
     b_snapshot =
       (if Sharded.durable sm then Some (fun () -> Sharded.snapshot_all sm) else None) }
 
@@ -290,6 +334,9 @@ let run ~stats_every ~sampler b =
             (latency_suffix ())
         | "METRICS", [] ->
           print_string (Telemetry.expose ());
+          out "OK"
+        | "HEALTH", [] ->
+          print_string (b.b_health ());
           out "OK"
         | "STATE", [] -> out "STATE %d" (b.b_state_size ())
         | "QUIT", [] -> stop := true
@@ -410,6 +457,7 @@ let () =
         Some (smp, Out_channel.open_text !slow_trace)
     in
     Telemetry.enable ();
+    Prof.Gcprof.install ();
     Format.printf "READY %d@." (Expr.size e);
     (try
        if !domains <= 1 then

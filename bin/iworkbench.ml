@@ -98,6 +98,8 @@ let help () =
     \  telemetry on|off   collect events into a bounded ring buffer@.\
     \  slow [file]        tail-sampler captures (--slow-ms); export as JSONL@.\
     \  metrics            Prometheus-style counters, caches, watermarks@.\
+    \  health             one-screen runtime health: contended locks, GC,@.\
+    \                     per-domain utilization, speculation rates@.\
     \  compile            compiled-kernel status: active backend, program or@.\
     \                     automaton shape, step counters@.\
     \  load-program <f>   load a compiled artifact (iexpr compile -o) and@.\
@@ -377,6 +379,7 @@ let command env line =
     | "on" ->
       install_ring ();
       Telemetry.enable ();
+      Prof.Gcprof.install ();
       out "telemetry enabled (ring capacity %d)" (Telemetry.Ring.capacity ring)
     | "off" ->
       Telemetry.disable ();
@@ -387,10 +390,7 @@ let command env line =
     | None -> out "tail sampler is off (start with --slow-ms N)"
     | Some smp ->
       if rest <> "" then begin
-        let n =
-          Out_channel.with_open_text rest (fun oc ->
-              Sampler.dump_jsonl smp (output_string oc))
-        in
+        let n = Sampler.dump_to_file smp rest in
         out "wrote %d event(s) from %d capture(s) to %s (analyze with itrace)" n
           (List.length (Sampler.captures smp))
           rest
@@ -401,6 +401,32 @@ let command env line =
           (Sampler.discarded smp)
           (Sampler.dropped_events smp))
   | "metrics" -> print_string (Telemetry.expose ())
+  | "health" ->
+    let util = Option.map Pool.utilization env.pool in
+    let reps, cross = Scache.replica_stats () in
+    let sp = Speculate.stats () in
+    let spec_lines =
+      if sp.Speculate.batches = 0 then [ "no batches" ]
+      else
+        [ Printf.sprintf
+            "batches %d, speculative %d, conflicts %d, retries %d"
+            sp.Speculate.batches sp.Speculate.speculative
+            sp.Speculate.conflicts sp.Speculate.retries;
+          Printf.sprintf
+            "time: sweep %.1f us, validate %.1f us, rollback %.1f us, serial \
+             %.1f us"
+            (float_of_int sp.Speculate.sweep_ns /. 1e3)
+            (float_of_int sp.Speculate.validate_ns /. 1e3)
+            (float_of_int sp.Speculate.rollback_ns /. 1e3)
+            (float_of_int sp.Speculate.serial_ns /. 1e3) ]
+    in
+    print_string
+      (Prof.health ?util
+         ~extra:
+           [ ( "scache",
+               [ Printf.sprintf "replicas %d (cross-domain %d)" reps cross ] );
+             ("speculation", spec_lines) ]
+         ())
   | "compile" ->
     out "compilation: %s" (if State.compilation () then "on" else "off");
     (match env.session with

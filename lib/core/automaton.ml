@@ -140,10 +140,16 @@ let instances_total = Atomic.make 0
 let registry : t Weak.t list ref = ref []
 let registry_mu = Mutex.create ()
 
+(* Lock sites (Prof): every instance's fill lock reports into one
+   "automaton.fill" site — E22's question is whether row fill serializes
+   at all, not which instance does. *)
+let registry_site = Prof.Lock.site "automaton.registry"
+let fill_site = Prof.Lock.site "automaton.fill"
+
 let register a =
   let w = Weak.create 1 in
   Weak.set w 0 (Some a);
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
 
 let flush a =
@@ -151,7 +157,7 @@ let flush a =
   Dshard.Tally.drain a.sig_hit_tally
 
 let flush_all () =
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       List.iter
         (fun w -> match Weak.get w 0 with Some a -> flush a | None -> ())
         !registry)
@@ -183,7 +189,7 @@ let stats () =
     instances = Atomic.get instances_total }
 
 let reset_stats () =
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       List.iter
         (fun w ->
           match Weak.get w 0 with
@@ -296,7 +302,7 @@ let intern_locked a st =
 let snap_covering a r =
   let tb = Atomic.get a.tables in
   if r < tb.nrows then tb
-  else Mutex.protect a.fill (fun () -> Atomic.get a.tables)
+  else Prof.Lock.protect fill_site a.fill (fun () -> Atomic.get a.tables)
 
 let signature a c =
   Array.fold_right (fun p acc -> Alpha.sig_match p c :: acc) a.alpha []
@@ -317,7 +323,7 @@ let sig_of a c =
     let s =
       if List.for_all (fun m -> m = None) key then sig_reject
       else
-        Mutex.protect a.fill (fun () ->
+        Prof.Lock.protect fill_site a.fill (fun () ->
             match Hashtbl.find_opt a.sig_keys key with
             | Some s -> s
             | None ->
@@ -380,7 +386,7 @@ let resolve a r s c =
     Atomic.incr fallbacks_total;
     let succ = State.trans tb.states.(r) c in
     (if s >= 0 then
-       Mutex.protect a.fill (fun () ->
+       Prof.Lock.protect fill_site a.fill (fun () ->
            match succ with
            | None -> set_entry_locked a r s e_reject
            | Some st' ->
@@ -510,6 +516,7 @@ end)
 
 let shared_cap = 256
 let shared_mu = Mutex.create ()
+let shared_site = Prof.Lock.site "automaton.shared"
 let shared_tbl : t ExprTbl.t = ExprTbl.create 16
 let shared_gen = Atomic.make 0
 
@@ -523,7 +530,7 @@ let shared e =
   | Some (g, e0, a) when g = gen && e0 == e -> a
   | _ ->
     let a =
-      Mutex.protect shared_mu (fun () ->
+      Prof.Lock.protect shared_site shared_mu (fun () ->
           match ExprTbl.find_opt shared_tbl e with
           | Some a -> a
           | None ->
@@ -546,7 +553,7 @@ let shared e =
    bound an instance keep it — only future [shared] calls see fresh
    tables. *)
 let reset_shared () =
-  Mutex.protect shared_mu (fun () -> ExprTbl.reset shared_tbl);
+  Prof.Lock.protect shared_site shared_mu (fun () -> ExprTbl.reset shared_tbl);
   Atomic.incr shared_gen;
   Domain.DLS.get shared_slot := None
 
@@ -573,7 +580,7 @@ let step a st c =
         let r = Cmap.find a.row_map (State.id st) in
         let r =
           if r >= 0 then r
-          else Mutex.protect a.fill (fun () -> intern_locked a st)
+          else Prof.Lock.protect fill_site a.fill (fun () -> intern_locked a st)
         in
         if r >= 0 then begin
           l.lst <- st;

@@ -90,17 +90,18 @@ let failures_total = Atomic.make 0
    (plain-int reads) but exact once domains are joined. *)
 let registry : t Weak.t list ref = ref []
 let registry_mu = Mutex.create ()
+let registry_site = Prof.Lock.site "bytecode.registry"
 
 let register inst =
   let w = Weak.create 1 in
   Weak.set w 0 (Some inst);
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       registry := w :: List.filter (fun w -> Weak.check w 0) !registry)
 
 let flush inst = Dshard.Tally.drain inst.step_tally
 
 let flush_all () =
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       List.iter
         (fun w -> match Weak.get w 0 with Some i -> flush i | None -> ())
         !registry)
@@ -120,7 +121,7 @@ let stats () =
     failures = Atomic.get failures_total }
 
 let reset_stats () =
-  Mutex.protect registry_mu (fun () ->
+  Prof.Lock.protect registry_site registry_mu (fun () ->
       List.iter
         (fun w ->
           match Weak.get w 0 with
@@ -340,6 +341,7 @@ type cached = Prog of t | Failed | Declined
 
 let shared_cap = 256
 let shared_mu = Mutex.create ()
+let shared_site = Prof.Lock.site "bytecode.shared"
 let shared_tbl : cached ExprTbl.t = ExprTbl.create 16
 let shared_gen = Atomic.make 0
 
@@ -365,7 +367,7 @@ let shared_lookup ~force e =
       -> v
     | _ ->
       let v =
-        Mutex.protect shared_mu (fun () ->
+        Prof.Lock.protect shared_site shared_mu (fun () ->
             match ExprTbl.find_opt shared_tbl e with
             | Some Declined when force ->
               let v = compile_now () in
@@ -388,7 +390,7 @@ let shared e = shared_lookup ~force:false e
 let shared_forced e = shared_lookup ~force:true e
 
 let reset_shared () =
-  Mutex.protect shared_mu (fun () -> ExprTbl.reset shared_tbl);
+  Prof.Lock.protect shared_site shared_mu (fun () -> ExprTbl.reset shared_tbl);
   Atomic.incr shared_gen;
   Domain.DLS.get shared_slot := None
 

@@ -259,6 +259,10 @@ let stripes =
   Array.init stripe_count (fun _ ->
       { smu = Mutex.create (); stbl = WeakTbl.create 256 })
 
+(* All 256 stripes report into one lock site: the question E22 asks is
+   "how hot is striped interning", not "how hot is stripe 137". *)
+let stripe_site = Prof.Lock.site "state.stripe"
+
 (* Per-domain front cache over the stripes (lock-free warm path). *)
 let local_table : WeakTbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> WeakTbl.create 4096)
@@ -276,13 +280,18 @@ let mk node =
   | Some s -> s
   | None ->
     let st = stripes.(candidate.hkey land (stripe_count - 1)) in
-    let s = Mutex.protect st.smu (fun () -> WeakTbl.merge st.stbl candidate) in
+    let s =
+      Prof.Lock.protect stripe_site st.smu (fun () ->
+          WeakTbl.merge st.stbl candidate)
+    in
     WeakTbl.add local s;
     s
 
 let live_states () =
   Array.fold_left
-    (fun acc st -> acc + Mutex.protect st.smu (fun () -> WeakTbl.count st.stbl))
+    (fun acc st ->
+      acc
+      + Prof.Lock.protect stripe_site st.smu (fun () -> WeakTbl.count st.stbl))
     0 stripes
 
 let final s = s.fin

@@ -41,8 +41,14 @@ type t = {
   lanes : int;
   submitted_n : int Atomic.t;
   completed_n : int Atomic.t;
+  util : Prof.Util.t;  (* per-lane busy/idle accounting (telemetry-gated) *)
   mutable shut : bool;
 }
+
+(* Submission-side contention on the worker queue mutexes.  The worker
+   loop's own lock/Condition.wait is deliberately *not* instrumented:
+   blocking there is idleness, not contention. *)
+let submit_site = Prof.Lock.site "pool.submit"
 
 let worker_loop w () =
   let rec go () =
@@ -72,13 +78,18 @@ let create ~domains =
   in
   Array.iter (fun w -> w.domain <- Some (Domain.spawn (worker_loop w))) workers;
   { workers; lanes; submitted_n = Atomic.make 0; completed_n = Atomic.make 0;
-    shut = false }
+    util = Prof.Util.create lanes; shut = false }
 
 let size t = t.lanes
 let is_inline t = Array.length t.workers = 0
 
-let run_now t f p =
+let run_now t ~lane f p =
+  let timed = !Telemetry.on in
+  let t0 = if timed then Telemetry.now () else 0L in
   let outcome = match f () with v -> Ok v | exception e -> Error e in
+  if timed then
+    Prof.Util.record t.util ~lane
+      (Int64.to_int (Int64.sub (Telemetry.now ()) t0));
   (* bump the counter before fulfilling: an awaiter that has seen the
      result must also see the completion reflected in [completed] *)
   Atomic.incr t.completed_n;
@@ -87,11 +98,12 @@ let run_now t f p =
 let submit t ~worker f =
   Atomic.incr t.submitted_n;
   let p = promise () in
-  if is_inline t || t.shut then run_now t f p
+  let lane = ((worker mod t.lanes) + t.lanes) mod t.lanes in
+  if is_inline t || t.shut then run_now t ~lane f p
   else begin
-    let w = t.workers.(((worker mod t.lanes) + t.lanes) mod t.lanes) in
-    let task () = run_now t f p in
-    Mutex.lock w.wm;
+    let w = t.workers.(lane) in
+    let task () = run_now t ~lane f p in
+    Prof.Lock.acquire submit_site w.wm;
     Queue.add task w.queue;
     Condition.signal w.wcv;
     Mutex.unlock w.wm
@@ -115,6 +127,7 @@ let queue_depth t i =
 
 let submitted t = Atomic.get t.submitted_n
 let completed t = Atomic.get t.completed_n
+let utilization t = Prof.Util.snapshot t.util
 
 let shutdown t =
   if not t.shut then begin

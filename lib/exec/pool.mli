@@ -53,6 +53,12 @@ val submitted : t -> int
 
 val completed : t -> int
 
+val utilization : t -> Prof.Util.lane_stats list
+(** Per-lane busy time, task count, and busy/wall utilization since the
+    pool was created.  Busy time is only accounted while telemetry is on
+    (the accounting costs two clock reads per task), so a telemetry-off
+    pool reports zeros; wall time always advances. *)
+
 val shutdown : t -> unit
 (** Drain every queue, stop and join the worker domains.  Idempotent.
     Tasks submitted after shutdown run inline. *)

@@ -88,6 +88,26 @@ let validation_failures_total = Atomic.make 0
 let retries_total = Atomic.make 0
 let serial_actions_total = Atomic.make 0
 
+(* Where the time goes (telemetry-gated: zero clock reads when off).
+   E21 counts conflicts; these price them — a high conflict rate is only
+   a problem if rollback+serial time dominates the sweep. *)
+let sweep_ns_total = Atomic.make 0
+let validate_ns_total = Atomic.make 0
+let rollback_ns_total = Atomic.make 0
+let serial_ns_total = Atomic.make 0
+
+(* Run [f] and charge its duration to [acc] while telemetry is on. *)
+let timed_ns acc f =
+  if !Telemetry.on then begin
+    let t0 = Telemetry.now () in
+    let r = f () in
+    ignore
+      (Atomic.fetch_and_add acc
+         (Int64.to_int (Int64.sub (Telemetry.now ()) t0)));
+    r
+  end
+  else f ()
+
 type stats = {
   batches : int;  (** [feed] batches processed *)
   speculative : int;  (** batches attempted optimistically *)
@@ -96,6 +116,10 @@ type stats = {
   validation_failures : int;  (** clean merges rejected by the oracle *)
   retries : int;  (** serial retries after a rollback *)
   serial_actions : int;  (** actions executed by the defensive path *)
+  sweep_ns : int;  (** time in speculative verdict sweeps (telemetry-gated) *)
+  validate_ns : int;  (** time replaying accepted subsequences for validation *)
+  rollback_ns : int;  (** time restoring checkpoints after a conflict *)
+  serial_ns : int;  (** time in the defensive per-action protocol *)
 }
 
 let stats () =
@@ -105,7 +129,11 @@ let stats () =
     conflict_actions = Atomic.get conflict_actions_total;
     validation_failures = Atomic.get validation_failures_total;
     retries = Atomic.get retries_total;
-    serial_actions = Atomic.get serial_actions_total }
+    serial_actions = Atomic.get serial_actions_total;
+    sweep_ns = Atomic.get sweep_ns_total;
+    validate_ns = Atomic.get validate_ns_total;
+    rollback_ns = Atomic.get rollback_ns_total;
+    serial_ns = Atomic.get serial_ns_total }
 
 let reset_stats () =
   Atomic.set batches_total 0;
@@ -114,7 +142,11 @@ let reset_stats () =
   Atomic.set conflict_actions_total 0;
   Atomic.set validation_failures_total 0;
   Atomic.set retries_total 0;
-  Atomic.set serial_actions_total 0
+  Atomic.set serial_actions_total 0;
+  Atomic.set sweep_ns_total 0;
+  Atomic.set validate_ns_total 0;
+  Atomic.set rollback_ns_total 0;
+  Atomic.set serial_ns_total 0
 
 let () =
   let probe name r =
@@ -127,6 +159,10 @@ let () =
   probe "speculate_validation_failures_total" validation_failures_total;
   probe "speculate_retries_total" retries_total;
   probe "speculate_serial_actions_total" serial_actions_total;
+  probe "speculate_sweep_ns_total" sweep_ns_total;
+  probe "speculate_validate_ns_total" validate_ns_total;
+  probe "speculate_rollback_ns_total" rollback_ns_total;
+  probe "speculate_serial_ns_total" serial_ns_total;
   Telemetry.register_probe "speculate_conflict_rate" (fun () ->
       let s = Atomic.get speculative_total in
       if s = 0 then 0.
@@ -210,7 +246,9 @@ let serial_action t c =
     if permitted then t.rev_trace <- c :: t.rev_trace;
     permitted
 
-let feed_serial t actions = List.filter (fun c -> not (serial_action t c)) actions
+let feed_serial t actions =
+  timed_ns serial_ns_total (fun () ->
+      List.filter (fun c -> not (serial_action t c)) actions)
 
 (* ------------------------------------------------------------------ *)
 (* The optimistic path                                                 *)
@@ -225,23 +263,27 @@ let speculate_shard sh i indexed owned =
   let pre = Engine.state sh.session in
   let m = Array.length indexed in
   let verdicts = Array.make m false in
-  for k = 0 to m - 1 do
-    if owned.(k) i then verdicts.(k) <- Engine.try_action sh.session indexed.(k)
-  done;
+  timed_ns sweep_ns_total (fun () ->
+      for k = 0 to m - 1 do
+        if owned.(k) i then
+          verdicts.(k) <- Engine.try_action sh.session indexed.(k)
+      done);
   let accepted = ref [] in
   for k = m - 1 downto 0 do
     if owned.(k) i && verdicts.(k) then accepted := indexed.(k) :: !accepted
   done;
   let valid =
-    match pre with
-    | None -> !accepted = []  (* a dead shard must not have accepted *)
-    | Some st -> (
-      match State.trans_word st !accepted with
-      | None -> false
-      | Some st' -> (
-        match Engine.state sh.session with
-        | Some st'' -> st' == st''  (* sound across domains: global hash-cons *)
-        | None -> false))
+    timed_ns validate_ns_total (fun () ->
+        match pre with
+        | None -> !accepted = []  (* a dead shard must not have accepted *)
+        | Some st -> (
+          match State.trans_word st !accepted with
+          | None -> false
+          | Some st' -> (
+            match Engine.state sh.session with
+            | Some st'' ->
+              st' == st''  (* sound across domains: global hash-cons *)
+            | None -> false)))
   in
   (ck, verdicts, valid)
 
@@ -301,11 +343,13 @@ let feed_optimistic t actions =
       ignore (Atomic.fetch_and_add conflict_actions_total !conflicts);
     if not all_valid then Atomic.incr validation_failures_total;
     Atomic.incr retries_total;
-    Array.iteri
-      (fun i sh ->
-        let ck, _, _ = runs.(i) in
-        Pool.run t.pool ~worker:sh.worker (fun () -> Engine.restore sh.session ck))
-      t.shards;
+    timed_ns rollback_ns_total (fun () ->
+        Array.iteri
+          (fun i sh ->
+            let ck, _, _ = runs.(i) in
+            Pool.run t.pool ~worker:sh.worker (fun () ->
+                Engine.restore sh.session ck))
+          t.shards);
     feed_serial t actions
   end
 

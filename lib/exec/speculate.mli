@@ -86,6 +86,10 @@ type stats = {
   validation_failures : int;  (** clean merges rejected by the oracle *)
   retries : int;  (** serial retries after a rollback *)
   serial_actions : int;  (** actions executed by the defensive path *)
+  sweep_ns : int;  (** time in speculative verdict sweeps (telemetry-gated) *)
+  validate_ns : int;  (** time replaying accepted subsequences for validation *)
+  rollback_ns : int;  (** time restoring checkpoints after a conflict *)
+  serial_ns : int;  (** time in the defensive per-action protocol *)
 }
 
 val stats : unit -> stats

@@ -1,0 +1,612 @@
+(* Runtime-internals profiling: timed locks, GC sampling, per-domain
+   utilization.  See prof.mli for the cost model; the short version is
+   that every path below checks [!Telemetry.on] first and the off path
+   performs no allocation beyond what the bare operation would.
+
+   This library sits *below* lib/core in the dependency order (so the
+   hash-cons stripes can use it), which is why it replicates the padded
+   per-domain cell idiom of [Dshard] instead of depending on it. *)
+
+let slot_count = 64
+let mask = slot_count - 1
+let self () = (Domain.self () :> int)
+
+let ns_since t0 =
+  let d = Int64.to_int (Int64.sub (Telemetry.now ()) t0) in
+  if d < 0 then 0 else d
+
+(* ------------------------------------------------------------------ *)
+(* Timed locks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Lock = struct
+  (* Contended waits land in power-of-two buckets: bucket [i] holds
+     waits in [2^i, 2^(i+1)) ns (bucket 0 also takes 0), up to ~4 s in
+     the last bucket.  32 ints per domain is cheap enough to keep the
+     full histogram in every cell. *)
+  let bucket_count = 32
+
+  type cell = {
+    cdid : int;
+    mutable acq : int;
+    mutable contended : int;
+    mutable wait_ns : int;
+    mutable max_wait_ns : int;
+    buckets : int array;
+    mutable p1 : int;
+    mutable p2 : int;
+    mutable p3 : int;
+    mutable p4 : int;
+  }
+
+  type site = {
+    name : string;
+    quiet : bool;
+    cells : cell option array;
+  }
+
+  type stats = {
+    site_name : string;
+    acquisitions : int;
+    contended : int;
+    wait_ns : int;
+    max_wait_ns : int;
+    p50_ns : float;
+    p99_ns : float;
+  }
+
+  let fresh_cell did =
+    {
+      cdid = did;
+      acq = 0;
+      contended = 0;
+      wait_ns = 0;
+      max_wait_ns = 0;
+      buckets = Array.make bucket_count 0;
+      p1 = 0;
+      p2 = 0;
+      p3 = 0;
+      p4 = 0;
+    }
+
+  (* The calling domain's cell.  A collision past [slot_count] live
+     domains retakes the slot; the evicted domain's tallies to date stay
+     visible through [stats] only until the overwrite, which is an
+     acceptable loss for a profiler (and impossible below 64 domains). *)
+  let cell s =
+    let me = self () in
+    let i = me land mask in
+    match s.cells.(i) with
+    | Some c when c.cdid = me -> c
+    | _ ->
+      let c = fresh_cell me in
+      s.cells.(i) <- Some c;
+      c
+
+  let bucket_of ns =
+    if ns <= 1 then 0
+    else begin
+      let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+      let b = go ns 0 in
+      if b >= bucket_count then bucket_count - 1 else b
+    end
+
+  (* Racy-but-benign merge of every domain's cell (the Dshard stats
+     contract: foreign reads may be momentarily stale). *)
+  let aggregate s =
+    let acq = ref 0 and con = ref 0 and wait = ref 0 and mx = ref 0 in
+    let buckets = Array.make bucket_count 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some c ->
+          acq := !acq + c.acq;
+          con := !con + c.contended;
+          wait := !wait + c.wait_ns;
+          if c.max_wait_ns > !mx then mx := c.max_wait_ns;
+          for i = 0 to bucket_count - 1 do
+            buckets.(i) <- buckets.(i) + c.buckets.(i)
+          done)
+      s.cells;
+    (!acq, !con, !wait, !mx, buckets)
+
+  (* q-quantile of the merged power-of-two histogram, interpolating
+     linearly inside the bucket that holds the q-th contended wait. *)
+  let quantile buckets q =
+    let total = Array.fold_left ( + ) 0 buckets in
+    if total = 0 then 0.0
+    else begin
+      let target = q *. float_of_int total in
+      let rec find i seen =
+        if i >= bucket_count then float_of_int (1 lsl (bucket_count - 1))
+        else begin
+          let seen' = seen + buckets.(i) in
+          if float_of_int seen' >= target then begin
+            let lo = if i = 0 then 0.0 else float_of_int (1 lsl i) in
+            let hi = float_of_int (1 lsl (i + 1)) in
+            let inside = target -. float_of_int seen in
+            let frac =
+              if buckets.(i) = 0 then 0.0
+              else inside /. float_of_int buckets.(i)
+            in
+            lo +. ((hi -. lo) *. frac)
+          end
+          else find (i + 1) seen'
+        end
+      in
+      find 0 0
+    end
+
+  let stats_of s =
+    let acq, con, wait, mx, buckets = aggregate s in
+    {
+      site_name = s.name;
+      acquisitions = acq;
+      contended = con;
+      wait_ns = wait;
+      max_wait_ns = mx;
+      p50_ns = quantile buckets 0.50;
+      p99_ns = quantile buckets 0.99;
+    }
+
+  (* Site registry: creation is cold (module init of the instrumented
+     libraries), so a plain mutex-protected list is fine.  The mutex is
+     deliberately *not* instrumented. *)
+  let registry_mu = Mutex.create ()
+  let registry : site list ref = ref []
+
+  let sanitize name =
+    String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+        | _ -> '_')
+      name
+
+  let register_probes s =
+    let p suffix = Printf.sprintf "lock_%s_%s" (sanitize s.name) suffix in
+    Telemetry.register_probe (p "acquisitions_total") (fun () ->
+        let a, _, _, _, _ = aggregate s in
+        float_of_int a);
+    Telemetry.register_probe (p "contended_total") (fun () ->
+        let _, c, _, _, _ = aggregate s in
+        float_of_int c);
+    Telemetry.register_probe (p "wait_ns_total") (fun () ->
+        let _, _, w, _, _ = aggregate s in
+        float_of_int w);
+    Telemetry.register_probe (p "wait_p50_ns") (fun () ->
+        let _, _, _, _, b = aggregate s in
+        quantile b 0.50);
+    Telemetry.register_probe (p "wait_p99_ns") (fun () ->
+        let _, _, _, _, b = aggregate s in
+        quantile b 0.99)
+
+  let site ?(quiet = false) name =
+    Mutex.protect registry_mu (fun () ->
+        match List.find_opt (fun s -> s.name = name) !registry with
+        | Some s -> s
+        | None ->
+          let s = { name; quiet; cells = Array.make slot_count None } in
+          registry := s :: !registry;
+          register_probes s;
+          s)
+
+  let count_fast s =
+    let c = cell s in
+    c.acq <- c.acq + 1
+
+  let count_slow s dt =
+    let c = cell s in
+    c.acq <- c.acq + 1;
+    c.contended <- c.contended + 1;
+    c.wait_ns <- c.wait_ns + dt;
+    if dt > c.max_wait_ns then c.max_wait_ns <- dt;
+    let b = bucket_of dt in
+    c.buckets.(b) <- c.buckets.(b) + 1
+
+  (* [lock.wait] events run the sinks, and a sink (the recorder) may
+     take its own instrumented lock; the per-domain flag stops a
+     contended sink lock from recursing back into event emission. *)
+  let emitting = Domain.DLS.new_key (fun () -> ref false)
+
+  let emit_wait s dt =
+    if not s.quiet then begin
+      let flag = Domain.DLS.get emitting in
+      if not !flag then begin
+        flag := true;
+        Fun.protect
+          ~finally:(fun () -> flag := false)
+          (fun () ->
+            Telemetry.event
+              ~fields:
+                [ ("site", Telemetry.Str s.name); ("dur_ns", Telemetry.Int dt) ]
+              "lock.wait")
+      end
+    end
+
+  let acquire s m =
+    if not !Telemetry.on then Mutex.lock m
+    else if Mutex.try_lock m then count_fast s
+    else begin
+      let t0 = Telemetry.now () in
+      Mutex.lock m;
+      count_slow s (ns_since t0)
+    end
+
+  let protect s m f =
+    if not !Telemetry.on then Mutex.protect m f
+    else if Mutex.try_lock m then begin
+      count_fast s;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+    end
+    else begin
+      let t0 = Telemetry.now () in
+      Mutex.lock m;
+      let dt = ns_since t0 in
+      count_slow s dt;
+      let r = Fun.protect ~finally:(fun () -> Mutex.unlock m) f in
+      (* Emitted after the unlock so no sink ever runs under the
+         instrumented lock. *)
+      emit_wait s dt;
+      r
+    end
+
+  let stats () =
+    let sites = Mutex.protect registry_mu (fun () -> !registry) in
+    List.sort
+      (fun a b -> compare a.site_name b.site_name)
+      (List.map stats_of sites)
+
+  let reset () =
+    let sites = Mutex.protect registry_mu (fun () -> !registry) in
+    List.iter
+      (fun s ->
+        Array.iter
+          (function
+            | None -> ()
+            | Some c ->
+              c.acq <- 0;
+              c.contended <- 0;
+              c.wait_ns <- 0;
+              c.max_wait_ns <- 0;
+              Array.fill c.buckets 0 bucket_count 0)
+          s.cells)
+      sites
+end
+
+(* ------------------------------------------------------------------ *)
+(* GC and allocation telemetry                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Gcprof = struct
+  type stats = {
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    major_cycles : int;
+    minor_words : float;
+    promoted_words : float;
+    heap_words : int;
+  }
+
+  (* Per-domain sampling cell: [last_*] is the baseline reading of the
+     owning domain's counters, [acc_*] the accumulated deltas.  Only the
+     owner writes; stats readers merge racily. *)
+  type cell = {
+    gdid : int;
+    mutable last_minor_words : float;
+    mutable last_promoted : float;
+    mutable last_minor_col : int;
+    mutable last_major_col : int;
+    mutable last_compactions : int;
+    mutable acc_minor_words : float;
+    mutable acc_promoted : float;
+    mutable acc_minor_col : int;
+    mutable acc_major_col : int;
+    mutable acc_compactions : int;
+    mutable gp1 : int;
+    mutable gp2 : int;
+  }
+
+  let cells : cell option array = Array.make slot_count None
+  let major_cycles = Atomic.make 0
+  let installed = ref false
+
+  (* Per-sample minor allocation, in words (the histogram's nanosecond
+     bucket bounds read as word counts here — same log scale). *)
+  let span_minor_words = Telemetry.histogram "gc_span_minor_words"
+
+  (* [Gc.quick_stat] on OCaml 5 reads stats cached at collection
+     boundaries — a domain that hasn't filled its minor heap yet reports
+     zero everywhere.  [Gc.minor_words ()] reads the live domain-local
+     allocation pointer, so minor-word deltas use it; collection counts
+     can only change at a collection, so quick_stat is exact for them. *)
+  let fresh_cell did =
+    let q = Gc.quick_stat () in
+    {
+      gdid = did;
+      last_minor_words = Gc.minor_words ();
+      last_promoted = q.Gc.promoted_words;
+      last_minor_col = q.Gc.minor_collections;
+      last_major_col = q.Gc.major_collections;
+      last_compactions = q.Gc.compactions;
+      acc_minor_words = 0.0;
+      acc_promoted = 0.0;
+      acc_minor_col = 0;
+      acc_major_col = 0;
+      acc_compactions = 0;
+      gp1 = 0;
+      gp2 = 0;
+    }
+
+  let cell () =
+    let me = self () in
+    let i = me land mask in
+    match cells.(i) with
+    | Some c when c.gdid = me -> c
+    | _ ->
+      let c = fresh_cell me in
+      cells.(i) <- Some c;
+      c
+
+  let sample () =
+    if !Telemetry.on then begin
+      let c = cell () in
+      let q = Gc.quick_stat () in
+      let mw = Gc.minor_words () in
+      let dmw = mw -. c.last_minor_words in
+      if dmw > 0.0 then begin
+        c.acc_minor_words <- c.acc_minor_words +. dmw;
+        Telemetry.observe span_minor_words (Int64.of_float dmw)
+      end;
+      let dpw = q.Gc.promoted_words -. c.last_promoted in
+      if dpw > 0.0 then c.acc_promoted <- c.acc_promoted +. dpw;
+      c.acc_minor_col <-
+        c.acc_minor_col + max 0 (q.Gc.minor_collections - c.last_minor_col);
+      c.acc_major_col <-
+        c.acc_major_col + max 0 (q.Gc.major_collections - c.last_major_col);
+      c.acc_compactions <-
+        c.acc_compactions + max 0 (q.Gc.compactions - c.last_compactions);
+      c.last_minor_words <- mw;
+      c.last_promoted <- q.Gc.promoted_words;
+      c.last_minor_col <- q.Gc.minor_collections;
+      c.last_major_col <- q.Gc.major_collections;
+      c.last_compactions <- q.Gc.compactions
+    end
+
+  let fold f init =
+    Array.fold_left
+      (fun acc -> function None -> acc | Some c -> f acc c)
+      init cells
+
+  let stats () =
+    sample ();
+    let minor_collections = fold (fun a c -> a + c.acc_minor_col) 0 in
+    let major_collections = fold (fun a c -> a + c.acc_major_col) 0 in
+    let compactions = fold (fun a c -> a + c.acc_compactions) 0 in
+    let minor_words = fold (fun a c -> a +. c.acc_minor_words) 0.0 in
+    let promoted_words = fold (fun a c -> a +. c.acc_promoted) 0.0 in
+    {
+      minor_collections;
+      major_collections;
+      compactions;
+      major_cycles = Atomic.get major_cycles;
+      minor_words;
+      promoted_words;
+      heap_words = (Gc.quick_stat ()).Gc.heap_words;
+    }
+
+  let domain_minor_words () =
+    let rows = fold (fun a c -> (c.gdid, c.acc_minor_words) :: a) [] in
+    List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+  let reset () =
+    Array.iter
+      (function
+        | None -> ()
+        | Some c ->
+          c.acc_minor_words <- 0.0;
+          c.acc_promoted <- 0.0;
+          c.acc_minor_col <- 0;
+          c.acc_major_col <- 0;
+          c.acc_compactions <- 0)
+      cells;
+    Atomic.set major_cycles 0
+
+  let install () =
+    if not !installed then begin
+      installed := true;
+      ignore
+        (Gc.create_alarm (fun () -> ignore (Atomic.fetch_and_add major_cycles 1)));
+      Telemetry.add_sink (fun ev ->
+          match ev.Telemetry.kind with
+          | Telemetry.Span_end -> sample ()
+          | _ -> ());
+      (* Baseline the installing domain now: its first span otherwise
+         both creates the cell and sets the baseline, hiding the span's
+         own allocation.  Worker domains baseline at their first span. *)
+      sample ()
+    end
+
+  (* The gc_* exposition is registered at module init so the metric set
+     is stable whether or not the sampler is armed. *)
+  let () =
+    Telemetry.register_probe "gc_minor_collections_total" (fun () ->
+        float_of_int (fold (fun a c -> a + c.acc_minor_col) 0));
+    Telemetry.register_probe "gc_major_collections_total" (fun () ->
+        float_of_int (fold (fun a c -> a + c.acc_major_col) 0));
+    Telemetry.register_probe "gc_compactions_total" (fun () ->
+        float_of_int (fold (fun a c -> a + c.acc_compactions) 0));
+    Telemetry.register_probe "gc_major_cycles_total" (fun () ->
+        float_of_int (Atomic.get major_cycles));
+    Telemetry.register_probe "gc_minor_words_total" (fun () ->
+        fold (fun a c -> a +. c.acc_minor_words) 0.0);
+    Telemetry.register_probe "gc_promoted_words_total" (fun () ->
+        fold (fun a c -> a +. c.acc_promoted) 0.0)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain utilization                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Util = struct
+  type lane_cell = {
+    mutable busy_ns : int;
+    mutable tasks : int;
+    mutable up1 : int;
+    mutable up2 : int;
+    mutable up3 : int;
+    mutable up4 : int;
+    mutable up5 : int;
+    mutable up6 : int;
+  }
+
+  type t = { lanes : lane_cell array; t0 : int64 }
+
+  type lane_stats = {
+    lane : int;
+    busy_ns : int;
+    tasks : int;
+    utilization : float;
+  }
+
+  let create n =
+    let n = if n < 1 then 1 else n in
+    {
+      lanes =
+        Array.init n (fun _ ->
+            { busy_ns = 0; tasks = 0; up1 = 0; up2 = 0; up3 = 0; up4 = 0;
+              up5 = 0; up6 = 0 });
+      t0 = Telemetry.now ();
+    }
+
+  let record t ~lane ns =
+    if !Telemetry.on then begin
+      let i =
+        if lane < 0 then 0
+        else if lane >= Array.length t.lanes then Array.length t.lanes - 1
+        else lane
+      in
+      let l = t.lanes.(i) in
+      l.busy_ns <- l.busy_ns + ns;
+      l.tasks <- l.tasks + 1
+    end
+
+  let wall_ns t = ns_since t.t0
+
+  let snapshot t =
+    let wall = wall_ns t in
+    Array.to_list
+      (Array.mapi
+         (fun i (l : lane_cell) ->
+           {
+             lane = i;
+             busy_ns = l.busy_ns;
+             tasks = l.tasks;
+             utilization =
+               (if wall <= 0 then 0.0
+                else
+                  let u = float_of_int l.busy_ns /. float_of_int wall in
+                  if u > 1.0 then 1.0 else u);
+           })
+         t.lanes)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Crash-atomic file writes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let atomic_write_file ?(fsync = true) path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     flush oc;
+     if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  if fsync then fsync_dir (Filename.dirname path)
+
+(* ------------------------------------------------------------------ *)
+(* HEALTH snapshot                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let health ?(util = []) ?(extra = []) () =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "== runtime health ==";
+  line "-- lock sites (top contended) --";
+  let sites = Lock.stats () in
+  let ranked =
+    List.sort
+      (fun (a : Lock.stats) b ->
+        match compare b.wait_ns a.wait_ns with
+        | 0 -> (
+          match compare b.acquisitions a.acquisitions with
+          | 0 -> compare a.site_name b.site_name
+          | c -> c)
+        | c -> c)
+      sites
+  in
+  let any = List.exists (fun (s : Lock.stats) -> s.acquisitions > 0) ranked in
+  if not any then line "  (no lock activity)"
+  else begin
+    line "  %-18s %10s %10s %12s %10s %10s" "site" "acq" "contended"
+      "wait_us" "p99_us" "max_us";
+    let take = ref 8 in
+    List.iter
+      (fun (s : Lock.stats) ->
+        if s.acquisitions > 0 && !take > 0 then begin
+          decr take;
+          line "  %-18s %10d %10d %12.1f %10.1f %10.1f" s.site_name
+            s.acquisitions s.contended
+            (float_of_int s.wait_ns /. 1e3)
+            (s.p99_ns /. 1e3)
+            (float_of_int s.max_wait_ns /. 1e3)
+        end)
+      ranked
+  end;
+  line "-- gc --";
+  let g = Gcprof.stats () in
+  line "  minor collections  %d" g.Gcprof.minor_collections;
+  line "  major collections  %d" g.Gcprof.major_collections;
+  line "  major cycles       %d" g.Gcprof.major_cycles;
+  line "  compactions        %d" g.Gcprof.compactions;
+  line "  minor words        %.0f" g.Gcprof.minor_words;
+  line "  promoted words     %.0f" g.Gcprof.promoted_words;
+  line "  heap words         %d" g.Gcprof.heap_words;
+  (match Gcprof.domain_minor_words () with
+  | [] -> ()
+  | rows ->
+    let parts =
+      List.map (fun (d, w) -> Printf.sprintf "d%d=%.0f" d w) rows
+    in
+    line "  minor words/domain %s" (String.concat " " parts));
+  (match util with
+  | [] -> ()
+  | lanes ->
+    line "-- domains --";
+    List.iter
+      (fun (l : Util.lane_stats) ->
+        line "  lane %-2d busy %10.1f us  tasks %8d  util %5.1f%%" l.Util.lane
+          (float_of_int l.Util.busy_ns /. 1e3)
+          l.Util.tasks
+          (l.Util.utilization *. 100.0))
+      lanes);
+  List.iter
+    (fun (title, lines) ->
+      line "-- %s --" title;
+      List.iter (fun l -> line "  %s" l) lines)
+    extra;
+  Buffer.contents b

@@ -1,0 +1,153 @@
+(** Runtime-internals profiling: lock-contention probes, GC/allocation
+    telemetry, and per-domain utilization cells — the observability layer
+    for the synchronization points PR 9 introduced (hash-cons stripes,
+    automaton fill locks, shard regions, speculation rollback).
+
+    Everything here obeys the telemetry cost model: every probe is gated
+    on {!Telemetry.on}.  With telemetry off an instrumented lock costs one
+    [bool ref] read and a branch on top of the bare [Mutex.lock], and
+    allocates nothing; the GC sampler and the utilization cells are
+    entirely inert.  With telemetry on, per-site statistics live in
+    per-domain padded cells (the {!Dshard} argument: the probes measuring
+    contention must not themselves contend), aggregated racily-but-benignly
+    at read time exactly like the batched kernel tallies. *)
+
+(** {1 Timed locks}
+
+    A {e lock site} names one synchronization point of the runtime
+    ("state.stripe", "automaton.fill", ...).  Many mutexes may share a
+    site: the 256 hash-cons stripes all report into ["state.stripe"],
+    because the question is "how hot is striped interning", not "how hot
+    is stripe 137".  Each site registers exposition probes
+    [lock_<site>_acquisitions_total], [lock_<site>_contended_total],
+    [lock_<site>_wait_ns_total], [lock_<site>_wait_p50_ns] and
+    [lock_<site>_wait_p99_ns] (site names are sanitized to metric
+    charset), and — unless created [~quiet] — emits a [lock.wait] point
+    event (fields [site], [dur_ns]) after each contended acquisition is
+    released, which {e itrace} aggregates into its contention section. *)
+module Lock : sig
+  type site
+
+  val site : ?quiet:bool -> string -> site
+  (** Find-or-create the site with this name.  [~quiet:true] suppresses
+      the [lock.wait] events (mandatory for sites guarding telemetry
+      sinks themselves — the recorder ring, the sampler — where an event
+      emitted on the contended path would re-enter the sink). *)
+
+  val acquire : site -> Mutex.t -> unit
+  (** Timed [Mutex.lock]: an uncontended acquisition (the [try_lock]
+      fast path) counts once; a contended one also records its wait time
+      into the site's per-domain histogram.  Never emits events — pair
+      with a plain [Mutex.unlock]. *)
+
+  val protect : site -> Mutex.t -> (unit -> 'a) -> 'a
+  (** [Mutex.protect] with timing; the [lock.wait] event for a contended
+      acquisition is emitted {e after} the unlock, so sinks never run
+      under the instrumented lock. *)
+
+  type stats = {
+    site_name : string;
+    acquisitions : int;
+    contended : int;
+    wait_ns : int;  (** total contended wait *)
+    max_wait_ns : int;
+    p50_ns : float;  (** estimated from the power-of-two wait histogram *)
+    p99_ns : float;
+  }
+
+  val stats : unit -> stats list
+  (** Every registered site, sorted by name.  Foreign-domain cells are
+      read racily (the documented tally contract): transient
+      under-counts, exact once domains are joined. *)
+
+  val reset : unit -> unit
+  (** Zero every site's cells (for stats windows; sites persist). *)
+end
+
+(** {1 GC and allocation telemetry} *)
+module Gcprof : sig
+  val install : unit -> unit
+  (** Idempotent.  Arms (1) a major-cycle alarm ([Gc.create_alarm] on the
+      calling domain) counting completed major cycles, and (2) a
+      telemetry sink sampling [Gc.quick_stat] deltas at span boundaries
+      into the [gc_*] counters and the [gc_span_minor_words] histogram.
+      The probes themselves are registered at module initialization, so
+      the exposition is stable whether or not the sampler is armed. *)
+
+  val sample : unit -> unit
+  (** Sample the calling domain's GC deltas now (gated on telemetry);
+      span boundaries call this via the sink, explicit callers (the
+      bench harness) may force a sample before reading stats. *)
+
+  type stats = {
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+    major_cycles : int;  (** completed cycles seen by the alarm *)
+    minor_words : float;  (** allocated on minor heaps since install/reset *)
+    promoted_words : float;
+    heap_words : int;  (** current, sampled on the calling domain *)
+  }
+
+  val stats : unit -> stats
+
+  val domain_minor_words : unit -> (int * float) list
+  (** Per-domain minor-allocation attribution: [(domain id, words)] for
+      every domain that crossed a sampled span boundary, sorted by id. *)
+
+  val reset : unit -> unit
+end
+
+(** {1 Per-domain utilization}
+
+    Busy/idle accounting for a fixed set of lanes (the {!Pool} workers).
+    The pool records task execution time per lane; utilization is busy
+    time over the wall time since [create].  Cells are padded and
+    single-writer like every other per-domain structure here. *)
+module Util : sig
+  type t
+
+  val create : int -> t
+  (** [create lanes] — accounting for lanes [0 .. lanes-1]. *)
+
+  val record : t -> lane:int -> int -> unit
+  (** Add [ns] of busy time and one task to the lane (gated on
+      telemetry; out-of-range lanes are clamped). *)
+
+  type lane_stats = {
+    lane : int;
+    busy_ns : int;
+    tasks : int;
+    utilization : float;  (** busy / wall since [create], 0..1 *)
+  }
+
+  val snapshot : t -> lane_stats list
+  val wall_ns : t -> int
+end
+
+(** {1 Crash-atomic file writes}
+
+    The tmp + fsync + rename discipline of {!Interaction_store.Store},
+    available beneath it in the dependency order so the recorder and
+    sampler dumps can use it: a reader (or a post-crash restart) sees
+    either the previous file or the complete new one, never a torn
+    prefix. *)
+
+val atomic_write_file : ?fsync:bool -> string -> string -> unit
+(** Write contents to [path ^ ".tmp"], flush (and fsync unless
+    [~fsync:false]), rename over [path].  A stale tmp from an earlier
+    crash is simply overwritten. *)
+
+(** {1 The HEALTH snapshot} *)
+
+val health :
+  ?util:Util.lane_stats list ->
+  ?extra:(string * string list) list ->
+  unit ->
+  string
+(** One-screen runtime-health report: top contended lock sites (by total
+    wait, then acquisitions), GC counters and per-domain allocation, the
+    given utilization lanes, plus caller-supplied sections (title,
+    lines) — the manager appends speculation conflict/retry rates, which
+    live above this library.  Deterministic section order; values are
+    live reads. *)

@@ -15,8 +15,13 @@ let create ?(capacity = 4096) () =
 
 let capacity r = Array.length r.buf
 
+(* The ring mutex is a telemetry sink's own lock: the site must be quiet,
+   or a contended acquisition would emit an event that re-enters this very
+   sink. *)
+let ring_site = Prof.Lock.site ~quiet:true "recorder.ring"
+
 let locked r f =
-  Mutex.lock r.lock;
+  Prof.Lock.acquire ring_site r.lock;
   match f () with
   | v ->
     Mutex.unlock r.lock;
@@ -85,11 +90,11 @@ let dump_jsonl r =
     (events r);
   Buffer.contents b
 
+(* Crash-atomic: a crash mid-dump (the recorder dumps *because* things
+   are going wrong) must not leave a torn JSONL truncating the very
+   events being investigated. *)
 let dump_to_file r path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (dump_jsonl r));
+  Prof.atomic_write_file path (dump_jsonl r);
   length r
 
 (* ------------------------------------------------------------------ *)
@@ -114,11 +119,19 @@ let enable ?capacity () =
    share the file; each line is self-describing JSONL either way. *)
 let auto_dump_env = "FLIGHT_RECORDER_DUMP"
 
+(* Atomic append: read-modify-rename, so a crash mid-append keeps the
+   lines earlier binaries already contributed instead of tearing the
+   shared file. *)
 let append_dump r path =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (dump_jsonl r))
+  let existing =
+    match open_in_bin path with
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    | exception Sys_error _ -> ""
+  in
+  Prof.atomic_write_file path (existing ^ dump_jsonl r)
 
 let auto_install () =
   match Sys.getenv_opt auto_dump_env with

@@ -30,8 +30,12 @@ type t = {
   lock : Mutex.t;
 }
 
+(* Quiet site: the sampler is itself a telemetry sink, so a [lock.wait]
+   event emitted on its contended path would re-enter it. *)
+let buffer_site = Prof.Lock.site ~quiet:true "sampler.buffer"
+
 let locked t f =
-  Mutex.lock t.lock;
+  Prof.Lock.acquire buffer_site t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let default_flag_names = [ "manager.denied"; "workitem.denied"; "sentinel.warning" ]
@@ -139,6 +143,14 @@ let dump_jsonl t write =
       List.iter (fun ev -> write (Telemetry.event_to_json ev ^ "\n")) evs;
       n + List.length evs)
     0 caps
+
+(* Crash-atomic dump: buffer the captures and tmp+rename them into
+   place, so a crash mid-dump never leaves a torn JSONL. *)
+let dump_to_file t path =
+  let b = Buffer.create 4096 in
+  let n = dump_jsonl t (Buffer.add_string b) in
+  Prof.atomic_write_file path (Buffer.contents b);
+  n
 
 let clear t =
   locked t (fun () ->

@@ -63,6 +63,11 @@ val dump_jsonl : t -> (string -> unit) -> int
     capture order), returning the number of events written.  The lines
     parse back with [Telemetry.Jsonl] / the [lib/trace] reader. *)
 
+val dump_to_file : t -> string -> int
+(** {!dump_jsonl} into [path] crash-atomically (tmp + fsync + rename, the
+    [lib/store] discipline): a crash mid-dump leaves the previous file —
+    or nothing — never a torn prefix.  Returns the event count. *)
+
 val clear : t -> unit
 (** Drop live buffers and retained captures; counters keep counting. *)
 

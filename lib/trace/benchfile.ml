@@ -1,0 +1,426 @@
+(* Bench-history files — see benchfile.mli.  The JSON here is the
+   machine-written output of bench/main.ml (flat sections of numeric
+   leaves), but the parser below is a small honest recursive-descent one
+   so hand-edited or future nested files keep loading. *)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader                                               *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Obj of (string * json) list
+  | Arr of json list
+
+exception Malformed
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else '\255' in
+  let advance () = incr i in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else raise Malformed in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise Malformed;
+      match s.[!i] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !i >= n then raise Malformed);
+        (match s.[!i] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          (* keep the escape verbatim: no metric name carries one *)
+          if !i + 4 >= n then raise Malformed;
+          Buffer.add_string b (String.sub s (!i - 1) 6);
+          i := !i + 4
+        | _ -> raise Malformed);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !i in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !i < n && numchar s.[!i] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f -> f
+    | None -> raise Malformed
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !i + l <= n && String.sub s !i l = lit then begin
+      i := !i + l;
+      v
+    end
+    else raise Malformed
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> raise Malformed
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> raise Malformed
+        in
+        Arr (elements [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !i <> n then raise Malformed;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = { file : string; schema : int; values : (string * float) list }
+
+let numeric = function
+  | Num f -> Some f
+  | Bool true -> Some 1.0
+  | Bool false -> Some 0.0
+  | Str _ | Null | Obj _ | Arr _ -> None
+
+(* Flatten "section.key" numeric leaves; the _meta section and the
+   per-section _cores/_domains_flag bookkeeping are environment, not
+   measurements. *)
+let flatten top =
+  match top with
+  | Obj sections ->
+    List.concat_map
+      (fun (sec, v) ->
+        if String.length sec > 0 && sec.[0] = '_' then []
+        else
+          match v with
+          | Obj kvs ->
+            List.filter_map
+              (fun (k, v) ->
+                if String.length k > 0 && k.[0] = '_' then None
+                else
+                  match numeric v with
+                  | Some f -> Some (sec ^ "." ^ k, f)
+                  | None -> None)
+              kvs
+          | _ -> (
+            match numeric v with Some f -> [ (sec, f) ] | None -> []))
+      sections
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  | _ -> []
+
+let schema_of top =
+  match top with
+  | Obj sections -> (
+    match List.assoc_opt "_meta" sections with
+    | Some (Obj meta) -> (
+      match List.assoc_opt "schema_version" meta with
+      | Some (Num f) -> int_of_float f
+      | _ -> 0)
+    | _ -> 0)
+  | _ -> 0
+
+let load file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | contents -> (
+    match parse_json contents with
+    | top -> Some { file; schema = schema_of top; values = flatten top }
+    | exception Malformed -> None)
+  | exception Sys_error _ -> None
+
+let load_all files =
+  List.filter_map
+    (fun f ->
+      match load f with
+      | Some t -> Some t
+      | None ->
+        Printf.eprintf "ibench: skipping unreadable %s\n" f;
+        None)
+    files
+  |> List.sort (fun a b ->
+         match compare a.schema b.schema with
+         | 0 -> compare a.file b.file
+         | c -> c)
+
+let find t path = List.assoc_opt path t.values
+
+(* ------------------------------------------------------------------ *)
+(* The pinned metric list                                              *)
+(* ------------------------------------------------------------------ *)
+
+type direction = Lower_better | Higher_better
+
+type metric = {
+  mname : string;
+  unit_ : string;
+  direction : direction;
+  paths : string list;
+}
+
+let metrics =
+  [ { mname = "word_steady_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      (* the steady-state word walk: E20's vm column, or E18's warm
+         word before the bytecode backend existed *)
+      paths = [ "e20.word_vm_ns_per_action"; "e18.warm_word_ns" ] };
+    { mname = "word_table_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths =
+        [ "e20.word_table_ns_per_action"; "e18.word_compiled_ns_per_action" ] };
+    { mname = "e1_session_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths = [ "e20.e1_vm_ns_per_action"; "e18.e1_compiled_ns_per_action" ] };
+    { mname = "feed_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths =
+        [ "e20.feed_vm_ns_per_action"; "e18.feed_compiled_ns_per_action" ] };
+    { mname = "e1_ns_n1600";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths = [ "e1.ns_per_action_n1600" ] };
+    { mname = "volatile_word_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths = [ "e19.volatile_word_ns_per_action" ] };
+    { mname = "wal_word_ns";
+      unit_ = "ns/action";
+      direction = Lower_better;
+      paths = [ "e19.wal_word_ns_per_action" ] };
+    { mname = "recovery_records_per_s";
+      unit_ = "rec/s";
+      direction = Higher_better;
+      paths = [ "e19.recovery_records_per_s" ] };
+    { mname = "shared_word_throughput_d4";
+      unit_ = "act/s";
+      direction = Higher_better;
+      paths = [ "e21.automaton_shared_throughput_d4" ] };
+    { mname = "overlap_speculation_speedup";
+      unit_ = "x";
+      direction = Higher_better;
+      paths = [ "e21.overlap_speculation_speedup" ] };
+    { mname = "successor_hit_rate";
+      unit_ = "ratio";
+      direction = Higher_better;
+      paths = [ "caches.engine_successor_hit_rate" ] };
+    { mname = "sig_cache_hit_rate";
+      unit_ = "ratio";
+      direction = Higher_better;
+      paths =
+        [ "caches.automaton_sig_cache_hit_rate"; "e18.sig_cache_hit_rate" ] }
+  ]
+
+let lookup t m = List.find_map (fun p -> find t p) m.paths
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let short_name file =
+  let base = Filename.basename file in
+  match Filename.chop_suffix_opt ~suffix:".json" base with
+  | Some b -> b
+  | None -> base
+
+let trajectory loaded =
+  let b = Buffer.create 1024 in
+  let col = 14 in
+  Buffer.add_string b (Printf.sprintf "%-28s %-9s" "metric" "unit");
+  List.iter
+    (fun t -> Buffer.add_string b (Printf.sprintf " %*s" col (short_name t.file)))
+    loaded;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "%-28s %-9s" "(schema)" "");
+  List.iter
+    (fun t -> Buffer.add_string b (Printf.sprintf " %*d" col t.schema))
+    loaded;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun m ->
+      Buffer.add_string b (Printf.sprintf "%-28s %-9s" m.mname m.unit_);
+      List.iter
+        (fun t ->
+          match lookup t m with
+          | Some v -> Buffer.add_string b (Printf.sprintf " %*.4g" col v)
+          | None -> Buffer.add_string b (Printf.sprintf " %*s" col "-"))
+        loaded;
+      Buffer.add_char b '\n')
+    metrics;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The gate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Pass | Fail
+
+type gate_row = {
+  gname : string;
+  base : float;
+  cur : float;
+  delta_pct : float;
+  ok : bool;
+}
+
+type gate_report = {
+  verdict : verdict;
+  tolerance : float;
+  rows : gate_row list;
+  lock_rows : gate_row list;
+  skipped : string list;
+}
+
+let gate ~tolerance ?max_lock_p99_us ~baseline ~current () =
+  let rows = ref [] and skipped = ref [] in
+  List.iter
+    (fun m ->
+      match (lookup baseline m, lookup current m) with
+      | Some base, Some cur when base > 0.0 ->
+        let delta_pct =
+          match m.direction with
+          | Lower_better -> (cur -. base) /. base *. 100.0
+          | Higher_better -> (base -. cur) /. base *. 100.0
+        in
+        rows :=
+          { gname = m.mname; base; cur; delta_pct; ok = delta_pct <= tolerance }
+          :: !rows
+      | _ -> skipped := m.mname :: !skipped)
+    metrics;
+  let lock_rows =
+    match max_lock_p99_us with
+    | None -> []
+    | Some bound ->
+      List.filter_map
+        (fun (path, v) ->
+          let suffix = "_wait_p99_ns" in
+          let lp = String.length path and ls = String.length suffix in
+          if lp >= ls && String.sub path (lp - ls) ls = suffix then begin
+            let us = v /. 1e3 in
+            Some
+              { gname = path;
+                base = bound;
+                cur = us;
+                delta_pct = (if bound > 0.0 then (us -. bound) /. bound *. 100.0 else 0.0);
+                ok = us <= bound }
+          end
+          else None)
+        current.values
+  in
+  let all_ok =
+    List.for_all (fun r -> r.ok) !rows && List.for_all (fun r -> r.ok) lock_rows
+  in
+  { verdict = (if all_ok then Pass else Fail);
+    tolerance;
+    rows = List.rev !rows;
+    lock_rows;
+    skipped = List.rev !skipped }
+
+let gate_to_string r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-28s %14s %14s %9s  %s\n" "metric" "baseline" "current"
+       "delta" "status");
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %14.4g %14.4g %+8.1f%%  %s\n" row.gname row.base
+           row.cur row.delta_pct
+           (if row.ok then "ok" else "REGRESSION")))
+    r.rows;
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %12.4g us %12.4g us %9s  %s\n" row.gname
+           row.base row.cur ""
+           (if row.ok then "ok" else "LOCK P99 OVER BOUND")))
+    r.lock_rows;
+  if r.skipped <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "skipped (absent from one side): %s\n"
+         (String.concat ", " r.skipped));
+  Buffer.add_string b
+    (Printf.sprintf "gate: %s (tolerance %.0f%%, %d metric(s) compared)\n"
+       (match r.verdict with Pass -> "PASS" | Fail -> "FAIL")
+       r.tolerance
+       (List.length r.rows + List.length r.lock_rows));
+  Buffer.contents b

@@ -1,0 +1,92 @@
+(** Bench-history files: load the committed [BENCH_pr*.json] series
+    (schema 2 onward), normalize the schema drift into one pinned metric
+    list, print a trajectory table, and gate a current run against a
+    baseline.
+
+    The schema has grown monotonically — sections appear, keys get
+    renamed as experiments are superseded (E18's compiled word became
+    E20's vm word) — so each normalized metric carries the {e paths} it
+    may live at, tried newest-first.  The gate is the CI teeth: a
+    regression beyond tolerance in any pinned metric present in both
+    files exits nonzero, so a slowdown fails the PR that introduced it
+    instead of being discovered one schema later. *)
+
+type t = {
+  file : string;
+  schema : int;  (** [_meta.schema_version]; 0 when absent *)
+  values : (string * float) list;
+      (** every numeric leaf as ["section.key"], sorted; booleans count
+          as 0/1, strings and [_meta]/[_cores] bookkeeping are dropped *)
+}
+
+val load : string -> t option
+(** Parse one bench JSON file; [None] if unreadable or malformed. *)
+
+val load_all : string list -> t list
+(** Load every readable file, sorted by schema version then name;
+    unreadable files are reported on stderr and skipped. *)
+
+val find : t -> string -> float option
+(** Look up a flattened ["section.key"] path. *)
+
+(** {1 The pinned metric list} *)
+
+type direction = Lower_better | Higher_better
+
+type metric = {
+  mname : string;
+  unit_ : string;
+  direction : direction;
+  paths : string list;  (** candidate locations, newest schema first *)
+}
+
+val metrics : metric list
+(** The normalized headline series: steady-state word/session/feed
+    latencies, durability costs, recovery and multicore throughputs,
+    headline cache hit rates. *)
+
+val lookup : t -> metric -> float option
+(** First present path wins. *)
+
+(** {1 Trajectory} *)
+
+val trajectory : t list -> string
+(** One row per pinned metric, one column per file (schema order), "-"
+    where a schema predates the metric. *)
+
+(** {1 The gate} *)
+
+type verdict = Pass | Fail
+
+type gate_row = {
+  gname : string;
+  base : float;
+  cur : float;
+  delta_pct : float;  (** signed change in the {e bad} direction *)
+  ok : bool;
+}
+
+type gate_report = {
+  verdict : verdict;
+  tolerance : float;
+  rows : gate_row list;  (** metrics compared (present in both files) *)
+  lock_rows : gate_row list;
+      (** contended-lock p99 bound checks ([base] = the bound, µs) *)
+  skipped : string list;  (** metrics absent from one side *)
+}
+
+val gate :
+  tolerance:float ->
+  ?max_lock_p99_us:float ->
+  baseline:t ->
+  current:t ->
+  unit ->
+  gate_report
+(** Compare every pinned metric present in both files: [delta_pct] is
+    the percentage change in the direction that hurts (slower for
+    lower-better, lower for higher-better), and a row fails when it
+    exceeds [tolerance].  With [max_lock_p99_us], every
+    [*_wait_p99_ns] leaf of the current file is additionally bounded.
+    Metrics with a zero/absent baseline are skipped, not failed. *)
+
+val gate_to_string : gate_report -> string

@@ -41,6 +41,55 @@ let op_stats forest =
     samples []
   |> List.sort (fun a b -> compare a.op b.op)
 
+(* Aggregate the profiler's [lock.wait] points by site: each event is one
+   contended acquisition with its wait in the [dur_ns] field, so the
+   section reads as "which lock serialized this trace, and how badly". *)
+type lock_stat = {
+  lsite : string;
+  waits : int;
+  total_ns : int;
+  lmax_ns : int;
+  lp99 : int;
+}
+
+let lock_stats events =
+  let samples : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      if ev.Telemetry.kind = Telemetry.Point && ev.Telemetry.name = "lock.wait"
+      then begin
+        let site =
+          match List.assoc_opt "site" ev.Telemetry.fields with
+          | Some (Telemetry.Str s) -> s
+          | _ -> "?"
+        in
+        let dur =
+          match List.assoc_opt "dur_ns" ev.Telemetry.fields with
+          | Some (Telemetry.Int d) -> d
+          | _ -> 0
+        in
+        match Hashtbl.find_opt samples site with
+        | Some r -> r := dur :: !r
+        | None -> Hashtbl.add samples site (ref [ dur ])
+      end)
+    events;
+  Hashtbl.fold
+    (fun lsite r acc ->
+      let a = Array.of_list !r in
+      Array.sort compare a;
+      let n = Array.length a in
+      { lsite;
+        waits = n;
+        total_ns = Array.fold_left ( + ) 0 a;
+        lmax_ns = a.(n - 1);
+        lp99 = a.(rank 0.99 n) }
+      :: acc)
+    samples []
+  |> List.sort (fun a b ->
+         match compare b.total_ns a.total_ns with
+         | 0 -> compare a.lsite b.lsite
+         | c -> c)
+
 let flags_of (a : Attrib.t) ~slow_ns =
   List.filter_map Fun.id
     [ (if a.Attrib.denied then Some "denied" else None);
@@ -72,6 +121,16 @@ let summary ?(top = 10) ?slow_ns ~files (src : Source.t) =
           s.max_ns)
       ops
   end;
+  (match lock_stats src.Source.events with
+  | [] -> ()
+  | locks ->
+    pf "contention (contended lock waits, ns):\n";
+    pf "  %-32s %7s %12s %10s %10s\n" "site" "waits" "total" "p99" "max";
+    List.iter
+      (fun l ->
+        pf "  %-32s %7d %12d %10d %10d\n" l.lsite l.waits l.total_ns l.lp99
+          l.lmax_ns)
+      locks);
   if attribs <> [] then begin
     let slowest =
       List.sort (fun a b -> compare b.Attrib.wall_ns a.Attrib.wall_ns) attribs

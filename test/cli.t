@@ -381,3 +381,115 @@ The workbench's save-store/recover do the same for a single session.
   > a b
   > Accept. (complete)
   > bye
+
+Runtime health: the exposition carries the profiler's gc_* and lock_*
+metric families (values are timing-dependent, so the golden pins the
+sorted names: the per-site counter/histogram quintet and the GC totals
+and quantiles).
+
+  $ printf 'EXECUTE u a\nMETRICS\nQUIT\n' | ../bin/imanager.exe "a - b" \
+  >   | grep -E '^(gc_[a-z_]+_total|gc_span_minor_words_p[0-9]+|lock_state_stripe_|lock_automaton_fill_)' \
+  >   | sed 's/ .*//' | sort
+  gc_compactions_total
+  gc_major_collections_total
+  gc_major_cycles_total
+  gc_minor_collections_total
+  gc_minor_words_total
+  gc_promoted_words_total
+  gc_span_minor_words_p50
+  gc_span_minor_words_p99
+  lock_automaton_fill_acquisitions_total
+  lock_automaton_fill_contended_total
+  lock_automaton_fill_wait_ns_total
+  lock_automaton_fill_wait_p50_ns
+  lock_automaton_fill_wait_p99_ns
+  lock_state_stripe_acquisitions_total
+  lock_state_stripe_contended_total
+  lock_state_stripe_wait_ns_total
+  lock_state_stripe_wait_p50_ns
+  lock_state_stripe_wait_p99_ns
+
+The HEALTH command renders a one-screen snapshot; the section layout is
+pinned, the numbers are not.
+
+  $ printf 'EXECUTE u a\nHEALTH\nQUIT\n' | ../bin/imanager.exe "a - b" \
+  >   | grep -E '^(READY|OK|==|--)'
+  READY 3
+  == runtime health ==
+  -- lock sites (top contended) --
+  -- gc --
+  -- scache --
+  -- speculation --
+  OK
+
+Sharded mode adds the per-domain utilization section.
+
+  $ printf 'EXECUTE u a\nHEALTH\nQUIT\n' \
+  >   | ../bin/imanager.exe --domains 2 "(a - b) @ (c - d)" \
+  >   | grep -E '^(==|--)'
+  == runtime health ==
+  -- lock sites (top contended) --
+  -- gc --
+  -- domains --
+  -- scache --
+  -- speculation --
+
+The workbench mirrors it as `health`.
+
+  $ printf 'telemetry on\ndo a\nhealth\nquit\n' | ../bin/iworkbench.exe "a - b" \
+  >   | sed 's/^> //' | grep -E '^(==|--)'
+  == runtime health ==
+  -- lock sites (top contended) --
+  -- gc --
+  -- scache --
+  -- speculation --
+
+ibench knows the pinned headline series across bench schemas.
+
+  $ ../bin/ibench.exe metrics
+  word_steady_ns                     lower-better  ns/action
+  word_table_ns                      lower-better  ns/action
+  e1_session_ns                      lower-better  ns/action
+  feed_ns                            lower-better  ns/action
+  e1_ns_n1600                        lower-better  ns/action
+  volatile_word_ns                   lower-better  ns/action
+  wal_word_ns                        lower-better  ns/action
+  recovery_records_per_s             higher-better rec/s
+  shared_word_throughput_d4          higher-better act/s
+  overlap_speculation_speedup        higher-better x
+  successor_hit_rate                 higher-better ratio
+  sig_cache_hit_rate                 higher-better ratio
+
+The gate passes a run within tolerance and fails a degraded one — the
+exit code is the CI teeth.
+
+  $ cat > gate_base.json <<'JSON'
+  > {"_meta": {"schema_version": 10},
+  >  "e20": {"word_vm_ns_per_action": 100.0, "e1_vm_ns_per_action": 400.0}}
+  > JSON
+  $ cat > gate_good.json <<'JSON'
+  > {"_meta": {"schema_version": 10},
+  >  "e20": {"word_vm_ns_per_action": 108.0, "e1_vm_ns_per_action": 390.0}}
+  > JSON
+  $ cat > gate_bad.json <<'JSON'
+  > {"_meta": {"schema_version": 10},
+  >  "e20": {"word_vm_ns_per_action": 160.0, "e1_vm_ns_per_action": 400.0},
+  >  "e22": {"disjoint_d4_lock_state_stripe_wait_p99_ns": 2000000.0}}
+  > JSON
+
+  $ ../bin/ibench.exe gate --baseline gate_base.json --current gate_good.json
+  metric                             baseline        current     delta  status
+  word_steady_ns                          100            108     +8.0%  ok
+  e1_session_ns                           400            390     -2.5%  ok
+  skipped (absent from one side): word_table_ns, feed_ns, e1_ns_n1600, volatile_word_ns, wal_word_ns, recovery_records_per_s, shared_word_throughput_d4, overlap_speculation_speedup, successor_hit_rate, sig_cache_hit_rate
+  gate: PASS (tolerance 15%, 2 metric(s) compared)
+
+  $ ../bin/ibench.exe gate --baseline gate_base.json --current gate_bad.json \
+  >   --max-lock-p99-us 500
+  metric                             baseline        current     delta  status
+  word_steady_ns                          100            160    +60.0%  REGRESSION
+  e1_session_ns                           400            400     +0.0%  ok
+  e22.disjoint_d4_lock_state_stripe_wait_p99_ns          500 us         2000 us            LOCK P99 OVER BOUND
+  skipped (absent from one side): word_table_ns, feed_ns, e1_ns_n1600, volatile_word_ns, wal_word_ns, recovery_records_per_s, shared_word_throughput_d4, overlap_speculation_speedup, successor_hit_rate, sig_cache_hit_rate
+  gate: FAIL (tolerance 15%, 3 metric(s) compared)
+  [1]

@@ -1,0 +1,381 @@
+(* The runtime-health profiler: timed lock sites, GC sampling, per-lane
+   utilization, crash-atomic dumps — and the two properties the whole
+   layer is sold on: with telemetry OFF the probes change nothing (same
+   verdicts, no allocation on the warm word path), and the bench gate
+   really does fail on a degraded input. *)
+
+open Interaction
+open Interaction_trace
+open Testutil
+
+let t name f = Alcotest.test_case name `Quick f
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.clear_sinks ();
+  Option.iter Recorder.install (Recorder.global ());
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.clear_sinks ();
+      Option.iter Recorder.install (Recorder.global ()))
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Lock sites                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let site_stats name =
+  List.find_opt
+    (fun (s : Prof.Lock.stats) -> s.Prof.Lock.site_name = name)
+    (Prof.Lock.stats ())
+
+let lock_sites =
+  [ t "uncontended protect counts acquisitions, no waits" (fun () ->
+        with_telemetry (fun () ->
+            Prof.Lock.reset ();
+            let site = Prof.Lock.site "test.uncontended" in
+            let m = Mutex.create () in
+            for _ = 1 to 10 do
+              Prof.Lock.protect site m (fun () -> ())
+            done;
+            match site_stats "test.uncontended" with
+            | None -> Alcotest.fail "site not registered"
+            | Some s ->
+              check_int "acquisitions" 10 s.Prof.Lock.acquisitions;
+              check_int "contended" 0 s.Prof.Lock.contended;
+              check_int "wait_ns" 0 s.Prof.Lock.wait_ns));
+    t "site is interned by name" (fun () ->
+        let a = Prof.Lock.site "test.interned" in
+        let b = Prof.Lock.site "test.interned" in
+        check_bool "same site" true (a == b));
+    t "cross-domain contention is counted and timed" (fun () ->
+        with_telemetry (fun () ->
+            Prof.Lock.reset ();
+            let site = Prof.Lock.site "test.contended" in
+            let m = Mutex.create () in
+            (* hold the lock from the main domain while a worker tries to
+               take it: the worker's acquire must land on the slow path *)
+            Mutex.lock m;
+            let d =
+              Domain.spawn (fun () ->
+                  Prof.Lock.protect site m (fun () -> ()))
+            in
+            Unix.sleepf 0.005;
+            Mutex.unlock m;
+            Domain.join d;
+            match site_stats "test.contended" with
+            | None -> Alcotest.fail "site not registered"
+            | Some s ->
+              check_int "acquisitions" 1 s.Prof.Lock.acquisitions;
+              check_int "contended" 1 s.Prof.Lock.contended;
+              check_bool "wait recorded" true (s.Prof.Lock.wait_ns > 0);
+              check_bool "p99 positive" true (s.Prof.Lock.p99_ns > 0.0);
+              check_bool "max >= p99 bucket floor" true
+                (float_of_int s.Prof.Lock.max_wait_ns *. 2.0
+                >= s.Prof.Lock.p99_ns)));
+    t "telemetry off: nothing is counted" (fun () ->
+        Telemetry.disable ();
+        Prof.Lock.reset ();
+        let site = Prof.Lock.site "test.dark" in
+        let m = Mutex.create () in
+        for _ = 1 to 5 do
+          Prof.Lock.protect site m (fun () -> ())
+        done;
+        match site_stats "test.dark" with
+        | None -> Alcotest.fail "site not registered"
+        | Some s -> check_int "acquisitions" 0 s.Prof.Lock.acquisitions);
+    t "lock probes appear in the exposition" (fun () ->
+        with_telemetry (fun () ->
+            Prof.Lock.reset ();
+            let site = Prof.Lock.site "test.exposed" in
+            let m = Mutex.create () in
+            Prof.Lock.protect site m (fun () -> ());
+            let exposition = Telemetry.expose () in
+            let has needle =
+              let nl = String.length needle and el = String.length exposition in
+              let rec go i =
+                i + nl <= el
+                && (String.sub exposition i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            check_bool "acquisitions probe" true
+              (has "lock_test_exposed_acquisitions_total 1");
+            check_bool "p99 probe" true (has "lock_test_exposed_wait_p99_ns")))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* GC sampling                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gcprof =
+  [ t "samples accumulate minor words across spans" (fun () ->
+        with_telemetry (fun () ->
+            Prof.Gcprof.install ();
+            Prof.Gcprof.reset ();
+            Prof.Gcprof.sample ();
+            (* allocate visibly inside a span so the Span_end sink samples *)
+            Telemetry.span "test.alloc" (fun () ->
+                let acc = ref [] in
+                for i = 1 to 50_000 do
+                  acc := string_of_int i :: acc.contents
+                done;
+                ignore (List.length acc.contents));
+            let g = Prof.Gcprof.stats () in
+            check_bool "minor words counted" true
+              (g.Prof.Gcprof.minor_words > 10_000.0);
+            check_bool "per-domain rows" true
+              (Prof.Gcprof.domain_minor_words () <> [])));
+    t "reset clears the accumulators" (fun () ->
+        with_telemetry (fun () ->
+            Prof.Gcprof.install ();
+            ignore (Prof.Gcprof.stats ());
+            Prof.Gcprof.reset ();
+            Prof.Gcprof.sample ();
+            let g = Prof.Gcprof.stats () in
+            (* stats() itself samples; only the words allocated since the
+               reset can appear *)
+            check_bool "small after reset" true
+              (g.Prof.Gcprof.minor_words < 100_000.0)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Utilization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let util =
+  [ t "busy time lands on the recorded lane" (fun () ->
+        with_telemetry (fun () ->
+            let u = Prof.Util.create 3 in
+            Prof.Util.record u ~lane:1 5_000;
+            Prof.Util.record u ~lane:1 7_000;
+            Prof.Util.record u ~lane:2 1_000;
+            match Prof.Util.snapshot u with
+            | [ l0; l1; l2 ] ->
+              check_int "lane0 tasks" 0 l0.Prof.Util.tasks;
+              check_int "lane1 tasks" 2 l1.Prof.Util.tasks;
+              check_int "lane1 busy" 12_000 l1.Prof.Util.busy_ns;
+              check_int "lane2 tasks" 1 l2.Prof.Util.tasks;
+              check_bool "utilization bounded" true
+                (l1.Prof.Util.utilization <= 1.0)
+            | _ -> Alcotest.fail "expected 3 lanes"));
+    t "telemetry off: record is a no-op" (fun () ->
+        Telemetry.disable ();
+        let u = Prof.Util.create 1 in
+        Prof.Util.record u ~lane:0 5_000;
+        match Prof.Util.snapshot u with
+        | [ l ] -> check_int "tasks" 0 l.Prof.Util.tasks
+        | _ -> Alcotest.fail "expected 1 lane")
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* No observer effect: prof-instrumented paths with telemetry OFF      *)
+(* ------------------------------------------------------------------ *)
+
+let engine_run (e, word) =
+  let s = Engine.create e in
+  let accepts = List.map (Engine.try_action s) word in
+  (Engine.word e word, accepts, Engine.trace s, Engine.is_final s)
+
+(* The stripe / fill / registry locks are Prof.Lock sites now; with
+   telemetry off the instrumented paths must answer bit-identically and
+   count nothing. *)
+let no_observer_probes =
+  to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"prof probes + telemetry off: identical verdicts, zero counts"
+       (expr_word_arb ~max_depth:3 ~max_len:5 ())
+       (fun case ->
+         Telemetry.disable ();
+         Prof.Lock.reset ();
+         let dark = engine_run case in
+         let again = engine_run case in
+         if dark <> again then QCheck.Test.fail_report "behaviour changed";
+         List.iter
+           (fun (s : Prof.Lock.stats) ->
+             if s.Prof.Lock.acquisitions > 0 then
+               QCheck.Test.fail_report
+                 (Printf.sprintf "site %s counted %d acquisitions while off"
+                    s.Prof.Lock.site_name s.Prof.Lock.acquisitions))
+           (Prof.Lock.stats ());
+         true))
+
+(* Warm word walks are advertised as allocation-free table walks; the
+   probes must keep them that way when telemetry is off.  The bound is a
+   small per-walk allowance (the result option, a possible closure) —
+   what it guards against is a per-action allocation sneaking into the
+   instrumented stripe/fill paths. *)
+let word_path_allocation_free =
+  t "telemetry off: warm word path stays allocation-free" (fun () ->
+      Telemetry.disable ();
+      let e = Syntax.parse_exn "(a - b - c)*" in
+      let word =
+        List.concat
+          (List.init 50 (fun _ ->
+               List.map
+                 (fun n -> Action.conc n [])
+                 [ "a"; "b"; "c" ]))
+      in
+      let a = Automaton.create e in
+      (* warm: fill every row once *)
+      check_bool "warm walk accepts" true (Automaton.run_word a word <> None);
+      let walks = 20 in
+      let before = Gc.minor_words () in
+      for _ = 1 to walks do
+        ignore (Automaton.run_word a word)
+      done;
+      let per_walk = (Gc.minor_words () -. before) /. float_of_int walks in
+      if per_walk > 64.0 then
+        Alcotest.failf "warm walk allocates %.1f words (150 actions)" per_walk)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-atomic dumps                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let atomic_dumps =
+  [ t "atomic_write_file replaces longer content completely" (fun () ->
+        (* regression: a plain open_out + partial write over an existing
+           longer file leaves a stale tail; tmp+rename must not *)
+        let path = tmp_path "prof_atomic_test.txt" in
+        Prof.atomic_write_file ~fsync:false path (String.make 4096 'x');
+        Prof.atomic_write_file ~fsync:false path "short";
+        check_bool "no stale tail" true (read_file path = "short");
+        check_bool "tmp file gone" false (Sys.file_exists (path ^ ".tmp"));
+        Sys.remove path);
+    t "recorder dump truncates a longer pre-existing file" (fun () ->
+        with_telemetry (fun () ->
+            let r = Recorder.create ~capacity:16 () in
+            Recorder.install r;
+            Telemetry.event "one";
+            let path = tmp_path "prof_recorder_dump.jsonl" in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.make 8192 'y'));
+            let n = Recorder.dump_to_file r path in
+            check_int "one event" 1 n;
+            let contents = read_file path in
+            check_bool "stale bytes gone" false
+              (String.contains contents 'y');
+            Sys.remove path));
+    t "sampler dump truncates a longer pre-existing file" (fun () ->
+        with_telemetry (fun () ->
+            let smp = Sampler.create ~slow_ns:0L () in
+            Telemetry.add_sink (Sampler.sink smp);
+            let trace = Telemetry.new_trace () in
+            Telemetry.with_trace trace (fun () ->
+                Telemetry.span "op" (fun () -> ()));
+            check_bool "captured" true (Sampler.finish smp ~trace ());
+            let path = tmp_path "prof_sampler_dump.jsonl" in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.make 8192 'z'));
+            let n = Sampler.dump_to_file smp path in
+            check_bool "captured something" true (n > 0);
+            let contents = read_file path in
+            check_bool "stale bytes gone" false
+              (String.contains contents 'z');
+            Sys.remove path))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The bench gate                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_bench ?(section = "e20") path pairs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"_meta\": {\"schema_version\": 10},\n";
+  Printf.bprintf b "  %S: {" section;
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S: %s" k v)
+    pairs;
+  Buffer.add_string b "}\n}\n";
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  match Benchfile.load path with
+  | Some t -> t
+  | None -> Alcotest.fail ("unreadable bench file " ^ path)
+
+let gate =
+  [ t "within tolerance passes" (fun () ->
+        let base =
+          write_bench (tmp_path "gate_base.json")
+            [ ("word_vm_ns_per_action", "100.0") ]
+        in
+        let cur =
+          write_bench (tmp_path "gate_cur_ok.json")
+            [ ("word_vm_ns_per_action", "110.0") ]
+        in
+        let r = Benchfile.gate ~tolerance:15.0 ~baseline:base ~current:cur () in
+        check_bool "passes" true (r.Benchfile.verdict = Benchfile.Pass));
+    t "degraded input fails the gate" (fun () ->
+        let base =
+          write_bench (tmp_path "gate_base2.json")
+            [ ("word_vm_ns_per_action", "100.0") ]
+        in
+        let cur =
+          write_bench (tmp_path "gate_cur_bad.json")
+            [ ("word_vm_ns_per_action", "200.0") ]
+        in
+        let r = Benchfile.gate ~tolerance:15.0 ~baseline:base ~current:cur () in
+        check_bool "fails" true (r.Benchfile.verdict = Benchfile.Fail);
+        check_bool "the failing row is reported" true
+          (List.exists
+             (fun (row : Benchfile.gate_row) ->
+               (not row.Benchfile.ok) && row.Benchfile.delta_pct > 15.0)
+             r.Benchfile.rows));
+    t "higher-better metrics fail when they drop" (fun () ->
+        let base =
+          write_bench ~section:"caches" (tmp_path "gate_base3.json")
+            [ ("engine_successor_hit_rate", "0.9") ]
+        in
+        let cur =
+          write_bench ~section:"caches" (tmp_path "gate_cur_drop.json")
+            [ ("engine_successor_hit_rate", "0.5") ]
+        in
+        let r = Benchfile.gate ~tolerance:15.0 ~baseline:base ~current:cur () in
+        check_bool "fails" true (r.Benchfile.verdict = Benchfile.Fail));
+    t "lock p99 bound fails an over-budget site" (fun () ->
+        let base =
+          write_bench (tmp_path "gate_base4.json")
+            [ ("word_vm_ns_per_action", "100.0") ]
+        in
+        let cur =
+          write_bench (tmp_path "gate_cur_lock.json")
+            [ ("word_vm_ns_per_action", "100.0");
+              (* 2 ms contended wait p99, against a 500 µs bound *)
+              ("lock_state_stripe_wait_p99_ns", "2000000.0") ]
+        in
+        let r =
+          Benchfile.gate ~tolerance:15.0 ~max_lock_p99_us:500.0 ~baseline:base
+            ~current:cur ()
+        in
+        check_bool "fails" true (r.Benchfile.verdict = Benchfile.Fail);
+        check_bool "lock row present" true (r.Benchfile.lock_rows <> []));
+    t "missing metrics are skipped, not failed" (fun () ->
+        let base =
+          write_bench (tmp_path "gate_base5.json")
+            [ ("word_vm_ns_per_action", "100.0") ]
+        in
+        let cur = write_bench (tmp_path "gate_cur_empty.json") [] in
+        let r = Benchfile.gate ~tolerance:15.0 ~baseline:base ~current:cur () in
+        check_bool "passes" true (r.Benchfile.verdict = Benchfile.Pass);
+        check_bool "skips recorded" true (r.Benchfile.skipped <> []))
+  ]
+
+let () =
+  Alcotest.run "prof"
+    [ ("lock-sites", lock_sites);
+      ("gcprof", gcprof);
+      ("utilization", util);
+      ("no-observer-effect", [ no_observer_probes; word_path_allocation_free ]);
+      ("atomic-dumps", atomic_dumps);
+      ("bench-gate", gate)
+    ]
